@@ -1,0 +1,112 @@
+// Extension experiment X1 (motivated by Sec. 1/3.1, not plotted in the
+// paper): quantitative DoS impact of malicious attestation requests on
+// the prover's primary duty and battery, as a function of attack rate,
+// for three prover configurations:
+//   * unprotected   — no request authentication (Sec. 3.1 baseline),
+//   * counter       — authenticated requests + monotonic counter,
+//   * timestamp     — authenticated requests + timestamps + HW clock.
+// The attacker replays one recorded genuine request at the given rate.
+#include <cstdio>
+#include <memory>
+
+#include "ratt/adv/adv_ext.hpp"
+#include "ratt/sim/dos.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+using attest::AttestRequest;
+using attest::ClockDesign;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+using crypto::Bytes;
+
+Bytes key() { return crypto::from_hex("202122232425262728292a2b2c2d2e2f"); }
+
+struct Setup {
+  std::unique_ptr<ProverDevice> prover;
+  AttestRequest recorded;  // what the attacker replays
+};
+
+Setup make_setup(FreshnessScheme scheme, bool authenticate,
+                 std::uint32_t rate_limit = 0) {
+  ProverConfig config;
+  config.scheme = scheme;
+  config.authenticate_requests = authenticate;
+  config.rate_limit_max = rate_limit;
+  config.rate_limit_window_ms = 1000.0;
+  config.measured_bytes = 64 * 1024;  // ~94.6 ms per attestation
+  if (scheme == FreshnessScheme::kTimestamp) {
+    config.clock = ClockDesign::kHw64;
+    config.timestamp_window_ticks = 2'400'000;  // 100 ms window
+  }
+  Setup s;
+  s.prover = std::make_unique<ProverDevice>(
+      config, key(), crypto::from_string("dos-impact-app"));
+
+  Verifier::Config vc;
+  vc.scheme = scheme;
+  vc.authenticate_requests = authenticate;
+  ProverDevice* prover_ptr = s.prover.get();
+  vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
+  Verifier verifier(key(), vc, crypto::from_string("dos-impact-vrf"));
+
+  // Phase I: the attacker records one genuine request (delivered).
+  s.prover->idle_ms(1.0);
+  s.recorded = verifier.make_request();
+  (void)s.prover->handle(s.recorded);
+  return s;
+}
+
+void run_series(const char* name, FreshnessScheme scheme,
+                bool authenticate, std::uint32_t rate_limit = 0) {
+  std::printf("  %s:\n", name);
+  std::printf("    %-10s %-12s %-14s %-14s %-11s %-10s\n", "rate(/s)",
+              "miss-rate", "attest-ms", "energy(mJ)", "performed",
+              "wdt-resets");
+  for (double rate : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+    Setup s = make_setup(scheme, authenticate, rate_limit);
+    sim::TaskProfile task{10.0, 2.0};
+    // A 30 ms watchdog (typical for a 10 ms control loop) with a 50 ms
+    // reboot penalty: starvation now costs resets, not just misses.
+    sim::WatchdogProfile wdt{30.0, 50.0};
+    sim::DosSimulator simulator(*s.prover, task, timing::EnergyModel(),
+                                timing::Battery(), wdt);
+    const auto arrivals = sim::uniform_arrivals(rate, 5000.0);
+    const AttestRequest replayed = s.recorded;
+    const sim::DosReport report = simulator.run(
+        arrivals, [&replayed](double) { return replayed; }, 5000.0);
+    std::printf("    %-10.1f %-12.3f %-14.1f %-14.3f %-11llu %-10llu\n",
+                rate, report.miss_rate(), report.attest_busy_ms,
+                report.energy_mj,
+                static_cast<unsigned long long>(
+                    report.attestations_performed),
+                static_cast<unsigned long long>(report.watchdog_resets));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== X1: DoS impact of replayed attestation requests ===\n"
+      "(5 s horizon; primary task: 2 ms every 10 ms; replay flood at "
+      "varying rate)\n\n");
+  run_series("unprotected (no request auth, no freshness)",
+             FreshnessScheme::kNone, false);
+  run_series("counter (auth + monotonic counter)", FreshnessScheme::kCounter,
+             true);
+  run_series("timestamp (auth + timestamp, HW clock)",
+             FreshnessScheme::kTimestamp, true);
+  run_series("no freshness + rate limiter (2 attest/s budget, extension)",
+             FreshnessScheme::kNone, false, 2);
+  std::printf(
+      "\n  Expected shape: the unprotected prover performs every replayed\n"
+      "  attestation (~94.6 ms each) -> task misses and energy grow with "
+      "rate;\n  counter/timestamp provers reject replays after one "
+      "0.432 ms MAC check\n  -> miss rate stays ~0 and energy stays flat."
+      "\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Figure 1 reproduction: the two mitigation architectures, exercised
+// end-to-end on the simulated MCU.
+//   (a) base version — K_Attest and counter_R accessible only by
+//       Code_Attest; wide hardware clock; EA-MPU locked by secure boot.
+//   (b) advanced version — SW-clock: Clock_LSB wrap -> interrupt ->
+//       Code_Clock increments Clock_MSB; IDT and interrupt mask locked.
+// For each variant: boot, run genuine attestation rounds, verify the
+// clock tracks ground truth across many LSB wraps, and probe every
+// protected asset from malware to show the denials.
+#include <cstdio>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+using attest::AttestOutcome;
+using attest::AttestStatus;
+using attest::ClockDesign;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+using crypto::Bytes;
+
+Bytes key() { return crypto::from_hex("101112131415161718191a1b1c1d1e1f"); }
+
+bool run_variant(const char* title, ClockDesign design) {
+  // Requests must be spaced beyond the clock resolution ("sufficiently
+  // inter-spaced genuine attestation requests", Sec. 4.2): the 32-bit
+  // divided clock ticks every ~43.7 ms.
+  const double round_spacing_ms =
+      (design == ClockDesign::kHw32Div) ? 100.0 : 20.0;
+  std::printf("--- %s ---\n", title);
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = design;
+  config.measured_bytes = 4096;
+  config.timestamp_window_ticks = 24'000'000;  // 1 s at 24 MHz
+  config.timestamp_skew_ticks = 70'000;        // > one 16-bit LSB wrap
+  ProverDevice prover(config, key(), crypto::from_string("fig1-app"));
+  std::printf("  secure boot: %s; EA-MPU locked: %s; active rules: %zu\n",
+              hw::to_string(prover.boot_status()).c_str(),
+              prover.mcu().mpu().locked() ? "yes" : "no",
+              prover.mcu().mpu().active_rules());
+
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kTimestamp;
+  vc.clock = [&prover] { return prover.ground_truth_ticks(); };
+  Verifier verifier(key(), vc, crypto::from_string("fig1-vrf"));
+  verifier.set_reference_memory(prover.reference_memory());
+
+  // Run rounds spread over enough time for many Clock_LSB wraps
+  // (16-bit LSB at 24 MHz wraps every ~2.73 ms).
+  bool ok = true;
+  for (int round = 0; round < 5; ++round) {
+    prover.idle_ms(round_spacing_ms);
+    const auto req = verifier.make_request();
+    const AttestOutcome out = prover.handle(req);
+    const bool valid = out.status == AttestStatus::kOk &&
+                       verifier.check_response(req, out.response);
+    ok = ok && valid;
+    std::printf(
+        "  round %d: status=%s, device cost %.3f ms, response %s\n", round,
+        attest::to_string(out.status).c_str(), out.device_ms,
+        valid ? "valid" : "INVALID");
+  }
+
+  const auto clock = prover.prover_clock_ticks();
+  const std::uint64_t truth = prover.ground_truth_ticks();
+  std::printf("  prover clock: %llu ticks; ground truth: %llu (drift %lld)\n",
+              static_cast<unsigned long long>(clock.value_or(0)),
+              static_cast<unsigned long long>(truth),
+              static_cast<long long>(clock.value_or(0) - truth));
+
+  // Malware probes every protected asset.
+  hw::SoftwareComponent malware(prover.mcu(), "malware",
+                                prover.surface().malware_region);
+  const auto probe = [&](const char* what, hw::BusStatus status) {
+    std::printf("  malware %-28s -> %s\n", what,
+                hw::to_string(status).c_str());
+    return status != hw::BusStatus::kOk;
+  };
+  std::uint8_t byte = 0;
+  bool denials = true;
+  denials &= probe("read K_Attest", malware.read8(prover.surface().key_addr,
+                                                  byte));
+  denials &= probe("write counter_R",
+                   malware.write64(prover.surface().counter_addr, 0));
+  if (design == ClockDesign::kSwClock) {
+    denials &= probe("write Clock_MSB",
+                     malware.write32(prover.surface().clock_msb_addr, 0));
+    denials &= probe("write IDT entry",
+                     malware.write32(prover.surface().idt_base, 0xbad));
+    denials &= probe("write interrupt mask",
+                     malware.write32(prover.surface().irq_mask_addr, ~0u));
+  } else {
+    denials &= probe("write clock register",
+                     prover.mcu().bus().write64(
+                         malware.ctx(), prover.surface().clock_port_addr, 0));
+  }
+  denials &= probe("write EA-MPU config",
+                   prover.mcu().bus().write8(
+                       malware.ctx(), prover.mcu().layout().mpu_port_base, 0));
+  std::printf("\n");
+  return ok && denials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: Adv_roam mitigation architectures ===\n\n");
+  bool ok = true;
+  ok &= run_variant(
+      "Variant (a): EA-MPU-protected K_Attest/counter_R + 64-bit HW clock",
+      ClockDesign::kHw64);
+  ok &= run_variant(
+      "Variant (a'): 32-bit HW clock with 2^20 divider (cheaper register)",
+      ClockDesign::kHw32Div);
+  ok &= run_variant(
+      "Variant (b): SW-clock (Clock_LSB wrap IRQ -> Code_Clock -> "
+      "Clock_MSB)",
+      ClockDesign::kSwClock);
+  std::printf("%s\n", ok ? "All variants: genuine attestation works and "
+                           "every malware probe is denied."
+                         : "FAILURE: see output above.");
+  return ok ? 0 : 1;
+}

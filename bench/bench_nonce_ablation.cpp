@@ -1,0 +1,92 @@
+// Ablation: the nonce-history trade-off that makes the paper rule nonces
+// out (Sec. 4.2) — "keeping a complete nonce history requires a lot of
+// non-volatile memory".
+//
+// For each history capacity we run a long sequence of genuine requests
+// followed by replays of every earlier request, and report (a) the RAM
+// the history consumes and (b) how far back replays are still detected.
+// A counter needs 8 bytes and detects everything; a bounded nonce history
+// needs 8 bytes *per remembered request* and silently re-opens once a
+// nonce is evicted.
+#include <cstdio>
+#include <memory>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+using attest::AttestRequest;
+using attest::AttestStatus;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+
+crypto::Bytes key() {
+  return crypto::from_hex("a0a1a2a3a4a5a6a7a8a9aaabacadaeaf");
+}
+
+struct AblationRow {
+  std::size_t capacity;
+  std::size_t ram_bytes;
+  int genuine_requests;
+  int replays_detected;
+  int replays_accepted;
+};
+
+AblationRow run_capacity(std::size_t capacity, int genuine_requests) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kNonce;
+  config.nonce_capacity = capacity;
+  config.measured_bytes = 256;
+  ProverDevice prover(config, key(), crypto::from_string("nonce-abl-app"));
+
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kNonce;
+  Verifier verifier(key(), vc, crypto::from_string("nonce-abl-vrf"));
+  verifier.set_reference_memory(prover.reference_memory());
+
+  std::vector<AttestRequest> history;
+  for (int i = 0; i < genuine_requests; ++i) {
+    const AttestRequest req = verifier.make_request();
+    history.push_back(req);
+    (void)prover.handle(req);
+  }
+
+  AblationRow row{capacity, 8 + 8 * capacity, genuine_requests, 0, 0};
+  for (const AttestRequest& old : history) {
+    const auto out = prover.handle(old);
+    if (out.status == AttestStatus::kOk) {
+      ++row.replays_accepted;  // evicted nonce: replay slipped through
+    } else {
+      ++row.replays_detected;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kGenuine = 64;
+  std::printf(
+      "=== Ablation: nonce-history capacity vs. replay protection ===\n"
+      "(%d genuine requests, then every one of them replayed)\n\n",
+      kGenuine);
+  std::printf("  %-10s %-12s %-18s %-18s\n", "capacity", "RAM bytes",
+              "replays detected", "replays ACCEPTED");
+  for (std::size_t capacity : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const AblationRow row = run_capacity(capacity, kGenuine);
+    std::printf("  %-10zu %-12zu %-18d %-18d%s\n", row.capacity,
+                row.ram_bytes, row.replays_detected, row.replays_accepted,
+                row.replays_accepted > 0 ? "  <-- protection hole" : "");
+  }
+  std::printf(
+      "\n  A monotonic counter achieves full replay+reorder protection in "
+      "8 bytes\n  (Sec. 4.2) — the nonce history needs 8 bytes per "
+      "remembered request and\n  still cannot detect reordering or "
+      "delay.\n");
+  return 0;
+}

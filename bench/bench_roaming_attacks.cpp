@@ -1,0 +1,98 @@
+// Sec. 5 reproduction: the roaming adversary's attacks, each run against
+// an unprotected prover (must succeed) and an EA-MPU-protected prover
+// (must fail). Also reports the paper's stealth observations: counter
+// rollback is undetectable after the fact; a reset clock "remains behind".
+#include <cstdio>
+#include <vector>
+
+#include "ratt/adv/adv_roam.hpp"
+
+int main() {
+  using namespace ratt;  // NOLINT
+  using adv::RoamAttack;
+  using adv::RoamScenarioConfig;
+  using attest::ClockDesign;
+  using attest::FreshnessScheme;
+
+  std::printf(
+      "=== Sec. 5: roaming adversary (Adv_roam) attack suite ===\n"
+      "(three-phase attacks: record -> compromise & erase -> replay)\n\n");
+
+  struct Case {
+    RoamAttack attack;
+    RoamScenarioConfig config;
+    const char* note;
+  };
+  std::vector<Case> cases;
+  {
+    RoamScenarioConfig counter;
+    counter.scheme = FreshnessScheme::kCounter;
+    cases.push_back({RoamAttack::kCounterRollback, counter,
+                     "counter i -> i-1, replay attreq(i)"});
+    cases.push_back({RoamAttack::kKeyExtraction, counter,
+                     "read K_Attest, forge fresh authentic requests"});
+    RoamScenarioConfig ram_key = counter;
+    ram_key.key_in_rom = false;
+    cases.push_back({RoamAttack::kKeyOverwrite, ram_key,
+                     "overwrite RAM-resident K_Attest"});
+    RoamScenarioConfig ts;
+    ts.scheme = FreshnessScheme::kTimestamp;
+    ts.clock = ClockDesign::kWritable;
+    ts.window_ms = 50.0;
+    cases.push_back({RoamAttack::kClockReset, ts,
+                     "clock -> t_i - delta, replay attreq(t_i)"});
+    RoamScenarioConfig sw = ts;
+    sw.clock = ClockDesign::kSwClock;
+    cases.push_back({RoamAttack::kIdtClobber, sw,
+                     "overwrite IDT entry, SW-clock stops"});
+    cases.push_back({RoamAttack::kIrqMaskDisable, sw,
+                     "mask timer interrupt, SW-clock stops"});
+  }
+
+  std::printf("  %-18s %-13s %-13s %-9s %-10s\n", "attack",
+              "unprotected", "protected", "stealthy", "clock-trace");
+  bool all_as_expected = true;
+  for (auto& c : cases) {
+    const adv::RoamComparison cmp =
+        adv::compare_roam_attack(c.attack, c.config);
+    const bool expected = cmp.unprotected.dos_succeeded &&
+                          !cmp.protected_.dos_succeeded;
+    all_as_expected = all_as_expected && expected;
+    std::printf("  %-18s %-13s %-13s %-9s %-10s   %s\n",
+                adv::to_string(c.attack).c_str(),
+                cmp.unprotected.dos_succeeded ? "DoS succeeds" : "blocked(!)",
+                cmp.protected_.dos_succeeded ? "DoS succeeds(!)" : "blocked",
+                cmp.unprotected.stealthy ? "yes" : "no",
+                cmp.unprotected.stealthy ? "none" : "clock behind",
+                c.note);
+  }
+
+  // Sec. 3.2 phase II study: transient infection of *measured* memory.
+  RoamScenarioConfig infection_config;
+  infection_config.scheme = FreshnessScheme::kCounter;
+  const adv::TransientInfectionResult infection =
+      adv::run_transient_infection(infection_config);
+  std::printf(
+      "\n  Transient infection of measured memory (Sec. 3.2, phase II):\n"
+      "    while resident:  attestation %s the compromise\n"
+      "    after self-erase: attestation %s — \"not detectable by "
+      "subsequent attestation\"\n",
+      infection.detected_while_infected ? "DETECTS" : "misses(!)",
+      infection.undetected_after_erase ? "validates cleanly" : "fails(!)");
+
+  std::printf(
+      "\n  Paper's Sec. 5 claims:\n"
+      "   * every attack defeats the plain counter/timestamp mitigations "
+      "(unprotected column),\n"
+      "   * EA-MPU protection of K_Attest / counter_R / clock blocks all "
+      "of them (protected column),\n"
+      "   * counter rollback is undetectable after the fact; clock reset "
+      "leaves the clock behind.\n");
+  std::printf("\n  %s\n", all_as_expected
+                              ? "All attacks behave exactly as the paper "
+                                "describes."
+                              : "MISMATCH with the paper (see '(!)').");
+  const bool infection_ok = infection.detected_while_infected &&
+                            infection.undetected_after_erase;
+  return (all_as_expected && infection_ok) ? 0 : 1;
+}

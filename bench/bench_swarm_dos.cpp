@@ -1,0 +1,98 @@
+// Extension experiment X2 (future-work item 1, IoT): attestation health
+// of a device fleet under a replay-flooding adversary, as fleet size
+// grows. Each device has its own K_Attest; the attacker records one
+// genuine request per link and replays it continuously.
+#include <cstdio>
+
+#include "ratt/sim/swarm.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+
+struct FleetRow {
+  std::size_t devices;
+  std::uint64_t genuine_valid;
+  std::uint64_t genuine_sent;
+  std::uint64_t replays_rejected;
+  double attacker_extracted_ms;
+};
+
+FleetRow run_fleet(std::size_t device_count, bool hardened) {
+  sim::SwarmConfig config;
+  config.device_count = device_count;
+  config.prover.scheme = hardened ? attest::FreshnessScheme::kCounter
+                                  : attest::FreshnessScheme::kNone;
+  config.prover.authenticate_requests = hardened;
+  config.prover.measured_bytes = 16 * 1024;  // ~24 ms per attestation
+  config.attest_period_ms = 250.0;
+
+  sim::Swarm swarm(config, crypto::from_string("fleet-bench-seed"));
+
+  // The attacker records the first genuine request on every link...
+  std::vector<sim::RecordingTap> taps(device_count);
+  for (std::size_t i = 0; i < device_count; ++i) {
+    swarm.channel(i).set_tap(&taps[i]);
+    swarm.session(i).send_request();
+  }
+  swarm.queue().run_all();
+
+  // ...then replays it 20x per device during the measurement window.
+  double genuine_ms = 0.0;
+  for (std::size_t i = 0; i < device_count; ++i) {
+    genuine_ms += swarm.prover(i).anchor().total_device_ms();
+    if (taps[i].recorded_to_prover().empty()) continue;
+    const crypto::Bytes recorded = taps[i].recorded_to_prover()[0].payload;
+    for (int k = 0; k < 20; ++k) {
+      swarm.channel(i).inject_to_prover(recorded, 10.0 + 45.0 * k);
+    }
+  }
+  const sim::SwarmReport report = swarm.run(1000.0);
+
+  FleetRow row{};
+  row.devices = device_count;
+  row.genuine_valid = report.total_valid();
+  row.genuine_sent = report.total_sent();
+  for (const auto& d : report.devices) {
+    row.replays_rejected += d.stats.prover_rejects;
+  }
+  row.attacker_extracted_ms = report.total_attest_ms() - genuine_ms;
+  // Subtract the genuine rounds run during the window (valid responses
+  // each cost one measurement).
+  const timing::DeviceTimingModel model;
+  row.attacker_extracted_ms -=
+      static_cast<double>(report.total_valid()) *
+      model.memory_attestation_ms(crypto::MacAlgorithm::kHmacSha1,
+                                  16 * 1024);
+  if (row.attacker_extracted_ms < 0) row.attacker_extracted_ms = 0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== X2: fleet-scale replay flood (20 replays/device/s window) "
+      "===\n\n");
+  for (const bool hardened : {false, true}) {
+    std::printf("  %s fleet:\n",
+                hardened ? "hardened (auth + counter)" : "unprotected");
+    std::printf("    %-9s %-16s %-18s %-22s\n", "devices",
+                "genuine valid", "replays rejected",
+                "attacker-extracted ms");
+    for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
+      const FleetRow row = run_fleet(n, hardened);
+      std::printf("    %-9zu %llu/%-14llu %-18llu %-22.1f\n", row.devices,
+                  static_cast<unsigned long long>(row.genuine_valid),
+                  static_cast<unsigned long long>(row.genuine_sent),
+                  static_cast<unsigned long long>(row.replays_rejected),
+                  row.attacker_extracted_ms);
+    }
+  }
+  std::printf(
+      "\n  Shape: attacker-extracted prover time grows linearly with "
+      "fleet size for the\n  unprotected fleet (~480 ms/device/s: the "
+      "device is mostly the attacker's),\n  and stays near zero for the "
+      "hardened fleet, whose rejects grow instead.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table 2 reproduction: which freshness feature detects which Adv_ext
+// attack. Runs live attack simulations against a fully simulated prover
+// for every (attack, feature) pair and prints the paper's matrix.
+#include <cstdio>
+#include <map>
+
+#include "ratt/adv/adv_ext.hpp"
+
+int main() {
+  using namespace ratt;  // NOLINT
+  using adv::ExtAttack;
+  using attest::FreshnessScheme;
+
+  std::printf(
+      "=== Table 2: summary of DoS attack mitigation features ===\n"
+      "(each cell is a live attack simulation; 'Y' = attack detected)\n\n");
+
+  const auto cells = adv::run_table2_matrix();
+  std::map<std::pair<FreshnessScheme, ExtAttack>, bool> detected;
+  for (const auto& cell : cells) {
+    detected[{cell.scheme, cell.attack}] = cell.detected;
+  }
+
+  const FreshnessScheme schemes[] = {FreshnessScheme::kNonce,
+                                     FreshnessScheme::kCounter,
+                                     FreshnessScheme::kTimestamp};
+  const ExtAttack attacks[] = {ExtAttack::kReplay, ExtAttack::kReorder,
+                               ExtAttack::kDelay};
+  // Paper's Table 2 for comparison.
+  const std::map<std::pair<FreshnessScheme, ExtAttack>, bool> paper = {
+      {{FreshnessScheme::kNonce, ExtAttack::kReplay}, true},
+      {{FreshnessScheme::kNonce, ExtAttack::kReorder}, false},
+      {{FreshnessScheme::kNonce, ExtAttack::kDelay}, false},
+      {{FreshnessScheme::kCounter, ExtAttack::kReplay}, true},
+      {{FreshnessScheme::kCounter, ExtAttack::kReorder}, true},
+      {{FreshnessScheme::kCounter, ExtAttack::kDelay}, false},
+      {{FreshnessScheme::kTimestamp, ExtAttack::kReplay}, true},
+      {{FreshnessScheme::kTimestamp, ExtAttack::kReorder}, true},
+      {{FreshnessScheme::kTimestamp, ExtAttack::kDelay}, true},
+  };
+
+  std::printf("  %-10s", "Attack:");
+  for (auto scheme : schemes) {
+    std::printf("  %-12s", attest::to_string(scheme).c_str());
+  }
+  std::printf("\n");
+  bool all_match = true;
+  for (auto attack : attacks) {
+    std::printf("  %-10s", adv::to_string(attack).c_str());
+    for (auto scheme : schemes) {
+      const bool got = detected.at({scheme, attack});
+      const bool expect = paper.at({scheme, attack});
+      all_match = all_match && (got == expect);
+      std::printf("  %-12s", got ? (expect ? "Y" : "Y (!)")
+                                 : (expect ? "- (!)" : "-"));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  %s\n",
+              all_match
+                  ? "All 9 cells match the paper's Table 2."
+                  : "MISMATCH against the paper's Table 2 (see '(!)')!");
+
+  // Sec. 4.1 context row: impersonation with/without request auth.
+  adv::ExtScenarioConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.authenticate_requests = true;
+  const auto with_auth =
+      adv::run_ext_attack(ExtAttack::kImpersonate, config);
+  config.scheme = FreshnessScheme::kNone;
+  config.authenticate_requests = false;
+  const auto without_auth =
+      adv::run_ext_attack(ExtAttack::kImpersonate, config);
+  std::printf(
+      "\n  Verifier impersonation (Sec. 4.1): unauthenticated prover "
+      "performs the\n  full attestation (%.3f ms stolen); authenticated "
+      "prover rejects after\n  %.3f ms.\n",
+      without_auth.stolen_device_ms, with_auth.stolen_device_ms);
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+// attack_lab: command-line scenario runner for exploring the paper's
+// attack/defense space interactively.
+//
+//   build/examples/attack_lab ext <impersonate|replay|reorder|delay>
+//                             <none|nonce|counter|timestamp> [--no-auth]
+//   build/examples/attack_lab roam <counter-rollback|clock-reset|
+//                             idt-clobber|irq-mask-disable|key-extraction|
+//                             key-overwrite|nonce-wipe> [--protected]
+//   build/examples/attack_lab list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ratt/adv/adv_ext.hpp"
+#include "ratt/adv/adv_roam.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  attack_lab ext <impersonate|replay|reorder|delay> "
+      "<none|nonce|counter|timestamp> [--no-auth]\n"
+      "  attack_lab roam <attack> [--protected]\n"
+      "  attack_lab list\n");
+  return 2;
+}
+
+int run_ext(int argc, char** argv) {
+  if (argc < 4) return usage();
+  adv::ExtAttack attack;
+  const std::string name = argv[2];
+  if (name == "impersonate") {
+    attack = adv::ExtAttack::kImpersonate;
+  } else if (name == "replay") {
+    attack = adv::ExtAttack::kReplay;
+  } else if (name == "reorder") {
+    attack = adv::ExtAttack::kReorder;
+  } else if (name == "delay") {
+    attack = adv::ExtAttack::kDelay;
+  } else {
+    return usage();
+  }
+
+  adv::ExtScenarioConfig config;
+  const std::string scheme = argv[3];
+  if (scheme == "none") {
+    config.scheme = attest::FreshnessScheme::kNone;
+  } else if (scheme == "nonce") {
+    config.scheme = attest::FreshnessScheme::kNonce;
+  } else if (scheme == "counter") {
+    config.scheme = attest::FreshnessScheme::kCounter;
+  } else if (scheme == "timestamp") {
+    config.scheme = attest::FreshnessScheme::kTimestamp;
+  } else {
+    return usage();
+  }
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-auth") == 0) {
+      config.authenticate_requests = false;
+    }
+  }
+
+  const adv::ExtAttackResult result = adv::run_ext_attack(attack, config);
+  std::printf("Adv_ext %s vs %s prover (%sauthenticated requests):\n",
+              adv::to_string(attack).c_str(),
+              attest::to_string(config.scheme).c_str(),
+              config.authenticate_requests ? "" : "un");
+  std::printf("  prover verdict : %s (%s)\n",
+              attest::to_string(result.final_status).c_str(),
+              attest::to_string(result.freshness_verdict).c_str());
+  std::printf("  attack outcome : %s\n",
+              result.detected
+                  ? "DETECTED — no gratuitous attestation"
+                  : "SUCCEEDED — gratuitous attestation performed");
+  std::printf("  prover time stolen by the adversary: %.3f device-ms\n",
+              result.stolen_device_ms);
+  return result.detected ? 0 : 1;
+}
+
+int run_roam(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string name = argv[2];
+  adv::RoamAttack attack;
+  adv::RoamScenarioConfig config;
+  config.scheme = attest::FreshnessScheme::kCounter;
+  if (name == "counter-rollback") {
+    attack = adv::RoamAttack::kCounterRollback;
+  } else if (name == "clock-reset") {
+    attack = adv::RoamAttack::kClockReset;
+    config.scheme = attest::FreshnessScheme::kTimestamp;
+    config.clock = attest::ClockDesign::kWritable;
+  } else if (name == "idt-clobber") {
+    attack = adv::RoamAttack::kIdtClobber;
+    config.scheme = attest::FreshnessScheme::kTimestamp;
+    config.clock = attest::ClockDesign::kSwClock;
+  } else if (name == "irq-mask-disable") {
+    attack = adv::RoamAttack::kIrqMaskDisable;
+    config.scheme = attest::FreshnessScheme::kTimestamp;
+    config.clock = attest::ClockDesign::kSwClock;
+  } else if (name == "key-extraction") {
+    attack = adv::RoamAttack::kKeyExtraction;
+  } else if (name == "key-overwrite") {
+    attack = adv::RoamAttack::kKeyOverwrite;
+    config.key_in_rom = false;
+  } else if (name == "nonce-wipe") {
+    attack = adv::RoamAttack::kNonceWipe;
+    config.scheme = attest::FreshnessScheme::kNonce;
+  } else {
+    return usage();
+  }
+  bool protected_mode = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--protected") == 0) protected_mode = true;
+  }
+  config.protect_key = protected_mode;
+  config.protect_counter = protected_mode;
+  config.protect_clock = protected_mode;
+
+  const adv::RoamAttackResult result = adv::run_roam_attack(attack, config);
+  std::printf("Adv_roam %s vs %s prover:\n", adv::to_string(attack).c_str(),
+              protected_mode ? "EA-MPU-protected" : "unprotected");
+  std::printf("  phase II manipulation : %s\n",
+              result.manipulation_succeeded ? "succeeded" : "DENIED");
+  if (attack == adv::RoamAttack::kKeyExtraction) {
+    std::printf("  key extracted         : %s\n",
+                result.key_extracted ? "yes" : "no");
+  }
+  std::printf("  phase III DoS         : %s (%s)\n",
+              result.dos_succeeded ? "SUCCEEDED" : "blocked",
+              attest::to_string(result.final_status).c_str());
+  std::printf("  stealthy afterwards   : %s\n",
+              result.stealthy ? "yes — no trace" : "no");
+  std::printf("  genuine attestation still works: %s\n",
+              result.survives_standard_attestation ? "yes" : "no");
+  return result.dos_succeeded ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  if (mode == "ext") return run_ext(argc, argv);
+  if (mode == "roam") return run_roam(argc, argv);
+  if (mode == "list") {
+    std::printf(
+        "ext attacks : impersonate replay reorder delay\n"
+        "schemes     : none nonce counter timestamp\n"
+        "roam attacks: counter-rollback clock-reset idt-clobber\n"
+        "              irq-mask-disable key-extraction key-overwrite "
+        "nonce-wipe\n");
+    return 0;
+  }
+  return usage();
+}

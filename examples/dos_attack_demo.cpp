@@ -1,0 +1,99 @@
+// DoS attack demo: Adv_ext floods a battery-powered sensor node with
+// attestation requests over a simulated Dolev-Yao channel.
+//
+//   build/examples/dos_attack_demo
+//
+// Scenario (the paper's Sec. 1/3.1 motivation): the prover is a sensor
+// node that must sample every 10 ms. The attacker records one genuine
+// request off the wire, then replays it continuously. We run the same
+// attack against an unprotected prover and a hardened one (request
+// authentication + counter) and compare sensing reliability and battery.
+#include <cstdio>
+#include <memory>
+
+#include "ratt/attest/verifier.hpp"
+#include "ratt/sim/channel.hpp"
+#include "ratt/sim/dos.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+using attest::AttestRequest;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+
+crypto::Bytes key() {
+  return crypto::from_hex("303132333435363738393a3b3c3d3e3f");
+}
+
+struct NodeRun {
+  sim::DosReport report;
+};
+
+NodeRun run_node(bool hardened, double attack_rate_per_s) {
+  ProverConfig config;
+  config.scheme =
+      hardened ? FreshnessScheme::kCounter : FreshnessScheme::kNone;
+  config.authenticate_requests = hardened;
+  config.measured_bytes = 64 * 1024;  // 64 KB node: ~94.6 ms per attestation
+  auto prover = std::make_unique<ProverDevice>(
+      config, key(), crypto::from_string("sensor-node-fw"));
+
+  Verifier::Config vc;
+  vc.scheme = config.scheme;
+  vc.authenticate_requests = hardened;
+  Verifier verifier(key(), vc, crypto::from_string("operator"));
+
+  // The attacker taps the channel and records one genuine request.
+  sim::EventQueue queue;
+  sim::Channel channel(queue, /*latency_ms=*/2.0);
+  sim::RecordingTap adversary_tap;
+  channel.set_tap(&adversary_tap);
+  AttestRequest recorded;
+  channel.set_prover_sink([&](const crypto::Bytes& wire) {
+    if (const auto req = AttestRequest::from_bytes(wire)) {
+      (void)prover->handle(*req);
+    }
+  });
+  channel.verifier_send(verifier.make_request().to_bytes());
+  queue.run_all();
+  recorded =
+      *AttestRequest::from_bytes(adversary_tap.recorded_to_prover()[0].payload);
+
+  // Replay flood for 10 simulated seconds.
+  sim::TaskProfile sampling{10.0, 2.0};  // 2 ms sample every 10 ms
+  sim::DosSimulator simulator(*prover, sampling, timing::EnergyModel(),
+                              timing::Battery());
+  const auto arrivals = sim::uniform_arrivals(attack_rate_per_s, 10'000.0);
+  NodeRun run;
+  run.report = simulator.run(
+      arrivals, [&recorded](double) { return recorded; }, 10'000.0);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Adv_ext replay flood against a 10 ms-duty sensor node ===\n\n");
+  std::printf("  %-12s %-10s %-12s %-12s %-14s %-12s\n", "prover",
+              "rate(/s)", "samples", "missed", "attest-ms", "energy(mJ)");
+  for (const double rate : {2.0, 5.0, 10.0}) {
+    for (const bool hardened : {false, true}) {
+      const NodeRun run = run_node(hardened, rate);
+      std::printf("  %-12s %-10.0f %-12llu %-12llu %-14.1f %-12.3f\n",
+                  hardened ? "hardened" : "unprotected", rate,
+                  static_cast<unsigned long long>(run.report.tasks_completed),
+                  static_cast<unsigned long long>(run.report.tasks_missed),
+                  run.report.attest_busy_ms, run.report.energy_mj);
+    }
+  }
+  std::printf(
+      "\nThe unprotected node spends most of its time MAC-ing its own "
+      "memory for the\nattacker and misses sensing deadlines; the hardened "
+      "node rejects each replay\nafter a 0.432 ms MAC check and keeps "
+      "sampling.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fleet monitor: an operator attesting a fleet of IoT nodes on a
+// staggered schedule over lossy, adversarial links (future-work item 1).
+//
+//   build/examples/fleet_monitor
+#include <cstdio>
+
+#include "ratt/sim/fleet_health.hpp"
+
+int main() {
+  using namespace ratt;  // NOLINT
+
+  sim::SwarmConfig config;
+  config.device_count = 8;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 16 * 1024;
+  config.attest_period_ms = 500.0;
+  config.stagger_ms = 61.0;
+  sim::Swarm swarm(config, crypto::from_string("fleet-monitor-seed"));
+
+  // An adversary taps device 3's link (drops half its requests) and
+  // replays device 5's recorded traffic.
+  sim::RecordingTap lossy_tap;
+  int seen = 0;
+  lossy_tap.set_to_prover_script([&seen](const sim::TappedMessage&) {
+    return sim::ChannelTap::Disposition{(seen++ % 2) == 0, 0.0};
+  });
+  swarm.channel(3).set_tap(&lossy_tap);
+
+  sim::RecordingTap replay_tap;
+  swarm.channel(5).set_tap(&replay_tap);
+  swarm.session(5).send_request();
+  swarm.queue().run_all();
+  if (!replay_tap.recorded_to_prover().empty()) {
+    for (int k = 0; k < 10; ++k) {
+      swarm.channel(5).inject_to_prover(
+          replay_tap.recorded_to_prover()[0].payload, 100.0 + 50.0 * k);
+    }
+  }
+
+  // Device 6 is compromised: resident malware modified measured memory.
+  attest::ProverDevice& victim = swarm.prover(6);
+  hw::SoftwareComponent resident(victim.mcu(), "malware",
+                                 victim.surface().malware_region);
+  std::uint8_t byte = 0;
+  (void)resident.read8(victim.surface().measured_memory.begin, byte);
+  (void)resident.write8(victim.surface().measured_memory.begin,
+                        static_cast<std::uint8_t>(byte ^ 0xff));
+
+  const sim::SwarmReport report = swarm.run(3000.0);
+  const auto verdicts = sim::assess_fleet(report);
+
+  std::printf("=== fleet attestation report (3 s horizon) ===\n\n");
+  std::printf("  %-8s %-8s %-8s %-9s %-9s %-12s %-12s\n", "device", "sent",
+              "valid", "invalid", "rejects", "attest-ms", "health");
+  for (const auto& d : report.devices) {
+    std::printf("  %-8zu %-8llu %-8llu %-9llu %-9llu %-12.1f %-12s %s\n",
+                d.device,
+                static_cast<unsigned long long>(d.stats.requests_sent),
+                static_cast<unsigned long long>(d.stats.responses_valid),
+                static_cast<unsigned long long>(d.stats.responses_invalid),
+                static_cast<unsigned long long>(d.stats.prover_rejects),
+                d.attest_device_ms,
+                sim::to_string(verdicts[d.device].health).c_str(),
+                d.device == 3   ? "<- lossy link (adversary drops)"
+                : d.device == 5 ? "<- replay flood (all rejected)"
+                : d.device == 6 ? "<- resident malware in measured memory"
+                                : "");
+  }
+  const auto quarantine = sim::quarantine_list(verdicts);
+  std::printf("\n  quarantine list:");
+  for (const auto id : quarantine) std::printf(" device-%zu", id);
+  std::printf("%s\n", quarantine.empty() ? " (empty)" : "");
+  std::printf(
+      "\nDevice 3's missing responses surface as sent > valid (operator "
+      "can alarm on it);\ndevice 5 rejects every replay after one cheap "
+      "MAC check; the rest of the fleet\nis untouched because every "
+      "device holds its own K_Attest.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// SW-clock demo (Fig. 1b): a low-end MCU without a wide hardware counter
+// builds a real-time clock from a short wrap-around counter plus a
+// trusted interrupt handler — and what an attacker can do to it when the
+// IDT and interrupt mask are not locked down.
+//
+//   build/examples/sw_clock_demo
+#include <cstdio>
+
+#include "ratt/attest/prover.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+using attest::ClockDesign;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+
+void show_clock(ProverDevice& prover, const char* moment) {
+  const auto ticks = prover.prover_clock_ticks();
+  const double clock_ms = ticks.has_value()
+                              ? static_cast<double>(*ticks) /
+                                    prover.ticks_per_ms()
+                              : -1.0;
+  std::printf("  %-34s prover clock: %10.3f ms   ground truth: %10.3f ms\n",
+              moment, clock_ms,
+              static_cast<double>(prover.ground_truth_ticks()) /
+                  prover.ticks_per_ms());
+}
+
+void run(bool protect_clock) {
+  std::printf("--- SW-clock with protect_clock=%s ---\n",
+              protect_clock ? "true (IDT + mask + MSB locked)" : "false");
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = ClockDesign::kSwClock;
+  config.protect_clock = protect_clock;
+  config.timestamp_window_ticks = 24'000'000;  // 1 s
+  config.timestamp_skew_ticks = 70'000;
+  config.measured_bytes = 1024;
+  ProverDevice prover(config, crypto::from_hex("505152535455565758595a5b5c5d5e5f"),
+                      crypto::from_string("sw-clock-app"));
+
+  // The 16-bit Clock_LSB at 24 MHz wraps every 65536 cycles = 2.731 ms;
+  // each wrap interrupts into Code_Clock, which increments Clock_MSB.
+  prover.idle_ms(100.0);
+  show_clock(prover, "after 100 ms of operation:");
+  std::printf("  interrupts delivered: %llu, lost: %llu\n",
+              static_cast<unsigned long long>(
+                  prover.mcu().irq().stats().delivered),
+              static_cast<unsigned long long>(
+                  prover.mcu().irq().stats().lost_bad_entry));
+
+  // Malware tries to stop the clock by clobbering the IDT entry.
+  hw::SoftwareComponent malware(prover.mcu(), "malware",
+                                prover.surface().malware_region);
+  const hw::BusStatus idt_write =
+      malware.write32(prover.surface().idt_base, 0xDEAD);
+  std::printf("  malware overwrites IDT[0] -> %s\n",
+              hw::to_string(idt_write).c_str());
+
+  prover.idle_ms(100.0);
+  show_clock(prover, "100 ms after the IDT attack:");
+  std::printf("  interrupts delivered: %llu, lost: %llu\n\n",
+              static_cast<unsigned long long>(
+                  prover.mcu().irq().stats().delivered),
+              static_cast<unsigned long long>(
+                  prover.mcu().irq().stats().lost_bad_entry));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1b: the software-maintained real-time clock ===\n\n");
+  run(/*protect_clock=*/false);
+  run(/*protect_clock=*/true);
+  std::printf(
+      "Unprotected: the IDT write lands, Code_Clock stops being invoked "
+      "and the\nclock freezes (2.7 ms of LSB residue) — recorded requests "
+      "stay 'fresh'\nforever. Protected: the EA-MPU IDT-lockdown rule "
+      "faults the write and the\nclock keeps tracking ground truth.\n");
+  return 0;
+}

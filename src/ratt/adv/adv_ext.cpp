@@ -1,0 +1,180 @@
+#include "ratt/adv/adv_ext.hpp"
+
+namespace ratt::adv {
+
+namespace {
+
+using attest::AttestOutcome;
+using attest::AttestRequest;
+using attest::AttestStatus;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+using crypto::Bytes;
+
+Bytes shared_key() {
+  return crypto::from_hex("0f0e0d0c0b0a09080706050403020100");
+}
+
+struct Scenario {
+  std::unique_ptr<ProverDevice> prover;
+  std::unique_ptr<Verifier> verifier;
+};
+
+Scenario build(const ExtScenarioConfig& config) {
+  ProverConfig pc;
+  pc.scheme = config.scheme;
+  pc.mac_alg = config.mac_alg;
+  pc.authenticate_requests = config.authenticate_requests;
+  pc.measured_bytes = config.measured_bytes;
+  if (config.scheme == FreshnessScheme::kTimestamp) {
+    pc.clock = config.clock;
+  }
+  Scenario s;
+  s.prover = std::make_unique<ProverDevice>(
+      pc, shared_key(), crypto::from_string("ext-scenario-app"));
+  if (config.scheme == FreshnessScheme::kTimestamp) {
+    pc.timestamp_window_ticks = 0;  // recomputed below via ticks_per_ms
+  }
+  // Rebuild with the window converted to ticks of the chosen clock.
+  if (config.scheme == FreshnessScheme::kTimestamp) {
+    pc.timestamp_window_ticks = static_cast<std::uint64_t>(
+        config.window_ms * s.prover->ticks_per_ms());
+    s.prover = std::make_unique<ProverDevice>(
+        pc, shared_key(), crypto::from_string("ext-scenario-app"));
+  }
+
+  Verifier::Config vc;
+  vc.mac_alg = config.mac_alg;
+  vc.scheme = config.scheme;
+  vc.authenticate_requests = config.authenticate_requests;
+  ProverDevice* prover_ptr = s.prover.get();
+  vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
+  s.verifier = std::make_unique<Verifier>(
+      shared_key(), vc, crypto::from_string("ext-scenario-vrf"));
+  s.verifier->set_reference_memory(s.prover->reference_memory());
+  return s;
+}
+
+ExtAttackResult finish(ExtAttack attack, const ExtScenarioConfig& config,
+                       const AttestOutcome& adversary_outcome) {
+  ExtAttackResult result;
+  result.attack = attack;
+  result.scheme = config.scheme;
+  result.gratuitous_attestation =
+      adversary_outcome.status == AttestStatus::kOk;
+  result.detected = !result.gratuitous_attestation;
+  result.final_status = adversary_outcome.status;
+  result.freshness_verdict = adversary_outcome.freshness;
+  result.stolen_device_ms = adversary_outcome.device_ms;
+  return result;
+}
+
+ExtAttackResult impersonate(const ExtScenarioConfig& config) {
+  Scenario s = build(config);
+  // Adv_ext forges a request without K_Attest: header is well-formed,
+  // MAC is garbage (it has no key material).
+  AttestRequest forged;
+  forged.scheme = config.scheme;
+  forged.mac_alg = config.mac_alg;
+  forged.freshness = (config.scheme == FreshnessScheme::kTimestamp)
+                         ? s.prover->ground_truth_ticks()
+                         : 1;
+  forged.challenge = 0xdeadbeef;
+  if (config.authenticate_requests) {
+    const auto mac = crypto::make_mac(config.mac_alg,
+                                      crypto::from_string("wrong-key-16byte"));
+    forged.mac = mac->compute(forged.header_bytes());
+  }
+  return finish(ExtAttack::kImpersonate, config, s.prover->handle(forged));
+}
+
+ExtAttackResult replay(const ExtScenarioConfig& config) {
+  Scenario s = build(config);
+  // Genuine round: request delivered and attested normally.
+  s.prover->idle_ms(1.0);
+  const AttestRequest genuine = s.verifier->make_request();
+  const AttestOutcome first = s.prover->handle(genuine);
+  if (first.status != AttestStatus::kOk) {
+    // Scenario setup failure; report as detected (no gratuitous work).
+    return finish(ExtAttack::kReplay, config, first);
+  }
+  // Some time later, Adv_ext re-delivers the identical wire bytes.
+  s.prover->idle_ms(5.0);
+  const auto replayed = AttestRequest::from_bytes(genuine.to_bytes());
+  return finish(ExtAttack::kReplay, config, s.prover->handle(*replayed));
+}
+
+ExtAttackResult reorder(const ExtScenarioConfig& config) {
+  Scenario s = build(config);
+  // Adv_ext intercepts two genuine requests r1, r2 (prover sees neither),
+  // then delivers r2 first and r1 second. The *second* delivery is the
+  // gratuitous one if accepted.
+  s.prover->idle_ms(1.0);
+  const AttestRequest r1 = s.verifier->make_request();
+  s.prover->idle_ms(5.0);
+  const AttestRequest r2 = s.verifier->make_request();
+  const AttestOutcome out2 = s.prover->handle(r2);
+  if (out2.status != AttestStatus::kOk) {
+    return finish(ExtAttack::kReorder, config, out2);
+  }
+  return finish(ExtAttack::kReorder, config, s.prover->handle(r1));
+}
+
+ExtAttackResult delay(const ExtScenarioConfig& config) {
+  Scenario s = build(config);
+  // Adv_ext holds a genuine request for delay_ms, then delivers it.
+  s.prover->idle_ms(1.0);
+  const AttestRequest held = s.verifier->make_request();
+  s.prover->idle_ms(config.delay_ms);
+  return finish(ExtAttack::kDelay, config, s.prover->handle(held));
+}
+
+}  // namespace
+
+std::string to_string(ExtAttack attack) {
+  switch (attack) {
+    case ExtAttack::kImpersonate:
+      return "impersonate";
+    case ExtAttack::kReplay:
+      return "replay";
+    case ExtAttack::kReorder:
+      return "reorder";
+    case ExtAttack::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+ExtAttackResult run_ext_attack(ExtAttack attack,
+                               const ExtScenarioConfig& config) {
+  switch (attack) {
+    case ExtAttack::kImpersonate:
+      return impersonate(config);
+    case ExtAttack::kReplay:
+      return replay(config);
+    case ExtAttack::kReorder:
+      return reorder(config);
+    case ExtAttack::kDelay:
+      return delay(config);
+  }
+  throw std::invalid_argument("run_ext_attack: unknown attack");
+}
+
+std::vector<Table2Cell> run_table2_matrix(const ExtScenarioConfig& base) {
+  std::vector<Table2Cell> cells;
+  for (auto scheme : {FreshnessScheme::kNonce, FreshnessScheme::kCounter,
+                      FreshnessScheme::kTimestamp}) {
+    for (auto attack :
+         {ExtAttack::kReplay, ExtAttack::kReorder, ExtAttack::kDelay}) {
+      ExtScenarioConfig config = base;
+      config.scheme = scheme;
+      const ExtAttackResult r = run_ext_attack(attack, config);
+      cells.push_back(Table2Cell{scheme, attack, r.detected});
+    }
+  }
+  return cells;
+}
+
+}  // namespace ratt::adv

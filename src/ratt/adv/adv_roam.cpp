@@ -1,0 +1,400 @@
+#include "ratt/adv/adv_roam.hpp"
+
+namespace ratt::adv {
+
+namespace {
+
+using attest::AttestOutcome;
+using attest::AttestRequest;
+using attest::AttestStatus;
+using attest::ClockDesign;
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+using crypto::Bytes;
+
+Bytes shared_key() {
+  return crypto::from_hex("a0a1a2a3a4a5a6a7a8a9aaabacadaeaf");
+}
+
+struct Scenario {
+  std::unique_ptr<ProverDevice> prover;
+  std::unique_ptr<Verifier> verifier;
+  hw::SoftwareComponent malware;  // Phase II vantage point
+
+  explicit Scenario(std::unique_ptr<ProverDevice> p)
+      : prover(std::move(p)),
+        malware(prover->mcu(), "malware", prover->surface().malware_region) {}
+};
+
+Scenario build(const RoamScenarioConfig& config) {
+  ProverConfig pc;
+  pc.scheme = config.scheme;
+  pc.clock = config.clock;
+  pc.protect_key = config.protect_key;
+  pc.key_in_rom = config.key_in_rom;
+  pc.protect_counter = config.protect_counter;
+  pc.protect_clock = config.protect_clock;
+  pc.measured_bytes = config.measured_bytes;
+  if (config.scheme == FreshnessScheme::kTimestamp) {
+    // ticks_per_ms depends only on the design: divider 1 for all but
+    // kHw32Div (2^20).
+    const double ticks_per_ms =
+        (config.clock == ClockDesign::kHw32Div)
+            ? pc.clock_hz / 1000.0 / static_cast<double>(1u << 20)
+            : pc.clock_hz / 1000.0;
+    pc.timestamp_window_ticks =
+        static_cast<std::uint64_t>(config.window_ms * ticks_per_ms);
+    // Symmetric skew allowance: with the SW-clock the reading can lag by
+    // up to one LSB wrap; real deployments tolerate bounded clock skew.
+    pc.timestamp_skew_ticks = pc.timestamp_window_ticks;
+  }
+  Scenario s(std::make_unique<ProverDevice>(
+      pc, shared_key(), crypto::from_string("roam-scenario-app")));
+
+  Verifier::Config vc;
+  vc.scheme = config.scheme;
+  ProverDevice* prover_ptr = s.prover.get();
+  vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
+  s.verifier = std::make_unique<Verifier>(
+      shared_key(), vc, crypto::from_string("roam-scenario-vrf"));
+  s.verifier->set_reference_memory(s.prover->reference_memory());
+  return s;
+}
+
+/// Post-attack checks shared by all scenarios.
+void assess_aftermath(Scenario& s, RoamAttackResult& result) {
+  // Stealth: the prover's clock agrees with ground truth (a reset clock
+  // "remains behind", Sec. 5) and the device looks nominal.
+  const auto clock = s.prover->prover_clock_ticks();
+  result.stealthy =
+      result.dos_succeeded &&
+      (!clock.has_value() || *clock == s.prover->ground_truth_ticks());
+
+  // Standard attestation after the attack: a fresh genuine round.
+  s.prover->idle_ms(1.0);
+  const AttestRequest probe = s.verifier->make_request();
+  const AttestOutcome out = s.prover->handle(probe);
+  result.survives_standard_attestation =
+      out.status == AttestStatus::kOk &&
+      s.verifier->check_response(probe, out.response);
+}
+
+RoamAttackResult counter_rollback(const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  RoamAttackResult result;
+  result.attack = RoamAttack::kCounterRollback;
+
+  // Phase I: a genuine request attreq(i) is delivered and recorded.
+  s.prover->idle_ms(1.0);
+  const AttestRequest recorded = s.verifier->make_request();
+  if (s.prover->handle(recorded).status != AttestStatus::kOk) return result;
+
+  // Phase II: malware rolls the stored counter back to i-1 and leaves.
+  const hw::Addr counter_addr = s.prover->surface().counter_addr;
+  result.manipulation_succeeded =
+      s.malware.write64(counter_addr, recorded.freshness - 1) ==
+      hw::BusStatus::kOk;
+
+  // Phase III: after an arbitrary wait, replay attreq(i).
+  s.prover->idle_ms(config.wait_ms);
+  const AttestOutcome replayed = s.prover->handle(recorded);
+  result.dos_succeeded = replayed.status == AttestStatus::kOk;
+  result.final_status = replayed.status;
+  result.freshness_verdict = replayed.freshness;
+
+  assess_aftermath(s, result);
+  return result;
+}
+
+RoamAttackResult clock_reset(const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  RoamAttackResult result;
+  result.attack = RoamAttack::kClockReset;
+
+  // Phase I: genuine attreq(t_i) delivered and recorded. Run the device
+  // long enough that t_i - delta is a representable (non-negative) clock
+  // value.
+  s.prover->idle_ms(config.wait_ms + 100.0);
+  const AttestRequest recorded = s.verifier->make_request();
+  if (s.prover->handle(recorded).status != AttestStatus::kOk) return result;
+  const std::uint64_t t_i = recorded.freshness;
+
+  // Phase II: reset the prover's clock to t_i - delta and roll back the
+  // policy's last-seen word (local state, same protection domain as the
+  // counter). delta = wait time before the Phase III replay.
+  const std::uint64_t delta_ticks = static_cast<std::uint64_t>(
+      config.wait_ms * s.prover->ticks_per_ms());
+  const hw::Addr clock_port = s.prover->surface().clock_port_addr;
+  const bool clock_reset_ok =
+      s.prover->mcu().bus().write64(
+          s.malware.ctx(), clock_port,
+          t_i > delta_ticks ? t_i - delta_ticks : 0) == hw::BusStatus::kOk;
+  const bool state_rollback_ok =
+      s.malware.write64(s.prover->surface().last_seen_addr, 0) ==
+      hw::BusStatus::kOk;
+  result.manipulation_succeeded = clock_reset_ok && state_rollback_ok;
+
+  // Phase III: wait delta, then replay attreq(t_i). If the clock was
+  // reset, the prover now reads ~t_i and accepts the stale request.
+  s.prover->idle_ms(config.wait_ms);
+  const AttestOutcome replayed = s.prover->handle(recorded);
+  result.dos_succeeded = replayed.status == AttestStatus::kOk;
+  result.final_status = replayed.status;
+  result.freshness_verdict = replayed.freshness;
+
+  assess_aftermath(s, result);
+  return result;
+}
+
+// Shared body for the two SW-clock sabotage attacks: stop Clock_MSB
+// updates, so a recorded-but-undelivered request stays "fresh" forever.
+RoamAttackResult sw_clock_stop(RoamAttack attack,
+                               const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  RoamAttackResult result;
+  result.attack = attack;
+
+  // Baseline genuine round (establishes protocol state).
+  s.prover->idle_ms(10.0);
+  const AttestRequest baseline = s.verifier->make_request();
+  if (s.prover->handle(baseline).status != AttestStatus::kOk) return result;
+
+  // Phase I: intercept (drop) the next genuine request — the prover never
+  // sees attreq(t_1).
+  s.prover->idle_ms(5.0);
+  const AttestRequest recorded = s.verifier->make_request();
+
+  // Phase II: stop the SW-clock.
+  if (attack == RoamAttack::kIdtClobber) {
+    result.manipulation_succeeded =
+        s.malware.write32(s.prover->surface().idt_base, 0xDEAD) ==
+        hw::BusStatus::kOk;
+  } else {
+    result.manipulation_succeeded =
+        s.malware.write32(s.prover->surface().irq_mask_addr, 0xffffffff) ==
+        hw::BusStatus::kOk;
+  }
+
+  // Phase III: wait far beyond the window, then deliver the recorded
+  // request. With the clock stopped it still looks fresh.
+  s.prover->idle_ms(config.wait_ms);
+  const AttestOutcome delivered = s.prover->handle(recorded);
+  result.dos_succeeded = delivered.status == AttestStatus::kOk;
+  result.final_status = delivered.status;
+  result.freshness_verdict = delivered.freshness;
+
+  assess_aftermath(s, result);
+  return result;
+}
+
+RoamAttackResult key_extraction(const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  RoamAttackResult result;
+  result.attack = RoamAttack::kKeyExtraction;
+
+  // Phase II: read K_Attest.
+  Bytes stolen(s.prover->surface().key_size);
+  result.key_extracted =
+      s.malware.read_block(s.prover->surface().key_addr, stolen) ==
+          hw::BusStatus::kOk &&
+      stolen == shared_key();
+  result.manipulation_succeeded = result.key_extracted;
+
+  // Phase III: with the key, Adv_roam forges a *valid, fresh* request —
+  // no freshness scheme helps, because the request is genuinely new.
+  s.prover->idle_ms(config.wait_ms);
+  AttestRequest forged;
+  forged.scheme = config.scheme;
+  forged.mac_alg = s.prover->config().mac_alg;
+  forged.challenge = 0x4141414141414141ull;
+  switch (config.scheme) {
+    case FreshnessScheme::kCounter:
+      forged.freshness = 1'000'000;  // far ahead: strictly increasing
+      break;
+    case FreshnessScheme::kTimestamp:
+      forged.freshness = s.prover->ground_truth_ticks();
+      break;
+    default:
+      forged.freshness = 0xabcdef;
+      break;
+  }
+  if (result.key_extracted) {
+    const auto mac = crypto::make_mac(forged.mac_alg, stolen);
+    forged.mac = mac->compute(forged.header_bytes());
+  } else {
+    forged.mac = Bytes(20, 0);  // no key: forgery is garbage
+  }
+  const AttestOutcome out = s.prover->handle(forged);
+  result.dos_succeeded = out.status == AttestStatus::kOk;
+  result.final_status = out.status;
+  result.freshness_verdict = out.freshness;
+
+  assess_aftermath(s, result);
+  return result;
+}
+
+RoamAttackResult key_overwrite(const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  RoamAttackResult result;
+  result.attack = RoamAttack::kKeyOverwrite;
+
+  // Phase II: overwrite K_Attest with an adversary-chosen key. Blocked by
+  // ROM placement (hardware) or by the EA-MPU rule (RAM placement).
+  const Bytes evil_key = crypto::from_string("evil-key-16byte!");
+  result.manipulation_succeeded =
+      s.malware.write_block(s.prover->surface().key_addr, evil_key) ==
+      hw::BusStatus::kOk;
+
+  // Phase III: requests MAC'd under the adversary key.
+  s.prover->idle_ms(config.wait_ms);
+  AttestRequest forged;
+  forged.scheme = config.scheme;
+  forged.mac_alg = s.prover->config().mac_alg;
+  forged.freshness = 999;
+  forged.challenge = 0x42;
+  const auto mac = crypto::make_mac(forged.mac_alg, evil_key);
+  forged.mac = mac->compute(forged.header_bytes());
+  const AttestOutcome out = s.prover->handle(forged);
+  result.dos_succeeded = out.status == AttestStatus::kOk;
+  result.final_status = out.status;
+  result.freshness_verdict = out.freshness;
+
+  // Note: a successful overwrite also breaks *genuine* attestation (the
+  // verifier's key no longer matches) — assess_aftermath will show it.
+  assess_aftermath(s, result);
+  return result;
+}
+
+}  // namespace
+
+std::string to_string(RoamAttack attack) {
+  switch (attack) {
+    case RoamAttack::kCounterRollback:
+      return "counter-rollback";
+    case RoamAttack::kClockReset:
+      return "clock-reset";
+    case RoamAttack::kIdtClobber:
+      return "idt-clobber";
+    case RoamAttack::kIrqMaskDisable:
+      return "irq-mask-disable";
+    case RoamAttack::kKeyExtraction:
+      return "key-extraction";
+    case RoamAttack::kKeyOverwrite:
+      return "key-overwrite";
+    case RoamAttack::kNonceWipe:
+      return "nonce-wipe";
+  }
+  return "unknown";
+}
+
+RoamAttackResult nonce_wipe(const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  RoamAttackResult result;
+  result.attack = RoamAttack::kNonceWipe;
+
+  // Phase I: a genuine nonce request is delivered and recorded.
+  s.prover->idle_ms(1.0);
+  const AttestRequest recorded = s.verifier->make_request();
+  if (s.prover->handle(recorded).status != AttestStatus::kOk) return result;
+
+  // Phase II: zero the history count word — the prover forgets every
+  // nonce it has seen.
+  result.manipulation_succeeded =
+      s.malware.write64(s.prover->surface().nonce_store_addr, 0) ==
+      hw::BusStatus::kOk;
+
+  // Phase III: replay the recorded request.
+  s.prover->idle_ms(config.wait_ms);
+  const AttestOutcome replayed = s.prover->handle(recorded);
+  result.dos_succeeded = replayed.status == AttestStatus::kOk;
+  result.final_status = replayed.status;
+  result.freshness_verdict = replayed.freshness;
+
+  assess_aftermath(s, result);
+  return result;
+}
+
+TransientInfectionResult run_transient_infection(
+    const RoamScenarioConfig& config) {
+  Scenario s = build(config);
+  TransientInfectionResult result;
+
+  const auto genuine_round_valid = [&s] {
+    s.prover->idle_ms(1.0);
+    const AttestRequest req = s.verifier->make_request();
+    const AttestOutcome out = s.prover->handle(req);
+    return out.status == AttestStatus::kOk &&
+           s.verifier->check_response(req, out.response);
+  };
+
+  // Infect: flip bytes inside the measured region (the EA-MPU does not
+  // cover application memory — attestation, not access control, is the
+  // detector there).
+  const hw::Addr target = s.prover->surface().measured_memory.begin + 16;
+  std::uint32_t original = 0;
+  if (s.malware.read32(target, original) != hw::BusStatus::kOk) {
+    return result;
+  }
+  result.infection_write_ok =
+      s.malware.write32(target, original ^ 0xdeadbeef) == hw::BusStatus::kOk;
+
+  // While infected, genuine attestation flags the device.
+  result.detected_while_infected = !genuine_round_valid();
+
+  // Erase: restore the original bytes — "covers its tracks".
+  result.restored_ok =
+      s.malware.write32(target, original) == hw::BusStatus::kOk;
+
+  // After erasure, the device attests cleanly; the compromise is gone
+  // without a trace.
+  result.undetected_after_erase = genuine_round_valid();
+  return result;
+}
+
+RoamAttackResult run_roam_attack(RoamAttack attack,
+                                 const RoamScenarioConfig& config) {
+  RoamAttackResult result;
+  switch (attack) {
+    case RoamAttack::kCounterRollback:
+      result = counter_rollback(config);
+      break;
+    case RoamAttack::kClockReset:
+      result = clock_reset(config);
+      break;
+    case RoamAttack::kIdtClobber:
+    case RoamAttack::kIrqMaskDisable:
+      result = sw_clock_stop(attack, config);
+      break;
+    case RoamAttack::kKeyExtraction:
+      result = key_extraction(config);
+      break;
+    case RoamAttack::kKeyOverwrite:
+      result = key_overwrite(config);
+      break;
+    case RoamAttack::kNonceWipe:
+      result = nonce_wipe(config);
+      break;
+  }
+  result.protections_enabled = config.protect_key &&
+                               config.protect_counter &&
+                               config.protect_clock;
+  return result;
+}
+
+RoamComparison compare_roam_attack(RoamAttack attack,
+                                   RoamScenarioConfig config) {
+  RoamComparison cmp;
+  config.protect_key = false;
+  config.protect_counter = false;
+  config.protect_clock = false;
+  cmp.unprotected = run_roam_attack(attack, config);
+  config.protect_key = true;
+  config.protect_counter = true;
+  config.protect_clock = true;
+  cmp.protected_ = run_roam_attack(attack, config);
+  return cmp;
+}
+
+}  // namespace ratt::adv

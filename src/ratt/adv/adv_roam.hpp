@@ -1,0 +1,98 @@
+// The roaming adversary Adv_roam (Sec. 3.2, Sec. 5): everything Adv_ext
+// can do, plus a transient compromise of the prover. It operates in three
+// phases:
+//   Phase I   — eavesdrop / record genuine attestation requests,
+//   Phase II  — run as malware on the prover, manipulate local state
+//               (counter rollback, clock reset, key extraction, IDT /
+//               interrupt-mask sabotage), then erase itself,
+//   Phase III — from outside again, replay the recorded requests.
+//
+// Every Phase II manipulation goes through the simulated bus with the
+// malware's program counter, so EA-MPU rules from the protected
+// configurations block exactly the writes the paper says they block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::adv {
+
+enum class RoamAttack : std::uint8_t {
+  kCounterRollback,   // Sec. 5: counter i -> i-1, replay attreq(i)
+  kClockReset,        // Sec. 5: clock -> t_i - delta, replay attreq(t_i)
+  kIdtClobber,        // Sec. 6.2: overwrite IDT, SW-clock stops
+  kIrqMaskDisable,    // Sec. 6.2: mask the timer interrupt, clock stops
+  kKeyExtraction,     // read K_Attest, then forge authentic requests
+  kKeyOverwrite,      // replace K_Attest with an adversary-chosen key
+  kNonceWipe,         // zero the nonce-history count, replay old requests
+};
+
+std::string to_string(RoamAttack attack);
+
+struct RoamScenarioConfig {
+  attest::FreshnessScheme scheme = attest::FreshnessScheme::kCounter;
+  attest::ClockDesign clock = attest::ClockDesign::kNone;
+  /// Protection toggles: the experiment's independent variable.
+  bool protect_key = true;
+  bool key_in_rom = true;
+  bool protect_counter = true;
+  bool protect_clock = true;
+  double window_ms = 50.0;
+  /// Phase III wait between compromise and replay.
+  double wait_ms = 500.0;
+  std::size_t measured_bytes = 1024;
+};
+
+struct RoamAttackResult {
+  RoamAttack attack{};
+  bool protections_enabled = false;
+  /// Phase II: did the state manipulation succeed (bus writes allowed)?
+  bool manipulation_succeeded = false;
+  /// Phase II: was K_Attest readable by malware?
+  bool key_extracted = false;
+  /// Phase III: was the replayed / forged request accepted — i.e. did the
+  /// adversary extract a full gratuitous attestation?
+  bool dos_succeeded = false;
+  attest::AttestStatus final_status = attest::AttestStatus::kOk;
+  attest::FreshnessVerdict freshness_verdict =
+      attest::FreshnessVerdict::kAccept;
+  /// Post-attack: no trace left? (Sec. 5 notes counter rollback is
+  /// undetectable, while a reset clock "remains behind".)
+  bool stealthy = false;
+  /// Post-attack: does a *subsequent* genuine attestation round still
+  /// validate at the verifier? (Adv_roam's self-erasure means yes — this
+  /// is why standard attestation cannot catch it.)
+  bool survives_standard_attestation = false;
+};
+
+/// Run one three-phase roaming attack from scratch.
+RoamAttackResult run_roam_attack(RoamAttack attack,
+                                 const RoamScenarioConfig& config);
+
+/// Sec. 3.2, phase II: "Adv_roam only changes dynamic data on Prv. This
+/// is not detectable by subsequent attestation." This study makes the
+/// claim concrete: infect the *measured* memory (attestation catches it),
+/// then restore it (attestation is blind again) — the window in between
+/// is where the counter/clock manipulations happen.
+struct TransientInfectionResult {
+  bool infection_write_ok = false;
+  bool detected_while_infected = false;  // genuine round fails validation
+  bool restored_ok = false;
+  bool undetected_after_erase = false;   // genuine round validates again
+};
+TransientInfectionResult run_transient_infection(
+    const RoamScenarioConfig& config);
+
+/// Run the attack with protections off and on; the paper's claim is
+/// dos_succeeded flips from true to false.
+struct RoamComparison {
+  RoamAttackResult unprotected;
+  RoamAttackResult protected_;
+};
+RoamComparison compare_roam_attack(RoamAttack attack,
+                                   RoamScenarioConfig config);
+
+}  // namespace ratt::adv

@@ -1,0 +1,131 @@
+#include "ratt/attest/audit_log.hpp"
+
+#include <map>
+
+namespace ratt::attest {
+
+Bytes AuditRecord::to_bytes() const {
+  Bytes out;
+  out.reserve(kWireSize);
+  std::uint8_t word[8];
+  crypto::store_le64(word, sequence);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, freshness);
+  crypto::append(out, ByteView(word, 8));
+  out.push_back(status);
+  out.push_back(verdict);
+  out.resize(kWireSize, 0);  // reserved padding
+  return out;
+}
+
+AuditRecord AuditRecord::from_bytes(ByteView wire) {
+  AuditRecord rec;
+  rec.sequence = crypto::load_le64(wire.data());
+  rec.freshness = crypto::load_le64(wire.data() + 8);
+  rec.status = wire[16];
+  rec.verdict = wire[17];
+  return rec;
+}
+
+AuditLog::AuditLog(hw::SoftwareComponent& component, const Config& config)
+    : component_(&component), config_(config) {}
+
+hw::Addr AuditLog::slot_addr(std::uint64_t index) const {
+  return config_.base + 8 + 32 +
+         static_cast<hw::Addr>((index % config_.capacity) *
+                               AuditRecord::kWireSize);
+}
+
+std::optional<std::uint64_t> AuditLog::count() {
+  std::uint64_t n = 0;
+  if (component_->read64(config_.base, n) != hw::BusStatus::kOk) {
+    return std::nullopt;
+  }
+  return n;
+}
+
+std::optional<crypto::Sha256::Digest> AuditLog::head() {
+  crypto::Sha256::Digest digest{};
+  if (component_->read_block(config_.base + 8, digest) !=
+      hw::BusStatus::kOk) {
+    return std::nullopt;
+  }
+  return digest;
+}
+
+bool AuditLog::append(const AttestOutcome& outcome,
+                      std::uint64_t freshness) {
+  const auto n = count();
+  const auto current_head = head();
+  if (!n.has_value() || !current_head.has_value()) return false;
+
+  AuditRecord rec;
+  rec.sequence = *n;
+  rec.freshness = freshness;
+  rec.status = static_cast<std::uint8_t>(outcome.status);
+  rec.verdict = static_cast<std::uint8_t>(outcome.freshness);
+  const Bytes wire = rec.to_bytes();
+
+  // head_{i} = SHA-256(head_{i-1} || record_i)
+  crypto::Sha256 h;
+  h.update(*current_head);
+  h.update(wire);
+  const auto new_head = h.finish();
+
+  if (component_->write_block(slot_addr(*n), wire) != hw::BusStatus::kOk) {
+    return false;
+  }
+  if (component_->write_block(config_.base + 8, new_head) !=
+      hw::BusStatus::kOk) {
+    return false;
+  }
+  return component_->write64(config_.base, *n + 1) == hw::BusStatus::kOk;
+}
+
+std::optional<std::vector<AuditRecord>> AuditLog::records() {
+  const auto n = count();
+  if (!n.has_value()) return std::nullopt;
+  const std::uint64_t stored = std::min<std::uint64_t>(*n, config_.capacity);
+  const std::uint64_t first = *n - stored;
+  std::vector<AuditRecord> out;
+  out.reserve(stored);
+  for (std::uint64_t i = first; i < *n; ++i) {
+    Bytes wire(AuditRecord::kWireSize);
+    if (component_->read_block(slot_addr(i), wire) != hw::BusStatus::kOk) {
+      return std::nullopt;
+    }
+    out.push_back(AuditRecord::from_bytes(wire));
+  }
+  return out;
+}
+
+bool verify_chain(const std::vector<AuditRecord>& full_history,
+                  const crypto::Sha256::Digest& head) {
+  crypto::Sha256::Digest running{};
+  std::uint64_t expected_sequence = 0;
+  for (const auto& rec : full_history) {
+    if (rec.sequence != expected_sequence++) return false;
+    crypto::Sha256 h;
+    h.update(running);
+    h.update(rec.to_bytes());
+    running = h.finish();
+  }
+  return running == head;
+}
+
+std::vector<std::uint64_t> duplicate_accepted_freshness(
+    const std::vector<AuditRecord>& records) {
+  std::map<std::uint64_t, int> accepted;
+  for (const auto& rec : records) {
+    if (rec.status == static_cast<std::uint8_t>(AttestStatus::kOk)) {
+      ++accepted[rec.freshness];
+    }
+  }
+  std::vector<std::uint64_t> duplicates;
+  for (const auto& [freshness, count] : accepted) {
+    if (count > 1) duplicates.push_back(freshness);
+  }
+  return duplicates;
+}
+
+}  // namespace ratt::attest

@@ -1,0 +1,92 @@
+// Tamper-evident attestation audit log — an extension aimed squarely at
+// the paper's Sec. 5 observation that the counter-rollback DoS is
+// "undetectable after the fact".
+//
+// Code_Attest appends a record for every attestation decision to a ring
+// buffer in EA-MPU-protected RAM, hash-chained so that truncation or
+// in-place editing is detectable:
+//
+//   head_0 = 0
+//   head_i = SHA-256(head_{i-1} || record_i)
+//
+// The roaming adversary can roll back counter_R only if that word is
+// unprotected — but the *log* lives behind its own EA-MPU rule, so even a
+// successful rollback+replay leaves two accepted records with the same
+// freshness value chained into the head. An auditor who fetches the log
+// (authenticated by a MAC over the head hash) detects the attack that the
+// protocol state alone can no longer show.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ratt/attest/trust_anchor.hpp"
+#include "ratt/crypto/sha256.hpp"
+
+namespace ratt::attest {
+
+/// One audit record (fixed 24-byte wire layout in device RAM).
+struct AuditRecord {
+  std::uint64_t sequence = 0;   // log position (monotone)
+  std::uint64_t freshness = 0;  // the request's freshness element
+  std::uint8_t status = 0;      // AttestStatus
+  std::uint8_t verdict = 0;     // FreshnessVerdict
+
+  static constexpr std::size_t kWireSize = 24;
+  Bytes to_bytes() const;
+  static AuditRecord from_bytes(ByteView wire);
+
+  friend bool operator==(const AuditRecord&, const AuditRecord&) = default;
+};
+
+/// Prover-side log in device memory. Layout at `base`:
+///   [count u64][head hash 32B][ring of kWireSize records].
+/// All accesses run with the owning component's context, so an EA-MPU
+/// rule over the window makes the log writable only by Code_Attest.
+class AuditLog {
+ public:
+  struct Config {
+    hw::Addr base = 0;
+    std::size_t capacity = 32;  // ring slots
+  };
+
+  AuditLog(hw::SoftwareComponent& component, const Config& config);
+
+  /// Bytes of device memory the log occupies (for EA-MPU sizing).
+  static hw::Addr window_size(std::size_t capacity) {
+    return static_cast<hw::Addr>(8 + 32 +
+                                 capacity * AuditRecord::kWireSize);
+  }
+
+  /// Append a record; assigns its sequence number. False on bus fault.
+  bool append(const AttestOutcome& outcome, std::uint64_t freshness);
+
+  /// Total records ever appended (ring may have evicted early ones).
+  std::optional<std::uint64_t> count();
+
+  /// Current chain head.
+  std::optional<crypto::Sha256::Digest> head();
+
+  /// The retained (up to `capacity`) records, oldest first.
+  std::optional<std::vector<AuditRecord>> records();
+
+ private:
+  hw::Addr slot_addr(std::uint64_t index) const;
+
+  hw::SoftwareComponent* component_;
+  Config config_;
+};
+
+/// Verifier-side audit: recompute the chain over the full record history
+/// and check it reaches the reported head. Returns false on any break.
+bool verify_chain(const std::vector<AuditRecord>& full_history,
+                  const crypto::Sha256::Digest& head);
+
+/// Forensics: freshness values that were *accepted* more than once — the
+/// smoking gun of a rollback/replay (Sec. 5's "undetectable" attack,
+/// made detectable).
+std::vector<std::uint64_t> duplicate_accepted_freshness(
+    const std::vector<AuditRecord>& records);
+
+}  // namespace ratt::attest

@@ -1,0 +1,164 @@
+#include "ratt/attest/clock_sync.hpp"
+
+#include "ratt/crypto/hkdf.hpp"
+
+namespace ratt::attest {
+
+namespace {
+
+constexpr std::uint8_t kSyncMagic = 0xA3;
+
+}  // namespace
+
+Bytes SyncRequest::header_bytes() const {
+  Bytes out;
+  out.reserve(17);
+  out.push_back(kSyncMagic);
+  std::uint8_t word[8];
+  crypto::store_le64(word, sequence);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, verifier_time);
+  crypto::append(out, ByteView(word, 8));
+  return out;
+}
+
+Bytes SyncRequest::to_bytes() const {
+  Bytes out = header_bytes();
+  out.push_back(static_cast<std::uint8_t>(mac.size()));
+  crypto::append(out, mac);
+  return out;
+}
+
+std::optional<SyncRequest> SyncRequest::from_bytes(ByteView wire) {
+  if (wire.size() < 18 || wire[0] != kSyncMagic) return std::nullopt;
+  SyncRequest req;
+  req.sequence = crypto::load_le64(wire.data() + 1);
+  req.verifier_time = crypto::load_le64(wire.data() + 9);
+  const std::size_t mac_len = wire[17];
+  if (wire.size() != 18 + mac_len) return std::nullopt;
+  req.mac.assign(wire.begin() + 18, wire.end());
+  return req;
+}
+
+std::string to_string(SyncStatus status) {
+  switch (status) {
+    case SyncStatus::kApplied:
+      return "applied";
+    case SyncStatus::kClamped:
+      return "clamped";
+    case SyncStatus::kRefusedBackward:
+      return "refused-backward";
+    case SyncStatus::kBadMac:
+      return "bad-mac";
+    case SyncStatus::kNotFresh:
+      return "not-fresh";
+    case SyncStatus::kStorageFault:
+      return "storage-fault";
+  }
+  return "unknown";
+}
+
+ClockSynchronizer::ClockSynchronizer(hw::SoftwareComponent& component,
+                                     hw::ClockSource& clock,
+                                     const Config& config, ByteView k_attest,
+                                     crypto::MacAlgorithm mac_alg)
+    : component_(&component),
+      clock_(&clock),
+      config_(config),
+      mac_(crypto::make_mac(
+          mac_alg, crypto::derive_purpose_key(k_attest, "clock-sync"))) {}
+
+std::optional<std::int64_t> ClockSynchronizer::read_offset() {
+  std::uint64_t raw = 0;
+  if (component_->read64(config_.state_addr + 8, raw) !=
+      hw::BusStatus::kOk) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+bool ClockSynchronizer::write_offset(std::int64_t offset) {
+  return component_->write64(config_.state_addr + 8,
+                             static_cast<std::uint64_t>(offset)) ==
+         hw::BusStatus::kOk;
+}
+
+std::optional<std::uint64_t> ClockSynchronizer::now() {
+  const auto raw = clock_->read_ticks(component_->ctx());
+  const auto offset = read_offset();
+  if (!raw.has_value() || !offset.has_value()) return std::nullopt;
+  const std::int64_t synced = static_cast<std::int64_t>(*raw) + *offset;
+  return synced < 0 ? 0 : static_cast<std::uint64_t>(synced);
+}
+
+SyncOutcome ClockSynchronizer::handle(const SyncRequest& request) {
+  SyncOutcome out;
+
+  // 1. Authenticate (Sec. 4.1 applied to the sync protocol).
+  if (!mac_->verify(request.header_bytes(), request.mac)) {
+    out.status = SyncStatus::kBadMac;
+    return out;
+  }
+
+  // 2. Freshness: strictly increasing sequence number in protected state.
+  std::uint64_t last_sequence = 0;
+  if (component_->read64(config_.state_addr, last_sequence) !=
+      hw::BusStatus::kOk) {
+    out.status = SyncStatus::kStorageFault;
+    return out;
+  }
+  if (request.sequence <= last_sequence) {
+    out.status = SyncStatus::kNotFresh;
+    return out;
+  }
+
+  // 3. Compute the requested step relative to *synchronized* time.
+  const auto local = now();
+  const auto offset = read_offset();
+  if (!local.has_value() || !offset.has_value()) {
+    out.status = SyncStatus::kStorageFault;
+    return out;
+  }
+  out.requested_step = static_cast<std::int64_t>(request.verifier_time) -
+                       static_cast<std::int64_t>(*local);
+
+  // 4. Policy: refuse large rewinds, clamp large steps.
+  std::int64_t step = out.requested_step;
+  if (step < -static_cast<std::int64_t>(config_.max_backward_ticks)) {
+    out.status = SyncStatus::kRefusedBackward;
+    // The sequence number still advances: a refused message must not be
+    // replayable later.
+    (void)component_->write64(config_.state_addr, request.sequence);
+    return out;
+  }
+  out.status = SyncStatus::kApplied;
+  const auto limit = static_cast<std::int64_t>(config_.max_step_ticks);
+  if (step > limit) {
+    step = limit;
+    out.status = SyncStatus::kClamped;
+  }
+
+  // 5. Commit sequence then offset (both in protected state).
+  if (component_->write64(config_.state_addr, request.sequence) !=
+          hw::BusStatus::kOk ||
+      !write_offset(*offset + step)) {
+    out.status = SyncStatus::kStorageFault;
+    return out;
+  }
+  out.applied_step = step;
+  return out;
+}
+
+SyncMaster::SyncMaster(ByteView k_attest, crypto::MacAlgorithm mac_alg)
+    : mac_(crypto::make_mac(
+          mac_alg, crypto::derive_purpose_key(k_attest, "clock-sync"))) {}
+
+SyncRequest SyncMaster::make_request(std::uint64_t verifier_time) {
+  SyncRequest req;
+  req.sequence = ++sequence_;
+  req.verifier_time = verifier_time;
+  req.mac = mac_->compute(req.header_bytes());
+  return req;
+}
+
+}  // namespace ratt::attest

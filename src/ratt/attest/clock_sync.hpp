@@ -1,0 +1,108 @@
+// Secure verifier->prover clock synchronization — the paper's future-work
+// item 2 ("develop mechanisms for secure and reliable synchronization of
+// verifier's and prover's clocks").
+//
+// The hazard: a sync mechanism is itself a clock-reset vector — exactly
+// the Sec. 5 roaming attack, but offered as a service. The design here
+// therefore applies the paper's own discipline to the synchronizer:
+//
+//   * sync messages are MAC'd under K_Attest and carry a monotonic
+//     sequence number, checked against a protected state word (replay /
+//     reorder of sync messages is rejected just like attestation
+//     requests);
+//   * the clock is never adjusted directly: the prover keeps a software
+//     *offset* word, applied on top of the read-only hardware counter.
+//     The offset word lives in EA-MPU-protected memory, writable only by
+//     Code_Attest;
+//   * each adjustment is slew-limited (|step| <= max_step) and backward
+//     steps beyond a small epsilon are refused — so even a verifier key
+//     compromise cannot instantly rewind the prover to replay-vulnerable
+//     territory; an attacker needs many rounds, each bounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ratt/attest/message.hpp"
+#include "ratt/hw/clock.hpp"
+#include "ratt/hw/mcu.hpp"
+
+namespace ratt::attest {
+
+/// Wire format of a clock-sync request.
+struct SyncRequest {
+  std::uint64_t sequence = 0;       // strictly increasing per verifier
+  std::uint64_t verifier_time = 0;  // verifier clock, in prover ticks
+  Bytes mac;                        // over header_bytes() under K_Attest
+
+  Bytes header_bytes() const;
+  Bytes to_bytes() const;
+  static std::optional<SyncRequest> from_bytes(ByteView wire);
+
+  friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
+};
+
+enum class SyncStatus : std::uint8_t {
+  kApplied,          // offset adjusted by the full requested step
+  kClamped,          // step exceeded the slew limit; partial adjustment
+  kRefusedBackward,  // backward step beyond epsilon refused
+  kBadMac,
+  kNotFresh,         // sequence number not strictly increasing
+  kStorageFault,
+};
+
+std::string to_string(SyncStatus status);
+
+struct SyncOutcome {
+  SyncStatus status = SyncStatus::kApplied;
+  std::int64_t requested_step = 0;  // verifier_time - local synced time
+  std::int64_t applied_step = 0;
+};
+
+/// Prover-side synchronizer. Belongs to the Code_Attest trust domain: its
+/// two state words (sequence, offset) should be covered by the same
+/// EA-MPU rule class as counter_R.
+class ClockSynchronizer {
+ public:
+  struct Config {
+    hw::Addr state_addr = 0;    // 16 bytes: [sequence u64][offset i64]
+    std::uint64_t max_step_ticks = 0;      // slew limit per sync message
+    std::uint64_t max_backward_ticks = 0;  // epsilon for backward steps
+  };
+
+  /// `component` supplies the trusted bus context (Code_Attest);
+  /// `clock` is the device's raw (hardware) clock source.
+  ClockSynchronizer(hw::SoftwareComponent& component, hw::ClockSource& clock,
+                    const Config& config, ByteView k_attest,
+                    crypto::MacAlgorithm mac_alg);
+
+  /// Synchronized time: raw clock + protected offset. nullopt on fault.
+  std::optional<std::uint64_t> now();
+
+  /// Process one sync message.
+  SyncOutcome handle(const SyncRequest& request);
+
+ private:
+  std::optional<std::int64_t> read_offset();
+  bool write_offset(std::int64_t offset);
+
+  hw::SoftwareComponent* component_;
+  hw::ClockSource* clock_;
+  Config config_;
+  std::unique_ptr<crypto::Mac> mac_;
+};
+
+/// Verifier-side helper: builds authenticated sync requests from its own
+/// clock.
+class SyncMaster {
+ public:
+  SyncMaster(ByteView k_attest, crypto::MacAlgorithm mac_alg);
+
+  SyncRequest make_request(std::uint64_t verifier_time);
+
+ private:
+  std::unique_ptr<crypto::Mac> mac_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace ratt::attest

@@ -1,0 +1,184 @@
+#include "ratt/attest/freshness.hpp"
+
+namespace ratt::attest {
+
+std::string to_string(FreshnessVerdict verdict) {
+  switch (verdict) {
+    case FreshnessVerdict::kAccept:
+      return "accept";
+    case FreshnessVerdict::kReplay:
+      return "replay";
+    case FreshnessVerdict::kNotMonotonic:
+      return "not-monotonic";
+    case FreshnessVerdict::kTooOld:
+      return "too-old";
+    case FreshnessVerdict::kStorageFault:
+      return "storage-fault";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class NoFreshness final : public FreshnessPolicy {
+ public:
+  FreshnessScheme scheme() const override { return FreshnessScheme::kNone; }
+  FreshnessVerdict check_and_update(const hw::AccessContext&,
+                                    std::uint64_t) override {
+    return FreshnessVerdict::kAccept;
+  }
+};
+
+// RAM layout: [count: u64][slot 0: u64][slot 1: u64]...[slot cap-1].
+// `count` only ever grows; the slot index wraps (ring buffer), so after
+// `capacity` distinct nonces the oldest entries are forgotten — and their
+// replays accepted. That memory/security trade-off is the paper's reason
+// for ruling nonce histories out (Sec. 4.2).
+class NonceHistory final : public FreshnessPolicy {
+ public:
+  NonceHistory(hw::Mcu& mcu, hw::Addr base, std::size_t capacity)
+      : mcu_(&mcu), base_(base), capacity_(capacity) {}
+
+  FreshnessScheme scheme() const override { return FreshnessScheme::kNonce; }
+
+  FreshnessVerdict check_and_update(const hw::AccessContext& ctx,
+                                    std::uint64_t value) override {
+    auto& bus = mcu_->bus();
+    std::uint64_t count = 0;
+    if (bus.read64(ctx, base_, count) != hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    const std::uint64_t stored =
+        std::min<std::uint64_t>(count, capacity_);
+    for (std::uint64_t i = 0; i < stored; ++i) {
+      std::uint64_t nonce = 0;
+      if (bus.read64(ctx, slot_addr(i), nonce) != hw::BusStatus::kOk) {
+        return FreshnessVerdict::kStorageFault;
+      }
+      if (nonce == value) return FreshnessVerdict::kReplay;
+    }
+    // Remember the nonce (evicting the oldest once full).
+    if (bus.write64(ctx, slot_addr(count % capacity_), value) !=
+        hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    if (bus.write64(ctx, base_, count + 1) != hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    return FreshnessVerdict::kAccept;
+  }
+
+ private:
+  hw::Addr slot_addr(std::uint64_t index) const {
+    return base_ + 8 + static_cast<hw::Addr>(8 * index);
+  }
+
+  hw::Mcu* mcu_;
+  hw::Addr base_;
+  std::size_t capacity_;
+};
+
+class CounterPolicy final : public FreshnessPolicy {
+ public:
+  CounterPolicy(hw::Mcu& mcu, hw::Addr counter_addr)
+      : mcu_(&mcu), counter_addr_(counter_addr) {}
+
+  FreshnessScheme scheme() const override {
+    return FreshnessScheme::kCounter;
+  }
+
+  FreshnessVerdict check_and_update(const hw::AccessContext& ctx,
+                                    std::uint64_t value) override {
+    auto& bus = mcu_->bus();
+    std::uint64_t stored = 0;
+    if (bus.read64(ctx, counter_addr_, stored) != hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    // Sec. 4.2: accept only strictly greater counters; duplicates are
+    // replays, smaller values are reordered/stale requests.
+    if (value == stored) return FreshnessVerdict::kReplay;
+    if (value < stored) return FreshnessVerdict::kNotMonotonic;
+    if (bus.write64(ctx, counter_addr_, value) != hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    return FreshnessVerdict::kAccept;
+  }
+
+ private:
+  hw::Mcu* mcu_;
+  hw::Addr counter_addr_;
+};
+
+class TimestampPolicy final : public FreshnessPolicy {
+ public:
+  TimestampPolicy(hw::Mcu& mcu, hw::ClockSource& clock,
+                  hw::Addr last_seen_addr, std::uint64_t window_ticks,
+                  std::uint64_t skew_ticks)
+      : mcu_(&mcu),
+        clock_(&clock),
+        last_seen_addr_(last_seen_addr),
+        window_ticks_(window_ticks),
+        skew_ticks_(skew_ticks) {}
+
+  FreshnessScheme scheme() const override {
+    return FreshnessScheme::kTimestamp;
+  }
+
+  FreshnessVerdict check_and_update(const hw::AccessContext& ctx,
+                                    std::uint64_t value) override {
+    auto& bus = mcu_->bus();
+    const auto now = clock_->read_ticks(ctx);
+    if (!now.has_value()) return FreshnessVerdict::kStorageFault;
+
+    std::uint64_t last_seen = 0;
+    if (bus.read64(ctx, last_seen_addr_, last_seen) != hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    if (value == last_seen && last_seen != 0) {
+      return FreshnessVerdict::kReplay;
+    }
+    if (value < last_seen) return FreshnessVerdict::kNotMonotonic;
+    // Delay detection: the request must be recent by the prover's clock.
+    if (*now > value + window_ticks_) return FreshnessVerdict::kTooOld;
+    // Clock-skew guard: reject timestamps from the "future".
+    if (value > *now + skew_ticks_) return FreshnessVerdict::kNotMonotonic;
+
+    if (bus.write64(ctx, last_seen_addr_, value) != hw::BusStatus::kOk) {
+      return FreshnessVerdict::kStorageFault;
+    }
+    return FreshnessVerdict::kAccept;
+  }
+
+ private:
+  hw::Mcu* mcu_;
+  hw::ClockSource* clock_;
+  hw::Addr last_seen_addr_;
+  std::uint64_t window_ticks_;
+  std::uint64_t skew_ticks_;
+};
+
+}  // namespace
+
+std::unique_ptr<FreshnessPolicy> make_no_freshness() {
+  return std::make_unique<NoFreshness>();
+}
+
+std::unique_ptr<FreshnessPolicy> make_nonce_history(hw::Mcu& mcu,
+                                                    hw::Addr base,
+                                                    std::size_t capacity) {
+  return std::make_unique<NonceHistory>(mcu, base, capacity);
+}
+
+std::unique_ptr<FreshnessPolicy> make_counter_policy(hw::Mcu& mcu,
+                                                     hw::Addr counter_addr) {
+  return std::make_unique<CounterPolicy>(mcu, counter_addr);
+}
+
+std::unique_ptr<FreshnessPolicy> make_timestamp_policy(
+    hw::Mcu& mcu, hw::ClockSource& clock, hw::Addr last_seen_addr,
+    std::uint64_t window_ticks, std::uint64_t skew_ticks) {
+  return std::make_unique<TimestampPolicy>(mcu, clock, last_seen_addr,
+                                           window_ticks, skew_ticks);
+}
+
+}  // namespace ratt::attest

@@ -1,0 +1,73 @@
+// Prover-side freshness policies (Sec. 4.2, Table 2).
+//
+// Each policy's mutable state lives in *device memory* and is manipulated
+// through the bus with Code_Attest's program counter — so the EA-MPU
+// protections of Sec. 5/6 (and the roaming adversary's attacks on
+// unprotected state) apply to it exactly as in the paper:
+//
+//   * NonceHistoryPolicy — bounded nonce store in RAM. Detects replays of
+//     remembered nonces only; reordering/delay pass (Table 2 row 2-3),
+//     and once the store overflows, evicted nonces replay successfully —
+//     the paper's "a lot of non-volatile memory" objection made concrete.
+//   * CounterPolicy — counter_R word in memory; detects replay + reorder,
+//     not delay.
+//   * TimestampPolicy — compares the request timestamp against the
+//     device clock (any ClockSource design) within an acceptance window,
+//     detecting replay, reorder and delay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ratt/attest/message.hpp"
+#include "ratt/hw/clock.hpp"
+#include "ratt/hw/mcu.hpp"
+
+namespace ratt::attest {
+
+enum class FreshnessVerdict : std::uint8_t {
+  kAccept,
+  kReplay,        // freshness element seen before
+  kNotMonotonic,  // counter/timestamp not strictly increasing (reorder)
+  kTooOld,        // timestamp outside the acceptance window (delay)
+  kStorageFault,  // policy state unreachable (bus fault)
+};
+
+std::string to_string(FreshnessVerdict verdict);
+
+/// Checks a request's freshness element and, on acceptance, commits the
+/// updated state. Runs with the trust anchor's bus context.
+class FreshnessPolicy {
+ public:
+  virtual ~FreshnessPolicy() = default;
+
+  virtual FreshnessScheme scheme() const = 0;
+
+  /// Evaluate `value` as seen by code with context `ctx` and update state
+  /// on acceptance.
+  virtual FreshnessVerdict check_and_update(const hw::AccessContext& ctx,
+                                            std::uint64_t value) = 0;
+};
+
+/// Accepts everything — the unprotected baseline of Sec. 3.1.
+std::unique_ptr<FreshnessPolicy> make_no_freshness();
+
+/// Nonce history in device RAM at [base, base + 8 + 8*capacity):
+/// a count word followed by a ring of 64-bit nonces.
+std::unique_ptr<FreshnessPolicy> make_nonce_history(hw::Mcu& mcu,
+                                                    hw::Addr base,
+                                                    std::size_t capacity);
+
+/// Monotonic counter_R: a 64-bit word at `counter_addr` (Fig. 1a).
+std::unique_ptr<FreshnessPolicy> make_counter_policy(hw::Mcu& mcu,
+                                                     hw::Addr counter_addr);
+
+/// Timestamp check against `clock`, accepting requests whose timestamp t
+/// satisfies  last_seen < t  and  now - t <= window_ticks  and
+/// t <= now + skew_ticks. last_seen lives at `last_seen_addr`.
+std::unique_ptr<FreshnessPolicy> make_timestamp_policy(
+    hw::Mcu& mcu, hw::ClockSource& clock, hw::Addr last_seen_addr,
+    std::uint64_t window_ticks, std::uint64_t skew_ticks = 0);
+
+}  // namespace ratt::attest

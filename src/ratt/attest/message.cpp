@@ -1,0 +1,88 @@
+#include "ratt/attest/message.hpp"
+
+namespace ratt::attest {
+
+namespace {
+
+constexpr std::uint8_t kRequestMagic = 0xA1;
+constexpr std::uint8_t kResponseMagic = 0xA2;
+
+}  // namespace
+
+std::string to_string(FreshnessScheme scheme) {
+  switch (scheme) {
+    case FreshnessScheme::kNone:
+      return "none";
+    case FreshnessScheme::kNonce:
+      return "nonce";
+    case FreshnessScheme::kCounter:
+      return "counter";
+    case FreshnessScheme::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+Bytes AttestRequest::header_bytes() const {
+  Bytes out;
+  out.reserve(19);
+  out.push_back(kRequestMagic);
+  out.push_back(static_cast<std::uint8_t>(scheme));
+  out.push_back(static_cast<std::uint8_t>(mac_alg));
+  std::uint8_t word[8];
+  crypto::store_le64(word, freshness);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, challenge);
+  crypto::append(out, ByteView(word, 8));
+  return out;
+}
+
+Bytes AttestRequest::to_bytes() const {
+  Bytes out = header_bytes();
+  out.push_back(static_cast<std::uint8_t>(mac.size()));
+  crypto::append(out, mac);
+  return out;
+}
+
+std::optional<AttestRequest> AttestRequest::from_bytes(ByteView wire) {
+  if (wire.size() < 20 || wire[0] != kRequestMagic) return std::nullopt;
+  AttestRequest req;
+  if (wire[1] > static_cast<std::uint8_t>(FreshnessScheme::kTimestamp)) {
+    return std::nullopt;
+  }
+  req.scheme = static_cast<FreshnessScheme>(wire[1]);
+  if (wire[2] > static_cast<std::uint8_t>(crypto::MacAlgorithm::kSpeckCmac)) {
+    return std::nullopt;
+  }
+  req.mac_alg = static_cast<crypto::MacAlgorithm>(wire[2]);
+  req.freshness = crypto::load_le64(wire.data() + 3);
+  req.challenge = crypto::load_le64(wire.data() + 11);
+  const std::size_t mac_len = wire[19];
+  if (wire.size() != 20 + mac_len) return std::nullopt;
+  req.mac.assign(wire.begin() + 20, wire.end());
+  return req;
+}
+
+Bytes AttestResponse::to_bytes() const {
+  Bytes out;
+  out.reserve(10 + measurement.size());
+  out.push_back(kResponseMagic);
+  std::uint8_t word[8];
+  crypto::store_le64(word, freshness);
+  crypto::append(out, ByteView(word, 8));
+  out.push_back(static_cast<std::uint8_t>(measurement.size()));
+  crypto::append(out, measurement);
+  return out;
+}
+
+std::optional<AttestResponse> AttestResponse::from_bytes(ByteView wire) {
+  if (wire.size() < 10 || wire[0] != kResponseMagic) return std::nullopt;
+  AttestResponse resp;
+  resp.freshness = crypto::load_le64(wire.data() + 1);
+  const std::size_t len = wire[9];
+  if (wire.size() != 10 + len) return std::nullopt;
+  resp.measurement.assign(wire.begin() + 10, wire.end());
+  return resp;
+}
+
+}  // namespace ratt::attest

@@ -1,0 +1,66 @@
+// Attestation protocol messages (Sec. 3): the verifier's request attreq
+// and the prover's response.
+//
+// A request carries a freshness element (nonce, counter or timestamp —
+// Sec. 4.2), a challenge bound into the memory measurement, and — when
+// request authentication is enabled (Sec. 4.1) — a MAC over the header
+// under K_Attest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ratt/crypto/mac.hpp"
+
+namespace ratt::attest {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+/// How the request proves freshness (Table 2 columns).
+enum class FreshnessScheme : std::uint8_t {
+  kNone = 0,       // unprotected baseline
+  kNonce = 1,      // verifier-chosen unique value; prover keeps history
+  kCounter = 2,    // monotonically increasing sequence number
+  kTimestamp = 3,  // verifier clock reading; prover checks its own clock
+};
+
+std::string to_string(FreshnessScheme scheme);
+
+struct AttestRequest {
+  FreshnessScheme scheme = FreshnessScheme::kNone;
+  crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  /// Nonce, counter value, or timestamp ticks, depending on `scheme`.
+  std::uint64_t freshness = 0;
+  /// Verifier challenge, bound into the response MAC.
+  std::uint64_t challenge = 0;
+  /// MAC over header_bytes() under K_Attest; empty when the deployment
+  /// does not authenticate requests (the Sec. 3.1 baseline).
+  Bytes mac;
+
+  /// The authenticated portion: everything except the MAC itself.
+  Bytes header_bytes() const;
+
+  Bytes to_bytes() const;
+  static std::optional<AttestRequest> from_bytes(ByteView wire);
+
+  friend bool operator==(const AttestRequest&, const AttestRequest&) =
+      default;
+};
+
+struct AttestResponse {
+  /// Echo of the request's freshness element (lets the verifier match
+  /// responses to requests).
+  std::uint64_t freshness = 0;
+  /// MAC under K_Attest over challenge || freshness || measured memory.
+  Bytes measurement;
+
+  Bytes to_bytes() const;
+  static std::optional<AttestResponse> from_bytes(ByteView wire);
+
+  friend bool operator==(const AttestResponse&, const AttestResponse&) =
+      default;
+};
+
+}  // namespace ratt::attest

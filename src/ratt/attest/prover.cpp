@@ -1,0 +1,368 @@
+#include "ratt/attest/prover.hpp"
+
+#include "ratt/crypto/drbg.hpp"
+
+namespace ratt::attest {
+
+namespace {
+
+// Fixed internal memory map (within the Mcu default layout).
+constexpr hw::AddrRange kCodeAttestRegion{0x00000000, 0x00001000};  // ROM
+constexpr hw::AddrRange kCodeClockRegion{0x00001000, 0x00001100};   // ROM
+constexpr hw::Addr kKeyRomAddr = 0x00007000;   // ROM (inherently W-protected)
+constexpr hw::Addr kKeyRamAddr = 0x00100180;   // RAM variant (Sec. 6.2)
+constexpr hw::AddrRange kAppCodeRegion{0x00010000, 0x00020000};   // Flash
+constexpr hw::AddrRange kMalwareRegion{0x00020000, 0x00021000};   // Flash
+constexpr hw::Addr kCounterAddr = 0x00100100;   // RAM (after IDT)
+constexpr hw::Addr kLastSeenAddr = 0x00100108;  // RAM
+constexpr hw::Addr kClockMsbAddr = 0x00100110;  // RAM
+constexpr hw::Addr kServicesStateAddr = 0x00100120;  // RAM (2 x u64)
+constexpr hw::Addr kSyncStateAddr = 0x00100140;       // RAM (2 x u64)
+constexpr hw::AddrRange kErasableRegion{0x00150000, 0x00160000};  // RAM
+constexpr hw::Addr kNonceStoreAddr = 0x00100200;  // RAM
+constexpr hw::Addr kAuditLogAddr = 0x00102000;    // RAM (after nonce ring)
+constexpr hw::Addr kMeasuredBase = 0x00110000;    // RAM
+constexpr hw::Addr kClockPortAddr = 0x00210000;   // MMIO
+constexpr std::size_t kWrapIrqVector = 0;
+constexpr unsigned kSwClockLsbBits = 16;
+
+}  // namespace
+
+std::string to_string(ClockDesign design) {
+  switch (design) {
+    case ClockDesign::kNone:
+      return "none";
+    case ClockDesign::kWritable:
+      return "writable";
+    case ClockDesign::kHw64:
+      return "hw-64";
+    case ClockDesign::kHw32Div:
+      return "hw-32-div";
+    case ClockDesign::kSwClock:
+      return "sw-clock";
+  }
+  return "unknown";
+}
+
+std::string to_string(MpuFlavor flavor) {
+  switch (flavor) {
+    case MpuFlavor::kTrustLite:
+      return "trustlite";
+    case MpuFlavor::kSmart:
+      return "smart";
+  }
+  return "unknown";
+}
+
+ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
+                           ByteView app_seed)
+    : config_(config), timing_(config.clock_hz) {
+  hw::Mcu::Layout layout;
+  layout.clock_hz = static_cast<std::uint64_t>(config.clock_hz);
+  // SMART (Sec. 6.1): the EA-MAC is hard-wired, so the device exposes no
+  // configuration registers — the rules are burned in before any
+  // untrusted code runs and there is nothing to reprogram or lock.
+  layout.map_mpu_port = config.mpu_flavor != MpuFlavor::kSmart;
+  mcu_ = std::make_unique<hw::Mcu>(layout);
+
+  // --- Manufacture: provision K_Attest (ROM, or the RAM variant whose
+  //     write-protection must come from an EA-MAC rule — Sec. 6.2). ---
+  const hw::Addr key_addr = config_.key_in_rom ? kKeyRomAddr : kKeyRamAddr;
+  mcu_->bus().load_initial(key_addr, k_attest);
+
+  // --- Clock design. ---
+  switch (config_.clock) {
+    case ClockDesign::kNone:
+      break;
+    case ClockDesign::kWritable:
+      writable_clock_ = std::make_unique<hw::WritableClockPort>(1);
+      mcu_->map_device("clock", kClockPortAddr,
+                       writable_clock_->window_size(), *writable_clock_);
+      clock_source_ = std::make_unique<hw::MmioClockSource>(
+          *mcu_, kClockPortAddr, 8, "writable-clock");
+      clock_divider_ = 1;
+      break;
+    case ClockDesign::kHw64:
+      hw_counter_ = std::make_unique<hw::HwCounterPort>(64, 1);
+      mcu_->map_device("clock", kClockPortAddr, hw_counter_->window_size(),
+                       *hw_counter_);
+      clock_source_ = std::make_unique<hw::MmioClockSource>(
+          *mcu_, kClockPortAddr, 8, "hw-clock-64");
+      clock_divider_ = 1;
+      break;
+    case ClockDesign::kHw32Div:
+      hw_counter_ =
+          std::make_unique<hw::HwCounterPort>(32, std::uint64_t{1} << 20);
+      mcu_->map_device("clock", kClockPortAddr, hw_counter_->window_size(),
+                       *hw_counter_);
+      clock_source_ = std::make_unique<hw::MmioClockSource>(
+          *mcu_, kClockPortAddr, 4, "hw-clock-32-div");
+      clock_divider_ = std::uint64_t{1} << 20;
+      break;
+    case ClockDesign::kSwClock:
+      wrap_counter_ = std::make_unique<hw::WrapCounter>(
+          mcu_->irq(), kWrapIrqVector, kSwClockLsbBits, 1);
+      mcu_->map_device("clock-lsb", kClockPortAddr,
+                       wrap_counter_->window_size(), *wrap_counter_);
+      code_clock_ = std::make_unique<hw::CodeClock>(*mcu_, kCodeClockRegion,
+                                                    kClockMsbAddr);
+      mcu_->irq().register_native_handler(
+          code_clock_->entry_point(),
+          [cc = code_clock_.get()] { cc->on_wrap_interrupt(); });
+      clock_source_ = std::make_unique<hw::SwClockSource>(
+          *mcu_, *code_clock_, kClockPortAddr, kSwClockLsbBits);
+      clock_divider_ = 1;
+      break;
+  }
+
+  // --- Freshness policy. ---
+  switch (config_.scheme) {
+    case FreshnessScheme::kNone:
+      policy_ = make_no_freshness();
+      break;
+    case FreshnessScheme::kNonce:
+      policy_ = make_nonce_history(*mcu_, kNonceStoreAddr,
+                                   config_.nonce_capacity);
+      break;
+    case FreshnessScheme::kCounter:
+      policy_ = make_counter_policy(*mcu_, kCounterAddr);
+      break;
+    case FreshnessScheme::kTimestamp:
+      if (clock_source_ == nullptr) {
+        throw std::invalid_argument(
+            "ProverDevice: timestamp scheme requires a clock design");
+      }
+      policy_ = make_timestamp_policy(
+          *mcu_, *clock_source_, kLastSeenAddr,
+          config_.timestamp_window_ticks, config_.timestamp_skew_ticks);
+      break;
+  }
+
+  // --- Trust anchor. ---
+  CodeAttest::Config anchor_config;
+  anchor_config.code = kCodeAttestRegion;
+  anchor_config.key_addr = key_addr;
+  anchor_config.key_size = k_attest.size();
+  anchor_config.mac_alg = config_.mac_alg;
+  anchor_config.measured_memory = hw::AddrRange{
+      kMeasuredBase,
+      kMeasuredBase + static_cast<hw::Addr>(config_.measured_bytes)};
+  anchor_config.authenticate_requests = config_.authenticate_requests;
+  anchor_config.rate_limit_max = config_.rate_limit_max;
+  anchor_config.rate_limit_window_ms = config_.rate_limit_window_ms;
+  anchor_ = std::make_unique<CodeAttest>(*mcu_, anchor_config, *policy_,
+                                         timing_);
+
+  // --- Optional attestation-derived services (future-work item 3). ---
+  if (config_.enable_services) {
+    DeviceServices::Config sc;
+    sc.state_addr = kServicesStateAddr;
+    sc.updatable = kAppCodeRegion;
+    sc.erasable = kErasableRegion;
+    sc.mac_alg = config_.mac_alg;
+    services_ = std::make_unique<DeviceServices>(*anchor_, sc, k_attest,
+                                                 timing_);
+  }
+
+  // --- Optional tamper-evident audit log (extension). ---
+  if (config_.enable_audit_log) {
+    AuditLog::Config ac;
+    ac.base = kAuditLogAddr;
+    ac.capacity = config_.audit_capacity;
+    audit_log_ = std::make_unique<AuditLog>(*anchor_, ac);
+  }
+
+  // --- Optional secure clock synchronizer (future-work item 2). ---
+  if (config_.enable_clock_sync) {
+    if (clock_source_ == nullptr) {
+      throw std::invalid_argument(
+          "ProverDevice: clock sync requires a clock design");
+    }
+    ClockSynchronizer::Config cc;
+    cc.state_addr = kSyncStateAddr;
+    cc.max_step_ticks = config_.sync_max_step_ticks;
+    cc.max_backward_ticks = config_.sync_max_backward_ticks;
+    clock_sync_ = std::make_unique<ClockSynchronizer>(
+        *anchor_, *clock_source_, cc, k_attest, config_.mac_alg);
+  }
+
+  // --- Attack surface bookkeeping. ---
+  surface_.key_addr = key_addr;
+  surface_.key_size = k_attest.size();
+  surface_.counter_addr = kCounterAddr;
+  surface_.last_seen_addr = kLastSeenAddr;
+  surface_.nonce_store_addr = kNonceStoreAddr;
+  surface_.nonce_capacity = config_.nonce_capacity;
+  surface_.clock_port_addr =
+      (config_.clock == ClockDesign::kNone) ? 0 : kClockPortAddr;
+  surface_.clock_msb_addr =
+      (config_.clock == ClockDesign::kSwClock) ? kClockMsbAddr : 0;
+  surface_.idt_base = mcu_->layout().idt_base;
+  surface_.irq_mask_addr = mcu_->layout().irq_mask_base;
+  surface_.malware_region = kMalwareRegion;
+  surface_.measured_memory = anchor_config.measured_memory;
+  surface_.services_state_addr =
+      config_.enable_services ? kServicesStateAddr : 0;
+  surface_.sync_state_addr = config_.enable_clock_sync ? kSyncStateAddr : 0;
+  surface_.erasable = config_.enable_services ? kErasableRegion
+                                              : hw::AddrRange{};
+  surface_.audit_log_addr = config_.enable_audit_log ? kAuditLogAddr : 0;
+
+  // --- Secure boot: application image + IDT + protection rules. ---
+  crypto::HmacDrbg app_drbg(app_seed);
+  hw::BootImage image;
+  image.name = "prover-firmware";
+  image.segments.push_back(
+      hw::BootSegment{kAppCodeRegion.begin, app_drbg.generate(256)});
+  image.segments.push_back(
+      hw::BootSegment{kMeasuredBase, app_drbg.generate(config_.measured_bytes)});
+  const auto vendor =
+      crypto::ecdsa_generate_key(crypto::from_string("prover-vendor-key"));
+  const auto reference = hw::make_rom_reference(image, vendor);
+  boot_status_ = hw::secure_boot(
+      *mcu_, image, reference,
+      [this](hw::Mcu& mcu) { return configure_protection(mcu); });
+}
+
+bool ProverDevice::configure_protection(hw::Mcu& mcu) {
+  // Runs as trusted first-stage boot code, pre-lockdown. Install the IDT
+  // first, then the EA-MPU rules per configuration.
+  const hw::AccessContext boot_ctx{kCodeAttestRegion.begin};
+  if (config_.clock == ClockDesign::kSwClock) {
+    if (mcu.irq().install(boot_ctx, kWrapIrqVector,
+                          code_clock_->entry_point()) !=
+        hw::BusStatus::kOk) {
+      return false;
+    }
+  }
+
+  std::size_t next_rule = 0;
+  const auto add_rule = [&](hw::AddrRange code, hw::AddrRange data, bool r,
+                            bool w, const char* label) {
+    hw::EampuRule rule;
+    rule.code = code;
+    rule.data = data;
+    rule.allow_read = r;
+    rule.allow_write = w;
+    rule.active = true;
+    rule.label = label;
+    return mcu.mpu().set_rule(next_rule++, rule);
+  };
+
+  bool ok = true;
+  if (config_.protect_key) {
+    // K_Attest: readable only by Code_Attest, writable by nobody. For the
+    // ROM placement the write bit is redundant (hardware write-protect);
+    // for the RAM placement this rule is what makes the key non-malleable.
+    ok = ok && add_rule(kCodeAttestRegion,
+                        hw::AddrRange{surface_.key_addr,
+                                      surface_.key_addr +
+                                          static_cast<hw::Addr>(
+                                              surface_.key_size)},
+                        /*r=*/true, /*w=*/false, "k-attest");
+  }
+  if (config_.protect_counter) {
+    // counter_R and the timestamp last-seen word: R/W by Code_Attest only.
+    ok = ok && add_rule(kCodeAttestRegion,
+                        hw::AddrRange{kCounterAddr, kLastSeenAddr + 8},
+                        /*r=*/true, /*w=*/true, "counter-r");
+  }
+  if (config_.protect_counter && config_.scheme == FreshnessScheme::kNonce) {
+    // The nonce history is anti-replay state like counter_R: wiping or
+    // rewinding it re-opens replays (Sec. 5 applies to it verbatim).
+    ok = ok && add_rule(
+                   kCodeAttestRegion,
+                   hw::AddrRange{kNonceStoreAddr,
+                                 kNonceStoreAddr +
+                                     static_cast<hw::Addr>(
+                                         8 + 8 * config_.nonce_capacity)},
+                   /*r=*/true, /*w=*/true, "nonce-store");
+  }
+  if (config_.enable_services) {
+    // The update version / erase sequence words are anti-replay state of
+    // the same class as counter_R.
+    ok = ok && add_rule(kCodeAttestRegion,
+                        hw::AddrRange{kServicesStateAddr,
+                                      kServicesStateAddr + 16},
+                        /*r=*/true, /*w=*/true, "services-state");
+  }
+  if (config_.enable_audit_log) {
+    // The audit log is evidence: writable only by Code_Attest, readable
+    // by everyone would leak nothing sensitive, but a single R/W rule for
+    // the anchor keeps the accounting identical to counter_R (log
+    // read-out goes through the anchor's context).
+    ok = ok && add_rule(kCodeAttestRegion,
+                        hw::AddrRange{kAuditLogAddr,
+                                      kAuditLogAddr +
+                                          AuditLog::window_size(
+                                              config_.audit_capacity)},
+                        /*r=*/true, /*w=*/true, "audit-log");
+  }
+  if (config_.enable_clock_sync) {
+    // Sync sequence + clock offset: writable only by Code_Attest, or the
+    // synchronizer is itself a clock-reset vector.
+    ok = ok && add_rule(kCodeAttestRegion,
+                        hw::AddrRange{kSyncStateAddr, kSyncStateAddr + 16},
+                        /*r=*/true, /*w=*/true, "sync-state");
+  }
+  if (config_.protect_clock && config_.clock == ClockDesign::kWritable) {
+    // A software-settable clock register can itself be EA-MPU-protected:
+    // everyone may read it, nobody may write it (Sec. 6.2: "the clock
+    // must be write-protected").
+    ok = ok && add_rule(hw::AddrRange{0x00000000, 0xffffffff},
+                        hw::AddrRange{kClockPortAddr, kClockPortAddr + 8},
+                        /*r=*/true, /*w=*/false, "clock-port-lockdown");
+  }
+  if (config_.protect_clock && config_.clock == ClockDesign::kSwClock) {
+    // Clock_MSB writable only by Code_Clock; IDT and interrupt-mask port
+    // locked down for everyone (Sec. 6.2).
+    ok = ok && add_rule(kCodeClockRegion,
+                        hw::AddrRange{kClockMsbAddr, kClockMsbAddr + 4},
+                        /*r=*/true, /*w=*/true, "clock-msb");
+    ok = ok && add_rule(hw::AddrRange{}, mcu.irq().idt_range(),
+                        /*r=*/false, /*w=*/false, "idt-lockdown");
+    ok = ok && add_rule(
+                   hw::AddrRange{},
+                   hw::AddrRange{mcu.layout().irq_mask_base,
+                                 mcu.layout().irq_mask_base +
+                                     hw::IrqMaskPort::kWindowSize},
+                   /*r=*/false, /*w=*/false, "irq-mask-lockdown");
+  }
+  // The EA-MPU lock register is engaged by secure_boot() right after this
+  // callback returns (the "EA-MPU lockdown rule" of the baseline system).
+  return ok;
+}
+
+AttestOutcome ProverDevice::handle(const AttestRequest& request) {
+  const AttestOutcome out = anchor_->handle_request(request);
+  if (audit_log_ != nullptr) {
+    (void)audit_log_->append(out, request.freshness);
+  }
+  // The prover is busy for the duration; simulated time moves on.
+  mcu_->advance_ms(out.device_ms);
+  return out;
+}
+
+Bytes ProverDevice::reference_memory() {
+  Bytes out(config_.measured_bytes);
+  // Hardware-context read: this models the verifier's out-of-band
+  // knowledge of the expected image, not a runtime access.
+  mcu_->bus().read_block(hw::AccessContext{hw::kHardwarePc}, kMeasuredBase,
+                         out);
+  return out;
+}
+
+std::uint64_t ProverDevice::ground_truth_ticks() const {
+  return mcu_->cycles() / clock_divider_;
+}
+
+std::optional<std::uint64_t> ProverDevice::prover_clock_ticks() {
+  if (clock_source_ == nullptr) return std::nullopt;
+  return clock_source_->read_ticks(anchor_->ctx());
+}
+
+double ProverDevice::ticks_per_ms() const {
+  return config_.clock_hz / 1000.0 / static_cast<double>(clock_divider_);
+}
+
+}  // namespace ratt::attest

@@ -1,0 +1,188 @@
+// ProverDevice: a complete simulated prover in every configuration the
+// paper discusses — MAC algorithm (Table 1), freshness scheme (Table 2),
+// clock design (Fig. 1a/1b, Sec. 6.3), and per-asset EA-MPU protection
+// toggles (protected vs. unprotected counter/clock/key), so the Sec. 5
+// roaming attacks can be run against both vulnerable and hardened
+// configurations.
+//
+// Construction provisions K_Attest, runs secure boot (loading the
+// application image and programming + locking the EA-MPU), and wires the
+// clock design. The resulting object is what adversaries in ratt::adv
+// attack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ratt/attest/audit_log.hpp"
+#include "ratt/attest/clock_sync.hpp"
+#include "ratt/attest/services.hpp"
+#include "ratt/attest/trust_anchor.hpp"
+#include "ratt/hw/secure_boot.hpp"
+#include "ratt/timing/timing.hpp"
+
+namespace ratt::attest {
+
+/// Clock designs evaluated in Sec. 6.3 / Fig. 1, plus the unprotected
+/// software-settable clock the Sec. 5 attack assumes.
+enum class ClockDesign : std::uint8_t {
+  kNone,       // no clock (counter/nonce/none freshness schemes)
+  kWritable,   // software-settable clock register — unprotected baseline
+  kHw64,       // 64-bit hardware counter, divider 1 (Fig. 1a)
+  kHw32Div,    // 32-bit hardware counter, divider 2^20 (Sec. 6.3)
+  kSwClock,    // Clock_LSB wrap interrupt + Code_Clock + Clock_MSB (Fig. 1b)
+};
+
+std::string to_string(ClockDesign design);
+
+/// Which prior architecture's EA-MAC style the device uses (Sec. 6.1):
+/// TrustLite programs rules at boot through memory-mapped registers and
+/// locks them; SMART's rules are hard-wired — there is no configuration
+/// interface to attack at all.
+enum class MpuFlavor : std::uint8_t { kTrustLite, kSmart };
+
+std::string to_string(MpuFlavor flavor);
+
+struct ProverConfig {
+  crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  FreshnessScheme scheme = FreshnessScheme::kCounter;
+  ClockDesign clock = ClockDesign::kNone;
+  MpuFlavor mpu_flavor = MpuFlavor::kTrustLite;
+  bool authenticate_requests = true;
+
+  // Per-asset EA-MPU protection toggles (Sec. 5 "Protecting Keys,
+  // Counters & Clocks"). All false = the vulnerable pre-paper baseline.
+  bool protect_key = true;
+  /// Sec. 6.2: "In ROM, it is inherently write-protected. Otherwise ...
+  /// it must be write-protected by a dedicated EA-MAC rule." false puts
+  /// K_Attest in RAM, exposing it to overwrite when protect_key is off.
+  bool key_in_rom = true;
+  bool protect_counter = true;
+  bool protect_clock = true;  // SW-clock: MSB rule + IDT lockdown + mask
+                              // port rule; HW designs are read-only wired
+
+  /// Size of the measured memory range (the paper's headline uses the
+  /// full 512 KB RAM; tests use smaller regions for speed).
+  std::size_t measured_bytes = 4096;
+  /// Nonce-history ring capacity (Sec. 4.2 memory objection).
+  std::size_t nonce_capacity = 16;
+  /// Timestamp acceptance window, in ticks of the configured clock.
+  std::uint64_t timestamp_window_ticks = 0;
+  std::uint64_t timestamp_skew_ticks = 0;
+
+  /// Enable the attestation-derived device services (secure code update
+  /// + secure erase, services.hpp); their state words get an EA-MPU rule
+  /// alongside counter_R.
+  bool enable_services = false;
+  /// Enable the secure clock synchronizer (clock_sync.hpp); requires a
+  /// clock design. Its state words get an EA-MPU rule too.
+  bool enable_clock_sync = false;
+  /// Slew limits for the synchronizer (ticks of the configured clock).
+  std::uint64_t sync_max_step_ticks = 24'000'000;
+  std::uint64_t sync_max_backward_ticks = 24'000;
+  /// Prover-side attestation budget (extension); 0 = unlimited.
+  std::uint32_t rate_limit_max = 0;
+  double rate_limit_window_ms = 1000.0;
+  /// Tamper-evident audit log (extension): hash-chained decision records
+  /// in EA-MPU-protected RAM — makes Sec. 5's "undetectable after the
+  /// fact" rollback attacks forensically detectable.
+  bool enable_audit_log = false;
+  std::size_t audit_capacity = 32;
+
+  double clock_hz = timing::Table1::kRefHz;
+};
+
+/// Addresses an in-device adversary (Adv_roam phase II) can aim at.
+struct AttackSurface {
+  hw::Addr key_addr = 0;
+  std::size_t key_size = 0;
+  hw::Addr counter_addr = 0;      // counter_R (also timestamp last-seen)
+  hw::Addr last_seen_addr = 0;    // timestamp policy state
+  hw::Addr nonce_store_addr = 0;
+  std::size_t nonce_capacity = 0;
+  hw::Addr clock_port_addr = 0;   // MMIO clock register (design-dependent)
+  hw::Addr clock_msb_addr = 0;    // SW-clock high word (0 if n/a)
+  hw::Addr idt_base = 0;
+  hw::Addr irq_mask_addr = 0;
+  hw::AddrRange malware_region;   // free flash range malware "executes" from
+  hw::AddrRange measured_memory;
+  hw::Addr services_state_addr = 0;   // update version + erase sequence
+  hw::Addr sync_state_addr = 0;       // sync sequence + clock offset
+  hw::AddrRange erasable;             // secure-erase service window
+  hw::Addr audit_log_addr = 0;        // hash-chained decision log
+};
+
+class ProverDevice {
+ public:
+  /// Builds, provisions and securely boots the device. `k_attest` is the
+  /// shared attestation key; `app_seed` determinizes the application
+  /// image filling the measured memory.
+  ProverDevice(const ProverConfig& config, Bytes k_attest,
+               ByteView app_seed);
+
+  ProverDevice(const ProverDevice&) = delete;
+  ProverDevice& operator=(const ProverDevice&) = delete;
+
+  const ProverConfig& config() const { return config_; }
+  hw::BootStatus boot_status() const { return boot_status_; }
+
+  hw::Mcu& mcu() { return *mcu_; }
+  CodeAttest& anchor() { return *anchor_; }
+  const timing::DeviceTimingModel& timing_model() const { return timing_; }
+  const AttackSurface& surface() const { return surface_; }
+
+  /// Process one request; simulated device time advances by the prover
+  /// time the request consumed (so the clock moves with the workload).
+  AttestOutcome handle(const AttestRequest& request);
+
+  /// Let simulated wall-clock time pass (the device idles / does its
+  /// primary task); clocks advance.
+  void idle_ms(double ms) { mcu_->advance_ms(ms); }
+
+  /// Reference copy of the measured memory (the verifier's view).
+  Bytes reference_memory();
+
+  /// What an untampered clock of this design would read now — the ground
+  /// truth the verifier's synchronized clock returns (Sec. 4.2 assumes
+  /// synchronized clocks).
+  std::uint64_t ground_truth_ticks() const;
+
+  /// The prover's actual clock reading (differs from ground truth after a
+  /// roaming adversary reset it). nullopt if no clock or read fault.
+  std::optional<std::uint64_t> prover_clock_ticks();
+
+  /// Ticks per millisecond for this clock design (for window sizing).
+  double ticks_per_ms() const;
+
+  /// The device services endpoint (enable_services). nullptr otherwise.
+  DeviceServices* services() { return services_.get(); }
+  /// The clock synchronizer (enable_clock_sync). nullptr otherwise.
+  ClockSynchronizer* clock_sync() { return clock_sync_.get(); }
+  /// The audit log (enable_audit_log). nullptr otherwise.
+  AuditLog* audit_log() { return audit_log_.get(); }
+
+ private:
+  bool configure_protection(hw::Mcu& mcu);
+
+  ProverConfig config_;
+  timing::DeviceTimingModel timing_;
+  std::unique_ptr<hw::Mcu> mcu_;
+
+  // Clock machinery (subset used, per design).
+  std::unique_ptr<hw::HwCounterPort> hw_counter_;
+  std::unique_ptr<hw::WritableClockPort> writable_clock_;
+  std::unique_ptr<hw::WrapCounter> wrap_counter_;
+  std::unique_ptr<hw::CodeClock> code_clock_;
+  std::unique_ptr<hw::ClockSource> clock_source_;
+  std::uint64_t clock_divider_ = 1;
+
+  std::unique_ptr<FreshnessPolicy> policy_;
+  std::unique_ptr<CodeAttest> anchor_;
+  std::unique_ptr<DeviceServices> services_;
+  std::unique_ptr<ClockSynchronizer> clock_sync_;
+  std::unique_ptr<AuditLog> audit_log_;
+  AttackSurface surface_;
+  hw::BootStatus boot_status_ = hw::BootStatus::kOk;
+};
+
+}  // namespace ratt::attest

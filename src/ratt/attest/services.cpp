@@ -1,0 +1,385 @@
+#include "ratt/attest/services.hpp"
+
+#include "ratt/crypto/aes128.hpp"
+#include "ratt/crypto/block_modes.hpp"
+#include "ratt/crypto/hkdf.hpp"
+#include "ratt/crypto/hmac.hpp"
+#include "ratt/crypto/sha256.hpp"
+
+namespace ratt::attest {
+
+namespace {
+
+constexpr std::uint8_t kUpdateMagic = 0xA4;
+constexpr std::uint8_t kEraseMagic = 0xA5;
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  std::uint8_t word[8];
+  crypto::store_le64(word, v);
+  crypto::append(out, ByteView(word, 8));
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  std::uint8_t word[4];
+  crypto::store_le32(word, v);
+  crypto::append(out, ByteView(word, 4));
+}
+
+}  // namespace
+
+Bytes UpdateRequest::header_bytes() const {
+  Bytes out;
+  out.reserve(26 + payload.size());
+  out.push_back(kUpdateMagic);
+  out.push_back(encrypted ? 1 : 0);
+  append_u64(out, version);
+  append_u64(out, challenge);
+  append_u32(out, target);
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  crypto::append(out, payload);
+  return out;
+}
+
+Bytes UpdateRequest::to_bytes() const {
+  Bytes out = header_bytes();
+  out.push_back(static_cast<std::uint8_t>(mac.size()));
+  crypto::append(out, mac);
+  return out;
+}
+
+std::optional<UpdateRequest> UpdateRequest::from_bytes(ByteView wire) {
+  if (wire.size() < 27 || wire[0] != kUpdateMagic) return std::nullopt;
+  if (wire[1] > 1) return std::nullopt;
+  UpdateRequest req;
+  req.encrypted = wire[1] == 1;
+  req.version = crypto::load_le64(wire.data() + 2);
+  req.challenge = crypto::load_le64(wire.data() + 10);
+  req.target = crypto::load_le32(wire.data() + 18);
+  const std::size_t payload_len = crypto::load_le32(wire.data() + 22);
+  if (wire.size() < 26 + payload_len + 1) return std::nullopt;
+  req.payload.assign(wire.begin() + 26, wire.begin() + 26 + payload_len);
+  const std::size_t mac_len = wire[26 + payload_len];
+  if (wire.size() != 27 + payload_len + mac_len) return std::nullopt;
+  req.mac.assign(wire.begin() + 27 + payload_len, wire.end());
+  return req;
+}
+
+Bytes EraseRequest::header_bytes() const {
+  Bytes out;
+  out.reserve(25);
+  out.push_back(kEraseMagic);
+  append_u64(out, sequence);
+  append_u64(out, challenge);
+  append_u32(out, region.begin);
+  append_u32(out, region.end);
+  return out;
+}
+
+Bytes EraseRequest::to_bytes() const {
+  Bytes out = header_bytes();
+  out.push_back(static_cast<std::uint8_t>(mac.size()));
+  crypto::append(out, mac);
+  return out;
+}
+
+std::optional<EraseRequest> EraseRequest::from_bytes(ByteView wire) {
+  if (wire.size() < 26 || wire[0] != kEraseMagic) return std::nullopt;
+  EraseRequest req;
+  req.sequence = crypto::load_le64(wire.data() + 1);
+  req.challenge = crypto::load_le64(wire.data() + 9);
+  req.region.begin = crypto::load_le32(wire.data() + 17);
+  req.region.end = crypto::load_le32(wire.data() + 21);
+  const std::size_t mac_len = wire[25];
+  if (wire.size() != 26 + mac_len) return std::nullopt;
+  req.mac.assign(wire.begin() + 26, wire.end());
+  return req;
+}
+
+std::string to_string(ServiceStatus status) {
+  switch (status) {
+    case ServiceStatus::kOk:
+      return "ok";
+    case ServiceStatus::kBadMac:
+      return "bad-mac";
+    case ServiceStatus::kBadPayload:
+      return "bad-payload";
+    case ServiceStatus::kNotFresh:
+      return "not-fresh";
+    case ServiceStatus::kOutOfBounds:
+      return "out-of-bounds";
+    case ServiceStatus::kWriteFault:
+      return "write-fault";
+    case ServiceStatus::kStorageFault:
+      return "storage-fault";
+  }
+  return "unknown";
+}
+
+DeviceServices::DeviceServices(hw::SoftwareComponent& component,
+                               const Config& config, ByteView k_attest,
+                               const timing::DeviceTimingModel& timing)
+    : component_(&component),
+      config_(config),
+      mac_(crypto::make_mac(
+          config.mac_alg,
+          crypto::derive_purpose_key(k_attest, "device-services"))),
+      enc_key_(crypto::derive_purpose_key(k_attest,
+                                          "update-confidentiality")),
+      timing_(&timing) {}
+
+std::optional<std::uint64_t> DeviceServices::installed_version() {
+  std::uint64_t version = 0;
+  if (component_->read64(config_.state_addr, version) != hw::BusStatus::kOk) {
+    return std::nullopt;
+  }
+  return version;
+}
+
+Bytes DeviceServices::region_proof(std::uint64_t challenge,
+                                   std::uint64_t counter,
+                                   const hw::AddrRange& region,
+                                   bool& fault) {
+  Bytes contents(region.size());
+  if (component_->read_block(region.begin, contents) != hw::BusStatus::kOk) {
+    fault = true;
+    return {};
+  }
+  Bytes message;
+  message.reserve(16 + contents.size());
+  append_u64(message, challenge);
+  append_u64(message, counter);
+  crypto::append(message, contents);
+  fault = false;
+  return mac_->compute(message);
+}
+
+ServiceOutcome DeviceServices::handle_update(const UpdateRequest& request) {
+  ServiceOutcome out;
+  // Request authentication: the MAC covers the payload, so the prover
+  // pays per payload byte even to reject — still far cheaper than an
+  // unauthenticated flash write + re-measure.
+  out.device_ms += timing_->mac_ms(config_.mac_alg,
+                                   request.header_bytes().size());
+  if (!mac_->verify(request.header_bytes(), request.mac)) {
+    out.status = ServiceStatus::kBadMac;
+    return out;
+  }
+
+  // Rollback protection: strictly increasing version in protected state.
+  const auto installed = installed_version();
+  if (!installed.has_value()) {
+    out.status = ServiceStatus::kStorageFault;
+    return out;
+  }
+  if (request.version <= *installed) {
+    out.status = ServiceStatus::kNotFresh;
+    return out;
+  }
+
+  // Confidential payloads: IV || AES-128-CBC(PKCS#7(plaintext)),
+  // decrypted only after authentication (encrypt-then-MAC).
+  Bytes plaintext = request.payload;
+  if (request.encrypted) {
+    if (request.payload.size() < 32 ||
+        (request.payload.size() - 16) % 16 != 0) {
+      out.status = ServiceStatus::kBadPayload;
+      return out;
+    }
+    crypto::Aes128::Block iv{};
+    std::copy(request.payload.begin(), request.payload.begin() + 16,
+              iv.begin());
+    const crypto::Aes128 cipher(enc_key_);
+    const Bytes padded = crypto::cbc_decrypt(
+        cipher, iv, ByteView(request.payload).subspan(16));
+    const auto unpadded = crypto::pkcs7_unpad(padded, 16);
+    if (!unpadded.has_value()) {
+      out.status = ServiceStatus::kBadPayload;
+      return out;
+    }
+    plaintext = *unpadded;
+    // Decryption costs the prover per ciphertext block (Table 1 dec).
+    out.device_ms += timing_->mac_ms(crypto::MacAlgorithm::kAesCbcMac,
+                                     request.payload.size(),
+                                     /*include_setup=*/true);
+  }
+
+  // Bounds check against the updatable window.
+  const hw::AddrRange landing{
+      request.target,
+      request.target + static_cast<hw::Addr>(plaintext.size())};
+  if (!config_.updatable.contains(landing)) {
+    out.status = ServiceStatus::kOutOfBounds;
+    return out;
+  }
+
+  // Commit: version first (a torn update must not be replayable), then
+  // erase the covered flash blocks (NOR: programming can only clear
+  // bits), then program the payload.
+  if (component_->write64(config_.state_addr, request.version) !=
+      hw::BusStatus::kOk) {
+    out.status = ServiceStatus::kStorageFault;
+    return out;
+  }
+  auto& bus = component_->mcu().bus();
+  for (hw::Addr block = landing.begin; block < landing.end;
+       block += hw::MemoryBus::kFlashBlockSize) {
+    if (bus.erase_flash_block(component_->ctx(), block) !=
+        hw::BusStatus::kOk) {
+      out.status = ServiceStatus::kWriteFault;
+      return out;
+    }
+  }
+  if (component_->write_block(request.target, plaintext) !=
+      hw::BusStatus::kOk) {
+    out.status = ServiceStatus::kWriteFault;
+    return out;
+  }
+
+  // Proof of installation: attestation over the landing region.
+  bool fault = false;
+  out.proof = region_proof(request.challenge, request.version, landing,
+                           fault);
+  if (fault) {
+    out.status = ServiceStatus::kWriteFault;
+    return out;
+  }
+  out.device_ms +=
+      timing_->memory_attestation_ms(config_.mac_alg, landing.size());
+  out.status = ServiceStatus::kOk;
+  return out;
+}
+
+ServiceOutcome DeviceServices::handle_erase(const EraseRequest& request) {
+  ServiceOutcome out;
+  out.device_ms += timing_->mac_ms(config_.mac_alg,
+                                   request.header_bytes().size());
+  if (!mac_->verify(request.header_bytes(), request.mac)) {
+    out.status = ServiceStatus::kBadMac;
+    return out;
+  }
+
+  std::uint64_t last_sequence = 0;
+  if (component_->read64(config_.state_addr + 8, last_sequence) !=
+      hw::BusStatus::kOk) {
+    out.status = ServiceStatus::kStorageFault;
+    return out;
+  }
+  if (request.sequence <= last_sequence) {
+    out.status = ServiceStatus::kNotFresh;
+    return out;
+  }
+
+  if (!config_.erasable.contains(request.region)) {
+    out.status = ServiceStatus::kOutOfBounds;
+    return out;
+  }
+
+  if (component_->write64(config_.state_addr + 8, request.sequence) !=
+      hw::BusStatus::kOk) {
+    out.status = ServiceStatus::kStorageFault;
+    return out;
+  }
+  const Bytes zeros(request.region.size(), 0);
+  if (component_->write_block(request.region.begin, zeros) !=
+      hw::BusStatus::kOk) {
+    out.status = ServiceStatus::kWriteFault;
+    return out;
+  }
+
+  bool fault = false;
+  out.proof = region_proof(request.challenge, request.sequence,
+                           request.region, fault);
+  if (fault) {
+    out.status = ServiceStatus::kWriteFault;
+    return out;
+  }
+  out.device_ms += timing_->memory_attestation_ms(config_.mac_alg,
+                                                  request.region.size());
+  out.status = ServiceStatus::kOk;
+  return out;
+}
+
+ServiceMaster::ServiceMaster(ByteView k_attest, crypto::MacAlgorithm mac_alg)
+    : mac_(crypto::make_mac(
+          mac_alg,
+          crypto::derive_purpose_key(k_attest, "device-services"))),
+      enc_key_(crypto::derive_purpose_key(k_attest,
+                                          "update-confidentiality")) {}
+
+UpdateRequest ServiceMaster::make_update(std::uint64_t version,
+                                         hw::Addr target, Bytes payload,
+                                         std::uint64_t challenge) {
+  UpdateRequest req;
+  req.version = version;
+  req.target = target;
+  req.payload = std::move(payload);
+  req.challenge = challenge;
+  req.mac = mac_->compute(req.header_bytes());
+  return req;
+}
+
+UpdateRequest ServiceMaster::make_encrypted_update(std::uint64_t version,
+                                                   hw::Addr target,
+                                                   ByteView plaintext,
+                                                   std::uint64_t challenge) {
+  UpdateRequest req;
+  req.version = version;
+  req.target = target;
+  req.challenge = challenge;
+  req.encrypted = true;
+  // Deterministic IV bound to (version, challenge): unique per accepted
+  // update because versions are strictly increasing.
+  Bytes iv_seed;
+  append_u64(iv_seed, version);
+  append_u64(iv_seed, challenge);
+  const auto iv_full = crypto::Hmac<crypto::Sha256>::mac(enc_key_, iv_seed);
+  crypto::Aes128::Block iv{};
+  std::copy(iv_full.begin(), iv_full.begin() + 16, iv.begin());
+  const crypto::Aes128 cipher(enc_key_);
+  req.payload.assign(iv.begin(), iv.end());
+  crypto::append(req.payload,
+                 crypto::cbc_encrypt(cipher, iv,
+                                     crypto::pkcs7_pad(plaintext, 16)));
+  req.mac = mac_->compute(req.header_bytes());
+  return req;
+}
+
+EraseRequest ServiceMaster::make_erase(const hw::AddrRange& region,
+                                       std::uint64_t challenge) {
+  EraseRequest req;
+  req.sequence = ++erase_sequence_;
+  req.region = region;
+  req.challenge = challenge;
+  req.mac = mac_->compute(req.header_bytes());
+  return req;
+}
+
+bool ServiceMaster::check_update_proof(const UpdateRequest& request,
+                                       ByteView expected_region,
+                                       ByteView proof) const {
+  Bytes message;
+  message.reserve(16 + expected_region.size());
+  std::uint8_t word[8];
+  crypto::store_le64(word, request.challenge);
+  crypto::append(message, ByteView(word, 8));
+  crypto::store_le64(word, request.version);
+  crypto::append(message, ByteView(word, 8));
+  crypto::append(message, expected_region);
+  return mac_->verify(message, proof);
+}
+
+bool ServiceMaster::check_erase_proof(const EraseRequest& request,
+                                      ByteView proof) const {
+  const Bytes zeros(request.region.size(), 0);
+  Bytes message;
+  message.reserve(16 + zeros.size());
+  std::uint8_t word[8];
+  crypto::store_le64(word, request.challenge);
+  crypto::append(message, ByteView(word, 8));
+  crypto::store_le64(word, request.sequence);
+  crypto::append(message, ByteView(word, 8));
+  crypto::append(message, zeros);
+  return mac_->verify(message, proof);
+}
+
+}  // namespace ratt::attest

@@ -1,0 +1,142 @@
+// Attestation-derived device services — the paper's future-work item 3
+// ("generalize proposed techniques to other network protocols ... to
+// mitigate DoS attacks on other security services").
+//
+// The paper's introduction names secure code update and secure memory
+// erasure as services built on attestation (SCUBA-style). Both share the
+// attestation protocol's prover-side DoS profile: an unauthenticated or
+// replayed request makes the device rewrite flash or wipe RAM — far worse
+// than a wasted MAC. The services below therefore apply the full
+// discipline of Secs. 4-5:
+//
+//   * requests are MAC'd under K_Attest,
+//   * a monotonic version / sequence word in EA-MPU-protected memory
+//     rejects replays and downgrades (rollback protection),
+//   * every mutation is bounds-checked against a fixed service region,
+//   * the response is a *proof*: a MAC over the resulting memory bound to
+//     the request challenge, so the verifier learns the operation really
+//     happened on the device (this is where attestation is the building
+//     block).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ratt/attest/message.hpp"
+#include "ratt/hw/mcu.hpp"
+#include "ratt/timing/timing.hpp"
+
+namespace ratt::attest {
+
+/// Authenticated firmware-update request. With `encrypted`, `payload` is
+/// IV || AES-128-CBC(PKCS#7(plaintext)) under HKDF(K_Attest,
+/// "update-confidentiality") — encrypt-then-MAC, so the MAC still covers
+/// the ciphertext.
+struct UpdateRequest {
+  std::uint64_t version = 0;    // must exceed the installed version
+  std::uint64_t challenge = 0;  // bound into the proof
+  hw::Addr target = 0;          // where the payload lands
+  bool encrypted = false;
+  Bytes payload;
+  Bytes mac;  // over header_bytes() (which covers the payload)
+
+  Bytes header_bytes() const;
+  Bytes to_bytes() const;
+  static std::optional<UpdateRequest> from_bytes(ByteView wire);
+};
+
+/// Authenticated memory-erasure request.
+struct EraseRequest {
+  std::uint64_t sequence = 0;   // strictly increasing
+  std::uint64_t challenge = 0;  // bound into the proof
+  hw::AddrRange region;
+  Bytes mac;
+
+  Bytes header_bytes() const;
+  Bytes to_bytes() const;
+  static std::optional<EraseRequest> from_bytes(ByteView wire);
+};
+
+enum class ServiceStatus : std::uint8_t {
+  kOk,
+  kBadMac,        // request authentication failed
+  kBadPayload,    // encrypted payload failed to decrypt/unpad
+  kNotFresh,      // version/sequence not strictly increasing (replay or
+                  // downgrade)
+  kOutOfBounds,   // target outside the service region
+  kWriteFault,    // bus fault during the mutation
+  kStorageFault,  // service state unreachable
+};
+
+std::string to_string(ServiceStatus status);
+
+struct ServiceOutcome {
+  ServiceStatus status = ServiceStatus::kOk;
+  /// MAC(challenge || version-or-sequence || resulting region bytes):
+  /// the attestation-style proof of execution. Valid when status == kOk.
+  Bytes proof;
+  /// Prover time consumed (device ms) — the DoS currency.
+  double device_ms = 0.0;
+};
+
+/// Prover-side service endpoint, in the Code_Attest trust domain.
+class DeviceServices {
+ public:
+  struct Config {
+    /// Two protected u64 state words: [installed version][erase sequence].
+    hw::Addr state_addr = 0;
+    /// The only memory an update may touch.
+    hw::AddrRange updatable;
+    /// The only memory an erase may touch.
+    hw::AddrRange erasable;
+    crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  };
+
+  DeviceServices(hw::SoftwareComponent& component, const Config& config,
+                 ByteView k_attest,
+                 const timing::DeviceTimingModel& timing);
+
+  ServiceOutcome handle_update(const UpdateRequest& request);
+  ServiceOutcome handle_erase(const EraseRequest& request);
+
+  std::optional<std::uint64_t> installed_version();
+
+ private:
+  Bytes region_proof(std::uint64_t challenge, std::uint64_t counter,
+                     const hw::AddrRange& region, bool& fault);
+
+  hw::SoftwareComponent* component_;
+  Config config_;
+  std::unique_ptr<crypto::Mac> mac_;
+  Bytes enc_key_;
+  const timing::DeviceTimingModel* timing_;
+};
+
+/// Verifier-side counterpart: builds requests, validates proofs.
+class ServiceMaster {
+ public:
+  ServiceMaster(ByteView k_attest, crypto::MacAlgorithm mac_alg);
+
+  UpdateRequest make_update(std::uint64_t version, hw::Addr target,
+                            Bytes payload, std::uint64_t challenge);
+  /// Confidential variant: the firmware image travels encrypted.
+  UpdateRequest make_encrypted_update(std::uint64_t version, hw::Addr target,
+                                      ByteView plaintext,
+                                      std::uint64_t challenge);
+  EraseRequest make_erase(const hw::AddrRange& region,
+                          std::uint64_t challenge);
+
+  /// The proof must equal MAC(challenge || version || expected payload
+  /// image of the whole updatable region).
+  bool check_update_proof(const UpdateRequest& request,
+                          ByteView expected_region, ByteView proof) const;
+  /// Erase proof: MAC(challenge || sequence || zeros of region size).
+  bool check_erase_proof(const EraseRequest& request, ByteView proof) const;
+
+ private:
+  std::unique_ptr<crypto::Mac> mac_;
+  Bytes enc_key_;
+  std::uint64_t erase_sequence_ = 0;
+};
+
+}  // namespace ratt::attest

@@ -1,0 +1,127 @@
+#include "ratt/attest/trust_anchor.hpp"
+
+namespace ratt::attest {
+
+std::string to_string(AttestStatus status) {
+  switch (status) {
+    case AttestStatus::kOk:
+      return "ok";
+    case AttestStatus::kBadRequestMac:
+      return "bad-request-mac";
+    case AttestStatus::kNotFresh:
+      return "not-fresh";
+    case AttestStatus::kWrongAlgorithm:
+      return "wrong-algorithm";
+    case AttestStatus::kKeyUnreadable:
+      return "key-unreadable";
+    case AttestStatus::kMeasurementFault:
+      return "measurement-fault";
+    case AttestStatus::kRateLimited:
+      return "rate-limited";
+  }
+  return "unknown";
+}
+
+CodeAttest::CodeAttest(hw::Mcu& mcu, const Config& config,
+                       FreshnessPolicy& policy,
+                       const timing::DeviceTimingModel& timing)
+    : hw::SoftwareComponent(mcu, "code-attest", config.code),
+      config_(config),
+      policy_(&policy),
+      timing_(&timing) {}
+
+std::optional<Bytes> CodeAttest::read_key() const {
+  Bytes key(config_.key_size);
+  if (read_block(config_.key_addr, key) != hw::BusStatus::kOk) {
+    return std::nullopt;
+  }
+  return key;
+}
+
+AttestOutcome CodeAttest::handle_request(const AttestRequest& request) {
+  AttestOutcome out;
+  const auto account = [&](double ms) {
+    out.device_ms += ms;
+    total_device_ms_ += ms;
+  };
+
+  if (request.mac_alg != config_.mac_alg) {
+    ++rejected_;
+    out.status = AttestStatus::kWrongAlgorithm;
+    return out;
+  }
+
+  const auto key = read_key();
+  if (!key.has_value()) {
+    ++rejected_;
+    out.status = AttestStatus::kKeyUnreadable;
+    return out;
+  }
+  const auto mac = crypto::make_mac(config_.mac_alg, *key);
+
+  // 1. Request authentication (Sec. 4.1). The prover pays the one-block
+  //    verification cost whether or not the MAC checks out — that residual
+  //    cost is what the Sec. 4.1 ECC discussion is about.
+  if (config_.authenticate_requests) {
+    account(timing_->request_auth_ms(config_.mac_alg));
+    if (!mac->verify(request.header_bytes(), request.mac)) {
+      ++rejected_;
+      out.status = AttestStatus::kBadRequestMac;
+      return out;
+    }
+  }
+
+  // 2. Freshness (Sec. 4.2). Cheap: a few memory words.
+  out.freshness = policy_->check_and_update(ctx(), request.freshness);
+  if (out.freshness != FreshnessVerdict::kAccept) {
+    ++rejected_;
+    out.status = AttestStatus::kNotFresh;
+    return out;
+  }
+
+  // 3. Attestation budget (extension): the request is authentic and
+  //    fresh, but the prover refuses to be driven above its configured
+  //    duty share. Uses the hardware cycle counter, which no software can
+  //    rewind.
+  if (config_.rate_limit_max > 0) {
+    const double now_ms = mcu().now_ms();
+    if (now_ms - window_start_ms_ >= config_.rate_limit_window_ms) {
+      window_start_ms_ = now_ms;
+      window_count_ = 0;
+    }
+    if (window_count_ >= config_.rate_limit_max) {
+      ++rejected_;
+      ++rate_limited_;
+      out.status = AttestStatus::kRateLimited;
+      return out;
+    }
+    ++window_count_;
+  }
+
+  // 4. Memory measurement (Sec. 3.1): MAC over challenge || freshness ||
+  //    the measured memory range, read over the bus (EA-MPU applies).
+  Bytes measured(config_.measured_memory.size());
+  if (read_block(config_.measured_memory.begin, measured) !=
+      hw::BusStatus::kOk) {
+    ++rejected_;
+    out.status = AttestStatus::kMeasurementFault;
+    return out;
+  }
+  Bytes message;
+  message.reserve(16 + measured.size());
+  std::uint8_t word[8];
+  crypto::store_le64(word, request.challenge);
+  crypto::append(message, ByteView(word, 8));
+  crypto::store_le64(word, request.freshness);
+  crypto::append(message, ByteView(word, 8));
+  crypto::append(message, measured);
+  account(timing_->memory_attestation_ms(config_.mac_alg, message.size()));
+
+  out.response.freshness = request.freshness;
+  out.response.measurement = mac->compute(message);
+  out.status = AttestStatus::kOk;
+  ++performed_;
+  return out;
+}
+
+}  // namespace ratt::attest

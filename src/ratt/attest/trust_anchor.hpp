@@ -1,0 +1,100 @@
+// Code_Attest: the prover's trust anchor (Sec. 3, Sec. 6.2).
+//
+// A SoftwareComponent whose code region the EA-MPU rules name. It
+//   1. reads K_Attest over the bus (only its PC may — the EA-MPU rule),
+//   2. authenticates the request MAC (Sec. 4.1),
+//   3. runs the freshness policy (Sec. 4.2),
+//   4. measures the configured memory range (MAC over challenge ||
+//      freshness || memory, read over the bus), and
+//   5. emits the authenticated response.
+//
+// Every step is priced with the device timing model, so callers can
+// account the prover time (and thus energy) an adversary extracts — the
+// paper's DoS currency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ratt/attest/freshness.hpp"
+#include "ratt/attest/message.hpp"
+#include "ratt/hw/mcu.hpp"
+#include "ratt/timing/timing.hpp"
+
+namespace ratt::attest {
+
+/// Outcome of one attestation invocation on the prover.
+enum class AttestStatus : std::uint8_t {
+  kOk,               // full attestation performed, response produced
+  kBadRequestMac,    // request failed authentication (Sec. 4.1)
+  kNotFresh,         // freshness policy rejected (Sec. 4.2)
+  kWrongAlgorithm,   // request names a MAC other than the deployment's
+  kKeyUnreadable,    // K_Attest not accessible (mis-configured EA-MPU)
+  kMeasurementFault, // measured memory not fully readable
+  kRateLimited,      // attestation budget exhausted (extension)
+};
+
+std::string to_string(AttestStatus status);
+
+struct AttestOutcome {
+  AttestStatus status = AttestStatus::kOk;
+  FreshnessVerdict freshness = FreshnessVerdict::kAccept;
+  AttestResponse response;  // valid when status == kOk
+  /// Prover time consumed by this invocation (device ms), incl. rejected
+  /// requests' authentication cost.
+  double device_ms = 0.0;
+};
+
+class CodeAttest : public hw::SoftwareComponent {
+ public:
+  struct Config {
+    hw::AddrRange code;            // Code_Attest's own (ROM) region
+    hw::Addr key_addr = 0;         // K_Attest location
+    std::size_t key_size = 16;
+    crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+    hw::AddrRange measured_memory; // what attestation MACs (Sec. 3.1)
+    /// Authenticate requests? Off = the vulnerable Sec. 3.1 baseline.
+    bool authenticate_requests = true;
+    /// Extension (defense in depth beyond the paper): cap the number of
+    /// full attestations per window of device time. Bounds the damage of
+    /// an adversary that defeats authentication outright (e.g. after key
+    /// extraction): it can still waste at most max/window of the prover.
+    /// 0 disables the limiter.
+    std::uint32_t rate_limit_max = 0;
+    double rate_limit_window_ms = 1000.0;
+  };
+
+  CodeAttest(hw::Mcu& mcu, const Config& config, FreshnessPolicy& policy,
+             const timing::DeviceTimingModel& timing);
+
+  const Config& config() const { return config_; }
+
+  /// Process one attestation request end to end.
+  AttestOutcome handle_request(const AttestRequest& request);
+
+  /// Cumulative prover time spent in handle_request (device ms).
+  double total_device_ms() const { return total_device_ms_; }
+
+  /// Number of *full* attestations performed (the DoS success metric:
+  /// each one is ~754 ms of stolen prover time on the reference device).
+  std::uint64_t attestations_performed() const { return performed_; }
+  std::uint64_t requests_rejected() const { return rejected_; }
+  std::uint64_t requests_rate_limited() const { return rate_limited_; }
+
+ private:
+  /// Read K_Attest through the bus (EA-MPU applies). nullopt on fault.
+  std::optional<Bytes> read_key() const;
+
+  Config config_;
+  FreshnessPolicy* policy_;
+  const timing::DeviceTimingModel* timing_;
+  double total_device_ms_ = 0.0;
+  std::uint64_t performed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  double window_start_ms_ = 0.0;
+  std::uint32_t window_count_ = 0;
+};
+
+}  // namespace ratt::attest

@@ -1,0 +1,61 @@
+#include "ratt/attest/verifier.hpp"
+
+#include <stdexcept>
+
+namespace ratt::attest {
+
+Verifier::Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed)
+    : key_(std::move(k_attest)),
+      config_(config),
+      drbg_(drbg_seed),
+      mac_(crypto::make_mac(config.mac_alg, key_)) {
+  if (config_.scheme == FreshnessScheme::kTimestamp && !config_.clock) {
+    throw std::invalid_argument(
+        "Verifier: timestamp scheme requires a clock");
+  }
+}
+
+AttestRequest Verifier::make_request() {
+  AttestRequest req;
+  req.scheme = config_.scheme;
+  req.mac_alg = config_.mac_alg;
+  switch (config_.scheme) {
+    case FreshnessScheme::kNone:
+      req.freshness = 0;
+      break;
+    case FreshnessScheme::kNonce: {
+      const Bytes raw = drbg_.generate(8);
+      req.freshness = crypto::load_le64(raw.data());
+      break;
+    }
+    case FreshnessScheme::kCounter:
+      req.freshness = ++counter_;
+      break;
+    case FreshnessScheme::kTimestamp:
+      req.freshness = config_.clock();
+      break;
+  }
+  const Bytes challenge_raw = drbg_.generate(8);
+  req.challenge = crypto::load_le64(challenge_raw.data());
+  if (config_.authenticate_requests) {
+    req.mac = mac_->compute(req.header_bytes());
+  }
+  return req;
+}
+
+bool Verifier::check_response(const AttestRequest& request,
+                              const AttestResponse& response) const {
+  if (response.freshness != request.freshness) return false;
+  // Recompute the expected measurement over the reference memory.
+  Bytes message;
+  message.reserve(16 + reference_memory_.size());
+  std::uint8_t word[8];
+  crypto::store_le64(word, request.challenge);
+  crypto::append(message, ByteView(word, 8));
+  crypto::store_le64(word, request.freshness);
+  crypto::append(message, ByteView(word, 8));
+  crypto::append(message, reference_memory_);
+  return mac_->verify(message, response.measurement);
+}
+
+}  // namespace ratt::attest

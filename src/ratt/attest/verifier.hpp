@@ -1,0 +1,53 @@
+// The verifier (Vrf): issues authenticated attestation requests with a
+// freshness element and validates the prover's measurement against its
+// reference copy of the device memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "ratt/attest/message.hpp"
+#include "ratt/crypto/drbg.hpp"
+
+namespace ratt::attest {
+
+class Verifier {
+ public:
+  struct Config {
+    crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+    FreshnessScheme scheme = FreshnessScheme::kCounter;
+    /// Sign requests with K_Attest? (Sec. 4.1 mitigation.)
+    bool authenticate_requests = true;
+    /// Verifier-side clock (ticks) for timestamp requests; must be
+    /// (nominally) synchronized with the prover's clock.
+    std::function<std::uint64_t()> clock;
+  };
+
+  Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed);
+
+  /// Build the next request: fresh nonce / next counter / current time.
+  AttestRequest make_request();
+
+  /// What the verifier expects the prover's memory to contain.
+  void set_reference_memory(Bytes memory) {
+    reference_memory_ = std::move(memory);
+  }
+
+  /// Validate a response to `request` (the verifier recomputes the MAC
+  /// over its reference memory).
+  bool check_response(const AttestRequest& request,
+                      const AttestResponse& response) const;
+
+  std::uint64_t counter() const { return counter_; }
+
+ private:
+  Bytes key_;
+  Config config_;
+  crypto::HmacDrbg drbg_;
+  std::unique_ptr<crypto::Mac> mac_;
+  std::uint64_t counter_ = 0;
+  Bytes reference_memory_;
+};
+
+}  // namespace ratt::attest

@@ -1,0 +1,89 @@
+#include "ratt/cost/cost.hpp"
+
+#include <cmath>
+
+namespace ratt::cost {
+
+Component siskiyou_peak() { return {"siskiyou-peak", 0, 5528, 14361}; }
+Component attest_key() { return {"attest-key", 1, 0, 0}; }
+Component counter_r() { return {"counter-r", 1, 0, 0}; }
+Component eampu_lockdown() { return {"eampu-lockdown", 1, 0, 0}; }
+Component clock_64bit() { return {"clock-64bit", 0, 64, 64}; }
+Component clock_32bit() { return {"clock-32bit", 0, 32, 32}; }
+Component sw_clock() { return {"sw-clock", 3, 0, 0}; }
+Component clock_protection_rule() { return {"clock-rule", 1, 0, 0}; }
+
+std::uint32_t eampu_registers(std::uint32_t rules) {
+  return 278 + 116 * rules;
+}
+
+std::uint32_t eampu_luts(std::uint32_t rules) { return 417 + 182 * rules; }
+
+SystemCost compose(std::string name, const std::vector<Component>& parts) {
+  SystemCost cost;
+  cost.name = std::move(name);
+  for (const auto& part : parts) {
+    cost.rules += part.eampu_rules;
+    cost.registers += part.registers;
+    cost.luts += part.luts;
+  }
+  cost.registers += eampu_registers(cost.rules);
+  cost.luts += eampu_luts(cost.rules);
+  return cost;
+}
+
+SystemCost baseline() {
+  // Sec. 6.3: "the base-line needs an EA-MPU with at least two rules: one
+  // to lock down the EA-MPU itself, and the other to protect K_Attest" —
+  // 5528 + 278 + 116*2 = 6038 registers; 14361 + 417 + 182*2 = 15142 LUTs.
+  return compose("baseline",
+                 {siskiyou_peak(), eampu_lockdown(), attest_key()});
+}
+
+SystemCost with_clock_64bit() {
+  // "we need an additional EA-MPU rule, plus the direct cost of the
+  // clock: 116 + 64 = 180 registers and 182 + 64 = 246 LUTs".
+  return compose("64-bit clock", {siskiyou_peak(), eampu_lockdown(),
+                                  attest_key(), clock_protection_rule(),
+                                  clock_64bit()});
+}
+
+SystemCost with_clock_32bit() {
+  return compose("32-bit clock + divider",
+                 {siskiyou_peak(), eampu_lockdown(), attest_key(),
+                  clock_protection_rule(), clock_32bit()});
+}
+
+SystemCost with_sw_clock() {
+  // "three new EA-MPU rules: 116*3 = 348 registers and 182*3 = 546 LUTs".
+  return compose("SW-clock", {siskiyou_peak(), eampu_lockdown(),
+                              attest_key(), sw_clock()});
+}
+
+Overhead overhead_vs(const SystemCost& system, const SystemCost& base) {
+  Overhead o;
+  o.extra_registers = system.registers - base.registers;
+  o.extra_luts = system.luts - base.luts;
+  o.register_pct =
+      100.0 * static_cast<double>(o.extra_registers) / base.registers;
+  o.lut_pct = 100.0 * static_cast<double>(o.extra_luts) / base.luts;
+  return o;
+}
+
+double wraparound_seconds(unsigned bits, double hz, std::uint64_t divider) {
+  // 2^bits ticks, one tick every divider cycles.
+  return std::ldexp(1.0, static_cast<int>(bits)) *
+         static_cast<double>(divider) / hz;
+}
+
+double resolution_ms(double hz, std::uint64_t divider) {
+  return 1000.0 * static_cast<double>(divider) / hz;
+}
+
+double seconds_to_years(double seconds) {
+  // 365-day years: this is what reproduces the paper's "24,372.6 years"
+  // for 2^64 cycles at 24 MHz.
+  return seconds / (365.0 * 24 * 3600);
+}
+
+}  // namespace ratt::cost

@@ -1,0 +1,37 @@
+// AES-128 (FIPS 197): key expansion and single-block encrypt/decrypt.
+//
+// The paper prices AES-128 key expansion, encryption and decryption
+// separately (Table 1) because on a low-end MCU the key schedule can be
+// precomputed once; this API mirrors that split.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// AES-128 block cipher. Satisfies the BlockCipher concept in
+/// block_modes.hpp (16-byte block, 16-byte key).
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Runs key expansion (the "Key exp." column of Table 1).
+  explicit Aes128(ByteView key);
+
+  Block encrypt_block(const Block& plaintext) const;
+  Block decrypt_block(const Block& ciphertext) const;
+
+ private:
+  // Round keys for encryption; decryption uses the same schedule with the
+  // equivalent-inverse-cipher transform applied on the fly.
+  std::array<std::uint32_t, 4 * (kRounds + 1)> round_keys_{};
+};
+
+}  // namespace ratt::crypto

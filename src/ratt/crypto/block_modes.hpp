@@ -1,0 +1,127 @@
+// CBC mode and CBC-MAC, generic over a block cipher.
+//
+// Table 1 prices AES-128 and Speck 64/128 "(CBC)"; the paper's request
+// authentication uses a CBC-MAC over the (single-block) attestation
+// request. For multi-block inputs we length-prepend, which restores
+// CBC-MAC security for variable-length messages.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <cstddef>
+#include <stdexcept>
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// Requirements on the cipher parameter of the CBC helpers.
+template <typename C>
+concept BlockCipher = requires(const C c, typename C::Block b) {
+  { C::kBlockSize } -> std::convertible_to<std::size_t>;
+  { C::kKeySize } -> std::convertible_to<std::size_t>;
+  { c.encrypt_block(b) } -> std::convertible_to<typename C::Block>;
+  { c.decrypt_block(b) } -> std::convertible_to<typename C::Block>;
+};
+
+/// CBC-encrypt `plaintext` (length must be a block multiple) under `iv`.
+template <BlockCipher Cipher>
+Bytes cbc_encrypt(const Cipher& cipher, const typename Cipher::Block& iv,
+                  ByteView plaintext) {
+  if (plaintext.size() % Cipher::kBlockSize != 0) {
+    throw std::invalid_argument("cbc_encrypt: input not block-aligned");
+  }
+  Bytes out;
+  out.reserve(plaintext.size());
+  typename Cipher::Block chain = iv;
+  for (std::size_t off = 0; off < plaintext.size();
+       off += Cipher::kBlockSize) {
+    typename Cipher::Block block;
+    for (std::size_t i = 0; i < Cipher::kBlockSize; ++i) {
+      block[i] = static_cast<std::uint8_t>(plaintext[off + i] ^ chain[i]);
+    }
+    chain = cipher.encrypt_block(block);
+    out.insert(out.end(), chain.begin(), chain.end());
+  }
+  return out;
+}
+
+/// CBC-decrypt `ciphertext` (length must be a block multiple) under `iv`.
+template <BlockCipher Cipher>
+Bytes cbc_decrypt(const Cipher& cipher, const typename Cipher::Block& iv,
+                  ByteView ciphertext) {
+  if (ciphertext.size() % Cipher::kBlockSize != 0) {
+    throw std::invalid_argument("cbc_decrypt: input not block-aligned");
+  }
+  Bytes out;
+  out.reserve(ciphertext.size());
+  typename Cipher::Block chain = iv;
+  for (std::size_t off = 0; off < ciphertext.size();
+       off += Cipher::kBlockSize) {
+    typename Cipher::Block block;
+    for (std::size_t i = 0; i < Cipher::kBlockSize; ++i) {
+      block[i] = ciphertext[off + i];
+    }
+    const typename Cipher::Block decrypted = cipher.decrypt_block(block);
+    for (std::size_t i = 0; i < Cipher::kBlockSize; ++i) {
+      out.push_back(static_cast<std::uint8_t>(decrypted[i] ^ chain[i]));
+    }
+    chain = block;
+  }
+  return out;
+}
+
+/// PKCS#7 padding to a multiple of `block_size` (always adds 1..block_size
+/// bytes, so the original length is recoverable).
+inline Bytes pkcs7_pad(ByteView data, std::size_t block_size) {
+  const std::size_t pad = block_size - (data.size() % block_size);
+  Bytes out(data.begin(), data.end());
+  out.insert(out.end(), pad, static_cast<std::uint8_t>(pad));
+  return out;
+}
+
+/// Inverse of pkcs7_pad; nullopt on malformed padding. Not constant-time:
+/// callers must authenticate before unpadding (encrypt-then-MAC).
+inline std::optional<Bytes> pkcs7_unpad(ByteView data,
+                                        std::size_t block_size) {
+  if (data.empty() || data.size() % block_size != 0) return std::nullopt;
+  const std::uint8_t pad = data.back();
+  if (pad == 0 || pad > block_size || pad > data.size()) return std::nullopt;
+  for (std::size_t i = data.size() - pad; i < data.size(); ++i) {
+    if (data[i] != pad) return std::nullopt;
+  }
+  return Bytes(data.begin(), data.end() - pad);
+}
+
+/// Length-prepended CBC-MAC with zero IV. The message length is encoded in
+/// the first block, which makes the MAC secure for variable-length
+/// messages (plain CBC-MAC is only secure for fixed-length input).
+/// The tail block is zero-padded.
+template <BlockCipher Cipher>
+typename Cipher::Block cbc_mac(const Cipher& cipher, ByteView message) {
+  typename Cipher::Block chain{};  // zero IV
+
+  // Block 0: message length in bytes, little-endian, zero-padded.
+  typename Cipher::Block len_block{};
+  std::uint64_t len = message.size();
+  for (std::size_t i = 0; i < sizeof(len) && i < Cipher::kBlockSize; ++i) {
+    len_block[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  chain = cipher.encrypt_block(len_block);
+
+  for (std::size_t off = 0; off < message.size(); off += Cipher::kBlockSize) {
+    typename Cipher::Block block{};
+    const std::size_t take =
+        std::min(Cipher::kBlockSize, message.size() - off);
+    for (std::size_t i = 0; i < take; ++i) {
+      block[i] = static_cast<std::uint8_t>(message[off + i] ^ chain[i]);
+    }
+    for (std::size_t i = take; i < Cipher::kBlockSize; ++i) {
+      block[i] = chain[i];
+    }
+    chain = cipher.encrypt_block(block);
+  }
+  return chain;
+}
+
+}  // namespace ratt::crypto

@@ -1,0 +1,42 @@
+// Byte-buffer helpers shared by all crypto primitives.
+//
+// All protocol and crypto code in this library works on contiguous byte
+// ranges. `Bytes` is the owning type, `std::span<const std::uint8_t>` the
+// non-owning view taken by every primitive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ratt::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encode a byte range as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decode a hex string (even length, upper or lower case).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Bytes from a string literal / std::string contents (no terminator).
+Bytes from_string(std::string_view s);
+
+// Big-endian and little-endian load/store used by the block primitives.
+std::uint32_t load_be32(const std::uint8_t* p);
+std::uint64_t load_be64(const std::uint8_t* p);
+void store_be32(std::uint8_t* p, std::uint32_t v);
+void store_be64(std::uint8_t* p, std::uint64_t v);
+std::uint32_t load_le32(const std::uint8_t* p);
+std::uint64_t load_le64(const std::uint8_t* p);
+void store_le32(std::uint8_t* p, std::uint32_t v);
+void store_le64(std::uint8_t* p, std::uint64_t v);
+
+/// Append `data` to `out`.
+void append(Bytes& out, ByteView data);
+
+}  // namespace ratt::crypto

@@ -1,0 +1,99 @@
+// CMAC / OMAC1 (NIST SP 800-38B, RFC 4493 for AES-128), generic over a
+// block cipher.
+//
+// The paper's Sec. 4.1 uses plain CBC-MAC (priced in Table 1); CMAC is
+// the standardized variant that is secure for variable-length messages
+// without this library's length-prepending workaround, at the same
+// per-block cost. Provided so deployments can choose the
+// standards-compliant construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ratt/crypto/block_modes.hpp"
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+namespace detail {
+
+/// The "doubling" operation in GF(2^b): left shift, conditionally XOR the
+/// block-size-specific constant Rb (0x87 for 128-bit, 0x1B for 64-bit).
+template <std::size_t BlockSize>
+std::array<std::uint8_t, BlockSize> gf_double(
+    const std::array<std::uint8_t, BlockSize>& in) {
+  static_assert(BlockSize == 16 || BlockSize == 8,
+                "CMAC: unsupported block size");
+  constexpr std::uint8_t rb = (BlockSize == 16) ? 0x87 : 0x1b;
+  std::array<std::uint8_t, BlockSize> out{};
+  std::uint8_t carry = 0;
+  for (std::size_t i = BlockSize; i-- > 0;) {
+    const std::uint8_t b = in[i];
+    out[i] = static_cast<std::uint8_t>((b << 1) | carry);
+    carry = b >> 7;
+  }
+  if (carry != 0) {
+    out[BlockSize - 1] = static_cast<std::uint8_t>(out[BlockSize - 1] ^ rb);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Subkeys K1 (for complete final blocks) and K2 (for padded ones).
+template <BlockCipher Cipher>
+struct CmacSubkeys {
+  typename Cipher::Block k1;
+  typename Cipher::Block k2;
+};
+
+template <BlockCipher Cipher>
+CmacSubkeys<Cipher> cmac_subkeys(const Cipher& cipher) {
+  const typename Cipher::Block zero{};
+  const auto l = cipher.encrypt_block(zero);
+  CmacSubkeys<Cipher> keys;
+  keys.k1 = detail::gf_double<Cipher::kBlockSize>(l);
+  keys.k2 = detail::gf_double<Cipher::kBlockSize>(keys.k1);
+  return keys;
+}
+
+/// One-shot CMAC over `message`.
+template <BlockCipher Cipher>
+typename Cipher::Block cmac(const Cipher& cipher, ByteView message) {
+  const CmacSubkeys<Cipher> keys = cmac_subkeys(cipher);
+  constexpr std::size_t kBlock = Cipher::kBlockSize;
+
+  // Number of blocks, with the empty message occupying one padded block.
+  const std::size_t n =
+      message.empty() ? 1 : (message.size() + kBlock - 1) / kBlock;
+  const bool last_complete =
+      !message.empty() && message.size() % kBlock == 0;
+
+  typename Cipher::Block chain{};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      chain[j] = static_cast<std::uint8_t>(chain[j] ^
+                                           message[i * kBlock + j]);
+    }
+    chain = cipher.encrypt_block(chain);
+  }
+
+  // Final block: XOR with K1 (complete) or pad 10..0 and XOR with K2.
+  typename Cipher::Block last{};
+  const std::size_t tail_off = (n - 1) * kBlock;
+  const std::size_t tail_len = message.size() - tail_off;
+  for (std::size_t j = 0; j < tail_len; ++j) {
+    last[j] = message[tail_off + j];
+  }
+  if (!last_complete) {
+    last[tail_len] = 0x80;
+  }
+  const auto& subkey = last_complete ? keys.k1 : keys.k2;
+  for (std::size_t j = 0; j < kBlock; ++j) {
+    chain[j] = static_cast<std::uint8_t>(chain[j] ^ last[j] ^ subkey[j]);
+  }
+  return cipher.encrypt_block(chain);
+}
+
+}  // namespace ratt::crypto

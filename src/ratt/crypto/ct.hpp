@@ -1,0 +1,16 @@
+// Constant-time comparison helpers.
+//
+// MAC verification on the prover must not leak, via early exit, how many
+// prefix bytes of a forged tag were correct; all tag comparisons in this
+// library go through ct_equal().
+#pragma once
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// Compare two byte ranges in time independent of their contents.
+/// Ranges of different length compare unequal (length itself is public).
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace ratt::crypto

@@ -1,0 +1,67 @@
+#include "ratt/crypto/drbg.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "ratt/crypto/hmac.hpp"
+
+namespace ratt::crypto {
+
+HmacDrbg::HmacDrbg(ByteView seed) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  update(seed);
+}
+
+void HmacDrbg::update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    Hmac<Sha256> h(key_);
+    h.update(value_);
+    const std::uint8_t zero = 0x00;
+    h.update(ByteView(&zero, 1));
+    h.update(provided);
+    key_ = h.finish();
+  }
+  value_ = Hmac<Sha256>::mac(key_, value_);
+  if (provided.empty()) return;
+  // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
+  {
+    Hmac<Sha256> h(key_);
+    h.update(value_);
+    const std::uint8_t one = 0x01;
+    h.update(ByteView(&one, 1));
+    h.update(provided);
+    key_ = h.finish();
+  }
+  value_ = Hmac<Sha256>::mac(key_, value_);
+}
+
+Bytes HmacDrbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    value_ = Hmac<Sha256>::mac(key_, value_);
+    const std::size_t take = std::min(value_.size(), n - out.size());
+    out.insert(out.end(), value_.begin(), value_.begin() + take);
+  }
+  update({});
+  return out;
+}
+
+void HmacDrbg::reseed(ByteView seed) { update(seed); }
+
+std::uint64_t HmacDrbg::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("HmacDrbg::uniform: bound 0");
+  // Rejection sampling over the smallest power-of-two superset of bound.
+  const int bits = 64 - std::countl_zero(bound - 1);
+  const std::uint64_t mask =
+      (bits >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  for (;;) {
+    const Bytes raw = generate(8);
+    const std::uint64_t v = load_be64(raw.data()) & mask;
+    if (v < bound) return v;
+  }
+}
+
+}  // namespace ratt::crypto

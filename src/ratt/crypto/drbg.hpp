@@ -1,0 +1,38 @@
+// HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+//
+// Deterministic randomness for the simulation: verifier nonces, key
+// generation, and ECDSA per-signature secrets all come from seeded DRBG
+// instances so every experiment in the repository is reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/sha256.hpp"
+
+namespace ratt::crypto {
+
+/// Deterministic random bit generator. Not thread-safe.
+class HmacDrbg {
+ public:
+  /// Instantiate from seed material (entropy || nonce || personalization).
+  explicit HmacDrbg(ByteView seed);
+
+  /// Generate `n` pseudorandom bytes.
+  Bytes generate(std::size_t n);
+
+  /// Mix fresh seed material into the state.
+  void reseed(ByteView seed);
+
+  /// Uniform value in [0, bound) via rejection sampling. bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+ private:
+  void update(ByteView provided);
+
+  std::array<std::uint8_t, Sha256::kDigestSize> key_{};
+  std::array<std::uint8_t, Sha256::kDigestSize> value_{};
+};
+
+}  // namespace ratt::crypto

@@ -1,0 +1,186 @@
+#include "ratt/crypto/ec.hpp"
+
+namespace ratt::crypto {
+
+namespace {
+
+// Lazily initialized (function-local statics) to stay immune to static
+// initialization order across translation units.
+const Fp160& coeff_a() {
+  static const Fp160 v =
+      Fp160::from_hex("ffffffffffffffffffffffffffffffff7ffffffc");
+  return v;
+}
+
+const Fp160& coeff_b() {
+  static const Fp160 v =
+      Fp160::from_hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45");
+  return v;
+}
+
+// Jacobian coordinates (X : Y : Z), affine (X/Z^2, Y/Z^3); Z == 0 is the
+// point at infinity. Scalar multiplication works here so that only one
+// field inversion is needed, at the final conversion back to affine.
+struct Jacobian {
+  Fp160 x;
+  Fp160 y;
+  Fp160 z;  // zero => infinity
+
+  bool is_infinity() const { return z.is_zero(); }
+};
+
+Jacobian to_jacobian(const EcPoint& p) {
+  if (p.infinity) return Jacobian{};
+  return Jacobian{p.x, p.y, Fp160(std::uint64_t{1})};
+}
+
+EcPoint to_affine(const Jacobian& p) {
+  if (p.is_infinity()) return EcPoint{};
+  const Fp160 z_inv = p.z.inverse();
+  const Fp160 z_inv2 = z_inv.squared();
+  return EcPoint::make(p.x * z_inv2, p.y * z_inv2 * z_inv);
+}
+
+// dbl-2001-b (a = -3, which holds for secp160r1: a = p - 3).
+Jacobian jacobian_double(const Jacobian& p) {
+  if (p.is_infinity() || p.y.is_zero()) return Jacobian{};
+  const Fp160 two(std::uint64_t{2});
+  const Fp160 three(std::uint64_t{3});
+  const Fp160 four(std::uint64_t{4});
+  const Fp160 eight(std::uint64_t{8});
+
+  const Fp160 delta = p.z.squared();
+  const Fp160 gamma = p.y.squared();
+  const Fp160 beta = p.x * gamma;
+  const Fp160 alpha = three * (p.x - delta) * (p.x + delta);
+  const Fp160 x3 = alpha.squared() - eight * beta;
+  const Fp160 z3 = (p.y + p.z).squared() - gamma - delta;
+  const Fp160 y3 = alpha * (four * beta - x3) - eight * gamma.squared();
+  return Jacobian{x3, y3, z3};
+}
+
+// madd-2007-bl: mixed Jacobian + affine addition.
+Jacobian jacobian_add_affine(const Jacobian& p, const EcPoint& q) {
+  if (q.infinity) return p;
+  if (p.is_infinity()) return to_jacobian(q);
+
+  const Fp160 two(std::uint64_t{2});
+  const Fp160 z1z1 = p.z.squared();
+  const Fp160 u2 = q.x * z1z1;
+  const Fp160 s2 = q.y * p.z * z1z1;
+  const Fp160 h = u2 - p.x;
+  const Fp160 r = two * (s2 - p.y);
+
+  if (h.is_zero()) {
+    if (r.is_zero()) return jacobian_double(p);
+    return Jacobian{};  // P + (-P)
+  }
+
+  const Fp160 hh = h.squared();
+  const Fp160 i = Fp160(std::uint64_t{4}) * hh;
+  const Fp160 j = h * i;
+  const Fp160 v = p.x * i;
+  const Fp160 x3 = r.squared() - j - two * v;
+  const Fp160 y3 = r * (v - x3) - two * p.y * j;
+  const Fp160 z3 = (p.z + h).squared() - z1z1 - hh;
+  return Jacobian{x3, y3, z3};
+}
+
+}  // namespace
+
+Bytes EcPoint::encode(bool compressed) const {
+  if (infinity) return Bytes{0x00};
+  Bytes out;
+  if (compressed) {
+    out.reserve(21);
+    out.push_back(y.value().is_odd() ? 0x03 : 0x02);
+    crypto::append(out, x.value().to_bytes_be());
+  } else {
+    out.reserve(41);
+    out.push_back(0x04);
+    crypto::append(out, x.value().to_bytes_be());
+    crypto::append(out, y.value().to_bytes_be());
+  }
+  return out;
+}
+
+std::optional<EcPoint> EcPoint::decode(ByteView wire) {
+  if (wire.size() == 1 && wire[0] == 0x00) return EcPoint{};
+  if (wire.size() == 41 && wire[0] == 0x04) {
+    const U160 x_raw = U160::from_bytes_be(wire.subspan(1, 20));
+    const U160 y_raw = U160::from_bytes_be(wire.subspan(21, 20));
+    // Reject non-canonical coordinates (>= p).
+    if (x_raw >= Fp160::modulus() || y_raw >= Fp160::modulus()) {
+      return std::nullopt;
+    }
+    const EcPoint pt = EcPoint::make(Fp160(x_raw), Fp160(y_raw));
+    if (!Secp160r1::on_curve(pt)) return std::nullopt;
+    return pt;
+  }
+  if (wire.size() == 21 && (wire[0] == 0x02 || wire[0] == 0x03)) {
+    const U160 x_raw = U160::from_bytes_be(wire.subspan(1, 20));
+    if (x_raw >= Fp160::modulus()) return std::nullopt;
+    const Fp160 x(x_raw);
+    const Fp160 rhs =
+        x.squared() * x + Secp160r1::a() * x + Secp160r1::b();
+    const auto y = rhs.sqrt();
+    if (!y.has_value()) return std::nullopt;  // x not on the curve
+    const bool want_odd = wire[0] == 0x03;
+    const Fp160 y_final =
+        (y->value().is_odd() == want_odd) ? *y : y->negated();
+    return EcPoint::make(x, y_final);
+  }
+  return std::nullopt;
+}
+
+const Fp160& Secp160r1::a() { return coeff_a(); }
+const Fp160& Secp160r1::b() { return coeff_b(); }
+
+const EcPoint& Secp160r1::generator() {
+  static const EcPoint g = EcPoint::make(
+      Fp160::from_hex("4a96b5688ef573284664698968c38bb913cbfc82"),
+      Fp160::from_hex("23a628553168947d59dcc912042351377ac5fb32"));
+  return g;
+}
+
+const U192& Secp160r1::order() {
+  static const U192 n =
+      U192::from_hex("0100000000000000000001f4c8f927aed3ca752257");
+  return n;
+}
+
+bool Secp160r1::on_curve(const EcPoint& pt) {
+  if (pt.infinity) return true;
+  const Fp160 lhs = pt.y.squared();
+  const Fp160 rhs = pt.x.squared() * pt.x + coeff_a() * pt.x + coeff_b();
+  return lhs == rhs;
+}
+
+EcPoint Secp160r1::double_point(const EcPoint& p) {
+  return to_affine(jacobian_double(to_jacobian(p)));
+}
+
+EcPoint Secp160r1::add(const EcPoint& p, const EcPoint& q) {
+  if (p.infinity) return q;
+  return to_affine(jacobian_add_affine(to_jacobian(p), q));
+}
+
+EcPoint Secp160r1::scalar_mul(const U192& k, const EcPoint& p) {
+  // Left-to-right double-and-add. Not constant-time: the simulated prover's
+  // timing model prices the operation analytically, and no secret-dependent
+  // timing crosses a trust boundary in this codebase.
+  Jacobian result{};
+  for (int i = k.bit_length(); i-- > 0;) {
+    result = jacobian_double(result);
+    if (k.bit(static_cast<std::size_t>(i))) {
+      result = jacobian_add_affine(result, p);
+    }
+  }
+  return to_affine(result);
+}
+
+EcPoint Secp160r1::scalar_mul_base(const U192& k) {
+  return scalar_mul(k, generator());
+}
+
+}  // namespace ratt::crypto

@@ -1,0 +1,127 @@
+#include "ratt/crypto/fp160.hpp"
+
+#include <stdexcept>
+
+namespace ratt::crypto {
+
+namespace {
+
+// Function-local static: Fp160 constructors run during other translation
+// units' static initialization (e.g. the curve constants in ec.cpp), so the
+// modulus must be initialized lazily, not as a namespace-scope object.
+const U160& prime() {
+  static const U160 p =
+      U160::from_hex("ffffffffffffffffffffffffffffffff7fffffff");
+  return p;
+}
+
+// Reduce a 320-bit product modulo p using 2^160 ≡ 2^31 + 1 (mod p):
+//   a = hi·2^160 + lo ≡ hi·2^31 + hi + lo.
+// hi·2^31 of a 160-bit hi is at most 191 bits, so one fold shrinks the
+// value below 2^192; a second fold brings it below 2·p, and a final
+// conditional subtraction normalizes.
+U160 reduce320(const U320& a) {
+  auto split = [](const U320& v, U160& lo, U160& hi) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      lo.set_limb(i, v.limb(i));
+      hi.set_limb(i, v.limb(i + 5));
+    }
+  };
+
+  U160 lo, hi;
+  split(a, lo, hi);
+
+  // acc = lo + hi + hi·2^31, computed in 320 bits (cannot overflow).
+  U320 acc = lo.resized<10>();
+  U320 hi_wide = hi.resized<10>();
+  acc = acc + hi_wide + hi_wide.shifted_left(31);
+
+  split(acc, lo, hi);  // hi is now at most 32 bits
+  U320 acc2 = lo.resized<10>();
+  hi_wide = hi.resized<10>();
+  acc2 = acc2 + hi_wide + hi_wide.shifted_left(31);
+
+  // acc2 < 2^161 + small, i.e. fits in 6 limbs; subtract p until < p.
+  U192 r = acc2.resized<6>();
+  const U192 p_wide = prime().resized<6>();
+  while (r >= p_wide) {
+    r = r - p_wide;
+  }
+  return r.resized<5>();
+}
+
+}  // namespace
+
+const U160& Fp160::modulus() { return prime(); }
+
+Fp160::Fp160(const U160& v) {
+  value_ = v;
+  while (value_ >= prime()) {
+    value_ = value_ - prime();
+  }
+}
+
+Fp160 operator+(const Fp160& a, const Fp160& b) {
+  Fp160 out;
+  const std::uint32_t carry = U160::add(a.value_, b.value_, out.value_);
+  if (carry != 0 || out.value_ >= prime()) {
+    out.value_ = out.value_ - prime();
+  }
+  return out;
+}
+
+Fp160 operator-(const Fp160& a, const Fp160& b) {
+  Fp160 out;
+  const std::uint32_t borrow = U160::sub(a.value_, b.value_, out.value_);
+  if (borrow != 0) {
+    U160::add(out.value_, prime(), out.value_);
+  }
+  return out;
+}
+
+Fp160 operator*(const Fp160& a, const Fp160& b) {
+  Fp160 out;
+  out.value_ = reduce320(mul_wide(a.value_, b.value_));
+  return out;
+}
+
+Fp160 Fp160::negated() const {
+  if (value_.is_zero()) return *this;
+  Fp160 out;
+  U160::sub(prime(), value_, out.value_);
+  return out;
+}
+
+Fp160 Fp160::pow(const U160& e) const {
+  Fp160 result(std::uint64_t{1});
+  Fp160 base = *this;
+  const int bits = e.bit_length();
+  for (int i = 0; i < bits; ++i) {
+    if (e.bit(static_cast<std::size_t>(i))) {
+      result = result * base;
+    }
+    base = base.squared();
+  }
+  return result;
+}
+
+std::optional<Fp160> Fp160::sqrt() const {
+  if (value_.is_zero()) return Fp160();
+  // p = 3 (mod 4): candidate = a^((p+1)/4); verify by squaring, since
+  // non-residues produce a wrong answer rather than an error.
+  const U160 exponent = (prime() + U160(1)).shifted_right(2);
+  const Fp160 candidate = pow(exponent);
+  if (candidate.squared() == *this) return candidate;
+  return std::nullopt;
+}
+
+Fp160 Fp160::inverse() const {
+  if (value_.is_zero()) {
+    throw std::domain_error("Fp160::inverse: zero has no inverse");
+  }
+  // Fermat: a^(p-2) mod p. p is prime, so this is exact.
+  const U160 exponent = prime() - U160(2);
+  return pow(exponent);
+}
+
+}  // namespace ratt::crypto

@@ -1,0 +1,30 @@
+// HKDF (RFC 5869) over HMAC-SHA256.
+//
+// Domain separation for the device's single provisioned secret: the
+// attestation protocol, the update/erase services, and the clock
+// synchronizer each use a purpose-specific key derived from K_Attest, so
+// a MAC computed for one protocol can never be replayed into another
+// (cross-protocol confusion is otherwise easy to miss — all of them MAC
+// short little-endian headers).
+#pragma once
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// HKDF-Extract: PRK = HMAC-SHA256(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: `length` bytes of output keyed by `prk`, bound to `info`.
+/// length must be <= 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+/// The library's standard purpose labels (used by attest::DeviceServices
+/// and attest::ClockSynchronizer).
+Bytes derive_purpose_key(ByteView master, std::string_view purpose,
+                         std::size_t length = 16);
+
+}  // namespace ratt::crypto

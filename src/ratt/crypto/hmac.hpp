@@ -1,0 +1,76 @@
+// HMAC (RFC 2104 / FIPS 198-1), generic over the underlying hash.
+//
+// HMAC-SHA1 is the paper's reference MAC for both request authentication
+// (Sec. 4.1) and the prover's memory measurement (Sec. 3.1, Table 1).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// Requirements on the hash parameter of Hmac<Hash>.
+template <typename H>
+concept IncrementalHash = requires(H h, ByteView data) {
+  { H::kDigestSize } -> std::convertible_to<std::size_t>;
+  { H::kBlockSize } -> std::convertible_to<std::size_t>;
+  h.reset();
+  h.update(data);
+  { h.finish() } -> std::convertible_to<typename H::Digest>;
+};
+
+/// Incremental HMAC keyed at construction. Reusable via reset().
+template <IncrementalHash Hash>
+class Hmac {
+ public:
+  static constexpr std::size_t kDigestSize = Hash::kDigestSize;
+  using Digest = typename Hash::Digest;
+
+  explicit Hmac(ByteView key) {
+    std::array<std::uint8_t, Hash::kBlockSize> block_key{};
+    if (key.size() > Hash::kBlockSize) {
+      Hash h;
+      h.update(key);
+      const auto d = h.finish();
+      std::copy(d.begin(), d.end(), block_key.begin());
+    } else {
+      std::copy(key.begin(), key.end(), block_key.begin());
+    }
+    for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
+      ipad_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+      opad_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+    }
+    reset();
+  }
+
+  void reset() {
+    inner_.reset();
+    inner_.update(ByteView(ipad_.data(), ipad_.size()));
+  }
+
+  void update(ByteView data) { inner_.update(data); }
+
+  Digest finish() {
+    const auto inner_digest = inner_.finish();
+    Hash outer;
+    outer.update(ByteView(opad_.data(), opad_.size()));
+    outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+    return outer.finish();
+  }
+
+  /// One-shot convenience.
+  static Digest mac(ByteView key, ByteView data) {
+    Hmac h(key);
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  Hash inner_;
+  std::array<std::uint8_t, Hash::kBlockSize> ipad_{};
+  std::array<std::uint8_t, Hash::kBlockSize> opad_{};
+};
+
+}  // namespace ratt::crypto

@@ -1,0 +1,128 @@
+#include "ratt/crypto/mac.hpp"
+
+#include <stdexcept>
+
+#include "ratt/crypto/block_modes.hpp"
+#include "ratt/crypto/cmac.hpp"
+#include "ratt/crypto/ct.hpp"
+#include "ratt/crypto/hmac.hpp"
+#include "ratt/crypto/sha1.hpp"
+
+namespace ratt::crypto {
+
+std::string to_string(MacAlgorithm alg) {
+  switch (alg) {
+    case MacAlgorithm::kHmacSha1:
+      return "HMAC-SHA1";
+    case MacAlgorithm::kAesCbcMac:
+      return "AES-128-CBC-MAC";
+    case MacAlgorithm::kSpeckCbcMac:
+      return "Speck-64/128-CBC-MAC";
+    case MacAlgorithm::kAesCmac:
+      return "AES-128-CMAC";
+    case MacAlgorithm::kSpeckCmac:
+      return "Speck-64/128-CMAC";
+  }
+  return "unknown";
+}
+
+bool Mac::verify(ByteView message, ByteView tag) const {
+  const Bytes expected = compute(message);
+  return ct_equal(expected, tag);
+}
+
+namespace {
+
+class HmacSha1Mac final : public Mac {
+ public:
+  explicit HmacSha1Mac(ByteView key) : key_(key.begin(), key.end()) {}
+
+  MacAlgorithm algorithm() const override { return MacAlgorithm::kHmacSha1; }
+  std::size_t tag_size() const override { return Sha1::kDigestSize; }
+
+  Bytes compute(ByteView message) const override {
+    const auto digest = Hmac<Sha1>::mac(key_, message);
+    return Bytes(digest.begin(), digest.end());
+  }
+
+ private:
+  Bytes key_;
+};
+
+template <BlockCipher Cipher>
+class CbcMac final : public Mac {
+ public:
+  CbcMac(MacAlgorithm alg, ByteView key) : alg_(alg), cipher_(key) {}
+
+  MacAlgorithm algorithm() const override { return alg_; }
+  std::size_t tag_size() const override { return Cipher::kBlockSize; }
+
+  Bytes compute(ByteView message) const override {
+    const auto tag = cbc_mac(cipher_, message);
+    return Bytes(tag.begin(), tag.end());
+  }
+
+ private:
+  MacAlgorithm alg_;
+  Cipher cipher_;
+};
+
+template <BlockCipher Cipher>
+class CmacMac final : public Mac {
+ public:
+  CmacMac(MacAlgorithm alg, ByteView key) : alg_(alg), cipher_(key) {}
+
+  MacAlgorithm algorithm() const override { return alg_; }
+  std::size_t tag_size() const override { return Cipher::kBlockSize; }
+
+  Bytes compute(ByteView message) const override {
+    const auto tag = cmac(cipher_, message);
+    return Bytes(tag.begin(), tag.end());
+  }
+
+ private:
+  MacAlgorithm alg_;
+  Cipher cipher_;
+};
+
+}  // namespace
+
+std::unique_ptr<Mac> make_hmac_sha1(ByteView key) {
+  return std::make_unique<HmacSha1Mac>(key);
+}
+
+std::unique_ptr<Mac> make_aes_cbc_mac(ByteView key) {
+  return std::make_unique<CbcMac<Aes128>>(MacAlgorithm::kAesCbcMac, key);
+}
+
+std::unique_ptr<Mac> make_speck_cbc_mac(ByteView key) {
+  return std::make_unique<CbcMac<Speck64_128>>(MacAlgorithm::kSpeckCbcMac,
+                                               key);
+}
+
+std::unique_ptr<Mac> make_aes_cmac(ByteView key) {
+  return std::make_unique<CmacMac<Aes128>>(MacAlgorithm::kAesCmac, key);
+}
+
+std::unique_ptr<Mac> make_speck_cmac(ByteView key) {
+  return std::make_unique<CmacMac<Speck64_128>>(MacAlgorithm::kSpeckCmac,
+                                                key);
+}
+
+std::unique_ptr<Mac> make_mac(MacAlgorithm alg, ByteView key) {
+  switch (alg) {
+    case MacAlgorithm::kHmacSha1:
+      return make_hmac_sha1(key);
+    case MacAlgorithm::kAesCbcMac:
+      return make_aes_cbc_mac(key);
+    case MacAlgorithm::kSpeckCbcMac:
+      return make_speck_cbc_mac(key);
+    case MacAlgorithm::kAesCmac:
+      return make_aes_cmac(key);
+    case MacAlgorithm::kSpeckCmac:
+      return make_speck_cmac(key);
+  }
+  throw std::invalid_argument("make_mac: unknown algorithm");
+}
+
+}  // namespace ratt::crypto

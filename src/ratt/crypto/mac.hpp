@@ -1,0 +1,66 @@
+// Runtime-polymorphic MAC interface.
+//
+// The attestation layer is parameterized over the MAC used for request
+// authentication and memory measurement, so every primitive the paper
+// evaluates (HMAC-SHA1, AES-128 CBC-MAC, Speck 64/128 CBC-MAC) can be
+// swapped in and priced (Table 1 / Sec. 4.1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ratt/crypto/aes128.hpp"
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/speck.hpp"
+
+namespace ratt::crypto {
+
+/// Identifies the MAC algorithm in protocol messages and timing models.
+enum class MacAlgorithm : std::uint8_t {
+  kHmacSha1 = 0,
+  kAesCbcMac = 1,
+  kSpeckCbcMac = 2,
+  kAesCmac = 3,    // NIST SP 800-38B / RFC 4493
+  kSpeckCmac = 4,  // CMAC over Speck 64/128 (Rb = 0x1B)
+};
+
+/// Human-readable algorithm name ("HMAC-SHA1", ...).
+std::string to_string(MacAlgorithm alg);
+
+/// A keyed MAC. Implementations hold the (expanded) key.
+class Mac {
+ public:
+  virtual ~Mac() = default;
+
+  virtual MacAlgorithm algorithm() const = 0;
+
+  /// Tag length in bytes.
+  virtual std::size_t tag_size() const = 0;
+
+  /// Compute the tag over `message`.
+  virtual Bytes compute(ByteView message) const = 0;
+
+  /// Constant-time tag verification.
+  bool verify(ByteView message, ByteView tag) const;
+};
+
+/// HMAC-SHA1 (RFC 2104); 20-byte tags.
+std::unique_ptr<Mac> make_hmac_sha1(ByteView key);
+
+/// AES-128 CBC-MAC (length-prepended); 16-byte tags. Key expansion runs at
+/// construction, matching the precomputed-schedule assumption of Sec. 4.1.
+std::unique_ptr<Mac> make_aes_cbc_mac(ByteView key);
+
+/// Speck 64/128 CBC-MAC (length-prepended); 8-byte tags.
+std::unique_ptr<Mac> make_speck_cbc_mac(ByteView key);
+
+/// AES-128 CMAC (RFC 4493); 16-byte tags.
+std::unique_ptr<Mac> make_aes_cmac(ByteView key);
+
+/// Speck 64/128 CMAC; 8-byte tags.
+std::unique_ptr<Mac> make_speck_cmac(ByteView key);
+
+/// Factory keyed by algorithm id.
+std::unique_ptr<Mac> make_mac(MacAlgorithm alg, ByteView key);
+
+}  // namespace ratt::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used by secure boot (image digests compared against the signed reference
+// hash in ROM) and by the HMAC-DRBG that generates nonces and ECDSA
+// per-signature secrets.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// Incremental SHA-256. Usable as `Hash` in Hmac<Hash>.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  Digest finish();
+
+  static Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace ratt::crypto

@@ -1,0 +1,75 @@
+#include "ratt/crypto/speck.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ratt::crypto {
+
+namespace {
+
+// Speck2n round function with n = 32, alpha = 8, beta = 3.
+constexpr int kAlpha = 8;
+constexpr int kBeta = 3;
+
+void round_enc(std::uint32_t& x, std::uint32_t& y, std::uint32_t k) {
+  x = std::rotr(x, kAlpha);
+  x += y;
+  x ^= k;
+  y = std::rotl(y, kBeta);
+  y ^= x;
+}
+
+void round_dec(std::uint32_t& x, std::uint32_t& y, std::uint32_t k) {
+  y ^= x;
+  y = std::rotr(y, kBeta);
+  x ^= k;
+  x -= y;
+  x = std::rotl(x, kAlpha);
+}
+
+}  // namespace
+
+Speck64_128::Speck64_128(ByteView key) {
+  if (key.size() != kKeySize) {
+    throw std::invalid_argument("Speck64_128: key must be 16 bytes");
+  }
+  // Reference key schedule: key words (l2, l1, l0, k0) little-endian, i.e.
+  // k0 = key[0..3], l0 = key[4..7], l1 = key[8..11], l2 = key[12..15].
+  std::uint32_t l[kRounds + 2];
+  round_keys_[0] = load_le32(key.data());
+  l[0] = load_le32(key.data() + 4);
+  l[1] = load_le32(key.data() + 8);
+  l[2] = load_le32(key.data() + 12);
+  for (int i = 0; i < kRounds - 1; ++i) {
+    l[i + 3] = (round_keys_[i] + std::rotr(l[i], kAlpha)) ^
+               static_cast<std::uint32_t>(i);
+    round_keys_[i + 1] = std::rotl(round_keys_[i], kBeta) ^ l[i + 3];
+  }
+}
+
+Speck64_128::Block Speck64_128::encrypt_block(const Block& plaintext) const {
+  // Reference convention: plaintext words (x, y) with y first in memory.
+  std::uint32_t y = load_le32(plaintext.data());
+  std::uint32_t x = load_le32(plaintext.data() + 4);
+  for (int i = 0; i < kRounds; ++i) {
+    round_enc(x, y, round_keys_[i]);
+  }
+  Block out;
+  store_le32(out.data(), y);
+  store_le32(out.data() + 4, x);
+  return out;
+}
+
+Speck64_128::Block Speck64_128::decrypt_block(const Block& ciphertext) const {
+  std::uint32_t y = load_le32(ciphertext.data());
+  std::uint32_t x = load_le32(ciphertext.data() + 4);
+  for (int i = kRounds - 1; i >= 0; --i) {
+    round_dec(x, y, round_keys_[i]);
+  }
+  Block out;
+  store_le32(out.data(), y);
+  store_le32(out.data() + 4, x);
+  return out;
+}
+
+}  // namespace ratt::crypto

@@ -1,0 +1,36 @@
+// Speck 64/128 lightweight block cipher (Beaulieu et al., ePrint 2013/404).
+//
+// The paper (Sec. 4.1, Table 1) evaluates Speck 64/128 — 64-bit block,
+// 128-bit key, 27 rounds — as the cheapest request-authentication
+// primitive for a low-end prover: 0.015 ms per block once the key schedule
+// is precomputed, versus 0.430 ms for an HMAC-SHA1 validation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+
+/// Speck 64/128. Satisfies the BlockCipher concept in block_modes.hpp
+/// (8-byte block, 16-byte key).
+class Speck64_128 {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 27;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Runs key expansion (the "Key exp." column of Table 1).
+  explicit Speck64_128(ByteView key);
+
+  Block encrypt_block(const Block& plaintext) const;
+  Block decrypt_block(const Block& ciphertext) const;
+
+ private:
+  std::array<std::uint32_t, kRounds> round_keys_{};
+};
+
+}  // namespace ratt::crypto

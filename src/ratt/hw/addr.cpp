@@ -1,0 +1,13 @@
+#include "ratt/hw/addr.hpp"
+
+#include <cstdio>
+
+namespace ratt::hw {
+
+std::string to_string(const AddrRange& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%08x-0x%08x", r.begin, r.end);
+  return buf;
+}
+
+}  // namespace ratt::hw

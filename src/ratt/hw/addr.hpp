@@ -1,0 +1,38 @@
+// Address-space primitives for the simulated MCU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ratt::hw {
+
+using Addr = std::uint32_t;
+
+/// Half-open address interval [begin, end).
+struct AddrRange {
+  Addr begin = 0;
+  Addr end = 0;
+
+  constexpr std::size_t size() const { return end - begin; }
+  constexpr bool empty() const { return begin >= end; }
+
+  constexpr bool contains(Addr a) const { return a >= begin && a < end; }
+
+  constexpr bool contains(const AddrRange& other) const {
+    return other.begin >= begin && other.end <= end && !other.empty();
+  }
+
+  constexpr bool overlaps(const AddrRange& other) const {
+    return begin < other.end && other.begin < end && !empty() &&
+           !other.empty();
+  }
+
+  friend constexpr bool operator==(const AddrRange&, const AddrRange&) =
+      default;
+};
+
+/// "0x00001000-0x00002000" for diagnostics.
+std::string to_string(const AddrRange& r);
+
+}  // namespace ratt::hw

@@ -1,0 +1,262 @@
+#include "ratt/hw/bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ratt::hw {
+
+std::string to_string(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kRom:
+      return "ROM";
+    case MemoryKind::kRam:
+      return "RAM";
+    case MemoryKind::kFlash:
+      return "Flash";
+    case MemoryKind::kMmio:
+      return "MMIO";
+  }
+  return "unknown";
+}
+
+std::string to_string(BusStatus status) {
+  switch (status) {
+    case BusStatus::kOk:
+      return "ok";
+    case BusStatus::kUnmapped:
+      return "unmapped";
+    case BusStatus::kReadOnly:
+      return "read-only";
+    case BusStatus::kDenied:
+      return "denied";
+  }
+  return "unknown";
+}
+
+void MemoryBus::check_overlap(const AddrRange& range,
+                              const std::string& name) const {
+  if (range.empty()) {
+    throw std::invalid_argument("MemoryBus: empty range for region " + name);
+  }
+  for (const auto& r : regions_) {
+    if (r->info.range.overlaps(range)) {
+      throw std::invalid_argument("MemoryBus: region " + name +
+                                  " overlaps " + r->info.name);
+    }
+  }
+}
+
+void MemoryBus::map_storage(std::string name, MemoryKind kind,
+                            AddrRange range) {
+  if (kind == MemoryKind::kMmio) {
+    throw std::invalid_argument("MemoryBus: use map_device for MMIO");
+  }
+  check_overlap(range, name);
+  auto region = std::make_unique<Region>();
+  region->info = RegionInfo{std::move(name), kind, range};
+  // Flash powers up erased (0xff); RAM and ROM are zeroed.
+  region->storage.assign(range.size(),
+                         kind == MemoryKind::kFlash ? 0xff : 0x00);
+  regions_.push_back(std::move(region));
+}
+
+void MemoryBus::map_device(std::string name, AddrRange range,
+                           MmioDevice& device) {
+  check_overlap(range, name);
+  auto region = std::make_unique<Region>();
+  region->info = RegionInfo{std::move(name), MemoryKind::kMmio, range};
+  region->device = &device;
+  regions_.push_back(std::move(region));
+}
+
+MemoryBus::Region* MemoryBus::find(Addr addr) {
+  for (auto& r : regions_) {
+    if (r->info.range.contains(addr)) return r.get();
+  }
+  return nullptr;
+}
+
+const MemoryBus::Region* MemoryBus::find(Addr addr) const {
+  for (const auto& r : regions_) {
+    if (r->info.range.contains(addr)) return r.get();
+  }
+  return nullptr;
+}
+
+const MemoryBus::RegionInfo* MemoryBus::region_at(Addr addr) const {
+  const Region* r = find(addr);
+  return r != nullptr ? &r->info : nullptr;
+}
+
+std::vector<MemoryBus::RegionInfo> MemoryBus::regions() const {
+  std::vector<RegionInfo> out;
+  out.reserve(regions_.size());
+  for (const auto& r : regions_) {
+    out.push_back(r->info);
+  }
+  return out;
+}
+
+BusStatus MemoryBus::access8(const AccessContext& ctx, AccessType type,
+                             Addr addr, std::uint8_t* read_out,
+                             std::uint8_t write_value) {
+  Region* region = find(addr);
+  BusStatus status = BusStatus::kOk;
+  if (region == nullptr) {
+    status = BusStatus::kUnmapped;
+  } else if (type == AccessType::kWrite &&
+             region->info.kind == MemoryKind::kRom) {
+    status = BusStatus::kReadOnly;
+  } else if (controller_ != nullptr && ctx.pc != kHardwarePc &&
+             !controller_->allows(ctx, type, addr)) {
+    status = BusStatus::kDenied;
+  }
+
+  if (status == BusStatus::kOk) {
+    const Addr offset = addr - region->info.range.begin;
+    if (region->device != nullptr) {
+      if (type == AccessType::kRead) {
+        *read_out = region->device->read(offset);
+      } else if (!region->device->write(offset, write_value)) {
+        status = BusStatus::kReadOnly;
+      }
+    } else {
+      if (type == AccessType::kRead) {
+        *read_out = region->storage[offset];
+      } else if (region->info.kind == MemoryKind::kFlash) {
+        // NOR program: can only clear bits; setting bits needs an erase.
+        region->storage[offset] =
+            static_cast<std::uint8_t>(region->storage[offset] & write_value);
+      } else {
+        region->storage[offset] = write_value;
+      }
+    }
+  }
+
+  if (status != BusStatus::kOk) {
+    faults_.push_back(BusFault{ctx.pc, addr, type, status});
+  }
+  return status;
+}
+
+BusStatus MemoryBus::read8(const AccessContext& ctx, Addr addr,
+                           std::uint8_t& out) {
+  return access8(ctx, AccessType::kRead, addr, &out, 0);
+}
+
+BusStatus MemoryBus::write8(const AccessContext& ctx, Addr addr,
+                            std::uint8_t value) {
+  return access8(ctx, AccessType::kWrite, addr, nullptr, value);
+}
+
+BusStatus MemoryBus::read32(const AccessContext& ctx, Addr addr,
+                            std::uint32_t& out) {
+  std::uint8_t bytes[4];
+  for (Addr i = 0; i < 4; ++i) {
+    const BusStatus s = read8(ctx, addr + i, bytes[i]);
+    if (s != BusStatus::kOk) return s;
+  }
+  out = crypto::load_le32(bytes);
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::write32(const AccessContext& ctx, Addr addr,
+                             std::uint32_t value) {
+  std::uint8_t bytes[4];
+  crypto::store_le32(bytes, value);
+  for (Addr i = 0; i < 4; ++i) {
+    const BusStatus s = write8(ctx, addr + i, bytes[i]);
+    if (s != BusStatus::kOk) return s;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::read64(const AccessContext& ctx, Addr addr,
+                            std::uint64_t& out) {
+  std::uint8_t bytes[8];
+  for (Addr i = 0; i < 8; ++i) {
+    const BusStatus s = read8(ctx, addr + i, bytes[i]);
+    if (s != BusStatus::kOk) return s;
+  }
+  out = crypto::load_le64(bytes);
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::write64(const AccessContext& ctx, Addr addr,
+                             std::uint64_t value) {
+  std::uint8_t bytes[8];
+  crypto::store_le64(bytes, value);
+  for (Addr i = 0; i < 8; ++i) {
+    const BusStatus s = write8(ctx, addr + i, bytes[i]);
+    if (s != BusStatus::kOk) return s;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::read_block(const AccessContext& ctx, Addr addr,
+                                std::span<std::uint8_t> out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const BusStatus s = read8(ctx, addr + static_cast<Addr>(i), out[i]);
+    if (s != BusStatus::kOk) return s;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
+                                 ByteView data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const BusStatus s = write8(ctx, addr + static_cast<Addr>(i), data[i]);
+    if (s != BusStatus::kOk) return s;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::erase_flash_block(const AccessContext& ctx,
+                                       Addr addr) {
+  Region* region = find(addr);
+  BusStatus status = BusStatus::kOk;
+  if (region == nullptr) {
+    status = BusStatus::kUnmapped;
+  } else if (region->info.kind != MemoryKind::kFlash) {
+    status = BusStatus::kReadOnly;
+  }
+  Addr block_begin = 0;
+  Addr block_end = 0;
+  if (status == BusStatus::kOk) {
+    // Block boundaries are relative to the region base.
+    const Addr offset = addr - region->info.range.begin;
+    block_begin = region->info.range.begin +
+                  (offset / kFlashBlockSize) * kFlashBlockSize;
+    block_end = std::min(block_begin + kFlashBlockSize,
+                         region->info.range.end);
+    if (controller_ != nullptr && ctx.pc != kHardwarePc) {
+      for (Addr a = block_begin; a < block_end; ++a) {
+        if (!controller_->allows(ctx, AccessType::kWrite, a)) {
+          status = BusStatus::kDenied;
+          break;
+        }
+      }
+    }
+  }
+  if (status != BusStatus::kOk) {
+    faults_.push_back(BusFault{ctx.pc, addr, AccessType::kWrite, status});
+    return status;
+  }
+  for (Addr a = block_begin; a < block_end; ++a) {
+    region->storage[a - region->info.range.begin] = 0xff;
+  }
+  return BusStatus::kOk;
+}
+
+void MemoryBus::load_initial(Addr addr, ByteView data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Region* region = find(addr + static_cast<Addr>(i));
+    if (region == nullptr || region->device != nullptr) {
+      throw std::invalid_argument(
+          "MemoryBus::load_initial: target not storage-backed");
+    }
+    region->storage[addr + i - region->info.range.begin] = data[i];
+  }
+}
+
+}  // namespace ratt::hw

@@ -1,0 +1,165 @@
+// The MCU memory bus: address decoding, region kinds, PC-aware access
+// control, and a fault log.
+//
+// Every software component in the simulation (trusted attestation code,
+// application, malware) touches memory exclusively through this bus,
+// passing the program counter of its code region. The execution-aware
+// memory protection unit (EA-MPU, eampu.hpp) is consulted on every access,
+// which is exactly how the paper's protections for K_Attest, counter_R and
+// the clock are enforced (Sec. 6.1-6.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/hw/addr.hpp"
+
+namespace ratt::hw {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+enum class MemoryKind : std::uint8_t {
+  kRom,    // write attempts always fail (hardware)
+  kRam,
+  kFlash,  // NOR semantics: program clears bits (AND), erase sets a whole
+           // block to 0xff; erased state is 0xff
+  kMmio,   // backed by a device, not by storage
+};
+
+std::string to_string(MemoryKind kind);
+
+enum class AccessType : std::uint8_t { kRead, kWrite };
+
+enum class BusStatus : std::uint8_t {
+  kOk,
+  kUnmapped,    // no region decodes this address
+  kReadOnly,    // write to ROM (or a read-only MMIO register)
+  kDenied,      // blocked by the access controller (EA-MPU)
+};
+
+std::string to_string(BusStatus status);
+
+/// The bus tags every access with the program counter of the initiator.
+/// kHardwarePc marks accesses made by hardware itself (interrupt dispatch,
+/// timer update); the access controller always admits those.
+inline constexpr Addr kHardwarePc = 0xffffffffu;
+
+struct AccessContext {
+  Addr pc = kHardwarePc;
+};
+
+/// A memory-mapped device: reads/writes at offsets within its region.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Byte read at `offset`; MMIO reads always succeed within the region.
+  virtual std::uint8_t read(Addr offset) = 0;
+
+  /// Byte write at `offset`; returns false if the register is read-only
+  /// (surfaced to the initiator as BusStatus::kReadOnly).
+  virtual bool write(Addr offset, std::uint8_t value) = 0;
+};
+
+/// PC-aware access policy; implemented by the EA-MPU.
+class AccessController {
+ public:
+  virtual ~AccessController() = default;
+
+  /// Whether `ctx.pc` may perform `type` at `addr`.
+  virtual bool allows(const AccessContext& ctx, AccessType type,
+                      Addr addr) const = 0;
+};
+
+/// One entry in the bus fault log.
+struct BusFault {
+  Addr pc = 0;
+  Addr addr = 0;
+  AccessType type = AccessType::kRead;
+  BusStatus status = BusStatus::kOk;
+};
+
+/// Address decoder + storage + policy enforcement point.
+class MemoryBus {
+ public:
+  /// Map a storage-backed region (ROM/RAM/Flash). Throws on overlap.
+  void map_storage(std::string name, MemoryKind kind, AddrRange range);
+
+  /// Map a device-backed region. The device must outlive the bus.
+  void map_device(std::string name, AddrRange range, MmioDevice& device);
+
+  /// Install (or clear) the access controller consulted on every access.
+  void set_access_controller(const AccessController* controller) {
+    controller_ = controller;
+  }
+
+  // -- Byte and word accessors. Word accessors are little-endian and fail
+  //    atomically: on any non-Ok status no bytes are transferred.
+  BusStatus read8(const AccessContext& ctx, Addr addr, std::uint8_t& out);
+  BusStatus write8(const AccessContext& ctx, Addr addr, std::uint8_t value);
+  BusStatus read32(const AccessContext& ctx, Addr addr, std::uint32_t& out);
+  BusStatus write32(const AccessContext& ctx, Addr addr, std::uint32_t value);
+  BusStatus read64(const AccessContext& ctx, Addr addr, std::uint64_t& out);
+  BusStatus write64(const AccessContext& ctx, Addr addr, std::uint64_t value);
+
+  /// Bulk read of `out.size()` bytes starting at `addr`. Stops at the first
+  /// failing byte and reports its status; `out` is only valid on kOk.
+  BusStatus read_block(const AccessContext& ctx, Addr addr,
+                       std::span<std::uint8_t> out);
+
+  /// Bulk write; stops at the first failing byte (earlier bytes stay
+  /// written, as on real hardware).
+  BusStatus write_block(const AccessContext& ctx, Addr addr, ByteView data);
+
+  /// NOR-flash erase granularity.
+  static constexpr Addr kFlashBlockSize = 4096;
+
+  /// Erase the flash block containing `addr` (all bytes to 0xff). Fails
+  /// with kReadOnly on non-flash regions; the access controller must
+  /// grant write access to every byte of the block.
+  BusStatus erase_flash_block(const AccessContext& ctx, Addr addr);
+
+  /// Load initial contents into a storage region, bypassing both the
+  /// access controller and ROM read-only-ness. For ROM images and secure
+  /// boot only — never reachable from simulated software.
+  void load_initial(Addr addr, ByteView data);
+
+  /// Region lookup for introspection; nullptr if unmapped.
+  struct RegionInfo {
+    std::string name;
+    MemoryKind kind;
+    AddrRange range;
+  };
+  const RegionInfo* region_at(Addr addr) const;
+  std::vector<RegionInfo> regions() const;
+
+  const std::vector<BusFault>& faults() const { return faults_; }
+  void clear_faults() { faults_.clear(); }
+
+ private:
+  struct Region {
+    RegionInfo info;
+    Bytes storage;          // storage-backed regions
+    MmioDevice* device = nullptr;  // device-backed regions
+  };
+
+  Region* find(Addr addr);
+  const Region* find(Addr addr) const;
+  void check_overlap(const AddrRange& range, const std::string& name) const;
+  BusStatus access8(const AccessContext& ctx, AccessType type, Addr addr,
+                    std::uint8_t* read_out, std::uint8_t write_value);
+
+  std::vector<std::unique_ptr<Region>> regions_;
+  const AccessController* controller_ = nullptr;
+  std::vector<BusFault> faults_;
+};
+
+}  // namespace ratt::hw

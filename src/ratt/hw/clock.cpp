@@ -1,0 +1,73 @@
+#include "ratt/hw/clock.hpp"
+
+namespace ratt::hw {
+
+MmioClockSource::MmioClockSource(Mcu& mcu, Addr base, unsigned width_bytes,
+                                 std::string label)
+    : mcu_(&mcu), base_(base), width_bytes_(width_bytes),
+      label_(std::move(label)) {}
+
+std::optional<std::uint64_t> MmioClockSource::read_ticks(
+    const AccessContext& reader) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width_bytes_; ++i) {
+    std::uint8_t b = 0;
+    if (mcu_->bus().read8(reader, base_ + i, b) != BusStatus::kOk) {
+      return std::nullopt;
+    }
+    value |= std::uint64_t{b} << (8 * i);
+  }
+  return value;
+}
+
+CodeClock::CodeClock(Mcu& mcu, AddrRange code, Addr clock_msb_addr)
+    : SoftwareComponent(mcu, "code-clock", code),
+      msb_addr_(clock_msb_addr) {}
+
+void CodeClock::on_wrap_interrupt() {
+  std::uint32_t msb = 0;
+  if (read32(msb_addr_, msb) != BusStatus::kOk) {
+    ++failed_updates_;
+    return;
+  }
+  if (write32(msb_addr_, msb + 1) != BusStatus::kOk) {
+    ++failed_updates_;
+  }
+}
+
+std::optional<std::uint32_t> CodeClock::read_msb() const {
+  std::uint32_t msb = 0;
+  if (read32(msb_addr_, msb) != BusStatus::kOk) {
+    return std::nullopt;
+  }
+  return msb;
+}
+
+SwClockSource::SwClockSource(Mcu& mcu, CodeClock& code_clock, Addr lsb_base,
+                             unsigned lsb_bits)
+    : mcu_(&mcu),
+      code_clock_(&code_clock),
+      lsb_base_(lsb_base),
+      lsb_bits_(lsb_bits) {}
+
+std::optional<std::uint64_t> SwClockSource::read_ticks(
+    const AccessContext& reader) {
+  // Clock_LSB is an open MMIO register: read with the caller's context.
+  std::uint32_t lsb = 0;
+  std::uint64_t lsb_value = 0;
+  for (unsigned i = 0; i < (lsb_bits_ + 7) / 8; ++i) {
+    std::uint8_t b = 0;
+    if (mcu_->bus().read8(reader, lsb_base_ + i, b) != BusStatus::kOk) {
+      return std::nullopt;
+    }
+    lsb_value |= std::uint64_t{b} << (8 * i);
+  }
+  lsb = static_cast<std::uint32_t>(lsb_value);
+
+  // Clock_MSB is EA-MPU-protected; obtain it through Code_Clock.
+  const auto msb = code_clock_->read_msb();
+  if (!msb.has_value()) return std::nullopt;
+  return (std::uint64_t{*msb} << lsb_bits_) | lsb;
+}
+
+}  // namespace ratt::hw

@@ -1,0 +1,99 @@
+// Clock sources read by the trusted attestation code, covering the three
+// designs the paper evaluates (Sec. 6.2-6.3, Fig. 1):
+//
+//   (a) MmioClockSource over a HwCounterPort — dedicated wide hardware
+//       counter (64-bit, or 32-bit with a 2^20 divider);
+//   (a') MmioClockSource over a WritableClockPort — the *unprotected*
+//       clock that the roaming adversary can reset;
+//   (b) SwClockSource — Clock_MSB (RAM word maintained by Code_Clock on
+//       Clock_LSB wrap interrupts) combined with Clock_LSB (MMIO).
+//
+// CodeClock is the trusted software half of design (b).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ratt/hw/mcu.hpp"
+#include "ratt/hw/timer.hpp"
+
+namespace ratt::hw {
+
+/// Something the prover can read the current time (in ticks) from.
+/// Reads go through the bus with the *reader's* context, so EA-MPU
+/// protections apply.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  virtual std::string describe() const = 0;
+
+  /// Current tick count, or nullopt if the read faulted.
+  virtual std::optional<std::uint64_t> read_ticks(
+      const AccessContext& reader) = 0;
+};
+
+/// Reads a little-endian counter of `width_bytes` at `base` over the bus.
+class MmioClockSource final : public ClockSource {
+ public:
+  MmioClockSource(Mcu& mcu, Addr base, unsigned width_bytes,
+                  std::string label);
+
+  std::string describe() const override { return label_; }
+  std::optional<std::uint64_t> read_ticks(
+      const AccessContext& reader) override;
+
+ private:
+  Mcu* mcu_;
+  Addr base_;
+  unsigned width_bytes_;
+  std::string label_;
+};
+
+/// Code_Clock (Fig. 1b): trusted handler that increments Clock_MSB in RAM
+/// each time Clock_LSB wraps. Its IDT entry must point at entry_point()
+/// and Clock_MSB must be EA-MPU-protected to be writable only from this
+/// component's code region.
+class CodeClock final : public SoftwareComponent {
+ public:
+  CodeClock(Mcu& mcu, AddrRange code, Addr clock_msb_addr);
+
+  Addr entry_point() const { return code_region().begin; }
+  Addr clock_msb_addr() const { return msb_addr_; }
+
+  /// The interrupt handler body (step 3 in Fig. 1b).
+  void on_wrap_interrupt();
+
+  /// Read Clock_MSB with *this component's* context — models a call into
+  /// Code_Clock's read entry point, the TrustLite idiom that lets other
+  /// trustlets obtain the value without a dedicated read rule.
+  std::optional<std::uint32_t> read_msb() const;
+
+  /// Handler invocations that failed to update Clock_MSB (e.g. the EA-MPU
+  /// rule was mis-configured); should stay zero in a healthy system.
+  std::uint64_t failed_updates() const { return failed_updates_; }
+
+ private:
+  Addr msb_addr_;
+  std::uint64_t failed_updates_ = 0;
+};
+
+/// The composite SW-clock: now = (Clock_MSB << lsb_bits) | Clock_LSB.
+class SwClockSource final : public ClockSource {
+ public:
+  SwClockSource(Mcu& mcu, CodeClock& code_clock, Addr lsb_base,
+                unsigned lsb_bits);
+
+  std::string describe() const override { return "sw-clock"; }
+  std::optional<std::uint64_t> read_ticks(
+      const AccessContext& reader) override;
+
+ private:
+  Mcu* mcu_;
+  CodeClock* code_clock_;
+  Addr lsb_base_;
+  unsigned lsb_bits_;
+};
+
+}  // namespace ratt::hw

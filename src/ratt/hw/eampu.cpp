@@ -1,0 +1,98 @@
+#include "ratt/hw/eampu.hpp"
+
+namespace ratt::hw {
+
+EaMpu::EaMpu(std::size_t capacity) : rules_(capacity) {}
+
+std::size_t EaMpu::active_rules() const {
+  std::size_t n = 0;
+  for (const auto& r : rules_) {
+    if (r.active) ++n;
+  }
+  return n;
+}
+
+bool EaMpu::set_rule(std::size_t index, EampuRule rule) {
+  if (locked_ || index >= rules_.size()) return false;
+  rules_[index] = std::move(rule);
+  return true;
+}
+
+bool EaMpu::clear_rule(std::size_t index) {
+  if (locked_ || index >= rules_.size()) return false;
+  rules_[index] = EampuRule{};
+  return true;
+}
+
+bool EaMpu::covered(Addr addr) const {
+  for (const auto& r : rules_) {
+    if (r.active && r.data.contains(addr)) return true;
+  }
+  return false;
+}
+
+bool EaMpu::allows(const AccessContext& ctx, AccessType type,
+                   Addr addr) const {
+  bool any_rule_covers = false;
+  for (const auto& r : rules_) {
+    if (!r.active || !r.data.contains(addr)) continue;
+    any_rule_covers = true;
+    if (!r.code.contains(ctx.pc)) continue;
+    if (type == AccessType::kRead && r.allow_read) return true;
+    if (type == AccessType::kWrite && r.allow_write) return true;
+  }
+  return !any_rule_covers;
+}
+
+EaMpuConfigPort::EaMpuConfigPort(EaMpu& mpu)
+    : mpu_(mpu),
+      shadow_(kRulesOffset + kRuleStride * mpu.capacity(), 0) {}
+
+Addr EaMpuConfigPort::window_size() const {
+  return static_cast<Addr>(shadow_.size());
+}
+
+std::uint8_t EaMpuConfigPort::read(Addr offset) {
+  if (offset == kLockOffset) {
+    return mpu_.locked() ? 1 : 0;
+  }
+  if (offset < shadow_.size()) {
+    return shadow_[offset];
+  }
+  return 0;
+}
+
+bool EaMpuConfigPort::write(Addr offset, std::uint8_t value) {
+  if (mpu_.locked()) return false;  // registers are read-only after lockdown
+  if (offset >= shadow_.size()) return false;
+
+  if (offset < kRulesOffset) {
+    // Any non-zero byte written into LOCK engages lockdown.
+    if (value != 0) {
+      mpu_.lock();
+    }
+    return true;
+  }
+
+  shadow_[offset] = value;
+  sync_rule_to_mpu((offset - kRulesOffset) / kRuleStride);
+  return true;
+}
+
+void EaMpuConfigPort::sync_rule_to_mpu(std::size_t index) {
+  const std::uint8_t* base = shadow_.data() + kRulesOffset +
+                             index * kRuleStride;
+  EampuRule rule;
+  rule.code.begin = crypto::load_le32(base);
+  rule.code.end = crypto::load_le32(base + 4);
+  rule.data.begin = crypto::load_le32(base + 8);
+  rule.data.end = crypto::load_le32(base + 12);
+  const std::uint32_t flags = crypto::load_le32(base + 16);
+  rule.allow_read = (flags & 0x1) != 0;
+  rule.allow_write = (flags & 0x2) != 0;
+  rule.active = (flags & 0x4) != 0;
+  rule.label = "mmio-rule-" + std::to_string(index);
+  mpu_.set_rule(index, std::move(rule));
+}
+
+}  // namespace ratt::hw

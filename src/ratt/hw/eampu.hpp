@@ -1,0 +1,108 @@
+// Execution-aware memory protection unit (EA-MPU), after TrustLite /
+// SMART (Sec. 6.1).
+//
+// An EA-MPU rule grants a *code region* (identified by the current program
+// counter) read and/or write access to a *data region*. Memory covered by
+// at least one rule is accessible only through a matching rule; memory not
+// covered by any rule is open to everyone. This is how the paper protects
+//   * K_Attest   — readable only by Code_Attest (rule, R only),
+//   * counter_R  — writable only by Code_Attest,
+//   * Clock_MSB  — writable only by Code_Clock,
+//   * the IDT    — writable by nobody after boot,
+//   * the EA-MPU's own configuration registers (lockdown).
+//
+// Rules are programmed through a memory-mapped configuration port
+// (EaMpuConfigPort) during secure boot, after which the lock register is
+// set and all further configuration writes fail.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ratt/hw/bus.hpp"
+
+namespace ratt::hw {
+
+struct EampuRule {
+  AddrRange code;   // who may access (by PC)
+  AddrRange data;   // what is protected
+  bool allow_read = false;
+  bool allow_write = false;
+  bool active = false;
+  std::string label;  // diagnostics only; not part of hardware state
+};
+
+/// The EA-MPU proper: rule store + access-decision logic.
+class EaMpu final : public AccessController {
+ public:
+  /// `capacity` is #r in the paper's cost formulas (Table 3).
+  explicit EaMpu(std::size_t capacity = 8);
+
+  std::size_t capacity() const { return rules_.size(); }
+  bool locked() const { return locked_; }
+
+  /// Number of active rules.
+  std::size_t active_rules() const;
+
+  /// Program rule `index`. Fails (returns false) once locked.
+  bool set_rule(std::size_t index, EampuRule rule);
+
+  /// Deactivate rule `index`. Fails once locked.
+  bool clear_rule(std::size_t index);
+
+  /// Engage lockdown; irreversible (only a hardware reset would clear it,
+  /// which re-runs secure boot).
+  void lock() { locked_ = true; }
+
+  const EampuRule& rule(std::size_t index) const { return rules_.at(index); }
+
+  /// The EA-MPU decision (Sec. 6.1): an access to an address covered by at
+  /// least one rule succeeds iff some covering rule names the caller's code
+  /// region and grants the access type; uncovered addresses are open.
+  bool allows(const AccessContext& ctx, AccessType type,
+              Addr addr) const override;
+
+  /// Whether any rule covers `addr` (i.e. the address is protected).
+  bool covered(Addr addr) const;
+
+ private:
+  std::vector<EampuRule> rules_;
+  bool locked_ = false;
+};
+
+/// Memory-mapped configuration registers for the EA-MPU.
+///
+/// Layout (all little-endian):
+///   0x00  LOCK    (32-bit; write non-zero to lock, reads back 0/1)
+///   0x04 + 20*i   rule i: CODE_BEGIN, CODE_END, DATA_BEGIN, DATA_END,
+///                 FLAGS (bit0 = read, bit1 = write, bit2 = active)
+///
+/// All writes fail once the MPU is locked — "setting the EA-MPU's
+/// configuration registers as read-only" (Sec. 6.2). A rule becomes
+/// visible to the decision logic when its FLAGS byte 0 is written, so
+/// software programs the ranges first and the flags last.
+class EaMpuConfigPort final : public MmioDevice {
+ public:
+  static constexpr Addr kLockOffset = 0x00;
+  static constexpr Addr kRuleStride = 20;
+  static constexpr Addr kRulesOffset = 0x04;
+
+  explicit EaMpuConfigPort(EaMpu& mpu);
+
+  /// Size of the register file in bytes (for mapping).
+  Addr window_size() const;
+
+  std::string name() const override { return "eampu-config"; }
+  std::uint8_t read(Addr offset) override;
+  bool write(Addr offset, std::uint8_t value) override;
+
+ private:
+  void sync_rule_to_mpu(std::size_t index);
+
+  EaMpu& mpu_;
+  Bytes shadow_;  // raw register bytes
+};
+
+}  // namespace ratt::hw

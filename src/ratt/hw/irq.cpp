@@ -1,0 +1,54 @@
+#include "ratt/hw/irq.hpp"
+
+#include <stdexcept>
+
+namespace ratt::hw {
+
+InterruptController::InterruptController(MemoryBus& bus, Addr idt_base,
+                                         std::size_t vector_count)
+    : bus_(bus), idt_base_(idt_base), vector_count_(vector_count) {
+  if (vector_count == 0 || vector_count > 32) {
+    throw std::invalid_argument(
+        "InterruptController: vector_count must be in [1, 32]");
+  }
+}
+
+void InterruptController::register_native_handler(
+    Addr entry, std::function<void()> handler) {
+  native_handlers_[entry] = std::move(handler);
+}
+
+BusStatus InterruptController::install(const AccessContext& ctx,
+                                       std::size_t vec, Addr entry) {
+  if (vec >= vector_count_) return BusStatus::kUnmapped;
+  return bus_.write32(ctx, idt_base_ + static_cast<Addr>(4 * vec), entry);
+}
+
+bool InterruptController::raise(std::size_t vec) {
+  if (vec >= vector_count_) return false;
+  if ((mask_ >> vec) & 1) {
+    ++stats_.dropped_masked;
+    return false;
+  }
+  // Hardware reads the IDT entry; the access controller admits kHardwarePc.
+  std::uint32_t entry = 0;
+  const BusStatus s = bus_.read32(AccessContext{kHardwarePc},
+                                  idt_base_ + static_cast<Addr>(4 * vec),
+                                  entry);
+  if (s != BusStatus::kOk) {
+    ++stats_.lost_bad_entry;
+    return false;
+  }
+  const auto it = native_handlers_.find(entry);
+  if (it == native_handlers_.end()) {
+    // The IDT points somewhere that is not a registered handler entry —
+    // e.g. malware clobbered it. The interrupt is effectively lost.
+    ++stats_.lost_bad_entry;
+    return false;
+  }
+  ++stats_.delivered;
+  it->second();
+  return true;
+}
+
+}  // namespace ratt::hw

@@ -1,0 +1,102 @@
+// Interrupt controller with an in-RAM interrupt descriptor table (IDT).
+//
+// The SW-clock design of Fig. 1b depends on interrupt integrity: Clock_LSB
+// wraps, raises an interrupt, and the handler (Code_Clock) increments
+// Clock_MSB. The paper's Adv_roam can stop the clock by (a) overwriting
+// the IDT entry so Code_Clock is never invoked, or (b) masking the timer
+// interrupt. Both attack surfaces are modeled here:
+//   * the IDT lives in ordinary RAM, writable unless an EA-MPU rule locks
+//     it down ("IDT can be locked down similar to the EA-MPU", Sec. 6.2);
+//   * the mask register is a memory-mapped port (IrqMaskPort) that can
+//     likewise be EA-MPU-protected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ratt/hw/bus.hpp"
+
+namespace ratt::hw {
+
+class InterruptController {
+ public:
+  /// The IDT occupies [idt_base, idt_base + 4*vector_count) in bus memory;
+  /// each entry is a little-endian 32-bit handler entry address.
+  InterruptController(MemoryBus& bus, Addr idt_base,
+                      std::size_t vector_count);
+
+  Addr idt_base() const { return idt_base_; }
+  std::size_t vector_count() const { return vector_count_; }
+  AddrRange idt_range() const {
+    return AddrRange{idt_base_,
+                     idt_base_ + static_cast<Addr>(4 * vector_count_)};
+  }
+
+  /// Associate simulated handler code (identified by its entry address,
+  /// which is what the IDT stores) with native behavior. The simulation
+  /// does not interpret an ISA; dispatch looks up the entry address
+  /// written in the IDT and runs the registered callable.
+  void register_native_handler(Addr entry, std::function<void()> handler);
+
+  /// Write vector `vec`'s IDT entry. `ctx` is the writer's PC, so EA-MPU
+  /// IDT protection applies to this exactly as to any other memory write.
+  BusStatus install(const AccessContext& ctx, std::size_t vec, Addr entry);
+
+  /// Raise interrupt `vec`. Returns true if a handler ran.
+  /// Masked interrupts are dropped; IDT entries that do not name a
+  /// registered handler lose the interrupt (models a clobbered IDT).
+  bool raise(std::size_t vec);
+
+  // Mask state (bit set = masked). Manipulated via IrqMaskPort or directly
+  // by tests.
+  std::uint32_t mask() const { return mask_; }
+  void set_mask(std::uint32_t mask) { mask_ = mask; }
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_masked = 0;
+    std::uint64_t lost_bad_entry = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MemoryBus& bus_;
+  Addr idt_base_;
+  std::size_t vector_count_;
+  std::uint32_t mask_ = 0;
+  std::map<Addr, std::function<void()>> native_handlers_;
+  Stats stats_;
+};
+
+/// Memory-mapped interrupt mask register (32-bit at offset 0).
+/// The paper notes "disabling the timer interrupt must also be prevented";
+/// protecting this port with an EA-MPU rule models that.
+class IrqMaskPort final : public MmioDevice {
+ public:
+  explicit IrqMaskPort(InterruptController& irq) : irq_(irq) {}
+
+  static constexpr Addr kWindowSize = 4;
+
+  std::string name() const override { return "irq-mask"; }
+
+  std::uint8_t read(Addr offset) override {
+    if (offset >= 4) return 0;
+    return static_cast<std::uint8_t>(irq_.mask() >> (8 * offset));
+  }
+
+  bool write(Addr offset, std::uint8_t value) override {
+    if (offset >= 4) return false;
+    std::uint32_t mask = irq_.mask();
+    mask &= ~(std::uint32_t{0xff} << (8 * offset));
+    mask |= std::uint32_t{value} << (8 * offset);
+    irq_.set_mask(mask);
+    return true;
+  }
+
+ private:
+  InterruptController& irq_;
+};
+
+}  // namespace ratt::hw

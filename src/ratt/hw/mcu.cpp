@@ -1,0 +1,53 @@
+#include "ratt/hw/mcu.hpp"
+
+namespace ratt::hw {
+
+Mcu::Mcu(const Layout& layout)
+    : layout_(layout),
+      mpu_(layout.mpu_capacity),
+      mpu_port_(mpu_),
+      irq_(bus_, layout.idt_base, layout.irq_vectors),
+      irq_mask_port_(irq_) {
+  bus_.map_storage("rom", MemoryKind::kRom, layout.rom);
+  bus_.map_storage("flash", MemoryKind::kFlash, layout.flash);
+  bus_.map_storage("ram", MemoryKind::kRam, layout.ram);
+  if (layout.map_mpu_port) {
+    bus_.map_device(
+        "eampu-config",
+        AddrRange{layout.mpu_port_base,
+                  layout.mpu_port_base + mpu_port_.window_size()},
+        mpu_port_);
+  }
+  bus_.map_device(
+      "irq-mask",
+      AddrRange{layout.irq_mask_base,
+                layout.irq_mask_base + IrqMaskPort::kWindowSize},
+      irq_mask_port_);
+  bus_.set_access_controller(&mpu_);
+}
+
+void Mcu::map_device(std::string name, Addr base, Addr size,
+                     MmioDevice& dev) {
+  bus_.map_device(std::move(name), AddrRange{base, base + size}, dev);
+  if (auto* listener = dynamic_cast<TickListener*>(&dev)) {
+    add_tick_listener(*listener);
+  }
+}
+
+void Mcu::add_tick_listener(TickListener& listener) {
+  tick_listeners_.push_back(&listener);
+}
+
+void Mcu::advance_cycles(std::uint64_t n) {
+  cycles_ += n;
+  for (auto* listener : tick_listeners_) {
+    listener->on_cycles(cycles_);
+  }
+}
+
+void Mcu::advance_ms(double ms) {
+  advance_cycles(static_cast<std::uint64_t>(
+      ms * static_cast<double>(layout_.clock_hz) / 1000.0));
+}
+
+}  // namespace ratt::hw

@@ -1,0 +1,79 @@
+#include "ratt/hw/secure_boot.hpp"
+
+namespace ratt::hw {
+
+crypto::Sha256::Digest boot_image_digest(const BootImage& image) {
+  crypto::Sha256 h;
+  for (const auto& seg : image.segments) {
+    std::uint8_t header[8];
+    crypto::store_be32(header, seg.base);
+    crypto::store_be32(header + 4, static_cast<std::uint32_t>(seg.data.size()));
+    h.update(ByteView(header, sizeof(header)));
+    h.update(seg.data);
+  }
+  return h.finish();
+}
+
+RomReference make_rom_reference(const BootImage& image,
+                                const crypto::EcdsaKeyPair& vendor) {
+  RomReference ref;
+  ref.expected_hash = boot_image_digest(image);
+  ref.signature = crypto::ecdsa_sign(
+      vendor.private_key,
+      ByteView(ref.expected_hash.data(), ref.expected_hash.size()));
+  ref.vendor_key = vendor.public_key;
+  return ref;
+}
+
+std::string to_string(BootStatus status) {
+  switch (status) {
+    case BootStatus::kOk:
+      return "ok";
+    case BootStatus::kBadSignature:
+      return "bad-signature";
+    case BootStatus::kHashMismatch:
+      return "hash-mismatch";
+    case BootStatus::kLoadFault:
+      return "load-fault";
+    case BootStatus::kConfigFault:
+      return "config-fault";
+  }
+  return "unknown";
+}
+
+BootStatus secure_boot(
+    Mcu& mcu, const BootImage& image, const RomReference& reference,
+    const std::function<bool(Mcu&)>& configure_protection) {
+  // 1. Authenticate the reference hash (it sits in ROM, but verifying the
+  //    vendor signature also covers provisioning errors).
+  if (!crypto::ecdsa_verify(
+          reference.vendor_key,
+          ByteView(reference.expected_hash.data(),
+                   reference.expected_hash.size()),
+          reference.signature)) {
+    return BootStatus::kBadSignature;
+  }
+
+  // 2. Measure the image and compare against the signed reference.
+  if (boot_image_digest(image) != reference.expected_hash) {
+    return BootStatus::kHashMismatch;
+  }
+
+  // 3. Load segments. load_initial models the boot ROM's privileged copy.
+  for (const auto& seg : image.segments) {
+    try {
+      mcu.bus().load_initial(seg.base, seg.data);
+    } catch (const std::invalid_argument&) {
+      return BootStatus::kLoadFault;
+    }
+  }
+
+  // 4. Trusted first-stage code programs the protection rules, then the
+  //    EA-MPU is locked down — also on failure, so a botched configuration
+  //    fails closed rather than leaving the MPU programmable.
+  const bool configured = configure_protection(mcu);
+  mcu.mpu().lock();
+  return configured ? BootStatus::kOk : BootStatus::kConfigFault;
+}
+
+}  // namespace ratt::hw

@@ -1,0 +1,62 @@
+// Secure boot (Sec. 2 "Secure Boot", Sec. 6.2): at reset, a ROM-resident
+// bootloader hashes the software image, checks it against a vendor-signed
+// reference hash stored in ROM, loads the image, lets trusted first-stage
+// code program the EA-MPU protection rules, and locks the EA-MPU down.
+// Only after a successful boot does any untrusted code run — which is why
+// the adversary cannot simply reprogram the protection rules.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ratt/crypto/ecdsa.hpp"
+#include "ratt/crypto/sha256.hpp"
+#include "ratt/hw/mcu.hpp"
+
+namespace ratt::hw {
+
+struct BootSegment {
+  Addr base = 0;
+  Bytes data;
+};
+
+struct BootImage {
+  std::string name;
+  std::vector<BootSegment> segments;
+};
+
+/// SHA-256 over every segment's (base || length || data), order-sensitive.
+crypto::Sha256::Digest boot_image_digest(const BootImage& image);
+
+/// What the vendor burns into ROM: the expected image hash, a signature
+/// over it, and the vendor's public key.
+struct RomReference {
+  crypto::Sha256::Digest expected_hash{};
+  crypto::EcdsaSignature signature;
+  crypto::EcPoint vendor_key;
+};
+
+/// Vendor-side: produce the ROM reference for `image`.
+RomReference make_rom_reference(const BootImage& image,
+                                const crypto::EcdsaKeyPair& vendor);
+
+enum class BootStatus : std::uint8_t {
+  kOk,
+  kBadSignature,   // reference hash signature does not verify
+  kHashMismatch,   // image does not match the signed reference
+  kLoadFault,      // a segment targets unmapped / device memory
+  kConfigFault,    // protection configuration reported failure
+};
+
+std::string to_string(BootStatus status);
+
+/// Runs the boot sequence on `mcu`. `configure_protection` is the trusted
+/// first-stage code that programs EA-MPU rules; it runs pre-lockdown and
+/// must return true on success. The EA-MPU is locked before this function
+/// returns kOk, and is also locked on kConfigFault (fail-closed).
+BootStatus secure_boot(Mcu& mcu, const BootImage& image,
+                       const RomReference& reference,
+                       const std::function<bool(Mcu&)>& configure_protection);
+
+}  // namespace ratt::hw

@@ -1,0 +1,114 @@
+#include "ratt/hw/timer.hpp"
+
+#include <stdexcept>
+
+namespace ratt::hw {
+
+namespace {
+
+std::uint64_t width_mask(unsigned width_bits) {
+  return width_bits >= 64 ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << width_bits) - 1);
+}
+
+}  // namespace
+
+HwCounterPort::HwCounterPort(unsigned width_bits, std::uint64_t divider)
+    : width_bits_(width_bits), divider_(divider) {
+  if (width_bits == 0 || width_bits > 64 || width_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "HwCounterPort: width must be a multiple of 8 in [8, 64]");
+  }
+  if (divider == 0) {
+    throw std::invalid_argument("HwCounterPort: divider must be non-zero");
+  }
+}
+
+std::uint64_t HwCounterPort::value() const {
+  return (cycles_ / divider_) & width_mask(width_bits_);
+}
+
+std::uint8_t HwCounterPort::read(Addr offset) {
+  if (offset >= window_size()) return 0;
+  return static_cast<std::uint8_t>(value() >> (8 * offset));
+}
+
+bool HwCounterPort::write(Addr /*offset*/, std::uint8_t /*value*/) {
+  return false;  // wired read-only
+}
+
+WrapCounter::WrapCounter(InterruptController& irq, std::size_t irq_vector,
+                         unsigned width_bits, std::uint64_t divider)
+    : irq_(irq),
+      irq_vector_(irq_vector),
+      width_bits_(width_bits),
+      divider_(divider) {
+  if (width_bits == 0 || width_bits > 32) {
+    throw std::invalid_argument("WrapCounter: width must be in [1, 32]");
+  }
+  if (divider == 0) {
+    throw std::invalid_argument("WrapCounter: divider must be non-zero");
+  }
+}
+
+std::uint32_t WrapCounter::value() const {
+  return static_cast<std::uint32_t>((cycles_ / divider_) &
+                                    width_mask(width_bits_));
+}
+
+void WrapCounter::on_cycles(std::uint64_t cycles) {
+  cycles_ = cycles;
+  const std::uint64_t ticks = cycles / divider_;
+  const std::uint64_t period = width_mask(width_bits_) + 1;
+  const std::uint64_t new_wraps = ticks / period;
+  while (wraps_ < new_wraps) {
+    ++wraps_;
+    irq_.raise(irq_vector_);
+  }
+  last_ticks_ = ticks;
+}
+
+std::uint8_t WrapCounter::read(Addr offset) {
+  if (offset >= window_size()) return 0;
+  return static_cast<std::uint8_t>(value() >> (8 * offset));
+}
+
+bool WrapCounter::write(Addr /*offset*/, std::uint8_t /*value*/) {
+  return false;  // wired read-only
+}
+
+WritableClockPort::WritableClockPort(std::uint64_t divider)
+    : divider_(divider) {
+  if (divider == 0) {
+    throw std::invalid_argument(
+        "WritableClockPort: divider must be non-zero");
+  }
+}
+
+std::uint64_t WritableClockPort::value() const {
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(cycles_ / divider_) + offset_ticks_);
+}
+
+void WritableClockPort::set_value(std::uint64_t v) {
+  offset_ticks_ = static_cast<std::int64_t>(v) -
+                  static_cast<std::int64_t>(cycles_ / divider_);
+}
+
+std::uint8_t WritableClockPort::read(Addr offset) {
+  if (offset >= window_size()) return 0;
+  return static_cast<std::uint8_t>(value() >> (8 * offset));
+}
+
+bool WritableClockPort::write(Addr offset, std::uint8_t value) {
+  if (offset >= window_size()) return false;
+  pending_[offset] = value;
+  pending_mask_ |= static_cast<std::uint8_t>(1u << offset);
+  if (pending_mask_ == 0xff) {  // full 64-bit value staged: commit
+    set_value(crypto::load_le64(pending_));
+    pending_mask_ = 0;
+  }
+  return true;
+}
+
+}  // namespace ratt::hw

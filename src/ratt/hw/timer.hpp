@@ -1,0 +1,121 @@
+// Timer / counter devices backing the three clock designs of Sec. 6.2-6.3:
+//
+//   * HwCounterPort — a dedicated read-only counter register of configurable
+//     width and clock divider. 64-bit/divider-1 is Fig. 1a ("does not wrap
+//     around within the lifetime of the prover"); 32-bit/2^20 is the
+//     cheaper variant with 42 ms resolution and ~6 year wrap-around.
+//   * WrapCounter — Fig. 1b's Clock_LSB: a short free-running counter that
+//     raises an interrupt at each wrap-around, to be served by Code_Clock.
+//   * WritableClockPort — a *software-settable* clock register, modeling
+//     the unprotected clock that Adv_roam resets in the Sec. 5 timestamp
+//     attack.
+//
+// All are driven from the MCU cycle counter via on_cycles().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ratt/hw/bus.hpp"
+#include "ratt/hw/irq.hpp"
+
+namespace ratt::hw {
+
+/// Anything advanced by the MCU cycle counter.
+class TickListener {
+ public:
+  virtual ~TickListener() = default;
+
+  /// Called whenever simulated time advances; `cycles` is the new absolute
+  /// cycle count (monotone).
+  virtual void on_cycles(std::uint64_t cycles) = 0;
+};
+
+/// Read-only hardware counter register: value = (cycles / divider),
+/// truncated to `width_bits`. Mapped as width_bits/8 little-endian bytes.
+/// Writes always fail — the register is wired read-only (Sec. 6.2:
+/// "the hardware counter must be read-only").
+class HwCounterPort final : public MmioDevice, public TickListener {
+ public:
+  HwCounterPort(unsigned width_bits, std::uint64_t divider);
+
+  Addr window_size() const { return width_bits_ / 8; }
+  unsigned width_bits() const { return width_bits_; }
+  std::uint64_t divider() const { return divider_; }
+
+  std::uint64_t value() const;
+
+  void on_cycles(std::uint64_t cycles) override { cycles_ = cycles; }
+
+  std::string name() const override { return "hw-counter"; }
+  std::uint8_t read(Addr offset) override;
+  bool write(Addr offset, std::uint8_t value) override;
+
+ private:
+  unsigned width_bits_;
+  std::uint64_t divider_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Fig. 1b's Clock_LSB: a `width_bits`-wide counter incremented every
+/// `divider` cycles; each wrap-around raises `irq_vector`. The counter
+/// register itself is read-only like HwCounterPort.
+class WrapCounter final : public MmioDevice, public TickListener {
+ public:
+  WrapCounter(InterruptController& irq, std::size_t irq_vector,
+              unsigned width_bits, std::uint64_t divider);
+
+  Addr window_size() const { return 4; }
+  unsigned width_bits() const { return width_bits_; }
+
+  /// Current LSB value (truncated counter).
+  std::uint32_t value() const;
+
+  /// Total wraps that have occurred (ground truth; software cannot read
+  /// this — it must count interrupts, which is the whole point).
+  std::uint64_t wraps() const { return wraps_; }
+
+  void on_cycles(std::uint64_t cycles) override;
+
+  std::string name() const override { return "wrap-counter"; }
+  std::uint8_t read(Addr offset) override;
+  bool write(Addr offset, std::uint8_t value) override;
+
+ private:
+  InterruptController& irq_;
+  std::size_t irq_vector_;
+  unsigned width_bits_;
+  std::uint64_t divider_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t last_ticks_ = 0;
+  std::uint64_t wraps_ = 0;
+};
+
+/// A clock register that software can set — the unprotected design that
+/// the Sec. 5 roaming attack exploits ("Adv_roam re-sets the prover's
+/// clock to t_i - delta"). Reads return base + elapsed ticks; a 64-bit
+/// write replaces the base.
+class WritableClockPort final : public MmioDevice, public TickListener {
+ public:
+  explicit WritableClockPort(std::uint64_t divider);
+
+  Addr window_size() const { return 8; }
+
+  std::uint64_t value() const;
+  void set_value(std::uint64_t v);
+
+  void on_cycles(std::uint64_t cycles) override { cycles_ = cycles; }
+
+  std::string name() const override { return "writable-clock"; }
+  std::uint8_t read(Addr offset) override;
+  bool write(Addr offset, std::uint8_t value) override;
+
+ private:
+  std::uint64_t divider_;
+  std::uint64_t cycles_ = 0;
+  std::int64_t offset_ticks_ = 0;  // set via writes
+  std::uint8_t pending_[8] = {};   // byte-wise write staging
+  std::uint8_t pending_mask_ = 0;
+};
+
+}  // namespace ratt::hw

@@ -1,0 +1,43 @@
+#include "ratt/hw/watchdog.hpp"
+
+#include <stdexcept>
+
+namespace ratt::hw {
+
+Watchdog::Watchdog(std::uint64_t timeout_cycles,
+                   std::function<void()> on_reset)
+    : timeout_cycles_(timeout_cycles), on_reset_(std::move(on_reset)) {
+  if (timeout_cycles == 0) {
+    throw std::invalid_argument("Watchdog: timeout must be non-zero");
+  }
+}
+
+void Watchdog::kick() {
+  last_kick_cycles_ = cycles_;
+  ++kicks_;
+}
+
+void Watchdog::on_cycles(std::uint64_t cycles) {
+  cycles_ = cycles;
+  // Fire once per elapsed timeout without a kick; re-arm from the expiry
+  // point so a long starvation causes repeated resets, as on hardware.
+  while (cycles_ - last_kick_cycles_ >= timeout_cycles_) {
+    last_kick_cycles_ += timeout_cycles_;
+    ++resets_;
+    if (on_reset_) on_reset_();
+  }
+}
+
+std::uint8_t Watchdog::read(Addr offset) {
+  // Status register: low byte of the reset count.
+  if (offset == 0) return static_cast<std::uint8_t>(resets_);
+  return 0;
+}
+
+bool Watchdog::write(Addr offset, std::uint8_t /*value*/) {
+  if (offset >= kWindowSize) return false;
+  kick();  // any write is a kick
+  return true;
+}
+
+}  // namespace ratt::hw

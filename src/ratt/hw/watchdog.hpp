@@ -1,0 +1,47 @@
+// Watchdog timer: the standard embedded defense against a wedged main
+// loop — and the mechanism that turns a DoS'd prover into a *rebooting*
+// prover. If application code fails to kick the watchdog within its
+// period (because uninterruptible attestation is hogging the CPU,
+// Sec. 3.1), the watchdog fires a system reset. Each reset costs a
+// reboot (secure boot re-runs) and loses volatile state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ratt/hw/timer.hpp"
+
+namespace ratt::hw {
+
+class Watchdog final : public MmioDevice, public TickListener {
+ public:
+  /// `timeout_cycles`: cycles of silence before the dog bites.
+  /// `on_reset`: invoked at each expiry (the MCU reset line).
+  Watchdog(std::uint64_t timeout_cycles, std::function<void()> on_reset);
+
+  static constexpr Addr kWindowSize = 4;  // the kick register
+
+  std::uint64_t timeout_cycles() const { return timeout_cycles_; }
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t kicks() const { return kicks_; }
+
+  /// Software kick (also reachable via the MMIO register).
+  void kick();
+
+  void on_cycles(std::uint64_t cycles) override;
+
+  std::string name() const override { return "watchdog"; }
+  std::uint8_t read(Addr offset) override;
+  bool write(Addr offset, std::uint8_t value) override;
+
+ private:
+  std::uint64_t timeout_cycles_;
+  std::function<void()> on_reset_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t last_kick_cycles_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t kicks_ = 0;
+};
+
+}  // namespace ratt::hw

@@ -1,0 +1,39 @@
+#include "ratt/sim/channel.hpp"
+
+namespace ratt::sim {
+
+void Channel::deliver(const Sink& sink, Bytes payload, double delay_ms) {
+  if (!sink) return;
+  queue_->schedule_in(delay_ms,
+                      [&sink, payload = std::move(payload)] { sink(payload); });
+}
+
+void Channel::verifier_send(Bytes payload) {
+  TappedMessage msg{payload, queue_->now_ms(), next_id_++};
+  ChannelTap::Disposition d;
+  if (tap_ != nullptr) d = tap_->on_to_prover(msg);
+  if (!d.deliver) return;
+  ++to_prover_count_;
+  deliver(prover_sink_, std::move(payload), latency_ms_ + d.extra_delay_ms);
+}
+
+void Channel::prover_send(Bytes payload) {
+  TappedMessage msg{payload, queue_->now_ms(), next_id_++};
+  ChannelTap::Disposition d;
+  if (tap_ != nullptr) d = tap_->on_to_verifier(msg);
+  if (!d.deliver) return;
+  ++to_verifier_count_;
+  deliver(verifier_sink_, std::move(payload), latency_ms_ + d.extra_delay_ms);
+}
+
+void Channel::inject_to_prover(Bytes payload, double delay_ms) {
+  ++to_prover_count_;
+  deliver(prover_sink_, std::move(payload), delay_ms);
+}
+
+void Channel::inject_to_verifier(Bytes payload, double delay_ms) {
+  ++to_verifier_count_;
+  deliver(verifier_sink_, std::move(payload), delay_ms);
+}
+
+}  // namespace ratt::sim

@@ -1,0 +1,118 @@
+// Dolev-Yao channel between verifier and prover (Sec. 3.2, Adv_ext):
+// the adversary sits on the wire and can observe, drop, delay, reorder,
+// replay and inject messages. Honest parties only see deliveries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/sim/event.hpp"
+
+namespace ratt::sim {
+
+using crypto::Bytes;
+using crypto::ByteView;
+
+/// A message in flight, as the adversary sees it.
+struct TappedMessage {
+  Bytes payload;
+  double sent_ms = 0.0;
+  std::uint64_t id = 0;  // monotonically increasing per channel
+};
+
+/// The adversary's wire vantage point. Default behavior: pass through.
+class ChannelTap {
+ public:
+  virtual ~ChannelTap() = default;
+
+  /// What happens to an honest message.
+  struct Disposition {
+    bool deliver = true;      // false = drop
+    double extra_delay_ms = 0.0;
+  };
+
+  virtual Disposition on_to_prover(const TappedMessage& msg) = 0;
+  virtual Disposition on_to_verifier(const TappedMessage& msg) = 0;
+};
+
+/// Unidirectionally-tapped duplex channel with a base latency.
+class Channel {
+ public:
+  Channel(EventQueue& queue, double latency_ms)
+      : queue_(&queue), latency_ms_(latency_ms) {}
+
+  void set_tap(ChannelTap* tap) { tap_ = tap; }
+
+  using Sink = std::function<void(const Bytes&)>;
+  void set_prover_sink(Sink sink) { prover_sink_ = std::move(sink); }
+  void set_verifier_sink(Sink sink) { verifier_sink_ = std::move(sink); }
+
+  /// Honest sends: pass through the tap.
+  void verifier_send(Bytes payload);
+  void prover_send(Bytes payload);
+
+  /// Adversary injection: delivered directly (the adversary does not tap
+  /// its own traffic).
+  void inject_to_prover(Bytes payload, double delay_ms = 0.0);
+  void inject_to_verifier(Bytes payload, double delay_ms = 0.0);
+
+  std::uint64_t messages_to_prover() const { return to_prover_count_; }
+  std::uint64_t messages_to_verifier() const { return to_verifier_count_; }
+
+ private:
+  void deliver(const Sink& sink, Bytes payload, double delay_ms);
+
+  EventQueue* queue_;
+  double latency_ms_;
+  ChannelTap* tap_ = nullptr;
+  Sink prover_sink_;
+  Sink verifier_sink_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t to_prover_count_ = 0;
+  std::uint64_t to_verifier_count_ = 0;
+};
+
+/// A tap that records everything and applies a scripted disposition —
+/// sufficient to express all of Adv_ext's behaviors.
+class RecordingTap : public ChannelTap {
+ public:
+  using Script = std::function<Disposition(const TappedMessage&)>;
+
+  /// Default script: pass everything through.
+  RecordingTap() = default;
+
+  void set_to_prover_script(Script script) {
+    to_prover_script_ = std::move(script);
+  }
+  void set_to_verifier_script(Script script) {
+    to_verifier_script_ = std::move(script);
+  }
+
+  const std::vector<TappedMessage>& recorded_to_prover() const {
+    return to_prover_;
+  }
+  const std::vector<TappedMessage>& recorded_to_verifier() const {
+    return to_verifier_;
+  }
+
+  Disposition on_to_prover(const TappedMessage& msg) override {
+    to_prover_.push_back(msg);
+    return to_prover_script_ ? to_prover_script_(msg) : Disposition{};
+  }
+
+  Disposition on_to_verifier(const TappedMessage& msg) override {
+    to_verifier_.push_back(msg);
+    return to_verifier_script_ ? to_verifier_script_(msg) : Disposition{};
+  }
+
+ private:
+  std::vector<TappedMessage> to_prover_;
+  std::vector<TappedMessage> to_verifier_;
+  Script to_prover_script_;
+  Script to_verifier_script_;
+};
+
+}  // namespace ratt::sim

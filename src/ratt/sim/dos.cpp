@@ -1,0 +1,210 @@
+#include "ratt/sim/dos.hpp"
+
+#include <algorithm>
+
+namespace ratt::sim {
+
+DosReport DosSimulator::run(const std::vector<double>& request_times_ms,
+                            const RequestSource& source,
+                            double horizon_ms) {
+  DosReport report;
+  report.horizon_ms = horizon_ms;
+
+  // busy_until: the device is occupied (task or attestation) before this.
+  double busy_until = 0.0;
+  double next_release = 0.0;
+  std::size_t next_request = 0;
+  // Device time accounted so far; the prover's clock must track the
+  // simulation timeline (idle gaps included) or time-based policies
+  // (timestamps, rate-limit windows) see a compressed clock.
+  double device_time_ms = 0.0;
+  const auto sync_device_time = [&](double now) {
+    if (now > device_time_ms) {
+      prover_->idle_ms(now - device_time_ms);
+      device_time_ms = now;
+    }
+  };
+
+  const auto account_energy = [&](double active_ms, double idle_ms) {
+    const double mj =
+        energy_.active_mj(active_ms) + energy_.sleep_mj(idle_ms);
+    battery_.drain(mj);
+    report.energy_mj += mj;
+  };
+
+  // Walk both timelines (task releases, request arrivals) in order.
+  while (next_release < horizon_ms ||
+         (next_request < request_times_ms.size() &&
+          request_times_ms[next_request] < horizon_ms)) {
+    const bool request_next =
+        next_request < request_times_ms.size() &&
+        request_times_ms[next_request] < horizon_ms &&
+        (next_release >= horizon_ms ||
+         request_times_ms[next_request] <= next_release);
+
+    if (request_next) {
+      const double arrival = request_times_ms[next_request++];
+      ++report.requests_delivered;
+      // The request is picked up once the device is free. Attestation is
+      // uninterruptible from then on.
+      const double start = std::max(arrival, busy_until);
+      sync_device_time(start);
+      const attest::AttestOutcome out = prover_->handle(source(start));
+      device_time_ms += out.device_ms;  // handle() advanced the device
+      account_energy(out.device_ms, 0.0);
+      report.attest_busy_ms += out.device_ms;
+      if (out.status == attest::AttestStatus::kOk) {
+        ++report.attestations_performed;
+      } else {
+        ++report.requests_rejected;
+      }
+      busy_until = start + out.device_ms;
+      // Watchdog: an uninterruptible measurement longer than the timeout
+      // means no task (and no kick) for that whole span — the device
+      // resets, repeatedly if the span covers several timeouts, and pays
+      // the reboot downtime on top.
+      if (watchdog_.timeout_ms > 0.0 &&
+          out.device_ms >= watchdog_.timeout_ms) {
+        const auto resets = static_cast<std::uint64_t>(
+            out.device_ms / watchdog_.timeout_ms);
+        report.watchdog_resets += resets;
+        const double downtime =
+            static_cast<double>(resets) * watchdog_.reboot_ms;
+        report.reboot_overhead_ms += downtime;
+        busy_until += downtime;
+        account_energy(downtime, 0.0);
+      }
+      continue;
+    }
+
+    // Task release.
+    const double release = next_release;
+    next_release += task_.period_ms;
+    ++report.tasks_released;
+    const double start = std::max(release, busy_until);
+    // Implicit deadline: the instance must start before the next release.
+    if (start >= release + task_.period_ms) {
+      ++report.tasks_missed;
+      continue;  // skipped entirely; device stays busy with whatever held it
+    }
+    ++report.tasks_completed;
+    account_energy(task_.duration_ms, std::max(0.0, start - release));
+    busy_until = start + task_.duration_ms;
+    sync_device_time(busy_until);  // clock advances through the task
+  }
+
+  report.battery_fraction_used = 1.0 - battery_.remaining_fraction();
+  return report;
+}
+
+DosReport DosSimulator::run_preemptive(
+    const std::vector<double>& request_times_ms, const RequestSource& source,
+    double horizon_ms, double chunk_ms) {
+  DosReport report;
+  report.horizon_ms = horizon_ms;
+
+  double now = 0.0;
+  double device_time_ms = 0.0;
+  const auto sync_device_time = [&](double t) {
+    if (t > device_time_ms) {
+      prover_->idle_ms(t - device_time_ms);
+      device_time_ms = t;
+    }
+  };
+  const auto account_energy = [&](double active_ms, double idle_ms) {
+    const double mj =
+        energy_.active_mj(active_ms) + energy_.sleep_mj(idle_ms);
+    battery_.drain(mj);
+    report.energy_mj += mj;
+  };
+
+  double next_release = 0.0;
+  std::size_t next_request = 0;
+  std::vector<double> released_tasks;  // FIFO of release times
+  double attest_remaining = 0.0;
+
+  const auto release_tasks_until = [&](double t) {
+    while (next_release <= t && next_release < horizon_ms) {
+      released_tasks.push_back(next_release);
+      ++report.tasks_released;
+      next_release += task_.period_ms;
+    }
+  };
+
+  for (;;) {
+    release_tasks_until(now);
+    const bool request_ready = next_request < request_times_ms.size() &&
+                               request_times_ms[next_request] <= now;
+
+    if (!released_tasks.empty()) {
+      // Tasks preempt attestation at chunk boundaries.
+      const double release = released_tasks.front();
+      released_tasks.erase(released_tasks.begin());
+      if (now >= release + task_.period_ms) {
+        ++report.tasks_missed;
+        continue;
+      }
+      ++report.tasks_completed;
+      account_energy(task_.duration_ms, 0.0);
+      now += task_.duration_ms;
+      sync_device_time(now);
+      continue;
+    }
+
+    if (attest_remaining > 0.0) {
+      const double slice = (chunk_ms > 0.0)
+                               ? std::min(chunk_ms, attest_remaining)
+                               : attest_remaining;
+      account_energy(slice, 0.0);
+      now += slice;
+      attest_remaining -= slice;
+      continue;
+    }
+
+    if (request_ready) {
+      ++next_request;
+      ++report.requests_delivered;
+      sync_device_time(now);
+      const attest::AttestOutcome out = prover_->handle(source(now));
+      device_time_ms += out.device_ms;
+      report.attest_busy_ms += out.device_ms;
+      if (out.status == attest::AttestStatus::kOk) {
+        ++report.attestations_performed;
+        attest_remaining = out.device_ms;  // consumed in slices above
+      } else {
+        ++report.requests_rejected;
+        account_energy(out.device_ms, 0.0);
+        now += out.device_ms;
+      }
+      continue;
+    }
+
+    // Idle until the next event.
+    double next_event = horizon_ms;
+    if (next_release < horizon_ms) next_event = std::min(next_event, next_release);
+    if (next_request < request_times_ms.size() &&
+        request_times_ms[next_request] < horizon_ms) {
+      next_event = std::min(next_event, request_times_ms[next_request]);
+    }
+    if (next_event <= now) break;  // nothing left before the horizon
+    account_energy(0.0, next_event - now);
+    now = next_event;
+    sync_device_time(now);
+    if (next_event >= horizon_ms) break;
+  }
+
+  report.battery_fraction_used = 1.0 - battery_.remaining_fraction();
+  return report;
+}
+
+std::vector<double> uniform_arrivals(double rate_per_s, double horizon_ms) {
+  std::vector<double> times;
+  if (rate_per_s <= 0.0) return times;
+  const double interval_ms = 1000.0 / rate_per_s;
+  for (double t = interval_ms / 2; t < horizon_ms; t += interval_ms) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+}  // namespace ratt::sim

@@ -1,0 +1,99 @@
+// DoS impact model (Sec. 1, 3.1): the prover has a primary real-time duty
+// (control / sensing / actuation) executed periodically. Low-end
+// attestation runs uninterruptibly, so every gratuitous invocation blocks
+// task slots and burns battery. This simulator quantifies both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+#include "ratt/timing/timing.hpp"
+
+namespace ratt::sim {
+
+/// The prover's primary periodic task.
+struct TaskProfile {
+  double period_ms = 10.0;    // one task instance per period
+  double duration_ms = 2.0;   // execution time per instance
+  // A task instance is missed if it cannot *start* within its period
+  // (implicit deadline = next release).
+};
+
+struct DosReport {
+  double horizon_ms = 0.0;
+  std::uint64_t watchdog_resets = 0;
+  double reboot_overhead_ms = 0.0;
+  std::uint64_t tasks_released = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_missed = 0;
+  std::uint64_t requests_delivered = 0;
+  std::uint64_t attestations_performed = 0;
+  std::uint64_t requests_rejected = 0;
+  double attest_busy_ms = 0.0;   // prover time consumed by attestation
+  double energy_mj = 0.0;        // total drawn from the battery
+  double battery_fraction_used = 0.0;
+
+  double miss_rate() const {
+    return tasks_released == 0
+               ? 0.0
+               : static_cast<double>(tasks_missed) /
+                     static_cast<double>(tasks_released);
+  }
+};
+
+/// Optional watchdog model: each completed task kicks the dog; if more
+/// than `timeout_ms` passes without a completed task (the attestation is
+/// hogging the CPU), the device resets and pays `reboot_ms` of downtime.
+struct WatchdogProfile {
+  double timeout_ms = 0.0;  // 0 disables the watchdog
+  double reboot_ms = 50.0;  // secure boot + re-init cost per reset
+};
+
+/// Simulates `horizon_ms` of device time during which attestation
+/// requests arrive at the given times. Requests are produced by `forge`
+/// (the attacker's generator — e.g. replayed or bogus requests) and run
+/// on the prover; the task schedule fills the gaps.
+class DosSimulator {
+ public:
+  DosSimulator(attest::ProverDevice& prover, TaskProfile task,
+               timing::EnergyModel energy, timing::Battery battery,
+               WatchdogProfile watchdog = WatchdogProfile{})
+      : prover_(&prover),
+        task_(task),
+        energy_(energy),
+        battery_(battery),
+        watchdog_(watchdog) {}
+
+  using RequestSource = std::function<attest::AttestRequest(double now_ms)>;
+
+  /// Run with attestation requests arriving at `request_times_ms`
+  /// (sorted ascending). Attestation is uninterruptible, per the paper's
+  /// Sec. 3.1 assumption for low-end devices.
+  DosReport run(const std::vector<double>& request_times_ms,
+                const RequestSource& source, double horizon_ms);
+
+  /// Ablation of the uninterruptibility assumption: the measurement runs
+  /// in `chunk_ms` slices and released tasks preempt it at chunk
+  /// boundaries (the TyTAN-style "real-time compliant" mode the paper
+  /// says needs a managing software layer). chunk_ms <= 0 degenerates to
+  /// one uninterruptible slice. NB: chunking re-opens the TOCTOU window
+  /// the paper's footnote 1 warns about — memory measured early in a
+  /// chunked pass can be changed before the pass ends.
+  DosReport run_preemptive(const std::vector<double>& request_times_ms,
+                           const RequestSource& source, double horizon_ms,
+                           double chunk_ms);
+
+ private:
+  attest::ProverDevice* prover_;
+  TaskProfile task_;
+  timing::EnergyModel energy_;
+  timing::Battery battery_;
+  WatchdogProfile watchdog_;
+};
+
+/// Evenly spaced arrival times: `rate_per_s` requests over `horizon_ms`.
+std::vector<double> uniform_arrivals(double rate_per_s, double horizon_ms);
+
+}  // namespace ratt::sim

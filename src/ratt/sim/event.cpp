@@ -1,0 +1,45 @@
+#include "ratt/sim/event.hpp"
+
+#include <stdexcept>
+
+namespace ratt::sim {
+
+void EventQueue::schedule_at(double at_ms, Action action) {
+  if (at_ms < now_ms_) {
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  }
+  queue_.push(Event{at_ms, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(double delay_ms, Action action) {
+  schedule_at(now_ms_ + delay_ms, std::move(action));
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is UB-prone,
+  // so copy the (small) action handle instead.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ms_ = ev.at_ms;
+  ev.action();
+  return true;
+}
+
+void EventQueue::run_until(double until_ms) {
+  while (!queue_.empty() && queue_.top().at_ms <= until_ms) {
+    run_next();
+  }
+  now_ms_ = std::max(now_ms_, until_ms);
+}
+
+void EventQueue::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (run_next()) {
+    if (++n >= max_events) {
+      throw std::runtime_error("EventQueue: event cascade exceeded bound");
+    }
+  }
+}
+
+}  // namespace ratt::sim

@@ -1,0 +1,56 @@
+// Minimal discrete-event scheduler driving the network simulation.
+// Time is in simulated milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ratt::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  double now_ms() const { return now_ms_; }
+
+  /// Schedule `action` at absolute time `at_ms` (>= now).
+  void schedule_at(double at_ms, Action action);
+
+  /// Schedule `action` `delay_ms` from now.
+  void schedule_in(double delay_ms, Action action);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Pop and run the earliest event; returns false when none remain.
+  bool run_next();
+
+  /// Run events until the queue empties or `until_ms` is reached; time
+  /// advances to min(until_ms, last event). Events scheduled during
+  /// execution are honored.
+  void run_until(double until_ms);
+
+  /// Drain everything (bounded by `max_events` as a runaway guard).
+  void run_all(std::size_t max_events = 1'000'000);
+
+ private:
+  struct Event {
+    double at_ms;
+    std::uint64_t seq;  // FIFO among same-time events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_ms != b.at_ms) return a.at_ms > b.at_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ratt::sim

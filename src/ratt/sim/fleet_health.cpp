@@ -1,0 +1,72 @@
+#include "ratt/sim/fleet_health.hpp"
+
+namespace ratt::sim {
+
+std::string to_string(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy:
+      return "healthy";
+    case DeviceHealth::kSilent:
+      return "silent";
+    case DeviceHealth::kCompromised:
+      return "compromised";
+    case DeviceHealth::kSuspect:
+      return "suspect";
+  }
+  return "unknown";
+}
+
+DeviceVerdict assess_device(std::size_t device,
+                            const AttestationSession::Stats& stats,
+                            const HealthPolicy& policy) {
+  DeviceVerdict verdict;
+  verdict.device = device;
+  verdict.invalid_responses = stats.responses_invalid;
+
+  const std::uint64_t unanswered =
+      stats.requests_sent -
+      std::min(stats.requests_sent,
+               stats.responses_valid + stats.responses_invalid);
+  verdict.loss_fraction =
+      stats.requests_sent == 0
+          ? 0.0
+          : static_cast<double>(unanswered) /
+                static_cast<double>(stats.requests_sent);
+
+  // Order matters: invalid responses are the strongest signal (the
+  // device is reachable but its memory does not match the reference).
+  if (policy.invalid_is_compromise && stats.responses_invalid > 0) {
+    verdict.health = DeviceHealth::kCompromised;
+  } else if (verdict.loss_fraction >= policy.silent_threshold) {
+    verdict.health = DeviceHealth::kSilent;
+  } else if (verdict.loss_fraction > policy.suspect_threshold) {
+    verdict.health = DeviceHealth::kSuspect;
+  } else {
+    verdict.health = DeviceHealth::kHealthy;
+  }
+  return verdict;
+}
+
+std::vector<DeviceVerdict> assess_fleet(const SwarmReport& report,
+                                        const HealthPolicy& policy) {
+  std::vector<DeviceVerdict> verdicts;
+  verdicts.reserve(report.devices.size());
+  for (const auto& d : report.devices) {
+    verdicts.push_back(assess_device(d.device, d.stats, policy));
+  }
+  return verdicts;
+}
+
+std::vector<std::size_t> quarantine_list(
+    const std::vector<DeviceVerdict>& verdicts) {
+  std::vector<std::size_t> out;
+  for (const auto& v : verdicts) {
+    if (v.health == DeviceHealth::kCompromised ||
+        v.health == DeviceHealth::kSilent) {
+      out.push_back(v.device);
+    }
+  }
+  return out;
+}
+
+}  // namespace ratt::sim

@@ -1,0 +1,55 @@
+// Operator-side fleet health policy: turns raw session statistics into
+// per-device verdicts an operator can act on (future-work item 1).
+//
+// The verifier is the trusted party here, so this logic is free to be
+// stateful and generous with memory — the asymmetry the paper builds on
+// cuts the other way on this side of the protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ratt/sim/swarm.hpp"
+
+namespace ratt::sim {
+
+enum class DeviceHealth : std::uint8_t {
+  kHealthy,      // responses arriving and validating
+  kSilent,       // requests time out — link loss or a DoS'd/bricked device
+  kCompromised,  // responses arrive but fail validation — bad memory state
+  kSuspect,      // mixed signals (some losses, some validations)
+};
+
+std::string to_string(DeviceHealth health);
+
+struct HealthPolicy {
+  /// Missing-response fraction above which a device is kSilent.
+  double silent_threshold = 0.5;
+  /// Any invalid response marks the device kCompromised.
+  bool invalid_is_compromise = true;
+  /// Loss fraction above which an otherwise-valid device is kSuspect.
+  double suspect_threshold = 0.1;
+};
+
+struct DeviceVerdict {
+  std::size_t device = 0;
+  DeviceHealth health = DeviceHealth::kHealthy;
+  double loss_fraction = 0.0;
+  std::uint64_t invalid_responses = 0;
+};
+
+/// Classify one device from its session statistics.
+DeviceVerdict assess_device(std::size_t device,
+                            const AttestationSession::Stats& stats,
+                            const HealthPolicy& policy = HealthPolicy{});
+
+/// Classify a whole fleet report.
+std::vector<DeviceVerdict> assess_fleet(
+    const SwarmReport& report, const HealthPolicy& policy = HealthPolicy{});
+
+/// Devices an operator should quarantine (kCompromised or kSilent).
+std::vector<std::size_t> quarantine_list(
+    const std::vector<DeviceVerdict>& verdicts);
+
+}  // namespace ratt::sim

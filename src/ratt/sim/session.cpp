@@ -1,0 +1,94 @@
+#include "ratt/sim/session.hpp"
+
+#include <algorithm>
+
+namespace ratt::sim {
+
+AttestationSession::AttestationSession(EventQueue& queue, Channel& channel,
+                                       attest::ProverDevice& prover,
+                                       attest::Verifier& verifier)
+    : queue_(&queue),
+      channel_(&channel),
+      prover_(&prover),
+      verifier_(&verifier) {
+  channel_->set_prover_sink(
+      [this](const crypto::Bytes& wire) { on_prover_receives(wire); });
+  channel_->set_verifier_sink(
+      [this](const crypto::Bytes& wire) { on_verifier_receives(wire); });
+}
+
+void AttestationSession::sync_prover_time() {
+  // Bring the device up to the simulation clock (it was idling / doing
+  // its primary task since the last event).
+  const double now = queue_->now_ms();
+  if (now > prover_time_ms_) {
+    prover_->idle_ms(now - prover_time_ms_);
+    prover_time_ms_ = now;
+  }
+}
+
+void AttestationSession::schedule_rounds(double period_ms,
+                                         double horizon_ms) {
+  for (double t = period_ms; t <= horizon_ms; t += period_ms) {
+    queue_->schedule_at(t, [this] { send_request(); });
+  }
+}
+
+void AttestationSession::send_request() {
+  sync_prover_time();
+  const attest::AttestRequest request = verifier_->make_request();
+  pending_.push_back(Pending{request, queue_->now_ms()});
+  ++stats_.requests_sent;
+  channel_->verifier_send(request.to_bytes());
+}
+
+void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
+  sync_prover_time();
+  const auto request = attest::AttestRequest::from_bytes(wire);
+  if (!request.has_value()) return;  // malformed: dropped silently
+  ++stats_.requests_delivered;
+  const attest::AttestOutcome outcome = prover_->handle(*request);
+  prover_time_ms_ += outcome.device_ms;  // handle() advanced device time
+  if (outcome.status != attest::AttestStatus::kOk) {
+    ++stats_.prover_rejects;
+    return;
+  }
+  channel_->prover_send(outcome.response.to_bytes());
+}
+
+void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
+  const auto response = attest::AttestResponse::from_bytes(wire);
+  if (!response.has_value()) return;
+  ++stats_.responses_received;
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(), [&](const Pending& p) {
+        return p.request.freshness == response->freshness;
+      });
+  if (it == pending_.end()) {
+    ++stats_.responses_invalid;
+    return;
+  }
+  if (verifier_->check_response(it->request, *response)) {
+    ++stats_.responses_valid;
+  } else {
+    ++stats_.responses_invalid;
+  }
+  pending_.erase(it);
+}
+
+std::size_t AttestationSession::check_timeouts(double timeout_ms) {
+  const double now = queue_->now_ms();
+  std::size_t expired = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->sent_ms >= timeout_ms) {
+      ++stats_.responses_missing;
+      ++expired;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace ratt::sim

@@ -1,0 +1,70 @@
+// AttestationSession: binds a Verifier and a ProverDevice to the
+// Dolev-Yao channel and the event queue, so whole protocol runs execute
+// under simulated network conditions (and under an adversary tap).
+//
+// Timeline discipline: the event queue is the master clock; before the
+// prover processes a delivery, its device time is advanced to the event
+// time, so device clocks, timestamps, and the verifier's clock all agree
+// on one timeline — up to the device time the prover spends computing.
+#pragma once
+
+#include <cstdint>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+#include "ratt/sim/channel.hpp"
+#include "ratt/sim/event.hpp"
+
+namespace ratt::sim {
+
+class AttestationSession {
+ public:
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t requests_delivered = 0;
+    std::uint64_t responses_received = 0;
+    std::uint64_t responses_valid = 0;
+    std::uint64_t responses_invalid = 0;
+    std::uint64_t prover_rejects = 0;  // freshness / MAC rejections
+    std::uint64_t responses_missing = 0;  // timed out without a response
+  };
+
+  /// Wires the channel sinks. The session must outlive queue execution.
+  AttestationSession(EventQueue& queue, Channel& channel,
+                     attest::ProverDevice& prover,
+                     attest::Verifier& verifier);
+
+  /// Schedule verifier-initiated attestation rounds every `period_ms`
+  /// until `horizon_ms`.
+  void schedule_rounds(double period_ms, double horizon_ms);
+
+  /// Send one request now.
+  void send_request();
+
+  /// Expire pending requests older than `timeout_ms` (counted in
+  /// responses_missing); lets an operator alarm on silent provers or
+  /// adversarial drops. Returns how many expired in this call.
+  std::size_t check_timeouts(double timeout_ms);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_prover_receives(const crypto::Bytes& wire);
+  void on_verifier_receives(const crypto::Bytes& wire);
+  void sync_prover_time();
+
+  EventQueue* queue_;
+  Channel* channel_;
+  attest::ProverDevice* prover_;
+  attest::Verifier* verifier_;
+  Stats stats_;
+  double prover_time_ms_ = 0.0;  // device time already accounted
+  // Requests awaiting a response, with their send time.
+  struct Pending {
+    attest::AttestRequest request;
+    double sent_ms;
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace ratt::sim

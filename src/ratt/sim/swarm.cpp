@@ -1,0 +1,78 @@
+#include "ratt/sim/swarm.hpp"
+
+#include "ratt/crypto/drbg.hpp"
+
+namespace ratt::sim {
+
+std::uint64_t SwarmReport::total_valid() const {
+  std::uint64_t n = 0;
+  for (const auto& d : devices) n += d.stats.responses_valid;
+  return n;
+}
+
+std::uint64_t SwarmReport::total_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& d : devices) n += d.stats.requests_sent;
+  return n;
+}
+
+double SwarmReport::total_attest_ms() const {
+  double ms = 0.0;
+  for (const auto& d : devices) ms += d.attest_device_ms;
+  return ms;
+}
+
+Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
+    : config_(config) {
+  crypto::HmacDrbg fleet_drbg(fleet_seed);
+  for (std::size_t i = 0; i < config.device_count; ++i) {
+    auto device = std::make_unique<Device>();
+    device->key = fleet_drbg.generate(16);
+    const crypto::Bytes app_seed = fleet_drbg.generate(16);
+
+    device->prover = std::make_unique<attest::ProverDevice>(
+        config.prover, device->key, app_seed);
+
+    attest::Verifier::Config vc;
+    vc.scheme = config.prover.scheme;
+    vc.mac_alg = config.prover.mac_alg;
+    vc.authenticate_requests = config.prover.authenticate_requests;
+    attest::ProverDevice* prover_ptr = device->prover.get();
+    vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
+    device->verifier = std::make_unique<attest::Verifier>(
+        device->key, vc, fleet_drbg.generate(16));
+    device->verifier->set_reference_memory(
+        device->prover->reference_memory());
+
+    device->channel =
+        std::make_unique<Channel>(queue_, config.channel_latency_ms);
+    device->session = std::make_unique<AttestationSession>(
+        queue_, *device->channel, *device->prover, *device->verifier);
+    devices_.push_back(std::move(device));
+  }
+}
+
+SwarmReport Swarm::run(double horizon_ms) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const double offset = config_.stagger_ms * static_cast<double>(i);
+    for (double t = offset + config_.attest_period_ms; t <= horizon_ms;
+         t += config_.attest_period_ms) {
+      auto* session = devices_[i]->session.get();
+      queue_.schedule_at(t, [session] { session->send_request(); });
+    }
+  }
+  queue_.run_all();
+
+  SwarmReport report;
+  report.horizon_ms = horizon_ms;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    SwarmDeviceReport dr;
+    dr.device = i;
+    dr.stats = devices_[i]->session->stats();
+    dr.attest_device_ms = devices_[i]->prover->anchor().total_device_ms();
+    report.devices.push_back(dr);
+  }
+  return report;
+}
+
+}  // namespace ratt::sim

@@ -1,0 +1,77 @@
+// IoT fleet deployment — the paper's future-work item 1 ("trial-deploy
+// proposed methods in the context of connected devices, such as IoT").
+//
+// One verifier-side operator attests a fleet of simulated provers over
+// per-device Dolev-Yao channels sharing a single event queue. Each device
+// holds its own K_Attest (derived from a fleet seed), so a request
+// recorded on one device's link is useless against another — and the
+// whole fleet can be driven under adversarial taps to measure aggregate
+// DoS impact.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ratt/sim/session.hpp"
+
+namespace ratt::sim {
+
+struct SwarmConfig {
+  std::size_t device_count = 8;
+  /// Template for every device (per-device key/app are derived).
+  attest::ProverConfig prover;
+  double attest_period_ms = 500.0;
+  /// Device i's schedule is offset by i * stagger_ms (avoids thundering
+  /// herd on the operator).
+  double stagger_ms = 37.0;
+  double channel_latency_ms = 2.0;
+};
+
+struct SwarmDeviceReport {
+  std::size_t device = 0;
+  AttestationSession::Stats stats;
+  double attest_device_ms = 0.0;  // prover time spent on attestation
+};
+
+struct SwarmReport {
+  double horizon_ms = 0.0;
+  std::vector<SwarmDeviceReport> devices;
+
+  std::uint64_t total_valid() const;
+  std::uint64_t total_sent() const;
+  double total_attest_ms() const;
+};
+
+class Swarm {
+ public:
+  Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed);
+
+  std::size_t size() const { return devices_.size(); }
+  EventQueue& queue() { return queue_; }
+  attest::ProverDevice& prover(std::size_t i) { return *devices_[i]->prover; }
+  Channel& channel(std::size_t i) { return *devices_[i]->channel; }
+  AttestationSession& session(std::size_t i) {
+    return *devices_[i]->session;
+  }
+  const crypto::Bytes& device_key(std::size_t i) const {
+    return devices_[i]->key;
+  }
+
+  /// Schedule periodic attestation for every device and run to `horizon`.
+  SwarmReport run(double horizon_ms);
+
+ private:
+  struct Device {
+    crypto::Bytes key;
+    std::unique_ptr<attest::ProverDevice> prover;
+    std::unique_ptr<attest::Verifier> verifier;
+    std::unique_ptr<Channel> channel;
+    std::unique_ptr<AttestationSession> session;
+  };
+
+  SwarmConfig config_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace ratt::sim

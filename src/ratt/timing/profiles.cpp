@@ -1,0 +1,21 @@
+#include "ratt/timing/profiles.hpp"
+
+namespace ratt::timing {
+
+DeviceProfile siskiyou_peak() {
+  return DeviceProfile{"siskiyou-peak-24mhz", 24e6, 512 * 1024, 7.2};
+}
+
+DeviceProfile msp430_class() {
+  return DeviceProfile{"msp430-class-8mhz", 8e6, 16 * 1024, 2.4};
+}
+
+DeviceProfile cortex_m0_class() {
+  return DeviceProfile{"cortex-m0-class-48mhz", 48e6, 64 * 1024, 14.4};
+}
+
+std::vector<DeviceProfile> all_profiles() {
+  return {siskiyou_peak(), msp430_class(), cortex_m0_class()};
+}
+
+}  // namespace ratt::timing

@@ -1,0 +1,38 @@
+// Named device profiles. The paper evaluates on Intel Siskiyou Peak at
+// 24 MHz with 512 KB RAM and cites openMSP430 [11] as the other popular
+// low-end platform with the same clock design; the profiles below let
+// every timing-derived experiment be re-run for other device classes
+// (costs scale with 1/clock; memory MAC scales with RAM size).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ratt/timing/timing.hpp"
+
+namespace ratt::timing {
+
+struct DeviceProfile {
+  std::string name;
+  double clock_hz = 0.0;
+  std::size_t ram_bytes = 0;
+  /// Typical active power at this clock (mW) for the energy model.
+  double active_mw = 0.0;
+
+  DeviceTimingModel timing_model() const {
+    return DeviceTimingModel(clock_hz);
+  }
+  EnergyModel energy_model() const { return EnergyModel(active_mw); }
+};
+
+/// The paper's evaluation platform: 24 MHz, 512 KB RAM.
+DeviceProfile siskiyou_peak();
+/// openMSP430-class: 8 MHz, 16 KB RAM (the paper's "other popular
+/// low-end MCU", Sec. 6.3 / [11]).
+DeviceProfile msp430_class();
+/// A modern Cortex-M0-class IoT node: 48 MHz, 64 KB RAM.
+DeviceProfile cortex_m0_class();
+
+std::vector<DeviceProfile> all_profiles();
+
+}  // namespace ratt::timing

@@ -1,0 +1,93 @@
+#include "ratt/timing/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ratt::timing {
+
+DeviceTimingModel::DeviceTimingModel(double clock_hz) : clock_hz_(clock_hz) {
+  if (clock_hz <= 0) {
+    throw std::invalid_argument("DeviceTimingModel: clock_hz must be > 0");
+  }
+}
+
+namespace {
+
+std::size_t blocks(std::size_t bytes, std::size_t block_size) {
+  return (bytes + block_size - 1) / block_size;
+}
+
+}  // namespace
+
+double DeviceTimingModel::mac_ms(crypto::MacAlgorithm alg,
+                                 std::size_t message_bytes,
+                                 bool include_setup) const {
+  switch (alg) {
+    case crypto::MacAlgorithm::kHmacSha1: {
+      // HMAC's "Fix" covers padding/finalization and is always paid.
+      const double fix = Table1::kHmacFixMs;
+      return scaled(fix + static_cast<double>(blocks(
+                              message_bytes, Table1::kHmacBlockBytes)) *
+                              Table1::kHmacPerBlockMs);
+    }
+    case crypto::MacAlgorithm::kAesCbcMac:
+    case crypto::MacAlgorithm::kAesCmac: {
+      const double setup = include_setup ? Table1::kAesKeyExpMs : 0.0;
+      return scaled(setup + static_cast<double>(blocks(
+                                message_bytes, Table1::kAesBlockBytes)) *
+                                Table1::kAesEncPerBlockMs);
+    }
+    case crypto::MacAlgorithm::kSpeckCbcMac:
+    case crypto::MacAlgorithm::kSpeckCmac: {
+      const double setup = include_setup ? Table1::kSpeckKeyExpMs : 0.0;
+      return scaled(setup + static_cast<double>(blocks(
+                                message_bytes, Table1::kSpeckBlockBytes)) *
+                                Table1::kSpeckEncPerBlockMs);
+    }
+  }
+  throw std::invalid_argument("mac_ms: unknown algorithm");
+}
+
+double DeviceTimingModel::request_auth_ms(crypto::MacAlgorithm alg) const {
+  // Sec. 4.1: one block of the respective primitive, key schedule
+  // precomputed for the block ciphers. HMAC: 0.340 + 0.092 = 0.432 ms
+  // (the paper rounds to 0.430); Speck: 0.017 ms (the paper quotes
+  // 0.015 ms, its per-block *decrypt* figure).
+  switch (alg) {
+    case crypto::MacAlgorithm::kHmacSha1:
+      return scaled(Table1::kHmacFixMs + Table1::kHmacPerBlockMs);
+    case crypto::MacAlgorithm::kAesCbcMac:
+    case crypto::MacAlgorithm::kAesCmac:
+      return scaled(Table1::kAesEncPerBlockMs);
+    case crypto::MacAlgorithm::kSpeckCbcMac:
+    case crypto::MacAlgorithm::kSpeckCmac:
+      return scaled(Table1::kSpeckEncPerBlockMs);
+  }
+  throw std::invalid_argument("request_auth_ms: unknown algorithm");
+}
+
+double DeviceTimingModel::ecdsa_sign_ms() const {
+  return scaled(Table1::kEccSignMs);
+}
+
+double DeviceTimingModel::ecdsa_verify_ms() const {
+  return scaled(Table1::kEccVerifyMs);
+}
+
+double DeviceTimingModel::memory_attestation_ms(
+    crypto::MacAlgorithm alg, std::size_t memory_bytes) const {
+  // Sec. 3.1: (512 KB / 64 B) * per-block + fix = 754.004 ms for HMAC-SHA1
+  // at the reference clock. Same formula as mac_ms with setup included.
+  return mac_ms(alg, memory_bytes, /*include_setup=*/true);
+}
+
+std::uint64_t DeviceTimingModel::cycles(double ms) const {
+  return static_cast<std::uint64_t>(std::llround(ms * clock_hz_ / 1000.0));
+}
+
+void Battery::drain(double mj) {
+  remaining_mj_ = std::max(0.0, remaining_mj_ - mj);
+}
+
+}  // namespace ratt::timing

@@ -1,0 +1,120 @@
+// Device timing model calibrated with Table 1 of the paper: measured
+// per-primitive costs (milliseconds) on an Intel Siskiyou Peak at 24 MHz.
+//
+// The simulator executes crypto natively on the host; this model converts
+// each protocol step into the *device* time it would have cost the prover,
+// which is what every DoS argument in the paper is about. Times scale
+// inversely with the configured clock rate relative to the 24 MHz
+// reference.
+#pragma once
+
+#include <cstdint>
+
+#include "ratt/crypto/mac.hpp"
+
+namespace ratt::timing {
+
+/// Table 1 constants, in milliseconds at the 24 MHz reference clock.
+struct Table1 {
+  static constexpr double kRefHz = 24e6;
+
+  // SHA1-HMAC: fixed setup + per-64-byte-block cost.
+  static constexpr double kHmacFixMs = 0.340;
+  static constexpr double kHmacPerBlockMs = 0.092;
+  static constexpr std::size_t kHmacBlockBytes = 64;
+
+  // AES-128 (CBC): key expansion + per-16-byte-block encrypt/decrypt.
+  static constexpr double kAesKeyExpMs = 0.074;
+  static constexpr double kAesEncPerBlockMs = 0.288;
+  static constexpr double kAesDecPerBlockMs = 0.570;
+  static constexpr std::size_t kAesBlockBytes = 16;
+
+  // Speck 64/128 (CBC): key expansion + per-8-byte-block costs.
+  static constexpr double kSpeckKeyExpMs = 0.016;
+  static constexpr double kSpeckEncPerBlockMs = 0.017;
+  static constexpr double kSpeckDecPerBlockMs = 0.015;
+  static constexpr std::size_t kSpeckBlockBytes = 8;
+
+  // ECC (secp160r1) signatures.
+  static constexpr double kEccSignMs = 183.464;
+  static constexpr double kEccVerifyMs = 170.907;
+};
+
+/// Converts protocol steps into prover-side time at a configurable clock.
+class DeviceTimingModel {
+ public:
+  explicit DeviceTimingModel(double clock_hz = Table1::kRefHz);
+
+  double clock_hz() const { return clock_hz_; }
+
+  /// MAC computation over `message_bytes` (fix/key-exp excluded unless
+  /// `include_setup`; the paper assumes key expansion is precomputed for
+  /// the block ciphers but always pays HMAC's fixed cost).
+  double mac_ms(crypto::MacAlgorithm alg, std::size_t message_bytes,
+                bool include_setup = true) const;
+
+  /// Cost of authenticating one attestation request (Sec. 4.1): a MAC over
+  /// a single block of the respective primitive.
+  double request_auth_ms(crypto::MacAlgorithm alg) const;
+
+  /// ECDSA request authentication (ruled out in Sec. 4.1 as itself a DoS).
+  double ecdsa_sign_ms() const;
+  double ecdsa_verify_ms() const;
+
+  /// The headline prover cost (Sec. 3.1): MAC over the device's writable
+  /// memory. 512 KB of RAM at 24 MHz gives ~754 ms with HMAC-SHA1.
+  double memory_attestation_ms(crypto::MacAlgorithm alg,
+                               std::size_t memory_bytes) const;
+
+  /// ms -> device cycles at this model's clock.
+  std::uint64_t cycles(double ms) const;
+
+ private:
+  double scaled(double ms_at_ref) const {
+    return ms_at_ref * (Table1::kRefHz / clock_hz_);
+  }
+
+  double clock_hz_;
+};
+
+/// Energy accounting for the DoS-impact experiments: gratuitous
+/// attestation "wastes energy (depletes batteries)" (Sec. 1, 3.1).
+class EnergyModel {
+ public:
+  /// Defaults approximate a low-end MCU: ~0.3 mW/MHz active, 3 uW sleep.
+  EnergyModel(double active_mw = 7.2, double sleep_mw = 0.003)
+      : active_mw_(active_mw), sleep_mw_(sleep_mw) {}
+
+  double active_mw() const { return active_mw_; }
+  double sleep_mw() const { return sleep_mw_; }
+
+  /// Energy (millijoules) for `ms` of active computation / sleep.
+  double active_mj(double ms) const { return active_mw_ * ms / 1000.0; }
+  double sleep_mj(double ms) const { return sleep_mw_ * ms / 1000.0; }
+
+ private:
+  double active_mw_;
+  double sleep_mw_;
+};
+
+/// A coin-cell-style battery drained by prover activity.
+class Battery {
+ public:
+  /// Default: CR2032-class, 225 mAh at 3 V ~ 2430 J = 2.43e6 mJ.
+  explicit Battery(double capacity_mj = 2.43e6)
+      : capacity_mj_(capacity_mj), remaining_mj_(capacity_mj) {}
+
+  double capacity_mj() const { return capacity_mj_; }
+  double remaining_mj() const { return remaining_mj_; }
+  double remaining_fraction() const { return remaining_mj_ / capacity_mj_; }
+  bool depleted() const { return remaining_mj_ <= 0.0; }
+
+  /// Drain `mj`; clamps at zero.
+  void drain(double mj);
+
+ private:
+  double capacity_mj_;
+  double remaining_mj_;
+};
+
+}  // namespace ratt::timing

@@ -1,0 +1,154 @@
+// Adv_ext scenarios: Sec. 4.1 (request authentication) and the full
+// Table 2 mitigation matrix.
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_ext.hpp"
+
+namespace ratt::adv {
+namespace {
+
+using attest::FreshnessScheme;
+
+TEST(AdvExt, ImpersonationBlockedByRequestAuth) {
+  ExtScenarioConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.authenticate_requests = true;
+  const auto result = run_ext_attack(ExtAttack::kImpersonate, config);
+  EXPECT_TRUE(result.detected);
+  EXPECT_EQ(result.final_status, attest::AttestStatus::kBadRequestMac);
+  // The residual cost is the one-block MAC validation, not a full
+  // attestation (Sec. 4.1).
+  EXPECT_LT(result.stolen_device_ms, 1.0);
+}
+
+TEST(AdvExt, ImpersonationTrivialWithoutRequestAuth) {
+  // Sec. 3.1: "the adversary can trivially impersonate the verifier".
+  ExtScenarioConfig config;
+  config.scheme = FreshnessScheme::kNone;
+  config.authenticate_requests = false;
+  const auto result = run_ext_attack(ExtAttack::kImpersonate, config);
+  EXPECT_FALSE(result.detected);
+  EXPECT_TRUE(result.gratuitous_attestation);
+  EXPECT_GT(result.stolen_device_ms, 0.4);  // full measurement stolen
+}
+
+TEST(AdvExt, AuthenticationAloneDoesNotStopReplay) {
+  // Sec. 4.2: "mere authentication of attestation requests is
+  // insufficient" — with no freshness scheme the replay goes through even
+  // though every request is authenticated.
+  ExtScenarioConfig config;
+  config.scheme = FreshnessScheme::kNone;
+  config.authenticate_requests = true;
+  const auto result = run_ext_attack(ExtAttack::kReplay, config);
+  EXPECT_FALSE(result.detected);
+  EXPECT_TRUE(result.gratuitous_attestation);
+}
+
+// ---- Table 2 ----------------------------------------------------------
+
+struct Table2Expectation {
+  FreshnessScheme scheme;
+  ExtAttack attack;
+  bool detected;  // the paper's check mark
+};
+
+class Table2Matrix : public ::testing::TestWithParam<Table2Expectation> {};
+
+TEST_P(Table2Matrix, MatchesPaper) {
+  const auto& expect = GetParam();
+  ExtScenarioConfig config;
+  config.scheme = expect.scheme;
+  const auto result = run_ext_attack(expect.attack, config);
+  EXPECT_EQ(result.detected, expect.detected)
+      << to_string(expect.scheme) << " vs " << to_string(expect.attack)
+      << " -> " << to_string(result.final_status);
+}
+
+// Table 2 of the paper:
+//            Nonces  Counter  Timestamps
+//   Replay     Y        Y        Y
+//   Reorder    -        Y        Y
+//   Delay      -        -        Y
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable2, Table2Matrix,
+    ::testing::Values(
+        Table2Expectation{FreshnessScheme::kNonce, ExtAttack::kReplay, true},
+        Table2Expectation{FreshnessScheme::kNonce, ExtAttack::kReorder,
+                          false},
+        Table2Expectation{FreshnessScheme::kNonce, ExtAttack::kDelay, false},
+        Table2Expectation{FreshnessScheme::kCounter, ExtAttack::kReplay,
+                          true},
+        Table2Expectation{FreshnessScheme::kCounter, ExtAttack::kReorder,
+                          true},
+        Table2Expectation{FreshnessScheme::kCounter, ExtAttack::kDelay,
+                          false},
+        Table2Expectation{FreshnessScheme::kTimestamp, ExtAttack::kReplay,
+                          true},
+        Table2Expectation{FreshnessScheme::kTimestamp, ExtAttack::kReorder,
+                          true},
+        Table2Expectation{FreshnessScheme::kTimestamp, ExtAttack::kDelay,
+                          true}),
+    [](const auto& info) {
+      return to_string(info.param.scheme) + "_" +
+             to_string(info.param.attack);
+    });
+
+TEST(AdvExt, MatrixRunnerMatchesPaperShape) {
+  const auto cells = run_table2_matrix();
+  ASSERT_EQ(cells.size(), 9u);
+  int detected = 0;
+  for (const auto& cell : cells) {
+    detected += cell.detected ? 1 : 0;
+    // Timestamps detect everything (the paper's "best security" row).
+    if (cell.scheme == FreshnessScheme::kTimestamp) {
+      EXPECT_TRUE(cell.detected) << to_string(cell.attack);
+    }
+    // Delay is only detected by timestamps.
+    if (cell.attack == ExtAttack::kDelay &&
+        cell.scheme != FreshnessScheme::kTimestamp) {
+      EXPECT_FALSE(cell.detected) << to_string(cell.scheme);
+    }
+  }
+  EXPECT_EQ(detected, 6);  // six check marks in Table 2
+}
+
+TEST(AdvExt, DelayShorterThanWindowIsAcceptedByTimestamps) {
+  // Within the acceptance window a delayed message is (correctly) still
+  // considered fresh — the scheme bounds staleness, not perfection.
+  ExtScenarioConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.window_ms = 100.0;
+  config.delay_ms = 20.0;  // < window
+  const auto result = run_ext_attack(ExtAttack::kDelay, config);
+  EXPECT_FALSE(result.detected);
+}
+
+TEST(AdvExt, AllMacAlgorithmsSupportTheMitigations) {
+  for (auto alg :
+       {crypto::MacAlgorithm::kHmacSha1, crypto::MacAlgorithm::kAesCbcMac,
+        crypto::MacAlgorithm::kSpeckCbcMac}) {
+    ExtScenarioConfig config;
+    config.scheme = FreshnessScheme::kCounter;
+    config.mac_alg = alg;
+    EXPECT_TRUE(run_ext_attack(ExtAttack::kImpersonate, config).detected)
+        << crypto::to_string(alg);
+    EXPECT_TRUE(run_ext_attack(ExtAttack::kReplay, config).detected)
+        << crypto::to_string(alg);
+  }
+}
+
+TEST(AdvExt, Hw32DivClockDetectsDelayAtCoarseResolution) {
+  // The 32-bit/2^20 divider clock has ~43.7 ms ticks; delays well beyond
+  // the window are still caught despite the coarse resolution.
+  ExtScenarioConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = attest::ClockDesign::kHw32Div;
+  config.window_ms = 500.0;
+  config.delay_ms = 5000.0;
+  const auto result = run_ext_attack(ExtAttack::kDelay, config);
+  EXPECT_TRUE(result.detected);
+  EXPECT_EQ(result.freshness_verdict, attest::FreshnessVerdict::kTooOld);
+}
+
+}  // namespace
+}  // namespace ratt::adv

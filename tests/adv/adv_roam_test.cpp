@@ -1,0 +1,217 @@
+// Adv_roam scenarios (Sec. 5): each attack must succeed against the
+// unprotected configuration and fail against the EA-MPU-protected one.
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_roam.hpp"
+
+namespace ratt::adv {
+namespace {
+
+using attest::AttestStatus;
+using attest::ClockDesign;
+using attest::FreshnessScheme;
+using attest::FreshnessVerdict;
+
+RoamScenarioConfig counter_config() {
+  RoamScenarioConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.clock = ClockDesign::kNone;
+  return config;
+}
+
+RoamScenarioConfig timestamp_config(ClockDesign design) {
+  RoamScenarioConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = design;
+  config.window_ms = 50.0;
+  config.wait_ms = 500.0;
+  return config;
+}
+
+TEST(AdvRoamCounter, RollbackSucceedsUnprotected) {
+  // The Sec. 5 counter attack: record attreq(i), set counter to i-1,
+  // leave, replay attreq(i) — accepted as fresh.
+  auto config = counter_config();
+  config.protect_counter = false;
+  const auto result = run_roam_attack(RoamAttack::kCounterRollback, config);
+  EXPECT_TRUE(result.manipulation_succeeded);
+  EXPECT_TRUE(result.dos_succeeded);
+  // "the DoS attack is undetectable after the fact": replay restores the
+  // counter to i, no clock to betray the attack, and the next genuine
+  // attestation round validates cleanly.
+  EXPECT_TRUE(result.stealthy);
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamCounter, RollbackBlockedByEaMpu) {
+  // counter_R writable only by Code_Attest (Fig. 1a): the Phase II write
+  // faults and the Phase III replay is rejected.
+  auto config = counter_config();
+  config.protect_counter = true;
+  const auto result = run_roam_attack(RoamAttack::kCounterRollback, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_EQ(result.final_status, AttestStatus::kNotFresh);
+  EXPECT_EQ(result.freshness_verdict, FreshnessVerdict::kReplay);
+  // The device keeps functioning for the genuine verifier.
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamClock, ResetSucceedsAgainstWritableClock) {
+  // The Sec. 5 timestamp attack: reset the clock to t_i - delta, wait
+  // delta, replay attreq(t_i).
+  auto config = timestamp_config(ClockDesign::kWritable);
+  config.protect_counter = false;
+  config.protect_clock = false;
+  const auto result = run_roam_attack(RoamAttack::kClockReset, config);
+  EXPECT_TRUE(result.manipulation_succeeded);
+  EXPECT_TRUE(result.dos_succeeded);
+  // "the prover's clock remains behind" — evidence remains.
+  EXPECT_FALSE(result.stealthy);
+}
+
+TEST(AdvRoamClock, ResetBlockedByClockPortLockdown) {
+  // Same writable clock, but the port is EA-MPU write-protected.
+  auto config = timestamp_config(ClockDesign::kWritable);
+  const auto result = run_roam_attack(RoamAttack::kClockReset, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamClock, ResetImpossibleOnHardwareCounter) {
+  // Fig. 1a: a dedicated read-only counter register cannot be written at
+  // all, independent of EA-MPU rules.
+  auto config = timestamp_config(ClockDesign::kHw64);
+  config.protect_counter = false;
+  config.protect_clock = false;  // no rule — hardware alone suffices
+  const auto result = run_roam_attack(RoamAttack::kClockReset, config);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_EQ(result.freshness_verdict, FreshnessVerdict::kTooOld);
+}
+
+TEST(AdvRoamSwClock, IdtClobberStopsClockUnprotected) {
+  // Fig. 1b attack surface: overwrite the IDT entry, Code_Clock never
+  // runs, the clock freezes, and a recorded request stays fresh forever.
+  auto config = timestamp_config(ClockDesign::kSwClock);
+  config.protect_clock = false;
+  const auto result = run_roam_attack(RoamAttack::kIdtClobber, config);
+  EXPECT_TRUE(result.manipulation_succeeded);
+  EXPECT_TRUE(result.dos_succeeded);
+}
+
+TEST(AdvRoamSwClock, IdtClobberBlockedByIdtLockdown) {
+  // "IDT can be locked down similar to the EA-MPU" (Sec. 6.2).
+  auto config = timestamp_config(ClockDesign::kSwClock);
+  config.protect_clock = true;
+  const auto result = run_roam_attack(RoamAttack::kIdtClobber, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_EQ(result.freshness_verdict, FreshnessVerdict::kTooOld);
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamSwClock, IrqMaskDisableStopsClockUnprotected) {
+  // "disabling the timer interrupt must also be prevented" (Sec. 6.2).
+  auto config = timestamp_config(ClockDesign::kSwClock);
+  config.protect_clock = false;
+  const auto result = run_roam_attack(RoamAttack::kIrqMaskDisable, config);
+  EXPECT_TRUE(result.manipulation_succeeded);
+  EXPECT_TRUE(result.dos_succeeded);
+}
+
+TEST(AdvRoamSwClock, IrqMaskDisableBlockedByMaskLockdown) {
+  auto config = timestamp_config(ClockDesign::kSwClock);
+  config.protect_clock = true;
+  const auto result = run_roam_attack(RoamAttack::kIrqMaskDisable, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+}
+
+TEST(AdvRoamKey, ExtractionSucceedsUnprotectedAndDefeatsFreshness) {
+  // Sec. 5: with K_Attest extracted, Adv_roam forges *new* authentic
+  // requests — no freshness scheme can help.
+  auto config = counter_config();
+  config.protect_key = false;
+  const auto result = run_roam_attack(RoamAttack::kKeyExtraction, config);
+  EXPECT_TRUE(result.key_extracted);
+  EXPECT_TRUE(result.dos_succeeded);
+  EXPECT_TRUE(result.stealthy);  // nothing on the device was even changed
+}
+
+TEST(AdvRoamKey, ExtractionBlockedByEaMpuReadRule) {
+  // "K_Attest must be protected from read access, except by the trusted
+  // attestation code" (Sec. 5).
+  auto config = counter_config();
+  config.protect_key = true;
+  const auto result = run_roam_attack(RoamAttack::kKeyExtraction, config);
+  EXPECT_FALSE(result.key_extracted);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_EQ(result.final_status, AttestStatus::kBadRequestMac);
+}
+
+TEST(AdvRoamKey, OverwriteBlockedByRomPlacement) {
+  // In ROM the key is "inherently write-protected" even with no EA-MPU
+  // rule at all.
+  auto config = counter_config();
+  config.protect_key = false;
+  config.key_in_rom = true;
+  const auto result = run_roam_attack(RoamAttack::kKeyOverwrite, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+}
+
+TEST(AdvRoamKey, OverwriteSucceedsOnUnprotectedRamKey) {
+  // RAM placement without the EA-MAC write rule: the adversary installs
+  // its own key and the prover accepts adversary-signed requests.
+  auto config = counter_config();
+  config.protect_key = false;
+  config.key_in_rom = false;
+  const auto result = run_roam_attack(RoamAttack::kKeyOverwrite, config);
+  EXPECT_TRUE(result.manipulation_succeeded);
+  EXPECT_TRUE(result.dos_succeeded);
+  // Collateral: genuine attestation now fails (verifier key mismatch).
+  EXPECT_FALSE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamKey, OverwriteBlockedOnProtectedRamKey) {
+  auto config = counter_config();
+  config.protect_key = true;
+  config.key_in_rom = false;
+  const auto result = run_roam_attack(RoamAttack::kKeyOverwrite, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamComparison, FlipsForAllApplicableAttacks) {
+  // The paper's bottom line, as one sweep: unprotected -> DoS succeeds;
+  // protected -> DoS fails. (Key overwrite needs the RAM key placement to
+  // be attackable at all.)
+  struct Case {
+    RoamAttack attack;
+    RoamScenarioConfig config;
+  };
+  std::vector<Case> cases;
+  cases.push_back({RoamAttack::kCounterRollback, counter_config()});
+  cases.push_back(
+      {RoamAttack::kClockReset, timestamp_config(ClockDesign::kWritable)});
+  cases.push_back(
+      {RoamAttack::kIdtClobber, timestamp_config(ClockDesign::kSwClock)});
+  cases.push_back({RoamAttack::kIrqMaskDisable,
+                   timestamp_config(ClockDesign::kSwClock)});
+  cases.push_back({RoamAttack::kKeyExtraction, counter_config()});
+  {
+    auto c = counter_config();
+    c.key_in_rom = false;
+    cases.push_back({RoamAttack::kKeyOverwrite, c});
+  }
+  for (auto& c : cases) {
+    const RoamComparison cmp = compare_roam_attack(c.attack, c.config);
+    EXPECT_TRUE(cmp.unprotected.dos_succeeded) << to_string(c.attack);
+    EXPECT_FALSE(cmp.protected_.dos_succeeded) << to_string(c.attack);
+  }
+}
+
+}  // namespace
+}  // namespace ratt::adv

@@ -1,0 +1,46 @@
+// Adv_roam vs. the nonce history: wiping the store re-opens replays; the
+// EA-MPU rule on the store blocks the wipe.
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_roam.hpp"
+
+namespace ratt::adv {
+namespace {
+
+RoamScenarioConfig nonce_config() {
+  RoamScenarioConfig config;
+  config.scheme = attest::FreshnessScheme::kNonce;
+  config.clock = attest::ClockDesign::kNone;
+  return config;
+}
+
+TEST(AdvRoamNonce, WipeSucceedsUnprotected) {
+  auto config = nonce_config();
+  config.protect_counter = false;  // nonce store rides the counter toggle
+  const auto result = run_roam_attack(RoamAttack::kNonceWipe, config);
+  EXPECT_TRUE(result.manipulation_succeeded);
+  EXPECT_TRUE(result.dos_succeeded);
+  // Like the counter rollback, the wipe leaves no trace the verifier can
+  // see afterwards.
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamNonce, WipeBlockedByEaMpu) {
+  auto config = nonce_config();
+  config.protect_counter = true;
+  const auto result = run_roam_attack(RoamAttack::kNonceWipe, config);
+  EXPECT_FALSE(result.manipulation_succeeded);
+  EXPECT_FALSE(result.dos_succeeded);
+  EXPECT_EQ(result.freshness_verdict, attest::FreshnessVerdict::kReplay);
+  EXPECT_TRUE(result.survives_standard_attestation);
+}
+
+TEST(AdvRoamNonce, ComparisonFlips) {
+  const RoamComparison cmp =
+      compare_roam_attack(RoamAttack::kNonceWipe, nonce_config());
+  EXPECT_TRUE(cmp.unprotected.dos_succeeded);
+  EXPECT_FALSE(cmp.protected_.dos_succeeded);
+}
+
+}  // namespace
+}  // namespace ratt::adv

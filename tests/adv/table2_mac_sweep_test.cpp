@@ -1,0 +1,61 @@
+// Table 2 is independent of the request-authentication primitive: the
+// mitigation matrix must hold under every MAC algorithm the library
+// offers (the freshness logic, not the MAC, decides the cells).
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_ext.hpp"
+
+namespace ratt::adv {
+namespace {
+
+using attest::FreshnessScheme;
+using crypto::MacAlgorithm;
+
+class Table2MacSweep : public ::testing::TestWithParam<MacAlgorithm> {};
+
+TEST_P(Table2MacSweep, MatrixInvariantUnderMacChoice) {
+  ExtScenarioConfig base;
+  base.mac_alg = GetParam();
+  const auto cells = run_table2_matrix(base);
+  ASSERT_EQ(cells.size(), 9u);
+
+  const auto detected = [&](FreshnessScheme scheme, ExtAttack attack) {
+    for (const auto& cell : cells) {
+      if (cell.scheme == scheme && cell.attack == attack) {
+        return cell.detected;
+      }
+    }
+    ADD_FAILURE() << "cell missing";
+    return false;
+  };
+
+  // The paper's Table 2, row by row.
+  EXPECT_TRUE(detected(FreshnessScheme::kNonce, ExtAttack::kReplay));
+  EXPECT_FALSE(detected(FreshnessScheme::kNonce, ExtAttack::kReorder));
+  EXPECT_FALSE(detected(FreshnessScheme::kNonce, ExtAttack::kDelay));
+  EXPECT_TRUE(detected(FreshnessScheme::kCounter, ExtAttack::kReplay));
+  EXPECT_TRUE(detected(FreshnessScheme::kCounter, ExtAttack::kReorder));
+  EXPECT_FALSE(detected(FreshnessScheme::kCounter, ExtAttack::kDelay));
+  EXPECT_TRUE(detected(FreshnessScheme::kTimestamp, ExtAttack::kReplay));
+  EXPECT_TRUE(detected(FreshnessScheme::kTimestamp, ExtAttack::kReorder));
+  EXPECT_TRUE(detected(FreshnessScheme::kTimestamp, ExtAttack::kDelay));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMacs, Table2MacSweep,
+                         ::testing::Values(MacAlgorithm::kHmacSha1,
+                                           MacAlgorithm::kAesCbcMac,
+                                           MacAlgorithm::kSpeckCbcMac,
+                                           MacAlgorithm::kAesCmac,
+                                           MacAlgorithm::kSpeckCmac),
+                         [](const auto& info) {
+                           std::string name = crypto::to_string(info.param);
+                           for (auto& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ratt::adv

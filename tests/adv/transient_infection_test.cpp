@@ -1,0 +1,37 @@
+// The roaming adversary's self-erasure (Sec. 3.2 phase II): transient
+// compromise is invisible to standard attestation once erased.
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_roam.hpp"
+
+namespace ratt::adv {
+namespace {
+
+TEST(TransientInfection, DetectedWhileResidentInvisibleAfterErase) {
+  RoamScenarioConfig config;
+  config.scheme = attest::FreshnessScheme::kCounter;
+  const TransientInfectionResult r = run_transient_infection(config);
+  EXPECT_TRUE(r.infection_write_ok);
+  EXPECT_TRUE(r.detected_while_infected);  // attestation works as designed
+  EXPECT_TRUE(r.restored_ok);
+  EXPECT_TRUE(r.undetected_after_erase);   // ...and is blind afterwards
+}
+
+TEST(TransientInfection, ProtectionsDoNotChangeTheStory) {
+  // EA-MPU rules protect keys/counters/clocks, not application memory —
+  // the erased compromise stays invisible either way. That is exactly why
+  // the paper protects the anti-replay state instead of hoping to catch
+  // the malware itself.
+  RoamScenarioConfig config;
+  config.scheme = attest::FreshnessScheme::kCounter;
+  config.protect_key = true;
+  config.protect_counter = true;
+  config.protect_clock = true;
+  const TransientInfectionResult r = run_transient_infection(config);
+  EXPECT_TRUE(r.infection_write_ok);
+  EXPECT_TRUE(r.detected_while_infected);
+  EXPECT_TRUE(r.undetected_after_erase);
+}
+
+}  // namespace
+}  // namespace ratt::adv

@@ -1,0 +1,193 @@
+// Tamper-evident audit log: hash-chain integrity and the headline
+// result — the Sec. 5 counter-rollback attack, "undetectable after the
+// fact" at the protocol level, leaves forensic evidence in the log.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/audit_log.hpp"
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("505152535455565758595a5b5c5d5e5f");
+}
+
+TEST(AuditRecord, WireRoundTrip) {
+  AuditRecord rec;
+  rec.sequence = 7;
+  rec.freshness = 0x1122334455667788ull;
+  rec.status = static_cast<std::uint8_t>(AttestStatus::kNotFresh);
+  rec.verdict = static_cast<std::uint8_t>(FreshnessVerdict::kReplay);
+  const auto wire = rec.to_bytes();
+  ASSERT_EQ(wire.size(), AuditRecord::kWireSize);
+  EXPECT_EQ(AuditRecord::from_bytes(wire), rec);
+}
+
+class AuditLogFixture : public ::testing::Test {
+ protected:
+  AuditLogFixture()
+      : anchor_(mcu_, "code-attest", hw::AddrRange{0x0, 0x1000}),
+        log_(anchor_, AuditLog::Config{0x00102000, 8}) {}
+
+  AttestOutcome ok_outcome() {
+    AttestOutcome out;
+    out.status = AttestStatus::kOk;
+    return out;
+  }
+
+  hw::Mcu mcu_;
+  hw::SoftwareComponent anchor_;
+  AuditLog log_;
+};
+
+TEST_F(AuditLogFixture, AppendsAndChains) {
+  EXPECT_EQ(log_.count().value(), 0u);
+  ASSERT_TRUE(log_.append(ok_outcome(), 1));
+  ASSERT_TRUE(log_.append(ok_outcome(), 2));
+  EXPECT_EQ(log_.count().value(), 2u);
+  const auto records = log_.records().value();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].freshness, 1u);
+  EXPECT_EQ(records[1].sequence, 1u);
+  EXPECT_TRUE(verify_chain(records, log_.head().value()));
+}
+
+TEST_F(AuditLogFixture, ChainDetectsEditing) {
+  ASSERT_TRUE(log_.append(ok_outcome(), 1));
+  ASSERT_TRUE(log_.append(ok_outcome(), 2));
+  auto records = log_.records().value();
+  records[0].freshness = 99;  // rewrite history
+  EXPECT_FALSE(verify_chain(records, log_.head().value()));
+}
+
+TEST_F(AuditLogFixture, ChainDetectsTruncation) {
+  ASSERT_TRUE(log_.append(ok_outcome(), 1));
+  ASSERT_TRUE(log_.append(ok_outcome(), 2));
+  auto records = log_.records().value();
+  records.pop_back();
+  EXPECT_FALSE(verify_chain(records, log_.head().value()));
+}
+
+TEST_F(AuditLogFixture, ChainDetectsReordering) {
+  ASSERT_TRUE(log_.append(ok_outcome(), 1));
+  ASSERT_TRUE(log_.append(ok_outcome(), 2));
+  auto records = log_.records().value();
+  std::swap(records[0], records[1]);
+  EXPECT_FALSE(verify_chain(records, log_.head().value()));
+}
+
+TEST_F(AuditLogFixture, RingEvictsButCountAndHeadPersist) {
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(log_.append(ok_outcome(), i));
+  }
+  EXPECT_EQ(log_.count().value(), 12u);
+  const auto records = log_.records().value();
+  ASSERT_EQ(records.size(), 8u);  // capacity
+  EXPECT_EQ(records.front().sequence, 4u);  // oldest retained
+  EXPECT_EQ(records.back().sequence, 11u);
+}
+
+TEST(AuditForensics, DuplicateAcceptedFreshnessFlagged) {
+  std::vector<AuditRecord> records;
+  const auto add = [&](std::uint64_t fresh, AttestStatus status) {
+    AuditRecord rec;
+    rec.sequence = records.size();
+    rec.freshness = fresh;
+    rec.status = static_cast<std::uint8_t>(status);
+    records.push_back(rec);
+  };
+  add(1, AttestStatus::kOk);
+  add(2, AttestStatus::kOk);
+  add(2, AttestStatus::kNotFresh);  // rejected replay: not suspicious
+  add(3, AttestStatus::kOk);
+  EXPECT_TRUE(duplicate_accepted_freshness(records).empty());
+  add(2, AttestStatus::kOk);  // the rollback smoking gun
+  EXPECT_EQ(duplicate_accepted_freshness(records),
+            (std::vector<std::uint64_t>{2}));
+}
+
+// --- The headline scenario -------------------------------------------
+
+class RollbackForensicsFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<ProverDevice> make_prover(bool protect_counter) {
+    ProverConfig config;
+    config.scheme = FreshnessScheme::kCounter;
+    config.protect_counter = protect_counter;
+    config.enable_audit_log = true;
+    config.measured_bytes = 512;
+    return std::make_unique<ProverDevice>(config, key(),
+                                          crypto::from_string("audit-app"));
+  }
+};
+
+TEST_F(RollbackForensicsFixture, RollbackLeavesEvidenceInProtectedLog) {
+  // The device's counter is UNPROTECTED (the attack succeeds at the
+  // protocol level, exactly as in Sec. 5) — but the audit log has its own
+  // EA-MPU rule.
+  auto prover = make_prover(/*protect_counter=*/false);
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  Verifier verifier(key(), vc, crypto::from_string("audit-vrf"));
+  verifier.set_reference_memory(prover->reference_memory());
+
+  // Phase I: genuine attreq(i).
+  const AttestRequest recorded = verifier.make_request();
+  ASSERT_EQ(prover->handle(recorded).status, AttestStatus::kOk);
+
+  // Phase II: malware rolls the counter back — and tries the log too.
+  hw::SoftwareComponent malware(prover->mcu(), "malware",
+                                prover->surface().malware_region);
+  ASSERT_EQ(malware.write64(prover->surface().counter_addr,
+                            recorded.freshness - 1),
+            hw::BusStatus::kOk);  // counter rollback succeeds
+  EXPECT_EQ(malware.write64(prover->surface().audit_log_addr, 0),
+            hw::BusStatus::kDenied);  // log scrubbing does not
+
+  // Phase III: replay is ACCEPTED — the protocol-level DoS succeeds and,
+  // per the paper, the device state shows no trace afterwards.
+  prover->idle_ms(100.0);
+  ASSERT_EQ(prover->handle(recorded).status, AttestStatus::kOk);
+
+  // Forensics: the auditor pulls the log. The chain verifies (nobody
+  // could rewrite it) and the same counter value was accepted twice.
+  const auto records = prover->audit_log()->records().value();
+  EXPECT_TRUE(verify_chain(records, prover->audit_log()->head().value()));
+  EXPECT_EQ(duplicate_accepted_freshness(records),
+            (std::vector<std::uint64_t>{recorded.freshness}));
+}
+
+TEST_F(RollbackForensicsFixture, CleanOperationShowsNoDuplicates) {
+  auto prover = make_prover(/*protect_counter=*/true);
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  Verifier verifier(key(), vc, crypto::from_string("audit-vrf"));
+  verifier.set_reference_memory(prover->reference_memory());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(prover->handle(verifier.make_request()).status,
+              AttestStatus::kOk);
+  }
+  const auto records = prover->audit_log()->records().value();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_TRUE(verify_chain(records, prover->audit_log()->head().value()));
+  EXPECT_TRUE(duplicate_accepted_freshness(records).empty());
+}
+
+TEST_F(RollbackForensicsFixture, RejectionsAreLoggedToo) {
+  auto prover = make_prover(/*protect_counter=*/true);
+  AttestRequest forged;
+  forged.scheme = FreshnessScheme::kCounter;
+  forged.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  forged.freshness = 42;
+  forged.mac = crypto::Bytes(20, 0);
+  ASSERT_EQ(prover->handle(forged).status, AttestStatus::kBadRequestMac);
+  const auto records = prover->audit_log()->records().value();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status,
+            static_cast<std::uint8_t>(AttestStatus::kBadRequestMac));
+}
+
+}  // namespace
+}  // namespace ratt::attest

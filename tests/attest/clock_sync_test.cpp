@@ -1,0 +1,178 @@
+// Secure clock synchronization (future-work item 2): the synchronizer
+// must correct genuine drift without becoming a clock-reset vector.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/clock_sync.hpp"
+#include "ratt/hw/timer.hpp"
+
+namespace ratt::attest {
+namespace {
+
+constexpr hw::Addr kStateAddr = 0x00100100;
+constexpr hw::AddrRange kAnchorCode{0x0000, 0x1000};
+
+class ClockSyncFixture : public ::testing::Test {
+ protected:
+  ClockSyncFixture()
+      : anchor_(mcu_, "code-attest", kAnchorCode),
+        counter_(64, 1),
+        key_(crypto::from_hex("606162636465666768696a6b6c6d6e6f")),
+        master_(key_, crypto::MacAlgorithm::kHmacSha1) {
+    mcu_.map_device("clk", 0x00210000, counter_.window_size(), counter_);
+    clock_ = std::make_unique<hw::MmioClockSource>(mcu_, 0x00210000, 8,
+                                                   "clk");
+    ClockSynchronizer::Config config;
+    config.state_addr = kStateAddr;
+    config.max_step_ticks = 1000;
+    config.max_backward_ticks = 100;
+    sync_ = std::make_unique<ClockSynchronizer>(
+        anchor_, *clock_, config, key_, crypto::MacAlgorithm::kHmacSha1);
+  }
+
+  hw::Mcu mcu_;
+  hw::SoftwareComponent anchor_;
+  hw::HwCounterPort counter_;
+  crypto::Bytes key_;
+  std::unique_ptr<hw::MmioClockSource> clock_;
+  std::unique_ptr<ClockSynchronizer> sync_;
+  SyncMaster master_;
+};
+
+TEST_F(ClockSyncFixture, WireFormatRoundTrip) {
+  const SyncRequest req = master_.make_request(12345);
+  const auto parsed = SyncRequest::from_bytes(req.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, req);
+  EXPECT_FALSE(SyncRequest::from_bytes(crypto::Bytes{}).has_value());
+  auto truncated = req.to_bytes();
+  truncated.pop_back();
+  EXPECT_FALSE(SyncRequest::from_bytes(truncated).has_value());
+}
+
+TEST_F(ClockSyncFixture, AppliesForwardDrift) {
+  mcu_.advance_cycles(5000);
+  EXPECT_EQ(sync_->now().value(), 5000u);
+  // Verifier is 300 ticks ahead.
+  const SyncOutcome out = sync_->handle(master_.make_request(5300));
+  EXPECT_EQ(out.status, SyncStatus::kApplied);
+  EXPECT_EQ(out.requested_step, 300);
+  EXPECT_EQ(out.applied_step, 300);
+  EXPECT_EQ(sync_->now().value(), 5300u);
+  // The offset persists as raw time advances.
+  mcu_.advance_cycles(100);
+  EXPECT_EQ(sync_->now().value(), 5400u);
+}
+
+TEST_F(ClockSyncFixture, AppliesSmallBackwardDrift) {
+  mcu_.advance_cycles(5000);
+  const SyncOutcome out = sync_->handle(master_.make_request(4950));
+  EXPECT_EQ(out.status, SyncStatus::kApplied);
+  EXPECT_EQ(out.applied_step, -50);
+  EXPECT_EQ(sync_->now().value(), 4950u);
+}
+
+TEST_F(ClockSyncFixture, ClampsLargeForwardStep) {
+  mcu_.advance_cycles(5000);
+  const SyncOutcome out = sync_->handle(master_.make_request(50'000));
+  EXPECT_EQ(out.status, SyncStatus::kClamped);
+  EXPECT_EQ(out.applied_step, 1000);  // slew limit
+  EXPECT_EQ(sync_->now().value(), 6000u);
+}
+
+TEST_F(ClockSyncFixture, RefusesLargeRewind) {
+  // The Sec. 5 clock-reset attack, attempted through the sync protocol
+  // itself (even with a valid MAC): refused.
+  mcu_.advance_cycles(50'000);
+  const SyncOutcome out = sync_->handle(master_.make_request(10'000));
+  EXPECT_EQ(out.status, SyncStatus::kRefusedBackward);
+  EXPECT_EQ(sync_->now().value(), 50'000u);  // untouched
+}
+
+TEST_F(ClockSyncFixture, RefusedRewindConsumesSequence) {
+  // A refused message must not be replayable after the clock drifts.
+  mcu_.advance_cycles(50'000);
+  const SyncRequest rewind = master_.make_request(10'000);
+  EXPECT_EQ(sync_->handle(rewind).status, SyncStatus::kRefusedBackward);
+  EXPECT_EQ(sync_->handle(rewind).status, SyncStatus::kNotFresh);
+}
+
+TEST_F(ClockSyncFixture, RejectsForgedMac) {
+  mcu_.advance_cycles(5000);
+  SyncRequest forged = master_.make_request(5300);
+  forged.verifier_time = 0;  // tamper after MACing
+  const SyncOutcome out = sync_->handle(forged);
+  EXPECT_EQ(out.status, SyncStatus::kBadMac);
+  EXPECT_EQ(sync_->now().value(), 5000u);
+}
+
+TEST_F(ClockSyncFixture, RejectsReplayedSync) {
+  mcu_.advance_cycles(5000);
+  const SyncRequest req = master_.make_request(5100);
+  EXPECT_EQ(sync_->handle(req).status, SyncStatus::kApplied);
+  mcu_.advance_cycles(1000);
+  EXPECT_EQ(sync_->handle(req).status, SyncStatus::kNotFresh);
+}
+
+TEST_F(ClockSyncFixture, RejectsReorderedSync) {
+  mcu_.advance_cycles(5000);
+  const SyncRequest first = master_.make_request(5010);
+  const SyncRequest second = master_.make_request(5020);
+  EXPECT_EQ(sync_->handle(second).status, SyncStatus::kApplied);
+  EXPECT_EQ(sync_->handle(first).status, SyncStatus::kNotFresh);
+}
+
+TEST_F(ClockSyncFixture, RepeatedClampedStepsConverge) {
+  // Reliability: a large genuine offset is absorbed over several rounds.
+  mcu_.advance_cycles(1000);
+  for (int i = 0; i < 5; ++i) {
+    (void)sync_->handle(master_.make_request(4500));
+  }
+  EXPECT_EQ(sync_->now().value(), 4500u);
+}
+
+TEST_F(ClockSyncFixture, AttackerNeedsManyRoundsToRewind) {
+  // Quantify the slew-limit defense: each (hypothetically key-holding)
+  // adversarial sync can move the clock back at most max_backward_ticks,
+  // so rewinding by W takes >= W / max_backward_ticks rounds.
+  mcu_.advance_cycles(100'000);
+  for (int i = 0; i < 10; ++i) {
+    const auto now = sync_->now().value();
+    const SyncOutcome out = sync_->handle(master_.make_request(now - 100));
+    EXPECT_EQ(out.status, SyncStatus::kApplied);
+  }
+  EXPECT_EQ(sync_->now().value(), 99'000u);  // only 1000 ticks in 10 rounds
+}
+
+TEST_F(ClockSyncFixture, ProtectedStateBlocksDirectOffsetWrite) {
+  // EA-MPU rule: sync state writable only by Code_Attest. Malware cannot
+  // shortcut the protocol by writing the offset word.
+  hw::EampuRule rule;
+  rule.code = kAnchorCode;
+  rule.data = hw::AddrRange{kStateAddr, kStateAddr + 16};
+  rule.allow_read = true;
+  rule.allow_write = true;
+  rule.active = true;
+  ASSERT_TRUE(mcu_.mpu().set_rule(0, rule));
+  mcu_.mpu().lock();
+
+  hw::SoftwareComponent malware(mcu_, "malware",
+                                hw::AddrRange{0x00020000, 0x00021000});
+  EXPECT_EQ(malware.write64(kStateAddr + 8, 0xffffffffull),
+            hw::BusStatus::kDenied);
+  // The legitimate path still works.
+  mcu_.advance_cycles(5000);
+  EXPECT_EQ(sync_->handle(master_.make_request(5100)).status,
+            SyncStatus::kApplied);
+}
+
+TEST_F(ClockSyncFixture, StatusNames) {
+  EXPECT_EQ(to_string(SyncStatus::kApplied), "applied");
+  EXPECT_EQ(to_string(SyncStatus::kClamped), "clamped");
+  EXPECT_EQ(to_string(SyncStatus::kRefusedBackward), "refused-backward");
+  EXPECT_EQ(to_string(SyncStatus::kBadMac), "bad-mac");
+  EXPECT_EQ(to_string(SyncStatus::kNotFresh), "not-fresh");
+  EXPECT_EQ(to_string(SyncStatus::kStorageFault), "storage-fault");
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,75 @@
+// Cross-protocol domain separation: a MAC minted for one protocol must
+// not validate in another, even though all protocols share the single
+// provisioned K_Attest.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/crypto/hkdf.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("00112233445566778899aabbccddeeff");
+}
+
+std::unique_ptr<ProverDevice> make_prover() {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.clock = ClockDesign::kHw64;
+  config.enable_services = true;
+  config.enable_clock_sync = true;
+  config.measured_bytes = 512;
+  return std::make_unique<ProverDevice>(config, key(),
+                                        crypto::from_string("ds-app"));
+}
+
+TEST(DomainSeparation, AttestationMacRejectedByServices) {
+  // An adversary holding a *valid attestation request* (MAC'd directly
+  // under K_Attest) cannot retarget its MAC at the update service, which
+  // verifies under HKDF(K_Attest, "device-services").
+  auto prover = make_prover();
+  const auto attest_mac =
+      crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, key());
+  UpdateRequest cross;
+  cross.version = 1;
+  cross.target = 0x00010000;
+  cross.payload = crypto::from_string("cross-protocol payload");
+  cross.challenge = 0x1;
+  cross.mac = attest_mac->compute(cross.header_bytes());  // wrong domain
+  EXPECT_EQ(prover->services()->handle_update(cross).status,
+            ServiceStatus::kBadMac);
+}
+
+TEST(DomainSeparation, ServicesMacRejectedBySync) {
+  auto prover = make_prover();
+  const auto svc_key = crypto::derive_purpose_key(key(), "device-services");
+  const auto svc_mac =
+      crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, svc_key);
+  SyncRequest cross;
+  cross.sequence = 1;
+  cross.verifier_time = prover->ground_truth_ticks();
+  cross.mac = svc_mac->compute(cross.header_bytes());
+  EXPECT_EQ(prover->clock_sync()->handle(cross).status,
+            SyncStatus::kBadMac);
+}
+
+TEST(DomainSeparation, EachProtocolAcceptsItsOwnDomain) {
+  auto prover = make_prover();
+  ServiceMaster services(key(), crypto::MacAlgorithm::kHmacSha1);
+  SyncMaster sync(key(), crypto::MacAlgorithm::kHmacSha1);
+
+  const UpdateRequest update = services.make_update(
+      1, 0x00010000, crypto::from_string("payload"), 0x2);
+  EXPECT_EQ(prover->services()->handle_update(update).status,
+            ServiceStatus::kOk);
+
+  prover->idle_ms(5.0);
+  const SyncRequest sreq =
+      sync.make_request(prover->ground_truth_ticks() + 10);
+  EXPECT_EQ(prover->clock_sync()->handle(sreq).status,
+            SyncStatus::kApplied);
+}
+
+}  // namespace
+}  // namespace ratt::attest

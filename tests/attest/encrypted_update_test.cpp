@@ -1,0 +1,180 @@
+// Confidential firmware updates: encrypt-then-MAC payloads, on-wire
+// secrecy, and decrypt/unpad failure handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ratt/attest/services.hpp"
+#include "ratt/crypto/block_modes.hpp"
+#include "ratt/crypto/hkdf.hpp"
+
+namespace ratt::attest {
+namespace {
+
+constexpr hw::Addr kStateAddr = 0x00100100;
+constexpr hw::AddrRange kAnchorCode{0x0000, 0x1000};
+constexpr hw::AddrRange kUpdatable{0x00010000, 0x00018000};
+
+class EncryptedUpdateFixture : public ::testing::Test {
+ protected:
+  EncryptedUpdateFixture()
+      : anchor_(mcu_, "code-attest", kAnchorCode),
+        key_(crypto::from_hex("101112131415161718191a1b1c1d1e1f")),
+        master_(key_, crypto::MacAlgorithm::kHmacSha1) {
+    DeviceServices::Config config;
+    config.state_addr = kStateAddr;
+    config.updatable = kUpdatable;
+    config.erasable = hw::AddrRange{0x00120000, 0x00140000};
+    services_ = std::make_unique<DeviceServices>(anchor_, config, key_,
+                                                 timing_);
+  }
+
+  crypto::Bytes read_back(hw::Addr addr, std::size_t n) {
+    crypto::Bytes out(n);
+    mcu_.bus().read_block(hw::AccessContext{hw::kHardwarePc}, addr, out);
+    return out;
+  }
+
+  hw::Mcu mcu_;
+  hw::SoftwareComponent anchor_;
+  crypto::Bytes key_;
+  timing::DeviceTimingModel timing_;
+  std::unique_ptr<DeviceServices> services_;
+  ServiceMaster master_;
+};
+
+TEST_F(EncryptedUpdateFixture, InstallsPlaintextFromCiphertext) {
+  const crypto::Bytes firmware =
+      crypto::from_string("secret firmware image: calibration & keys");
+  const UpdateRequest req =
+      master_.make_encrypted_update(1, 0x00010000, firmware, 0xc0de);
+  ASSERT_TRUE(req.encrypted);
+  // The wire payload is ciphertext: the plaintext must not appear in it.
+  const auto wire = req.to_bytes();
+  EXPECT_EQ(std::search(wire.begin(), wire.end(), firmware.begin(),
+                        firmware.end()),
+            wire.end());
+
+  const ServiceOutcome out = services_->handle_update(req);
+  ASSERT_EQ(out.status, ServiceStatus::kOk);
+  EXPECT_EQ(read_back(0x00010000, firmware.size()), firmware);
+  // The proof covers the *plaintext* landing region.
+  EXPECT_TRUE(master_.check_update_proof(req, firmware, out.proof));
+}
+
+TEST_F(EncryptedUpdateFixture, WireRoundTripPreservesFlag) {
+  const UpdateRequest req = master_.make_encrypted_update(
+      2, 0x00010100, crypto::from_string("img"), 0x1);
+  const auto parsed = UpdateRequest::from_bytes(req.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->encrypted);
+  EXPECT_EQ(parsed->payload, req.payload);
+}
+
+TEST_F(EncryptedUpdateFixture, TamperedCiphertextFailsMacFirst) {
+  UpdateRequest req = master_.make_encrypted_update(
+      1, 0x00010000, crypto::from_string("firmware"), 0x2);
+  req.payload[20] ^= 0x01;  // flip a ciphertext bit
+  // Encrypt-then-MAC: rejected at the MAC, never decrypted.
+  EXPECT_EQ(services_->handle_update(req).status, ServiceStatus::kBadMac);
+}
+
+TEST_F(EncryptedUpdateFixture, FlagFlipRejected) {
+  // Claiming an encrypted payload is plaintext (or vice versa) breaks the
+  // MAC because the flag is authenticated.
+  UpdateRequest req = master_.make_encrypted_update(
+      1, 0x00010000, crypto::from_string("firmware"), 0x3);
+  req.encrypted = false;
+  EXPECT_EQ(services_->handle_update(req).status, ServiceStatus::kBadMac);
+}
+
+TEST_F(EncryptedUpdateFixture, MalformedCiphertextLengthRejected) {
+  // An attacker with the MAC key (hypothetically) still cannot make the
+  // device write garbage via a short/ragged ciphertext.
+  const auto svc_key =
+      crypto::derive_purpose_key(key_, "device-services");
+  const auto mac =
+      crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, svc_key);
+  UpdateRequest req;
+  req.version = 1;
+  req.target = 0x00010000;
+  req.challenge = 0x4;
+  req.encrypted = true;
+  req.payload = crypto::Bytes(24, 0xaa);  // < IV + one block
+  req.mac = mac->compute(req.header_bytes());
+  EXPECT_EQ(services_->handle_update(req).status,
+            ServiceStatus::kBadPayload);
+
+  req.payload = crypto::Bytes(16 + 17, 0xaa);  // ragged ciphertext
+  req.mac = mac->compute(req.header_bytes());
+  EXPECT_EQ(services_->handle_update(req).status,
+            ServiceStatus::kBadPayload);
+}
+
+TEST_F(EncryptedUpdateFixture, BadPaddingRejected) {
+  // Valid MAC over a well-formed-length ciphertext that decrypts to
+  // garbage padding: kBadPayload, nothing written.
+  const auto svc_key =
+      crypto::derive_purpose_key(key_, "device-services");
+  const auto mac =
+      crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, svc_key);
+  UpdateRequest req;
+  req.version = 1;
+  req.target = 0x00010000;
+  req.challenge = 0x5;
+  req.encrypted = true;
+  req.payload = crypto::Bytes(48, 0x77);  // IV + 2 blocks of noise
+  req.mac = mac->compute(req.header_bytes());
+  EXPECT_EQ(services_->handle_update(req).status,
+            ServiceStatus::kBadPayload);
+  EXPECT_EQ(read_back(0x00010000, 4), crypto::Bytes(4, 0xff));  // untouched
+}
+
+TEST_F(EncryptedUpdateFixture, DecryptionCostIsCharged) {
+  const crypto::Bytes big(2048, 0x42);
+  const UpdateRequest enc =
+      master_.make_encrypted_update(1, 0x00010000, big, 0x6);
+  const ServiceOutcome enc_out = services_->handle_update(enc);
+  ASSERT_EQ(enc_out.status, ServiceStatus::kOk);
+
+  // Fresh device for the plaintext comparison.
+  hw::Mcu mcu2;
+  hw::SoftwareComponent anchor2(mcu2, "code-attest", kAnchorCode);
+  DeviceServices::Config config;
+  config.state_addr = kStateAddr;
+  config.updatable = kUpdatable;
+  config.erasable = hw::AddrRange{0x00120000, 0x00140000};
+  DeviceServices services2(anchor2, config, key_, timing_);
+  ServiceMaster master2(key_, crypto::MacAlgorithm::kHmacSha1);
+  const UpdateRequest plain = master2.make_update(1, 0x00010000, big, 0x6);
+  const ServiceOutcome plain_out = services2.handle_update(plain);
+  ASSERT_EQ(plain_out.status, ServiceStatus::kOk);
+  EXPECT_GT(enc_out.device_ms, plain_out.device_ms);
+}
+
+TEST(Pkcs7, PadUnpadRoundTrip) {
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u}) {
+    const crypto::Bytes data(len, 0x5a);
+    const crypto::Bytes padded = crypto::pkcs7_pad(data, 16);
+    EXPECT_EQ(padded.size() % 16, 0u);
+    EXPECT_GT(padded.size(), data.size());  // always pads
+    const auto unpadded = crypto::pkcs7_unpad(padded, 16);
+    ASSERT_TRUE(unpadded.has_value()) << "len " << len;
+    EXPECT_EQ(*unpadded, data);
+  }
+}
+
+TEST(Pkcs7, RejectsMalformedPadding) {
+  EXPECT_FALSE(crypto::pkcs7_unpad(crypto::Bytes{}, 16).has_value());
+  EXPECT_FALSE(crypto::pkcs7_unpad(crypto::Bytes(15, 1), 16).has_value());
+  crypto::Bytes zero_pad(16, 0x00);
+  EXPECT_FALSE(crypto::pkcs7_unpad(zero_pad, 16).has_value());
+  crypto::Bytes too_big(16, 17);
+  EXPECT_FALSE(crypto::pkcs7_unpad(too_big, 16).has_value());
+  crypto::Bytes inconsistent(16, 4);
+  inconsistent[13] = 3;  // padding bytes disagree
+  EXPECT_FALSE(crypto::pkcs7_unpad(inconsistent, 16).has_value());
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,218 @@
+// Freshness policies against the Table 2 attack classes, including the
+// nonce-history eviction weakness the paper uses to rule nonces out.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/freshness.hpp"
+#include "ratt/hw/timer.hpp"
+
+namespace ratt::attest {
+namespace {
+
+constexpr hw::AccessContext kAnchorCtx{0x10};
+constexpr hw::Addr kStateAddr = 0x00100100;
+
+class FreshnessFixture : public ::testing::Test {
+ protected:
+  hw::Mcu mcu_;
+};
+
+TEST_F(FreshnessFixture, NoFreshnessAcceptsEverything) {
+  const auto policy = make_no_freshness();
+  EXPECT_EQ(policy->scheme(), FreshnessScheme::kNone);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 7),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 7),
+            FreshnessVerdict::kAccept);  // replay accepted: the baseline
+}
+
+// --- Counter --------------------------------------------------------------
+
+TEST_F(FreshnessFixture, CounterAcceptsStrictlyIncreasing) {
+  const auto policy = make_counter_policy(mcu_, kStateAddr);
+  EXPECT_EQ(policy->scheme(), FreshnessScheme::kCounter);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 1),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 2),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 10),
+            FreshnessVerdict::kAccept);  // gaps fine
+}
+
+TEST_F(FreshnessFixture, CounterDetectsReplay) {
+  const auto policy = make_counter_policy(mcu_, kStateAddr);
+  ASSERT_EQ(policy->check_and_update(kAnchorCtx, 5),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 5),
+            FreshnessVerdict::kReplay);
+}
+
+TEST_F(FreshnessFixture, CounterDetectsReorder) {
+  const auto policy = make_counter_policy(mcu_, kStateAddr);
+  ASSERT_EQ(policy->check_and_update(kAnchorCtx, 5),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 3),
+            FreshnessVerdict::kNotMonotonic);
+  // State unchanged by rejected request: 6 still accepted.
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 6),
+            FreshnessVerdict::kAccept);
+}
+
+TEST_F(FreshnessFixture, CounterStateLivesInDeviceMemory) {
+  const auto policy = make_counter_policy(mcu_, kStateAddr);
+  ASSERT_EQ(policy->check_and_update(kAnchorCtx, 41),
+            FreshnessVerdict::kAccept);
+  std::uint64_t stored = 0;
+  ASSERT_EQ(mcu_.bus().read64(kAnchorCtx, kStateAddr, stored),
+            hw::BusStatus::kOk);
+  EXPECT_EQ(stored, 41u);
+  // ...which means software that can write that memory can roll it back —
+  // the Sec. 5 attack. (The EA-MPU is what prevents this; none here.)
+  ASSERT_EQ(mcu_.bus().write64(kAnchorCtx, kStateAddr, 40),
+            hw::BusStatus::kOk);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 41),
+            FreshnessVerdict::kAccept);  // replayed 41 accepted again
+}
+
+TEST_F(FreshnessFixture, CounterStorageFaultSurfaces) {
+  const auto policy = make_counter_policy(mcu_, 0x0ff00000);  // unmapped
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 1),
+            FreshnessVerdict::kStorageFault);
+}
+
+// --- Nonce history ---------------------------------------------------------
+
+TEST_F(FreshnessFixture, NonceAcceptsDistinctRejectsReplay) {
+  const auto policy = make_nonce_history(mcu_, kStateAddr, 8);
+  EXPECT_EQ(policy->scheme(), FreshnessScheme::kNonce);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 111),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 222),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 111),
+            FreshnessVerdict::kReplay);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 222),
+            FreshnessVerdict::kReplay);
+}
+
+TEST_F(FreshnessFixture, NonceCannotDetectReorder) {
+  // Any order of distinct nonces is accepted — Table 2 row "Reorder".
+  const auto policy = make_nonce_history(mcu_, kStateAddr, 8);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 300),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 100),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 200),
+            FreshnessVerdict::kAccept);
+}
+
+TEST_F(FreshnessFixture, NonceHistoryEvictionEnablesReplay) {
+  // The paper's objection made concrete: with capacity 4, the 5th nonce
+  // evicts the 1st, whose replay is then accepted.
+  const auto policy = make_nonce_history(mcu_, kStateAddr, 4);
+  for (std::uint64_t n = 1; n <= 4; ++n) {
+    ASSERT_EQ(policy->check_and_update(kAnchorCtx, n),
+              FreshnessVerdict::kAccept);
+  }
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 1),
+            FreshnessVerdict::kReplay);  // still remembered
+  ASSERT_EQ(policy->check_and_update(kAnchorCtx, 5),
+            FreshnessVerdict::kAccept);  // evicts nonce 1
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 1),
+            FreshnessVerdict::kAccept);  // forgotten -> replay succeeds
+}
+
+TEST_F(FreshnessFixture, NonceStorageFaultSurfaces) {
+  const auto policy = make_nonce_history(mcu_, 0x0ff00000, 4);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 1),
+            FreshnessVerdict::kStorageFault);
+}
+
+// --- Timestamps -------------------------------------------------------------
+
+class TimestampFixture : public FreshnessFixture {
+ protected:
+  TimestampFixture() : counter_(64, 1) {
+    mcu_.map_device("clk", 0x00210000, counter_.window_size(), counter_);
+    clock_ = std::make_unique<hw::MmioClockSource>(mcu_, 0x00210000, 8,
+                                                   "clk");
+    policy_ = make_timestamp_policy(mcu_, *clock_, kStateAddr,
+                                    /*window=*/1000, /*skew=*/10);
+  }
+
+  hw::HwCounterPort counter_;
+  std::unique_ptr<hw::MmioClockSource> clock_;
+  std::unique_ptr<FreshnessPolicy> policy_;
+};
+
+TEST_F(TimestampFixture, AcceptsRecentTimestamp) {
+  mcu_.advance_cycles(5000);
+  EXPECT_EQ(policy_->scheme(), FreshnessScheme::kTimestamp);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4500),
+            FreshnessVerdict::kAccept);
+}
+
+TEST_F(TimestampFixture, DetectsReplay) {
+  mcu_.advance_cycles(5000);
+  ASSERT_EQ(policy_->check_and_update(kAnchorCtx, 4500),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4500),
+            FreshnessVerdict::kReplay);
+}
+
+TEST_F(TimestampFixture, DetectsReorder) {
+  mcu_.advance_cycles(5000);
+  ASSERT_EQ(policy_->check_and_update(kAnchorCtx, 4500),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4400),
+            FreshnessVerdict::kNotMonotonic);
+}
+
+TEST_F(TimestampFixture, DetectsDelay) {
+  // A request stamped at t=100 delivered at t=5000 with window 1000 is
+  // stale — the capability counters and nonces lack (Table 2).
+  mcu_.advance_cycles(5000);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 100),
+            FreshnessVerdict::kTooOld);
+}
+
+TEST_F(TimestampFixture, RejectsFutureTimestamps) {
+  mcu_.advance_cycles(5000);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 5020),
+            FreshnessVerdict::kNotMonotonic);  // beyond skew allowance
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 5005),
+            FreshnessVerdict::kAccept);  // within skew
+}
+
+TEST_F(TimestampFixture, WindowBoundaryExact) {
+  mcu_.advance_cycles(5000);
+  // now - t == window exactly: still acceptable.
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4000),
+            FreshnessVerdict::kAccept);
+  mcu_.advance_cycles(1);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4000),
+            FreshnessVerdict::kReplay);  // same value again
+}
+
+TEST_F(TimestampFixture, ClockRollbackEnablesReplay) {
+  // The Sec. 5 timestamp attack needs a writable clock; with this
+  // read-only hardware counter the *state word* can still be attacked.
+  mcu_.advance_cycles(5000);
+  ASSERT_EQ(policy_->check_and_update(kAnchorCtx, 4800),
+            FreshnessVerdict::kAccept);
+  // Roll back last_seen (unprotected here).
+  ASSERT_EQ(mcu_.bus().write64(kAnchorCtx, kStateAddr, 0),
+            hw::BusStatus::kOk);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4800),
+            FreshnessVerdict::kAccept);  // replay accepted
+}
+
+TEST(FreshnessVerdictNames, ToString) {
+  EXPECT_EQ(to_string(FreshnessVerdict::kAccept), "accept");
+  EXPECT_EQ(to_string(FreshnessVerdict::kReplay), "replay");
+  EXPECT_EQ(to_string(FreshnessVerdict::kNotMonotonic), "not-monotonic");
+  EXPECT_EQ(to_string(FreshnessVerdict::kTooOld), "too-old");
+  EXPECT_EQ(to_string(FreshnessVerdict::kStorageFault), "storage-fault");
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,126 @@
+// Whole-lifecycle integration: one device from provisioning through an
+// attack wave — every major subsystem in one continuous narrative.
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_roam.hpp"
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("303132333435363738393a3b3c3d3e3f");
+}
+
+TEST(Lifecycle, FullDeviceStory) {
+  // --- Manufacture + secure boot: full configuration. ---
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = ClockDesign::kSwClock;
+  config.timestamp_window_ticks = 24'000'000;  // 1 s
+  config.timestamp_skew_ticks = 70'000;
+  config.enable_services = true;
+  config.enable_clock_sync = true;
+  config.sync_max_step_ticks = 240'000;
+  config.sync_max_backward_ticks = 24'000;
+  config.rate_limit_max = 50;
+  config.measured_bytes = 2048;
+  ProverDevice prover(config, key(), crypto::from_string("lifecycle-app"));
+  ASSERT_EQ(prover.boot_status(), hw::BootStatus::kOk);
+  ASSERT_TRUE(prover.mcu().mpu().locked());
+  // key + counter + services + sync + MSB + IDT + irq-mask = 7 rules.
+  ASSERT_EQ(prover.mcu().mpu().active_rules(), 7u);
+
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kTimestamp;
+  vc.clock = [&prover] { return prover.ground_truth_ticks(); };
+  Verifier verifier(key(), vc, crypto::from_string("lifecycle-vrf"));
+  verifier.set_reference_memory(prover.reference_memory());
+
+  // --- Months of normal operation (compressed): attest every "hour". ---
+  for (int round = 0; round < 10; ++round) {
+    prover.idle_ms(50.0);
+    const auto req = verifier.make_request();
+    const auto out = prover.handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk) << "round " << round;
+    ASSERT_TRUE(verifier.check_response(req, out.response));
+  }
+
+  // --- A firmware update ships (confidential). ---
+  ServiceMaster services(key(), crypto::MacAlgorithm::kHmacSha1);
+  const crypto::Bytes v2 = crypto::from_string("application image v2");
+  const UpdateRequest update =
+      services.make_encrypted_update(2, 0x00010000, v2, 0xbeef);
+  const ServiceOutcome installed = prover.services()->handle_update(update);
+  ASSERT_EQ(installed.status, ServiceStatus::kOk);
+  ASSERT_TRUE(services.check_update_proof(update, v2, installed.proof));
+
+  // --- Clock drift is corrected over a few sync rounds. ---
+  SyncMaster sync(key(), crypto::MacAlgorithm::kHmacSha1);
+  prover.idle_ms(20.0);
+  const std::uint64_t truth = prover.ground_truth_ticks();
+  ASSERT_EQ(prover.clock_sync()->handle(sync.make_request(truth + 1000))
+                .status,
+            SyncStatus::kApplied);
+
+  // --- Attack wave: an Adv_roam infiltration attempts every rollback. ---
+  hw::SoftwareComponent malware(prover.mcu(), "malware",
+                                prover.surface().malware_region);
+  EXPECT_EQ(malware.write64(prover.surface().counter_addr, 0),
+            hw::BusStatus::kDenied);
+  EXPECT_EQ(malware.write32(prover.surface().clock_msb_addr, 0),
+            hw::BusStatus::kDenied);
+  EXPECT_EQ(malware.write32(prover.surface().idt_base, 0xbad),
+            hw::BusStatus::kDenied);
+  EXPECT_EQ(malware.write64(prover.surface().services_state_addr, 0),
+            hw::BusStatus::kDenied);
+  EXPECT_EQ(malware.write64(prover.surface().sync_state_addr + 8, 0),
+            hw::BusStatus::kDenied);
+  std::uint8_t b = 0;
+  EXPECT_EQ(malware.read8(prover.surface().key_addr, b),
+            hw::BusStatus::kDenied);
+
+  // But it CAN scribble on measured memory — and attestation catches it.
+  std::uint8_t original = 0;
+  ASSERT_EQ(malware.read8(prover.surface().measured_memory.begin, original),
+            hw::BusStatus::kOk);
+  ASSERT_EQ(malware.write8(prover.surface().measured_memory.begin,
+                           static_cast<std::uint8_t>(original ^ 0x55)),
+            hw::BusStatus::kOk);
+  prover.idle_ms(50.0);
+  {
+    const auto req = verifier.make_request();
+    const auto out = prover.handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk);
+    EXPECT_FALSE(verifier.check_response(req, out.response));  // detected
+  }
+
+  // The malware erases itself; the device attests cleanly again, and the
+  // decommissioning erase wipes its scratch space with proof.
+  ASSERT_EQ(malware.write8(prover.surface().measured_memory.begin, original),
+            hw::BusStatus::kOk);
+  prover.idle_ms(50.0);
+  {
+    const auto req = verifier.make_request();
+    const auto out = prover.handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk);
+    EXPECT_TRUE(verifier.check_response(req, out.response));
+  }
+
+  const hw::AddrRange scratch{prover.surface().erasable.begin,
+                              prover.surface().erasable.begin + 512};
+  const EraseRequest erase = services.make_erase(scratch, 0xdead);
+  const ServiceOutcome erased = prover.services()->handle_erase(erase);
+  ASSERT_EQ(erased.status, ServiceStatus::kOk);
+  EXPECT_TRUE(services.check_erase_proof(erase, erased.proof));
+
+  // Bookkeeping sanity across the whole story.
+  EXPECT_EQ(prover.anchor().attestations_performed(), 12u);
+  EXPECT_EQ(prover.services()->installed_version().value(), 2u);
+  EXPECT_EQ(prover.mcu().irq().stats().lost_bad_entry, 0u);
+  EXPECT_GT(prover.anchor().total_device_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,110 @@
+// Wire format round trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/message.hpp"
+
+namespace ratt::attest {
+namespace {
+
+AttestRequest sample_request() {
+  AttestRequest req;
+  req.scheme = FreshnessScheme::kCounter;
+  req.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  req.freshness = 0x0123456789abcdefull;
+  req.challenge = 0xfedcba9876543210ull;
+  req.mac = crypto::from_hex("00112233445566778899aabbccddeeff01234567");
+  return req;
+}
+
+TEST(AttestRequestWire, RoundTrip) {
+  const AttestRequest req = sample_request();
+  const auto parsed = AttestRequest::from_bytes(req.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, req);
+}
+
+TEST(AttestRequestWire, RoundTripAllSchemes) {
+  for (auto scheme :
+       {FreshnessScheme::kNone, FreshnessScheme::kNonce,
+        FreshnessScheme::kCounter, FreshnessScheme::kTimestamp}) {
+    AttestRequest req = sample_request();
+    req.scheme = scheme;
+    const auto parsed = AttestRequest::from_bytes(req.to_bytes());
+    ASSERT_TRUE(parsed.has_value()) << to_string(scheme);
+    EXPECT_EQ(parsed->scheme, scheme);
+  }
+}
+
+TEST(AttestRequestWire, EmptyMacAllowed) {
+  AttestRequest req = sample_request();
+  req.mac.clear();  // unauthenticated deployment
+  const auto parsed = AttestRequest::from_bytes(req.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->mac.empty());
+}
+
+TEST(AttestRequestWire, HeaderExcludesMac) {
+  AttestRequest req = sample_request();
+  const auto header = req.header_bytes();
+  req.mac[0] ^= 0xff;
+  EXPECT_EQ(req.header_bytes(), header);  // MAC not part of header
+}
+
+TEST(AttestRequestWire, RejectsMalformed) {
+  const AttestRequest req = sample_request();
+  auto wire = req.to_bytes();
+  // Truncated.
+  EXPECT_FALSE(AttestRequest::from_bytes(
+                   crypto::ByteView(wire).subspan(0, wire.size() - 1))
+                   .has_value());
+  // Bad magic.
+  auto bad_magic = wire;
+  bad_magic[0] = 0x00;
+  EXPECT_FALSE(AttestRequest::from_bytes(bad_magic).has_value());
+  // Bad scheme id.
+  auto bad_scheme = wire;
+  bad_scheme[1] = 9;
+  EXPECT_FALSE(AttestRequest::from_bytes(bad_scheme).has_value());
+  // Bad algorithm id.
+  auto bad_alg = wire;
+  bad_alg[2] = 7;
+  EXPECT_FALSE(AttestRequest::from_bytes(bad_alg).has_value());
+  // Length byte inconsistent with payload.
+  auto bad_len = wire;
+  bad_len[19] = static_cast<std::uint8_t>(bad_len[19] + 1);
+  EXPECT_FALSE(AttestRequest::from_bytes(bad_len).has_value());
+  // Empty.
+  EXPECT_FALSE(AttestRequest::from_bytes(crypto::Bytes{}).has_value());
+}
+
+TEST(AttestResponseWire, RoundTrip) {
+  AttestResponse resp;
+  resp.freshness = 42;
+  resp.measurement = crypto::from_hex("a1b2c3d4e5f60718");
+  const auto parsed = AttestResponse::from_bytes(resp.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, resp);
+}
+
+TEST(AttestResponseWire, RejectsMalformed) {
+  AttestResponse resp;
+  resp.freshness = 42;
+  resp.measurement = crypto::from_hex("a1b2c3d4");
+  auto wire = resp.to_bytes();
+  auto bad_magic = wire;
+  bad_magic[0] = 0x00;
+  EXPECT_FALSE(AttestResponse::from_bytes(bad_magic).has_value());
+  wire.push_back(0x00);  // trailing garbage
+  EXPECT_FALSE(AttestResponse::from_bytes(wire).has_value());
+  EXPECT_FALSE(AttestResponse::from_bytes(crypto::Bytes{}).has_value());
+}
+
+TEST(FreshnessScheme, ToString) {
+  EXPECT_EQ(to_string(FreshnessScheme::kNone), "none");
+  EXPECT_EQ(to_string(FreshnessScheme::kNonce), "nonce");
+  EXPECT_EQ(to_string(FreshnessScheme::kCounter), "counter");
+  EXPECT_EQ(to_string(FreshnessScheme::kTimestamp), "timestamp");
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,90 @@
+// SMART vs TrustLite EA-MAC flavors (Sec. 6.1): same access-control
+// semantics, different configuration surface.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+}
+
+std::unique_ptr<ProverDevice> make_prover(MpuFlavor flavor) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.mpu_flavor = flavor;
+  config.measured_bytes = 512;
+  return std::make_unique<ProverDevice>(config, key(),
+                                        crypto::from_string("flavor-app"));
+}
+
+TEST(MpuFlavor, BothFlavorsAttestIdentically) {
+  for (auto flavor : {MpuFlavor::kTrustLite, MpuFlavor::kSmart}) {
+    auto prover = make_prover(flavor);
+    ASSERT_EQ(prover->boot_status(), hw::BootStatus::kOk) << to_string(flavor);
+    Verifier::Config vc;
+    vc.scheme = FreshnessScheme::kCounter;
+    Verifier verifier(key(), vc, crypto::from_string("flavor-vrf"));
+    verifier.set_reference_memory(prover->reference_memory());
+    const auto req = verifier.make_request();
+    const auto out = prover->handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk) << to_string(flavor);
+    EXPECT_TRUE(verifier.check_response(req, out.response));
+  }
+}
+
+TEST(MpuFlavor, ProtectionsEnforcedInBothFlavors) {
+  for (auto flavor : {MpuFlavor::kTrustLite, MpuFlavor::kSmart}) {
+    auto prover = make_prover(flavor);
+    hw::SoftwareComponent malware(prover->mcu(), "malware",
+                                  prover->surface().malware_region);
+    std::uint8_t b = 0;
+    EXPECT_EQ(malware.read8(prover->surface().key_addr, b),
+              hw::BusStatus::kDenied)
+        << to_string(flavor);
+    EXPECT_EQ(malware.write64(prover->surface().counter_addr, 0),
+              hw::BusStatus::kDenied)
+        << to_string(flavor);
+  }
+}
+
+TEST(MpuFlavor, TrustLiteExposesLockedConfigPort) {
+  auto prover = make_prover(MpuFlavor::kTrustLite);
+  const hw::Addr port = prover->mcu().layout().mpu_port_base;
+  // The port exists (reads decode)...
+  std::uint8_t lock = 0;
+  ASSERT_EQ(prover->mcu().bus().read8(hw::AccessContext{0x8000}, port, lock),
+            hw::BusStatus::kOk);
+  EXPECT_EQ(lock, 1);  // locked by secure boot
+  // ...but is read-only after lockdown.
+  EXPECT_EQ(prover->mcu().bus().write8(hw::AccessContext{0x8000}, port, 0),
+            hw::BusStatus::kReadOnly);
+}
+
+TEST(MpuFlavor, SmartHasNoConfigSurfaceAtAll) {
+  // SMART's EA-MAC is hard-wired: there are no configuration registers to
+  // read, write, or even decode — one less attack surface than a locked
+  // port.
+  auto prover = make_prover(MpuFlavor::kSmart);
+  const hw::Addr port = prover->mcu().layout().mpu_port_base;
+  std::uint8_t b = 0;
+  EXPECT_EQ(prover->mcu().bus().read8(hw::AccessContext{0x8000}, port, b),
+            hw::BusStatus::kUnmapped);
+  EXPECT_EQ(prover->mcu().bus().write8(hw::AccessContext{0x8000}, port, 1),
+            hw::BusStatus::kUnmapped);
+  EXPECT_EQ(prover->mcu().bus().region_at(port), nullptr);
+  // The rules themselves are still active.
+  EXPECT_GE(prover->mcu().mpu().active_rules(), 2u);
+  EXPECT_TRUE(prover->mcu().mpu().locked());
+}
+
+TEST(MpuFlavor, FlavorNames) {
+  EXPECT_EQ(to_string(MpuFlavor::kTrustLite), "trustlite");
+  EXPECT_EQ(to_string(MpuFlavor::kSmart), "smart");
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,272 @@
+// End-to-end protocol: Verifier <-> ProverDevice across configurations —
+// the integration tests for the core library.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::attest {
+namespace {
+
+using crypto::from_string;
+using crypto::MacAlgorithm;
+
+Bytes shared_key() { return crypto::from_hex("000102030405060708090a0b0c0d0e0f"); }
+
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<ProverDevice> make_prover(ProverConfig config) {
+    config.measured_bytes = 1024;  // keep host-side MACs fast
+    return std::make_unique<ProverDevice>(config, shared_key(),
+                                          from_string("app-seed"));
+  }
+
+  Verifier make_verifier(ProverDevice& prover, FreshnessScheme scheme,
+                         MacAlgorithm alg = MacAlgorithm::kHmacSha1) {
+    Verifier::Config vc;
+    vc.mac_alg = alg;
+    vc.scheme = scheme;
+    vc.clock = [&prover] { return prover.ground_truth_ticks(); };
+    Verifier verifier(shared_key(), vc, from_string("verifier-seed"));
+    verifier.set_reference_memory(prover.reference_memory());
+    return verifier;
+  }
+};
+
+TEST_F(ProtocolFixture, HappyPathCounter) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  auto prover = make_prover(config);
+  ASSERT_EQ(prover->boot_status(), hw::BootStatus::kOk);
+  auto verifier = make_verifier(*prover, FreshnessScheme::kCounter);
+
+  for (int round = 0; round < 3; ++round) {
+    const AttestRequest req = verifier.make_request();
+    const AttestOutcome out = prover->handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk) << "round " << round;
+    EXPECT_TRUE(verifier.check_response(req, out.response));
+  }
+  EXPECT_EQ(prover->anchor().attestations_performed(), 3u);
+}
+
+TEST_F(ProtocolFixture, HappyPathAllSchemes) {
+  for (auto scheme :
+       {FreshnessScheme::kNone, FreshnessScheme::kNonce,
+        FreshnessScheme::kCounter, FreshnessScheme::kTimestamp}) {
+    ProverConfig config;
+    config.scheme = scheme;
+    if (scheme == FreshnessScheme::kTimestamp) {
+      config.clock = ClockDesign::kHw64;
+      config.timestamp_window_ticks = 24'000'000;  // 1 s at 24 MHz
+    }
+    auto prover = make_prover(config);
+    auto verifier = make_verifier(*prover, scheme);
+    prover->idle_ms(10.0);  // let some time pass before the first request
+    const AttestRequest req = verifier.make_request();
+    const AttestOutcome out = prover->handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk) << to_string(scheme);
+    EXPECT_TRUE(verifier.check_response(req, out.response))
+        << to_string(scheme);
+  }
+}
+
+TEST_F(ProtocolFixture, HappyPathAllMacAlgorithms) {
+  for (auto alg : {MacAlgorithm::kHmacSha1, MacAlgorithm::kAesCbcMac,
+                   MacAlgorithm::kSpeckCbcMac}) {
+    ProverConfig config;
+    config.mac_alg = alg;
+    config.scheme = FreshnessScheme::kCounter;
+    auto prover = make_prover(config);
+    auto verifier =
+        make_verifier(*prover, FreshnessScheme::kCounter, alg);
+    const AttestRequest req = verifier.make_request();
+    const AttestOutcome out = prover->handle(req);
+    ASSERT_EQ(out.status, AttestStatus::kOk) << crypto::to_string(alg);
+    EXPECT_TRUE(verifier.check_response(req, out.response));
+  }
+}
+
+TEST_F(ProtocolFixture, BogusRequestRejectedWhenAuthenticated) {
+  // Adv_ext's trivial impersonation fails against Sec. 4.1 authentication.
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  auto prover = make_prover(config);
+
+  AttestRequest forged;
+  forged.scheme = FreshnessScheme::kCounter;
+  forged.mac_alg = MacAlgorithm::kHmacSha1;
+  forged.freshness = 1;
+  forged.challenge = 0x1234;
+  forged.mac = Bytes(20, 0x00);  // no key, no valid MAC
+  const AttestOutcome out = prover->handle(forged);
+  EXPECT_EQ(out.status, AttestStatus::kBadRequestMac);
+  EXPECT_EQ(prover->anchor().attestations_performed(), 0u);
+  // The rejected request still cost the one-block verification.
+  EXPECT_NEAR(out.device_ms, 0.432, 1e-9);
+}
+
+TEST_F(ProtocolFixture, BogusRequestAcceptedWhenUnauthenticated) {
+  // The Sec. 3.1 baseline: without request authentication, anyone can
+  // invoke the full ~measurement — the DoS.
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kNone;
+  config.authenticate_requests = false;
+  auto prover = make_prover(config);
+
+  AttestRequest forged;
+  forged.scheme = FreshnessScheme::kNone;
+  forged.mac_alg = MacAlgorithm::kHmacSha1;
+  forged.challenge = 0x9999;
+  const AttestOutcome out = prover->handle(forged);
+  EXPECT_EQ(out.status, AttestStatus::kOk);
+  EXPECT_EQ(prover->anchor().attestations_performed(), 1u);
+  EXPECT_GT(out.device_ms, 0.4);  // full measurement cost incurred
+}
+
+TEST_F(ProtocolFixture, ReplayRejectedByCounter) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  auto prover = make_prover(config);
+  auto verifier = make_verifier(*prover, FreshnessScheme::kCounter);
+
+  const AttestRequest req = verifier.make_request();
+  ASSERT_EQ(prover->handle(req).status, AttestStatus::kOk);
+  const AttestOutcome replay = prover->handle(req);
+  EXPECT_EQ(replay.status, AttestStatus::kNotFresh);
+  EXPECT_EQ(replay.freshness, FreshnessVerdict::kReplay);
+  EXPECT_EQ(prover->anchor().attestations_performed(), 1u);
+}
+
+TEST_F(ProtocolFixture, TamperedMemoryDetectedByVerifier) {
+  // Classic attestation still works: modify measured memory and the
+  // response no longer validates.
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  auto prover = make_prover(config);
+  auto verifier = make_verifier(*prover, FreshnessScheme::kCounter);
+
+  // Malware flips a byte in measured memory.
+  hw::SoftwareComponent malware(prover->mcu(), "malware",
+                                prover->surface().malware_region);
+  std::uint8_t b = 0;
+  ASSERT_EQ(malware.read8(prover->surface().measured_memory.begin, b),
+            hw::BusStatus::kOk);
+  ASSERT_EQ(malware.write8(prover->surface().measured_memory.begin,
+                           static_cast<std::uint8_t>(b ^ 0xff)),
+            hw::BusStatus::kOk);
+
+  const AttestRequest req = verifier.make_request();
+  const AttestOutcome out = prover->handle(req);
+  ASSERT_EQ(out.status, AttestStatus::kOk);
+  EXPECT_FALSE(verifier.check_response(req, out.response));
+}
+
+TEST_F(ProtocolFixture, WrongAlgorithmRejected) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.mac_alg = MacAlgorithm::kHmacSha1;
+  auto prover = make_prover(config);
+  AttestRequest req;
+  req.scheme = FreshnessScheme::kCounter;
+  req.mac_alg = MacAlgorithm::kSpeckCbcMac;
+  req.freshness = 1;
+  EXPECT_EQ(prover->handle(req).status, AttestStatus::kWrongAlgorithm);
+}
+
+TEST_F(ProtocolFixture, ResponseBoundToChallenge) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  auto prover = make_prover(config);
+  auto verifier = make_verifier(*prover, FreshnessScheme::kCounter);
+
+  const AttestRequest req1 = verifier.make_request();
+  const AttestOutcome out1 = prover->handle(req1);
+  ASSERT_EQ(out1.status, AttestStatus::kOk);
+  // A different request's response must not validate against req2.
+  AttestRequest req2 = verifier.make_request();
+  EXPECT_FALSE(verifier.check_response(req2, out1.response));
+}
+
+TEST_F(ProtocolFixture, KeyProtectionBlocksMalwareRead) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.protect_key = true;
+  auto prover = make_prover(config);
+  hw::SoftwareComponent malware(prover->mcu(), "malware",
+                                prover->surface().malware_region);
+  std::uint8_t b = 0;
+  EXPECT_EQ(malware.read8(prover->surface().key_addr, b),
+            hw::BusStatus::kDenied);
+  // Code_Attest still works.
+  auto verifier = make_verifier(*prover, FreshnessScheme::kCounter);
+  const AttestRequest req = verifier.make_request();
+  EXPECT_EQ(prover->handle(req).status, AttestStatus::kOk);
+}
+
+TEST_F(ProtocolFixture, UnprotectedKeyReadableByMalware) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.protect_key = false;
+  auto prover = make_prover(config);
+  hw::SoftwareComponent malware(prover->mcu(), "malware",
+                                prover->surface().malware_region);
+  Bytes stolen(prover->surface().key_size);
+  EXPECT_EQ(malware.read_block(prover->surface().key_addr, stolen),
+            hw::BusStatus::kOk);
+  EXPECT_EQ(stolen, shared_key());  // full key extraction
+}
+
+TEST_F(ProtocolFixture, CounterProtectionBlocksRollback) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.protect_counter = true;
+  auto prover = make_prover(config);
+  hw::SoftwareComponent malware(prover->mcu(), "malware",
+                                prover->surface().malware_region);
+  EXPECT_EQ(malware.write64(prover->surface().counter_addr, 0),
+            hw::BusStatus::kDenied);
+}
+
+TEST_F(ProtocolFixture, DeviceTimeAdvancesWithWork) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  auto prover = make_prover(config);
+  auto verifier = make_verifier(*prover, FreshnessScheme::kCounter);
+  const double before = prover->mcu().now_ms();
+  const AttestRequest req = verifier.make_request();
+  const AttestOutcome out = prover->handle(req);
+  ASSERT_EQ(out.status, AttestStatus::kOk);
+  EXPECT_NEAR(prover->mcu().now_ms() - before, out.device_ms, 1e-6);
+}
+
+TEST_F(ProtocolFixture, SwClockProverEndToEnd) {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = ClockDesign::kSwClock;
+  config.protect_clock = true;
+  config.timestamp_window_ticks = 24'000'000;  // 1 s in cycles
+  auto prover = make_prover(config);
+  ASSERT_EQ(prover->boot_status(), hw::BootStatus::kOk);
+  auto verifier = make_verifier(*prover, FreshnessScheme::kTimestamp);
+
+  // Run long enough that the 16-bit LSB wraps many times.
+  prover->idle_ms(50.0);  // 1.2M cycles = ~18 wraps
+  EXPECT_EQ(prover->prover_clock_ticks().value(),
+            prover->ground_truth_ticks());
+
+  const AttestRequest req = verifier.make_request();
+  const AttestOutcome out = prover->handle(req);
+  ASSERT_EQ(out.status, AttestStatus::kOk);
+  EXPECT_TRUE(verifier.check_response(req, out.response));
+}
+
+TEST_F(ProtocolFixture, BootFailsClosedOnBadConfig) {
+  // Timestamp scheme without a clock is a construction error.
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kTimestamp;
+  config.clock = ClockDesign::kNone;
+  EXPECT_THROW(make_prover(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ratt::attest

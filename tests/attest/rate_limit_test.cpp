@@ -1,0 +1,136 @@
+// Attestation rate limiter (extension): bounds the prover time an
+// attacker can extract even with valid, fresh requests (e.g. after key
+// extraction).
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("d0d1d2d3d4d5d6d7d8d9dadbdcdddedf");
+}
+
+class RateLimitFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<ProverDevice> make_prover(std::uint32_t max_per_window,
+                                            double window_ms) {
+    ProverConfig config;
+    config.scheme = FreshnessScheme::kCounter;
+    config.measured_bytes = 1024;
+    config.rate_limit_max = max_per_window;
+    config.rate_limit_window_ms = window_ms;
+    return std::make_unique<ProverDevice>(config, key(),
+                                          crypto::from_string("rl-app"));
+  }
+
+  Verifier make_verifier(ProverDevice& prover) {
+    Verifier::Config vc;
+    vc.scheme = FreshnessScheme::kCounter;
+    Verifier verifier(key(), vc, crypto::from_string("rl-vrf"));
+    verifier.set_reference_memory(prover.reference_memory());
+    return verifier;
+  }
+};
+
+TEST_F(RateLimitFixture, WithinBudgetUnaffected) {
+  auto prover = make_prover(5, 1000.0);
+  auto verifier = make_verifier(*prover);
+  for (int i = 0; i < 5; ++i) {
+    prover->idle_ms(10.0);
+    const auto req = verifier.make_request();
+    EXPECT_EQ(prover->handle(req).status, AttestStatus::kOk) << i;
+  }
+  EXPECT_EQ(prover->anchor().requests_rate_limited(), 0u);
+}
+
+TEST_F(RateLimitFixture, ExcessRequestsRateLimited) {
+  auto prover = make_prover(3, 1000.0);
+  auto verifier = make_verifier(*prover);
+  int ok = 0;
+  int limited = 0;
+  for (int i = 0; i < 10; ++i) {
+    prover->idle_ms(5.0);
+    const auto out = prover->handle(verifier.make_request());
+    if (out.status == AttestStatus::kOk) ++ok;
+    if (out.status == AttestStatus::kRateLimited) ++limited;
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(limited, 7);
+  EXPECT_EQ(prover->anchor().requests_rate_limited(), 7u);
+}
+
+TEST_F(RateLimitFixture, BudgetRefillsAcrossWindows) {
+  auto prover = make_prover(2, 100.0);
+  auto verifier = make_verifier(*prover);
+  int ok = 0;
+  for (int i = 0; i < 8; ++i) {
+    prover->idle_ms(30.0);  // ~3 requests per 100 ms window
+    if (prover->handle(verifier.make_request()).status ==
+        AttestStatus::kOk) {
+      ++ok;
+    }
+  }
+  EXPECT_GT(ok, 2);  // more than one window's budget in total
+  EXPECT_LT(ok, 8);  // but not everything
+}
+
+TEST_F(RateLimitFixture, CapsDamageFromStolenKey) {
+  // The key-extraction endgame (Sec. 5): the adversary signs fresh
+  // requests at will. Freshness cannot reject them — but the budget can.
+  auto prover = make_prover(2, 1000.0);
+  const auto mac =
+      crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, key());
+  double stolen_ms = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    AttestRequest forged;
+    forged.scheme = FreshnessScheme::kCounter;
+    forged.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+    forged.freshness = 1000 + static_cast<std::uint64_t>(i);
+    forged.challenge = 0x42;
+    forged.mac = mac->compute(forged.header_bytes());
+    stolen_ms += prover->handle(forged).device_ms;
+  }
+  // 2 full attestations (~1.9 ms each) + 18 cheap rejections.
+  EXPECT_EQ(prover->anchor().attestations_performed(), 2u);
+  EXPECT_LT(stolen_ms, 2 * 2.0 + 18 * 0.5);
+}
+
+TEST_F(RateLimitFixture, RejectionsDoNotConsumeBudget) {
+  // Forged (bad-MAC) requests are rejected before the limiter, so an
+  // attacker cannot starve the *genuine* verifier by spending the budget
+  // with garbage.
+  auto prover = make_prover(2, 1000.0);
+  auto verifier = make_verifier(*prover);
+  for (int i = 0; i < 10; ++i) {
+    AttestRequest garbage;
+    garbage.scheme = FreshnessScheme::kCounter;
+    garbage.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+    garbage.freshness = 500 + static_cast<std::uint64_t>(i);
+    garbage.mac = crypto::Bytes(20, 0);
+    EXPECT_EQ(prover->handle(garbage).status,
+              AttestStatus::kBadRequestMac);
+  }
+  prover->idle_ms(1.0);
+  EXPECT_EQ(prover->handle(verifier.make_request()).status,
+            AttestStatus::kOk);
+}
+
+TEST_F(RateLimitFixture, ZeroDisablesLimiter) {
+  auto prover = make_prover(0, 1000.0);
+  auto verifier = make_verifier(*prover);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(prover->handle(verifier.make_request()).status,
+              AttestStatus::kOk);
+  }
+  EXPECT_EQ(prover->anchor().requests_rate_limited(), 0u);
+}
+
+TEST_F(RateLimitFixture, StatusName) {
+  EXPECT_EQ(to_string(AttestStatus::kRateLimited), "rate-limited");
+}
+
+}  // namespace
+}  // namespace ratt::attest

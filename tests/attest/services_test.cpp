@@ -1,0 +1,200 @@
+// Attestation-derived services (future-work item 3): secure code update
+// and secure memory erasure with prover-side DoS protection.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/services.hpp"
+
+namespace ratt::attest {
+namespace {
+
+constexpr hw::Addr kStateAddr = 0x00100100;
+constexpr hw::AddrRange kAnchorCode{0x0000, 0x1000};
+constexpr hw::AddrRange kUpdatable{0x00010000, 0x00018000};  // flash window
+constexpr hw::AddrRange kErasable{0x00120000, 0x00140000};   // RAM window
+
+class ServicesFixture : public ::testing::Test {
+ protected:
+  ServicesFixture()
+      : anchor_(mcu_, "code-attest", kAnchorCode),
+        key_(crypto::from_hex("707172737475767778797a7b7c7d7e7f")),
+        master_(key_, crypto::MacAlgorithm::kHmacSha1) {
+    DeviceServices::Config config;
+    config.state_addr = kStateAddr;
+    config.updatable = kUpdatable;
+    config.erasable = kErasable;
+    services_ = std::make_unique<DeviceServices>(anchor_, config, key_,
+                                                 timing_);
+  }
+
+  crypto::Bytes read_back(hw::Addr addr, std::size_t n) {
+    crypto::Bytes out(n);
+    mcu_.bus().read_block(hw::AccessContext{hw::kHardwarePc}, addr, out);
+    return out;
+  }
+
+  hw::Mcu mcu_;
+  hw::SoftwareComponent anchor_;
+  crypto::Bytes key_;
+  timing::DeviceTimingModel timing_;
+  std::unique_ptr<DeviceServices> services_;
+  ServiceMaster master_;
+};
+
+TEST_F(ServicesFixture, UpdateWireFormatRoundTrip) {
+  const UpdateRequest req = master_.make_update(
+      3, 0x00010100, crypto::from_string("new firmware"), 0x1234);
+  const auto parsed = UpdateRequest::from_bytes(req.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 3u);
+  EXPECT_EQ(parsed->target, 0x00010100u);
+  EXPECT_EQ(parsed->payload, crypto::from_string("new firmware"));
+  EXPECT_EQ(parsed->mac, req.mac);
+  EXPECT_FALSE(UpdateRequest::from_bytes(crypto::Bytes{}).has_value());
+}
+
+TEST_F(ServicesFixture, EraseWireFormatRoundTrip) {
+  const EraseRequest req =
+      master_.make_erase(hw::AddrRange{0x00120000, 0x00120100}, 0x9);
+  const auto parsed = EraseRequest::from_bytes(req.to_bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->region, req.region);
+  EXPECT_EQ(parsed->sequence, req.sequence);
+  auto bad = req.to_bytes();
+  bad[0] = 0x00;
+  EXPECT_FALSE(EraseRequest::from_bytes(bad).has_value());
+}
+
+TEST_F(ServicesFixture, UpdateInstallsAndProves) {
+  const crypto::Bytes firmware = crypto::from_string("firmware v1 payload");
+  const UpdateRequest req =
+      master_.make_update(1, 0x00010200, firmware, 0xc0ffee);
+  const ServiceOutcome out = services_->handle_update(req);
+  ASSERT_EQ(out.status, ServiceStatus::kOk);
+  // Payload landed.
+  EXPECT_EQ(read_back(0x00010200, firmware.size()), firmware);
+  // Version advanced.
+  EXPECT_EQ(services_->installed_version().value(), 1u);
+  // Proof validates against the expected image.
+  EXPECT_TRUE(master_.check_update_proof(req, firmware, out.proof));
+  // And is bound to the payload: a different image fails.
+  EXPECT_FALSE(master_.check_update_proof(
+      req, crypto::from_string("other firmware data"), out.proof));
+  // Device time was charged (MAC over request + proof over region).
+  EXPECT_GT(out.device_ms, 0.4);
+}
+
+TEST_F(ServicesFixture, UpdateRejectsForgedRequest) {
+  UpdateRequest req = master_.make_update(
+      1, 0x00010200, crypto::from_string("evil payload"), 0x1);
+  req.payload[0] ^= 0xff;  // tamper after MACing
+  const ServiceOutcome out = services_->handle_update(req);
+  EXPECT_EQ(out.status, ServiceStatus::kBadMac);
+  // Nothing written: flash is still in its erased state.
+  EXPECT_EQ(read_back(0x00010200, 4), crypto::Bytes(4, 0xff));
+}
+
+TEST_F(ServicesFixture, UpdateRejectsReplayAndDowngrade) {
+  const UpdateRequest v2 = master_.make_update(
+      2, 0x00010000, crypto::from_string("version two"), 0x2);
+  ASSERT_EQ(services_->handle_update(v2).status, ServiceStatus::kOk);
+  // Replay of the same version.
+  EXPECT_EQ(services_->handle_update(v2).status, ServiceStatus::kNotFresh);
+  // Downgrade to an older (but genuinely signed) version.
+  const UpdateRequest v1 = master_.make_update(
+      1, 0x00010000, crypto::from_string("version one"), 0x1);
+  EXPECT_EQ(services_->handle_update(v1).status, ServiceStatus::kNotFresh);
+  EXPECT_EQ(read_back(0x00010000, 11), crypto::from_string("version two"));
+}
+
+TEST_F(ServicesFixture, UpdateRejectsOutOfBoundsTarget) {
+  // Target outside the updatable window — e.g. aiming at the IDT or the
+  // measured region.
+  const UpdateRequest req = master_.make_update(
+      1, 0x00100000, crypto::from_string("idt smash"), 0x3);
+  EXPECT_EQ(services_->handle_update(req).status,
+            ServiceStatus::kOutOfBounds);
+  // Straddling the window edge also fails.
+  const UpdateRequest straddle = master_.make_update(
+      2, kUpdatable.end - 4, crypto::from_string("12345678"), 0x4);
+  EXPECT_EQ(services_->handle_update(straddle).status,
+            ServiceStatus::kOutOfBounds);
+}
+
+TEST_F(ServicesFixture, EraseZeroesAndProves) {
+  // Fill the region with secrets, then erase.
+  const hw::AddrRange region{0x00120000, 0x00120400};
+  const crypto::Bytes secrets(region.size(), 0xaa);
+  ASSERT_EQ(anchor_.write_block(region.begin, secrets), hw::BusStatus::kOk);
+
+  const EraseRequest req = master_.make_erase(region, 0x5ec5);
+  const ServiceOutcome out = services_->handle_erase(req);
+  ASSERT_EQ(out.status, ServiceStatus::kOk);
+  EXPECT_EQ(read_back(region.begin, region.size()),
+            crypto::Bytes(region.size(), 0));
+  EXPECT_TRUE(master_.check_erase_proof(req, out.proof));
+}
+
+TEST_F(ServicesFixture, EraseProofCannotBeFakedWithoutErasing) {
+  // A prover that does NOT erase cannot produce a valid proof, because
+  // the proof MACs the actual region contents.
+  const hw::AddrRange region{0x00120000, 0x00120100};
+  ASSERT_EQ(anchor_.write_block(region.begin,
+                                crypto::Bytes(region.size(), 0x55)),
+            hw::BusStatus::kOk);
+  const EraseRequest req = master_.make_erase(region, 0x7);
+  // Forge a proof over the *current* (non-zero) contents.
+  crypto::Bytes message;
+  std::uint8_t word[8];
+  crypto::store_le64(word, req.challenge);
+  crypto::append(message, crypto::ByteView(word, 8));
+  crypto::store_le64(word, req.sequence);
+  crypto::append(message, crypto::ByteView(word, 8));
+  crypto::append(message, crypto::Bytes(region.size(), 0x55));
+  const auto mac = crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, key_);
+  EXPECT_FALSE(master_.check_erase_proof(req, mac->compute(message)));
+}
+
+TEST_F(ServicesFixture, EraseRejectsReplayAndForgery) {
+  const hw::AddrRange region{0x00120000, 0x00120100};
+  const EraseRequest req = master_.make_erase(region, 0x8);
+  ASSERT_EQ(services_->handle_erase(req).status, ServiceStatus::kOk);
+  EXPECT_EQ(services_->handle_erase(req).status, ServiceStatus::kNotFresh);
+
+  EraseRequest forged = master_.make_erase(region, 0x9);
+  forged.region.end += 0x1000;  // tamper: erase more than authorized
+  EXPECT_EQ(services_->handle_erase(forged).status, ServiceStatus::kBadMac);
+}
+
+TEST_F(ServicesFixture, EraseRejectsOutOfBoundsRegion) {
+  const EraseRequest req =
+      master_.make_erase(hw::AddrRange{0x00000000, 0x00000100}, 0xa);
+  EXPECT_EQ(services_->handle_erase(req).status,
+            ServiceStatus::kOutOfBounds);
+}
+
+TEST_F(ServicesFixture, RejectedRequestsCostOnlyTheMacCheck) {
+  // The DoS point, generalized: rejecting a forged 4 KB update costs the
+  // MAC validation over the request, not a flash write + proof.
+  crypto::Bytes big(4096, 0x11);
+  UpdateRequest req = master_.make_update(1, 0x00010000, big, 0xb);
+  req.mac[0] ^= 1;
+  const ServiceOutcome rejected = services_->handle_update(req);
+  EXPECT_EQ(rejected.status, ServiceStatus::kBadMac);
+
+  UpdateRequest good = master_.make_update(1, 0x00010000, big, 0xb);
+  const ServiceOutcome accepted = services_->handle_update(good);
+  ASSERT_EQ(accepted.status, ServiceStatus::kOk);
+  EXPECT_GT(accepted.device_ms, rejected.device_ms * 1.5);
+}
+
+TEST_F(ServicesFixture, StatusNames) {
+  EXPECT_EQ(to_string(ServiceStatus::kOk), "ok");
+  EXPECT_EQ(to_string(ServiceStatus::kBadMac), "bad-mac");
+  EXPECT_EQ(to_string(ServiceStatus::kNotFresh), "not-fresh");
+  EXPECT_EQ(to_string(ServiceStatus::kOutOfBounds), "out-of-bounds");
+  EXPECT_EQ(to_string(ServiceStatus::kWriteFault), "write-fault");
+  EXPECT_EQ(to_string(ServiceStatus::kStorageFault), "storage-fault");
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,105 @@
+// CodeAttest failure paths that only a *misconfigured* device exhibits:
+// the trust anchor must fail closed, not crash or attest garbage.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/trust_anchor.hpp"
+
+namespace ratt::attest {
+namespace {
+
+constexpr hw::AddrRange kAnchorCode{0x0000, 0x1000};
+
+crypto::Bytes key() {
+  return crypto::from_hex("e0e1e2e3e4e5e6e7e8e9eaebecedeeef");
+}
+
+class AnchorFaultFixture : public ::testing::Test {
+ protected:
+  AnchorFaultFixture() : policy_(make_no_freshness()) {
+    mcu_.bus().load_initial(0x00007000, key());
+  }
+
+  CodeAttest::Config base_config() {
+    CodeAttest::Config config;
+    config.code = kAnchorCode;
+    config.key_addr = 0x00007000;
+    config.key_size = 16;
+    config.measured_memory = hw::AddrRange{0x00110000, 0x00110100};
+    return config;
+  }
+
+  AttestRequest valid_request() {
+    AttestRequest req;
+    req.scheme = FreshnessScheme::kNone;
+    req.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+    req.challenge = 0x77;
+    const auto mac = crypto::make_mac(req.mac_alg, key());
+    req.mac = mac->compute(req.header_bytes());
+    return req;
+  }
+
+  hw::Mcu mcu_;
+  std::unique_ptr<FreshnessPolicy> policy_;
+  timing::DeviceTimingModel timing_;
+};
+
+TEST_F(AnchorFaultFixture, KeyUnreadableWhenRuleExcludesAnchor) {
+  // An EA-MPU rule that names the *wrong* code region for K_Attest locks
+  // out Code_Attest itself: the anchor reports the fault instead of
+  // attesting with a zero key.
+  hw::EampuRule rule;
+  rule.code = hw::AddrRange{0x00900000, 0x00900100};  // nobody real
+  rule.data = hw::AddrRange{0x00007000, 0x00007010};
+  rule.allow_read = true;
+  rule.active = true;
+  ASSERT_TRUE(mcu_.mpu().set_rule(0, rule));
+  mcu_.mpu().lock();
+
+  CodeAttest anchor(mcu_, base_config(), *policy_, timing_);
+  const AttestOutcome out = anchor.handle_request(valid_request());
+  EXPECT_EQ(out.status, AttestStatus::kKeyUnreadable);
+  EXPECT_EQ(anchor.attestations_performed(), 0u);
+}
+
+TEST_F(AnchorFaultFixture, MeasurementFaultOnUnmappedRegion) {
+  CodeAttest::Config config = base_config();
+  config.measured_memory = hw::AddrRange{0x0ff00000, 0x0ff00100};
+  CodeAttest anchor(mcu_, config, *policy_, timing_);
+  const AttestOutcome out = anchor.handle_request(valid_request());
+  EXPECT_EQ(out.status, AttestStatus::kMeasurementFault);
+}
+
+TEST_F(AnchorFaultFixture, MeasurementFaultOnProtectedRegion) {
+  // Measured memory covered by a rule that excludes Code_Attest: the read
+  // faults mid-measurement and no response leaves the device.
+  hw::EampuRule rule;
+  rule.code = hw::AddrRange{0x00900000, 0x00900100};
+  rule.data = hw::AddrRange{0x00110080, 0x00110090};  // inside measured
+  rule.allow_read = true;
+  rule.active = true;
+  ASSERT_TRUE(mcu_.mpu().set_rule(0, rule));
+  mcu_.mpu().lock();
+
+  CodeAttest anchor(mcu_, base_config(), *policy_, timing_);
+  const AttestOutcome out = anchor.handle_request(valid_request());
+  EXPECT_EQ(out.status, AttestStatus::kMeasurementFault);
+  EXPECT_TRUE(out.response.measurement.empty());
+}
+
+TEST_F(AnchorFaultFixture, HappyPathStillWorksWithCorrectRule) {
+  hw::EampuRule rule;
+  rule.code = kAnchorCode;
+  rule.data = hw::AddrRange{0x00007000, 0x00007010};
+  rule.allow_read = true;
+  rule.active = true;
+  ASSERT_TRUE(mcu_.mpu().set_rule(0, rule));
+  mcu_.mpu().lock();
+
+  CodeAttest anchor(mcu_, base_config(), *policy_, timing_);
+  const AttestOutcome out = anchor.handle_request(valid_request());
+  EXPECT_EQ(out.status, AttestStatus::kOk);
+  EXPECT_FALSE(out.response.measurement.empty());
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,154 @@
+// Verifier unit behavior: request construction per scheme and response
+// validation edge cases.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ratt/attest/clock_sync.hpp"
+#include "ratt/attest/services.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("404142434445464748494a4b4c4d4e4f");
+}
+
+TEST(Verifier, CounterRequestsStrictlyIncrease) {
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  Verifier verifier(key(), vc, crypto::from_string("v-test"));
+  std::uint64_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    const AttestRequest req = verifier.make_request();
+    EXPECT_GT(req.freshness, last);
+    last = req.freshness;
+  }
+  EXPECT_EQ(verifier.counter(), 5u);
+}
+
+TEST(Verifier, NonceRequestsAreDistinct) {
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kNonce;
+  Verifier verifier(key(), vc, crypto::from_string("v-test"));
+  std::set<std::uint64_t> nonces;
+  for (int i = 0; i < 50; ++i) {
+    nonces.insert(verifier.make_request().freshness);
+  }
+  EXPECT_EQ(nonces.size(), 50u);
+}
+
+TEST(Verifier, TimestampUsesConfiguredClock) {
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kTimestamp;
+  std::uint64_t now = 777;
+  vc.clock = [&now] { return now; };
+  Verifier verifier(key(), vc, crypto::from_string("v-test"));
+  EXPECT_EQ(verifier.make_request().freshness, 777u);
+  now = 999;
+  EXPECT_EQ(verifier.make_request().freshness, 999u);
+}
+
+TEST(Verifier, TimestampWithoutClockThrows) {
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kTimestamp;
+  EXPECT_THROW(Verifier(key(), vc, crypto::from_string("v")),
+               std::invalid_argument);
+}
+
+TEST(Verifier, RequestsAreAuthenticatedByDefault) {
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  Verifier verifier(key(), vc, crypto::from_string("v-test"));
+  const AttestRequest req = verifier.make_request();
+  const auto mac = crypto::make_mac(req.mac_alg, key());
+  EXPECT_TRUE(mac->verify(req.header_bytes(), req.mac));
+}
+
+TEST(Verifier, UnauthenticatedModeOmitsMac) {
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  vc.authenticate_requests = false;
+  Verifier verifier(key(), vc, crypto::from_string("v-test"));
+  EXPECT_TRUE(verifier.make_request().mac.empty());
+}
+
+class VerifierResponseFixture : public ::testing::Test {
+ protected:
+  VerifierResponseFixture()
+      : verifier_(key(),
+                  [] {
+                    Verifier::Config vc;
+                    vc.scheme = FreshnessScheme::kCounter;
+                    return vc;
+                  }(),
+                  crypto::from_string("v-test")) {
+    verifier_.set_reference_memory(crypto::Bytes(128, 0x5a));
+  }
+
+  AttestResponse honest_response(const AttestRequest& req) {
+    // Recompute what an honest prover with matching memory would send.
+    crypto::Bytes message;
+    std::uint8_t word[8];
+    crypto::store_le64(word, req.challenge);
+    crypto::append(message, crypto::ByteView(word, 8));
+    crypto::store_le64(word, req.freshness);
+    crypto::append(message, crypto::ByteView(word, 8));
+    crypto::append(message, crypto::Bytes(128, 0x5a));
+    const auto mac = crypto::make_mac(req.mac_alg, key());
+    AttestResponse resp;
+    resp.freshness = req.freshness;
+    resp.measurement = mac->compute(message);
+    return resp;
+  }
+
+  Verifier verifier_;
+};
+
+TEST_F(VerifierResponseFixture, AcceptsHonestResponse) {
+  const AttestRequest req = verifier_.make_request();
+  EXPECT_TRUE(verifier_.check_response(req, honest_response(req)));
+}
+
+TEST_F(VerifierResponseFixture, RejectsFreshnessMismatch) {
+  const AttestRequest req = verifier_.make_request();
+  AttestResponse resp = honest_response(req);
+  resp.freshness += 1;
+  EXPECT_FALSE(verifier_.check_response(req, resp));
+}
+
+TEST_F(VerifierResponseFixture, RejectsWrongReferenceMemory) {
+  const AttestRequest req = verifier_.make_request();
+  const AttestResponse resp = honest_response(req);
+  verifier_.set_reference_memory(crypto::Bytes(128, 0x00));
+  EXPECT_FALSE(verifier_.check_response(req, resp));
+}
+
+TEST_F(VerifierResponseFixture, RejectsResponseForOtherRequest) {
+  const AttestRequest req1 = verifier_.make_request();
+  const AttestRequest req2 = verifier_.make_request();
+  EXPECT_FALSE(verifier_.check_response(req2, honest_response(req1)));
+}
+
+TEST_F(VerifierResponseFixture, RejectsEmptyMeasurement) {
+  const AttestRequest req = verifier_.make_request();
+  AttestResponse resp;
+  resp.freshness = req.freshness;
+  EXPECT_FALSE(verifier_.check_response(req, resp));
+}
+
+// Magic bytes of the five protocol messages must be pairwise distinct so
+// cross-parsing is impossible.
+TEST(WireMagics, CrossParsingRejected) {
+  AttestRequest areq;
+  areq.mac = crypto::Bytes(20, 0);
+  const auto attest_wire = areq.to_bytes();
+  EXPECT_FALSE(AttestResponse::from_bytes(attest_wire).has_value());
+  EXPECT_FALSE(SyncRequest::from_bytes(attest_wire).has_value());
+  EXPECT_FALSE(UpdateRequest::from_bytes(attest_wire).has_value());
+  EXPECT_FALSE(EraseRequest::from_bytes(attest_wire).has_value());
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,104 @@
+// Wire-format robustness: all protocol parsers must never crash, and
+// must either reject input or produce a value that re-serializes
+// faithfully, for random bytes, truncations, and bit flips of valid
+// messages.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/clock_sync.hpp"
+#include "ratt/attest/message.hpp"
+#include "ratt/attest/services.hpp"
+#include "ratt/crypto/drbg.hpp"
+
+namespace ratt::attest {
+namespace {
+
+class WireFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  crypto::HmacDrbg drbg_{crypto::from_string("wire-fuzz-" +
+                                             std::to_string(GetParam()))};
+
+  Bytes random_bytes(std::size_t max_len) {
+    const std::size_t len = drbg_.uniform(max_len + 1);
+    return drbg_.generate(len);
+  }
+};
+
+TEST_P(WireFuzz, RandomBytesNeverCrashParsers) {
+  for (int i = 0; i < 100; ++i) {
+    const Bytes junk = random_bytes(200);
+    // Parsed-or-rejected; if parsed, re-serialization is exact.
+    if (const auto req = AttestRequest::from_bytes(junk)) {
+      EXPECT_EQ(req->to_bytes(), junk);
+    }
+    if (const auto resp = AttestResponse::from_bytes(junk)) {
+      EXPECT_EQ(resp->to_bytes(), junk);
+    }
+    if (const auto sync = SyncRequest::from_bytes(junk)) {
+      EXPECT_EQ(sync->to_bytes(), junk);
+    }
+    if (const auto update = UpdateRequest::from_bytes(junk)) {
+      EXPECT_EQ(update->to_bytes(), junk);
+    }
+    if (const auto erase = EraseRequest::from_bytes(junk)) {
+      EXPECT_EQ(erase->to_bytes(), junk);
+    }
+  }
+}
+
+TEST_P(WireFuzz, TruncationsOfValidMessagesRejectOrRoundTrip) {
+  AttestRequest req;
+  req.scheme = FreshnessScheme::kCounter;
+  req.freshness = drbg_.uniform(~std::uint64_t{0});
+  req.challenge = drbg_.uniform(~std::uint64_t{0});
+  req.mac = drbg_.generate(20);
+  const Bytes wire = req.to_bytes();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto parsed = AttestRequest::from_bytes(
+        crypto::ByteView(wire).subspan(0, len));
+    if (parsed.has_value()) {
+      EXPECT_EQ(parsed->to_bytes().size(), len);
+    }
+  }
+  // The untruncated message parses back exactly.
+  const auto full = AttestRequest::from_bytes(wire);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, req);
+}
+
+TEST_P(WireFuzz, BitFlipsNeverCrashAndRoundTripWhenAccepted) {
+  UpdateRequest update;
+  update.version = 7;
+  update.target = 0x00010000;
+  update.challenge = 0x1234;
+  update.payload = drbg_.generate(32);
+  update.mac = drbg_.generate(20);
+  const Bytes wire = update.to_bytes();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes mutated = wire;
+    mutated[i] ^= static_cast<std::uint8_t>(1 + drbg_.uniform(255));
+    if (const auto parsed = UpdateRequest::from_bytes(mutated)) {
+      EXPECT_EQ(parsed->to_bytes(), mutated) << "flip at byte " << i;
+    }
+  }
+}
+
+TEST_P(WireFuzz, EraseRequestBitFlips) {
+  EraseRequest erase;
+  erase.sequence = 3;
+  erase.challenge = 9;
+  erase.region = hw::AddrRange{0x00120000, 0x00121000};
+  erase.mac = drbg_.generate(20);
+  const Bytes wire = erase.to_bytes();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes mutated = wire;
+    mutated[i] ^= 0xff;
+    if (const auto parsed = EraseRequest::from_bytes(mutated)) {
+      EXPECT_EQ(parsed->to_bytes(), mutated);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ratt::attest

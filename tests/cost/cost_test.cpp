@@ -1,0 +1,113 @@
+// Hardware cost model: every number in Table 3 and Sec. 6.3 re-derived.
+#include <gtest/gtest.h>
+
+#include "ratt/cost/cost.hpp"
+
+namespace ratt::cost {
+namespace {
+
+TEST(CostModel, EampuFormulaMatchesTable3) {
+  EXPECT_EQ(eampu_registers(0), 278u);
+  EXPECT_EQ(eampu_luts(0), 417u);
+  EXPECT_EQ(eampu_registers(2), 278u + 232u);
+  EXPECT_EQ(eampu_luts(2), 417u + 364u);
+}
+
+TEST(CostModel, ComponentLibraryMatchesTable3) {
+  EXPECT_EQ(siskiyou_peak().registers, 5528u);
+  EXPECT_EQ(siskiyou_peak().luts, 14361u);
+  EXPECT_EQ(siskiyou_peak().eampu_rules, 0u);
+  EXPECT_EQ(attest_key().eampu_rules, 1u);
+  EXPECT_EQ(counter_r().eampu_rules, 1u);
+  EXPECT_EQ(clock_64bit().registers, 64u);
+  EXPECT_EQ(clock_64bit().luts, 64u);
+  EXPECT_EQ(clock_32bit().registers, 32u);
+  EXPECT_EQ(clock_32bit().luts, 32u);
+  EXPECT_EQ(sw_clock().registers, 0u);
+  EXPECT_EQ(sw_clock().eampu_rules, 3u);  // Sec. 6.3 accounting
+}
+
+TEST(CostModel, BaselineMatchesSec63) {
+  const SystemCost base = baseline();
+  EXPECT_EQ(base.rules, 2u);
+  EXPECT_EQ(base.registers, 6038u);
+  EXPECT_EQ(base.luts, 15142u);
+}
+
+TEST(CostModel, Clock64OverheadMatchesSec63) {
+  const Overhead o = overhead_vs(with_clock_64bit(), baseline());
+  EXPECT_EQ(o.extra_registers, 180u);  // 116 + 64
+  EXPECT_EQ(o.extra_luts, 246u);       // 182 + 64
+  EXPECT_NEAR(o.register_pct, 2.98, 0.005);
+  EXPECT_NEAR(o.lut_pct, 1.62, 0.005);
+}
+
+TEST(CostModel, Clock32OverheadMatchesSec63) {
+  const Overhead o = overhead_vs(with_clock_32bit(), baseline());
+  EXPECT_EQ(o.extra_registers, 148u);  // 116 + 32
+  EXPECT_EQ(o.extra_luts, 214u);       // 182 + 32
+  EXPECT_NEAR(o.register_pct, 2.45, 0.005);
+  EXPECT_NEAR(o.lut_pct, 1.41, 0.005);
+}
+
+TEST(CostModel, SwClockOverheadMatchesSec63) {
+  const Overhead o = overhead_vs(with_sw_clock(), baseline());
+  EXPECT_EQ(o.extra_registers, 348u);  // 116 * 3
+  EXPECT_EQ(o.extra_luts, 546u);       // 182 * 3
+  EXPECT_NEAR(o.register_pct, 5.76, 0.005);
+  EXPECT_NEAR(o.lut_pct, 3.61, 0.005);
+}
+
+TEST(CostModel, CostOrderingMatchesPaperConclusion) {
+  // 32-bit < 64-bit < SW-clock in added registers; SW-clock trades
+  // hardware for EA-MPU rules and software complexity.
+  const auto base = baseline();
+  const auto c32 = overhead_vs(with_clock_32bit(), base);
+  const auto c64 = overhead_vs(with_clock_64bit(), base);
+  const auto sw = overhead_vs(with_sw_clock(), base);
+  EXPECT_LT(c32.extra_registers, c64.extra_registers);
+  EXPECT_LT(c64.extra_registers, sw.extra_registers);
+  EXPECT_LT(c32.extra_luts, c64.extra_luts);
+  EXPECT_LT(c64.extra_luts, sw.extra_luts);
+}
+
+TEST(CostModel, ComposeSumsRulesBeforeSizingEampu) {
+  const SystemCost sys = compose(
+      "test", {siskiyou_peak(), attest_key(), counter_r()});
+  EXPECT_EQ(sys.rules, 2u);
+  EXPECT_EQ(sys.registers, 5528u + eampu_registers(2));
+}
+
+TEST(WrapAround, Matches64BitLifetimeClaim) {
+  // "a 64 bit register incremented every clock cycle wraps around after
+  // 24,372.6 years on a 24 Mhz CPU".
+  const double years =
+      seconds_to_years(wraparound_seconds(64, 24e6, 1));
+  EXPECT_NEAR(years, 24372.6, 1.0);
+}
+
+TEST(WrapAround, Matches32BitThreeMinuteClaim) {
+  // "given a 32 bit register, the wrap-around time is about 3 minutes".
+  const double seconds = wraparound_seconds(32, 24e6, 1);
+  EXPECT_NEAR(seconds / 60.0, 3.0, 0.05);
+}
+
+TEST(WrapAround, Matches32BitDividerClaims) {
+  // "By dividing the clock by 2^20 ... wrap-around can be increased to 6
+  // years while keeping clock resolution at 42 ms." The exact arithmetic
+  // gives 5.95 years and 43.7 ms; the paper rounds.
+  const double years =
+      seconds_to_years(wraparound_seconds(32, 24e6, std::uint64_t{1} << 20));
+  EXPECT_NEAR(years, 6.0, 0.1);
+  EXPECT_NEAR(resolution_ms(24e6, std::uint64_t{1} << 20), 43.7, 0.1);
+}
+
+TEST(WrapAround, ScalesWithClockRate) {
+  EXPECT_NEAR(wraparound_seconds(32, 48e6, 1),
+              wraparound_seconds(32, 24e6, 1) / 2.0, 1e-9);
+  EXPECT_NEAR(wraparound_seconds(32, 24e6, 2),
+              wraparound_seconds(32, 24e6, 1) * 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ratt::cost

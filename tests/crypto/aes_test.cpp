@@ -1,0 +1,78 @@
+// AES-128 vectors from FIPS 197 Appendix C and NIST SP 800-38A.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/aes128.hpp"
+#include "ratt/crypto/bytes.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+Aes128::Block block_from_hex(std::string_view hex) {
+  const Bytes raw = from_hex(hex);
+  Aes128::Block b{};
+  std::copy(raw.begin(), raw.end(), b.begin());
+  return b;
+}
+
+std::string block_to_hex(const Aes128::Block& b) {
+  return to_hex(ByteView(b.data(), b.size()));
+}
+
+TEST(Aes128, Fips197AppendixC) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto ct =
+      aes.encrypt_block(block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(block_to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Sp800_38aEcbVectors) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  struct {
+    const char* pt;
+    const char* ct;
+  } vectors[] = {
+      {"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (const auto& v : vectors) {
+    EXPECT_EQ(block_to_hex(aes.encrypt_block(block_from_hex(v.pt))), v.ct);
+    EXPECT_EQ(block_to_hex(aes.decrypt_block(block_from_hex(v.ct))), v.pt);
+  }
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  Aes128::Block pt{};
+  for (int trial = 0; trial < 64; ++trial) {
+    for (auto& b : pt) b = static_cast<std::uint8_t>(b * 3 + trial + 1);
+    EXPECT_EQ(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+  }
+}
+
+TEST(Aes128, RejectsWrongKeySize) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes128(Bytes(17, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes128(Bytes{}), std::invalid_argument);
+}
+
+TEST(Aes128, KeyAffectsAllOutputBits) {
+  // Flipping one key bit changes roughly half the ciphertext bits.
+  const Bytes key1 = from_hex("000102030405060708090a0b0c0d0e0f");
+  Bytes key2 = key1;
+  key2[0] ^= 0x01;
+  const Aes128 a(key1), b(key2);
+  const auto pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const auto c1 = a.encrypt_block(pt);
+  const auto c2 = b.encrypt_block(pt);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(c1[i] ^ c2[i]));
+  }
+  EXPECT_GT(differing_bits, 32);  // avalanche: expect ~64 of 128
+  EXPECT_LT(differing_bits, 96);
+}
+
+}  // namespace
+}  // namespace ratt::crypto

@@ -1,0 +1,132 @@
+// CBC mode (NIST SP 800-38A vectors) and length-prepended CBC-MAC
+// properties.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/aes128.hpp"
+#include "ratt/crypto/block_modes.hpp"
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/speck.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+Aes128::Block aes_block(std::string_view hex) {
+  const Bytes raw = from_hex(hex);
+  Aes128::Block b{};
+  std::copy(raw.begin(), raw.end(), b.begin());
+  return b;
+}
+
+TEST(CbcMode, Sp800_38aAes128Encrypt) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto iv = aes_block("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes expected = from_hex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7");
+  EXPECT_EQ(cbc_encrypt(aes, iv, pt), expected);
+}
+
+TEST(CbcMode, Sp800_38aAes128Decrypt) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto iv = aes_block("000102030405060708090a0b0c0d0e0f");
+  const Bytes ct = from_hex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2");
+  const Bytes expected = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  EXPECT_EQ(cbc_decrypt(aes, iv, ct), expected);
+}
+
+TEST(CbcMode, RoundTripSpeck) {
+  const Speck64_128 speck(from_hex("000102030405060708090a0b0c0d0e0f"));
+  Speck64_128::Block iv{};
+  iv[0] = 0x55;
+  Bytes pt(64);
+  for (std::size_t i = 0; i < pt.size(); ++i) {
+    pt[i] = static_cast<std::uint8_t>(i * 17);
+  }
+  const Bytes ct = cbc_encrypt(speck, iv, pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(cbc_decrypt(speck, iv, ct), pt);
+}
+
+TEST(CbcMode, RejectsUnalignedInput) {
+  const Aes128 aes(Bytes(16, 0));
+  const Aes128::Block iv{};
+  EXPECT_THROW(cbc_encrypt(aes, iv, Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(cbc_decrypt(aes, iv, Bytes(17, 0)), std::invalid_argument);
+}
+
+TEST(CbcMode, IdenticalBlocksProduceDistinctCiphertext) {
+  // CBC chaining means repeated plaintext blocks do not repeat in the
+  // ciphertext (unlike ECB).
+  const Aes128 aes(Bytes(16, 0x11));
+  const Aes128::Block iv{};
+  const Bytes pt(48, 0xab);  // three identical blocks
+  const Bytes ct = cbc_encrypt(aes, iv, pt);
+  EXPECT_NE(Bytes(ct.begin(), ct.begin() + 16),
+            Bytes(ct.begin() + 16, ct.begin() + 32));
+  EXPECT_NE(Bytes(ct.begin() + 16, ct.begin() + 32),
+            Bytes(ct.begin() + 32, ct.end()));
+}
+
+TEST(CbcMac, DeterministicAndKeyed) {
+  const Aes128 k1(Bytes(16, 0x01));
+  const Aes128 k2(Bytes(16, 0x02));
+  const Bytes msg = from_string("attestation request payload");
+  EXPECT_EQ(cbc_mac(k1, msg), cbc_mac(k1, msg));
+  EXPECT_NE(cbc_mac(k1, msg), cbc_mac(k2, msg));
+}
+
+TEST(CbcMac, LengthPrependingSeparatesPrefixes) {
+  // Without length prepending, MAC(m) would be extendable; with it, a
+  // message and its zero-padded extension have different tags.
+  const Aes128 aes(Bytes(16, 0x42));
+  const Bytes short_msg(16, 0x00);
+  const Bytes long_msg(32, 0x00);
+  EXPECT_NE(cbc_mac(aes, short_msg), cbc_mac(aes, long_msg));
+}
+
+TEST(CbcMac, EmptyMessageHasTag) {
+  const Speck64_128 speck(Bytes(16, 0x07));
+  const auto tag = cbc_mac(speck, Bytes{});
+  // Still keyed: the zero-length tag differs across keys.
+  const Speck64_128 other(Bytes(16, 0x08));
+  EXPECT_NE(tag, cbc_mac(other, Bytes{}));
+}
+
+TEST(CbcMac, UnalignedTailIsPadded) {
+  const Aes128 aes(Bytes(16, 0x42));
+  const Bytes a = from_string("17-byte message!!");
+  const Bytes b = from_string("17-byte message!!\0");  // NB: same 17 chars
+  ASSERT_EQ(a.size(), 17u);
+  const auto tag_a = cbc_mac(aes, a);
+  // Zero-padding plus length-prepend means a message that *explicitly*
+  // contains the pad bytes still MACs differently (length differs).
+  Bytes padded = a;
+  padded.resize(32, 0x00);
+  EXPECT_NE(tag_a, cbc_mac(aes, padded));
+  (void)b;
+}
+
+TEST(CbcMac, SingleBitFlipChangesTag) {
+  const Speck64_128 speck(Bytes(16, 0x07));
+  Bytes msg(24, 0x5a);
+  const auto tag = cbc_mac(speck, msg);
+  for (std::size_t i = 0; i < msg.size(); i += 5) {
+    Bytes tampered = msg;
+    tampered[i] ^= 0x01;
+    EXPECT_NE(tag, cbc_mac(speck, tampered)) << "flip at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ratt::crypto

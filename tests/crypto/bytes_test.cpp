@@ -1,0 +1,90 @@
+// Byte utilities: hex codec and endian load/store.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/ct.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(to_hex(data), "00017f80ff");
+  EXPECT_EQ(from_hex("00017f80ff"), data);
+}
+
+TEST(Hex, UpperCaseAccepted) {
+  EXPECT_EQ(from_hex("DEADBEEF"), from_hex("deadbeef"));
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Hex, Empty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Endian, Be32RoundTrip) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+}
+
+TEST(Endian, Le32RoundTrip) {
+  std::uint8_t buf[4];
+  store_le32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(load_le32(buf), 0x01020304u);
+}
+
+TEST(Endian, Be64RoundTrip) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ull);
+}
+
+TEST(Endian, Le64RoundTrip) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ull);
+}
+
+TEST(CtEqual, EqualAndUnequal) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+}
+
+TEST(CtEqual, LengthMismatch) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2};
+  EXPECT_FALSE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(b, a));
+}
+
+TEST(CtEqual, Empty) { EXPECT_TRUE(ct_equal({}, {})); }
+
+TEST(Append, Concatenates) {
+  Bytes out = {1, 2};
+  append(out, Bytes{3, 4});
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace ratt::crypto

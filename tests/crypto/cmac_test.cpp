@@ -1,0 +1,131 @@
+// AES-CMAC vectors from RFC 4493 / NIST SP 800-38B, plus Speck-CMAC
+// properties and the Mac-interface integration.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/aes128.hpp"
+#include "ratt/crypto/cmac.hpp"
+#include "ratt/crypto/mac.hpp"
+#include "ratt/crypto/speck.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+const Bytes& rfc_key() {
+  static const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  return key;
+}
+
+std::string aes_cmac_hex(ByteView msg) {
+  const Aes128 aes(rfc_key());
+  const auto tag = cmac(aes, msg);
+  return to_hex(ByteView(tag.data(), tag.size()));
+}
+
+TEST(AesCmac, Rfc4493SubkeyGeneration) {
+  const Aes128 aes(rfc_key());
+  const auto keys = cmac_subkeys(aes);
+  EXPECT_EQ(to_hex(ByteView(keys.k1.data(), keys.k1.size())),
+            "fbeed618357133667c85e08f7236a8de");
+  EXPECT_EQ(to_hex(ByteView(keys.k2.data(), keys.k2.size())),
+            "f7ddac306ae266ccf90bc11ee46d513b");
+}
+
+TEST(AesCmac, Rfc4493EmptyMessage) {
+  EXPECT_EQ(aes_cmac_hex({}), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(AesCmac, Rfc4493OneBlock) {
+  EXPECT_EQ(aes_cmac_hex(from_hex("6bc1bee22e409f96e93d7e117393172a")),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(AesCmac, Rfc4493PartialSecondBlock) {
+  // 40 bytes: 2.5 blocks, exercises the padded-final-block path.
+  EXPECT_EQ(aes_cmac_hex(from_hex(
+                "6bc1bee22e409f96e93d7e117393172a"
+                "ae2d8a571e03ac9c9eb76fac45af8e51"
+                "30c81c46a35ce411")),
+            "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(AesCmac, Rfc4493FourBlocks) {
+  EXPECT_EQ(aes_cmac_hex(from_hex(
+                "6bc1bee22e409f96e93d7e117393172a"
+                "ae2d8a571e03ac9c9eb76fac45af8e51"
+                "30c81c46a35ce411e5fbc1191a0a52ef"
+                "f69f2445df4f9b17ad2b417be66c3710")),
+            "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(SpeckCmac, KeyedAndDeterministic) {
+  const Speck64_128 a(Bytes(16, 0x01));
+  const Speck64_128 b(Bytes(16, 0x02));
+  const Bytes msg = from_string("attestation request");
+  EXPECT_EQ(cmac(a, msg), cmac(a, msg));
+  EXPECT_NE(cmac(a, msg), cmac(b, msg));
+}
+
+TEST(SpeckCmac, PaddingDomainSeparation) {
+  // A complete final block and its 10..0-padded prefix must differ (the
+  // K1/K2 separation). For an 8-byte block: "12345678" vs "1234567".
+  const Speck64_128 speck(Bytes(16, 0x42));
+  const auto full = cmac(speck, from_string("12345678"));
+  const auto prefix = cmac(speck, from_string("1234567"));
+  EXPECT_NE(full, prefix);
+  // Explicit padding must also differ from implicit: "1234567\x80" padded
+  // manually is a *complete* block, so it uses K1 not K2.
+  Bytes manual = from_string("1234567");
+  manual.push_back(0x80);
+  EXPECT_NE(cmac(speck, manual), prefix);
+}
+
+TEST(SpeckCmac, BitFlipsChangeTag) {
+  const Speck64_128 speck(Bytes(16, 0x07));
+  Bytes msg(23, 0x33);
+  const auto tag = cmac(speck, msg);
+  for (std::size_t i = 0; i < msg.size(); i += 3) {
+    Bytes tampered = msg;
+    tampered[i] ^= 0x10;
+    EXPECT_NE(tag, cmac(speck, tampered)) << "byte " << i;
+  }
+}
+
+TEST(CmacMacInterface, FactoryAndRoundTrip) {
+  const Bytes key(16, 0x5a);
+  for (auto alg : {MacAlgorithm::kAesCmac, MacAlgorithm::kSpeckCmac}) {
+    const auto mac = make_mac(alg, key);
+    EXPECT_EQ(mac->algorithm(), alg);
+    const Bytes msg = from_string("hello cmac");
+    const Bytes tag = mac->compute(msg);
+    EXPECT_EQ(tag.size(), mac->tag_size());
+    EXPECT_TRUE(mac->verify(msg, tag));
+    Bytes bad = tag;
+    bad[0] ^= 1;
+    EXPECT_FALSE(mac->verify(msg, bad));
+  }
+  EXPECT_EQ(make_aes_cmac(key)->tag_size(), 16u);
+  EXPECT_EQ(make_speck_cmac(key)->tag_size(), 8u);
+  EXPECT_EQ(to_string(MacAlgorithm::kAesCmac), "AES-128-CMAC");
+  EXPECT_EQ(to_string(MacAlgorithm::kSpeckCmac), "Speck-64/128-CMAC");
+}
+
+TEST(CmacMacInterface, MatchesRawCmac) {
+  const Bytes msg = from_string("cross-check");
+  const auto mac = make_aes_cmac(rfc_key());
+  const Aes128 aes(rfc_key());
+  const auto raw = cmac(aes, msg);
+  EXPECT_EQ(mac->compute(msg), Bytes(raw.begin(), raw.end()));
+}
+
+TEST(GfDouble, KnownDoubling) {
+  // gf_double of L from the RFC subkey test: MSB of L is 0 -> plain shift.
+  std::array<std::uint8_t, 16> l{};
+  const Bytes l_bytes = from_hex("7df76b0c1ab899b33e42f047b91b546f");
+  std::copy(l_bytes.begin(), l_bytes.end(), l.begin());
+  const auto k1 = detail::gf_double<16>(l);
+  EXPECT_EQ(to_hex(ByteView(k1.data(), k1.size())),
+            "fbeed618357133667c85e08f7236a8de");
+}
+
+}  // namespace
+}  // namespace ratt::crypto

@@ -1,0 +1,105 @@
+// HMAC-DRBG determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/drbg.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+TEST(HmacDrbg, DeterministicFromSeed) {
+  HmacDrbg a(from_string("seed"));
+  HmacDrbg b(from_string("seed"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(HmacDrbg, DifferentSeedsDiverge) {
+  HmacDrbg a(from_string("seed-a"));
+  HmacDrbg b(from_string("seed-b"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, SequentialOutputsDiffer) {
+  HmacDrbg d(from_string("seed"));
+  const Bytes first = d.generate(32);
+  const Bytes second = d.generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, ChunkingChangesStream) {
+  // NIST HMAC-DRBG reseeds internal state after every generate() call, so
+  // generate(16)+generate(16) differs from generate(32). Both must still be
+  // deterministic.
+  HmacDrbg a(from_string("seed"));
+  HmacDrbg b(from_string("seed"));
+  Bytes chunked = a.generate(16);
+  append(chunked, a.generate(16));
+  const Bytes whole = b.generate(32);
+  EXPECT_EQ(chunked.size(), whole.size());
+  EXPECT_NE(chunked, whole);
+}
+
+TEST(HmacDrbg, ReseedChangesOutput) {
+  HmacDrbg a(from_string("seed"));
+  HmacDrbg b(from_string("seed"));
+  b.reseed(from_string("extra entropy"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(HmacDrbg, GenerateZeroBytes) {
+  HmacDrbg d(from_string("seed"));
+  EXPECT_TRUE(d.generate(0).empty());
+}
+
+TEST(HmacDrbg, GenerateLargeRequest) {
+  HmacDrbg d(from_string("seed"));
+  const Bytes big = d.generate(1000);
+  EXPECT_EQ(big.size(), 1000u);
+  // Non-degenerate: not all identical bytes.
+  EXPECT_NE(big, Bytes(1000, big[0]));
+}
+
+TEST(HmacDrbg, UniformStaysInBound) {
+  HmacDrbg d(from_string("seed"));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(d.uniform(17), 17u);
+  }
+}
+
+TEST(HmacDrbg, UniformBoundOne) {
+  HmacDrbg d(from_string("seed"));
+  EXPECT_EQ(d.uniform(1), 0u);
+}
+
+TEST(HmacDrbg, UniformRejectsZeroBound) {
+  HmacDrbg d(from_string("seed"));
+  EXPECT_THROW(d.uniform(0), std::invalid_argument);
+}
+
+TEST(HmacDrbg, UniformCoversRange) {
+  HmacDrbg d(from_string("seed"));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(d.uniform(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values hit in 400 draws
+}
+
+TEST(HmacDrbg, PowerOfTwoBoundIsUnbiased) {
+  // For a power-of-two bound the mask path accepts every draw; check the
+  // histogram is not wildly skewed.
+  HmacDrbg d(from_string("histogram-seed"));
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 2000; ++i) {
+    ++counts[d.uniform(4)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 350);
+    EXPECT_LT(c, 650);
+  }
+}
+
+}  // namespace
+}  // namespace ratt::crypto

@@ -1,0 +1,116 @@
+// SEC1 point encoding: round trips, compression, validation of untrusted
+// input, and the Fp160 square root backing decompression.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/drbg.hpp"
+#include "ratt/crypto/ec.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+TEST(Fp160Sqrt, SquareRootsRoundTrip) {
+  HmacDrbg drbg(from_string("sqrt-seed"));
+  for (int i = 0; i < 20; ++i) {
+    const Fp160 a(U160::from_bytes_be(drbg.generate(U160::kBytes)));
+    const Fp160 square = a.squared();
+    const auto root = square.sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_EQ(root->squared(), square);
+  }
+}
+
+TEST(Fp160Sqrt, ZeroAndOne) {
+  EXPECT_EQ(Fp160().sqrt().value(), Fp160());
+  const auto one = Fp160(std::uint64_t{1}).sqrt();
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->squared(), Fp160(std::uint64_t{1}));
+}
+
+TEST(Fp160Sqrt, NonResidueRejected) {
+  // Exactly one of {a, -a} is a residue for a != 0 (p = 3 mod 4).
+  const Fp160 a(std::uint64_t{12345});
+  const bool a_has = a.sqrt().has_value();
+  const bool neg_has = a.negated().sqrt().has_value();
+  EXPECT_NE(a_has, neg_has);
+}
+
+TEST(Sec1Encoding, UncompressedRoundTrip) {
+  const EcPoint g = Secp160r1::generator();
+  const Bytes wire = g.encode(/*compressed=*/false);
+  ASSERT_EQ(wire.size(), 41u);
+  EXPECT_EQ(wire[0], 0x04);
+  const auto decoded = EcPoint::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, g);
+}
+
+TEST(Sec1Encoding, CompressedRoundTrip) {
+  HmacDrbg drbg(from_string("sec1-seed"));
+  for (int i = 0; i < 10; ++i) {
+    Bytes raw = drbg.generate(U192::kBytes);
+    raw[0] = raw[1] = raw[2] = raw[3] = 0;
+    const EcPoint p = Secp160r1::scalar_mul_base(U192::from_bytes_be(raw));
+    const Bytes wire = p.encode(/*compressed=*/true);
+    ASSERT_EQ(wire.size(), 21u);
+    EXPECT_TRUE(wire[0] == 0x02 || wire[0] == 0x03);
+    const auto decoded = EcPoint::decode(wire);
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+TEST(Sec1Encoding, InfinityRoundTrip) {
+  const EcPoint inf;
+  EXPECT_EQ(inf.encode(), Bytes{0x00});
+  const auto decoded = EcPoint::decode(Bytes{0x00});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->infinity);
+}
+
+TEST(Sec1Encoding, RejectsOffCurvePoint) {
+  // Tamper with a valid uncompressed encoding's y coordinate.
+  Bytes wire = Secp160r1::generator().encode(false);
+  wire[40] ^= 0x01;
+  EXPECT_FALSE(EcPoint::decode(wire).has_value());
+}
+
+TEST(Sec1Encoding, RejectsMalformedInput) {
+  EXPECT_FALSE(EcPoint::decode(Bytes{}).has_value());
+  EXPECT_FALSE(EcPoint::decode(Bytes{0x05}).has_value());
+  EXPECT_FALSE(EcPoint::decode(Bytes(21, 0x04)).has_value());  // wrong tag
+  EXPECT_FALSE(EcPoint::decode(Bytes(40, 0x04)).has_value());  // short
+  EXPECT_FALSE(EcPoint::decode(Bytes(42, 0x04)).has_value());  // long
+}
+
+TEST(Sec1Encoding, RejectsNonCanonicalCoordinates) {
+  // x >= p is not a valid field-element encoding.
+  Bytes wire(21, 0xff);
+  wire[0] = 0x02;
+  EXPECT_FALSE(EcPoint::decode(wire).has_value());
+}
+
+TEST(Sec1Encoding, CompressionParityMatters) {
+  const EcPoint g = Secp160r1::generator();
+  Bytes wire = g.encode(true);
+  // Flip the parity byte: decodes to the *negated* point.
+  wire[0] = (wire[0] == 0x02) ? 0x03 : 0x02;
+  const auto decoded = EcPoint::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->x, g.x);
+  EXPECT_EQ(decoded->y, g.y.negated());
+  EXPECT_TRUE(Secp160r1::on_curve(*decoded));
+}
+
+TEST(Sec1Encoding, CompressedXWithNoCurvePointRejected) {
+  // Find an x with no curve point (about half of all x fail); x = 1..k.
+  bool found_reject = false;
+  for (std::uint64_t x = 1; x < 20 && !found_reject; ++x) {
+    Bytes wire = Bytes{0x02};
+    crypto::append(wire, U160(x).to_bytes_be());
+    if (!EcPoint::decode(wire).has_value()) found_reject = true;
+  }
+  EXPECT_TRUE(found_reject);
+}
+
+}  // namespace
+}  // namespace ratt::crypto

@@ -1,0 +1,144 @@
+// GF(p) arithmetic for p = 2^160 - 2^31 - 1: edge values around the
+// modulus plus field-axiom property sweeps.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/drbg.hpp"
+#include "ratt/crypto/fp160.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+Fp160 rand_fp(HmacDrbg& drbg) {
+  return Fp160(U160::from_bytes_be(drbg.generate(U160::kBytes)));
+}
+
+TEST(Fp160, ModulusValue) {
+  // p = 2^160 - 2^31 - 1
+  EXPECT_EQ(Fp160::modulus().to_hex(),
+            "ffffffffffffffffffffffffffffffff7fffffff");
+}
+
+TEST(Fp160, ConstructionReduces) {
+  const Fp160 p_as_element(Fp160::modulus());
+  EXPECT_TRUE(p_as_element.is_zero());
+  // p + 5 reduces to 5
+  const Fp160 v(Fp160::modulus() + U160(5));
+  EXPECT_EQ(v, Fp160(std::uint64_t{5}));
+}
+
+TEST(Fp160, AddWrapsAtModulus) {
+  const Fp160 p_minus_1(Fp160::modulus() - U160(1));
+  EXPECT_TRUE((p_minus_1 + Fp160(std::uint64_t{1})).is_zero());
+  EXPECT_EQ(p_minus_1 + Fp160(std::uint64_t{2}), Fp160(std::uint64_t{1}));
+}
+
+TEST(Fp160, SubWrapsBelowZero) {
+  const Fp160 zero;
+  const Fp160 one(std::uint64_t{1});
+  EXPECT_EQ(zero - one, Fp160(Fp160::modulus() - U160(1)));
+}
+
+TEST(Fp160, NegatedSumsToZero) {
+  const Fp160 v(std::uint64_t{123456789});
+  EXPECT_TRUE((v + v.negated()).is_zero());
+  EXPECT_TRUE(Fp160().negated().is_zero());
+}
+
+TEST(Fp160, MulIdentityAndZero) {
+  const Fp160 v(std::uint64_t{987654321});
+  EXPECT_EQ(v * Fp160(std::uint64_t{1}), v);
+  EXPECT_TRUE((v * Fp160()).is_zero());
+}
+
+TEST(Fp160, MulKnownReduction) {
+  // (2^159)^2 = 2^318; 2^318 mod p computed independently:
+  // 2^160 ≡ 2^31 + 1, so 2^318 = 2^158 · 2^160 ≡ 2^158·(2^31+1)
+  //   = 2^189 + 2^158 ≡ (2^29)(2^160) + 2^158 ≡ 2^29(2^31+1) + 2^158
+  //   = 2^60 + 2^29 + 2^158.
+  const Fp160 two_159 = Fp160(U160(1).shifted_left(159));
+  const Fp160 got = two_159.squared();
+  const Fp160 expected = Fp160(U160(1).shifted_left(158)) +
+                         Fp160((std::uint64_t{1} << 60) |
+                               (std::uint64_t{1} << 29));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Fp160, InverseOfOne) {
+  const Fp160 one(std::uint64_t{1});
+  EXPECT_EQ(one.inverse(), one);
+}
+
+TEST(Fp160, InverseOfZeroThrows) {
+  EXPECT_THROW(Fp160().inverse(), std::domain_error);
+}
+
+TEST(Fp160, PowMatchesRepeatedMul) {
+  const Fp160 base(std::uint64_t{7});
+  Fp160 acc(std::uint64_t{1});
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(base.pow(U160(static_cast<std::uint64_t>(e))), acc)
+        << "exponent " << e;
+    acc = acc * base;
+  }
+}
+
+TEST(Fp160, FermatLittleTheorem) {
+  // a^(p-1) = 1 for a != 0
+  const Fp160 a(std::uint64_t{0xdeadbeef});
+  EXPECT_EQ(a.pow(Fp160::modulus() - U160(1)), Fp160(std::uint64_t{1}));
+}
+
+class Fp160Properties : public ::testing::TestWithParam<int> {
+ protected:
+  HmacDrbg drbg_{from_string("fp160-prop-seed-" +
+                             std::to_string(GetParam()))};
+};
+
+TEST_P(Fp160Properties, AddCommutesAndAssociates) {
+  const Fp160 a = rand_fp(drbg_);
+  const Fp160 b = rand_fp(drbg_);
+  const Fp160 c = rand_fp(drbg_);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(Fp160Properties, MulCommutesAndAssociates) {
+  const Fp160 a = rand_fp(drbg_);
+  const Fp160 b = rand_fp(drbg_);
+  const Fp160 c = rand_fp(drbg_);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST_P(Fp160Properties, Distributivity) {
+  const Fp160 a = rand_fp(drbg_);
+  const Fp160 b = rand_fp(drbg_);
+  const Fp160 c = rand_fp(drbg_);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+TEST_P(Fp160Properties, InverseIsInverse) {
+  Fp160 a = rand_fp(drbg_);
+  if (a.is_zero()) a = Fp160(std::uint64_t{1});
+  EXPECT_EQ(a * a.inverse(), Fp160(std::uint64_t{1}));
+  EXPECT_EQ(a.inverse().inverse(), a);
+}
+
+TEST_P(Fp160Properties, SubIsAddOfNegation) {
+  const Fp160 a = rand_fp(drbg_);
+  const Fp160 b = rand_fp(drbg_);
+  EXPECT_EQ(a - b, a + b.negated());
+}
+
+TEST_P(Fp160Properties, ValuesStayReduced) {
+  const Fp160 a = rand_fp(drbg_);
+  const Fp160 b = rand_fp(drbg_);
+  EXPECT_LT((a * b).value(), Fp160::modulus());
+  EXPECT_LT((a + b).value(), Fp160::modulus());
+  EXPECT_LT((a - b).value(), Fp160::modulus());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fp160Properties, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace ratt::crypto

@@ -1,0 +1,72 @@
+// HKDF (RFC 5869) official test vectors and the purpose-key derivation
+// used for protocol domain separation.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/hkdf.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+// RFC 5869 A.1 — basic test case with SHA-256.
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 A.2 — longer inputs/outputs (multi-block expand).
+TEST(Hkdf, Rfc5869Case2) {
+  Bytes ikm;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  Bytes salt;
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  Bytes info;
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+  const Bytes okm = hkdf(salt, ikm, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+// RFC 5869 A.3 — empty salt and info.
+TEST(Hkdf, Rfc5869Case3) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthLimit) {
+  const Bytes prk = hkdf_extract({}, from_string("key"));
+  EXPECT_NO_THROW(hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+  EXPECT_TRUE(hkdf_expand(prk, {}, 0).empty());
+}
+
+TEST(PurposeKeys, DistinctPerPurpose) {
+  const Bytes master = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes svc = derive_purpose_key(master, "device-services");
+  const Bytes sync = derive_purpose_key(master, "clock-sync");
+  EXPECT_EQ(svc.size(), 16u);
+  EXPECT_EQ(sync.size(), 16u);
+  EXPECT_NE(svc, sync);
+  EXPECT_NE(svc, master);
+  // Deterministic.
+  EXPECT_EQ(svc, derive_purpose_key(master, "device-services"));
+  // Different master -> different keys.
+  Bytes other = master;
+  other[0] ^= 1;
+  EXPECT_NE(svc, derive_purpose_key(other, "device-services"));
+}
+
+}  // namespace
+}  // namespace ratt::crypto

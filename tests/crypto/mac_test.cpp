@@ -1,0 +1,107 @@
+// The polymorphic Mac interface used by the attestation layer.
+#include <gtest/gtest.h>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/hmac.hpp"
+#include "ratt/crypto/mac.hpp"
+#include "ratt/crypto/sha1.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+class MacInterface : public ::testing::TestWithParam<MacAlgorithm> {
+ protected:
+  Bytes key_ = from_hex("000102030405060708090a0b0c0d0e0f");
+};
+
+TEST_P(MacInterface, ComputeVerifyRoundTrip) {
+  const auto mac = make_mac(GetParam(), key_);
+  const Bytes msg = from_string("attestation request");
+  const Bytes tag = mac->compute(msg);
+  EXPECT_EQ(tag.size(), mac->tag_size());
+  EXPECT_TRUE(mac->verify(msg, tag));
+}
+
+TEST_P(MacInterface, RejectsTamperedMessage) {
+  const auto mac = make_mac(GetParam(), key_);
+  const Bytes msg = from_string("attestation request");
+  const Bytes tag = mac->compute(msg);
+  Bytes tampered = msg;
+  tampered[0] ^= 0x01;
+  EXPECT_FALSE(mac->verify(tampered, tag));
+}
+
+TEST_P(MacInterface, RejectsTamperedTag) {
+  const auto mac = make_mac(GetParam(), key_);
+  const Bytes msg = from_string("attestation request");
+  Bytes tag = mac->compute(msg);
+  for (std::size_t i = 0; i < tag.size(); ++i) {
+    Bytes bad = tag;
+    bad[i] ^= 0x80;
+    EXPECT_FALSE(mac->verify(msg, bad)) << "byte " << i;
+  }
+}
+
+TEST_P(MacInterface, RejectsTruncatedTag) {
+  const auto mac = make_mac(GetParam(), key_);
+  const Bytes msg = from_string("attestation request");
+  const Bytes tag = mac->compute(msg);
+  const Bytes truncated(tag.begin(), tag.end() - 1);
+  EXPECT_FALSE(mac->verify(msg, truncated));
+  EXPECT_FALSE(mac->verify(msg, Bytes{}));
+}
+
+TEST_P(MacInterface, DifferentKeysDisagree) {
+  const auto mac1 = make_mac(GetParam(), key_);
+  Bytes other_key = key_;
+  other_key[15] ^= 0xff;
+  const auto mac2 = make_mac(GetParam(), other_key);
+  const Bytes msg = from_string("attestation request");
+  EXPECT_NE(mac1->compute(msg), mac2->compute(msg));
+}
+
+TEST_P(MacInterface, AlgorithmIdRoundTrips) {
+  const auto mac = make_mac(GetParam(), key_);
+  EXPECT_EQ(mac->algorithm(), GetParam());
+  EXPECT_FALSE(to_string(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MacInterface,
+                         ::testing::Values(MacAlgorithm::kHmacSha1,
+                                           MacAlgorithm::kAesCbcMac,
+                                           MacAlgorithm::kSpeckCbcMac,
+                                           MacAlgorithm::kAesCmac,
+                                           MacAlgorithm::kSpeckCmac),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MacAlgorithm::kHmacSha1:
+                               return "HmacSha1";
+                             case MacAlgorithm::kAesCbcMac:
+                               return "AesCbcMac";
+                             case MacAlgorithm::kSpeckCbcMac:
+                               return "SpeckCbcMac";
+                             case MacAlgorithm::kAesCmac:
+                               return "AesCmac";
+                             case MacAlgorithm::kSpeckCmac:
+                               return "SpeckCmac";
+                           }
+                           return "unknown";
+                         });
+
+TEST(MacFactories, TagSizes) {
+  const Bytes key(16, 0x01);
+  EXPECT_EQ(make_hmac_sha1(key)->tag_size(), 20u);
+  EXPECT_EQ(make_aes_cbc_mac(key)->tag_size(), 16u);
+  EXPECT_EQ(make_speck_cbc_mac(key)->tag_size(), 8u);
+}
+
+TEST(MacFactories, HmacSha1MatchesRawHmac) {
+  const Bytes key = from_string("Jefe");
+  const Bytes msg = from_string("what do ya want for nothing?");
+  const auto mac = make_hmac_sha1(key);
+  const auto raw = Hmac<Sha1>::mac(key, msg);
+  EXPECT_EQ(mac->compute(msg), Bytes(raw.begin(), raw.end()));
+}
+
+}  // namespace
+}  // namespace ratt::crypto

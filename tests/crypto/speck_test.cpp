@@ -1,0 +1,87 @@
+// Speck 64/128 vector from the SIMON/SPECK implementation guide
+// (Beaulieu et al.), plus inversion and avalanche properties.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/speck.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+Speck64_128::Block block_from_hex(std::string_view hex) {
+  const Bytes raw = from_hex(hex);
+  Speck64_128::Block b{};
+  std::copy(raw.begin(), raw.end(), b.begin());
+  return b;
+}
+
+std::string block_to_hex(const Speck64_128::Block& b) {
+  return to_hex(ByteView(b.data(), b.size()));
+}
+
+// Official Speck64/128 vector (Beaulieu et al., ePrint 2013/404):
+// key words (l2,l1,l0,k0) = (1b1a1918, 13121110, 0b0a0908, 03020100);
+// plaintext words (x,y) = (3b726574, 7475432d);
+// ciphertext words = (8c6fa548, 454e028b).
+TEST(Speck64_128, OfficialVector) {
+  const Bytes key = from_hex("000102030809" "0a0b" "10111213" "18191a1b");
+  const Speck64_128 speck(key);
+  const auto ct = speck.encrypt_block(block_from_hex("2d4375747465723b"));
+  EXPECT_EQ(block_to_hex(ct), "8b024e4548a56f8c");
+}
+
+TEST(Speck64_128, OfficialVectorDecrypt) {
+  const Bytes key = from_hex("000102030809" "0a0b" "10111213" "18191a1b");
+  const Speck64_128 speck(key);
+  const auto pt = speck.decrypt_block(block_from_hex("8b024e4548a56f8c"));
+  EXPECT_EQ(block_to_hex(pt), "2d4375747465723b");
+}
+
+TEST(Speck64_128, DecryptInvertsEncrypt) {
+  const Speck64_128 speck(from_hex("00112233445566778899aabbccddeeff"));
+  Speck64_128::Block pt{};
+  for (int trial = 0; trial < 64; ++trial) {
+    for (auto& b : pt) b = static_cast<std::uint8_t>(b * 5 + trial + 3);
+    EXPECT_EQ(speck.decrypt_block(speck.encrypt_block(pt)), pt);
+  }
+}
+
+TEST(Speck64_128, RejectsWrongKeySize) {
+  EXPECT_THROW(Speck64_128(Bytes(8, 0)), std::invalid_argument);
+  EXPECT_THROW(Speck64_128(Bytes(32, 0)), std::invalid_argument);
+}
+
+TEST(Speck64_128, KeyAvalanche) {
+  const Bytes key1 = from_hex("000102030405060708090a0b0c0d0e0f");
+  Bytes key2 = key1;
+  key2[15] ^= 0x80;
+  const Speck64_128 a(key1), b(key2);
+  const auto pt = block_from_hex("0011223344556677");
+  const auto c1 = a.encrypt_block(pt);
+  const auto c2 = b.encrypt_block(pt);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(c1[i] ^ c2[i]));
+  }
+  EXPECT_GT(differing_bits, 12);  // avalanche: expect ~32 of 64
+  EXPECT_LT(differing_bits, 52);
+}
+
+TEST(Speck64_128, PlaintextAvalanche) {
+  const Speck64_128 speck(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto pt1 = block_from_hex("0000000000000000");
+  const auto pt2 = block_from_hex("0000000000000001");
+  const auto c1 = speck.encrypt_block(pt1);
+  const auto c2 = speck.encrypt_block(pt2);
+  EXPECT_NE(c1, c2);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(c1[i] ^ c2[i]));
+  }
+  EXPECT_GT(differing_bits, 12);
+}
+
+}  // namespace
+}  // namespace ratt::crypto

@@ -1,0 +1,51 @@
+// AddrRange interval algebra.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/addr.hpp"
+
+namespace ratt::hw {
+namespace {
+
+TEST(AddrRange, ContainsAddr) {
+  const AddrRange r{0x1000, 0x2000};
+  EXPECT_TRUE(r.contains(0x1000));
+  EXPECT_TRUE(r.contains(0x1fff));
+  EXPECT_FALSE(r.contains(0x0fff));
+  EXPECT_FALSE(r.contains(0x2000));  // half-open
+}
+
+TEST(AddrRange, SizeAndEmpty) {
+  EXPECT_EQ((AddrRange{0x1000, 0x2000}).size(), 0x1000u);
+  EXPECT_TRUE((AddrRange{}).empty());
+  EXPECT_TRUE((AddrRange{5, 5}).empty());
+  EXPECT_TRUE((AddrRange{6, 5}).empty());
+  EXPECT_FALSE((AddrRange{5, 6}).empty());
+}
+
+TEST(AddrRange, ContainsRange) {
+  const AddrRange r{0x1000, 0x2000};
+  EXPECT_TRUE(r.contains(AddrRange{0x1000, 0x2000}));
+  EXPECT_TRUE(r.contains(AddrRange{0x1800, 0x1900}));
+  EXPECT_FALSE(r.contains(AddrRange{0x0fff, 0x1800}));
+  EXPECT_FALSE(r.contains(AddrRange{0x1800, 0x2001}));
+  // Empty ranges are never "contained".
+  EXPECT_FALSE(r.contains(AddrRange{0x1800, 0x1800}));
+}
+
+TEST(AddrRange, Overlaps) {
+  const AddrRange r{0x1000, 0x2000};
+  EXPECT_TRUE(r.overlaps(AddrRange{0x1fff, 0x3000}));
+  EXPECT_TRUE(r.overlaps(AddrRange{0x0000, 0x1001}));
+  EXPECT_TRUE(r.overlaps(AddrRange{0x1400, 0x1500}));
+  EXPECT_FALSE(r.overlaps(AddrRange{0x2000, 0x3000}));  // adjacent
+  EXPECT_FALSE(r.overlaps(AddrRange{0x0000, 0x1000}));  // adjacent
+  EXPECT_FALSE(r.overlaps(AddrRange{0x1500, 0x1500}));  // empty
+}
+
+TEST(AddrRange, ToString) {
+  EXPECT_EQ(to_string(AddrRange{0x1000, 0x2000}),
+            "0x00001000-0x00002000");
+}
+
+}  // namespace
+}  // namespace ratt::hw

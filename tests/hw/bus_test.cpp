@@ -1,0 +1,209 @@
+// Memory bus: decoding, region kinds, word access, fault logging, MMIO
+// dispatch, and access-controller integration.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/bus.hpp"
+
+namespace ratt::hw {
+namespace {
+
+constexpr AccessContext kAnyPc{0x100};
+
+class BusFixture : public ::testing::Test {
+ protected:
+  BusFixture() {
+    bus_.map_storage("rom", MemoryKind::kRom, AddrRange{0x0000, 0x1000});
+    bus_.map_storage("ram", MemoryKind::kRam, AddrRange{0x1000, 0x2000});
+    bus_.map_storage("flash", MemoryKind::kFlash, AddrRange{0x2000, 0x3000});
+  }
+  MemoryBus bus_;
+};
+
+TEST_F(BusFixture, RamReadWriteRoundTrip) {
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x1234, 0xab), BusStatus::kOk);
+  std::uint8_t v = 0;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x1234, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xab);
+}
+
+TEST_F(BusFixture, MemoryIsZeroInitialized) {
+  std::uint8_t v = 0xff;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x1000, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0x00);
+}
+
+TEST_F(BusFixture, RomRejectsWrites) {
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x0010, 0x42), BusStatus::kReadOnly);
+  std::uint8_t v = 0xff;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x0010, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0x00);  // unchanged
+}
+
+TEST_F(BusFixture, FlashIsWritable) {
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x2abc, 0x7e), BusStatus::kOk);
+  std::uint8_t v = 0;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x2abc, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0x7e);
+}
+
+TEST_F(BusFixture, UnmappedAccessFails) {
+  std::uint8_t v = 0;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x9999, v), BusStatus::kUnmapped);
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x9999, 1), BusStatus::kUnmapped);
+}
+
+TEST_F(BusFixture, Word32RoundTripLittleEndian) {
+  EXPECT_EQ(bus_.write32(kAnyPc, 0x1100, 0x01020304u), BusStatus::kOk);
+  std::uint8_t b = 0;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x1100, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0x04);  // little-endian low byte first
+  std::uint32_t w = 0;
+  EXPECT_EQ(bus_.read32(kAnyPc, 0x1100, w), BusStatus::kOk);
+  EXPECT_EQ(w, 0x01020304u);
+}
+
+TEST_F(BusFixture, Word64RoundTrip) {
+  EXPECT_EQ(bus_.write64(kAnyPc, 0x1200, 0x1122334455667788ull),
+            BusStatus::kOk);
+  std::uint64_t w = 0;
+  EXPECT_EQ(bus_.read64(kAnyPc, 0x1200, w), BusStatus::kOk);
+  EXPECT_EQ(w, 0x1122334455667788ull);
+}
+
+TEST_F(BusFixture, WordAccessSpanningUnmappedFails) {
+  std::uint32_t w = 0;
+  // 0x0ffe..0x1002 crosses rom->ram boundary: fine. 0x2ffe crosses into
+  // unmapped space: fails.
+  EXPECT_EQ(bus_.read32(kAnyPc, 0x0ffe, w), BusStatus::kOk);
+  EXPECT_EQ(bus_.read32(kAnyPc, 0x2ffe, w), BusStatus::kUnmapped);
+}
+
+TEST_F(BusFixture, BlockReadWrite) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  EXPECT_EQ(bus_.write_block(kAnyPc, 0x1800, data), BusStatus::kOk);
+  Bytes out(5);
+  EXPECT_EQ(bus_.read_block(kAnyPc, 0x1800, out), BusStatus::kOk);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(BusFixture, FaultsAreLogged) {
+  bus_.clear_faults();
+  std::uint8_t v = 0;
+  (void)bus_.read8(AccessContext{0x42}, 0x9999, v);
+  (void)bus_.write8(AccessContext{0x43}, 0x0000, 1);
+  ASSERT_EQ(bus_.faults().size(), 2u);
+  EXPECT_EQ(bus_.faults()[0].pc, 0x42u);
+  EXPECT_EQ(bus_.faults()[0].addr, 0x9999u);
+  EXPECT_EQ(bus_.faults()[0].status, BusStatus::kUnmapped);
+  EXPECT_EQ(bus_.faults()[1].status, BusStatus::kReadOnly);
+  EXPECT_EQ(bus_.faults()[1].type, AccessType::kWrite);
+  bus_.clear_faults();
+  EXPECT_TRUE(bus_.faults().empty());
+}
+
+TEST_F(BusFixture, OverlappingRegionRejected) {
+  EXPECT_THROW(
+      bus_.map_storage("bad", MemoryKind::kRam, AddrRange{0x0800, 0x1800}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bus_.map_storage("bad2", MemoryKind::kRam, AddrRange{0x500, 0x500}),
+      std::invalid_argument);
+}
+
+TEST_F(BusFixture, RegionIntrospection) {
+  const auto* info = bus_.region_at(0x1500);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "ram");
+  EXPECT_EQ(info->kind, MemoryKind::kRam);
+  EXPECT_EQ(bus_.region_at(0x9999), nullptr);
+  EXPECT_EQ(bus_.regions().size(), 3u);
+}
+
+TEST_F(BusFixture, LoadInitialBypassesRomProtection) {
+  const Bytes rom_image = {0xde, 0xad, 0xbe, 0xef};
+  bus_.load_initial(0x0100, rom_image);
+  Bytes out(4);
+  EXPECT_EQ(bus_.read_block(kAnyPc, 0x0100, out), BusStatus::kOk);
+  EXPECT_EQ(out, rom_image);
+}
+
+TEST_F(BusFixture, LoadInitialRejectsUnmapped) {
+  EXPECT_THROW(bus_.load_initial(0x9000, Bytes{1}), std::invalid_argument);
+}
+
+// A scripted MMIO device for dispatch tests.
+class ScratchDevice final : public MmioDevice {
+ public:
+  std::string name() const override { return "scratch"; }
+  std::uint8_t read(Addr offset) override {
+    last_read_offset = offset;
+    return static_cast<std::uint8_t>(0xa0 + offset);
+  }
+  bool write(Addr offset, std::uint8_t value) override {
+    if (offset == 0) return false;  // register 0 is read-only
+    last_write_offset = offset;
+    last_write_value = value;
+    return true;
+  }
+  Addr last_read_offset = 0xffff;
+  Addr last_write_offset = 0xffff;
+  std::uint8_t last_write_value = 0;
+};
+
+TEST_F(BusFixture, MmioDispatchUsesOffsets) {
+  ScratchDevice dev;
+  bus_.map_device("scratch", AddrRange{0x4000, 0x4010}, dev);
+  std::uint8_t v = 0;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x4003, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xa3);
+  EXPECT_EQ(dev.last_read_offset, 3u);
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x4005, 0x66), BusStatus::kOk);
+  EXPECT_EQ(dev.last_write_offset, 5u);
+  EXPECT_EQ(dev.last_write_value, 0x66);
+}
+
+TEST_F(BusFixture, MmioReadOnlyRegisterSurfacesAsReadOnly) {
+  ScratchDevice dev;
+  bus_.map_device("scratch", AddrRange{0x4000, 0x4010}, dev);
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x4000, 0x11), BusStatus::kReadOnly);
+  ASSERT_FALSE(bus_.faults().empty());
+  EXPECT_EQ(bus_.faults().back().status, BusStatus::kReadOnly);
+}
+
+TEST_F(BusFixture, LoadInitialRejectsMmio) {
+  ScratchDevice dev;
+  bus_.map_device("scratch", AddrRange{0x4000, 0x4010}, dev);
+  EXPECT_THROW(bus_.load_initial(0x4000, Bytes{1}), std::invalid_argument);
+}
+
+// Deny-everything controller to exercise the policy hook.
+class DenyAll final : public AccessController {
+ public:
+  bool allows(const AccessContext&, AccessType, Addr) const override {
+    return false;
+  }
+};
+
+TEST_F(BusFixture, AccessControllerConsulted) {
+  DenyAll deny;
+  bus_.set_access_controller(&deny);
+  std::uint8_t v = 0;
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x1000, v), BusStatus::kDenied);
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x1000, 1), BusStatus::kDenied);
+  // Hardware context bypasses the controller.
+  EXPECT_EQ(bus_.read8(AccessContext{kHardwarePc}, 0x1000, v),
+            BusStatus::kOk);
+  bus_.set_access_controller(nullptr);
+  EXPECT_EQ(bus_.read8(kAnyPc, 0x1000, v), BusStatus::kOk);
+}
+
+TEST_F(BusFixture, RomCheckPrecedesController) {
+  // A ROM write is kReadOnly even when the controller would deny: the
+  // hardware write-protect sits in front of the MPU.
+  DenyAll deny;
+  bus_.set_access_controller(&deny);
+  EXPECT_EQ(bus_.write8(kAnyPc, 0x0000, 1), BusStatus::kReadOnly);
+}
+
+}  // namespace
+}  // namespace ratt::hw

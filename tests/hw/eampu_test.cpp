@@ -1,0 +1,205 @@
+// EA-MPU decision logic, lockdown semantics, and the memory-mapped
+// configuration port — the protection primitive of Sec. 6.1-6.2.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/eampu.hpp"
+
+namespace ratt::hw {
+namespace {
+
+// Canonical regions used throughout: trusted code, untrusted code, secret.
+constexpr AddrRange kTrustedCode{0x0000, 0x0100};
+constexpr AddrRange kUntrustedCode{0x8000, 0x9000};
+constexpr AddrRange kSecret{0x2000, 0x2014};  // e.g. a 20-byte K_Attest
+
+constexpr AccessContext kTrustedPc{0x0010};
+constexpr AccessContext kUntrustedPc{0x8500};
+
+EampuRule secret_rule() {
+  EampuRule r;
+  r.code = kTrustedCode;
+  r.data = kSecret;
+  r.allow_read = true;
+  r.allow_write = false;
+  r.active = true;
+  r.label = "k-attest";
+  return r;
+}
+
+TEST(EaMpu, UncoveredMemoryIsOpen) {
+  EaMpu mpu(4);
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kRead, 0x5000));
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x5000));
+  EXPECT_FALSE(mpu.covered(0x5000));
+}
+
+TEST(EaMpu, RuleGrantsOnlyNamedCodeRegion) {
+  EaMpu mpu(4);
+  ASSERT_TRUE(mpu.set_rule(0, secret_rule()));
+  EXPECT_TRUE(mpu.covered(0x2000));
+  // Trusted code may read (rule grants R).
+  EXPECT_TRUE(mpu.allows(kTrustedPc, AccessType::kRead, 0x2000));
+  // Trusted code may NOT write (rule withholds W — key is non-malleable
+  // even for Code_Attest).
+  EXPECT_FALSE(mpu.allows(kTrustedPc, AccessType::kWrite, 0x2000));
+  // Untrusted code gets nothing.
+  EXPECT_FALSE(mpu.allows(kUntrustedPc, AccessType::kRead, 0x2000));
+  EXPECT_FALSE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x2000));
+}
+
+TEST(EaMpu, RuleBoundariesAreExact) {
+  EaMpu mpu(4);
+  ASSERT_TRUE(mpu.set_rule(0, secret_rule()));
+  // One byte before/after the protected range is open.
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x1fff));
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x2014));
+  EXPECT_FALSE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x2013));
+  // PC boundary: last trusted address qualifies, first beyond does not.
+  EXPECT_TRUE(mpu.allows(AccessContext{0x00ff}, AccessType::kRead, 0x2000));
+  EXPECT_FALSE(mpu.allows(AccessContext{0x0100}, AccessType::kRead, 0x2000));
+}
+
+TEST(EaMpu, MultipleRulesUnionPermissions) {
+  // Two code regions may access the same data with different permissions.
+  EaMpu mpu(4);
+  ASSERT_TRUE(mpu.set_rule(0, secret_rule()));  // trusted: R
+  EampuRule writer = secret_rule();
+  writer.code = kUntrustedCode;
+  writer.allow_read = false;
+  writer.allow_write = true;
+  ASSERT_TRUE(mpu.set_rule(1, writer));  // untrusted: W (contrived)
+  EXPECT_TRUE(mpu.allows(kTrustedPc, AccessType::kRead, 0x2001));
+  EXPECT_FALSE(mpu.allows(kTrustedPc, AccessType::kWrite, 0x2001));
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x2001));
+  EXPECT_FALSE(mpu.allows(kUntrustedPc, AccessType::kRead, 0x2001));
+}
+
+TEST(EaMpu, EmptyCodeRangeDeniesEveryone) {
+  // Covering data with a rule nobody matches = write-lock for all software
+  // (used for the IDT lockdown).
+  EaMpu mpu(4);
+  EampuRule lockdown;
+  lockdown.code = AddrRange{};  // empty
+  lockdown.data = AddrRange{0x3000, 0x3020};
+  lockdown.active = true;
+  ASSERT_TRUE(mpu.set_rule(0, lockdown));
+  EXPECT_FALSE(mpu.allows(kTrustedPc, AccessType::kWrite, 0x3000));
+  EXPECT_FALSE(mpu.allows(kUntrustedPc, AccessType::kRead, 0x3010));
+}
+
+TEST(EaMpu, InactiveRulesIgnored) {
+  EaMpu mpu(4);
+  EampuRule r = secret_rule();
+  r.active = false;
+  ASSERT_TRUE(mpu.set_rule(0, r));
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x2000));
+  EXPECT_EQ(mpu.active_rules(), 0u);
+}
+
+TEST(EaMpu, LockdownFreezesRules) {
+  EaMpu mpu(4);
+  ASSERT_TRUE(mpu.set_rule(0, secret_rule()));
+  mpu.lock();
+  EXPECT_TRUE(mpu.locked());
+  EXPECT_FALSE(mpu.set_rule(1, secret_rule()));
+  EXPECT_FALSE(mpu.clear_rule(0));
+  // Policy still enforced after lock.
+  EXPECT_FALSE(mpu.allows(kUntrustedPc, AccessType::kRead, 0x2000));
+}
+
+TEST(EaMpu, RuleIndexOutOfRange) {
+  EaMpu mpu(2);
+  EXPECT_FALSE(mpu.set_rule(2, secret_rule()));
+  EXPECT_FALSE(mpu.clear_rule(7));
+  EXPECT_EQ(mpu.capacity(), 2u);
+}
+
+TEST(EaMpu, ClearRuleReopensMemory) {
+  EaMpu mpu(4);
+  ASSERT_TRUE(mpu.set_rule(0, secret_rule()));
+  ASSERT_TRUE(mpu.clear_rule(0));
+  EXPECT_TRUE(mpu.allows(kUntrustedPc, AccessType::kWrite, 0x2000));
+}
+
+// --- Config port ------------------------------------------------------
+
+class ConfigPortFixture : public ::testing::Test {
+ protected:
+  void write_le32(Addr offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(port_.write(offset + i, static_cast<std::uint8_t>(v >> (8 * i))));
+    }
+  }
+
+  void program_rule(std::size_t index, const EampuRule& r) {
+    const Addr base = EaMpuConfigPort::kRulesOffset +
+                      static_cast<Addr>(index * EaMpuConfigPort::kRuleStride);
+    write_le32(base + 0, r.code.begin);
+    write_le32(base + 4, r.code.end);
+    write_le32(base + 8, r.data.begin);
+    write_le32(base + 12, r.data.end);
+    std::uint32_t flags = 0;
+    if (r.allow_read) flags |= 1;
+    if (r.allow_write) flags |= 2;
+    if (r.active) flags |= 4;
+    write_le32(base + 16, flags);
+  }
+
+  EaMpu mpu_{4};
+  EaMpuConfigPort port_{mpu_};
+};
+
+TEST_F(ConfigPortFixture, ProgramsRulesThroughRegisters) {
+  program_rule(0, secret_rule());
+  EXPECT_EQ(mpu_.active_rules(), 1u);
+  EXPECT_TRUE(mpu_.allows(kTrustedPc, AccessType::kRead, 0x2000));
+  EXPECT_FALSE(mpu_.allows(kUntrustedPc, AccessType::kRead, 0x2000));
+  const auto& r = mpu_.rule(0);
+  EXPECT_EQ(r.code, kTrustedCode);
+  EXPECT_EQ(r.data, kSecret);
+  EXPECT_TRUE(r.allow_read);
+  EXPECT_FALSE(r.allow_write);
+}
+
+TEST_F(ConfigPortFixture, ReadBackMatchesWrites) {
+  program_rule(1, secret_rule());
+  const Addr base =
+      EaMpuConfigPort::kRulesOffset + EaMpuConfigPort::kRuleStride;
+  std::uint32_t code_begin = 0;
+  for (int i = 0; i < 4; ++i) {
+    code_begin |= std::uint32_t{port_.read(base + i)} << (8 * i);
+  }
+  EXPECT_EQ(code_begin, kTrustedCode.begin);
+}
+
+TEST_F(ConfigPortFixture, LockRegisterEngagesAndSticks) {
+  program_rule(0, secret_rule());
+  EXPECT_EQ(port_.read(EaMpuConfigPort::kLockOffset), 0);
+  ASSERT_TRUE(port_.write(EaMpuConfigPort::kLockOffset, 1));
+  EXPECT_TRUE(mpu_.locked());
+  EXPECT_EQ(port_.read(EaMpuConfigPort::kLockOffset), 1);
+  // All further writes — including to the lock register — fail.
+  EXPECT_FALSE(port_.write(EaMpuConfigPort::kLockOffset, 0));
+  EXPECT_FALSE(port_.write(EaMpuConfigPort::kRulesOffset, 0xff));
+  // Rule unchanged.
+  EXPECT_TRUE(mpu_.allows(kTrustedPc, AccessType::kRead, 0x2000));
+}
+
+TEST_F(ConfigPortFixture, WriteZeroToLockIsNoOp) {
+  ASSERT_TRUE(port_.write(EaMpuConfigPort::kLockOffset, 0));
+  EXPECT_FALSE(mpu_.locked());
+}
+
+TEST_F(ConfigPortFixture, OutOfWindowWriteFails) {
+  EXPECT_FALSE(port_.write(port_.window_size(), 1));
+  EXPECT_EQ(port_.read(port_.window_size() + 10), 0);
+}
+
+TEST_F(ConfigPortFixture, WindowSizeCoversAllRules) {
+  EXPECT_EQ(port_.window_size(),
+            EaMpuConfigPort::kRulesOffset +
+                4 * EaMpuConfigPort::kRuleStride);
+}
+
+}  // namespace
+}  // namespace ratt::hw

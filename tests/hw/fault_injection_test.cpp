@@ -1,0 +1,92 @@
+// Transient-fault injection: the trust anchor and services must fail
+// closed (no partial responses, no corrupted state acceptance) when the
+// bus sporadically faults.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::hw {
+namespace {
+
+/// Wraps another controller and force-denies every Nth access.
+class FaultInjector final : public AccessController {
+ public:
+  FaultInjector(const AccessController* inner, std::uint64_t period)
+      : inner_(inner), period_(period) {}
+
+  bool allows(const AccessContext& ctx, AccessType type,
+              Addr addr) const override {
+    if (++counter_ % period_ == 0) return false;  // transient fault
+    return inner_ == nullptr || inner_->allows(ctx, type, addr);
+  }
+
+ private:
+  const AccessController* inner_;
+  std::uint64_t period_;
+  mutable std::uint64_t counter_ = 0;
+};
+
+crypto::Bytes key() {
+  return crypto::from_hex("202122232425262728292a2b2c2d2e2f");
+}
+
+TEST(FaultInjection, AnchorFailsClosedUnderSporadicFaults) {
+  attest::ProverConfig config;
+  config.scheme = attest::FreshnessScheme::kCounter;
+  config.measured_bytes = 1024;
+  attest::ProverDevice prover(config, key(),
+                              crypto::from_string("fault-app"));
+  attest::Verifier::Config vc;
+  vc.scheme = attest::FreshnessScheme::kCounter;
+  attest::Verifier verifier(key(), vc, crypto::from_string("fault-vrf"));
+  verifier.set_reference_memory(prover.reference_memory());
+
+  // Inject a fault every 301st access (prime-ish: hits different phases
+  // of the measurement each round).
+  FaultInjector injector(&prover.mcu().mpu(), 301);
+  prover.mcu().bus().set_access_controller(&injector);
+
+  int ok = 0;
+  int failed_closed = 0;
+  for (int round = 0; round < 20; ++round) {
+    const auto req = verifier.make_request();
+    const auto out = prover.handle(req);
+    if (out.status == attest::AttestStatus::kOk) {
+      // Success must mean a *valid* response, never a corrupted one.
+      EXPECT_TRUE(verifier.check_response(req, out.response))
+          << "round " << round;
+      ++ok;
+    } else {
+      // Anything else must be an explicit fault status with no response.
+      EXPECT_TRUE(out.status == attest::AttestStatus::kKeyUnreadable ||
+                  out.status == attest::AttestStatus::kMeasurementFault ||
+                  out.status == attest::AttestStatus::kNotFresh)
+          << attest::to_string(out.status);
+      EXPECT_TRUE(out.response.measurement.empty());
+      ++failed_closed;
+    }
+  }
+  // With a 1/301 fault rate over ~1 KB reads, both outcomes occur.
+  EXPECT_GT(failed_closed, 0);
+  EXPECT_GT(ok + failed_closed, 19);
+}
+
+TEST(FaultInjection, EveryAccessFaultingStopsEverything) {
+  attest::ProverConfig config;
+  config.scheme = attest::FreshnessScheme::kCounter;
+  config.measured_bytes = 256;
+  attest::ProverDevice prover(config, key(),
+                              crypto::from_string("fault-app-2"));
+  FaultInjector deny_all(nullptr, 1);
+  prover.mcu().bus().set_access_controller(&deny_all);
+
+  attest::AttestRequest req;
+  req.scheme = attest::FreshnessScheme::kCounter;
+  req.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  const auto out = prover.handle(req);
+  EXPECT_EQ(out.status, attest::AttestStatus::kKeyUnreadable);
+}
+
+}  // namespace
+}  // namespace ratt::hw

@@ -1,0 +1,117 @@
+// NOR-flash semantics: erased state, program-clears-bits, block erase,
+// and EA-MPU enforcement on erase operations.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/bus.hpp"
+#include "ratt/hw/eampu.hpp"
+
+namespace ratt::hw {
+namespace {
+
+constexpr AccessContext kAnyPc{0x100};
+
+class FlashFixture : public ::testing::Test {
+ protected:
+  FlashFixture() {
+    bus_.map_storage("flash", MemoryKind::kFlash,
+                     AddrRange{0x10000, 0x20000});
+    bus_.map_storage("ram", MemoryKind::kRam, AddrRange{0x30000, 0x31000});
+  }
+  MemoryBus bus_;
+};
+
+TEST_F(FlashFixture, PowersUpErased) {
+  std::uint8_t v = 0;
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10000, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xff);
+}
+
+TEST_F(FlashFixture, ProgramClearsBitsOnly) {
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10000, 0x0f), BusStatus::kOk);
+  std::uint8_t v = 0;
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10000, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0x0f);
+  // A second program can clear more bits but never set them.
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10000, 0xf3), BusStatus::kOk);
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10000, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0x0f & 0xf3);
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10000, 0xff), BusStatus::kOk);
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10000, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0x0f & 0xf3);  // unchanged: all-ones program is a no-op
+}
+
+TEST_F(FlashFixture, EraseRestoresBlock) {
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10010, 0x00), BusStatus::kOk);
+  ASSERT_EQ(bus_.erase_flash_block(kAnyPc, 0x10010), BusStatus::kOk);
+  std::uint8_t v = 0;
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10010, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xff);
+}
+
+TEST_F(FlashFixture, EraseIsBlockGranular) {
+  // Program a byte in block 0 and one in block 1; erasing block 0 leaves
+  // block 1 untouched.
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10000, 0x00), BusStatus::kOk);
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x11000, 0x00), BusStatus::kOk);
+  ASSERT_EQ(bus_.erase_flash_block(kAnyPc, 0x10abc), BusStatus::kOk);
+  std::uint8_t block0 = 0;
+  std::uint8_t block1 = 0;
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10000, block0), BusStatus::kOk);
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x11000, block1), BusStatus::kOk);
+  EXPECT_EQ(block0, 0xff);
+  EXPECT_EQ(block1, 0x00);
+}
+
+TEST_F(FlashFixture, EraseRejectsNonFlash) {
+  EXPECT_EQ(bus_.erase_flash_block(kAnyPc, 0x30000), BusStatus::kReadOnly);
+  EXPECT_EQ(bus_.erase_flash_block(kAnyPc, 0x99999), BusStatus::kUnmapped);
+  ASSERT_FALSE(bus_.faults().empty());
+}
+
+TEST_F(FlashFixture, RewriteRequiresErase) {
+  // The services-layer motivation: writing "BB" over "AA" without erase
+  // yields the AND, not the new value.
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10020, 0xAA), BusStatus::kOk);
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10020, 0xBB), BusStatus::kOk);
+  std::uint8_t v = 0;
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10020, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xAA & 0xBB);
+  ASSERT_EQ(bus_.erase_flash_block(kAnyPc, 0x10020), BusStatus::kOk);
+  ASSERT_EQ(bus_.write8(kAnyPc, 0x10020, 0xBB), BusStatus::kOk);
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10020, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xBB);
+}
+
+TEST_F(FlashFixture, EaMpuGovernsErase) {
+  // A rule protecting part of a block blocks erasing that block from
+  // unauthorized code (erase would destroy protected bytes).
+  EaMpu mpu(2);
+  EampuRule rule;
+  rule.code = AddrRange{0x0000, 0x0100};  // trusted region only
+  rule.data = AddrRange{0x10800, 0x10900};
+  rule.allow_read = true;
+  rule.allow_write = true;
+  rule.active = true;
+  ASSERT_TRUE(mpu.set_rule(0, rule));
+  bus_.set_access_controller(&mpu);
+
+  EXPECT_EQ(bus_.erase_flash_block(AccessContext{0x9000}, 0x10000),
+            BusStatus::kDenied);  // untrusted: block contains protected bytes
+  EXPECT_EQ(bus_.erase_flash_block(AccessContext{0x0010}, 0x10000),
+            BusStatus::kOk);  // trusted code may
+  // Blocks with no protected bytes stay open to everyone.
+  EXPECT_EQ(bus_.erase_flash_block(AccessContext{0x9000}, 0x11000),
+            BusStatus::kOk);
+}
+
+TEST_F(FlashFixture, LoadInitialBypassesNorSemantics) {
+  // Provisioning writes exact bytes regardless of current cell state.
+  bus_.load_initial(0x10040, Bytes{0x00});
+  bus_.load_initial(0x10040, Bytes{0xA5});
+  std::uint8_t v = 0;
+  ASSERT_EQ(bus_.read8(kAnyPc, 0x10040, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xA5);
+}
+
+}  // namespace
+}  // namespace ratt::hw

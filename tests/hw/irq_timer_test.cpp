@@ -1,0 +1,206 @@
+// Interrupt controller (IDT in RAM, masking, dispatch) and timer devices.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/irq.hpp"
+#include "ratt/hw/timer.hpp"
+
+namespace ratt::hw {
+namespace {
+
+constexpr AccessContext kSoftwarePc{0x100};
+
+class IrqFixture : public ::testing::Test {
+ protected:
+  IrqFixture() : irq_(bus_, 0x1000, 8) {
+    bus_.map_storage("ram", MemoryKind::kRam, AddrRange{0x1000, 0x2000});
+  }
+  MemoryBus bus_;
+  InterruptController irq_;
+};
+
+TEST_F(IrqFixture, DispatchRunsRegisteredHandler) {
+  int runs = 0;
+  irq_.register_native_handler(0xAA00, [&] { ++runs; });
+  ASSERT_EQ(irq_.install(kSoftwarePc, 3, 0xAA00), BusStatus::kOk);
+  EXPECT_TRUE(irq_.raise(3));
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(irq_.raise(3));
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(irq_.stats().delivered, 2u);
+}
+
+TEST_F(IrqFixture, UnregisteredEntryLosesInterrupt) {
+  ASSERT_EQ(irq_.install(kSoftwarePc, 1, 0xBEEF), BusStatus::kOk);
+  EXPECT_FALSE(irq_.raise(1));
+  EXPECT_EQ(irq_.stats().lost_bad_entry, 1u);
+}
+
+TEST_F(IrqFixture, ClobberedIdtEntryStopsHandler) {
+  // This is the Adv_roam IDT attack surface: overwrite the entry and the
+  // handler silently stops running.
+  int runs = 0;
+  irq_.register_native_handler(0xAA00, [&] { ++runs; });
+  ASSERT_EQ(irq_.install(kSoftwarePc, 0, 0xAA00), BusStatus::kOk);
+  EXPECT_TRUE(irq_.raise(0));
+  // Malware rewrites IDT[0] directly in RAM.
+  ASSERT_EQ(bus_.write32(kSoftwarePc, 0x1000, 0xDEAD), BusStatus::kOk);
+  EXPECT_FALSE(irq_.raise(0));
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(irq_.stats().lost_bad_entry, 1u);
+}
+
+TEST_F(IrqFixture, MaskingDropsInterrupts) {
+  int runs = 0;
+  irq_.register_native_handler(0xAA00, [&] { ++runs; });
+  ASSERT_EQ(irq_.install(kSoftwarePc, 2, 0xAA00), BusStatus::kOk);
+  irq_.set_mask(1u << 2);
+  EXPECT_FALSE(irq_.raise(2));
+  EXPECT_EQ(runs, 0);
+  EXPECT_EQ(irq_.stats().dropped_masked, 1u);
+  irq_.set_mask(0);
+  EXPECT_TRUE(irq_.raise(2));
+  EXPECT_EQ(runs, 1);
+}
+
+TEST_F(IrqFixture, MaskPortReadWrite) {
+  IrqMaskPort port(irq_);
+  EXPECT_TRUE(port.write(0, 0x05));
+  EXPECT_EQ(irq_.mask(), 0x05u);
+  EXPECT_EQ(port.read(0), 0x05);
+  EXPECT_TRUE(port.write(1, 0x01));
+  EXPECT_EQ(irq_.mask(), 0x0105u);
+  EXPECT_FALSE(port.write(4, 1));
+}
+
+TEST_F(IrqFixture, VectorOutOfRange) {
+  EXPECT_FALSE(irq_.raise(8));
+  EXPECT_EQ(irq_.install(kSoftwarePc, 8, 0xAA00), BusStatus::kUnmapped);
+}
+
+TEST_F(IrqFixture, IdtRangeIsExposed) {
+  EXPECT_EQ(irq_.idt_range(), (AddrRange{0x1000, 0x1020}));
+}
+
+TEST(InterruptController, RejectsBadVectorCount) {
+  MemoryBus bus;
+  EXPECT_THROW(InterruptController(bus, 0, 0), std::invalid_argument);
+  EXPECT_THROW(InterruptController(bus, 0, 33), std::invalid_argument);
+}
+
+// --- Timers -------------------------------------------------------------
+
+TEST(HwCounterPort, CountsCyclesThroughDivider) {
+  HwCounterPort counter(64, 4);
+  EXPECT_EQ(counter.value(), 0u);
+  counter.on_cycles(7);
+  EXPECT_EQ(counter.value(), 1u);
+  counter.on_cycles(400);
+  EXPECT_EQ(counter.value(), 100u);
+}
+
+TEST(HwCounterPort, TruncatesToWidth) {
+  HwCounterPort counter(32, 1);
+  counter.on_cycles(0x1'0000'0005ull);
+  EXPECT_EQ(counter.value(), 5u);  // wrapped at 2^32
+}
+
+TEST(HwCounterPort, ReadLittleEndianBytes) {
+  HwCounterPort counter(64, 1);
+  counter.on_cycles(0x0102030405060708ull);
+  EXPECT_EQ(counter.read(0), 0x08);
+  EXPECT_EQ(counter.read(7), 0x01);
+  EXPECT_EQ(counter.read(8), 0);  // out of window
+}
+
+TEST(HwCounterPort, WritesAlwaysFail) {
+  HwCounterPort counter(64, 1);
+  EXPECT_FALSE(counter.write(0, 0xff));
+  counter.on_cycles(42);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(HwCounterPort, RejectsBadParameters) {
+  EXPECT_THROW(HwCounterPort(0, 1), std::invalid_argument);
+  EXPECT_THROW(HwCounterPort(12, 1), std::invalid_argument);
+  EXPECT_THROW(HwCounterPort(72, 1), std::invalid_argument);
+  EXPECT_THROW(HwCounterPort(64, 0), std::invalid_argument);
+}
+
+class WrapCounterFixture : public ::testing::Test {
+ protected:
+  WrapCounterFixture() : irq_(bus_, 0x1000, 4), wrap_(irq_, 0, 8, 1) {
+    bus_.map_storage("ram", MemoryKind::kRam, AddrRange{0x1000, 0x2000});
+    irq_.register_native_handler(0xC0DE, [&] { ++handler_runs_; });
+    EXPECT_EQ(irq_.install(kSoftwarePc, 0, 0xC0DE), BusStatus::kOk);
+  }
+  MemoryBus bus_;
+  InterruptController irq_;
+  WrapCounter wrap_;  // 8-bit LSB, wraps every 256 cycles
+  int handler_runs_ = 0;
+};
+
+TEST_F(WrapCounterFixture, RaisesInterruptPerWrap) {
+  wrap_.on_cycles(255);
+  EXPECT_EQ(handler_runs_, 0);
+  EXPECT_EQ(wrap_.value(), 255u);
+  wrap_.on_cycles(256);
+  EXPECT_EQ(handler_runs_, 1);
+  EXPECT_EQ(wrap_.value(), 0u);
+  wrap_.on_cycles(1024);
+  EXPECT_EQ(handler_runs_, 4);
+  EXPECT_EQ(wrap_.wraps(), 4u);
+}
+
+TEST_F(WrapCounterFixture, BigJumpDeliversEveryWrap) {
+  // Even a coarse advance must not skip interrupts — each wrap is one
+  // Clock_MSB increment.
+  wrap_.on_cycles(256 * 10 + 3);
+  EXPECT_EQ(handler_runs_, 10);
+  EXPECT_EQ(wrap_.value(), 3u);
+}
+
+TEST_F(WrapCounterFixture, CounterRegisterIsReadOnly) {
+  EXPECT_FALSE(wrap_.write(0, 0x55));
+}
+
+TEST(WrapCounter, RejectsBadParameters) {
+  MemoryBus bus;
+  InterruptController irq(bus, 0, 1);
+  EXPECT_THROW(WrapCounter(irq, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(WrapCounter(irq, 0, 33, 1), std::invalid_argument);
+  EXPECT_THROW(WrapCounter(irq, 0, 8, 0), std::invalid_argument);
+}
+
+TEST(WritableClockPort, TracksCyclesAndAcceptsSets) {
+  WritableClockPort clock(2);
+  clock.on_cycles(100);
+  EXPECT_EQ(clock.value(), 50u);
+  clock.set_value(1000);
+  EXPECT_EQ(clock.value(), 1000u);
+  clock.on_cycles(120);  // +10 ticks
+  EXPECT_EQ(clock.value(), 1010u);
+}
+
+TEST(WritableClockPort, ByteWiseWriteCommitsWhenComplete) {
+  WritableClockPort clock(1);
+  clock.on_cycles(500);
+  // Stage all 8 bytes of the value 42; commit happens on the last byte.
+  std::uint8_t bytes[8] = {42, 0, 0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(clock.write(static_cast<Addr>(i), bytes[i]));
+  }
+  EXPECT_EQ(clock.value(), 42u);
+  // This is the roaming adversary's clock-reset primitive: software CAN
+  // rewind this clock (unless the port is EA-MPU-protected).
+  EXPECT_EQ(clock.read(0), 42);
+}
+
+TEST(WritableClockPort, RejectsOutOfWindow) {
+  WritableClockPort clock(1);
+  EXPECT_FALSE(clock.write(8, 1));
+  EXPECT_EQ(clock.read(9), 0);
+  EXPECT_THROW(WritableClockPort(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ratt::hw

@@ -1,0 +1,182 @@
+// MCU assembly + the three clock designs of Fig. 1, including the
+// SW-clock interrupt path end-to-end.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/clock.hpp"
+#include "ratt/hw/mcu.hpp"
+
+namespace ratt::hw {
+namespace {
+
+TEST(Mcu, DefaultLayoutMapsAllRegions) {
+  Mcu mcu;
+  EXPECT_NE(mcu.bus().region_at(0x00000000), nullptr);  // ROM
+  EXPECT_NE(mcu.bus().region_at(0x00010000), nullptr);  // Flash
+  EXPECT_NE(mcu.bus().region_at(0x00100000), nullptr);  // RAM
+  EXPECT_NE(mcu.bus().region_at(0x00200000), nullptr);  // EA-MPU port
+  EXPECT_NE(mcu.bus().region_at(0x00201000), nullptr);  // IRQ mask port
+  EXPECT_EQ(mcu.bus().region_at(0x00100000)->kind, MemoryKind::kRam);
+  EXPECT_EQ(mcu.layout().ram.size(), 512u * 1024u);     // paper's 512 KB
+}
+
+TEST(Mcu, AdvanceTracksCyclesAndTime) {
+  Mcu mcu;
+  EXPECT_EQ(mcu.cycles(), 0u);
+  mcu.advance_cycles(24'000);  // 1 ms at 24 MHz
+  EXPECT_DOUBLE_EQ(mcu.now_ms(), 1.0);
+  mcu.advance_ms(2.5);
+  EXPECT_NEAR(mcu.now_ms(), 3.5, 1e-9);
+}
+
+TEST(Mcu, MpuPortIsBusAccessible) {
+  Mcu mcu;
+  const Addr lock = mcu.layout().mpu_port_base;
+  std::uint8_t v = 0xff;
+  ASSERT_EQ(mcu.bus().read8(AccessContext{0x42}, lock, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0);  // unlocked
+  ASSERT_EQ(mcu.bus().write8(AccessContext{0x42}, lock, 1), BusStatus::kOk);
+  EXPECT_TRUE(mcu.mpu().locked());
+  // Post-lock writes surface as read-only faults.
+  EXPECT_EQ(mcu.bus().write8(AccessContext{0x42}, lock, 0),
+            BusStatus::kReadOnly);
+}
+
+TEST(Mcu, SoftwareComponentTagsAccesses) {
+  Mcu mcu;
+  SoftwareComponent app(mcu, "app", AddrRange{0x00010000, 0x00020000});
+  ASSERT_EQ(app.write32(0x00110000, 0xfeedface), BusStatus::kOk);
+  std::uint32_t v = 0;
+  ASSERT_EQ(app.read32(0x00110000, v), BusStatus::kOk);
+  EXPECT_EQ(v, 0xfeedfaceu);
+  // Fault log records the component's PC.
+  (void)app.write8(0x0ff00000, 1);
+  ASSERT_FALSE(mcu.bus().faults().empty());
+  EXPECT_EQ(mcu.bus().faults().back().pc, 0x00010000u);
+}
+
+TEST(Mcu, MappedTickDeviceAdvances) {
+  Mcu mcu;
+  HwCounterPort counter(64, 1);
+  mcu.map_device("clk", 0x00210000, counter.window_size(), counter);
+  mcu.advance_cycles(123);
+  std::uint64_t v = 0;
+  ASSERT_EQ(mcu.bus().read64(AccessContext{0x1}, 0x00210000, v),
+            BusStatus::kOk);
+  EXPECT_EQ(v, 123u);
+}
+
+// --- Clock designs -------------------------------------------------------
+
+TEST(Clocks, HwClock64ReadableByAnyone) {
+  Mcu mcu;
+  HwCounterPort counter(64, 1);
+  mcu.map_device("clk64", 0x00210000, counter.window_size(), counter);
+  MmioClockSource clock(mcu, 0x00210000, 8, "hw-clock-64");
+  mcu.advance_cycles(5000);
+  EXPECT_EQ(clock.read_ticks(AccessContext{0x8000}).value(), 5000u);
+}
+
+TEST(Clocks, HwClock32WithDividerMatchesPaperResolution) {
+  // 32-bit register, divider 2^20: 42.7 ms resolution at 24 MHz, ~6 year
+  // wrap-around (Sec. 6.3).
+  Mcu mcu;
+  HwCounterPort counter(32, 1u << 20);
+  mcu.map_device("clk32", 0x00210000, counter.window_size(), counter);
+  MmioClockSource clock(mcu, 0x00210000, 4, "hw-clock-32");
+  mcu.advance_ms(43.7);  // just past one tick (43.69 ms/tick)
+  EXPECT_EQ(clock.read_ticks(AccessContext{0x8000}).value(), 1u);
+}
+
+TEST(Clocks, WritableClockCanBeRewound) {
+  Mcu mcu;
+  WritableClockPort port(1);
+  mcu.map_device("softclk", 0x00210000, port.window_size(), port);
+  MmioClockSource clock(mcu, 0x00210000, 8, "writable");
+  mcu.advance_cycles(10'000);
+  EXPECT_EQ(clock.read_ticks(AccessContext{0x8000}).value(), 10'000u);
+  // Anyone can write it back — the unprotected-prover weakness.
+  ASSERT_EQ(mcu.bus().write64(AccessContext{0x8000}, 0x00210000, 4'000),
+            BusStatus::kOk);
+  EXPECT_EQ(clock.read_ticks(AccessContext{0x8000}).value(), 4'000u);
+}
+
+class SwClockFixture : public ::testing::Test {
+ protected:
+  static constexpr Addr kLsbBase = 0x00210000;
+  static constexpr Addr kMsbAddr = 0x00110000;  // RAM word
+  static constexpr AddrRange kCodeClockRegion{0x00001000, 0x00001100};
+
+  SwClockFixture()
+      : wrap_(mcu_.irq(), 0, 16, 1),  // 16-bit LSB
+        code_clock_(mcu_, kCodeClockRegion, kMsbAddr),
+        clock_(mcu_, code_clock_, kLsbBase, 16) {
+    mcu_.map_device("clk-lsb", kLsbBase, wrap_.window_size(), wrap_);
+    mcu_.irq().register_native_handler(
+        code_clock_.entry_point(), [this] { code_clock_.on_wrap_interrupt(); });
+    EXPECT_EQ(mcu_.irq().install(AccessContext{0x0}, 0,
+                                 code_clock_.entry_point()),
+              BusStatus::kOk);
+  }
+
+  Mcu mcu_;
+  WrapCounter wrap_;
+  CodeClock code_clock_;
+  SwClockSource clock_;
+};
+
+TEST_F(SwClockFixture, CombinesMsbAndLsb) {
+  mcu_.advance_cycles(0x10003);  // one wrap (65536) + 3
+  EXPECT_EQ(code_clock_.read_msb().value(), 1u);
+  EXPECT_EQ(clock_.read_ticks(AccessContext{0x8000}).value(), 0x10003u);
+  EXPECT_EQ(code_clock_.failed_updates(), 0u);
+}
+
+TEST_F(SwClockFixture, ManyWrapsAccumulate) {
+  mcu_.advance_cycles(0x50000);
+  EXPECT_EQ(code_clock_.read_msb().value(), 5u);
+  EXPECT_EQ(clock_.read_ticks(AccessContext{0x8000}).value(), 0x50000u);
+}
+
+TEST_F(SwClockFixture, MaskedTimerInterruptStopsClock) {
+  // The Sec. 6.2 warning: if the timer interrupt can be disabled, the
+  // SW-clock silently stops advancing its high-order bits.
+  mcu_.irq().set_mask(1);
+  mcu_.advance_cycles(0x30000);
+  EXPECT_EQ(code_clock_.read_msb().value(), 0u);  // no updates
+  EXPECT_EQ(clock_.read_ticks(AccessContext{0x8000}).value(), 0u);
+  EXPECT_EQ(mcu_.irq().stats().dropped_masked, 3u);
+}
+
+TEST_F(SwClockFixture, ClobberedIdtStopsClock) {
+  // Overwrite IDT[0] from untrusted code — Clock_MSB stops updating.
+  ASSERT_EQ(mcu_.bus().write32(AccessContext{0x00010000},
+                               mcu_.layout().idt_base, 0xBAD),
+            BusStatus::kOk);
+  mcu_.advance_cycles(0x20000);
+  EXPECT_EQ(code_clock_.read_msb().value(), 0u);
+  EXPECT_EQ(mcu_.irq().stats().lost_bad_entry, 2u);
+}
+
+TEST_F(SwClockFixture, ProtectedMsbStillUpdatableByCodeClock) {
+  // EA-MPU rule: Clock_MSB writable (and readable) only by Code_Clock.
+  EampuRule rule;
+  rule.code = kCodeClockRegion;
+  rule.data = AddrRange{kMsbAddr, kMsbAddr + 4};
+  rule.allow_read = true;
+  rule.allow_write = true;
+  rule.active = true;
+  ASSERT_TRUE(mcu_.mpu().set_rule(0, rule));
+  mcu_.mpu().lock();
+
+  mcu_.advance_cycles(0x20000);
+  EXPECT_EQ(code_clock_.read_msb().value(), 2u);
+  EXPECT_EQ(code_clock_.failed_updates(), 0u);
+  // Untrusted software cannot write Clock_MSB...
+  EXPECT_EQ(mcu_.bus().write32(AccessContext{0x00010000}, kMsbAddr, 0),
+            BusStatus::kDenied);
+  // ...but can still read the composite clock through Code_Clock.
+  EXPECT_EQ(clock_.read_ticks(AccessContext{0x00010000}).value(), 0x20000u);
+}
+
+}  // namespace
+}  // namespace ratt::hw

@@ -1,0 +1,119 @@
+// Watchdog timer device and its DoS consequences.
+#include <gtest/gtest.h>
+
+#include "ratt/hw/watchdog.hpp"
+#include "ratt/sim/dos.hpp"
+
+namespace ratt::hw {
+namespace {
+
+TEST(Watchdog, FiresAfterSilence) {
+  int resets = 0;
+  Watchdog dog(1000, [&] { ++resets; });
+  dog.on_cycles(999);
+  EXPECT_EQ(resets, 0);
+  dog.on_cycles(1000);
+  EXPECT_EQ(resets, 1);
+  EXPECT_EQ(dog.resets(), 1u);
+}
+
+TEST(Watchdog, KickDefersExpiry) {
+  int resets = 0;
+  Watchdog dog(1000, [&] { ++resets; });
+  dog.on_cycles(900);
+  dog.kick();
+  dog.on_cycles(1800);  // only 900 since the kick
+  EXPECT_EQ(resets, 0);
+  dog.on_cycles(1900);
+  EXPECT_EQ(resets, 1);
+  EXPECT_EQ(dog.kicks(), 1u);
+}
+
+TEST(Watchdog, LongStarvationFiresRepeatedly) {
+  int resets = 0;
+  Watchdog dog(1000, [&] { ++resets; });
+  dog.on_cycles(5500);  // 5.5 timeouts of silence
+  EXPECT_EQ(resets, 5);
+}
+
+TEST(Watchdog, MmioWriteKicks) {
+  Watchdog dog(1000, nullptr);
+  dog.on_cycles(500);
+  EXPECT_TRUE(dog.write(0, 0xff));
+  EXPECT_EQ(dog.kicks(), 1u);
+  EXPECT_FALSE(dog.write(4, 0));  // out of window
+  dog.on_cycles(1400);            // 900 since kick: quiet
+  EXPECT_EQ(dog.resets(), 0u);
+  EXPECT_EQ(dog.read(0), 0);      // reset count register
+}
+
+TEST(Watchdog, RejectsZeroTimeout) {
+  EXPECT_THROW(Watchdog(0, nullptr), std::invalid_argument);
+}
+
+TEST(Watchdog, IntegratesWithMcuTicks) {
+  Mcu mcu;
+  int resets = 0;
+  Watchdog dog(240'000, [&] { ++resets; });  // 10 ms at 24 MHz
+  mcu.map_device("wdt", 0x00220000, Watchdog::kWindowSize, dog);
+  mcu.advance_ms(25.0);
+  EXPECT_EQ(resets, 2);
+  // Software kicks through the bus.
+  ASSERT_EQ(mcu.bus().write8(AccessContext{0x100}, 0x00220000, 1),
+            BusStatus::kOk);
+  mcu.advance_ms(9.0);
+  EXPECT_EQ(resets, 2);  // kick deferred the third reset
+}
+
+// --- DoS consequence: starvation resets ---------------------------------
+
+TEST(WatchdogDos, FloodCausesResetsOnUnprotectedProver) {
+  attest::ProverConfig config;
+  config.scheme = attest::FreshnessScheme::kNone;
+  config.authenticate_requests = false;
+  config.measured_bytes = 64 * 1024;  // ~94.6 ms per attestation
+  attest::ProverDevice prover(
+      config, crypto::from_hex("00112233445566778899aabbccddeeff"),
+      crypto::from_string("wdt-app"));
+
+  sim::TaskProfile task{10.0, 2.0};
+  sim::WatchdogProfile wdt{30.0, 50.0};  // 30 ms timeout, 50 ms reboot
+  sim::DosSimulator simulator(prover, task, timing::EnergyModel(),
+                              timing::Battery(), wdt);
+  attest::AttestRequest bogus;
+  bogus.scheme = attest::FreshnessScheme::kNone;
+  bogus.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  const sim::DosReport report = simulator.run(
+      sim::uniform_arrivals(5.0, 1000.0), [&](double) { return bogus; },
+      1000.0);
+  // Each ~94.6 ms attestation spans 3 watchdog timeouts.
+  EXPECT_EQ(report.attestations_performed, 5u);
+  EXPECT_EQ(report.watchdog_resets, 15u);
+  EXPECT_DOUBLE_EQ(report.reboot_overhead_ms, 15 * 50.0);
+}
+
+TEST(WatchdogDos, HardenedProverNeverResets) {
+  attest::ProverConfig config;
+  config.scheme = attest::FreshnessScheme::kCounter;
+  config.measured_bytes = 64 * 1024;
+  attest::ProverDevice prover(
+      config, crypto::from_hex("00112233445566778899aabbccddeeff"),
+      crypto::from_string("wdt-app-2"));
+  sim::TaskProfile task{10.0, 2.0};
+  sim::WatchdogProfile wdt{30.0, 50.0};
+  sim::DosSimulator simulator(prover, task, timing::EnergyModel(),
+                              timing::Battery(), wdt);
+  attest::AttestRequest bogus;
+  bogus.scheme = attest::FreshnessScheme::kCounter;
+  bogus.mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  bogus.mac = crypto::Bytes(20, 0);
+  const sim::DosReport report = simulator.run(
+      sim::uniform_arrivals(5.0, 1000.0), [&](double) { return bogus; },
+      1000.0);
+  // 0.432 ms rejections never approach the 30 ms watchdog timeout.
+  EXPECT_EQ(report.watchdog_resets, 0u);
+  EXPECT_DOUBLE_EQ(report.reboot_overhead_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace ratt::hw

@@ -1,0 +1,113 @@
+// Fleet health classification from session statistics.
+#include <gtest/gtest.h>
+
+#include "ratt/sim/fleet_health.hpp"
+
+namespace ratt::sim {
+namespace {
+
+AttestationSession::Stats stats(std::uint64_t sent, std::uint64_t valid,
+                                std::uint64_t invalid) {
+  AttestationSession::Stats s;
+  s.requests_sent = sent;
+  s.responses_valid = valid;
+  s.responses_invalid = invalid;
+  return s;
+}
+
+TEST(FleetHealth, HealthyDevice) {
+  const auto v = assess_device(0, stats(10, 10, 0));
+  EXPECT_EQ(v.health, DeviceHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(v.loss_fraction, 0.0);
+}
+
+TEST(FleetHealth, SilentDevice) {
+  const auto v = assess_device(1, stats(10, 2, 0));
+  EXPECT_EQ(v.health, DeviceHealth::kSilent);
+  EXPECT_DOUBLE_EQ(v.loss_fraction, 0.8);
+}
+
+TEST(FleetHealth, CompromisedBeatsSilent) {
+  // Even a mostly-silent device with one invalid response is classified
+  // compromised: an invalid measurement is the stronger signal.
+  const auto v = assess_device(2, stats(10, 1, 1));
+  EXPECT_EQ(v.health, DeviceHealth::kCompromised);
+  EXPECT_EQ(v.invalid_responses, 1u);
+}
+
+TEST(FleetHealth, SuspectBand) {
+  const auto v = assess_device(3, stats(10, 8, 0));  // 20% loss
+  EXPECT_EQ(v.health, DeviceHealth::kSuspect);
+}
+
+TEST(FleetHealth, NoTrafficIsHealthy) {
+  const auto v = assess_device(4, stats(0, 0, 0));
+  EXPECT_EQ(v.health, DeviceHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(v.loss_fraction, 0.0);
+}
+
+TEST(FleetHealth, PolicyThresholdsRespected) {
+  HealthPolicy lax;
+  lax.silent_threshold = 0.95;
+  lax.suspect_threshold = 0.9;
+  EXPECT_EQ(assess_device(0, stats(10, 2, 0), lax).health,
+            DeviceHealth::kHealthy);  // 80% loss, below both thresholds
+  HealthPolicy tolerant_of_invalid;
+  tolerant_of_invalid.invalid_is_compromise = false;
+  EXPECT_EQ(assess_device(0, stats(10, 9, 1), tolerant_of_invalid).health,
+            DeviceHealth::kHealthy);
+}
+
+TEST(FleetHealth, FleetAssessmentAndQuarantine) {
+  SwarmReport report;
+  report.devices.push_back({0, stats(10, 10, 0), 1.0});
+  report.devices.push_back({1, stats(10, 1, 0), 1.0});   // silent
+  report.devices.push_back({2, stats(10, 9, 1), 1.0});   // compromised
+  report.devices.push_back({3, stats(10, 8, 0), 1.0});   // suspect
+  const auto verdicts = assess_fleet(report);
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_EQ(verdicts[0].health, DeviceHealth::kHealthy);
+  EXPECT_EQ(verdicts[1].health, DeviceHealth::kSilent);
+  EXPECT_EQ(verdicts[2].health, DeviceHealth::kCompromised);
+  EXPECT_EQ(verdicts[3].health, DeviceHealth::kSuspect);
+  EXPECT_EQ(quarantine_list(verdicts), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(FleetHealth, Names) {
+  EXPECT_EQ(to_string(DeviceHealth::kHealthy), "healthy");
+  EXPECT_EQ(to_string(DeviceHealth::kSilent), "silent");
+  EXPECT_EQ(to_string(DeviceHealth::kCompromised), "compromised");
+  EXPECT_EQ(to_string(DeviceHealth::kSuspect), "suspect");
+}
+
+// End-to-end: a fleet with one tampered device gets flagged.
+TEST(FleetHealth, DetectsTamperedDeviceInLiveFleet) {
+  SwarmConfig config;
+  config.device_count = 3;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 512;
+  config.attest_period_ms = 100.0;
+  Swarm swarm(config, crypto::from_string("health-fleet"));
+
+  // Resident malware flips a byte in device 1's measured memory.
+  attest::ProverDevice& victim = swarm.prover(1);
+  hw::SoftwareComponent malware(victim.mcu(), "malware",
+                                victim.surface().malware_region);
+  std::uint8_t b = 0;
+  ASSERT_EQ(malware.read8(victim.surface().measured_memory.begin, b),
+            hw::BusStatus::kOk);
+  ASSERT_EQ(malware.write8(victim.surface().measured_memory.begin,
+                           static_cast<std::uint8_t>(b ^ 0xff)),
+            hw::BusStatus::kOk);
+
+  const SwarmReport report = swarm.run(500.0);
+  const auto verdicts = assess_fleet(report);
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_EQ(verdicts[0].health, DeviceHealth::kHealthy);
+  EXPECT_EQ(verdicts[1].health, DeviceHealth::kCompromised);
+  EXPECT_EQ(verdicts[2].health, DeviceHealth::kHealthy);
+  EXPECT_EQ(quarantine_list(verdicts), (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace ratt::sim

@@ -1,0 +1,69 @@
+// Device profiles: cross-platform scaling of every timing-derived claim.
+#include <gtest/gtest.h>
+
+#include "ratt/timing/profiles.hpp"
+
+namespace ratt::timing {
+namespace {
+
+using crypto::MacAlgorithm;
+
+TEST(Profiles, PaperPlatformMatchesTable1) {
+  const DeviceProfile peak = siskiyou_peak();
+  EXPECT_DOUBLE_EQ(peak.clock_hz, 24e6);
+  EXPECT_EQ(peak.ram_bytes, 512u * 1024u);
+  const auto model = peak.timing_model();
+  EXPECT_NEAR(model.memory_attestation_ms(MacAlgorithm::kHmacSha1,
+                                          peak.ram_bytes),
+              754.004, 1e-6);
+}
+
+TEST(Profiles, Msp430FullRamMacIsCheaperDespiteSlowerClock) {
+  // 16 KB at 8 MHz: fewer blocks more than compensate the 3x slower
+  // clock — full-RAM attestation is ~71 ms, not 754.
+  const DeviceProfile msp = msp430_class();
+  const auto model = msp.timing_model();
+  const double ms =
+      model.memory_attestation_ms(MacAlgorithm::kHmacSha1, msp.ram_bytes);
+  EXPECT_NEAR(ms, 3.0 * (0.340 + 256 * 0.092), 1e-6);  // 71.7 ms
+  EXPECT_LT(ms, 100.0);
+}
+
+TEST(Profiles, CostsScaleInverselyWithClock) {
+  const auto peak = siskiyou_peak().timing_model();
+  const auto m0 = cortex_m0_class().timing_model();
+  // 48 MHz = 2x the reference: everything halves.
+  EXPECT_NEAR(m0.request_auth_ms(MacAlgorithm::kHmacSha1) * 2.0,
+              peak.request_auth_ms(MacAlgorithm::kHmacSha1), 1e-12);
+  EXPECT_NEAR(m0.ecdsa_verify_ms() * 2.0, peak.ecdsa_verify_ms(), 1e-12);
+}
+
+TEST(Profiles, AsymmetryHoldsOnEveryPlatform) {
+  // The paper's core claim — full-RAM MAC >> request MAC — is platform-
+  // independent: verify the ratio stays large across all profiles.
+  for (const auto& profile : all_profiles()) {
+    const auto model = profile.timing_model();
+    const double full = model.memory_attestation_ms(
+        MacAlgorithm::kHmacSha1, profile.ram_bytes);
+    const double request = model.request_auth_ms(MacAlgorithm::kHmacSha1);
+    EXPECT_GT(full / request, 50.0) << profile.name;
+  }
+}
+
+TEST(Profiles, EnergyModelsScaleWithPower) {
+  EXPECT_GT(cortex_m0_class().energy_model().active_mj(100.0),
+            msp430_class().energy_model().active_mj(100.0));
+}
+
+TEST(Profiles, AllProfilesEnumerated) {
+  const auto profiles = all_profiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  for (const auto& p : profiles) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.clock_hz, 0.0);
+    EXPECT_GT(p.ram_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ratt::timing
