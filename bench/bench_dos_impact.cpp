@@ -6,10 +6,20 @@
 //   * counter       — authenticated requests + monotonic counter,
 //   * timestamp     — authenticated requests + timestamps + HW clock.
 // The attacker replays one recorded genuine request at the given rate.
+//
+// Observability: every delivered request is recorded as a "dos.request"
+// span (JSONL, --trace=FILE or bench_dos_impact.jsonl by default) and
+// filed on a DoS scoreboard under "<config>:<outcome>", so the
+// attacker-vs-prover time/energy asymmetry is printed per request class
+// instead of being folded into the aggregate table.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "ratt/adv/adv_ext.hpp"
+#include "ratt/obs/scoreboard.hpp"
+#include "ratt/obs/trace.hpp"
 #include "ratt/sim/dos.hpp"
 
 namespace {
@@ -24,6 +34,13 @@ using attest::Verifier;
 using crypto::Bytes;
 
 Bytes key() { return crypto::from_hex("202122232425262728292a2b2c2d2e2f"); }
+
+// Attacker-side cost of one replayed request: its wire time on an
+// IEEE 802.15.4-class 250 kbit/s link. The attacker spends airtime; the
+// unprotected prover spends a full uninterruptible measurement.
+double wire_ms(const AttestRequest& request) {
+  return static_cast<double>(request.to_bytes().size()) * 8.0 / 250.0;
+}
 
 struct Setup {
   std::unique_ptr<ProverDevice> prover;
@@ -60,7 +77,8 @@ Setup make_setup(FreshnessScheme scheme, bool authenticate,
   return s;
 }
 
-void run_series(const char* name, FreshnessScheme scheme,
+void run_series(const char* name, const char* label, FreshnessScheme scheme,
+                obs::DosScoreboard& scoreboard, obs::TraceSink* sink,
                 bool authenticate, std::uint32_t rate_limit = 0) {
   std::printf("  %s:\n", name);
   std::printf("    %-10s %-12s %-14s %-14s %-11s %-10s\n", "rate(/s)",
@@ -74,6 +92,12 @@ void run_series(const char* name, FreshnessScheme scheme,
     sim::WatchdogProfile wdt{30.0, 50.0};
     sim::DosSimulator simulator(*s.prover, task, timing::EnergyModel(),
                                 timing::Battery(), wdt);
+    sim::DosSimulator::Observer observer;
+    observer.scoreboard = &scoreboard;
+    observer.sink = sink;
+    observer.attack_label = label;
+    observer.attacker_cost_ms = wire_ms(s.recorded);
+    simulator.set_observer(observer);
     const auto arrivals = sim::uniform_arrivals(rate, 5000.0);
     const AttestRequest replayed = s.recorded;
     const sim::DosReport report = simulator.run(
@@ -89,24 +113,49 @@ void run_series(const char* name, FreshnessScheme scheme,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = "bench_dos_impact.jsonl";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+  obs::RingRecorder ring(8192);
+  obs::DosScoreboard scoreboard;  // default 7.2 mW prover power model
+
   std::printf(
       "=== X1: DoS impact of replayed attestation requests ===\n"
       "(5 s horizon; primary task: 2 ms every 10 ms; replay flood at "
       "varying rate)\n\n");
-  run_series("unprotected (no request auth, no freshness)",
-             FreshnessScheme::kNone, false);
-  run_series("counter (auth + monotonic counter)", FreshnessScheme::kCounter,
-             true);
-  run_series("timestamp (auth + timestamp, HW clock)",
-             FreshnessScheme::kTimestamp, true);
+  run_series("unprotected (no request auth, no freshness)", "unprotected",
+             FreshnessScheme::kNone, scoreboard, &ring, false);
+  run_series("counter (auth + monotonic counter)", "counter",
+             FreshnessScheme::kCounter, scoreboard, &ring, true);
+  run_series("timestamp (auth + timestamp, HW clock)", "timestamp",
+             FreshnessScheme::kTimestamp, scoreboard, &ring, true);
   run_series("no freshness + rate limiter (2 attest/s budget, extension)",
-             FreshnessScheme::kNone, false, 2);
+             "rate-limited", FreshnessScheme::kNone, scoreboard, &ring,
+             false, 2);
   std::printf(
       "\n  Expected shape: the unprotected prover performs every replayed\n"
       "  attestation (~94.6 ms each) -> task misses and energy grow with "
       "rate;\n  counter/timestamp provers reject replays after one "
       "0.432 ms MAC check\n  -> miss rate stays ~0 and energy stays flat."
       "\n");
+
+  std::printf(
+      "\n=== DoS scoreboard: attacker-spent vs prover-spent per request "
+      "class ===\n(attacker cost = 250 kbit/s airtime per replay; all "
+      "rates pooled)\n\n");
+  scoreboard.print(stdout);
+
+  std::ofstream trace(trace_path);
+  if (trace) {
+    obs::write_jsonl(trace, ring.snapshot());
+    std::printf(
+        "\n  Wrote %llu trace spans to %s (JSONL; %llu dropped by ring)\n",
+        static_cast<unsigned long long>(ring.snapshot().size()), trace_path,
+        static_cast<unsigned long long>(ring.dropped()));
+  } else {
+    std::printf("\n  Could not open %s for the JSONL trace\n", trace_path);
+  }
   return 0;
 }

@@ -2,8 +2,14 @@
 // of a device fleet under a replay-flooding adversary, as fleet size
 // grows. Each device has its own K_Attest; the attacker records one
 // genuine request per link and replays it continuously.
+//
+// Accounting runs on ratt::obs: the fleet observer is attached after the
+// recording phase, so the registry's prover.busy_ms counter covers the
+// measurement window only, and the reject breakdown comes straight from
+// the prover.outcome.* counters instead of being re-derived by hand.
 #include <cstdio>
 
+#include "ratt/obs/metrics.hpp"
 #include "ratt/sim/swarm.hpp"
 
 namespace {
@@ -16,7 +22,14 @@ struct FleetRow {
   std::uint64_t genuine_sent;
   std::uint64_t replays_rejected;
   double attacker_extracted_ms;
+  double attacker_extracted_mj;
+  double peak_duty_fraction;
 };
+
+double counter_value(const obs::Registry& registry, const char* name) {
+  const obs::Counter* c = registry.find_counter(name);
+  return c == nullptr ? 0.0 : c->value();
+}
 
 FleetRow run_fleet(std::size_t device_count, bool hardened) {
   sim::SwarmConfig config;
@@ -37,10 +50,11 @@ FleetRow run_fleet(std::size_t device_count, bool hardened) {
   }
   swarm.queue().run_all();
 
-  // ...then replays it 20x per device during the measurement window.
-  double genuine_ms = 0.0;
+  // ...then the observer starts the clock on the measurement window and
+  // the attacker replays the recording 20x per device.
+  obs::Registry registry;
+  swarm.attach_observer(&registry, nullptr);
   for (std::size_t i = 0; i < device_count; ++i) {
-    genuine_ms += swarm.prover(i).anchor().total_device_ms();
     if (taps[i].recorded_to_prover().empty()) continue;
     const crypto::Bytes recorded = taps[i].recorded_to_prover()[0].payload;
     for (int k = 0; k < 20; ++k) {
@@ -53,18 +67,29 @@ FleetRow run_fleet(std::size_t device_count, bool hardened) {
   row.devices = device_count;
   row.genuine_valid = report.total_valid();
   row.genuine_sent = report.total_sent();
+  row.replays_rejected += static_cast<std::uint64_t>(
+      counter_value(registry, "prover.outcome.not-fresh") +
+      counter_value(registry, "prover.outcome.bad-request-mac"));
   for (const auto& d : report.devices) {
-    row.replays_rejected += d.stats.prover_rejects;
+    if (d.duty_fraction > row.peak_duty_fraction) {
+      row.peak_duty_fraction = d.duty_fraction;
+    }
   }
-  row.attacker_extracted_ms = report.total_attest_ms() - genuine_ms;
-  // Subtract the genuine rounds run during the window (valid responses
-  // each cost one measurement).
+  // Window-only prover time minus the genuine rounds run in the window:
+  // what's left is the time the attacker extracted.
   const timing::DeviceTimingModel model;
-  row.attacker_extracted_ms -=
-      static_cast<double>(report.total_valid()) *
-      model.memory_attestation_ms(crypto::MacAlgorithm::kHmacSha1,
-                                  16 * 1024);
+  const double genuine_round_ms = model.memory_attestation_ms(
+      crypto::MacAlgorithm::kHmacSha1, 16 * 1024);
+  const auto window_valid = static_cast<double>(
+      report.total_valid() >= device_count
+          ? report.total_valid() - device_count  // phase-I rounds
+          : 0);
+  row.attacker_extracted_ms =
+      counter_value(registry, "prover.busy_ms") -
+      window_valid * genuine_round_ms;
   if (row.attacker_extracted_ms < 0) row.attacker_extracted_ms = 0;
+  row.attacker_extracted_mj =
+      obs::PowerModel{}.active_mj(row.attacker_extracted_ms);
   return row;
 }
 
@@ -77,16 +102,18 @@ int main() {
   for (const bool hardened : {false, true}) {
     std::printf("  %s fleet:\n",
                 hardened ? "hardened (auth + counter)" : "unprotected");
-    std::printf("    %-9s %-16s %-18s %-22s\n", "devices",
+    std::printf("    %-9s %-16s %-18s %-22s %-14s %-10s\n", "devices",
                 "genuine valid", "replays rejected",
-                "attacker-extracted ms");
+                "attacker-extracted ms", "stolen mJ", "peak duty");
     for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
       const FleetRow row = run_fleet(n, hardened);
-      std::printf("    %-9zu %llu/%-14llu %-18llu %-22.1f\n", row.devices,
+      std::printf("    %-9zu %llu/%-14llu %-18llu %-22.1f %-14.3f %-10.3f\n",
+                  row.devices,
                   static_cast<unsigned long long>(row.genuine_valid),
                   static_cast<unsigned long long>(row.genuine_sent),
                   static_cast<unsigned long long>(row.replays_rejected),
-                  row.attacker_extracted_ms);
+                  row.attacker_extracted_ms, row.attacker_extracted_mj,
+                  row.peak_duty_fraction);
     }
   }
   std::printf(

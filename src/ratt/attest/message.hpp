@@ -43,6 +43,9 @@ struct AttestRequest {
   Bytes header_bytes() const;
 
   Bytes to_bytes() const;
+  /// to_bytes().size() without serializing: 19-byte header, MAC length
+  /// byte, MAC.
+  std::size_t wire_size() const { return 19 + 1 + mac.size(); }
   static std::optional<AttestRequest> from_bytes(ByteView wire);
 
   friend bool operator==(const AttestRequest&, const AttestRequest&) =

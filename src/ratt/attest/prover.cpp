@@ -333,6 +333,50 @@ bool ProverDevice::configure_protection(hw::Mcu& mcu) {
   return ok;
 }
 
+void ProverDevice::set_observer(const obs::Observer& observer) {
+  obs_ = observer;
+  if (obs_.registry == nullptr) {
+    obs_requests_ = nullptr;
+    obs_busy_ms_ = nullptr;
+    obs_energy_mj_ = nullptr;
+    obs_handle_ms_ = nullptr;
+    obs_outcome_.fill(nullptr);
+    return;
+  }
+  obs::Registry& reg = *obs_.registry;
+  obs_requests_ = &reg.counter("prover.requests");
+  obs_busy_ms_ = &reg.counter("prover.busy_ms");
+  obs_energy_mj_ = &reg.counter("prover.energy_mj");
+  obs_handle_ms_ = &reg.histogram("prover.handle_ms");
+  for (std::size_t s = 0; s < kAttestStatusCount; ++s) {
+    obs_outcome_[s] = &reg.counter(
+        "prover.outcome." + to_string(static_cast<AttestStatus>(s)));
+  }
+}
+
+void ProverDevice::observe_request(const AttestRequest& request,
+                                   const AttestOutcome& outcome) {
+  const double energy_mj = obs_.power.active_mj(outcome.device_ms);
+  if (obs_.registry != nullptr) {
+    obs_requests_->inc();
+    obs_busy_ms_->inc(outcome.device_ms);
+    obs_energy_mj_->inc(energy_mj);
+    obs_handle_ms_->observe(outcome.device_ms);
+    obs_outcome_[static_cast<std::size_t>(outcome.status)]->inc();
+  }
+  if (obs_.sink != nullptr) {
+    obs::TraceRecord rec;
+    rec.sim_time_ms = mcu_->now_ms();
+    rec.device_id = obs_.device_id;
+    rec.kind = "prover.handle";
+    rec.outcome = to_string(outcome.status);
+    rec.prover_ms = outcome.device_ms;
+    rec.bytes = request.wire_size();
+    rec.energy_mj = energy_mj;
+    obs_.sink->record(rec);
+  }
+}
+
 AttestOutcome ProverDevice::handle(const AttestRequest& request) {
   const AttestOutcome out = anchor_->handle_request(request);
   if (audit_log_ != nullptr) {
@@ -340,6 +384,7 @@ AttestOutcome ProverDevice::handle(const AttestRequest& request) {
   }
   // The prover is busy for the duration; simulated time moves on.
   mcu_->advance_ms(out.device_ms);
+  if (obs_.enabled()) observe_request(request, out);
   return out;
 }
 

@@ -11,6 +11,7 @@
 // attack.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 
@@ -19,6 +20,7 @@
 #include "ratt/attest/services.hpp"
 #include "ratt/attest/trust_anchor.hpp"
 #include "ratt/hw/secure_boot.hpp"
+#include "ratt/obs/observer.hpp"
 #include "ratt/timing/timing.hpp"
 
 namespace ratt::attest {
@@ -131,6 +133,13 @@ class ProverDevice {
   const timing::DeviceTimingModel& timing_model() const { return timing_; }
   const AttackSurface& surface() const { return surface_; }
 
+  /// Attach telemetry (a default-constructed Observer detaches). Emits
+  /// one "prover.handle" span per request plus prover.* counters and a
+  /// prover.handle_ms histogram; energy is derived from the observer's
+  /// power model. With no observer, handle() behaves bit-identically to
+  /// the uninstrumented device.
+  void set_observer(const obs::Observer& observer);
+
   /// Process one request; simulated device time advances by the prover
   /// time the request consumed (so the clock moves with the workload).
   AttestOutcome handle(const AttestRequest& request);
@@ -163,6 +172,8 @@ class ProverDevice {
 
  private:
   bool configure_protection(hw::Mcu& mcu);
+  void observe_request(const AttestRequest& request,
+                       const AttestOutcome& outcome);
 
   ProverConfig config_;
   timing::DeviceTimingModel timing_;
@@ -183,6 +194,15 @@ class ProverDevice {
   std::unique_ptr<AuditLog> audit_log_;
   AttackSurface surface_;
   hw::BootStatus boot_status_ = hw::BootStatus::kOk;
+
+  // Telemetry (all nullable; instruments cached at set_observer so the
+  // hot path never touches the registry's name map).
+  obs::Observer obs_{};
+  obs::Counter* obs_requests_ = nullptr;
+  obs::Counter* obs_busy_ms_ = nullptr;
+  obs::Counter* obs_energy_mj_ = nullptr;
+  obs::Histogram* obs_handle_ms_ = nullptr;
+  std::array<obs::Counter*, kAttestStatusCount> obs_outcome_{};
 };
 
 }  // namespace ratt::attest

@@ -37,6 +37,11 @@ enum class AttestStatus : std::uint8_t {
 
 std::string to_string(AttestStatus status);
 
+/// Number of AttestStatus values (sized for per-outcome instrument
+/// arrays; keep in sync with the enum).
+inline constexpr std::size_t kAttestStatusCount =
+    static_cast<std::size_t>(AttestStatus::kRateLimited) + 1;
+
 struct AttestOutcome {
   AttestStatus status = AttestStatus::kOk;
   FreshnessVerdict freshness = FreshnessVerdict::kAccept;

@@ -15,7 +15,20 @@ Verifier::Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed)
   }
 }
 
+void Verifier::set_observer(const obs::Observer& observer) {
+  if (observer.registry == nullptr) {
+    obs_requests_ = nullptr;
+    obs_valid_ = nullptr;
+    obs_invalid_ = nullptr;
+    return;
+  }
+  obs_requests_ = &observer.registry->counter("verifier.requests");
+  obs_valid_ = &observer.registry->counter("verifier.checks.valid");
+  obs_invalid_ = &observer.registry->counter("verifier.checks.invalid");
+}
+
 AttestRequest Verifier::make_request() {
+  if (obs_requests_ != nullptr) obs_requests_->inc();
   AttestRequest req;
   req.scheme = config_.scheme;
   req.mac_alg = config_.mac_alg;
@@ -45,7 +58,11 @@ AttestRequest Verifier::make_request() {
 
 bool Verifier::check_response(const AttestRequest& request,
                               const AttestResponse& response) const {
-  if (response.freshness != request.freshness) return false;
+  const auto tally = [this](bool ok) {
+    if (obs_valid_ != nullptr) (ok ? obs_valid_ : obs_invalid_)->inc();
+    return ok;
+  };
+  if (response.freshness != request.freshness) return tally(false);
   // Recompute the expected measurement over the reference memory.
   Bytes message;
   message.reserve(16 + reference_memory_.size());
@@ -55,7 +72,7 @@ bool Verifier::check_response(const AttestRequest& request,
   crypto::store_le64(word, request.freshness);
   crypto::append(message, ByteView(word, 8));
   crypto::append(message, reference_memory_);
-  return mac_->verify(message, response.measurement);
+  return tally(mac_->verify(message, response.measurement));
 }
 
 }  // namespace ratt::attest

@@ -9,6 +9,7 @@
 
 #include "ratt/attest/message.hpp"
 #include "ratt/crypto/drbg.hpp"
+#include "ratt/obs/observer.hpp"
 
 namespace ratt::attest {
 
@@ -25,6 +26,10 @@ class Verifier {
   };
 
   Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed);
+
+  /// Attach telemetry: verifier.requests / verifier.checks.* counters
+  /// (registry only — round-level spans are the session's job).
+  void set_observer(const obs::Observer& observer);
 
   /// Build the next request: fresh nonce / next counter / current time.
   AttestRequest make_request();
@@ -48,6 +53,11 @@ class Verifier {
   std::unique_ptr<crypto::Mac> mac_;
   std::uint64_t counter_ = 0;
   Bytes reference_memory_;
+  // Cached instruments (nullable); pointees are mutated from the const
+  // check path, which is fine — they live in the injected registry.
+  obs::Counter* obs_requests_ = nullptr;
+  obs::Counter* obs_valid_ = nullptr;
+  obs::Counter* obs_invalid_ = nullptr;
 };
 
 }  // namespace ratt::attest

@@ -1,0 +1,78 @@
+#include "ratt/obs/metrics.hpp"
+
+#include <charconv>
+
+namespace ratt::obs {
+
+namespace {
+
+// Shortest round-trip double — deterministic across runs and locales.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::vector<double> default_latency_bounds_ms() {
+  return {0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0};
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string Registry::to_text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "counter ";
+    out += name;
+    out += " value=";
+    append_double(out, c.value());
+    out += " count=";
+    append_double(out, static_cast<double>(c.count()));
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "gauge ";
+    out += name;
+    out += " value=";
+    append_double(out, g.value());
+    out += " max=";
+    append_double(out, g.max());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "histogram ";
+    out += name;
+    out += " count=";
+    append_double(out, static_cast<double>(h.count()));
+    out += " sum=";
+    append_double(out, h.sum());
+    out += " min=";
+    append_double(out, h.min());
+    out += " max=";
+    append_double(out, h.max());
+    out += " buckets=[";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i != 0) out += ',';
+      append_double(out, static_cast<double>(h.buckets()[i]));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace ratt::obs

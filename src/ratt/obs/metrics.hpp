@@ -1,0 +1,151 @@
+// ratt::obs — metrics registry: counters, gauges and fixed-bucket
+// histograms for the simulation's observability layer.
+//
+// Design constraints (mirrored from what a real prover-side telemetry
+// agent could afford):
+//   * zero-alloc on the hot path — instruments are registered once (the
+//     only allocating step) and callers cache the returned reference;
+//     inc()/set()/observe() touch plain members only,
+//   * no global state — a Registry is an injected instance, so two swarms
+//     (or two test cases) never share instruments,
+//   * header-mostly — only the export/snapshot helpers live in a .cpp.
+//
+// Naming convention (docs/OBSERVABILITY.md): dot-separated lowercase
+// "<layer>.<subject>[.<detail>]", e.g. "prover.outcome.not-fresh",
+// "queue.backlog", "session.round_trip_ms".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ratt::obs {
+
+/// Monotonically accumulating value. `value()` is the sum of all inc()
+/// arguments (so fractional quantities — milliseconds, millijoules —
+/// accumulate exactly as given); `count()` is the number of inc() calls.
+class Counter {
+ public:
+  void inc(double v = 1.0) {
+    value_ += v;
+    ++count_;
+  }
+
+  double value() const { return value_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double value_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Last-write-wins value with a high-water mark (useful for backlogs and
+/// queue depths, where the peak matters as much as the final value).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
+/// (first matching bound); observations above the last bound land in the
+/// overflow bucket, so buckets().size() == bounds().size() + 1.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++buckets_[i];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Default histogram bounds for prover-side latencies: spans the one-block
+/// MAC check (~0.017 ms Speck) through a full 512 KB measurement (~754 ms)
+/// and the long tail beyond.
+std::vector<double> default_latency_bounds_ms();
+
+/// Instrument registry. Instruments live as long as the registry; the
+/// node-based containers guarantee stable addresses, so cached references
+/// survive later registrations.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. Registration is the only allocating step.
+  Counter& counter(std::string_view name) {
+    return counters_[std::string(name)];
+  }
+  Gauge& gauge(std::string_view name) { return gauges_[std::string(name)]; }
+  Histogram& histogram(std::string_view name) {
+    return histogram(name, default_latency_bounds_ms());
+  }
+  Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+        .first->second;
+  }
+
+  /// Lookup without creation (nullptr if absent) — for report writers.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Human-readable dump, one instrument per line, name-sorted (stable —
+  /// suitable for golden comparisons in tests).
+  std::string to_text() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace ratt::obs

@@ -1,0 +1,35 @@
+// ratt::obs — the injection point: a nullable bundle of registry + trace
+// sink + identity + power model that instrumented layers accept. A
+// default-constructed Observer is inert; every hook checks enabled()
+// first, so the zero-observer configuration is behaviorally identical to
+// an uninstrumented build.
+#pragma once
+
+#include <cstdint>
+
+#include "ratt/obs/metrics.hpp"
+#include "ratt/obs/trace.hpp"
+
+namespace ratt::obs {
+
+/// Converts prover-side time into energy (the DoS currency's second
+/// axis). Defaults approximate a low-end MCU: ~0.3 mW/MHz active at
+/// 24 MHz, 3 uW sleep — the same reference point as timing::EnergyModel.
+struct PowerModel {
+  double active_mw = 7.2;
+  double sleep_mw = 0.003;
+
+  double active_mj(double ms) const { return active_mw * ms / 1000.0; }
+  double sleep_mj(double ms) const { return sleep_mw * ms / 1000.0; }
+};
+
+struct Observer {
+  Registry* registry = nullptr;
+  TraceSink* sink = nullptr;
+  std::uint64_t device_id = 0;
+  PowerModel power{};
+
+  bool enabled() const { return registry != nullptr || sink != nullptr; }
+};
+
+}  // namespace ratt::obs

@@ -1,0 +1,72 @@
+#include "ratt/obs/scoreboard.hpp"
+
+#include <limits>
+
+namespace ratt::obs {
+
+void DosScoreboard::record(std::string_view request_class, double prover_ms,
+                           double attacker_ms) {
+  auto it = classes_.find(request_class);
+  if (it == classes_.end()) {
+    it = classes_.emplace(std::string(request_class), Entry{}).first;
+  }
+  Entry& e = it->second;
+  ++e.requests;
+  e.prover_ms += prover_ms;
+  e.attacker_ms += attacker_ms;
+  e.prover_mj += prover_power_.active_mj(prover_ms);
+  e.attacker_mj += attacker_power_.active_mj(attacker_ms);
+}
+
+const DosScoreboard::Entry* DosScoreboard::find(
+    std::string_view request_class) const {
+  const auto it = classes_.find(request_class);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+DosScoreboard::Entry DosScoreboard::totals() const {
+  Entry t;
+  for (const auto& [name, e] : classes_) {
+    t.requests += e.requests;
+    t.prover_ms += e.prover_ms;
+    t.attacker_ms += e.attacker_ms;
+    t.prover_mj += e.prover_mj;
+    t.attacker_mj += e.attacker_mj;
+  }
+  return t;
+}
+
+double DosScoreboard::asymmetry() const {
+  const Entry t = totals();
+  if (t.attacker_ms <= 0.0) {
+    return t.prover_ms > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return t.prover_ms / t.attacker_ms;
+}
+
+void DosScoreboard::print(std::FILE* out) const {
+  std::fprintf(out, "    %-28s %-9s %-12s %-12s %-12s %-12s %-9s\n",
+               "request class", "requests", "prover-ms", "prover-mJ",
+               "attacker-ms", "attacker-mJ", "asym");
+  const auto row = [out](const char* name, const Entry& e) {
+    const double asym =
+        e.attacker_ms > 0.0 ? e.prover_ms / e.attacker_ms : 0.0;
+    char asym_text[16];
+    if (e.attacker_ms > 0.0) {
+      std::snprintf(asym_text, sizeof(asym_text), "%.0fx", asym);
+    } else {
+      std::snprintf(asym_text, sizeof(asym_text), "%s",
+                    e.prover_ms > 0.0 ? "inf" : "-");
+    }
+    std::fprintf(out, "    %-28s %-9llu %-12.3f %-12.4f %-12.3f %-12.4f %-9s\n",
+                 name, static_cast<unsigned long long>(e.requests),
+                 e.prover_ms, e.prover_mj, e.attacker_ms, e.attacker_mj,
+                 asym_text);
+  };
+  for (const auto& [name, e] : classes_) {
+    row(name.c_str(), e);
+  }
+  row("TOTAL", totals());
+}
+
+}  // namespace ratt::obs

@@ -1,0 +1,122 @@
+#include "ratt/obs/trace.hpp"
+
+#include <charconv>
+
+namespace ratt::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+// Labels are controlled vocabulary, but escape anyway so arbitrary
+// outcomes can't break the framing.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+RingRecorder::RingRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void RingRecorder::record(const TraceRecord& rec) {
+  ring_[head_] = rec;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+std::uint64_t RingRecorder::dropped() const { return total_ - size_; }
+
+std::vector<TraceRecord> RingRecorder::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ once the ring has wrapped.
+  const std::size_t start = (size_ == ring_.size()) ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string to_jsonl(const TraceRecord& rec) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"sim_time_ms\":";
+  append_double(out, rec.sim_time_ms);
+  out += ",\"device_id\":";
+  append_u64(out, rec.device_id);
+  out += ",\"kind\":";
+  append_json_string(out, rec.kind);
+  out += ",\"outcome\":";
+  append_json_string(out, rec.outcome);
+  out += ",\"prover_ms\":";
+  append_double(out, rec.prover_ms);
+  out += ",\"verifier_ms\":";
+  append_double(out, rec.verifier_ms);
+  out += ",\"bytes\":";
+  append_u64(out, rec.bytes);
+  out += ",\"energy_mj\":";
+  append_double(out, rec.energy_mj);
+  out += '}';
+  return out;
+}
+
+void write_jsonl(std::ostream& out, std::span<const TraceRecord> records) {
+  for (const auto& rec : records) {
+    out << to_jsonl(rec) << '\n';
+  }
+}
+
+void write_csv(std::ostream& out, std::span<const TraceRecord> records) {
+  out << "sim_time_ms,device_id,kind,outcome,prover_ms,verifier_ms,bytes,"
+         "energy_mj\n";
+  std::string line;
+  for (const auto& rec : records) {
+    line.clear();
+    append_double(line, rec.sim_time_ms);
+    line += ',';
+    append_u64(line, rec.device_id);
+    line += ',';
+    line += rec.kind;
+    line += ',';
+    line += rec.outcome;
+    line += ',';
+    append_double(line, rec.prover_ms);
+    line += ',';
+    append_double(line, rec.verifier_ms);
+    line += ',';
+    append_u64(line, rec.bytes);
+    line += ',';
+    append_double(line, rec.energy_mj);
+    out << line << '\n';
+  }
+}
+
+}  // namespace ratt::obs

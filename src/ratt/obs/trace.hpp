@@ -1,0 +1,86 @@
+// ratt::obs — structured tracing: one TraceRecord per interesting unit of
+// work (a prover handling a request, a verifier closing a round, a DoS
+// request landing). Records flow into an injected TraceSink; the bundled
+// RingRecorder keeps the last N in a fixed ring, and the exporters write
+// JSONL / CSV with deterministic number formatting (shortest round-trip
+// via std::to_chars), so same-seed runs produce byte-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ratt::obs {
+
+/// One span/event. String fields are short labels (SSO-sized in practice);
+/// see docs/OBSERVABILITY.md for the kind/outcome vocabulary.
+struct TraceRecord {
+  double sim_time_ms = 0.0;     // when the unit of work completed
+  std::uint64_t device_id = 0;  // which prover (0 for single-device runs)
+  std::string kind;             // e.g. "prover.handle", "verifier.round"
+  std::string outcome;          // e.g. "ok", "not-fresh", "missing"
+  double prover_ms = 0.0;       // device time the prover spent
+  double verifier_ms = 0.0;     // modeled verifier-side time
+  std::uint64_t bytes = 0;      // wire bytes that triggered the work
+  double energy_mj = 0.0;       // prover energy, from the power model
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& rec) = 0;
+};
+
+/// Fixed-capacity ring recorder: the last `capacity` records survive;
+/// older ones are overwritten (dropped() tells how many).
+class RingRecorder : public TraceSink {
+ public:
+  explicit RingRecorder(std::size_t capacity = 4096);
+
+  void record(const TraceRecord& rec) override;
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const;
+
+  /// Surviving records, oldest first.
+  std::vector<TraceRecord> snapshot() const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;     // next write slot
+  std::size_t size_ = 0;     // live records
+  std::uint64_t total_ = 0;  // ever recorded
+};
+
+/// A sink that forwards to two others (e.g. a ring for post-processing
+/// plus a streaming exporter).
+class TeeSink : public TraceSink {
+ public:
+  TeeSink(TraceSink& a, TraceSink& b) : a_(&a), b_(&b) {}
+  void record(const TraceRecord& rec) override {
+    a_->record(rec);
+    b_->record(rec);
+  }
+
+ private:
+  TraceSink* a_;
+  TraceSink* b_;
+};
+
+/// One JSON object per line, keys in schema order. Deterministic: shortest
+/// round-trip doubles, no locale dependence.
+void write_jsonl(std::ostream& out, std::span<const TraceRecord> records);
+
+/// CSV with a header row, same columns as the JSONL keys.
+void write_csv(std::ostream& out, std::span<const TraceRecord> records);
+
+/// Single-record JSONL line (no trailing newline) — also the golden-file
+/// format tests pin down.
+std::string to_jsonl(const TraceRecord& rec);
+
+}  // namespace ratt::obs

@@ -4,6 +4,31 @@
 
 namespace ratt::sim {
 
+void DosSimulator::observe_request(double now_ms,
+                                   const attest::AttestOutcome& outcome) {
+  if (!obs_.enabled()) return;
+  const std::string klass =
+      obs_.attack_label + ":" + attest::to_string(outcome.status);
+  if (obs_.scoreboard != nullptr) {
+    obs_.scoreboard->record(klass, outcome.device_ms, obs_.attacker_cost_ms);
+  }
+  if (obs_.registry != nullptr) {
+    obs_.registry->counter("dos.requests").inc();
+    obs_.registry->counter("dos.prover_ms").inc(outcome.device_ms);
+    obs_.registry->counter("dos.attacker_ms").inc(obs_.attacker_cost_ms);
+  }
+  if (obs_.sink != nullptr) {
+    obs::TraceRecord rec;
+    rec.sim_time_ms = now_ms;
+    rec.device_id = obs_.device_id;
+    rec.kind = "dos.request";
+    rec.outcome = klass;
+    rec.prover_ms = outcome.device_ms;
+    rec.energy_mj = obs_.power.active_mj(outcome.device_ms);
+    obs_.sink->record(rec);
+  }
+}
+
 DosReport DosSimulator::run(const std::vector<double>& request_times_ms,
                             const RequestSource& source,
                             double horizon_ms) {
@@ -51,6 +76,7 @@ DosReport DosSimulator::run(const std::vector<double>& request_times_ms,
       sync_device_time(start);
       const attest::AttestOutcome out = prover_->handle(source(start));
       device_time_ms += out.device_ms;  // handle() advanced the device
+      observe_request(start, out);
       account_energy(out.device_ms, 0.0);
       report.attest_busy_ms += out.device_ms;
       if (out.status == attest::AttestStatus::kOk) {
@@ -167,6 +193,7 @@ DosReport DosSimulator::run_preemptive(
       sync_device_time(now);
       const attest::AttestOutcome out = prover_->handle(source(now));
       device_time_ms += out.device_ms;
+      observe_request(now, out);
       report.attest_busy_ms += out.device_ms;
       if (out.status == attest::AttestStatus::kOk) {
         ++report.attestations_performed;

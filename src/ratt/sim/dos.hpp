@@ -9,6 +9,8 @@
 
 #include "ratt/attest/prover.hpp"
 #include "ratt/attest/verifier.hpp"
+#include "ratt/obs/observer.hpp"
+#include "ratt/obs/scoreboard.hpp"
 #include "ratt/timing/timing.hpp"
 
 namespace ratt::sim {
@@ -68,6 +70,26 @@ class DosSimulator {
 
   using RequestSource = std::function<attest::AttestRequest(double now_ms)>;
 
+  /// Telemetry for adversarial runs. Each delivered request emits a
+  /// "dos.request" span and a scoreboard entry filed under
+  /// "<attack_label>:<outcome>", charging the attacker `attacker_cost_ms`
+  /// of its own time per request — the two sides of the paper's
+  /// asymmetry argument, recorded per request class.
+  struct Observer {
+    obs::Registry* registry = nullptr;
+    obs::TraceSink* sink = nullptr;
+    obs::DosScoreboard* scoreboard = nullptr;
+    std::string attack_label = "attack";
+    double attacker_cost_ms = 0.0;
+    obs::PowerModel power{};
+    std::uint64_t device_id = 0;
+
+    bool enabled() const {
+      return registry != nullptr || sink != nullptr || scoreboard != nullptr;
+    }
+  };
+  void set_observer(Observer observer) { obs_ = std::move(observer); }
+
   /// Run with attestation requests arriving at `request_times_ms`
   /// (sorted ascending). Attestation is uninterruptible, per the paper's
   /// Sec. 3.1 assumption for low-end devices.
@@ -86,11 +108,14 @@ class DosSimulator {
                            double chunk_ms);
 
  private:
+  void observe_request(double now_ms, const attest::AttestOutcome& outcome);
+
   attest::ProverDevice* prover_;
   TaskProfile task_;
   timing::EnergyModel energy_;
   timing::Battery battery_;
   WatchdogProfile watchdog_;
+  Observer obs_{};
 };
 
 /// Evenly spaced arrival times: `rate_per_s` requests over `horizon_ms`.

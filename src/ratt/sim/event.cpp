@@ -4,11 +4,28 @@
 
 namespace ratt::sim {
 
+void EventQueue::set_observer(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_backlog_ = nullptr;
+    obs_latency_ = nullptr;
+    obs_events_run_ = nullptr;
+    obs_leftover_ = nullptr;
+    return;
+  }
+  obs_backlog_ = &registry->gauge("queue.backlog");
+  obs_latency_ = &registry->histogram("queue.event_latency_ms");
+  obs_events_run_ = &registry->counter("queue.events_run");
+  obs_leftover_ = &registry->gauge("queue.runaway_leftover");
+}
+
 void EventQueue::schedule_at(double at_ms, Action action) {
   if (at_ms < now_ms_) {
     throw std::invalid_argument("EventQueue: scheduling into the past");
   }
-  queue_.push(Event{at_ms, next_seq_++, std::move(action)});
+  queue_.push(Event{at_ms, next_seq_++, now_ms_, std::move(action)});
+  if (obs_backlog_ != nullptr) {
+    obs_backlog_->set(static_cast<double>(queue_.size()));
+  }
 }
 
 void EventQueue::schedule_in(double delay_ms, Action action) {
@@ -22,6 +39,11 @@ bool EventQueue::run_next() {
   Event ev = queue_.top();
   queue_.pop();
   now_ms_ = ev.at_ms;
+  if (obs_backlog_ != nullptr) {
+    obs_backlog_->set(static_cast<double>(queue_.size()));
+    obs_latency_->observe(ev.at_ms - ev.scheduled_ms);
+    obs_events_run_->inc();
+  }
   ev.action();
   return true;
 }
@@ -33,13 +55,14 @@ void EventQueue::run_until(double until_ms) {
   now_ms_ = std::max(now_ms_, until_ms);
 }
 
-void EventQueue::run_all(std::size_t max_events) {
+std::size_t EventQueue::run_all(std::size_t max_events) {
   std::size_t n = 0;
-  while (run_next()) {
-    if (++n >= max_events) {
-      throw std::runtime_error("EventQueue: event cascade exceeded bound");
-    }
+  while (n < max_events && run_next()) ++n;
+  const std::size_t leftover = queue_.size();
+  if (obs_leftover_ != nullptr) {
+    obs_leftover_->set(static_cast<double>(leftover));
   }
+  return leftover;
 }
 
 }  // namespace ratt::sim

@@ -7,6 +7,8 @@
 #include <queue>
 #include <vector>
 
+#include "ratt/obs/metrics.hpp"
+
 namespace ratt::sim {
 
 class EventQueue {
@@ -14,6 +16,13 @@ class EventQueue {
   using Action = std::function<void()>;
 
   double now_ms() const { return now_ms_; }
+
+  /// Attach a metrics registry (nullable; nullptr detaches). Publishes
+  ///   gauge     queue.backlog           — pending events (with high-water)
+  ///   histogram queue.event_latency_ms  — schedule-to-execution delay
+  ///   counter   queue.events_run
+  ///   gauge     queue.runaway_leftover  — events stranded by run_all's bound
+  void set_observer(obs::Registry* registry);
 
   /// Schedule `action` at absolute time `at_ms` (>= now).
   void schedule_at(double at_ms, Action action);
@@ -32,13 +41,17 @@ class EventQueue {
   /// execution are honored.
   void run_until(double until_ms);
 
-  /// Drain everything (bounded by `max_events` as a runaway guard).
-  void run_all(std::size_t max_events = 1'000'000);
+  /// Drain everything, bounded by `max_events` as a runaway guard.
+  /// Returns the number of events still pending when the bound was hit
+  /// (0 = fully drained) — the stranded backlog is reported, not silently
+  /// dropped, and is also surfaced on the queue.runaway_leftover gauge.
+  std::size_t run_all(std::size_t max_events = 1'000'000);
 
  private:
   struct Event {
     double at_ms;
     std::uint64_t seq;  // FIFO among same-time events
+    double scheduled_ms;  // when schedule_* was called (for latency)
     Action action;
   };
   struct Later {
@@ -51,6 +64,10 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   double now_ms_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  obs::Gauge* obs_backlog_ = nullptr;
+  obs::Histogram* obs_latency_ = nullptr;
+  obs::Counter* obs_events_run_ = nullptr;
+  obs::Gauge* obs_leftover_ = nullptr;
 };
 
 }  // namespace ratt::sim

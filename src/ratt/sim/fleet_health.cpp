@@ -10,6 +10,8 @@ std::string to_string(DeviceHealth health) {
       return "silent";
     case DeviceHealth::kCompromised:
       return "compromised";
+    case DeviceHealth::kDegraded:
+      return "degraded";
     case DeviceHealth::kSuspect:
       return "suspect";
   }
@@ -18,10 +20,12 @@ std::string to_string(DeviceHealth health) {
 
 DeviceVerdict assess_device(std::size_t device,
                             const AttestationSession::Stats& stats,
-                            const HealthPolicy& policy) {
+                            const HealthPolicy& policy,
+                            double duty_fraction) {
   DeviceVerdict verdict;
   verdict.device = device;
   verdict.invalid_responses = stats.responses_invalid;
+  verdict.duty_fraction = duty_fraction;
 
   const std::uint64_t unanswered =
       stats.requests_sent -
@@ -39,6 +43,10 @@ DeviceVerdict assess_device(std::size_t device,
     verdict.health = DeviceHealth::kCompromised;
   } else if (verdict.loss_fraction >= policy.silent_threshold) {
     verdict.health = DeviceHealth::kSilent;
+  } else if (duty_fraction > policy.degraded_duty_threshold) {
+    // Responses still validate, but the device spends too much of its
+    // life measuring memory — a DoS that never trips the other signals.
+    verdict.health = DeviceHealth::kDegraded;
   } else if (verdict.loss_fraction > policy.suspect_threshold) {
     verdict.health = DeviceHealth::kSuspect;
   } else {
@@ -52,7 +60,8 @@ std::vector<DeviceVerdict> assess_fleet(const SwarmReport& report,
   std::vector<DeviceVerdict> verdicts;
   verdicts.reserve(report.devices.size());
   for (const auto& d : report.devices) {
-    verdicts.push_back(assess_device(d.device, d.stats, policy));
+    verdicts.push_back(
+        assess_device(d.device, d.stats, policy, d.duty_fraction));
   }
   return verdicts;
 }

@@ -18,6 +18,8 @@ enum class DeviceHealth : std::uint8_t {
   kHealthy,      // responses arriving and validating
   kSilent,       // requests time out — link loss or a DoS'd/bricked device
   kCompromised,  // responses arrive but fail validation — bad memory state
+  kDegraded,     // valid, but attestation is eating its real-time duty —
+                 // the paper's Sec. 3.1 disruption, visible operator-side
   kSuspect,      // mixed signals (some losses, some validations)
 };
 
@@ -30,6 +32,9 @@ struct HealthPolicy {
   bool invalid_is_compromise = true;
   /// Loss fraction above which an otherwise-valid device is kSuspect.
   double suspect_threshold = 0.1;
+  /// Duty-cycle fraction spent in attestation above which a responsive,
+  /// validating device is still kDegraded (its primary task is starving).
+  double degraded_duty_threshold = 0.25;
 };
 
 struct DeviceVerdict {
@@ -37,12 +42,17 @@ struct DeviceVerdict {
   DeviceHealth health = DeviceHealth::kHealthy;
   double loss_fraction = 0.0;
   std::uint64_t invalid_responses = 0;
+  /// Fraction of the observation window spent in attestation.
+  double duty_fraction = 0.0;
 };
 
-/// Classify one device from its session statistics.
+/// Classify one device from its session statistics. `duty_fraction` is
+/// the share of the observation window the device spent in attestation
+/// (0 when unknown — duty grading is then skipped).
 DeviceVerdict assess_device(std::size_t device,
                             const AttestationSession::Stats& stats,
-                            const HealthPolicy& policy = HealthPolicy{});
+                            const HealthPolicy& policy = HealthPolicy{},
+                            double duty_fraction = 0.0);
 
 /// Classify a whole fleet report.
 std::vector<DeviceVerdict> assess_fleet(

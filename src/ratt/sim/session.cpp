@@ -17,6 +17,43 @@ AttestationSession::AttestationSession(EventQueue& queue, Channel& channel,
       [this](const crypto::Bytes& wire) { on_verifier_receives(wire); });
 }
 
+void AttestationSession::set_observer(const obs::Observer& observer) {
+  obs_ = observer;
+  if (obs_.registry == nullptr) {
+    obs_round_trip_ = nullptr;
+    obs_pending_ = nullptr;
+    obs_rounds_valid_ = nullptr;
+    obs_rounds_invalid_ = nullptr;
+    obs_rounds_missing_ = nullptr;
+    return;
+  }
+  obs::Registry& reg = *obs_.registry;
+  obs_round_trip_ = &reg.histogram("session.round_trip_ms");
+  obs_pending_ = &reg.gauge("session.pending");
+  obs_rounds_valid_ = &reg.counter("session.rounds.valid");
+  obs_rounds_invalid_ = &reg.counter("session.rounds.invalid");
+  obs_rounds_missing_ = &reg.counter("session.rounds.missing");
+}
+
+void AttestationSession::observe_round(const char* outcome,
+                                       double round_trip_ms,
+                                       double verifier_ms,
+                                       std::size_t wire_bytes) {
+  if (obs_.sink != nullptr) {
+    obs::TraceRecord rec;
+    rec.sim_time_ms = queue_->now_ms();
+    rec.device_id = obs_.device_id;
+    rec.kind = "verifier.round";
+    rec.outcome = outcome;
+    rec.verifier_ms = verifier_ms;
+    rec.bytes = wire_bytes;
+    obs_.sink->record(rec);
+  }
+  if (obs_round_trip_ != nullptr && round_trip_ms >= 0.0) {
+    obs_round_trip_->observe(round_trip_ms);
+  }
+}
+
 void AttestationSession::sync_prover_time() {
   // Bring the device up to the simulation clock (it was idling / doing
   // its primary task since the last event).
@@ -39,6 +76,9 @@ void AttestationSession::send_request() {
   const attest::AttestRequest request = verifier_->make_request();
   pending_.push_back(Pending{request, queue_->now_ms()});
   ++stats_.requests_sent;
+  if (obs_pending_ != nullptr) {
+    obs_pending_->set(static_cast<double>(pending_.size()));
+  }
   channel_->verifier_send(request.to_bytes());
 }
 
@@ -49,8 +89,23 @@ void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
   ++stats_.requests_delivered;
   const attest::AttestOutcome outcome = prover_->handle(*request);
   prover_time_ms_ += outcome.device_ms;  // handle() advanced device time
+  stats_.prover_attest_ms += outcome.device_ms;
   if (outcome.status != attest::AttestStatus::kOk) {
     ++stats_.prover_rejects;
+    switch (outcome.status) {
+      case attest::AttestStatus::kBadRequestMac:
+        ++stats_.rejects_bad_mac;
+        break;
+      case attest::AttestStatus::kNotFresh:
+        ++stats_.rejects_not_fresh;
+        break;
+      case attest::AttestStatus::kRateLimited:
+        ++stats_.rejects_rate_limited;
+        break;
+      default:
+        ++stats_.rejects_other;
+        break;
+    }
     return;
   }
   channel_->prover_send(outcome.response.to_bytes());
@@ -66,14 +121,31 @@ void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
       });
   if (it == pending_.end()) {
     ++stats_.responses_invalid;
+    observe_round("unmatched", -1.0, 0.0, wire.size());
     return;
   }
+  // The operator's check recomputes the prover's MAC over its reference
+  // memory copy — model its cost at the reference clock.
+  const double verifier_ms =
+      obs_.enabled()
+          ? timing::DeviceTimingModel().memory_attestation_ms(
+                prover_->config().mac_alg,
+                16 + prover_->config().measured_bytes)
+          : 0.0;
+  const double round_trip_ms = queue_->now_ms() - it->sent_ms;
   if (verifier_->check_response(it->request, *response)) {
     ++stats_.responses_valid;
+    if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
+    observe_round("valid", round_trip_ms, verifier_ms, wire.size());
   } else {
     ++stats_.responses_invalid;
+    if (obs_rounds_invalid_ != nullptr) obs_rounds_invalid_->inc();
+    observe_round("invalid", round_trip_ms, verifier_ms, wire.size());
   }
   pending_.erase(it);
+  if (obs_pending_ != nullptr) {
+    obs_pending_->set(static_cast<double>(pending_.size()));
+  }
 }
 
 std::size_t AttestationSession::check_timeouts(double timeout_ms) {
@@ -83,10 +155,15 @@ std::size_t AttestationSession::check_timeouts(double timeout_ms) {
     if (now - it->sent_ms >= timeout_ms) {
       ++stats_.responses_missing;
       ++expired;
+      if (obs_rounds_missing_ != nullptr) obs_rounds_missing_->inc();
+      observe_round("missing", -1.0, 0.0, 0);
       it = pending_.erase(it);
     } else {
       ++it;
     }
+  }
+  if (expired > 0 && obs_pending_ != nullptr) {
+    obs_pending_->set(static_cast<double>(pending_.size()));
   }
   return expired;
 }

@@ -12,6 +12,7 @@
 
 #include "ratt/attest/prover.hpp"
 #include "ratt/attest/verifier.hpp"
+#include "ratt/obs/observer.hpp"
 #include "ratt/sim/channel.hpp"
 #include "ratt/sim/event.hpp"
 
@@ -27,12 +28,30 @@ class AttestationSession {
     std::uint64_t responses_invalid = 0;
     std::uint64_t prover_rejects = 0;  // freshness / MAC rejections
     std::uint64_t responses_missing = 0;  // timed out without a response
+    // Reject-reason breakdown (sums to prover_rejects) — the per-device
+    // request mix an operator needs to tell a replay flood (not-fresh)
+    // from a forgery flood (bad-request-mac) from budget exhaustion.
+    std::uint64_t rejects_bad_mac = 0;
+    std::uint64_t rejects_not_fresh = 0;
+    std::uint64_t rejects_rate_limited = 0;
+    std::uint64_t rejects_other = 0;
+    /// Device time the prover spent on this session's deliveries (ms) —
+    /// with the horizon, the duty-cycle fraction lost to attestation.
+    double prover_attest_ms = 0.0;
   };
 
   /// Wires the channel sinks. The session must outlive queue execution.
   AttestationSession(EventQueue& queue, Channel& channel,
                      attest::ProverDevice& prover,
                      attest::Verifier& verifier);
+
+  /// Attach telemetry. Publishes session.* counters, a
+  /// session.round_trip_ms histogram and a session.pending gauge, and
+  /// emits one "verifier.round" span per closed round (valid / invalid /
+  /// unmatched / missing). The verifier-side check cost in those spans is
+  /// modeled with the reference-clock timing model (the operator
+  /// recomputes the same MAC over its reference memory copy).
+  void set_observer(const obs::Observer& observer);
 
   /// Schedule verifier-initiated attestation rounds every `period_ms`
   /// until `horizon_ms`.
@@ -52,6 +71,8 @@ class AttestationSession {
   void on_prover_receives(const crypto::Bytes& wire);
   void on_verifier_receives(const crypto::Bytes& wire);
   void sync_prover_time();
+  void observe_round(const char* outcome, double round_trip_ms,
+                     double verifier_ms, std::size_t wire_bytes);
 
   EventQueue* queue_;
   Channel* channel_;
@@ -65,6 +86,13 @@ class AttestationSession {
     double sent_ms;
   };
   std::vector<Pending> pending_;
+
+  obs::Observer obs_{};
+  obs::Histogram* obs_round_trip_ = nullptr;
+  obs::Gauge* obs_pending_ = nullptr;
+  obs::Counter* obs_rounds_valid_ = nullptr;
+  obs::Counter* obs_rounds_invalid_ = nullptr;
+  obs::Counter* obs_rounds_missing_ = nullptr;
 };
 
 }  // namespace ratt::sim

@@ -52,6 +52,21 @@ Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
   }
 }
 
+void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
+                            obs::PowerModel power) {
+  queue_.set_observer(registry);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    obs::Observer o;
+    o.registry = registry;
+    o.sink = sink;
+    o.device_id = i;
+    o.power = power;
+    devices_[i]->prover->set_observer(o);
+    devices_[i]->verifier->set_observer(o);
+    devices_[i]->session->set_observer(o);
+  }
+}
+
 SwarmReport Swarm::run(double horizon_ms) {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const double offset = config_.stagger_ms * static_cast<double>(i);
@@ -61,15 +76,18 @@ SwarmReport Swarm::run(double horizon_ms) {
       queue_.schedule_at(t, [session] { session->send_request(); });
     }
   }
-  queue_.run_all();
+  const std::size_t leftover = queue_.run_all();
 
   SwarmReport report;
   report.horizon_ms = horizon_ms;
+  report.events_leftover = leftover;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     SwarmDeviceReport dr;
     dr.device = i;
     dr.stats = devices_[i]->session->stats();
     dr.attest_device_ms = devices_[i]->prover->anchor().total_device_ms();
+    dr.duty_fraction =
+        horizon_ms > 0.0 ? dr.attest_device_ms / horizon_ms : 0.0;
     report.devices.push_back(dr);
   }
   return report;

@@ -31,11 +31,17 @@ struct SwarmDeviceReport {
   std::size_t device = 0;
   AttestationSession::Stats stats;
   double attest_device_ms = 0.0;  // prover time spent on attestation
+  /// Fraction of the horizon the device spent in (uninterruptible)
+  /// attestation — the duty-cycle disruption signal fleet_health grades.
+  double duty_fraction = 0.0;
 };
 
 struct SwarmReport {
   double horizon_ms = 0.0;
   std::vector<SwarmDeviceReport> devices;
+  /// Events stranded when the run's event budget was exhausted (0 in a
+  /// healthy run; nonzero means the horizon's tail was not simulated).
+  std::size_t events_leftover = 0;
 
   std::uint64_t total_valid() const;
   std::uint64_t total_sent() const;
@@ -56,6 +62,13 @@ class Swarm {
   const crypto::Bytes& device_key(std::size_t i) const {
     return devices_[i]->key;
   }
+
+  /// Attach one registry/sink pair to the whole fleet: every prover,
+  /// verifier and session gets an Observer carrying its device index, and
+  /// the shared event queue publishes its backlog gauges. Metrics
+  /// aggregate fleet-wide; traces stay per-device via device_id.
+  void attach_observer(obs::Registry* registry, obs::TraceSink* sink,
+                       obs::PowerModel power = obs::PowerModel{});
 
   /// Schedule periodic attestation for every device and run to `horizon`.
   SwarmReport run(double horizon_ms);

@@ -1,0 +1,93 @@
+// Same seed -> identical trace: the whole observability pipeline (swarm,
+// sessions, provers, queue, exporters) must be deterministic, or traces
+// can't be diffed across runs and golden experiments can't be re-run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ratt/obs/trace.hpp"
+#include "ratt/sim/swarm.hpp"
+
+namespace ratt::sim {
+namespace {
+
+struct RunResult {
+  std::string jsonl;
+  std::string metrics;
+  std::uint64_t spans;
+};
+
+RunResult run_observed_fleet(const char* seed) {
+  SwarmConfig config;
+  config.device_count = 3;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 512;
+  config.attest_period_ms = 100.0;
+
+  Swarm swarm(config, crypto::from_string(seed));
+  obs::Registry registry;
+  obs::RingRecorder ring(1024);
+  swarm.attach_observer(&registry, &ring);
+  (void)swarm.run(500.0);
+
+  std::ostringstream out;
+  const auto records = ring.snapshot();
+  obs::write_jsonl(out, records);
+  return RunResult{out.str(), registry.to_text(), ring.total_recorded()};
+}
+
+TEST(Determinism, SameSeedSameTraceAndMetrics) {
+  const RunResult a = run_observed_fleet("determinism-seed");
+  const RunResult b = run_observed_fleet("determinism-seed");
+  EXPECT_GT(a.spans, 0u);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(Determinism, SeedChangesKeysButNotScheduleShape) {
+  // A different fleet seed changes keys and challenges but not the
+  // request schedule or timing model, so the aggregate metric surface
+  // stays identical while the traces remain comparable row-for-row.
+  const RunResult a = run_observed_fleet("determinism-seed");
+  const RunResult b = run_observed_fleet("other-seed");
+  EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(Determinism, TraceCoversProverAndVerifierSides) {
+  SwarmConfig config;
+  config.device_count = 2;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 512;
+  config.attest_period_ms = 100.0;
+  Swarm swarm(config, crypto::from_string("coverage-seed"));
+  obs::Registry registry;
+  obs::RingRecorder ring(1024);
+  swarm.attach_observer(&registry, &ring);
+  const SwarmReport report = swarm.run(400.0);
+
+  std::uint64_t prover_spans = 0;
+  std::uint64_t verifier_spans = 0;
+  for (const auto& rec : ring.snapshot()) {
+    if (rec.kind == "prover.handle") ++prover_spans;
+    if (rec.kind == "verifier.round") ++verifier_spans;
+    EXPECT_LT(rec.device_id, 2u);
+  }
+  // Every delivered request produced exactly one prover span; every
+  // validated response one verifier span.
+  std::uint64_t delivered = 0;
+  std::uint64_t validated = 0;
+  for (const auto& d : report.devices) {
+    delivered += d.stats.requests_delivered;
+    validated += d.stats.responses_valid + d.stats.responses_invalid;
+  }
+  EXPECT_EQ(prover_spans, delivered);
+  EXPECT_EQ(verifier_spans, validated);
+  EXPECT_GT(prover_spans, 0u);
+  // Queue metrics were published too.
+  EXPECT_GT(registry.counter("queue.events_run").count(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("queue.runaway_leftover").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ratt::sim

@@ -1,0 +1,136 @@
+// Registry / counter / gauge / histogram semantics, including the
+// stable-address guarantee cached instrument pointers rely on, and the
+// EventQueue's metric surface (backlog, latency, runaway leftover).
+#include <gtest/gtest.h>
+
+#include "ratt/obs/metrics.hpp"
+#include "ratt/sim/event.hpp"
+
+namespace ratt::obs {
+namespace {
+
+TEST(Counter, AccumulatesValueAndCount) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_EQ(c.count(), 0u);
+  c.inc();
+  c.inc(2.5);
+  c.inc(0.0);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  EXPECT_EQ(c.count(), 3u);
+}
+
+TEST(Gauge, LastWriteWinsWithHighWater) {
+  Gauge g;
+  g.set(4.0);
+  g.set(9.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+}
+
+TEST(Histogram, BucketsObservationsByUpperBound) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // <= 1.0 (bounds are inclusive)
+  h.observe(5.0);   // <= 10.0
+  h.observe(100.0); // overflow
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.5 / 4.0);
+}
+
+TEST(Histogram, EmptyIsWellDefined) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  a.inc();
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+  // Addresses stay stable across later registrations (node-based map).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.counter("x"), &a);
+}
+
+TEST(Registry, HistogramKeepsFirstBounds) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  Histogram& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, FindDoesNotCreate) {
+  Registry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  reg.counter("yes").inc(7.0);
+  ASSERT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_counter("yes")->value(), 7.0);
+}
+
+TEST(Registry, TextDumpIsNameSortedAndStable) {
+  Registry reg;
+  reg.counter("b.second").inc(2.0);
+  reg.counter("a.first").inc();
+  reg.gauge("c.gauge").set(1.5);
+  const std::string text = reg.to_text();
+  const auto a_pos = text.find("counter a.first");
+  const auto b_pos = text.find("counter b.second");
+  const auto c_pos = text.find("gauge c.gauge");
+  EXPECT_NE(a_pos, std::string::npos);
+  EXPECT_LT(a_pos, b_pos);
+  EXPECT_LT(b_pos, c_pos);
+  EXPECT_EQ(text, reg.to_text());  // deterministic
+}
+
+TEST(EventQueueObs, PublishesBacklogLatencyAndRunCount) {
+  Registry reg;
+  sim::EventQueue q;
+  q.set_observer(&reg);
+  q.schedule_at(5.0, [] {});
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(3.0, [] {});
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.backlog").value(), 3.0);
+  EXPECT_EQ(q.run_all(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.backlog").value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.backlog").max(), 3.0);
+  EXPECT_EQ(reg.counter("queue.events_run").count(), 3u);
+  // All three were scheduled at t=0, so latency == each event's at_ms.
+  const Histogram& lat = reg.histogram("queue.event_latency_ms");
+  EXPECT_EQ(lat.count(), 3u);
+  EXPECT_DOUBLE_EQ(lat.sum(), 9.0);
+}
+
+TEST(EventQueueObs, RunAllReportsStrandedBacklog) {
+  Registry reg;
+  sim::EventQueue q;
+  q.set_observer(&reg);
+  // A self-rearming cascade never drains; the guard must report the
+  // stranded event rather than silently dropping it.
+  std::function<void()> rearm = [&] { q.schedule_in(1.0, rearm); };
+  q.schedule_in(1.0, rearm);
+  EXPECT_EQ(q.run_all(100), 1u);
+  EXPECT_EQ(q.pending(), 1u);  // still queued, not lost
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.runaway_leftover").value(), 1.0);
+}
+
+}  // namespace
+}  // namespace ratt::obs

@@ -1,0 +1,138 @@
+// ProverDevice instrumentation: one "prover.handle" span per request,
+// correct outcome labels, energy derived from the power model, and the
+// inert zero-observer configuration.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+#include "ratt/obs/observer.hpp"
+
+namespace ratt::attest {
+namespace {
+
+crypto::Bytes key() {
+  return crypto::from_hex("000102030405060708090a0b0c0d0e0f");
+}
+
+struct Rig {
+  ProverDevice prover;
+  Verifier verifier;
+  obs::Registry registry;
+  obs::RingRecorder ring{64};
+
+  explicit Rig(const ProverConfig& config)
+      : prover(config, key(), crypto::from_string("obs-trace-app")),
+        verifier(key(),
+                 Verifier::Config{config.mac_alg, config.scheme,
+                                  config.authenticate_requests, {}},
+                 crypto::from_string("obs-trace-vrf")) {
+    obs::Observer o;
+    o.registry = &registry;
+    o.sink = &ring;
+    o.device_id = 7;
+    prover.set_observer(o);
+  }
+};
+
+ProverConfig counter_config() {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.measured_bytes = 1024;
+  return config;
+}
+
+TEST(ProverTrace, OneSpanPerRequestWithOutcomeLabels) {
+  Rig rig(counter_config());
+
+  const AttestRequest genuine = rig.verifier.make_request();
+  EXPECT_EQ(rig.prover.handle(genuine).status, AttestStatus::kOk);
+  // Replay: authenticates, then fails freshness.
+  EXPECT_EQ(rig.prover.handle(genuine).status, AttestStatus::kNotFresh);
+  // Forgery: garbage MAC.
+  AttestRequest forged = rig.verifier.make_request();
+  forged.mac.assign(forged.mac.size(), 0x00);
+  EXPECT_EQ(rig.prover.handle(forged).status,
+            AttestStatus::kBadRequestMac);
+
+  const auto spans = rig.ring.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.kind, "prover.handle");
+    EXPECT_EQ(span.device_id, 7u);
+    EXPECT_GT(span.prover_ms, 0.0);
+    EXPECT_GT(span.bytes, 0u);
+    // Energy is exactly the power model applied to the span's time.
+    EXPECT_DOUBLE_EQ(span.energy_mj,
+                     obs::PowerModel{}.active_mj(span.prover_ms));
+  }
+  EXPECT_EQ(spans[0].outcome, "ok");
+  EXPECT_EQ(spans[1].outcome, "not-fresh");
+  EXPECT_EQ(spans[2].outcome, "bad-request-mac");
+  // The full measurement dwarfs the two rejections.
+  EXPECT_GT(spans[0].prover_ms, spans[1].prover_ms);
+  EXPECT_GT(spans[0].prover_ms, spans[2].prover_ms);
+  // Span timestamps follow device time, which the requests advanced.
+  EXPECT_LT(spans[0].sim_time_ms, spans[1].sim_time_ms);
+
+  // Registry view agrees.
+  EXPECT_EQ(rig.registry.counter("prover.requests").count(), 3u);
+  EXPECT_DOUBLE_EQ(rig.registry.counter("prover.outcome.ok").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      rig.registry.counter("prover.outcome.not-fresh").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      rig.registry.counter("prover.outcome.bad-request-mac").value(), 1.0);
+  EXPECT_EQ(rig.registry.histogram("prover.handle_ms").count(), 3u);
+  EXPECT_DOUBLE_EQ(rig.registry.counter("prover.busy_ms").value(),
+                   spans[0].prover_ms + spans[1].prover_ms +
+                       spans[2].prover_ms);
+}
+
+TEST(ProverTrace, CustomPowerModelScalesEnergy) {
+  Rig rig(counter_config());
+  obs::Observer o;
+  o.registry = &rig.registry;
+  o.sink = &rig.ring;
+  o.power = obs::PowerModel{72.0, 0.03};  // 10x the default draw
+  rig.prover.set_observer(o);
+
+  const AttestRequest req = rig.verifier.make_request();
+  const AttestOutcome out = rig.prover.handle(req);
+  ASSERT_EQ(out.status, AttestStatus::kOk);
+  const auto spans = rig.ring.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].energy_mj, 72.0 * out.device_ms / 1000.0);
+  EXPECT_DOUBLE_EQ(rig.registry.counter("prover.energy_mj").value(),
+                   spans[0].energy_mj);
+}
+
+TEST(ProverTrace, ObserverIsBehaviorallyInert) {
+  // Same seed/config, observed vs. unobserved: identical outcomes, device
+  // time and responses — the acceptance criterion's "bit-identical" claim.
+  Rig observed(counter_config());
+  ProverDevice bare(counter_config(), key(),
+                    crypto::from_string("obs-trace-app"));
+  Verifier bare_verifier(
+      key(),
+      Verifier::Config{counter_config().mac_alg, counter_config().scheme,
+                       true,
+                       {}},
+      crypto::from_string("obs-trace-vrf"));
+  for (int i = 0; i < 3; ++i) {
+    const AttestRequest a = observed.verifier.make_request();
+    const AttestRequest b = bare_verifier.make_request();
+    ASSERT_EQ(a, b);
+    const AttestOutcome oa = observed.prover.handle(a);
+    const AttestOutcome ob = bare.handle(b);
+    EXPECT_EQ(oa.status, ob.status);
+    EXPECT_DOUBLE_EQ(oa.device_ms, ob.device_ms);
+    EXPECT_EQ(oa.response, ob.response);
+  }
+  // Detaching stops recording.
+  observed.prover.set_observer(obs::Observer{});
+  const std::uint64_t before = observed.ring.total_recorded();
+  (void)observed.prover.handle(observed.verifier.make_request());
+  EXPECT_EQ(observed.ring.total_recorded(), before);
+}
+
+}  // namespace
+}  // namespace ratt::attest

@@ -1,0 +1,54 @@
+// DosScoreboard: per-class attacker-vs-prover accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ratt/obs/scoreboard.hpp"
+
+namespace ratt::obs {
+namespace {
+
+TEST(DosScoreboard, AccumulatesPerClass) {
+  DosScoreboard board;
+  board.record("replay:ok", 94.6, 0.01);
+  board.record("replay:ok", 94.6, 0.01);
+  board.record("replay:not-fresh", 0.432, 0.01);
+  ASSERT_NE(board.find("replay:ok"), nullptr);
+  EXPECT_EQ(board.find("replay:ok")->requests, 2u);
+  EXPECT_DOUBLE_EQ(board.find("replay:ok")->prover_ms, 189.2);
+  EXPECT_EQ(board.find("replay:not-fresh")->requests, 1u);
+  EXPECT_EQ(board.find("forged:whatever"), nullptr);
+  EXPECT_EQ(board.classes().size(), 2u);
+}
+
+TEST(DosScoreboard, TotalsAndAsymmetry) {
+  DosScoreboard board;
+  board.record("replay:ok", 100.0, 0.5);
+  board.record("replay:not-fresh", 0.5, 0.5);
+  const auto t = board.totals();
+  EXPECT_EQ(t.requests, 2u);
+  EXPECT_DOUBLE_EQ(t.prover_ms, 100.5);
+  EXPECT_DOUBLE_EQ(t.attacker_ms, 1.0);
+  EXPECT_DOUBLE_EQ(board.asymmetry(), 100.5);
+}
+
+TEST(DosScoreboard, EnergyFollowsPowerModels) {
+  PowerModel prover{7.2, 0.003};
+  PowerModel attacker{1000.0, 1.0};  // a mains-powered attack rig
+  DosScoreboard board(prover, attacker);
+  board.record("replay:ok", 1000.0, 1.0);  // 1 s prover, 1 ms attacker
+  const auto t = board.totals();
+  EXPECT_DOUBLE_EQ(t.prover_mj, 7.2);
+  EXPECT_DOUBLE_EQ(t.attacker_mj, 1.0);
+}
+
+TEST(DosScoreboard, FreeAttackReportsInfiniteAsymmetry) {
+  DosScoreboard board;
+  board.record("replay:ok", 100.0, 0.0);
+  EXPECT_TRUE(std::isinf(board.asymmetry()));
+  DosScoreboard empty;
+  EXPECT_DOUBLE_EQ(empty.asymmetry(), 0.0);
+}
+
+}  // namespace
+}  // namespace ratt::obs

@@ -1,0 +1,105 @@
+// RingRecorder semantics and the JSONL / CSV exporters, including the
+// golden-line format the schema in docs/OBSERVABILITY.md pins down.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ratt/obs/trace.hpp"
+
+namespace ratt::obs {
+namespace {
+
+TraceRecord rec(double t, std::uint64_t dev, const char* kind,
+                const char* outcome) {
+  TraceRecord r;
+  r.sim_time_ms = t;
+  r.device_id = dev;
+  r.kind = kind;
+  r.outcome = outcome;
+  return r;
+}
+
+TEST(RingRecorder, KeepsEverythingUnderCapacity) {
+  RingRecorder ring(4);
+  ring.record(rec(1.0, 0, "a", "ok"));
+  ring.record(rec(2.0, 0, "b", "ok"));
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].kind, "a");
+  EXPECT_EQ(snap[1].kind, "b");
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(RingRecorder, OverwritesOldestWhenFull) {
+  RingRecorder ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.record(rec(static_cast<double>(i), 0, "e", "ok"));
+  }
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap[0].sim_time_ms, 2.0);  // oldest survivor
+  EXPECT_DOUBLE_EQ(snap[2].sim_time_ms, 4.0);
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(TeeSink, ForwardsToBoth) {
+  RingRecorder a(8);
+  RingRecorder b(8);
+  TeeSink tee(a, b);
+  tee.record(rec(1.0, 0, "x", "ok"));
+  EXPECT_EQ(a.total_recorded(), 1u);
+  EXPECT_EQ(b.total_recorded(), 1u);
+}
+
+// Golden line: the exact JSONL schema. A change here is a schema change
+// and must be reflected in docs/OBSERVABILITY.md.
+TEST(JsonlExport, GoldenRecord) {
+  TraceRecord r;
+  r.sim_time_ms = 12.5;
+  r.device_id = 3;
+  r.kind = "prover.handle";
+  r.outcome = "ok";
+  r.prover_ms = 94.6;
+  r.verifier_ms = 0.0;
+  r.bytes = 38;
+  r.energy_mj = 0.68112;
+  EXPECT_EQ(to_jsonl(r),
+            "{\"sim_time_ms\":12.5,\"device_id\":3,"
+            "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
+            "\"prover_ms\":94.6,\"verifier_ms\":0,\"bytes\":38,"
+            "\"energy_mj\":0.68112}");
+}
+
+TEST(JsonlExport, EscapesStrings) {
+  TraceRecord r;
+  r.kind = "a\"b";
+  r.outcome = "c\\d";
+  const std::string line = to_jsonl(r);
+  EXPECT_NE(line.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(line.find("\"c\\\\d\""), std::string::npos);
+}
+
+TEST(JsonlExport, OneLinePerRecord) {
+  std::ostringstream out;
+  const std::vector<TraceRecord> records = {rec(1.0, 0, "a", "ok"),
+                                            rec(2.0, 1, "b", "not-fresh")};
+  write_jsonl(out, records);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"device_id\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"outcome\":\"not-fresh\""), std::string::npos);
+}
+
+TEST(CsvExport, HeaderPlusRows) {
+  std::ostringstream out;
+  const std::vector<TraceRecord> records = {rec(1.5, 2, "k", "ok")};
+  write_csv(out, records);
+  EXPECT_EQ(out.str(),
+            "sim_time_ms,device_id,kind,outcome,prover_ms,verifier_ms,"
+            "bytes,energy_mj\n"
+            "1.5,2,k,ok,0,0,0,0\n");
+}
+
+}  // namespace
+}  // namespace ratt::obs

@@ -57,11 +57,24 @@ TEST(EventQueue, RejectsPastScheduling) {
   EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
 }
 
-TEST(EventQueue, CascadeGuard) {
+TEST(EventQueue, CascadeGuardReportsLeftover) {
   EventQueue q;
   std::function<void()> rearm = [&] { q.schedule_in(1.0, rearm); };
   q.schedule_in(1.0, rearm);
-  EXPECT_THROW(q.run_all(100), std::runtime_error);
+  // The runaway guard stops after the budget and reports the stranded
+  // backlog instead of throwing it away.
+  EXPECT_EQ(q.run_all(100), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now_ms(), 100.0);
+}
+
+TEST(EventQueue, RunAllReturnsZeroWhenDrained) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  EXPECT_EQ(q.run_all(), 0u);
+  EXPECT_EQ(count, 2);
 }
 
 TEST(Channel, DeliversWithLatency) {

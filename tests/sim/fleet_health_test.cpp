@@ -73,10 +73,46 @@ TEST(FleetHealth, FleetAssessmentAndQuarantine) {
   EXPECT_EQ(quarantine_list(verdicts), (std::vector<std::size_t>{1, 2}));
 }
 
+TEST(FleetHealth, DegradedDevice) {
+  // Responses validate and nothing is lost, but attestation is consuming
+  // a third of the device's life — its real-time duty is starving.
+  const auto v = assess_device(5, stats(10, 10, 0), HealthPolicy{}, 0.33);
+  EXPECT_EQ(v.health, DeviceHealth::kDegraded);
+  EXPECT_DOUBLE_EQ(v.duty_fraction, 0.33);
+}
+
+TEST(FleetHealth, DegradedThresholdRespected) {
+  HealthPolicy policy;
+  policy.degraded_duty_threshold = 0.5;
+  EXPECT_EQ(assess_device(0, stats(10, 10, 0), policy, 0.4).health,
+            DeviceHealth::kHealthy);
+  EXPECT_EQ(assess_device(0, stats(10, 10, 0), policy, 0.6).health,
+            DeviceHealth::kDegraded);
+  // Stronger signals still win over duty starvation.
+  EXPECT_EQ(assess_device(0, stats(10, 9, 1), policy, 0.9).health,
+            DeviceHealth::kCompromised);
+  EXPECT_EQ(assess_device(0, stats(10, 1, 0), policy, 0.9).health,
+            DeviceHealth::kSilent);
+}
+
+TEST(FleetHealth, DegradedViaFleetDutyFraction) {
+  SwarmReport report;
+  report.horizon_ms = 1000.0;
+  report.devices.push_back({0, stats(10, 10, 0), 400.0, 0.4});  // degraded
+  report.devices.push_back({1, stats(10, 10, 0), 10.0, 0.01});  // healthy
+  const auto verdicts = assess_fleet(report);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].health, DeviceHealth::kDegraded);
+  EXPECT_EQ(verdicts[1].health, DeviceHealth::kHealthy);
+  // Degraded devices are starved, not compromised: no quarantine.
+  EXPECT_TRUE(quarantine_list(verdicts).empty());
+}
+
 TEST(FleetHealth, Names) {
   EXPECT_EQ(to_string(DeviceHealth::kHealthy), "healthy");
   EXPECT_EQ(to_string(DeviceHealth::kSilent), "silent");
   EXPECT_EQ(to_string(DeviceHealth::kCompromised), "compromised");
+  EXPECT_EQ(to_string(DeviceHealth::kDegraded), "degraded");
   EXPECT_EQ(to_string(DeviceHealth::kSuspect), "suspect");
 }
 
