@@ -15,6 +15,7 @@
 // "queue.backlog", "session.round_trip_ms".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -48,15 +49,19 @@ class Gauge {
  public:
   void set(double v) {
     value_ = v;
-    if (v > max_) max_ = v;
+    if (++sets_ == 1 || v > max_) max_ = v;
   }
 
   double value() const { return value_; }
-  double max() const { return max_; }
+  /// High-water mark; 0.0 before the first set() (never -inf), matching
+  /// Histogram::min/max on an empty instrument.
+  double max() const { return sets_ == 0 ? 0.0 : max_; }
+  std::uint64_t sets() const { return sets_; }
 
  private:
   double value_ = 0.0;
-  double max_ = -std::numeric_limits<double>::infinity();
+  double max_ = 0.0;
+  std::uint64_t sets_ = 0;
 };
 
 /// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
@@ -68,8 +73,12 @@ class Histogram {
       : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
 
   void observe(double v) {
-    std::size_t i = 0;
-    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    // First bound >= v keeps the documented inclusive-upper-bound
+    // semantics (v == bound lands in that bucket); binary search instead
+    // of a linear scan, since bounds_ is sorted by construction.
+    const std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
     ++buckets_[i];
     ++count_;
     sum_ += v;
@@ -114,6 +123,10 @@ class Registry {
   }
   Gauge& gauge(std::string_view name) { return gauges_[std::string(name)]; }
   Histogram& histogram(std::string_view name) {
+    // Build the default bounds vector only on the miss path — the common
+    // repeated lookup must not allocate.
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
     return histogram(name, default_latency_bounds_ms());
   }
   Histogram& histogram(std::string_view name, std::vector<double> bounds) {

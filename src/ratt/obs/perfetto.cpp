@@ -1,0 +1,185 @@
+#include "ratt/obs/perfetto.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace ratt::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+constexpr int kTidProver = 1;
+constexpr int kTidVerifier = 2;
+constexpr int kTidDos = 3;
+constexpr int kTidAlerts = 4;
+
+int tid_for(const TraceRecord& rec) {
+  if (rec.kind == "verifier.round") return kTidVerifier;
+  if (rec.kind == "dos.request") return kTidDos;
+  return kTidProver;
+}
+
+// Span duration: prover-side spans cost prover time, verifier rounds
+// verifier time.
+double duration_ms(const TraceRecord& rec) {
+  return tid_for(rec) == kTidVerifier ? rec.verifier_ms : rec.prover_ms;
+}
+
+void append_metadata(std::string& out, std::uint64_t pid, int tid,
+                     const char* what, const char* name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  if (tid >= 0) {
+    out += ",\"tid\":";
+    append_u64(out, static_cast<std::uint64_t>(tid));
+  }
+  out += ",\"args\":{\"name\":\"";
+  out += name;
+  out += "\"}}";
+}
+
+void append_span(std::string& out, const TraceRecord& rec) {
+  const double dur_ms = std::max(0.0, duration_ms(rec));
+  const double start_ms = std::max(0.0, rec.sim_time_ms - dur_ms);
+  out += "{\"name\":";
+  append_json_string(out, rec.kind);
+  out += ",\"cat\":\"ratt\",\"ph\":\"X\",\"ts\":";
+  append_double(out, start_ms * 1000.0);
+  out += ",\"dur\":";
+  append_double(out, dur_ms * 1000.0);
+  out += ",\"pid\":";
+  append_u64(out, rec.device_id);
+  out += ",\"tid\":";
+  append_u64(out, static_cast<std::uint64_t>(tid_for(rec)));
+  out += ",\"args\":{\"outcome\":";
+  append_json_string(out, rec.outcome);
+  out += ",\"bytes\":";
+  append_u64(out, rec.bytes);
+  out += ",\"prover_ms\":";
+  append_double(out, rec.prover_ms);
+  out += ",\"verifier_ms\":";
+  append_double(out, rec.verifier_ms);
+  out += ",\"energy_mj\":";
+  append_double(out, rec.energy_mj);
+  out += "}}";
+}
+
+void append_alert(std::string& out, const ts::AlertEvent& event) {
+  out += "{\"name\":";
+  append_json_string(out, event.rule);
+  // Process-scoped instant marker ("s":"p") at the window close time.
+  out += ",\"cat\":\"alert\",\"ph\":\"i\",\"s\":\"p\",\"ts\":";
+  append_double(out, event.sim_time_ms * 1000.0);
+  out += ",\"pid\":";
+  append_u64(out, event.device_id);
+  out += ",\"tid\":";
+  append_u64(out, static_cast<std::uint64_t>(kTidAlerts));
+  out += ",\"args\":{\"observed\":";
+  append_double(out, event.observed);
+  out += ",\"threshold\":";
+  append_double(out, event.threshold);
+  out += ",\"window\":";
+  append_u64(out, event.window_index);
+  out += "}}";
+}
+
+void write(std::ostream& out, std::span<const TraceRecord> records,
+           std::span<const ts::AlertEvent> alerts) {
+  // Name every device "process" and its role tracks up front, in device
+  // order, so the file layout is stable regardless of record order.
+  std::vector<std::uint64_t> devices;
+  for (const auto& rec : records) devices.push_back(rec.device_id);
+  for (const auto& event : alerts) devices.push_back(event.device_id);
+  std::sort(devices.begin(), devices.end());
+  devices.erase(std::unique(devices.begin(), devices.end()), devices.end());
+
+  std::string buf;
+  buf.reserve(256);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event_json) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << event_json;
+  };
+  char name[48];
+  for (const std::uint64_t pid : devices) {
+    std::snprintf(name, sizeof(name), "device-%llu",
+                  static_cast<unsigned long long>(pid));
+    buf.clear();
+    append_metadata(buf, pid, -1, "process_name", name);
+    emit(buf);
+    const struct {
+      int tid;
+      const char* label;
+    } tracks[] = {{kTidProver, "prover"},
+                  {kTidVerifier, "verifier"},
+                  {kTidDos, "dos"},
+                  {kTidAlerts, "alerts"}};
+    for (const auto& track : tracks) {
+      buf.clear();
+      append_metadata(buf, pid, track.tid, "thread_name", track.label);
+      emit(buf);
+    }
+  }
+  for (const auto& rec : records) {
+    buf.clear();
+    append_span(buf, rec);
+    emit(buf);
+  }
+  for (const auto& event : alerts) {
+    buf.clear();
+    append_alert(buf, event);
+    emit(buf);
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace
+
+void write_perfetto(std::ostream& out,
+                    std::span<const TraceRecord> records) {
+  write(out, records, {});
+}
+
+void write_perfetto(std::ostream& out, std::span<const TraceRecord> records,
+                    std::span<const ts::AlertEvent> alerts) {
+  write(out, records, alerts);
+}
+
+}  // namespace ratt::obs

@@ -1,0 +1,31 @@
+// ratt::obs — Perfetto / Chrome trace_event JSON export. TraceRecord
+// spans become complete ("ph":"X") events on one track per device and
+// role, AlertEvents become instant ("ph":"i") markers, and metadata
+// events name the tracks, so a same-seed run drops a byte-identical file
+// that opens directly in ui.perfetto.dev or chrome://tracing.
+//
+// Mapping:
+//   pid  = device_id (one "process" per prover)
+//   tid  = 1 prover spans, 2 verifier spans, 3 DoS-harness spans,
+//          4 alert markers
+//   ts   = span start in µs (sim_time_ms is the span *end*, so the start
+//          is end − duration); dur = prover/verifier time in µs
+//   args = outcome, bytes, prover_ms, verifier_ms, energy_mj
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "ratt/obs/trace.hpp"
+#include "ratt/obs/ts/alert.hpp"
+
+namespace ratt::obs {
+
+/// Spans only.
+void write_perfetto(std::ostream& out, std::span<const TraceRecord> records);
+
+/// Spans plus alert instant markers on each device's alert track.
+void write_perfetto(std::ostream& out, std::span<const TraceRecord> records,
+                    std::span<const ts::AlertEvent> alerts);
+
+}  // namespace ratt::obs

@@ -1,0 +1,208 @@
+#include "ratt/obs/ts/alert.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+namespace ratt::obs::ts {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+bool is_request_span(const TraceRecord& rec) {
+  return rec.kind == "prover.handle" || rec.kind == "dos.request";
+}
+
+bool is_rejected(const TraceRecord& rec) {
+  // "ok" for prover.handle spans; dos.request files "<label>:<status>".
+  if (rec.outcome == "ok") return false;
+  const std::string_view out = rec.outcome;
+  return !(out.size() >= 3 && out.substr(out.size() - 3) == ":ok");
+}
+
+}  // namespace
+
+std::string to_log_line(const AlertEvent& event) {
+  std::string out;
+  out.reserve(96);
+  out += "[t=";
+  append_double(out, event.sim_time_ms);
+  out += "ms] device ";
+  append_u64(out, event.device_id);
+  out += ' ';
+  out += event.rule;
+  out += " observed=";
+  append_double(out, event.observed);
+  out += " threshold=";
+  append_double(out, event.threshold);
+  out += " window=";
+  append_u64(out, event.window_index);
+  return out;
+}
+
+std::string to_log(std::span<const AlertEvent> alerts) {
+  std::string out;
+  for (const auto& event : alerts) {
+    out += to_log_line(event);
+    out += '\n';
+  }
+  return out;
+}
+
+AlertEngine::DeviceState::DeviceState(const AlertConfig& config)
+    : requests(config.window_ms, config.history),
+      rejects(config.window_ms, config.history),
+      prover_ms(config.window_ms, config.history),
+      energy_mj(config.window_ms, config.history),
+      rate_baseline(config.baseline_alpha) {}
+
+AlertEngine::AlertEngine(AlertConfig config) : config_(std::move(config)) {
+  if (config_.window_ms <= 0.0) config_.window_ms = 1.0;
+  devices_.reserve(std::max<std::size_t>(config_.device_count, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(config_.device_count, 1);
+       ++i) {
+    devices_.emplace_back(config_);
+  }
+  alerts_.reserve(config_.max_alerts);
+}
+
+AlertEngine::DeviceState& AlertEngine::state_for(std::uint64_t device_id) {
+  // Growing past the preallocated fleet allocates; config.device_count
+  // exists so steady-state record() never does.
+  while (device_id >= devices_.size()) devices_.emplace_back(config_);
+  return devices_[static_cast<std::size_t>(device_id)];
+}
+
+void AlertEngine::record(const TraceRecord& rec) {
+  DeviceState& dev = state_for(rec.device_id);
+  if (is_request_span(rec)) {
+    const double rejected = is_rejected(rec) ? 1.0 : 0.0;
+    dev.requests.observe(rec.sim_time_ms, 1.0);
+    dev.rejects.observe(rec.sim_time_ms, rejected);
+    dev.prover_ms.observe(rec.sim_time_ms, rec.prover_ms);
+    dev.energy_mj.observe(rec.sim_time_ms, rec.energy_mj);
+  } else if (dev.requests.current() != nullptr) {
+    // Non-request spans (verifier rounds) only move the clock forward so
+    // quiet windows close promptly.
+    dev.requests.advance_to(rec.sim_time_ms);
+    dev.rejects.advance_to(rec.sim_time_ms);
+    dev.prover_ms.advance_to(rec.sim_time_ms);
+    dev.energy_mj.advance_to(rec.sim_time_ms);
+  } else {
+    return;
+  }
+  evaluate_until(rec.device_id, dev, dev.requests.current()->index);
+}
+
+void AlertEngine::finish(double now_ms) {
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    DeviceState& dev = devices_[d];
+    if (dev.requests.current() == nullptr) continue;
+    dev.requests.advance_to(now_ms);
+    dev.rejects.advance_to(now_ms);
+    dev.prover_ms.advance_to(now_ms);
+    dev.energy_mj.advance_to(now_ms);
+    const auto closed = static_cast<std::uint64_t>(
+        std::floor(now_ms / config_.window_ms));
+    evaluate_until(d, dev, closed);
+  }
+}
+
+void AlertEngine::evaluate_until(std::uint64_t device_id, DeviceState& dev,
+                                 std::uint64_t window_index) {
+  // The four rollups saw the same timestamps, so their rings line up
+  // index-for-index; grade every retained window that closed.
+  for (std::size_t i = 0; i < dev.requests.size(); ++i) {
+    const WindowStats& req = dev.requests.at(i);
+    if (req.index < dev.next_grade_index) continue;
+    if (req.index >= window_index) break;
+
+    const double rate = req.rate_per_s(config_.window_ms);
+    const double baseline =
+        dev.rate_baseline.initialized() ? dev.rate_baseline.value() : 0.0;
+    const double spike_threshold = std::max(
+        config_.spike_min_rate_per_s, config_.spike_factor * baseline);
+    if (req.count > 0 && rate >= spike_threshold) {
+      fire(device_id, dev, req, "dos.rate_spike", rate, spike_threshold);
+    }
+    dev.rate_baseline.update(rate);
+
+    const double burn = dev.energy_mj.at(i).sum_per_s(config_.window_ms);
+    if (burn >= config_.energy_burn_mj_per_s) {
+      fire(device_id, dev, req, "dos.energy_burn", burn,
+           config_.energy_burn_mj_per_s);
+    }
+
+    if (req.count >= config_.reject_min_requests && req.count > 0) {
+      const double ratio =
+          dev.rejects.at(i).sum / static_cast<double>(req.count);
+      if (ratio >= config_.reject_ratio) {
+        fire(device_id, dev, req, "dos.reject_ratio", ratio,
+             config_.reject_ratio);
+      }
+    }
+
+    const double duty = dev.prover_ms.at(i).sum / config_.window_ms;
+    if (duty >= config_.duty_fraction) {
+      fire(device_id, dev, req, "dos.duty_cycle", duty,
+           config_.duty_fraction);
+    }
+  }
+  if (window_index > dev.next_grade_index) {
+    dev.next_grade_index = window_index;
+  }
+}
+
+void AlertEngine::fire(std::uint64_t device_id, DeviceState& dev,
+                       const WindowStats& window, const char* rule,
+                       double observed, double threshold) {
+  ++dev.alert_count;
+  if (alerts_.size() >= config_.max_alerts) {
+    ++dropped_;
+    return;
+  }
+  AlertEvent event;
+  event.sim_time_ms = window.start_ms + config_.window_ms;
+  event.device_id = device_id;
+  event.window_index = window.index;
+  event.rule = rule;
+  event.observed = observed;
+  event.threshold = threshold;
+  alerts_.push_back(std::move(event));
+}
+
+const AlertEvent* AlertEngine::first_alert() const {
+  return alerts_.empty() ? nullptr : &alerts_.front();
+}
+
+const AlertEvent* AlertEngine::first_alert(std::uint64_t device_id) const {
+  for (const auto& event : alerts_) {
+    if (event.device_id == device_id) return &event;
+  }
+  return nullptr;
+}
+
+std::uint64_t AlertEngine::alert_count(std::uint64_t device_id) const {
+  return device_id < devices_.size()
+             ? devices_[static_cast<std::size_t>(device_id)].alert_count
+             : 0;
+}
+
+const WindowedRollup* AlertEngine::requests(std::uint64_t device_id) const {
+  return device_id < devices_.size()
+             ? &devices_[static_cast<std::size_t>(device_id)].requests
+             : nullptr;
+}
+
+}  // namespace ratt::obs::ts

@@ -1,0 +1,134 @@
+// ratt::obs::ts — online DoS alert engine. Consumes the same TraceRecord
+// stream the recorders see (it *is* a TraceSink, so it composes with
+// RingRecorder via TeeSink), maintains per-device windowed aggregates,
+// and evaluates four declarative rules every time a device's window
+// closes:
+//
+//   dos.rate_spike    request rate above max(floor, factor × EWMA
+//                     baseline of earlier windows) — the Adv_ext flood
+//                     signature: many requests, whatever their outcome,
+//   dos.energy_burn   energy burn slope (mJ/s) above the device's budget
+//                     burn-down rate — catches the unprotected prover
+//                     that *performs* every gratuitous measurement,
+//   dos.reject_ratio  rejected/handled above a threshold with a minimum
+//                     request count — the hardened prover's view of a
+//                     replay/forgery campaign (cheap rejects, many),
+//   dos.duty_cycle    prover-busy fraction of the window above threshold
+//                     — the paper's Sec. 3.1 disruption, detected online
+//                     instead of post-hoc.
+//
+// Determinism contract: alerts depend only on the record stream, so a
+// same-seed run produces a byte-identical alert log (see to_log_line and
+// tests/obs/alert_test.cpp). Zero hot-path allocation: device slots and
+// the alert log are preallocated; rule names are literal SSO strings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ratt/obs/trace.hpp"
+#include "ratt/obs/ts/rollup.hpp"
+
+namespace ratt::obs::ts {
+
+struct AlertConfig {
+  /// Evaluation window. Rules run when a window closes.
+  double window_ms = 500.0;
+  /// Windows retained per device stream (ring capacity).
+  std::size_t history = 64;
+  /// Device slots preallocated up front (records with a larger device_id
+  /// grow the table — an allocation, so size this for the fleet).
+  std::size_t device_count = 1;
+  /// Fired-alert log capacity; overflow is counted, not stored.
+  std::size_t max_alerts = 1024;
+
+  // dos.rate_spike
+  double spike_factor = 4.0;         // vs. the EWMA baseline
+  double spike_min_rate_per_s = 8.0; // absolute floor (quiet baselines)
+  double baseline_alpha = 0.3;       // EWMA weight per closed window
+
+  // dos.energy_burn
+  double energy_burn_mj_per_s = 2.0;  // ≈28% duty at the 7.2 mW model
+
+  // dos.reject_ratio
+  double reject_ratio = 0.5;
+  std::uint64_t reject_min_requests = 3;
+
+  // dos.duty_cycle
+  double duty_fraction = 0.5;
+};
+
+struct AlertEvent {
+  double sim_time_ms = 0.0;  // close time of the window that fired
+  std::uint64_t device_id = 0;
+  std::uint64_t window_index = 0;
+  std::string rule;        // "dos.rate_spike", ... (SSO-sized)
+  double observed = 0.0;   // the value that crossed
+  double threshold = 0.0;  // the configured/derived limit it crossed
+
+  friend bool operator==(const AlertEvent&, const AlertEvent&) = default;
+};
+
+/// Deterministic one-line rendering, e.g.
+///   [t=1500ms] device 3 dos.rate_spike observed=10 threshold=8 window=2
+/// (shortest round-trip doubles — same formatting as the trace export).
+std::string to_log_line(const AlertEvent& event);
+
+/// Render the whole log, one line each (golden-file format).
+std::string to_log(std::span<const AlertEvent> alerts);
+
+class AlertEngine : public TraceSink {
+ public:
+  explicit AlertEngine(AlertConfig config = AlertConfig{});
+
+  /// Feed one span. Request-shaped records ("prover.handle" and
+  /// "dos.request") drive the rules; other kinds only advance time.
+  void record(const TraceRecord& rec) override;
+
+  /// Close windows up to `now_ms` on every device and evaluate them —
+  /// call once at end of run so trailing windows are graded.
+  void finish(double now_ms);
+
+  const AlertConfig& config() const { return config_; }
+  std::span<const AlertEvent> alerts() const { return alerts_; }
+  std::uint64_t alerts_dropped() const { return dropped_; }
+
+  /// First fired alert overall / for one device (nullptr if none) — the
+  /// time-to-detect probe the DoS benches report.
+  const AlertEvent* first_alert() const;
+  const AlertEvent* first_alert(std::uint64_t device_id) const;
+  /// Alerts attributed to one device.
+  std::uint64_t alert_count(std::uint64_t device_id) const;
+
+  /// Per-device read access for dashboards (requests-per-window rollup).
+  const WindowedRollup* requests(std::uint64_t device_id) const;
+
+ private:
+  struct DeviceState {
+    explicit DeviceState(const AlertConfig& config);
+    WindowedRollup requests;   // value = 1 per request
+    WindowedRollup rejects;    // value = 1 per rejected request
+    WindowedRollup prover_ms;  // value = span prover time
+    WindowedRollup energy_mj;  // value = span energy
+    Ewma rate_baseline;        // EWMA of closed-window request rates
+    std::uint64_t next_grade_index = 0;  // windows below this are graded
+    std::uint64_t alert_count = 0;
+  };
+
+  DeviceState& state_for(std::uint64_t device_id);
+  /// Grade every window of `dev` that closed before `window_index`.
+  void evaluate_until(std::uint64_t device_id, DeviceState& dev,
+                      std::uint64_t window_index);
+  void fire(std::uint64_t device_id, DeviceState& dev,
+            const WindowStats& window, const char* rule, double observed,
+            double threshold);
+
+  AlertConfig config_;
+  std::vector<DeviceState> devices_;
+  std::vector<AlertEvent> alerts_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ratt::obs::ts

@@ -1,0 +1,56 @@
+// ratt::obs::ts — streaming quantiles via the P² algorithm (Jain &
+// Chlamtac, CACM 1985): five markers track min, the target quantile, two
+// flanking quantiles and max, adjusted per observation with parabolic
+// interpolation. O(1) memory and O(1) per observation — the profile a
+// prover-side or edge telemetry agent can afford — and fully
+// deterministic (pure arithmetic, no sampling), so same-seed runs report
+// identical p50/p95/p99 for prover_ms and energy_mj.
+#pragma once
+
+#include <cstdint>
+
+namespace ratt::obs::ts {
+
+/// One-quantile P² sketch. Exact until five observations have arrived
+/// (nearest-rank on the stored five), estimated thereafter.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void observe(double x);
+  /// Current estimate; 0.0 before any observation.
+  double value() const;
+  double quantile() const { return q_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::uint64_t count_ = 0;
+  double height_[5] = {};   // marker heights (sorted)
+  double pos_[5] = {};      // actual marker positions (1-based ranks)
+  double desired_[5] = {};  // desired positions
+  double incr_[5] = {};     // desired-position increment per observation
+};
+
+/// The dashboard triplet: p50/p95/p99 of one stream.
+class QuantileTriplet {
+ public:
+  QuantileTriplet() : p50_(0.5), p95_(0.95), p99_(0.99) {}
+
+  void observe(double x) {
+    p50_.observe(x);
+    p95_.observe(x);
+    p99_.observe(x);
+  }
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+  double p99() const { return p99_.value(); }
+  std::uint64_t count() const { return p50_.count(); }
+
+ private:
+  P2Quantile p50_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+};
+
+}  // namespace ratt::obs::ts

@@ -1,0 +1,100 @@
+#include "ratt/obs/ts/rollup.hpp"
+
+#include <cmath>
+
+namespace ratt::obs::ts {
+
+WindowedRollup::WindowedRollup(double window_ms, std::size_t capacity)
+    : window_ms_(window_ms <= 0.0 ? 1.0 : window_ms),
+      ring_(capacity == 0 ? 1 : capacity) {}
+
+WindowStats& WindowedRollup::slot(std::size_t i) {
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+const WindowStats& WindowedRollup::at(std::size_t i) const {
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+const WindowStats* WindowedRollup::current() const {
+  return size_ == 0 ? nullptr : &at(size_ - 1);
+}
+
+void WindowedRollup::open_window(std::uint64_t index) {
+  WindowStats fresh;
+  fresh.index = index;
+  fresh.start_ms = static_cast<double>(index) * window_ms_;
+  if (size_ < ring_.size()) {
+    slot(size_) = fresh;
+    ++size_;
+  } else {
+    // Ring full: the oldest closed window falls off.
+    ring_[head_] = fresh;
+    head_ = (head_ + 1) % ring_.size();
+    ++evicted_;
+  }
+}
+
+void WindowedRollup::advance_to(double t_ms) {
+  if (!started_) return;
+  const auto target =
+      static_cast<std::uint64_t>(std::floor(t_ms / window_ms_));
+  std::uint64_t open = slot(size_ - 1).index;
+  if (target <= open) return;
+  // Open (and immediately leave behind) every gap window. When the gap
+  // outruns the ring there is no point materializing windows that would
+  // be evicted unseen — jump straight to the last `capacity` windows.
+  if (target - open > ring_.size()) {
+    evicted_ += target - open - ring_.size();
+    open = target - ring_.size();
+  }
+  while (open < target) open_window(++open);
+}
+
+void WindowedRollup::observe(double t_ms, double v) {
+  const auto index =
+      static_cast<std::uint64_t>(std::floor(t_ms / window_ms_));
+  if (!started_) {
+    started_ = true;
+    open_window(index);
+  } else {
+    const std::uint64_t open = slot(size_ - 1).index;
+    if (index < open) {  // older than the open window: history is closed
+      ++late_;
+      return;
+    }
+    if (index > open) advance_to(t_ms);
+  }
+  WindowStats& w = slot(size_ - 1);
+  ++w.count;
+  w.sum += v;
+  if (v < w.min_raw) w.min_raw = v;
+  if (v > w.max_raw) w.max_raw = v;
+  ++total_count_;
+  total_sum_ += v;
+}
+
+std::vector<WindowStats> WindowedRollup::snapshot() const {
+  std::vector<WindowStats> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+void EwmaRate::on_event(double t_ms, double weight) {
+  if (events_ > 0 && t_ms > last_ms_) {
+    mass_ *= std::exp(-(t_ms - last_ms_) / tau_ms_);
+  }
+  if (t_ms >= last_ms_) last_ms_ = t_ms;
+  mass_ += weight;
+  ++events_;
+}
+
+double EwmaRate::rate_per_s(double now_ms) const {
+  if (events_ == 0 || tau_ms_ <= 0.0) return 0.0;
+  double mass = mass_;
+  if (now_ms > last_ms_) mass *= std::exp(-(now_ms - last_ms_) / tau_ms_);
+  return mass / (tau_ms_ / 1000.0);
+}
+
+}  // namespace ratt::obs::ts

@@ -1,0 +1,138 @@
+// ratt::obs::ts — windowed time-series rollups and rate estimators over
+// *simulated* time. The collection plane (Registry / TraceSink) answers
+// "how much, total"; this layer answers "how much, per window, lately" —
+// the shape a fleet operator needs to spot an energy-depletion or replay
+// campaign while it is happening rather than in the post-mortem.
+//
+// Design constraints (same contract as the rest of ratt::obs):
+//   * fixed capacity, zero hot-path allocation — the window ring is sized
+//     at construction; observe() touches plain members only,
+//   * deterministic — windows are addressed by floor(t / window_ms), so
+//     the same trace always produces the same rollup, byte for byte,
+//   * sim-time driven — no wall clocks; callers pass the simulation
+//     timestamp that produced the sample.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ratt::obs::ts {
+
+/// Aggregate of one time window [start_ms, start_ms + window_ms).
+struct WindowStats {
+  std::uint64_t index = 0;  // window number: floor(start_ms / window_ms)
+  double start_ms = 0.0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min_raw = std::numeric_limits<double>::infinity();
+  double max_raw = -std::numeric_limits<double>::infinity();
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+  double min() const { return count == 0 ? 0.0 : min_raw; }
+  double max() const { return count == 0 ? 0.0 : max_raw; }
+  /// Events per second of sim time, given the owning rollup's window.
+  double rate_per_s(double window_ms) const {
+    return window_ms <= 0.0 ? 0.0
+                            : static_cast<double>(count) * 1000.0 / window_ms;
+  }
+  /// sum per second — e.g. mJ/s burn slope when the samples are energies.
+  double sum_per_s(double window_ms) const {
+    return window_ms <= 0.0 ? 0.0 : sum * 1000.0 / window_ms;
+  }
+};
+
+/// Fixed-capacity ring of per-window sum/count/min/max aggregates.
+/// observe(t, v) files v under window floor(t / window_ms); moving into a
+/// later window closes the current one (empty gap windows are material —
+/// they are what lets rates read zero during quiet spells). Out-of-order
+/// samples older than the open window are counted in `late()` and
+/// dropped, keeping the closed history immutable.
+class WindowedRollup {
+ public:
+  explicit WindowedRollup(double window_ms = 250.0,
+                          std::size_t capacity = 64);
+
+  void observe(double t_ms, double v = 1.0);
+  /// Close every window up to (excluding) the one containing `t_ms`, so
+  /// trailing quiet time is represented before a snapshot or report.
+  void advance_to(double t_ms);
+
+  double window_ms() const { return window_ms_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Live windows (closed + the open one), oldest first via at().
+  std::size_t size() const { return size_; }
+  const WindowStats& at(std::size_t i) const;  // 0 = oldest live window
+  /// The open (most recent) window; nullptr before the first observe().
+  const WindowStats* current() const;
+  /// Windows that fell off the ring.
+  std::uint64_t evicted() const { return evicted_; }
+  /// Samples older than the open window, dropped to keep history stable.
+  std::uint64_t late() const { return late_; }
+  std::uint64_t total_count() const { return total_count_; }
+  double total_sum() const { return total_sum_; }
+
+  /// Copy of the live windows, oldest first (report path; allocates).
+  std::vector<WindowStats> snapshot() const;
+
+ private:
+  WindowStats& slot(std::size_t i);  // i = logical index, 0 = oldest
+  void open_window(std::uint64_t index);
+
+  double window_ms_;
+  std::vector<WindowStats> ring_;
+  std::size_t head_ = 0;  // ring slot of the oldest live window
+  std::size_t size_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t late_ = 0;
+  std::uint64_t total_count_ = 0;
+  double total_sum_ = 0.0;
+  bool started_ = false;
+};
+
+/// Plain exponentially weighted moving average of per-window values —
+/// the alert engine's baseline estimator. alpha is the weight of the
+/// newest sample; the first sample initializes the average directly.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void update(double v) {
+    value_ = initialized_ ? alpha_ * v + (1.0 - alpha_) * value_ : v;
+    initialized_ = true;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void reset() {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Continuous-time event-rate estimator: an exponentially decayed event
+/// counter with time constant tau. Each event adds `weight`; mass decays
+/// as exp(-dt/tau). rate_per_s(now) = decayed mass / tau — the steady
+/// state for a periodic source converges to its true rate, and the
+/// estimate halves every tau*ln(2) of silence.
+class EwmaRate {
+ public:
+  explicit EwmaRate(double tau_ms = 1000.0) : tau_ms_(tau_ms) {}
+
+  void on_event(double t_ms, double weight = 1.0);
+  double rate_per_s(double now_ms) const;
+  double tau_ms() const { return tau_ms_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  double tau_ms_;
+  double mass_ = 0.0;
+  double last_ms_ = 0.0;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace ratt::obs::ts

@@ -66,12 +66,50 @@ std::vector<DeviceVerdict> assess_fleet(const SwarmReport& report,
   return verdicts;
 }
 
+void apply_alerts(DeviceVerdict& verdict,
+                  std::span<const obs::ts::AlertEvent> alerts,
+                  const HealthPolicy& policy) {
+  bool degrading = false;  // energy burn / duty cycle: resource theft
+  bool suspect = false;    // rate spike / reject ratio: campaign signature
+  for (const auto& event : alerts) {
+    if (event.device_id != verdict.device) continue;
+    ++verdict.alerts;
+    if (event.rule == "dos.energy_burn" || event.rule == "dos.duty_cycle") {
+      degrading = true;
+    } else {
+      suspect = true;
+    }
+  }
+  if (policy.quarantine_alerts > 0 &&
+      verdict.alerts >= policy.quarantine_alerts) {
+    verdict.quarantine_by_alerts = true;
+  }
+  if (!policy.alerts_escalate || verdict.alerts == 0) return;
+  // Only escalate: alerts never soften a stronger session-level verdict.
+  if (verdict.health == DeviceHealth::kHealthy ||
+      verdict.health == DeviceHealth::kSuspect) {
+    if (degrading) {
+      verdict.health = DeviceHealth::kDegraded;
+    } else if (suspect && verdict.health == DeviceHealth::kHealthy) {
+      verdict.health = DeviceHealth::kSuspect;
+    }
+  }
+}
+
+std::vector<DeviceVerdict> assess_fleet(
+    const SwarmReport& report, std::span<const obs::ts::AlertEvent> alerts,
+    const HealthPolicy& policy) {
+  std::vector<DeviceVerdict> verdicts = assess_fleet(report, policy);
+  for (auto& verdict : verdicts) apply_alerts(verdict, alerts, policy);
+  return verdicts;
+}
+
 std::vector<std::size_t> quarantine_list(
     const std::vector<DeviceVerdict>& verdicts) {
   std::vector<std::size_t> out;
   for (const auto& v : verdicts) {
     if (v.health == DeviceHealth::kCompromised ||
-        v.health == DeviceHealth::kSilent) {
+        v.health == DeviceHealth::kSilent || v.quarantine_by_alerts) {
       out.push_back(v.device);
     }
   }

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "ratt/obs/ts/alert.hpp"
 #include "ratt/sim/swarm.hpp"
 
 namespace ratt::sim {
@@ -35,6 +37,15 @@ struct HealthPolicy {
   /// Duty-cycle fraction spent in attestation above which a responsive,
   /// validating device is still kDegraded (its primary task is starving).
   double degraded_duty_threshold = 0.25;
+  /// Alert-driven escalation (ratt::obs::ts): an otherwise-healthy device
+  /// with a firing dos.energy_burn or dos.duty_cycle alert becomes
+  /// kDegraded, one with dos.rate_spike or dos.reject_ratio becomes
+  /// kSuspect — the device's own metrics flag the campaign even when the
+  /// aggregate session statistics still look clean.
+  bool alerts_escalate = true;
+  /// A device that accumulated at least this many alerts over the window
+  /// is quarantined outright (0 disables alert-based quarantine).
+  std::uint64_t quarantine_alerts = 8;
 };
 
 struct DeviceVerdict {
@@ -44,6 +55,11 @@ struct DeviceVerdict {
   std::uint64_t invalid_responses = 0;
   /// Fraction of the observation window spent in attestation.
   double duty_fraction = 0.0;
+  /// Alerts the obs::ts engine attributed to this device (0 when health
+  /// was assessed without an alert feed).
+  std::uint64_t alerts = 0;
+  /// Set when the alert volume alone crossed the quarantine bar.
+  bool quarantine_by_alerts = false;
 };
 
 /// Classify one device from its session statistics. `duty_fraction` is
@@ -58,7 +74,23 @@ DeviceVerdict assess_device(std::size_t device,
 std::vector<DeviceVerdict> assess_fleet(
     const SwarmReport& report, const HealthPolicy& policy = HealthPolicy{});
 
-/// Devices an operator should quarantine (kCompromised or kSilent).
+/// Classify a fleet report with the obs::ts alert stream folded in: each
+/// device's verdict is escalated per the policy's alert rules, so a
+/// device under Adv_ext flooding or Adv_roam replay transitions to
+/// kDegraded / quarantine from its own metrics even while its session
+/// statistics still validate.
+std::vector<DeviceVerdict> assess_fleet(
+    const SwarmReport& report, std::span<const obs::ts::AlertEvent> alerts,
+    const HealthPolicy& policy = HealthPolicy{});
+
+/// Escalate one verdict given its device's alert stream (exposed for
+/// single-device harnesses; assess_fleet calls this per device).
+void apply_alerts(DeviceVerdict& verdict,
+                  std::span<const obs::ts::AlertEvent> alerts,
+                  const HealthPolicy& policy);
+
+/// Devices an operator should quarantine: kCompromised or kSilent, plus
+/// any verdict whose alert volume crossed the policy's quarantine bar.
 std::vector<std::size_t> quarantine_list(
     const std::vector<DeviceVerdict>& verdicts);
 

@@ -67,7 +67,7 @@ void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
   }
 }
 
-SwarmReport Swarm::run(double horizon_ms) {
+void Swarm::schedule(double horizon_ms) {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const double offset = config_.stagger_ms * static_cast<double>(i);
     for (double t = offset + config_.attest_period_ms; t <= horizon_ms;
@@ -76,11 +76,12 @@ SwarmReport Swarm::run(double horizon_ms) {
       queue_.schedule_at(t, [session] { session->send_request(); });
     }
   }
-  const std::size_t leftover = queue_.run_all();
+}
 
+SwarmReport Swarm::report(double horizon_ms) const {
   SwarmReport report;
   report.horizon_ms = horizon_ms;
-  report.events_leftover = leftover;
+  report.events_leftover = queue_.pending();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     SwarmDeviceReport dr;
     dr.device = i;
@@ -91,6 +92,14 @@ SwarmReport Swarm::run(double horizon_ms) {
     report.devices.push_back(dr);
   }
   return report;
+}
+
+SwarmReport Swarm::run(double horizon_ms) {
+  schedule(horizon_ms);
+  // run_all's bounded drain leaves any stranded backlog pending, which
+  // report() picks up as events_leftover.
+  (void)queue_.run_all();
+  return report(horizon_ms);
 }
 
 }  // namespace ratt::sim

@@ -73,6 +73,16 @@ class Swarm {
   /// Schedule periodic attestation for every device and run to `horizon`.
   SwarmReport run(double horizon_ms);
 
+  // Stepped execution — the dashboard/analytics path. schedule() plants
+  // the same periodic rounds run() would, run_until() advances the shared
+  // queue one slice at a time (so a caller can read rollups, quantiles
+  // and alerts between slices), and report() snapshots current state.
+  void schedule(double horizon_ms);
+  void run_until(double until_ms) { queue_.run_until(until_ms); }
+  /// Report over [0, horizon_ms] from current state. events_leftover is
+  /// the still-pending queue backlog (0 after a drained run).
+  SwarmReport report(double horizon_ms) const;
+
  private:
   struct Device {
     crypto::Bytes key;

@@ -1,0 +1,277 @@
+// Online DoS alert engine: rule semantics on synthetic record streams,
+// the acceptance scenario (bench_dos_impact's default flood is detected;
+// the attack-free baseline fires nothing), determinism (same seed =>
+// byte-identical alert log), and the golden log-line format.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+#include "ratt/obs/ts/alert.hpp"
+#include "ratt/sim/dos.hpp"
+
+namespace ratt::obs::ts {
+namespace {
+
+TraceRecord request_span(double t_ms, const char* outcome,
+                         double prover_ms, double energy_mj,
+                         std::uint64_t device = 0) {
+  TraceRecord rec;
+  rec.sim_time_ms = t_ms;
+  rec.device_id = device;
+  rec.kind = "prover.handle";
+  rec.outcome = outcome;
+  rec.prover_ms = prover_ms;
+  rec.energy_mj = energy_mj;
+  return rec;
+}
+
+AlertConfig quiet_config() {
+  AlertConfig config;
+  config.window_ms = 1000.0;
+  config.spike_min_rate_per_s = 8.0;
+  return config;
+}
+
+TEST(AlertEngine, QuietStreamFiresNothing) {
+  AlertEngine engine(quiet_config());
+  // 2 genuine requests/s, 24 ms / 0.17 mJ each — a healthy fleet device.
+  for (int i = 0; i < 20; ++i) {
+    engine.record(request_span(500.0 * i, "ok", 24.0, 0.17));
+  }
+  engine.finish(10000.0);
+  EXPECT_TRUE(engine.alerts().empty());
+  EXPECT_EQ(engine.first_alert(), nullptr);
+}
+
+TEST(AlertEngine, RateSpikeAgainstEwmaBaseline) {
+  AlertConfig config = quiet_config();
+  config.spike_factor = 4.0;
+  AlertEngine engine(config);
+  // 4 quiet seconds at 2/s establish the baseline...
+  double t = 0.0;
+  for (; t < 4000.0; t += 500.0) {
+    engine.record(request_span(t, "ok", 1.0, 0.01));
+  }
+  // ...then a 20/s burst (above 4x baseline and the absolute floor).
+  for (; t < 5000.0; t += 50.0) {
+    engine.record(request_span(t, "ok", 1.0, 0.01));
+  }
+  engine.finish(5000.0);
+  const AlertEvent* first = engine.first_alert();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rule, "dos.rate_spike");
+  EXPECT_DOUBLE_EQ(first->sim_time_ms, 5000.0);  // the burst window close
+  EXPECT_NEAR(first->observed, 20.0, 0.5);
+}
+
+TEST(AlertEngine, SteadyRateBelowFloorNeverSpikes) {
+  // 6/s forever: above 4x the (equal) baseline is impossible and the
+  // absolute floor (8/s) is never reached.
+  AlertEngine engine(quiet_config());
+  for (double t = 0.0; t < 10000.0; t += 166.0) {
+    engine.record(request_span(t, "ok", 0.1, 0.001));
+  }
+  engine.finish(10000.0);
+  for (const auto& event : engine.alerts()) {
+    EXPECT_NE(event.rule, "dos.rate_spike");
+  }
+}
+
+TEST(AlertEngine, EnergyBurnSlope) {
+  AlertConfig config = quiet_config();
+  config.energy_burn_mj_per_s = 2.0;
+  AlertEngine engine(config);
+  // 4 requests/s, each burning 0.68 mJ (a 94.6 ms measurement at
+  // 7.2 mW): 2.7 mJ/s > 2 mJ/s budget slope.
+  for (double t = 0.0; t < 3000.0; t += 250.0) {
+    engine.record(request_span(t, "ok", 94.6, 0.68));
+  }
+  engine.finish(3000.0);
+  const AlertEvent* first = engine.first_alert();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->rule, "dos.energy_burn");
+  EXPECT_NEAR(first->observed, 2.72, 0.01);
+  EXPECT_DOUBLE_EQ(first->threshold, 2.0);
+}
+
+TEST(AlertEngine, RejectRatioNeedsMinimumVolume) {
+  AlertConfig config = quiet_config();
+  config.reject_min_requests = 3;
+  AlertEngine engine(config);
+  // Two rejects per window: ratio 1.0 but below the volume bar.
+  engine.record(request_span(100.0, "not-fresh", 0.43, 0.003));
+  engine.record(request_span(600.0, "not-fresh", 0.43, 0.003));
+  // Next window: five rejects — fires.
+  for (int i = 0; i < 5; ++i) {
+    engine.record(
+        request_span(1100.0 + 100.0 * i, "not-fresh", 0.43, 0.003));
+  }
+  engine.finish(2000.0);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].rule, "dos.reject_ratio");
+  EXPECT_EQ(engine.alerts()[0].window_index, 1u);
+  EXPECT_DOUBLE_EQ(engine.alerts()[0].observed, 1.0);
+}
+
+TEST(AlertEngine, ScoreboardStyleOutcomesCountAsRejects) {
+  // dos.request spans file "<label>:<status>" — ":ok" is a success,
+  // anything else a reject.
+  AlertEngine engine(quiet_config());
+  for (int i = 0; i < 6; ++i) {
+    TraceRecord rec = request_span(100.0 * i, "", 0.43, 0.003);
+    rec.kind = "dos.request";
+    rec.outcome = i % 2 == 0 ? "replay:not-fresh" : "replay:ok";
+    engine.record(rec);
+  }
+  engine.finish(1000.0);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].rule, "dos.reject_ratio");
+  EXPECT_DOUBLE_EQ(engine.alerts()[0].observed, 0.5);
+}
+
+TEST(AlertEngine, DutyCycleBreach) {
+  AlertConfig config = quiet_config();
+  config.duty_fraction = 0.5;
+  config.energy_burn_mj_per_s = 1e9;  // isolate the duty rule
+  AlertEngine engine(config);
+  // One 754 ms whole-memory measurement inside a 1 s window: 75% duty.
+  engine.record(request_span(800.0, "ok", 754.0, 5.43));
+  engine.record(request_span(1500.0, "ok", 1.0, 0.01));
+  engine.finish(2000.0);
+  ASSERT_GE(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].rule, "dos.duty_cycle");
+  EXPECT_DOUBLE_EQ(engine.alerts()[0].observed, 0.754);
+}
+
+TEST(AlertEngine, PerDeviceIsolation) {
+  AlertConfig config = quiet_config();
+  config.device_count = 2;
+  AlertEngine engine(config);
+  // Device 1 is flooded; device 0 stays quiet.
+  for (int i = 0; i < 40; ++i) {
+    engine.record(
+        request_span(100.0 * i, "not-fresh", 0.43, 0.003, /*device=*/1));
+  }
+  engine.record(request_span(500.0, "ok", 24.0, 0.17, /*device=*/0));
+  engine.finish(4000.0);
+  EXPECT_EQ(engine.alert_count(0), 0u);
+  EXPECT_GT(engine.alert_count(1), 0u);
+  EXPECT_EQ(engine.first_alert(0), nullptr);
+  ASSERT_NE(engine.first_alert(1), nullptr);
+  ASSERT_NE(engine.requests(1), nullptr);
+  EXPECT_EQ(engine.requests(1)->total_count(), 40u);
+}
+
+TEST(AlertEngine, AlertLogCapacityIsBounded) {
+  AlertConfig config = quiet_config();
+  config.max_alerts = 2;
+  AlertEngine engine(config);
+  for (int i = 0; i < 100; ++i) {
+    engine.record(request_span(100.0 * i, "not-fresh", 0.43, 0.003));
+  }
+  engine.finish(10000.0);
+  EXPECT_EQ(engine.alerts().size(), 2u);
+  EXPECT_GT(engine.alerts_dropped(), 0u);
+  // The per-device count still reflects everything that fired.
+  EXPECT_EQ(engine.alert_count(0),
+            engine.alerts().size() + engine.alerts_dropped());
+}
+
+TEST(AlertLog, GoldenLineFormat) {
+  AlertEvent event;
+  event.sim_time_ms = 1500.0;
+  event.device_id = 3;
+  event.window_index = 2;
+  event.rule = "dos.rate_spike";
+  event.observed = 10.0;
+  event.threshold = 8.0;
+  EXPECT_EQ(to_log_line(event),
+            "[t=1500ms] device 3 dos.rate_spike observed=10 threshold=8 "
+            "window=2");
+  AlertEvent other = event;
+  other.rule = "dos.energy_burn";
+  other.observed = 2.725;
+  EXPECT_EQ(to_log(std::vector<AlertEvent>{event, other}),
+            "[t=1500ms] device 3 dos.rate_spike observed=10 threshold=8 "
+            "window=2\n"
+            "[t=1500ms] device 3 dos.energy_burn observed=2.725 "
+            "threshold=8 window=2\n");
+}
+
+// --- Acceptance scenario: bench_dos_impact's default flood. -----------
+
+struct FloodResult {
+  std::string log;
+  std::size_t alerts = 0;
+  std::string first_rule;
+};
+
+// Mirrors bench_dos_impact: unprotected prover, 64 KiB measured memory,
+// replayed genuine request at `rate_per_s` over a 5 s horizon.
+FloodResult run_flood(double rate_per_s) {
+  using namespace ratt;  // NOLINT
+  attest::ProverConfig config;
+  config.scheme = attest::FreshnessScheme::kNone;
+  config.authenticate_requests = false;
+  config.measured_bytes = 64 * 1024;
+  const crypto::Bytes key =
+      crypto::from_hex("202122232425262728292a2b2c2d2e2f");
+  attest::ProverDevice prover(config, key,
+                              crypto::from_string("alert-accept-app"));
+  attest::Verifier::Config vc;
+  vc.scheme = config.scheme;
+  vc.authenticate_requests = false;
+  attest::Verifier verifier(key, vc,
+                            crypto::from_string("alert-accept-vrf"));
+  prover.idle_ms(1.0);
+  const attest::AttestRequest recorded = verifier.make_request();
+  (void)prover.handle(recorded);
+
+  sim::DosSimulator simulator(prover, sim::TaskProfile{10.0, 2.0},
+                              timing::EnergyModel(), timing::Battery());
+  AlertEngine engine;  // bench defaults: 500 ms windows
+  sim::DosSimulator::Observer observer;
+  observer.sink = &engine;
+  observer.attack_label = "unprotected";
+  simulator.set_observer(observer);
+  const auto arrivals = sim::uniform_arrivals(rate_per_s, 5000.0);
+  (void)simulator.run(
+      arrivals, [&recorded](double) { return recorded; }, 5000.0);
+  engine.finish(5000.0);
+
+  FloodResult result;
+  result.log = to_log(engine.alerts());
+  result.alerts = engine.alerts().size();
+  if (const AlertEvent* first = engine.first_alert()) {
+    result.first_rule = first->rule;
+  }
+  return result;
+}
+
+TEST(AlertAcceptance, DefaultFloodIsDetected) {
+  const FloodResult flood = run_flood(10.0);
+  ASSERT_GT(flood.alerts, 0u);
+  // The unprotected prover performs every replayed measurement, so the
+  // engine sees the energy theft (and/or the raw request rate).
+  EXPECT_TRUE(flood.first_rule == "dos.energy_burn" ||
+              flood.first_rule == "dos.rate_spike")
+      << "first rule: " << flood.first_rule;
+}
+
+TEST(AlertAcceptance, AttackFreeBaselineHasZeroFalsePositives) {
+  const FloodResult baseline = run_flood(0.0);
+  EXPECT_EQ(baseline.alerts, 0u);
+  EXPECT_EQ(baseline.log, "");
+}
+
+TEST(AlertAcceptance, SameSeedProducesByteIdenticalAlertLog) {
+  const FloodResult a = run_flood(10.0);
+  const FloodResult b = run_flood(10.0);
+  EXPECT_GT(a.alerts, 0u);
+  EXPECT_EQ(a.log, b.log);
+}
+
+}  // namespace
+}  // namespace ratt::obs::ts

@@ -3,6 +3,8 @@
 // EventQueue's metric surface (backlog, latency, runaway leftover).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ratt/obs/metrics.hpp"
 #include "ratt/sim/event.hpp"
 
@@ -27,6 +29,27 @@ TEST(Gauge, LastWriteWinsWithHighWater) {
   g.set(2.0);
   EXPECT_DOUBLE_EQ(g.value(), 2.0);
   EXPECT_DOUBLE_EQ(g.max(), 9.0);
+  EXPECT_EQ(g.sets(), 3u);
+}
+
+TEST(Gauge, NeverSetReportsZeroMaxNotNegativeInfinity) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+  EXPECT_EQ(g.sets(), 0u);
+  // A first negative sample still becomes the high-water mark: the 0.0
+  // clamp applies only to the never-set case.
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.max(), -3.0);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.max(), -3.0);
+}
+
+TEST(Gauge, NeverSetTextDumpHasNoInf) {
+  Registry reg;
+  reg.gauge("touched.never");
+  const std::string text = reg.to_text();
+  EXPECT_EQ(text.find("-inf"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
 }
 
 TEST(Histogram, BucketsObservationsByUpperBound) {
@@ -44,6 +67,26 @@ TEST(Histogram, BucketsObservationsByUpperBound) {
   EXPECT_DOUBLE_EQ(h.min(), 0.5);
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
   EXPECT_DOUBLE_EQ(h.mean(), 106.5 / 4.0);
+}
+
+TEST(Histogram, BinarySearchKeepsInclusiveBoundarySemantics) {
+  // observe() now bisects the bounds; every value on, just below and
+  // just above each boundary must land exactly where the linear scan
+  // put it (observations <= bounds[i] belong to bucket i).
+  const std::vector<double> bounds = default_latency_bounds_ms();
+  Histogram h(bounds);
+  for (const double b : bounds) {
+    h.observe(b);
+    h.observe(std::nextafter(b, 0.0));
+    h.observe(std::nextafter(b, 1e308));
+  }
+  ASSERT_EQ(h.buckets().size(), bounds.size() + 1);
+  // Boundary + just-below stay in bucket i; just-above spills to i+1.
+  EXPECT_EQ(h.buckets()[0], 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_EQ(h.buckets()[i], 3u) << "bucket " << i;
+  }
+  EXPECT_EQ(h.buckets()[bounds.size()], 1u);  // overflow bucket
 }
 
 TEST(Histogram, EmptyIsWellDefined) {
@@ -74,6 +117,18 @@ TEST(Registry, HistogramKeepsFirstBounds) {
   Histogram& again = reg.histogram("h", {99.0});
   EXPECT_EQ(&h, &again);
   EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, DefaultBoundsHistogramIsStableAcrossLookups) {
+  Registry reg;
+  Histogram& h = reg.histogram("latency");  // default latency bounds
+  EXPECT_EQ(h.bounds(), default_latency_bounds_ms());
+  h.observe(0.5);
+  // The hit path must return the same instrument with its counts (and
+  // not rebuild the default bounds vector).
+  Histogram& again = reg.histogram("latency");
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.count(), 1u);
 }
 
 TEST(Registry, FindDoesNotCreate) {

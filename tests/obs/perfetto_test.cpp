@@ -1,0 +1,145 @@
+// Perfetto/Chrome trace_event exporter: golden output for a single span
+// (the format contract with ui.perfetto.dev), track metadata layout,
+// alert instant markers, JSON escaping, and byte-identical re-export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "ratt/obs/perfetto.hpp"
+
+namespace ratt::obs {
+namespace {
+
+TraceRecord span(double end_ms, std::uint64_t device, std::string kind,
+                 std::string outcome, double prover_ms) {
+  TraceRecord rec;
+  rec.sim_time_ms = end_ms;
+  rec.device_id = device;
+  rec.kind = std::move(kind);
+  rec.outcome = std::move(outcome);
+  rec.prover_ms = prover_ms;
+  rec.bytes = 48;
+  rec.energy_mj = 0.25;
+  return rec;
+}
+
+std::string render(const std::vector<TraceRecord>& records,
+                   const std::vector<ts::AlertEvent>& alerts = {}) {
+  std::ostringstream out;
+  write_perfetto(out, records, alerts);
+  return out.str();
+}
+
+TEST(Perfetto, GoldenSingleSpan) {
+  // One prover span ending at 100 ms after 25 ms of work: ts is the
+  // *start* in µs (75 000), dur is 25 000 µs, pid the device, tid 1.
+  const std::string json =
+      render({span(100.0, 7, "prover.handle", "ok", 25.0)});
+  EXPECT_EQ(json,
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":7,"
+            "\"args\":{\"name\":\"device-7\"}},\n"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":7,\"tid\":1,"
+            "\"args\":{\"name\":\"prover\"}},\n"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":7,\"tid\":2,"
+            "\"args\":{\"name\":\"verifier\"}},\n"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":7,\"tid\":3,"
+            "\"args\":{\"name\":\"dos\"}},\n"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":7,\"tid\":4,"
+            "\"args\":{\"name\":\"alerts\"}},\n"
+            "{\"name\":\"prover.handle\",\"cat\":\"ratt\",\"ph\":\"X\","
+            "\"ts\":75000,\"dur\":25000,\"pid\":7,\"tid\":1,"
+            "\"args\":{\"outcome\":\"ok\",\"bytes\":48,\"prover_ms\":25,"
+            "\"verifier_ms\":0,\"energy_mj\":0.25}}\n"
+            "]}\n");
+}
+
+TEST(Perfetto, TidRoutingByKind) {
+  TraceRecord verifier_span = span(10.0, 0, "verifier.round", "ok", 1.0);
+  verifier_span.verifier_ms = 4.0;
+  const std::string json =
+      render({span(10.0, 0, "prover.handle", "ok", 1.0),
+              span(10.0, 0, "dos.request", "unprotected:ok", 1.0),
+              verifier_span});
+  EXPECT_NE(json.find("\"name\":\"prover.handle\",\"cat\":\"ratt\","
+                      "\"ph\":\"X\",\"ts\":9000,\"dur\":1000,\"pid\":0,"
+                      "\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dos.request\",\"cat\":\"ratt\","
+                      "\"ph\":\"X\",\"ts\":9000,\"dur\":1000,\"pid\":0,"
+                      "\"tid\":3"),
+            std::string::npos);
+  // Verifier rounds are timed by verifier_ms: 10 ms end - 4 ms work.
+  EXPECT_NE(json.find("\"name\":\"verifier.round\",\"cat\":\"ratt\","
+                      "\"ph\":\"X\",\"ts\":6000,\"dur\":4000,\"pid\":0,"
+                      "\"tid\":2"),
+            std::string::npos);
+}
+
+TEST(Perfetto, MetadataListsEachDeviceOnceInOrder) {
+  // Records arrive interleaved and out of device order; metadata still
+  // comes out sorted and deduplicated.
+  const std::string json =
+      render({span(1.0, 5, "prover.handle", "ok", 0.5),
+              span(2.0, 2, "prover.handle", "ok", 0.5),
+              span(3.0, 5, "prover.handle", "ok", 0.5)});
+  const auto dev2 = json.find("{\"name\":\"device-2\"}");
+  const auto dev5 = json.find("{\"name\":\"device-5\"}");
+  ASSERT_NE(dev2, std::string::npos);
+  ASSERT_NE(dev5, std::string::npos);
+  EXPECT_LT(dev2, dev5);
+  EXPECT_EQ(json.find("{\"name\":\"device-5\"}", dev5 + 1),
+            std::string::npos);
+}
+
+TEST(Perfetto, AlertBecomesInstantMarker) {
+  ts::AlertEvent event;
+  event.sim_time_ms = 500.0;
+  event.device_id = 3;
+  event.window_index = 0;
+  event.rule = "dos.rate_spike";
+  event.observed = 12.0;
+  event.threshold = 8.0;
+  const std::string json = render({}, {event});
+  // 500 ms -> 500 000 µs; to_chars shortest round-trip spells it 5e+05.
+  EXPECT_NE(json.find("{\"name\":\"dos.rate_spike\",\"cat\":\"alert\","
+                      "\"ph\":\"i\",\"s\":\"p\",\"ts\":5e+05,\"pid\":3,"
+                      "\"tid\":4,\"args\":{\"observed\":12,"
+                      "\"threshold\":8,\"window\":0}}"),
+            std::string::npos);
+  // The alert-only device still gets its track metadata.
+  EXPECT_NE(json.find("{\"name\":\"device-3\"}"), std::string::npos);
+}
+
+TEST(Perfetto, EscapesQuotesAndBackslashes) {
+  const std::string json =
+      render({span(1.0, 0, "prover.handle", "bad\"mac\\path", 0.5)});
+  EXPECT_NE(json.find("\"outcome\":\"bad\\\"mac\\\\path\""),
+            std::string::npos);
+}
+
+TEST(Perfetto, NegativeDurationClampsToZero) {
+  // A record with more work than elapsed time must not produce a
+  // negative ts (Chrome refuses such traces).
+  const std::string json = render({span(1.0, 0, "prover.handle", "ok", 5.0)});
+  EXPECT_NE(json.find("\"ts\":0,\"dur\":5000"), std::string::npos);
+}
+
+TEST(Perfetto, ByteIdenticalAcrossRenders) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(span(10.0 * i + 3.7, static_cast<std::uint64_t>(i % 4),
+                           i % 3 == 0 ? "dos.request" : "prover.handle",
+                           i % 5 == 0 ? "not-fresh" : "ok", 0.432));
+  }
+  ts::AlertEvent event;
+  event.sim_time_ms = 250.0;
+  event.rule = "dos.reject_ratio";
+  event.observed = 0.75;
+  event.threshold = 0.5;
+  EXPECT_EQ(render(records, {event}), render(records, {event}));
+}
+
+}  // namespace
+}  // namespace ratt::obs

@@ -1,0 +1,162 @@
+// WindowedRollup / Ewma / EwmaRate semantics: window addressing, gap
+// windows, ring eviction, late-sample drops, and rate estimation — the
+// invariants the alert engine's determinism rests on.
+#include <gtest/gtest.h>
+
+#include "ratt/obs/ts/rollup.hpp"
+
+namespace ratt::obs::ts {
+namespace {
+
+TEST(WindowedRollup, AggregatesWithinOneWindow) {
+  WindowedRollup r(100.0, 8);
+  EXPECT_EQ(r.current(), nullptr);
+  r.observe(10.0, 5.0);
+  r.observe(20.0, 1.0);
+  r.observe(99.0, 3.0);
+  ASSERT_NE(r.current(), nullptr);
+  const WindowStats& w = *r.current();
+  EXPECT_EQ(w.index, 0u);
+  EXPECT_DOUBLE_EQ(w.start_ms, 0.0);
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_DOUBLE_EQ(w.sum, 9.0);
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.rate_per_s(100.0), 30.0);
+  EXPECT_DOUBLE_EQ(w.sum_per_s(100.0), 90.0);
+}
+
+TEST(WindowedRollup, EmptyWindowAccessorsAreZero) {
+  WindowStats w;
+  EXPECT_DOUBLE_EQ(w.min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.rate_per_s(100.0), 0.0);
+}
+
+TEST(WindowedRollup, CrossingAWindowBoundaryOpensANewWindow) {
+  WindowedRollup r(100.0, 8);
+  r.observe(50.0, 1.0);
+  r.observe(150.0, 2.0);  // window 1
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(0).index, 0u);
+  EXPECT_EQ(r.at(0).count, 1u);
+  EXPECT_EQ(r.at(1).index, 1u);
+  EXPECT_DOUBLE_EQ(r.at(1).start_ms, 100.0);
+  EXPECT_DOUBLE_EQ(r.at(1).sum, 2.0);
+}
+
+TEST(WindowedRollup, GapWindowsMaterializeEmpty) {
+  // Quiet spells matter: the rate baseline must see zero-count windows.
+  WindowedRollup r(100.0, 8);
+  r.observe(50.0, 1.0);
+  r.observe(450.0, 1.0);  // windows 1..3 skipped silently
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.at(1).count, 0u);
+  EXPECT_EQ(r.at(2).count, 0u);
+  EXPECT_EQ(r.at(3).count, 0u);
+  EXPECT_EQ(r.at(4).index, 4u);
+  EXPECT_EQ(r.at(4).count, 1u);
+}
+
+TEST(WindowedRollup, RingEvictsOldestWindows) {
+  WindowedRollup r(100.0, 4);
+  for (int w = 0; w < 6; ++w) {
+    r.observe(100.0 * w + 1.0, static_cast<double>(w));
+  }
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.evicted(), 2u);
+  EXPECT_EQ(r.at(0).index, 2u);  // windows 0 and 1 fell off
+  EXPECT_EQ(r.at(3).index, 5u);
+  EXPECT_EQ(r.total_count(), 6u);  // totals survive eviction
+  EXPECT_DOUBLE_EQ(r.total_sum(), 15.0);
+}
+
+TEST(WindowedRollup, HugeGapJumpsWithoutMaterializingEveryWindow) {
+  WindowedRollup r(1.0, 4);
+  r.observe(0.5, 1.0);
+  r.observe(1000.5, 1.0);  // a 1000-window gap on a 4-window ring
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.current()->index, 1000u);
+  EXPECT_EQ(r.current()->count, 1u);
+  // The three retained predecessors are empty gap windows.
+  EXPECT_EQ(r.at(0).count, 0u);
+  EXPECT_GT(r.evicted(), 0u);
+}
+
+TEST(WindowedRollup, LateSamplesAreDroppedAndCounted) {
+  WindowedRollup r(100.0, 8);
+  r.observe(250.0, 1.0);
+  r.observe(50.0, 99.0);  // older than the open window
+  EXPECT_EQ(r.late(), 1u);
+  EXPECT_EQ(r.total_count(), 1u);
+  EXPECT_DOUBLE_EQ(r.current()->sum, 1.0);
+}
+
+TEST(WindowedRollup, AdvanceToClosesTrailingQuietTime) {
+  WindowedRollup r(100.0, 8);
+  r.observe(50.0, 1.0);
+  r.advance_to(350.0);
+  ASSERT_EQ(r.size(), 4u);  // windows 0..3, 1..3 empty
+  EXPECT_EQ(r.current()->index, 3u);
+  EXPECT_EQ(r.current()->count, 0u);
+  // advance_to before any observation is a no-op.
+  WindowedRollup fresh(100.0, 8);
+  fresh.advance_to(1000.0);
+  EXPECT_EQ(fresh.size(), 0u);
+}
+
+TEST(WindowedRollup, SnapshotMatchesAtAccessor) {
+  WindowedRollup r(100.0, 4);
+  for (int w = 0; w < 3; ++w) r.observe(100.0 * w + 1.0, 1.0);
+  const auto snap = r.snapshot();
+  ASSERT_EQ(snap.size(), r.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].index, r.at(i).index);
+    EXPECT_EQ(snap[i].count, r.at(i).count);
+  }
+}
+
+TEST(Ewma, FirstSampleInitializesThenBlends) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+  e.update(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.update(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+}
+
+TEST(EwmaRate, ConvergesToPeriodicSourceRate) {
+  // 10 events/s for 10 time constants: the decayed-mass estimator must
+  // settle near the true rate.
+  EwmaRate rate(1000.0);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t = 100.0 * i;
+    rate.on_event(t);
+  }
+  EXPECT_NEAR(rate.rate_per_s(t), 10.0, 1.0);
+}
+
+TEST(EwmaRate, DecaysDuringSilence) {
+  EwmaRate rate(1000.0);
+  for (int i = 0; i < 50; ++i) rate.on_event(100.0 * i);
+  const double busy = rate.rate_per_s(5000.0);
+  const double after_1tau = rate.rate_per_s(6000.0);
+  const double after_3tau = rate.rate_per_s(8000.0);
+  EXPECT_LT(after_1tau, busy * 0.5);
+  EXPECT_LT(after_3tau, busy * 0.06);
+  EXPECT_GT(after_3tau, 0.0);
+}
+
+TEST(EwmaRate, NoEventsMeansZeroRate) {
+  EwmaRate rate(500.0);
+  EXPECT_DOUBLE_EQ(rate.rate_per_s(1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ratt::obs::ts

@@ -108,6 +108,97 @@ TEST(FleetHealth, DegradedViaFleetDutyFraction) {
   EXPECT_TRUE(quarantine_list(verdicts).empty());
 }
 
+obs::ts::AlertEvent alert(std::uint64_t device, const char* rule,
+                          double t_ms = 500.0) {
+  obs::ts::AlertEvent event;
+  event.sim_time_ms = t_ms;
+  event.device_id = device;
+  event.rule = rule;
+  return event;
+}
+
+TEST(FleetHealthAlerts, EnergyBurnEscalatesHealthyToDegraded) {
+  DeviceVerdict v;
+  v.device = 2;
+  v.health = DeviceHealth::kHealthy;
+  const std::vector<obs::ts::AlertEvent> alerts{
+      alert(2, "dos.energy_burn"), alert(9, "dos.energy_burn")};
+  apply_alerts(v, alerts, HealthPolicy{});
+  EXPECT_EQ(v.health, DeviceHealth::kDegraded);
+  EXPECT_EQ(v.alerts, 1u);  // only its own device's alerts count
+  EXPECT_FALSE(v.quarantine_by_alerts);
+}
+
+TEST(FleetHealthAlerts, RateSpikeEscalatesHealthyToSuspectOnly) {
+  DeviceVerdict v;
+  v.health = DeviceHealth::kHealthy;
+  const std::vector<obs::ts::AlertEvent> alerts{
+      alert(0, "dos.rate_spike"), alert(0, "dos.reject_ratio")};
+  apply_alerts(v, alerts, HealthPolicy{});
+  EXPECT_EQ(v.health, DeviceHealth::kSuspect);
+  // A degrading alert on top of the campaign signature wins.
+  DeviceVerdict w;
+  const std::vector<obs::ts::AlertEvent> mixed{
+      alert(0, "dos.rate_spike"), alert(0, "dos.duty_cycle")};
+  apply_alerts(w, mixed, HealthPolicy{});
+  EXPECT_EQ(w.health, DeviceHealth::kDegraded);
+}
+
+TEST(FleetHealthAlerts, AlertsNeverSoftenAStrongerVerdict) {
+  DeviceVerdict compromised;
+  compromised.health = DeviceHealth::kCompromised;
+  const std::vector<obs::ts::AlertEvent> alerts{alert(0, "dos.energy_burn")};
+  apply_alerts(compromised, alerts, HealthPolicy{});
+  EXPECT_EQ(compromised.health, DeviceHealth::kCompromised);
+  EXPECT_EQ(compromised.alerts, 1u);
+  DeviceVerdict silent;
+  silent.health = DeviceHealth::kSilent;
+  apply_alerts(silent, alerts, HealthPolicy{});
+  EXPECT_EQ(silent.health, DeviceHealth::kSilent);
+}
+
+TEST(FleetHealthAlerts, EscalationCanBeDisabledByPolicy) {
+  HealthPolicy policy;
+  policy.alerts_escalate = false;
+  DeviceVerdict v;
+  const std::vector<obs::ts::AlertEvent> alerts{alert(0, "dos.energy_burn")};
+  apply_alerts(v, alerts, policy);
+  EXPECT_EQ(v.health, DeviceHealth::kHealthy);
+  EXPECT_EQ(v.alerts, 1u);  // still counted, just not acted on
+}
+
+TEST(FleetHealthAlerts, AlertVolumeCrossesQuarantineBar) {
+  HealthPolicy policy;
+  policy.quarantine_alerts = 3;
+  std::vector<obs::ts::AlertEvent> alerts;
+  for (int i = 0; i < 3; ++i) {
+    alerts.push_back(alert(1, "dos.reject_ratio", 500.0 * (i + 1)));
+  }
+  SwarmReport report;
+  report.devices.push_back({0, stats(10, 10, 0), 1.0});
+  report.devices.push_back({1, stats(10, 10, 0), 1.0});
+  const auto verdicts = assess_fleet(report, alerts, policy);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].health, DeviceHealth::kHealthy);
+  EXPECT_EQ(verdicts[0].alerts, 0u);
+  EXPECT_EQ(verdicts[1].health, DeviceHealth::kSuspect);
+  EXPECT_TRUE(verdicts[1].quarantine_by_alerts);
+  // The quarantine list picks up the alert-flooded device even though
+  // its session statistics are spotless.
+  EXPECT_EQ(quarantine_list(verdicts), (std::vector<std::size_t>{1}));
+}
+
+TEST(FleetHealthAlerts, ZeroQuarantineBarDisablesAlertQuarantine) {
+  HealthPolicy policy;
+  policy.quarantine_alerts = 0;
+  DeviceVerdict v;
+  std::vector<obs::ts::AlertEvent> alerts;
+  for (int i = 0; i < 100; ++i) alerts.push_back(alert(0, "dos.rate_spike"));
+  apply_alerts(v, alerts, policy);
+  EXPECT_FALSE(v.quarantine_by_alerts);
+  EXPECT_EQ(v.alerts, 100u);
+}
+
 TEST(FleetHealth, Names) {
   EXPECT_EQ(to_string(DeviceHealth::kHealthy), "healthy");
   EXPECT_EQ(to_string(DeviceHealth::kSilent), "silent");
