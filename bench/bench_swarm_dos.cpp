@@ -7,7 +7,24 @@
 // recording phase, so the registry's prover.busy_ms counter covers the
 // measurement window only, and the reject breakdown comes straight from
 // the prover.outcome.* counters instead of being re-derived by hand.
+//
+// Two modes:
+//   (no args)       the original X2 sweep table, 1..16 devices, serial.
+//   --devices=N [--threads=N] [--shards=N] [--trace=path]
+//                   fleet-scale run on the sharded Swarm. Everything on
+//                   stdout (and the --trace JSONL) is byte-identical for
+//                   the same seed at ANY --threads value; wall-clock
+//                   timing goes to stderr. The shard count defaults to
+//                   min(devices, 16) and is deliberately independent of
+//                   --threads, so the shard plan — and with it the trace
+//                   ring contents — never varies with parallelism.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "ratt/obs/metrics.hpp"
 #include "ratt/sim/swarm.hpp"
@@ -48,7 +65,7 @@ FleetRow run_fleet(std::size_t device_count, bool hardened) {
     swarm.channel(i).set_tap(&taps[i]);
     swarm.session(i).send_request();
   }
-  swarm.queue().run_all();
+  swarm.run_all();
 
   // ...then the observer starts the clock on the measurement window and
   // the attacker replays the recording 20x per device.
@@ -93,9 +110,7 @@ FleetRow run_fleet(std::size_t device_count, bool hardened) {
   return row;
 }
 
-}  // namespace
-
-int main() {
+int run_sweep_table() {
   std::printf(
       "=== X2: fleet-scale replay flood (20 replays/device/s window) "
       "===\n\n");
@@ -122,4 +137,133 @@ int main() {
       "device is mostly the attacker's),\n  and stays near zero for the "
       "hardened fleet, whose rejects grow instead.\n");
   return 0;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct FleetScaleOptions {
+  std::size_t devices = 1024;
+  std::size_t threads = 1;
+  std::size_t shards = 0;  // 0 = min(devices, 16)
+  std::string trace_path;
+};
+
+int run_fleet_scale(const FleetScaleOptions& opt) {
+  sim::SwarmConfig config;
+  config.device_count = opt.devices;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.authenticate_requests = true;
+  config.prover.measured_bytes = 16 * 1024;
+  config.attest_period_ms = 250.0;
+  config.stagger_ms = 0.5;  // keep every device active inside the horizon
+  config.shard_count =
+      opt.shards != 0 ? opt.shards : std::min<std::size_t>(opt.devices, 16);
+
+  sim::Swarm swarm(config, crypto::from_string("fleet-bench-seed"));
+
+  // Phase I (untraced, serial): record one genuine request per link.
+  std::vector<sim::RecordingTap> taps(opt.devices);
+  for (std::size_t i = 0; i < opt.devices; ++i) {
+    swarm.channel(i).set_tap(&taps[i]);
+    swarm.session(i).send_request();
+  }
+  swarm.run_all();
+
+  // Phase II: per-shard trace rings + shared atomic registry, 20 replays
+  // per device, drained on the requested number of worker threads.
+  obs::Registry registry;
+  swarm.attach_sharded_observer(&registry);
+  for (std::size_t i = 0; i < opt.devices; ++i) {
+    if (taps[i].recorded_to_prover().empty()) continue;
+    const crypto::Bytes recorded = taps[i].recorded_to_prover()[0].payload;
+    for (int k = 0; k < 20; ++k) {
+      swarm.channel(i).inject_to_prover(recorded, 10.0 + 45.0 * k);
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const sim::SwarmReport report = swarm.run_parallel(1000.0, opt.threads);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  const std::vector<obs::TraceRecord> merged = swarm.merged_trace();
+  std::ostringstream jsonl;
+  obs::write_jsonl(jsonl, merged);
+  const std::string jsonl_text = jsonl.str();
+
+  if (!opt.trace_path.empty()) {
+    std::ofstream out(opt.trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file: %s\n",
+                   opt.trace_path.c_str());
+      return 2;
+    }
+    out << jsonl_text;
+  }
+
+  // Deterministic surface: everything below is identical for the same
+  // seed at any --threads value (thread count and wall clock go to
+  // stderr, which the byte-identity comparison excludes).
+  std::printf("=== X2 fleet-scale replay flood ===\n");
+  std::printf("devices:          %zu\n", opt.devices);
+  std::printf("shards:           %zu\n", swarm.shard_count());
+  std::printf("horizon_ms:       1000\n");
+  std::printf("genuine valid:    %llu\n",
+              static_cast<unsigned long long>(report.total_valid()));
+  std::printf("genuine sent:     %llu\n",
+              static_cast<unsigned long long>(report.total_sent()));
+  std::printf("replays rejected: %llu\n",
+              static_cast<unsigned long long>(
+                  counter_value(registry, "prover.outcome.not-fresh") +
+                  counter_value(registry, "prover.outcome.bad-request-mac")));
+  std::printf("events leftover:  %zu\n", report.events_leftover);
+  std::printf("trace records:    %zu\n", merged.size());
+  std::printf("trace jsonl fnv:  %016llx\n",
+              static_cast<unsigned long long>(fnv1a(jsonl_text)));
+  std::fprintf(stderr, "threads=%zu wall_ms=%.1f\n", opt.threads, wall_ms);
+  return 0;
+}
+
+bool parse_size(const char* arg, const char* prefix, std::size_t* out) {
+  const std::size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  *out = static_cast<std::size_t>(std::strtoull(arg + len, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return run_sweep_table();
+
+  FleetScaleOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (parse_size(arg, "--devices=", &opt.devices)) continue;
+    if (parse_size(arg, "--threads=", &opt.threads)) continue;
+    if (parse_size(arg, "--shards=", &opt.shards)) continue;
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opt.trace_path = arg + 8;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--devices=N] [--threads=N] [--shards=N] "
+                 "[--trace=path]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (opt.devices == 0 || opt.threads == 0) {
+    std::fprintf(stderr, "--devices and --threads must be nonzero\n");
+    return 2;
+  }
+  return run_fleet_scale(opt);
 }

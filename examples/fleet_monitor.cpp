@@ -7,8 +7,14 @@
 // folds those alerts into the per-device verdicts, so the replay-flooded
 // device is flagged by its own metrics, not just by session statistics.
 //
-//   build/examples/fleet_monitor
+//   build/examples/fleet_monitor                      live 8-device demo
+//   build/examples/fleet_monitor --devices=256 --threads=8
+//                                       fleet-scale sharded run: merged
+//                                       trace -> alert replay -> verdicts
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "ratt/obs/scoreboard.hpp"
 #include "ratt/obs/trace.hpp"
@@ -40,9 +46,97 @@ struct DashboardSink : obs::TraceSink {
   }
 };
 
+// Fleet-scale mode: no live frames — the sharded swarm runs the whole
+// horizon on a thread pool, and every analytics consumer (alert engine,
+// health verdicts) is fed the deterministic merged trace afterwards.
+// Same verdicts at any --threads value.
+int run_fleet_scale(std::size_t devices, std::size_t threads) {
+  sim::SwarmConfig config;
+  config.device_count = devices;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.authenticate_requests = true;
+  config.prover.measured_bytes = 16 * 1024;
+  config.attest_period_ms = 500.0;
+  config.stagger_ms = 1.0;
+  config.shard_count = std::min<std::size_t>(devices, 16);
+  sim::Swarm swarm(config, crypto::from_string("fleet-monitor-seed"));
+
+  // The adversary records device 0's traffic during an untraced warm-up
+  // round, then floods that link with replays during the horizon.
+  sim::RecordingTap replay_tap;
+  swarm.channel(0).set_tap(&replay_tap);
+  swarm.session(0).send_request();
+  swarm.run_all();
+
+  obs::Registry registry;
+  swarm.attach_sharded_observer(&registry);
+  if (!replay_tap.recorded_to_prover().empty()) {
+    for (int k = 0; k < 30; ++k) {
+      swarm.channel(0).inject_to_prover(
+          replay_tap.recorded_to_prover()[0].payload, 50.0 + 60.0 * k);
+    }
+  }
+  const sim::SwarmReport report = swarm.run_parallel(kHorizonMs, threads);
+
+  const std::vector<obs::TraceRecord> merged = swarm.merged_trace();
+  obs::ts::AlertConfig alert_config;
+  alert_config.device_count = devices;
+  alert_config.max_alerts = 64 * devices;
+  const auto verdicts =
+      sim::assess_fleet(report, merged, alert_config);
+
+  std::printf("=== fleet-scale monitor: %zu devices, %zu shards ===\n\n",
+              devices, swarm.shard_count());
+  std::printf("  horizon:          %.0f ms\n", kHorizonMs);
+  std::printf("  genuine valid:    %llu/%llu\n",
+              static_cast<unsigned long long>(report.total_valid()),
+              static_cast<unsigned long long>(report.total_sent()));
+  std::printf("  trace records:    %zu (merged across shards)\n",
+              merged.size());
+
+  std::size_t healthy = 0;
+  for (const auto& v : verdicts) {
+    if (v.health == sim::DeviceHealth::kHealthy) ++healthy;
+  }
+  std::printf("  healthy devices:  %zu/%zu\n", healthy, verdicts.size());
+  std::printf("\n  flagged devices:\n");
+  bool any_flagged = false;
+  for (const auto& v : verdicts) {
+    if (v.health == sim::DeviceHealth::kHealthy && v.alerts == 0) continue;
+    any_flagged = true;
+    std::printf("    device %-6zu %-12s alerts=%llu duty=%.2f%s\n",
+                v.device, sim::to_string(v.health).c_str(),
+                static_cast<unsigned long long>(v.alerts), v.duty_fraction,
+                v.quarantine_by_alerts ? "  [quarantine: alert volume]"
+                                       : "");
+  }
+  if (!any_flagged) std::printf("    (none)\n");
+  const auto quarantine = sim::quarantine_list(verdicts);
+  std::printf("\n  quarantine list:");
+  for (const auto id : quarantine) std::printf(" device-%zu", id);
+  std::printf("%s\n", quarantine.empty() ? " (empty)" : "");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t devices = 0;
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--devices=", 10) == 0) {
+      devices = static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--devices=N] [--threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (devices != 0) return run_fleet_scale(devices, std::max<std::size_t>(1, threads));
+
   sim::SwarmConfig config;
   config.device_count = 8;
   config.prover.scheme = attest::FreshnessScheme::kCounter;

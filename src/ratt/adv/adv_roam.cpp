@@ -299,11 +299,18 @@ RoamAttackResult nonce_wipe(const RoamScenarioConfig& config) {
   const AttestRequest recorded = s.verifier->make_request();
   if (s.prover->handle(recorded).status != AttestStatus::kOk) return result;
 
-  // Phase II: zero the history count word — the prover forgets every
-  // nonce it has seen.
-  result.manipulation_succeeded =
-      s.malware.write64(s.prover->surface().nonce_store_addr, 0) ==
-      hw::BusStatus::kOk;
+  // Phase II: zero the whole history — count word and ring slots. (The
+  // count alone is not enough since the freshness scan covers the write
+  // target slot too, so remembered nonces would stay visible.)
+  const hw::Addr store = s.prover->surface().nonce_store_addr;
+  bool wiped =
+      s.malware.write64(store, 0) == hw::BusStatus::kOk;
+  for (std::size_t i = 0; wiped && i < s.prover->surface().nonce_capacity;
+       ++i) {
+    wiped = s.malware.write64(store + 8 + 8 * static_cast<hw::Addr>(i),
+                              0) == hw::BusStatus::kOk;
+  }
+  result.manipulation_succeeded = wiped;
 
   // Phase III: replay the recorded request.
   s.prover->idle_ms(config.wait_ms);

@@ -1,5 +1,8 @@
 #include "ratt/attest/freshness.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace ratt::attest {
 
 std::string to_string(FreshnessVerdict verdict) {
@@ -48,8 +51,15 @@ class NonceHistory final : public FreshnessPolicy {
     if (bus.read64(ctx, base_, count) != hw::BusStatus::kOk) {
       return FreshnessVerdict::kStorageFault;
     }
+    // Scan one slot past `count` (the write target below): an accept that
+    // faulted between the slot write and the count write leaves the nonce
+    // stored but uncounted in exactly that slot, and the scan must still
+    // see it — otherwise a transient bus fault re-opens the replay. The
+    // extra slot reads as 0 while empty, so a literal nonce of 0 is
+    // conservatively rejected (fail closed; verifier nonces are random
+    // 64-bit values, so the collision is negligible).
     const std::uint64_t stored =
-        std::min<std::uint64_t>(count, capacity_);
+        std::min<std::uint64_t>(count + 1, capacity_);
     for (std::uint64_t i = 0; i < stored; ++i) {
       std::uint64_t nonce = 0;
       if (bus.read64(ctx, slot_addr(i), nonce) != hw::BusStatus::kOk) {
@@ -57,7 +67,10 @@ class NonceHistory final : public FreshnessPolicy {
       }
       if (nonce == value) return FreshnessVerdict::kReplay;
     }
-    // Remember the nonce (evicting the oldest once full).
+    // Remember the nonce (evicting the oldest once full). The slot is
+    // committed before the count so a fault between the two fails closed:
+    // the nonce stays scan-visible (slot count % capacity is inside the
+    // count + 1 scan window) until a later accept overwrites it.
     if (bus.write64(ctx, slot_addr(count % capacity_), value) !=
         hw::BusStatus::kOk) {
       return FreshnessVerdict::kStorageFault;
@@ -130,20 +143,39 @@ class TimestampPolicy final : public FreshnessPolicy {
     const auto now = clock_->read_ticks(ctx);
     if (!now.has_value()) return FreshnessVerdict::kStorageFault;
 
-    std::uint64_t last_seen = 0;
-    if (bus.read64(ctx, last_seen_addr_, last_seen) != hw::BusStatus::kOk) {
+    // The state word is biased by one: 0 means "no timestamp seen yet",
+    // w > 0 means last_seen == w - 1. Zero-initialized RAM therefore
+    // decodes to the virgin state, and a genuine t = 0 request is
+    // remembered like any other — the old `last_seen != 0` special case
+    // let a recorded t = 0 request replay freely for the whole window.
+    std::uint64_t word = 0;
+    if (bus.read64(ctx, last_seen_addr_, word) != hw::BusStatus::kOk) {
       return FreshnessVerdict::kStorageFault;
     }
-    if (value == last_seen && last_seen != 0) {
-      return FreshnessVerdict::kReplay;
+    if (word != 0) {
+      const std::uint64_t last_seen = word - 1;
+      if (value == last_seen) return FreshnessVerdict::kReplay;
+      if (value < last_seen) return FreshnessVerdict::kNotMonotonic;
     }
-    if (value < last_seen) return FreshnessVerdict::kNotMonotonic;
     // Delay detection: the request must be recent by the prover's clock.
-    if (*now > value + window_ticks_) return FreshnessVerdict::kTooOld;
+    // (Subtraction form — `*now > value + window` would wrap for
+    // timestamps near the 64-bit limit and misclassify them.)
+    if (*now > value && *now - value > window_ticks_) {
+      return FreshnessVerdict::kTooOld;
+    }
     // Clock-skew guard: reject timestamps from the "future".
-    if (value > *now + skew_ticks_) return FreshnessVerdict::kNotMonotonic;
+    if (value > *now && value - *now > skew_ticks_) {
+      return FreshnessVerdict::kNotMonotonic;
+    }
+    // UINT64_MAX is unrepresentable in the biased word (value + 1 would
+    // wrap to "unseen"); a clock anywhere near the 64-bit limit is broken,
+    // so reject rather than forget.
+    if (value == std::numeric_limits<std::uint64_t>::max()) {
+      return FreshnessVerdict::kNotMonotonic;
+    }
 
-    if (bus.write64(ctx, last_seen_addr_, value) != hw::BusStatus::kOk) {
+    if (bus.write64(ctx, last_seen_addr_, value + 1) !=
+        hw::BusStatus::kOk) {
       return FreshnessVerdict::kStorageFault;
     }
     return FreshnessVerdict::kAccept;

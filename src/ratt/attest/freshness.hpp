@@ -54,7 +54,11 @@ class FreshnessPolicy {
 std::unique_ptr<FreshnessPolicy> make_no_freshness();
 
 /// Nonce history in device RAM at [base, base + 8 + 8*capacity):
-/// a count word followed by a ring of 64-bit nonces.
+/// a count word followed by a ring of 64-bit nonces. The scan covers one
+/// slot past the count (the next write target), so an update torn by a
+/// transient bus fault — slot committed, count not — still rejects the
+/// replay instead of failing open; the flip side is that a literal nonce
+/// of 0 can collide with an empty slot and be rejected conservatively.
 std::unique_ptr<FreshnessPolicy> make_nonce_history(hw::Mcu& mcu,
                                                     hw::Addr base,
                                                     std::size_t capacity);
@@ -65,7 +69,10 @@ std::unique_ptr<FreshnessPolicy> make_counter_policy(hw::Mcu& mcu,
 
 /// Timestamp check against `clock`, accepting requests whose timestamp t
 /// satisfies  last_seen < t  and  now - t <= window_ticks  and
-/// t <= now + skew_ticks. last_seen lives at `last_seen_addr`.
+/// t <= now + skew_ticks. The word at `last_seen_addr` stores
+/// last_seen + 1 (0 = no timestamp seen yet), so zero-initialized RAM is
+/// the virgin state and a genuine t = 0 request is remembered — and its
+/// replays rejected — like any other timestamp.
 std::unique_ptr<FreshnessPolicy> make_timestamp_policy(
     hw::Mcu& mcu, hw::ClockSource& clock, hw::Addr last_seen_addr,
     std::uint64_t window_ticks, std::uint64_t skew_ticks = 0);

@@ -66,9 +66,10 @@ std::string Registry::to_text() const {
     out += " max=";
     append_double(out, h.max());
     out += " buckets=[";
-    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+    const std::vector<std::uint64_t> buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
       if (i != 0) out += ',';
-      append_double(out, static_cast<double>(h.buckets()[i]));
+      append_double(out, static_cast<double>(buckets[i]));
     }
     out += "]\n";
   }

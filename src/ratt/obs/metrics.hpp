@@ -10,12 +10,23 @@
 //     (or two test cases) never share instruments,
 //   * header-mostly — only the export/snapshot helpers live in a .cpp.
 //
+// Concurrency contract (the sharded Swarm relies on this): registration
+// (Registry::counter/gauge/histogram) is NOT thread-safe and must finish
+// before worker threads start — attach observers first, run shards after.
+// The instruments themselves ARE thread-safe: inc()/set()/observe() use
+// relaxed atomics, so shards sharing one Registry never race. All
+// aggregate readouts (counter sums, gauge high-water marks, histogram
+// bucket counts) are order-independent, so they are deterministic for a
+// given workload at any thread count; only the last-write value() of a
+// concurrently-set gauge depends on scheduling.
+//
 // Naming convention (docs/OBSERVABILITY.md): dot-separated lowercase
 // "<layer>.<subject>[.<detail>]", e.g. "prover.outcome.not-fresh",
 // "queue.backlog", "session.round_trip_ms".
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -25,52 +36,106 @@
 
 namespace ratt::obs {
 
+namespace detail {
+
+/// Relaxed fetch-max for doubles (no fetch_max in the standard): CAS loop
+/// that only writes when `v` actually raises the stored value.
+inline void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
 /// Monotonically accumulating value. `value()` is the sum of all inc()
 /// arguments (so fractional quantities — milliseconds, millijoules —
 /// accumulate exactly as given); `count()` is the number of inc() calls.
+/// Thread-safe: concurrent inc() from shard workers never lose updates.
 class Counter {
  public:
   void inc(double v = 1.0) {
-    value_ += v;
-    ++count_;
+    value_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  double value() const { return value_; }
-  std::uint64_t count() const { return count_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
-  std::uint64_t count_ = 0;
+  std::atomic<double> value_{0.0};
+  std::atomic<std::uint64_t> count_{0};
 };
 
 /// Last-write-wins value with a high-water mark (useful for backlogs and
 /// queue depths, where the peak matters as much as the final value).
+/// Thread-safe; max() — a max over all set values — is deterministic even
+/// under concurrent setters, while value() is whichever write landed last.
 class Gauge {
  public:
   void set(double v) {
-    value_ = v;
-    if (++sets_ == 1 || v > max_) max_ = v;
+    value_.store(v, std::memory_order_relaxed);
+    sets_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_max(max_, v);
   }
 
-  double value() const { return value_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
   /// High-water mark; 0.0 before the first set() (never -inf), matching
   /// Histogram::min/max on an empty instrument.
-  double max() const { return sets_ == 0 ? 0.0 : max_; }
-  std::uint64_t sets() const { return sets_; }
+  double max() const {
+    return sets_.load(std::memory_order_relaxed) == 0
+               ? 0.0
+               : max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sets() const {
+    return sets_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
-  double max_ = 0.0;
-  std::uint64_t sets_ = 0;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> sets_{0};
 };
 
 /// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
 /// (first matching bound); observations above the last bound land in the
 /// overflow bucket, so buckets().size() == bounds().size() + 1.
+/// observe() is thread-safe; bucket counts, count and sum are exact under
+/// concurrency (sum's floating-point rounding can vary with interleaving
+/// in the last bits — bucket counts and min/max cannot).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds)
-      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+  /// Move is a registration-time convenience only (Registry::histogram
+  /// moves the freshly-built instrument into its map). NOT thread-safe:
+  /// never move a histogram concurrent writers hold a reference to.
+  Histogram(Histogram&& other) noexcept
+      : bounds_(std::move(other.bounds_)),
+        buckets_(std::move(other.buckets_)) {
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  Histogram& operator=(Histogram&&) = delete;
 
   void observe(double v) {
     // First bound >= v keeps the documented inclusive-upper-bound
@@ -79,28 +144,44 @@ class Histogram {
     const std::size_t i = static_cast<std::size_t>(
         std::lower_bound(bounds_.begin(), bounds_.end(), v) -
         bounds_.begin());
-    ++buckets_[i];
-    ++count_;
-    sum_ += v;
-    if (v < min_) min_ = v;
-    if (v > max_) max_ = v;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    detail::atomic_min(min_, v);
+    detail::atomic_max(max_, v);
   }
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  double min() const {
+    return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  }
+  double max() const {
+    return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  }
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  /// Snapshot of the bucket counts (a copy: the live array is atomic).
+  std::vector<std::uint64_t> buckets() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
 
  private:
   std::vector<double> bounds_;
-  std::vector<std::uint64_t> buckets_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Default histogram bounds for prover-side latencies: spans the one-block
@@ -110,7 +191,9 @@ std::vector<double> default_latency_bounds_ms();
 
 /// Instrument registry. Instruments live as long as the registry; the
 /// node-based containers guarantee stable addresses, so cached references
-/// survive later registrations.
+/// survive later registrations. Registration itself is single-threaded
+/// (do it before spawning shard workers); the returned instruments are
+/// safe to update from any thread.
 class Registry {
  public:
   Registry() = default;

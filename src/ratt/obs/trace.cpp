@@ -1,5 +1,6 @@
 #include "ratt/obs/trace.hpp"
 
+#include <algorithm>
 #include <charconv>
 
 namespace ratt::obs {
@@ -62,6 +63,28 @@ std::vector<TraceRecord> RingRecorder::snapshot() const {
   for (std::size_t i = 0; i < size_; ++i) {
     out.push_back(ring_[(start + i) % ring_.size()]);
   }
+  return out;
+}
+
+std::vector<TraceRecord> merge_traces(
+    std::vector<std::vector<TraceRecord>> shards) {
+  std::vector<TraceRecord> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  out.reserve(total);
+  for (auto& shard : shards) {
+    for (auto& rec : shard) out.push_back(std::move(rec));
+  }
+  // Stable sort: same-(time, device) records keep their shard-stream
+  // order, and a device's records all come from one shard — so the
+  // result is one canonical interleaving, independent of the shard plan.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.sim_time_ms != b.sim_time_ms) {
+                       return a.sim_time_ms < b.sim_time_ms;
+                     }
+                     return a.device_id < b.device_id;
+                   });
   return out;
 }
 

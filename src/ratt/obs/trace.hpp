@@ -72,6 +72,17 @@ class TeeSink : public TraceSink {
   TraceSink* b_;
 };
 
+/// Deterministically merge per-shard trace streams (the sharded Swarm's
+/// per-shard RingRecorder snapshots) into one canonical stream, ordered
+/// by (sim_time_ms, device_id) with ties within one device keeping their
+/// shard-stream order. Each device lives in exactly one shard and each
+/// shard's stream is independent of scheduling, so the merged stream is
+/// byte-identical (once exported) at any thread count — and, as long as
+/// no ring dropped records, at any shard count, including the legacy
+/// single-queue layout.
+std::vector<TraceRecord> merge_traces(
+    std::vector<std::vector<TraceRecord>> shards);
+
 /// One JSON object per line, keys in schema order. Deterministic: shortest
 /// round-trip doubles, no locale dependence.
 void write_jsonl(std::ostream& out, std::span<const TraceRecord> records);

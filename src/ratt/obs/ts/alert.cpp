@@ -119,6 +119,12 @@ void AlertEngine::finish(double now_ms) {
   }
 }
 
+void AlertEngine::replay(std::span<const TraceRecord> records,
+                         double finish_ms) {
+  for (const TraceRecord& rec : records) record(rec);
+  finish(finish_ms);
+}
+
 void AlertEngine::evaluate_until(std::uint64_t device_id, DeviceState& dev,
                                  std::uint64_t window_index) {
   // The four rollups saw the same timestamps, so their rings line up

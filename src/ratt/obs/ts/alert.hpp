@@ -91,6 +91,12 @@ class AlertEngine : public TraceSink {
   /// call once at end of run so trailing windows are graded.
   void finish(double now_ms);
 
+  /// Offline grading of a pre-merged stream (Swarm::merged_trace): feed
+  /// every record in order, then finish() at `finish_ms`. Produces the
+  /// same alert log the engine would have produced online, because alerts
+  /// depend only on the record stream.
+  void replay(std::span<const TraceRecord> records, double finish_ms);
+
   const AlertConfig& config() const { return config_; }
   std::span<const AlertEvent> alerts() const { return alerts_; }
   std::uint64_t alerts_dropped() const { return dropped_; }

@@ -1,5 +1,6 @@
 #include "ratt/sim/event.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ratt::sim {
@@ -22,9 +23,10 @@ void EventQueue::schedule_at(double at_ms, Action action) {
   if (at_ms < now_ms_) {
     throw std::invalid_argument("EventQueue: scheduling into the past");
   }
-  queue_.push(Event{at_ms, next_seq_++, now_ms_, std::move(action)});
+  heap_.push_back(Event{at_ms, next_seq_++, now_ms_, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   if (obs_backlog_ != nullptr) {
-    obs_backlog_->set(static_cast<double>(queue_.size()));
+    obs_backlog_->set(static_cast<double>(heap_.size()));
   }
 }
 
@@ -33,14 +35,19 @@ void EventQueue::schedule_in(double delay_ms, Action action) {
 }
 
 bool EventQueue::run_next() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move via const_cast is UB-prone,
-  // so copy the (small) action handle instead.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  // pop_heap moves the earliest event to the back; move it out — the
+  // std::function changes hands without a copy (and without the per-event
+  // allocation the old priority_queue::top() copy paid).
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  // Commit queue state before invoking the action: if it throws, the
+  // event is consumed, now_ms has advanced and the instruments agree
+  // with the heap — the caller can keep running the queue.
   now_ms_ = ev.at_ms;
   if (obs_backlog_ != nullptr) {
-    obs_backlog_->set(static_cast<double>(queue_.size()));
+    obs_backlog_->set(static_cast<double>(heap_.size()));
     obs_latency_->observe(ev.at_ms - ev.scheduled_ms);
     obs_events_run_->inc();
   }
@@ -49,7 +56,7 @@ bool EventQueue::run_next() {
 }
 
 void EventQueue::run_until(double until_ms) {
-  while (!queue_.empty() && queue_.top().at_ms <= until_ms) {
+  while (!heap_.empty() && heap_.front().at_ms <= until_ms) {
     run_next();
   }
   now_ms_ = std::max(now_ms_, until_ms);
@@ -58,7 +65,7 @@ void EventQueue::run_until(double until_ms) {
 std::size_t EventQueue::run_all(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && run_next()) ++n;
-  const std::size_t leftover = queue_.size();
+  const std::size_t leftover = heap_.size();
   if (obs_leftover_ != nullptr) {
     obs_leftover_->set(static_cast<double>(leftover));
   }

@@ -1,10 +1,14 @@
 // Minimal discrete-event scheduler driving the network simulation.
 // Time is in simulated milliseconds.
+//
+// One EventQueue is single-threaded; the sharded Swarm scales out by
+// giving every shard its own queue (devices never interact cross-shard),
+// so no locking lives here — only the observability instruments the
+// queues share are thread-safe (see obs/metrics.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "ratt/obs/metrics.hpp"
@@ -30,10 +34,15 @@ class EventQueue {
   /// Schedule `action` `delay_ms` from now.
   void schedule_in(double delay_ms, Action action);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
 
   /// Pop and run the earliest event; returns false when none remain.
+  /// The action is moved out of the heap (no copy, no extra allocation on
+  /// the hot path), and the queue commits its state — event popped,
+  /// now_ms advanced, backlog/latency instruments updated — *before* the
+  /// action runs, so a throwing action leaves the queue fully consistent
+  /// and the next run_next() continues with the following event.
   bool run_next();
 
   /// Run events until the queue empties or `until_ms` is reached; time
@@ -61,7 +70,12 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Binary heap over a plain vector (std::push_heap / std::pop_heap)
+  // instead of std::priority_queue: priority_queue::top() is const&, so
+  // popping an event forced a copy of its std::function (a heap
+  // allocation per event on the hot path). pop_heap moves the earliest
+  // event to the back, where it can be moved out.
+  std::vector<Event> heap_;
   double now_ms_ = 0.0;
   std::uint64_t next_seq_ = 0;
   obs::Gauge* obs_backlog_ = nullptr;

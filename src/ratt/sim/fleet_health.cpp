@@ -104,6 +104,18 @@ std::vector<DeviceVerdict> assess_fleet(
   return verdicts;
 }
 
+std::vector<DeviceVerdict> assess_fleet(
+    const SwarmReport& report, std::span<const obs::TraceRecord> merged,
+    const obs::ts::AlertConfig& alert_config, const HealthPolicy& policy) {
+  obs::ts::AlertConfig config = alert_config;
+  if (config.device_count < report.devices.size()) {
+    config.device_count = report.devices.size();
+  }
+  obs::ts::AlertEngine engine(config);
+  engine.replay(merged, report.horizon_ms);
+  return assess_fleet(report, engine.alerts(), policy);
+}
+
 std::vector<std::size_t> quarantine_list(
     const std::vector<DeviceVerdict>& verdicts) {
   std::vector<std::size_t> out;

@@ -83,6 +83,16 @@ std::vector<DeviceVerdict> assess_fleet(
     const SwarmReport& report, std::span<const obs::ts::AlertEvent> alerts,
     const HealthPolicy& policy = HealthPolicy{});
 
+/// Classify a fleet report from a merged trace stream (Swarm::merged_trace
+/// after a sharded run): builds an AlertEngine with `alert_config`, replays
+/// the stream through it, then delegates to the alerts overload. Because
+/// the merge is canonical and alerts depend only on the record stream, the
+/// verdicts are identical at any thread/shard count.
+std::vector<DeviceVerdict> assess_fleet(
+    const SwarmReport& report, std::span<const obs::TraceRecord> merged,
+    const obs::ts::AlertConfig& alert_config,
+    const HealthPolicy& policy = HealthPolicy{});
+
 /// Escalate one verdict given its device's alert stream (exposed for
 /// single-device harnesses; assess_fleet calls this per device).
 void apply_alerts(DeviceVerdict& verdict,

@@ -38,6 +38,8 @@ class AttestationSession {
     /// Device time the prover spent on this session's deliveries (ms) —
     /// with the horizon, the duty-cycle fraction lost to attestation.
     double prover_attest_ms = 0.0;
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
 
   /// Wires the channel sinks. The session must outlive queue execution.

@@ -1,5 +1,9 @@
 #include "ratt/sim/swarm.hpp"
 
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
 #include "ratt/crypto/drbg.hpp"
 
 namespace ratt::sim {
@@ -24,9 +28,30 @@ double SwarmReport::total_attest_ms() const {
 
 Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
     : config_(config) {
+  // Shard plan: contiguous blocks, sized as evenly as possible.
+  const std::size_t n = config.device_count;
+  std::size_t shard_count = config.shard_count == 0 ? 1 : config.shard_count;
+  if (n > 0 && shard_count > n) shard_count = n;
+  const std::size_t base = n == 0 ? 0 : n / shard_count;
+  const std::size_t rem = n == 0 ? 0 : n % shard_count;
+  std::size_t next_device = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->begin = next_device;
+    next_device += base + (s < rem ? 1 : 0);
+    shard->end = next_device;
+    shards_.push_back(std::move(shard));
+  }
+
+  // Device construction draws from the fleet DRBG in global device order,
+  // so keys are independent of the shard plan (and identical to the
+  // legacy single-queue layout).
   crypto::HmacDrbg fleet_drbg(fleet_seed);
-  for (std::size_t i = 0; i < config.device_count; ++i) {
+  std::size_t shard_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (i >= shards_[shard_idx]->end) ++shard_idx;
     auto device = std::make_unique<Device>();
+    device->shard = shard_idx;
     device->key = fleet_drbg.generate(16);
     const crypto::Bytes app_seed = fleet_drbg.generate(16);
 
@@ -44,17 +69,27 @@ Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
     device->verifier->set_reference_memory(
         device->prover->reference_memory());
 
+    EventQueue& shard_queue = shards_[shard_idx]->queue;
     device->channel =
-        std::make_unique<Channel>(queue_, config.channel_latency_ms);
+        std::make_unique<Channel>(shard_queue, config.channel_latency_ms);
     device->session = std::make_unique<AttestationSession>(
-        queue_, *device->channel, *device->prover, *device->verifier);
+        shard_queue, *device->channel, *device->prover, *device->verifier);
     devices_.push_back(std::move(device));
   }
 }
 
+EventQueue& Swarm::queue() {
+  if (shards_.size() > 1) {
+    throw std::logic_error(
+        "Swarm::queue(): sharded swarm has no single queue — use "
+        "queue_of(device) or run()/run_all()/run_until()");
+  }
+  return shards_[0]->queue;
+}
+
 void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
                             obs::PowerModel power) {
-  queue_.set_observer(registry);
+  for (auto& shard : shards_) shard->queue.set_observer(registry);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     obs::Observer o;
     o.registry = registry;
@@ -67,21 +102,89 @@ void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
   }
 }
 
+void Swarm::attach_sharded_observer(obs::Registry* registry,
+                                    std::size_t ring_capacity,
+                                    obs::PowerModel power) {
+  for (auto& shard : shards_) {
+    shard->ring = std::make_unique<obs::RingRecorder>(ring_capacity);
+    shard->queue.set_observer(registry);
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    obs::Observer o;
+    o.registry = registry;
+    o.sink = shards_[devices_[i]->shard]->ring.get();
+    o.device_id = i;
+    o.power = power;
+    devices_[i]->prover->set_observer(o);
+    devices_[i]->verifier->set_observer(o);
+    devices_[i]->session->set_observer(o);
+  }
+}
+
+std::vector<obs::TraceRecord> Swarm::merged_trace() const {
+  std::vector<std::vector<obs::TraceRecord>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (shard->ring != nullptr) per_shard.push_back(shard->ring->snapshot());
+  }
+  return obs::merge_traces(std::move(per_shard));
+}
+
 void Swarm::schedule(double horizon_ms) {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     const double offset = config_.stagger_ms * static_cast<double>(i);
+    EventQueue& shard_queue = shards_[devices_[i]->shard]->queue;
     for (double t = offset + config_.attest_period_ms; t <= horizon_ms;
          t += config_.attest_period_ms) {
       auto* session = devices_[i]->session.get();
-      queue_.schedule_at(t, [session] { session->send_request(); });
+      shard_queue.schedule_at(t, [session] { session->send_request(); });
     }
   }
+}
+
+void Swarm::run_until(double until_ms) {
+  for (auto& shard : shards_) shard->queue.run_until(until_ms);
+}
+
+std::size_t Swarm::run_all() { return drain(1); }
+
+std::size_t Swarm::drain(std::size_t threads) {
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(threads, shards_.size()));
+  if (workers == 1) {
+    // run_all's bounded drain leaves any stranded backlog pending, which
+    // report() picks up as events_leftover.
+    std::size_t leftover = 0;
+    for (auto& shard : shards_) leftover += shard->queue.run_all();
+    return leftover;
+  }
+  // Shards are fully independent event streams; hand them out to the
+  // workers by atomic ticket. All cross-thread state is the ticket, the
+  // leftover tally and the registry's atomic instruments.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> leftover{0};
+  const auto worker = [this, &next, &leftover] {
+    for (std::size_t s;
+         (s = next.fetch_add(1, std::memory_order_relaxed)) <
+         shards_.size();) {
+      leftover.fetch_add(shards_[s]->queue.run_all(),
+                         std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  return leftover.load(std::memory_order_relaxed);
 }
 
 SwarmReport Swarm::report(double horizon_ms) const {
   SwarmReport report;
   report.horizon_ms = horizon_ms;
-  report.events_leftover = queue_.pending();
+  for (const auto& shard : shards_) {
+    report.events_leftover += shard->queue.pending();
+  }
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     SwarmDeviceReport dr;
     dr.device = i;
@@ -95,10 +198,12 @@ SwarmReport Swarm::report(double horizon_ms) const {
 }
 
 SwarmReport Swarm::run(double horizon_ms) {
+  return run_parallel(horizon_ms, 1);
+}
+
+SwarmReport Swarm::run_parallel(double horizon_ms, std::size_t threads) {
   schedule(horizon_ms);
-  // run_all's bounded drain leaves any stranded backlog pending, which
-  // report() picks up as events_leftover.
-  (void)queue_.run_all();
+  (void)drain(threads);
   return report(horizon_ms);
 }
 

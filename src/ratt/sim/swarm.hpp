@@ -2,11 +2,22 @@
 // proposed methods in the context of connected devices, such as IoT").
 //
 // One verifier-side operator attests a fleet of simulated provers over
-// per-device Dolev-Yao channels sharing a single event queue. Each device
-// holds its own K_Attest (derived from a fleet seed), so a request
-// recorded on one device's link is useless against another — and the
-// whole fleet can be driven under adversarial taps to measure aggregate
-// DoS impact.
+// per-device Dolev-Yao channels. Each device holds its own K_Attest
+// (derived from a fleet seed), so a request recorded on one device's
+// link is useless against another — and the whole fleet can be driven
+// under adversarial taps to measure aggregate DoS impact.
+//
+// Sharded execution (fleet scale): devices never interact cross-device,
+// so the fleet is partitioned into `shard_count` contiguous shards, each
+// owning its own EventQueue and (optionally) its own trace ring. Shards
+// are fully independent event streams, which makes them embarrassingly
+// parallel: run_parallel() drains them on a thread pool, and the merge
+// of reports and traces is deterministic — byte-identical for the same
+// seed at ANY thread count, because per-shard behavior never depends on
+// scheduling and the merge orders records by (sim_time, device_id)
+// canonically. Metrics aggregate into one shared Registry whose
+// instruments are thread-safe (obs/metrics.hpp); all its aggregate
+// readouts are order-independent and therefore deterministic too.
 #pragma once
 
 #include <memory>
@@ -25,6 +36,13 @@ struct SwarmConfig {
   /// herd on the operator).
   double stagger_ms = 37.0;
   double channel_latency_ms = 2.0;
+  /// Shards the fleet is partitioned into (contiguous device blocks,
+  /// each with a private EventQueue). 1 — the default — is the legacy
+  /// single-queue layout; values are clamped to [1, device_count].
+  /// Per-device behavior is independent of the shard plan, so reports
+  /// are identical at any shard count; merged traces additionally match
+  /// across shard counts as long as no trace ring overflowed.
+  std::size_t shard_count = 1;
 };
 
 struct SwarmDeviceReport {
@@ -34,18 +52,23 @@ struct SwarmDeviceReport {
   /// Fraction of the horizon the device spent in (uninterruptible)
   /// attestation — the duty-cycle disruption signal fleet_health grades.
   double duty_fraction = 0.0;
+
+  friend bool operator==(const SwarmDeviceReport&,
+                         const SwarmDeviceReport&) = default;
 };
 
 struct SwarmReport {
   double horizon_ms = 0.0;
   std::vector<SwarmDeviceReport> devices;
-  /// Events stranded when the run's event budget was exhausted (0 in a
-  /// healthy run; nonzero means the horizon's tail was not simulated).
+  /// Events stranded when a shard's event budget was exhausted (0 in a
+  /// healthy run; nonzero means some horizon tail was not simulated).
   std::size_t events_leftover = 0;
 
   std::uint64_t total_valid() const;
   std::uint64_t total_sent() const;
   double total_attest_ms() const;
+
+  friend bool operator==(const SwarmReport&, const SwarmReport&) = default;
 };
 
 class Swarm {
@@ -53,7 +76,17 @@ class Swarm {
   Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed);
 
   std::size_t size() const { return devices_.size(); }
-  EventQueue& queue() { return queue_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The fleet's queue in the legacy single-shard layout. Throws
+  /// std::logic_error on a sharded swarm — use queue_of() there, or the
+  /// run()/run_all()/run_until() drivers that cover every shard.
+  EventQueue& queue();
+  /// The event queue owning device i's channel and session.
+  EventQueue& queue_of(std::size_t device) {
+    return shards_[devices_[device]->shard]->queue;
+  }
+
   attest::ProverDevice& prover(std::size_t i) { return *devices_[i]->prover; }
   Channel& channel(std::size_t i) { return *devices_[i]->channel; }
   AttestationSession& session(std::size_t i) {
@@ -65,35 +98,71 @@ class Swarm {
 
   /// Attach one registry/sink pair to the whole fleet: every prover,
   /// verifier and session gets an Observer carrying its device index, and
-  /// the shared event queue publishes its backlog gauges. Metrics
-  /// aggregate fleet-wide; traces stay per-device via device_id.
+  /// every shard queue publishes its backlog gauges. Metrics aggregate
+  /// fleet-wide; traces stay per-device via device_id. The single shared
+  /// sink is NOT synchronized — use attach_sharded_observer() before
+  /// run_parallel() with more than one thread.
   void attach_observer(obs::Registry* registry, obs::TraceSink* sink,
                        obs::PowerModel power = obs::PowerModel{});
 
-  /// Schedule periodic attestation for every device and run to `horizon`.
+  /// Sharded tracing for parallel runs: every shard records into its own
+  /// private RingRecorder (`ring_capacity` records each), so worker
+  /// threads never share a sink; the shared registry only needs its
+  /// thread-safe instruments. After a run, merged_trace() returns the
+  /// deterministic (sim_time, device_id)-ordered merge of all shards.
+  void attach_sharded_observer(obs::Registry* registry,
+                               std::size_t ring_capacity = 1 << 16,
+                               obs::PowerModel power = obs::PowerModel{});
+
+  /// Deterministic merge of the per-shard trace rings (empty when
+  /// attach_sharded_observer was not used).
+  std::vector<obs::TraceRecord> merged_trace() const;
+
+  /// Schedule periodic attestation for every device and drain every
+  /// shard on the calling thread.
   SwarmReport run(double horizon_ms);
 
+  /// Schedule and drain the shards on `threads` workers (clamped to the
+  /// shard count; 1 runs on the calling thread). The merged report and
+  /// trace are byte-identical at any thread count for the same seed.
+  SwarmReport run_parallel(double horizon_ms, std::size_t threads);
+
   // Stepped execution — the dashboard/analytics path. schedule() plants
-  // the same periodic rounds run() would, run_until() advances the shared
-  // queue one slice at a time (so a caller can read rollups, quantiles
+  // the same periodic rounds run() would, run_until() advances every
+  // shard one slice at a time (so a caller can read rollups, quantiles
   // and alerts between slices), and report() snapshots current state.
   void schedule(double horizon_ms);
-  void run_until(double until_ms) { queue_.run_until(until_ms); }
+  void run_until(double until_ms);
+  /// Drain every shard on the calling thread without scheduling anything
+  /// (setup phases: recording taps, priming injections). Returns the
+  /// total stranded backlog (0 = fully drained).
+  std::size_t run_all();
   /// Report over [0, horizon_ms] from current state. events_leftover is
-  /// the still-pending queue backlog (0 after a drained run).
+  /// the still-pending backlog across shards (0 after a drained run).
   SwarmReport report(double horizon_ms) const;
 
  private:
   struct Device {
     crypto::Bytes key;
+    std::size_t shard = 0;
     std::unique_ptr<attest::ProverDevice> prover;
     std::unique_ptr<attest::Verifier> verifier;
     std::unique_ptr<Channel> channel;
     std::unique_ptr<AttestationSession> session;
   };
+  struct Shard {
+    EventQueue queue;
+    std::size_t begin = 0;  // device index range [begin, end)
+    std::size_t end = 0;
+    std::unique_ptr<obs::RingRecorder> ring;  // sharded-tracing mode
+  };
+
+  /// Drain every shard queue on up to `threads` workers; returns the
+  /// total stranded backlog.
+  std::size_t drain(std::size_t threads);
 
   SwarmConfig config_;
-  EventQueue queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Device>> devices_;
 };
 

@@ -2,6 +2,8 @@
 // nonce-history eviction weakness the paper uses to rule nonces out.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ratt/attest/freshness.hpp"
 #include "ratt/hw/timer.hpp"
 
@@ -79,6 +81,21 @@ TEST_F(FreshnessFixture, CounterStorageFaultSurfaces) {
             FreshnessVerdict::kStorageFault);
 }
 
+TEST_F(FreshnessFixture, CounterWrapAtMax) {
+  // UINT64_MAX is an ordinary counter value: accepted once, replay
+  // detected, and nothing wraps back to accepting smaller values.
+  const auto policy = make_counter_policy(mcu_, kStateAddr);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  ASSERT_EQ(policy->check_and_update(kAnchorCtx, kMax),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, kMax),
+            FreshnessVerdict::kReplay);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 0),
+            FreshnessVerdict::kNotMonotonic);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, kMax - 1),
+            FreshnessVerdict::kNotMonotonic);
+}
+
 // --- Nonce history ---------------------------------------------------------
 
 TEST_F(FreshnessFixture, NonceAcceptsDistinctRejectsReplay) {
@@ -125,6 +142,71 @@ TEST_F(FreshnessFixture, NonceStorageFaultSurfaces) {
   const auto policy = make_nonce_history(mcu_, 0x0ff00000, 4);
   EXPECT_EQ(policy->check_and_update(kAnchorCtx, 1),
             FreshnessVerdict::kStorageFault);
+}
+
+TEST_F(FreshnessFixture, NonceEvictionBoundaryAtExactCapacity) {
+  // Exactly `capacity` distinct nonces: nothing evicted yet, every one of
+  // them still rejects its replay. The first eviction happens on nonce
+  // capacity+1 (covered by NonceHistoryEvictionEnablesReplay).
+  constexpr std::size_t kCapacity = 4;
+  const auto policy = make_nonce_history(mcu_, kStateAddr, kCapacity);
+  for (std::uint64_t n = 1; n <= kCapacity; ++n) {
+    ASSERT_EQ(policy->check_and_update(kAnchorCtx, n),
+              FreshnessVerdict::kAccept);
+  }
+  for (std::uint64_t n = 1; n <= kCapacity; ++n) {
+    EXPECT_EQ(policy->check_and_update(kAnchorCtx, n),
+              FreshnessVerdict::kReplay);
+  }
+}
+
+/// Denies writes to one word — models a transient fault that lands
+/// between the two state writes of an accept (slot committed, count not).
+class DenyWordWrites final : public hw::AccessController {
+ public:
+  explicit DenyWordWrites(hw::Addr word) : word_(word) {}
+  bool allows(const hw::AccessContext&, hw::AccessType type,
+              hw::Addr addr) const override {
+    return !(type == hw::AccessType::kWrite && addr >= word_ &&
+             addr < word_ + 8);
+  }
+
+ private:
+  hw::Addr word_;
+};
+
+TEST_F(FreshnessFixture, NonceTornStateStillRejectsReplay) {
+  // Regression: an accept torn by a bus fault — nonce slot written, count
+  // word write faulted — used to leave the stored nonce invisible to the
+  // count-bounded scan, so its replay was re-accepted. The scan now
+  // covers one slot past the count, so the torn state fails closed.
+  const auto policy = make_nonce_history(mcu_, kStateAddr, 4);
+  ASSERT_EQ(policy->check_and_update(kAnchorCtx, 111),
+            FreshnessVerdict::kAccept);
+
+  const DenyWordWrites deny_count(kStateAddr);
+  mcu_.bus().set_access_controller(&deny_count);
+  // The slot write (kStateAddr + 8 + 8*1) lands; the count write faults.
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 222),
+            FreshnessVerdict::kStorageFault);
+  std::uint64_t slot = 0;
+  ASSERT_EQ(mcu_.bus().read64(kAnchorCtx, kStateAddr + 16, slot),
+            hw::BusStatus::kOk);
+  ASSERT_EQ(slot, 222u);  // the torn state is real: nonce stored...
+  std::uint64_t count = 0;
+  ASSERT_EQ(mcu_.bus().read64(kAnchorCtx, kStateAddr, count),
+            hw::BusStatus::kOk);
+  ASSERT_EQ(count, 1u);  // ...but not counted
+
+  // Fault clears; the stored-but-uncounted nonce must still be seen.
+  mcu_.bus().set_access_controller(nullptr);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 222),
+            FreshnessVerdict::kReplay);
+  // And the policy still works: a fresh nonce is accepted and remembered.
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 333),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy->check_and_update(kAnchorCtx, 333),
+            FreshnessVerdict::kReplay);
 }
 
 // --- Timestamps -------------------------------------------------------------
@@ -191,6 +273,44 @@ TEST_F(TimestampFixture, WindowBoundaryExact) {
   mcu_.advance_cycles(1);
   EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 4000),
             FreshnessVerdict::kReplay);  // same value again
+}
+
+TEST_F(TimestampFixture, ZeroTimestampReplayRejected) {
+  // Regression: last_seen lived unbias-ed in the state word, where 0 was
+  // indistinguishable from "nothing seen yet" — so a genuine t=0 request
+  // recorded at boot replayed freely for the whole window. The word now
+  // stores last_seen+1; t=0 is remembered like any other timestamp.
+  mcu_.advance_cycles(500);  // t=0 is still inside the 1000-tick window
+  ASSERT_EQ(policy_->check_and_update(kAnchorCtx, 0),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 0),
+            FreshnessVerdict::kReplay);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 0),
+            FreshnessVerdict::kReplay);  // still rejected, any number of tries
+  // Monotonicity continues past the remembered 0.
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 400),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 0),
+            FreshnessVerdict::kNotMonotonic);
+}
+
+TEST_F(TimestampFixture, SkewBoundaryExact) {
+  mcu_.advance_cycles(5000);
+  // t == now + skew exactly: the last acceptable "future" stamp.
+  ASSERT_EQ(policy_->check_and_update(kAnchorCtx, 5010),
+            FreshnessVerdict::kAccept);
+  EXPECT_EQ(policy_->check_and_update(kAnchorCtx, 5011),
+            FreshnessVerdict::kNotMonotonic);  // one past the allowance
+}
+
+TEST_F(TimestampFixture, MaxTimestampRejected) {
+  // UINT64_MAX cannot be remembered in the biased word (value+1 wraps to
+  // the virgin encoding), so it is rejected outright rather than
+  // accepted-and-forgotten.
+  mcu_.advance_cycles(5000);
+  EXPECT_EQ(policy_->check_and_update(
+                kAnchorCtx, std::numeric_limits<std::uint64_t>::max()),
+            FreshnessVerdict::kNotMonotonic);
 }
 
 TEST_F(TimestampFixture, ClockRollbackEnablesReplay) {

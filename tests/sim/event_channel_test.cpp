@@ -1,6 +1,8 @@
 // Discrete-event queue and Dolev-Yao channel.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "ratt/sim/channel.hpp"
 #include "ratt/sim/event.hpp"
 
@@ -66,6 +68,29 @@ TEST(EventQueue, CascadeGuardReportsLeftover) {
   EXPECT_EQ(q.run_all(100), 1u);
   EXPECT_EQ(q.pending(), 1u);
   EXPECT_DOUBLE_EQ(q.now_ms(), 100.0);
+}
+
+TEST(EventQueue, ThrowingActionLeavesQueueConsistent) {
+  // run_next commits queue state (event popped, clock advanced, gauges
+  // published) before invoking the action, so a throwing action cannot
+  // leave the event half-run or the clock behind.
+  EventQueue q;
+  obs::Registry registry;
+  q.set_observer(&registry);
+  std::vector<int> ran;
+  q.schedule_at(1.0, [] { throw std::runtime_error("boom"); });
+  q.schedule_at(2.0, [&] { ran.push_back(2); });
+  EXPECT_THROW(q.run_next(), std::runtime_error);
+  // The throwing event is gone and time moved to it.
+  EXPECT_DOUBLE_EQ(q.now_ms(), 1.0);
+  EXPECT_EQ(q.pending(), 1u);
+  const obs::Gauge* backlog = registry.find_gauge("queue.backlog");
+  ASSERT_NE(backlog, nullptr);
+  EXPECT_DOUBLE_EQ(backlog->value(), 1.0);  // published pre-action
+  // The queue keeps running normally afterwards.
+  EXPECT_TRUE(q.run_next());
+  EXPECT_EQ(ran, (std::vector<int>{2}));
+  EXPECT_EQ(q.pending(), 0u);
 }
 
 TEST(EventQueue, RunAllReturnsZeroWhenDrained) {
