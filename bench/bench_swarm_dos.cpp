@@ -18,6 +18,12 @@
 //                   min(devices, 16) and is deliberately independent of
 //                   --threads, so the shard plan — and with it the trace
 //                   ring contents — never varies with parallelism.
+//   --link=PROFILE  (with the fleet-scale flags) swaps the replay flood
+//                   for a net::FaultyLink on every channel + reliable
+//                   rounds: the printed MACs/round is the fleet-wide DoS
+//                   amplification the lossy wire extracts via verifier
+//                   retransmissions (each retry is a fresh request the
+//                   prover fully serves).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -153,6 +159,7 @@ struct FleetScaleOptions {
   std::size_t threads = 1;
   std::size_t shards = 0;  // 0 = min(devices, 16)
   std::string trace_path;
+  std::string link;  // faulty-link profile; enables reliable rounds
 };
 
 int run_fleet_scale(const FleetScaleOptions& opt) {
@@ -165,27 +172,47 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
   config.stagger_ms = 0.5;  // keep every device active inside the horizon
   config.shard_count =
       opt.shards != 0 ? opt.shards : std::min<std::size_t>(opt.devices, 16);
+  if (!opt.link.empty()) {
+    // --link=PROFILE: the whole fleet runs reliable rounds over this
+    // faulty link; the replay flood is replaced by the link's own
+    // retransmission amplification (every retry = one extra full MAC).
+    const auto profile = net::link_profile_by_name(opt.link);
+    if (!profile.has_value()) {
+      std::fprintf(stderr, "unknown link profile '%s'\n", opt.link.c_str());
+      return 2;
+    }
+    config.link = *profile;
+    config.reliable = true;
+    config.retry.max_attempts = 4;
+    config.retry.base_timeout_ms = 0.0;  // derived per device
+    config.retry.jitter_ms = 5.0;
+  }
 
   sim::Swarm swarm(config, crypto::from_string("fleet-bench-seed"));
 
-  // Phase I (untraced, serial): record one genuine request per link.
-  std::vector<sim::RecordingTap> taps(opt.devices);
-  for (std::size_t i = 0; i < opt.devices; ++i) {
-    swarm.channel(i).set_tap(&taps[i]);
-    swarm.session(i).send_request();
-  }
-  swarm.run_all();
-
-  // Phase II: per-shard trace rings + shared atomic registry, 20 replays
-  // per device, drained on the requested number of worker threads.
   obs::Registry registry;
-  swarm.attach_sharded_observer(&registry);
-  for (std::size_t i = 0; i < opt.devices; ++i) {
-    if (taps[i].recorded_to_prover().empty()) continue;
-    const crypto::Bytes recorded = taps[i].recorded_to_prover()[0].payload;
-    for (int k = 0; k < 20; ++k) {
-      swarm.channel(i).inject_to_prover(recorded, 10.0 + 45.0 * k);
+  std::vector<sim::RecordingTap> taps(opt.devices);
+  if (opt.link.empty()) {
+    // Phase I (untraced, serial): record one genuine request per link.
+    for (std::size_t i = 0; i < opt.devices; ++i) {
+      swarm.channel(i).set_tap(&taps[i]);
+      swarm.session(i).send_request();
     }
+    swarm.run_all();
+
+    // Phase II: per-shard trace rings + shared atomic registry, 20
+    // replays per device, drained on the requested number of worker
+    // threads.
+    swarm.attach_sharded_observer(&registry);
+    for (std::size_t i = 0; i < opt.devices; ++i) {
+      if (taps[i].recorded_to_prover().empty()) continue;
+      const crypto::Bytes recorded = taps[i].recorded_to_prover()[0].payload;
+      for (int k = 0; k < 20; ++k) {
+        swarm.channel(i).inject_to_prover(recorded, 10.0 + 45.0 * k);
+      }
+    }
+  } else {
+    swarm.attach_sharded_observer(&registry);
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -213,7 +240,12 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
   // Deterministic surface: everything below is identical for the same
   // seed at any --threads value (thread count and wall clock go to
   // stderr, which the byte-identity comparison excludes).
-  std::printf("=== X2 fleet-scale replay flood ===\n");
+  if (opt.link.empty()) {
+    std::printf("=== X2 fleet-scale replay flood ===\n");
+  } else {
+    std::printf("=== X2 fleet-scale lossy-link amplification ===\n");
+    std::printf("link profile:     %s\n", opt.link.c_str());
+  }
   std::printf("devices:          %zu\n", opt.devices);
   std::printf("shards:           %zu\n", swarm.shard_count());
   std::printf("horizon_ms:       1000\n");
@@ -225,6 +257,36 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
               static_cast<unsigned long long>(
                   counter_value(registry, "prover.outcome.not-fresh") +
                   counter_value(registry, "prover.outcome.bad-request-mac")));
+  if (!opt.link.empty()) {
+    std::uint64_t started = 0, valid = 0, unreachable = 0, retransmits = 0;
+    std::uint64_t timeouts = 0, duplicates = 0, macs = 0;
+    for (std::size_t i = 0; i < swarm.size(); ++i) {
+      const auto& s = report.devices[i].stats;
+      started += s.rounds_started;
+      valid += s.responses_valid;
+      unreachable += s.rounds_unreachable;
+      retransmits += s.retransmits;
+      timeouts += s.timeouts;
+      duplicates += s.duplicate_responses;
+      macs += swarm.prover(i).anchor().attestations_performed();
+    }
+    std::printf("rounds started:   %llu\n",
+                static_cast<unsigned long long>(started));
+    std::printf("rounds unreach:   %llu\n",
+                static_cast<unsigned long long>(unreachable));
+    std::printf("retransmits:      %llu\n",
+                static_cast<unsigned long long>(retransmits));
+    std::printf("timeouts:         %llu\n",
+                static_cast<unsigned long long>(timeouts));
+    std::printf("dup responses:    %llu\n",
+                static_cast<unsigned long long>(duplicates));
+    std::printf("memory MACs:      %llu\n",
+                static_cast<unsigned long long>(macs));
+    std::printf("MACs/round:       %.3f\n",
+                valid == 0 ? 0.0
+                           : static_cast<double>(macs) /
+                                 static_cast<double>(valid));
+  }
   std::printf("events leftover:  %zu\n", report.events_leftover);
   std::printf("trace records:    %zu\n", merged.size());
   std::printf("trace jsonl fnv:  %016llx\n",
@@ -255,9 +317,17 @@ int main(int argc, char** argv) {
       opt.trace_path = arg + 8;
       continue;
     }
+    if (std::strncmp(arg, "--link=", 7) == 0) {
+      opt.link = arg + 7;
+      continue;
+    }
+    if (std::strcmp(arg, "--link") == 0 && i + 1 < argc) {
+      opt.link = argv[++i];
+      continue;
+    }
     std::fprintf(stderr,
                  "usage: %s [--devices=N] [--threads=N] [--shards=N] "
-                 "[--trace=path]\n",
+                 "[--trace=path] [--link=clean|lossy10|bursty|hostile]\n",
                  argv[0]);
     return 2;
   }

@@ -1,0 +1,118 @@
+// Lossy-link demo: reliable attestation over a faulty radio.
+//
+//   build/examples/lossy_link_demo [profile]     (default: hostile)
+//
+// One hardened sensor node, one operator, and a net::FaultyLink between
+// them (drop / jitter / duplicate / corrupt / burst outages, all drawn
+// from a seeded DRBG so every run replays identically). The session runs
+// in reliable mode: each round retries with exponential backoff until a
+// response validates or the attempt budget declares the device
+// unreachable. The demo prints the link's fault trace next to the
+// session's accounting, then the asymmetry that matters for a battery
+// budget: how many full-memory MACs the wire extracted per completed
+// round.
+#include <cstdio>
+#include <string>
+
+#include "ratt/attest/verifier.hpp"
+#include "ratt/net/link.hpp"
+#include "ratt/sim/session.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+
+crypto::Bytes key() {
+  return crypto::from_hex("404142434445464748494a4b4c4d4e4f");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "hostile";
+  const auto profile = net::link_profile_by_name(name);
+  if (!profile.has_value()) {
+    std::fprintf(stderr,
+                 "unknown profile '%s' (clean|lossy10|bursty|hostile)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.authenticate_requests = true;
+  config.measured_bytes = 16 * 1024;  // ~24 ms per served attestation
+  ProverDevice prover(config, key(), crypto::from_string("sensor-node-fw"));
+
+  Verifier::Config vc;
+  vc.scheme = config.scheme;
+  vc.authenticate_requests = true;
+  Verifier verifier(key(), vc, crypto::from_string("operator"));
+  verifier.set_reference_memory(prover.reference_memory());
+
+  sim::EventQueue queue;
+  sim::Channel channel(queue, /*latency_ms=*/2.0);
+  net::FaultyLink link(*profile, crypto::from_string("lossy-demo-seed"));
+  channel.set_tap(&link);
+  sim::AttestationSession session(queue, channel, prover, verifier);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_timeout_ms = 0.0;  // derive from the timing model + RTT
+  policy.jitter_ms = 5.0;
+  session.enable_reliable(policy, crypto::from_string("lossy-demo-jitter"));
+
+  std::printf("=== reliable attestation over the '%s' link ===\n\n",
+              profile->name.c_str());
+  session.schedule_rounds(/*period_ms=*/200.0, /*horizon_ms=*/2000.0);
+  queue.run_all();
+
+  std::printf("link fault trace (first 20 decisions):\n");
+  const auto events = link.events();
+  const std::size_t shown = events.size() < 20 ? events.size() : 20;
+  std::printf("%s", net::to_log(events.subspan(0, shown)).c_str());
+  if (events.size() > shown) {
+    std::printf("  ... %zu more\n", events.size() - shown);
+  }
+
+  const auto& stats = session.stats();
+  const auto& ls = link.stats();
+  std::printf("\nsession accounting:\n");
+  std::printf("  rounds started     %llu\n",
+              static_cast<unsigned long long>(stats.rounds_started));
+  std::printf("  rounds valid       %llu\n",
+              static_cast<unsigned long long>(stats.responses_valid));
+  std::printf("  rounds unreachable %llu\n",
+              static_cast<unsigned long long>(stats.rounds_unreachable));
+  std::printf("  retransmits        %llu\n",
+              static_cast<unsigned long long>(stats.retransmits));
+  std::printf("  duplicate answers  %llu\n",
+              static_cast<unsigned long long>(stats.duplicate_responses));
+  std::printf("  corrupted frames   %llu\n",
+              static_cast<unsigned long long>(ls.to_prover.corrupted +
+                                              ls.to_verifier.corrupted));
+  std::printf("  burst outages      %llu\n",
+              static_cast<unsigned long long>(ls.outages));
+
+  const std::uint64_t macs = prover.anchor().attestations_performed();
+  std::printf("\nprover cost:\n");
+  std::printf("  full-memory MACs   %llu\n",
+              static_cast<unsigned long long>(macs));
+  std::printf("  attest time        %.1f ms\n", stats.prover_attest_ms);
+  if (stats.responses_valid > 0) {
+    std::printf("  MACs per completed round: %.2f (1.00 on a clean link)\n",
+                static_cast<double>(macs) /
+                    static_cast<double>(stats.responses_valid));
+  }
+  std::printf(
+      "\nEvery retry is a FRESH authenticated request (the verifier\n"
+      "re-MACs a new counter), so the prover serves each one exactly once\n"
+      "and network duplicates bounce off the freshness policy — the same\n"
+      "invariants tests/net/property_test.cpp sweeps across ~2000 seeded\n"
+      "runs.\n");
+  return 0;
+}

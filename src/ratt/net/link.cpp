@@ -1,0 +1,245 @@
+#include "ratt/net/link.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace ratt::net {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+bool LinkProfile::is_clean() const {
+  return loss_to_prover == 0.0 && loss_to_verifier == 0.0 &&
+         jitter_ms == 0.0 && dup_probability == 0.0 &&
+         corrupt_probability == 0.0 && burst_probability == 0.0;
+}
+
+LinkProfile clean_link() { return LinkProfile{}; }
+
+LinkProfile lossy10_link() {
+  LinkProfile p;
+  p.name = "lossy10";
+  p.loss_to_prover = 0.10;
+  p.loss_to_verifier = 0.10;
+  p.jitter_ms = 10.0;
+  return p;
+}
+
+LinkProfile bursty_link() {
+  LinkProfile p;
+  p.name = "bursty";
+  p.loss_to_prover = 0.02;
+  p.loss_to_verifier = 0.02;
+  p.jitter_ms = 5.0;
+  p.burst_probability = 0.05;
+  p.burst_ms = 120.0;
+  return p;
+}
+
+LinkProfile hostile_link() {
+  LinkProfile p;
+  p.name = "hostile";
+  p.loss_to_prover = 0.25;
+  p.loss_to_verifier = 0.25;
+  p.jitter_ms = 25.0;
+  p.dup_probability = 0.15;
+  p.dup_delay_ms = 20.0;
+  p.corrupt_probability = 0.10;
+  p.corrupt_max_bits = 8;
+  p.burst_probability = 0.08;
+  p.burst_ms = 200.0;
+  return p;
+}
+
+const std::vector<LinkProfile>& all_link_profiles() {
+  static const std::vector<LinkProfile> profiles = {
+      clean_link(), lossy10_link(), bursty_link(), hostile_link()};
+  return profiles;
+}
+
+std::optional<LinkProfile> link_profile_by_name(std::string_view name) {
+  for (const LinkProfile& p : all_link_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+crypto::Bytes corrupt_bytes(crypto::HmacDrbg& drbg, crypto::Bytes frame,
+                            std::uint32_t max_bits) {
+  if (frame.empty()) return frame;
+  const std::uint64_t flips =
+      max_bits <= 1 ? 1 : 1 + drbg.uniform(max_bits);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t bit = drbg.uniform(frame.size() * 8);
+    frame[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  return frame;
+}
+
+std::string to_log_line(const LinkEvent& event) {
+  std::string out;
+  out.reserve(96);
+  out += "[t=";
+  append_double(out, event.sim_time_ms);
+  out += "ms] msg ";
+  append_u64(out, event.msg_id);
+  out += ' ';
+  out += event.direction;
+  out += ' ';
+  out += event.action;
+  out += " copies=";
+  append_u64(out, event.copies);
+  out += " corrupted=";
+  out += event.corrupted ? '1' : '0';
+  out += " delay=";
+  append_double(out, event.extra_delay_ms);
+  return out;
+}
+
+std::string to_log(std::span<const LinkEvent> events) {
+  std::string out;
+  for (const LinkEvent& event : events) {
+    out += to_log_line(event);
+    out += '\n';
+  }
+  return out;
+}
+
+FaultyLink::FaultyLink(LinkProfile profile, crypto::ByteView seed,
+                       std::size_t event_capacity)
+    : profile_(std::move(profile)),
+      drbg_(seed),
+      event_capacity_(event_capacity) {
+  events_.reserve(std::min<std::size_t>(event_capacity_, 1024));
+}
+
+bool FaultyLink::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // Fixed-point comparison keeps the draw deterministic across platforms.
+  const auto threshold =
+      static_cast<std::uint64_t>(std::llround(probability * 1e6));
+  return drbg_.uniform(1'000'000) < threshold;
+}
+
+double FaultyLink::uniform_ms(double bound_ms) {
+  if (bound_ms <= 0.0) return 0.0;
+  // Microsecond resolution: uniform over [0, bound_ms).
+  const auto bound_us =
+      static_cast<std::uint64_t>(std::llround(bound_ms * 1000.0));
+  if (bound_us == 0) return 0.0;
+  return static_cast<double>(drbg_.uniform(bound_us)) / 1000.0;
+}
+
+void FaultyLink::log(LinkEvent event) {
+  if (event_capacity_ == 0) return;
+  if (events_.size() >= event_capacity_) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+FaultyLink::Disposition FaultyLink::apply(DirectionState& dir,
+                                          LinkDirectionStats& stats,
+                                          const sim::TappedMessage& msg,
+                                          char tag, double loss,
+                                          Disposition inner) {
+  ++stats.seen;
+  LinkEvent event;
+  event.sim_time_ms = msg.sent_ms;
+  event.msg_id = msg.id;
+  event.direction = tag;
+
+  if (!inner.deliver) {
+    // The chained (adversary) tap already dropped it; record nothing —
+    // the honest link never saw a deliverable message.
+    return inner;
+  }
+
+  // 1. Burst outage window.
+  if (msg.sent_ms < dir.outage_until_ms) {
+    ++stats.outage_drops;
+    event.action = "outage";
+    log(std::move(event));
+    inner.deliver = false;
+    return inner;
+  }
+  if (chance(profile_.burst_probability)) {
+    dir.outage_until_ms = msg.sent_ms + profile_.burst_ms;
+    ++stats_.outages;
+    ++stats.outage_drops;
+    event.action = "outage";
+    log(std::move(event));
+    inner.deliver = false;
+    return inner;
+  }
+
+  // 2. Random loss.
+  if (chance(loss)) {
+    ++stats.dropped;
+    event.action = "drop";
+    log(std::move(event));
+    inner.deliver = false;
+    return inner;
+  }
+
+  // 3. Jitter (the reordering mechanism).
+  const double jitter = uniform_ms(profile_.jitter_ms);
+  inner.extra_delay_ms += jitter;
+  event.extra_delay_ms = jitter;
+  event.copies = 1;
+
+  // 4. Duplication.
+  if (chance(profile_.dup_probability)) {
+    inner.duplicate_delays_ms.push_back(inner.extra_delay_ms +
+                                        uniform_ms(profile_.dup_delay_ms));
+    ++stats.duplicates;
+    ++event.copies;
+  }
+
+  // 5. Corruption (every copy of this send carries the same flips).
+  if (chance(profile_.corrupt_probability)) {
+    inner.mutated = corrupt_bytes(
+        drbg_, inner.mutated.value_or(msg.payload), profile_.corrupt_max_bits);
+    ++stats.corrupted;
+    event.corrupted = true;
+  }
+
+  stats.delivered += event.copies;
+  event.action = "deliver";
+  log(std::move(event));
+  return inner;
+}
+
+FaultyLink::Disposition FaultyLink::on_to_prover(
+    const sim::TappedMessage& msg) {
+  Disposition inner;
+  if (inner_ != nullptr) inner = inner_->on_to_prover(msg);
+  return apply(to_prover_, stats_.to_prover, msg, 'P',
+               profile_.loss_to_prover, std::move(inner));
+}
+
+FaultyLink::Disposition FaultyLink::on_to_verifier(
+    const sim::TappedMessage& msg) {
+  Disposition inner;
+  if (inner_ != nullptr) inner = inner_->on_to_verifier(msg);
+  return apply(to_verifier_, stats_.to_verifier, msg, 'V',
+               profile_.loss_to_verifier, std::move(inner));
+}
+
+}  // namespace ratt::net

@@ -1,0 +1,168 @@
+// ratt::net — transport fault model for the Dolev-Yao wire (Sec. 3.2).
+//
+// The paper's Adv_ext can drop, delay, reorder, duplicate and corrupt
+// traffic; a real low-power radio does most of that for free. FaultyLink
+// is a sim::ChannelTap that applies a declarative LinkProfile to every
+// honest send, driven by a seeded crypto::HmacDrbg so the whole fault
+// schedule is a pure function of (profile, seed, message arrival order):
+// the same seed reproduces the same drops, delays, duplicates and bit
+// flips byte-for-byte, which is what the seed-sweep property suite in
+// tests/net/ relies on.
+//
+// Fault order per observed message (draws only happen for knobs that are
+// enabled, so a clean profile consumes zero DRBG output):
+//   1. burst outage  — messages inside an outage window are dropped;
+//                      a fresh outage can start on any observed message,
+//   2. random loss   — per-direction probability,
+//   3. jitter        — uniform extra per-message latency (this is what
+//                      reorders: a later send can overtake an earlier
+//                      one whose jitter draw was larger),
+//   4. duplication   — an extra copy delivered with its own delay,
+//   5. corruption    — 1..N random bit flips on the delivered bytes
+//                      (every copy of the send carries the same flips).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ratt/crypto/drbg.hpp"
+#include "ratt/sim/channel.hpp"
+
+namespace ratt::net {
+
+/// Declarative fault model for one duplex link. All probabilities are in
+/// [0, 1]; a default-constructed profile is the clean (fault-free) link.
+struct LinkProfile {
+  std::string name = "clean";
+  /// Per-direction random loss (Adv_ext drops; radio fading).
+  double loss_to_prover = 0.0;
+  double loss_to_verifier = 0.0;
+  /// Uniform extra per-message latency in [0, jitter_ms) — the reordering
+  /// mechanism: messages overtake each other when their draws differ by
+  /// more than the send gap.
+  double jitter_ms = 0.0;
+  /// Chance a delivered message is duplicated; the copy arrives with an
+  /// extra uniform delay in [0, dup_delay_ms).
+  double dup_probability = 0.0;
+  double dup_delay_ms = 8.0;
+  /// Chance the delivered bytes are bit-mangled (1..corrupt_max_bits
+  /// flips). Parsers and MACs must reject; see tests/attest/wire_fuzz.
+  double corrupt_probability = 0.0;
+  std::uint32_t corrupt_max_bits = 8;
+  /// Burst outages / partitions: on any observed message, with this
+  /// probability the link goes dark for burst_ms (both the triggering
+  /// message and everything sent before the outage ends is dropped).
+  double burst_probability = 0.0;
+  double burst_ms = 0.0;
+
+  /// True when no fault can ever fire (FaultyLink is then pass-through
+  /// and draws no DRBG output).
+  bool is_clean() const;
+
+  friend bool operator==(const LinkProfile&, const LinkProfile&) = default;
+};
+
+/// The four named profiles the benches and the seed-sweep suite use.
+LinkProfile clean_link();
+LinkProfile lossy10_link();   // 10% loss each way + 10 ms jitter
+LinkProfile bursty_link();    // light loss, 120 ms outages
+LinkProfile hostile_link();   // heavy loss + dup + corruption + outages
+const std::vector<LinkProfile>& all_link_profiles();
+/// Lookup by name ("clean", "lossy10", "bursty", "hostile").
+std::optional<LinkProfile> link_profile_by_name(std::string_view name);
+
+/// Flip 1..max_bits random bit positions of `frame` (no-op on an empty
+/// frame). Exposed so the wire fuzzers can mangle frames exactly the way
+/// FaultyLink does on the wire.
+crypto::Bytes corrupt_bytes(crypto::HmacDrbg& drbg, crypto::Bytes frame,
+                            std::uint32_t max_bits);
+
+/// One fault decision, for the deterministic link event trace.
+struct LinkEvent {
+  double sim_time_ms = 0.0;
+  std::uint64_t msg_id = 0;
+  char direction = 'P';    // 'P' = to prover, 'V' = to verifier
+  /// "deliver", "drop" (random loss), "outage" (burst window).
+  std::string action;
+  std::uint32_t copies = 0;    // deliveries scheduled (0 when dropped)
+  bool corrupted = false;
+  double extra_delay_ms = 0.0; // jitter applied to the primary copy
+
+  friend bool operator==(const LinkEvent&, const LinkEvent&) = default;
+};
+
+/// Deterministic one-line rendering (seed-sweep byte-identity surface).
+std::string to_log_line(const LinkEvent& event);
+std::string to_log(std::span<const LinkEvent> events);
+
+/// Per-direction delivery accounting. Note the distinction the channel
+/// docs make: `delivered` counts *deliveries* (copies scheduled), so a
+/// duplicated message contributes 2.
+struct LinkDirectionStats {
+  std::uint64_t seen = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;       // random loss
+  std::uint64_t outage_drops = 0;  // dropped inside a burst window
+  std::uint64_t duplicates = 0;
+  std::uint64_t corrupted = 0;
+
+  friend bool operator==(const LinkDirectionStats&,
+                         const LinkDirectionStats&) = default;
+};
+
+struct LinkStats {
+  LinkDirectionStats to_prover;
+  LinkDirectionStats to_verifier;
+  std::uint64_t outages = 0;  // burst windows entered (both directions)
+
+  friend bool operator==(const LinkStats&, const LinkStats&) = default;
+};
+
+/// The fault-injecting tap. Chainable: set_inner() installs another tap
+/// (e.g. a RecordingTap) that observes every honest send *before* faults
+/// apply — its drop/delay verdict composes with the injected faults.
+class FaultyLink : public sim::ChannelTap {
+ public:
+  /// `event_capacity` bounds the in-memory event trace; overflow is
+  /// counted in events_dropped(), not stored. 0 disables the trace.
+  FaultyLink(LinkProfile profile, crypto::ByteView seed,
+             std::size_t event_capacity = 1024);
+
+  void set_inner(sim::ChannelTap* tap) { inner_ = tap; }
+
+  Disposition on_to_prover(const sim::TappedMessage& msg) override;
+  Disposition on_to_verifier(const sim::TappedMessage& msg) override;
+
+  const LinkProfile& profile() const { return profile_; }
+  const LinkStats& stats() const { return stats_; }
+  std::span<const LinkEvent> events() const { return events_; }
+  std::uint64_t events_dropped() const { return events_dropped_; }
+
+ private:
+  struct DirectionState {
+    double outage_until_ms = -1.0;
+  };
+
+  Disposition apply(DirectionState& dir, LinkDirectionStats& stats,
+                    const sim::TappedMessage& msg, char tag, double loss,
+                    Disposition inner);
+  bool chance(double probability);
+  double uniform_ms(double bound_ms);
+  void log(LinkEvent event);
+
+  LinkProfile profile_;
+  crypto::HmacDrbg drbg_;
+  sim::ChannelTap* inner_ = nullptr;
+  DirectionState to_prover_;
+  DirectionState to_verifier_;
+  LinkStats stats_;
+  std::vector<LinkEvent> events_;
+  std::size_t event_capacity_;
+  std::uint64_t events_dropped_ = 0;
+};
+
+}  // namespace ratt::net

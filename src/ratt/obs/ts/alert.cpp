@@ -65,6 +65,7 @@ AlertEngine::DeviceState::DeviceState(const AlertConfig& config)
       rejects(config.window_ms, config.history),
       prover_ms(config.window_ms, config.history),
       energy_mj(config.window_ms, config.history),
+      timeouts(config.window_ms, config.history),
       rate_baseline(config.baseline_alpha) {}
 
 AlertEngine::AlertEngine(AlertConfig config) : config_(std::move(config)) {
@@ -86,6 +87,17 @@ AlertEngine::DeviceState& AlertEngine::state_for(std::uint64_t device_id) {
 
 void AlertEngine::record(const TraceRecord& rec) {
   DeviceState& dev = state_for(rec.device_id);
+  // The timeout ring wakes on the first "net.timeout" span and from then
+  // on tracks the clock like the request rings do; streams without such
+  // spans never touch it, so existing alert logs are unchanged.
+  if (rec.kind == "net.timeout") {
+    dev.timeouts.observe(rec.sim_time_ms, 1.0);
+  } else if (dev.timeouts.current() != nullptr) {
+    dev.timeouts.advance_to(rec.sim_time_ms);
+  }
+  if (dev.timeouts.current() != nullptr) {
+    evaluate_timeouts(rec.device_id, dev, dev.timeouts.current()->index);
+  }
   if (is_request_span(rec)) {
     const double rejected = is_rejected(rec) ? 1.0 : 0.0;
     dev.requests.observe(rec.sim_time_ms, 1.0);
@@ -108,13 +120,17 @@ void AlertEngine::record(const TraceRecord& rec) {
 void AlertEngine::finish(double now_ms) {
   for (std::size_t d = 0; d < devices_.size(); ++d) {
     DeviceState& dev = devices_[d];
+    const auto closed = static_cast<std::uint64_t>(
+        std::floor(now_ms / config_.window_ms));
+    if (dev.timeouts.current() != nullptr) {
+      dev.timeouts.advance_to(now_ms);
+      evaluate_timeouts(d, dev, closed);
+    }
     if (dev.requests.current() == nullptr) continue;
     dev.requests.advance_to(now_ms);
     dev.rejects.advance_to(now_ms);
     dev.prover_ms.advance_to(now_ms);
     dev.energy_mj.advance_to(now_ms);
-    const auto closed = static_cast<std::uint64_t>(
-        std::floor(now_ms / config_.window_ms));
     evaluate_until(d, dev, closed);
   }
 }
@@ -167,6 +183,25 @@ void AlertEngine::evaluate_until(std::uint64_t device_id, DeviceState& dev,
   }
   if (window_index > dev.next_grade_index) {
     dev.next_grade_index = window_index;
+  }
+}
+
+void AlertEngine::evaluate_timeouts(std::uint64_t device_id,
+                                    DeviceState& dev,
+                                    std::uint64_t window_index) {
+  if (config_.loss_burst_min_timeouts == 0) return;  // rule disabled
+  for (std::size_t i = 0; i < dev.timeouts.size(); ++i) {
+    const WindowStats& w = dev.timeouts.at(i);
+    if (w.index < dev.next_timeout_grade) continue;
+    if (w.index >= window_index) break;
+    if (w.count >= config_.loss_burst_min_timeouts) {
+      fire(device_id, dev, w, "net.loss_burst",
+           static_cast<double>(w.count),
+           static_cast<double>(config_.loss_burst_min_timeouts));
+    }
+  }
+  if (window_index > dev.next_timeout_grade) {
+    dev.next_timeout_grade = window_index;
   }
 }
 

@@ -15,7 +15,11 @@
 //                     replay/forgery campaign (cheap rejects, many),
 //   dos.duty_cycle    prover-busy fraction of the window above threshold
 //                     — the paper's Sec. 3.1 disruption, detected online
-//                     instead of post-hoc.
+//                     instead of post-hoc,
+//   net.loss_burst    "net.timeout" spans (reliable-exchange attempt
+//                     timers expiring, see ratt::net) clustering inside
+//                     one window — a burst outage / jamming signature
+//                     distinct from a request flood.
 //
 // Determinism contract: alerts depend only on the record stream, so a
 // same-seed run produces a byte-identical alert log (see to_log_line and
@@ -58,6 +62,10 @@ struct AlertConfig {
 
   // dos.duty_cycle
   double duty_fraction = 0.5;
+
+  // net.loss_burst: timeouts in one window at or above this fire (0
+  // disables the rule).
+  std::uint64_t loss_burst_min_timeouts = 3;
 };
 
 struct AlertEvent {
@@ -84,7 +92,8 @@ class AlertEngine : public TraceSink {
   explicit AlertEngine(AlertConfig config = AlertConfig{});
 
   /// Feed one span. Request-shaped records ("prover.handle" and
-  /// "dos.request") drive the rules; other kinds only advance time.
+  /// "dos.request") drive the dos.* rules and "net.timeout" spans drive
+  /// net.loss_burst; other kinds only advance time.
   void record(const TraceRecord& rec) override;
 
   /// Close windows up to `now_ms` on every device and evaluate them —
@@ -118,8 +127,14 @@ class AlertEngine : public TraceSink {
     WindowedRollup rejects;    // value = 1 per rejected request
     WindowedRollup prover_ms;  // value = span prover time
     WindowedRollup energy_mj;  // value = span energy
+    /// "net.timeout" spans get their own ring (separate grading cursor):
+    /// folding them into `requests` would inflate its count and corrupt
+    /// dos.rate_spike, and their windows need not line up with request
+    /// windows anyway.
+    WindowedRollup timeouts;
     Ewma rate_baseline;        // EWMA of closed-window request rates
     std::uint64_t next_grade_index = 0;  // windows below this are graded
+    std::uint64_t next_timeout_grade = 0;
     std::uint64_t alert_count = 0;
   };
 
@@ -127,6 +142,9 @@ class AlertEngine : public TraceSink {
   /// Grade every window of `dev` that closed before `window_index`.
   void evaluate_until(std::uint64_t device_id, DeviceState& dev,
                       std::uint64_t window_index);
+  /// Grade closed timeout windows (net.loss_burst).
+  void evaluate_timeouts(std::uint64_t device_id, DeviceState& dev,
+                         std::uint64_t window_index);
   void fire(std::uint64_t device_id, DeviceState& dev,
             const WindowStats& window, const char* rule, double observed,
             double threshold);

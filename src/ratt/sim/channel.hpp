@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,10 +29,18 @@ class ChannelTap {
  public:
   virtual ~ChannelTap() = default;
 
-  /// What happens to an honest message.
+  /// What happens to an honest message. Beyond drop + delay, a tap can
+  /// corrupt the delivered bytes and duplicate the delivery — the full
+  /// Dolev-Yao wire vocabulary (net::FaultyLink drives all of it).
   struct Disposition {
     bool deliver = true;      // false = drop
     double extra_delay_ms = 0.0;
+    /// When set, this payload is delivered instead of the honest bytes
+    /// (bit corruption). Applies to every copy of the send.
+    std::optional<Bytes> mutated;
+    /// Extra copies delivered (duplication), each with its own extra
+    /// delay relative to the base latency.
+    std::vector<double> duplicate_delays_ms;
   };
 
   virtual Disposition on_to_prover(const TappedMessage& msg) = 0;
@@ -43,6 +52,8 @@ class Channel {
  public:
   Channel(EventQueue& queue, double latency_ms)
       : queue_(&queue), latency_ms_(latency_ms) {}
+
+  double latency_ms() const { return latency_ms_; }
 
   void set_tap(ChannelTap* tap) { tap_ = tap; }
 
@@ -59,11 +70,16 @@ class Channel {
   void inject_to_prover(Bytes payload, double delay_ms = 0.0);
   void inject_to_verifier(Bytes payload, double delay_ms = 0.0);
 
+  /// Delivery counters: these count *deliveries scheduled* (a duplicated
+  /// send contributes one per copy), not sends — dropped messages never
+  /// count, and a tap's duplicate copies each do.
   std::uint64_t messages_to_prover() const { return to_prover_count_; }
   std::uint64_t messages_to_verifier() const { return to_verifier_count_; }
 
  private:
   void deliver(const Sink& sink, Bytes payload, double delay_ms);
+  void dispatch(const Sink& sink, Bytes payload, ChannelTap::Disposition d,
+                std::uint64_t& delivery_count);
 
   EventQueue* queue_;
   double latency_ms_;

@@ -27,27 +27,47 @@ DeviceVerdict assess_device(std::size_t device,
   verdict.invalid_responses = stats.responses_invalid;
   verdict.duty_fraction = duty_fraction;
 
-  const std::uint64_t unanswered =
-      stats.requests_sent -
-      std::min(stats.requests_sent,
-               stats.responses_valid + stats.responses_invalid);
-  verdict.loss_fraction =
-      stats.requests_sent == 0
-          ? 0.0
-          : static_cast<double>(unanswered) /
-                static_cast<double>(stats.requests_sent);
+  const bool reliable = stats.rounds_started > 0;
+  if (reliable) {
+    // Per-round accounting: retries inflate requests_sent by design, so
+    // the loss signal is rounds that never validated, and the terminal
+    // kUnreachable fraction is its own (stronger) signal.
+    const double started = static_cast<double>(stats.rounds_started);
+    const std::uint64_t unanswered_rounds =
+        stats.rounds_started -
+        std::min(stats.rounds_started, stats.responses_valid);
+    verdict.loss_fraction = static_cast<double>(unanswered_rounds) / started;
+    verdict.unreachable_fraction =
+        static_cast<double>(stats.rounds_unreachable) / started;
+    verdict.retransmit_ratio =
+        static_cast<double>(stats.retransmits) / started;
+  } else {
+    const std::uint64_t unanswered =
+        stats.requests_sent -
+        std::min(stats.requests_sent,
+                 stats.responses_valid + stats.responses_invalid);
+    verdict.loss_fraction =
+        stats.requests_sent == 0
+            ? 0.0
+            : static_cast<double>(unanswered) /
+                  static_cast<double>(stats.requests_sent);
+  }
 
   // Order matters: invalid responses are the strongest signal (the
   // device is reachable but its memory does not match the reference).
   if (policy.invalid_is_compromise && stats.responses_invalid > 0) {
     verdict.health = DeviceHealth::kCompromised;
-  } else if (verdict.loss_fraction >= policy.silent_threshold) {
+  } else if (verdict.loss_fraction >= policy.silent_threshold ||
+             (reliable && verdict.unreachable_fraction >=
+                              policy.unreachable_threshold)) {
     verdict.health = DeviceHealth::kSilent;
   } else if (duty_fraction > policy.degraded_duty_threshold) {
     // Responses still validate, but the device spends too much of its
     // life measuring memory — a DoS that never trips the other signals.
     verdict.health = DeviceHealth::kDegraded;
-  } else if (verdict.loss_fraction > policy.suspect_threshold) {
+  } else if (verdict.loss_fraction > policy.suspect_threshold ||
+             (reliable && verdict.retransmit_ratio >
+                              policy.suspect_retransmit_ratio)) {
     verdict.health = DeviceHealth::kSuspect;
   } else {
     verdict.health = DeviceHealth::kHealthy;

@@ -46,6 +46,16 @@ struct HealthPolicy {
   /// A device that accumulated at least this many alerts over the window
   /// is quarantined outright (0 disables alert-based quarantine).
   std::uint64_t quarantine_alerts = 8;
+  /// Reliable-exchange signals (inert unless the session ran with
+  /// enable_reliable — rounds_started > 0). A device whose fraction of
+  /// rounds ended kUnreachable reaches this bar is kSilent: the retry
+  /// budget already absorbed ordinary loss, so exhaustion means the
+  /// device (or its whole link) is gone.
+  double unreachable_threshold = 0.5;
+  /// Retransmits per started round above which an otherwise-healthy
+  /// device is kSuspect — rounds still complete, but only because the
+  /// retry engine is papering over a degrading link.
+  double suspect_retransmit_ratio = 1.0;
 };
 
 struct DeviceVerdict {
@@ -55,6 +65,9 @@ struct DeviceVerdict {
   std::uint64_t invalid_responses = 0;
   /// Fraction of the observation window spent in attestation.
   double duty_fraction = 0.0;
+  /// Reliable-exchange signals (0 when the session was not reliable).
+  double unreachable_fraction = 0.0;
+  double retransmit_ratio = 0.0;
   /// Alerts the obs::ts engine attributed to this device (0 when health
   /// was assessed without an alert feed).
   std::uint64_t alerts = 0;

@@ -25,6 +25,10 @@ void AttestationSession::set_observer(const obs::Observer& observer) {
     obs_rounds_valid_ = nullptr;
     obs_rounds_invalid_ = nullptr;
     obs_rounds_missing_ = nullptr;
+    obs_retransmits_ = nullptr;
+    obs_timeouts_ = nullptr;
+    obs_duplicates_ = nullptr;
+    obs_unreachable_ = nullptr;
     return;
   }
   obs::Registry& reg = *obs_.registry;
@@ -33,6 +37,18 @@ void AttestationSession::set_observer(const obs::Observer& observer) {
   obs_rounds_valid_ = &reg.counter("session.rounds.valid");
   obs_rounds_invalid_ = &reg.counter("session.rounds.invalid");
   obs_rounds_missing_ = &reg.counter("session.rounds.missing");
+  cache_net_instruments();
+}
+
+void AttestationSession::cache_net_instruments() {
+  // net.* instruments appear only for reliable sessions, so plain
+  // sessions keep their registry export byte-identical to before.
+  if (rtx_ == nullptr || obs_.registry == nullptr) return;
+  obs::Registry& reg = *obs_.registry;
+  obs_retransmits_ = &reg.counter("net.retransmits");
+  obs_timeouts_ = &reg.counter("net.timeouts");
+  obs_duplicates_ = &reg.counter("net.duplicate_responses");
+  obs_unreachable_ = &reg.counter("net.rounds.unreachable");
 }
 
 void AttestationSession::observe_round(const char* outcome,
@@ -54,6 +70,25 @@ void AttestationSession::observe_round(const char* outcome,
   }
 }
 
+void AttestationSession::observe_net(const char* kind, const char* outcome,
+                                     std::size_t wire_bytes) {
+  if (obs_.sink == nullptr) return;
+  obs::TraceRecord rec;
+  rec.sim_time_ms = queue_->now_ms();
+  rec.device_id = obs_.device_id;
+  rec.kind = kind;
+  rec.outcome = outcome;
+  rec.bytes = wire_bytes;
+  obs_.sink->record(rec);
+}
+
+double AttestationSession::verifier_check_ms() const {
+  // The operator's check recomputes the prover's MAC over its reference
+  // memory copy — model its cost at the reference clock.
+  return timing::DeviceTimingModel().memory_attestation_ms(
+      prover_->config().mac_alg, 16 + prover_->config().measured_bytes);
+}
+
 void AttestationSession::sync_prover_time() {
   // Bring the device up to the simulation clock (it was idling / doing
   // its primary task since the last event).
@@ -71,7 +106,78 @@ void AttestationSession::schedule_rounds(double period_ms,
   }
 }
 
+void AttestationSession::enable_reliable(const net::RetryPolicy& policy,
+                                         crypto::ByteView jitter_seed) {
+  net::RetryPolicy effective = policy;
+  if (effective.base_timeout_ms <= 0.0) {
+    effective.base_timeout_ms = net::derive_timeout_ms(
+        timing::DeviceTimingModel(), prover_->config().mac_alg,
+        prover_->config().measured_bytes, 2.0 * channel_->latency_ms());
+  }
+  rtx_ = std::make_unique<net::Retransmitter>(effective, jitter_seed);
+  rtx_->set_hooks(
+      [this](double delay_ms, std::function<void()> fire) {
+        queue_->schedule_in(delay_ms, std::move(fire));
+      },
+      [this](std::uint64_t round, std::uint32_t attempt) {
+        return send_attempt(round, attempt);
+      },
+      [this](std::uint64_t round, net::RoundOutcome outcome,
+             std::uint32_t attempts) {
+        on_round_closed(round, outcome, attempts);
+      },
+      [this](std::uint64_t /*round*/, std::uint32_t /*attempt*/) {
+        ++stats_.timeouts;
+        if (obs_timeouts_ != nullptr) obs_timeouts_->inc();
+        observe_net("net.timeout", "expired", 0);
+      });
+  cache_net_instruments();
+}
+
+std::uint64_t AttestationSession::send_attempt(std::uint64_t round,
+                                               std::uint32_t attempt) {
+  sync_prover_time();
+  // Every attempt is a FRESH request: re-MACed nonce/counter/timestamp,
+  // so the prover's freshness policy sees a legitimate new element
+  // instead of a replayed one.
+  const attest::AttestRequest request = verifier_->make_request();
+  pending_.push_back(Pending{request, queue_->now_ms(), round});
+  ++stats_.requests_sent;
+  if (attempt > 1) {
+    ++stats_.retransmits;
+    if (obs_retransmits_ != nullptr) obs_retransmits_->inc();
+    observe_net("net.retry", "sent", request.wire_size());
+  }
+  if (obs_pending_ != nullptr) {
+    obs_pending_->set(static_cast<double>(pending_.size()));
+  }
+  channel_->verifier_send(request.to_bytes());
+  return request.freshness;
+}
+
+void AttestationSession::on_round_closed(std::uint64_t round,
+                                         net::RoundOutcome outcome,
+                                         std::uint32_t /*attempts*/) {
+  // Superseded attempts of this round no longer await a response.
+  const auto removed = std::erase_if(
+      pending_, [&](const Pending& p) { return p.round == round; });
+  if (removed > 0 && obs_pending_ != nullptr) {
+    obs_pending_->set(static_cast<double>(pending_.size()));
+  }
+  if (outcome == net::RoundOutcome::kUnreachable) {
+    ++stats_.rounds_unreachable;
+    if (obs_unreachable_ != nullptr) obs_unreachable_->inc();
+    if (obs_rounds_missing_ != nullptr) obs_rounds_missing_->inc();
+    observe_round("unreachable", -1.0, 0.0, 0);
+  }
+}
+
 void AttestationSession::send_request() {
+  if (rtx_ != nullptr) {
+    ++stats_.rounds_started;
+    rtx_->start_round();
+    return;
+  }
   sync_prover_time();
   const attest::AttestRequest request = verifier_->make_request();
   pending_.push_back(Pending{request, queue_->now_ms()});
@@ -85,7 +191,10 @@ void AttestationSession::send_request() {
 void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
   sync_prover_time();
   const auto request = attest::AttestRequest::from_bytes(wire);
-  if (!request.has_value()) return;  // malformed: dropped silently
+  if (!request.has_value()) {
+    ++stats_.requests_malformed;  // bit corruption on the wire
+    return;
+  }
   ++stats_.requests_delivered;
   const attest::AttestOutcome outcome = prover_->handle(*request);
   prover_time_ms_ += outcome.device_ms;  // handle() advanced device time
@@ -113,8 +222,15 @@ void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
 
 void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
   const auto response = attest::AttestResponse::from_bytes(wire);
-  if (!response.has_value()) return;
+  if (!response.has_value()) {
+    ++stats_.responses_malformed;  // bit corruption on the wire
+    return;
+  }
   ++stats_.responses_received;
+  if (rtx_ != nullptr) {
+    on_reliable_response(*response, wire.size());
+    return;
+  }
   const auto it = std::find_if(
       pending_.begin(), pending_.end(), [&](const Pending& p) {
         return p.request.freshness == response->freshness;
@@ -124,14 +240,7 @@ void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
     observe_round("unmatched", -1.0, 0.0, wire.size());
     return;
   }
-  // The operator's check recomputes the prover's MAC over its reference
-  // memory copy — model its cost at the reference clock.
-  const double verifier_ms =
-      obs_.enabled()
-          ? timing::DeviceTimingModel().memory_attestation_ms(
-                prover_->config().mac_alg,
-                16 + prover_->config().measured_bytes)
-          : 0.0;
+  const double verifier_ms = obs_.enabled() ? verifier_check_ms() : 0.0;
   const double round_trip_ms = queue_->now_ms() - it->sent_ms;
   if (verifier_->check_response(it->request, *response)) {
     ++stats_.responses_valid;
@@ -148,7 +257,59 @@ void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
   }
 }
 
+void AttestationSession::on_reliable_response(
+    const attest::AttestResponse& response, std::size_t wire_bytes) {
+  const net::Retransmitter::Hit hit = rtx_->lookup(response.freshness);
+  if (hit.match == net::Retransmitter::Match::kClosed) {
+    // A late copy of an already-settled round: count it, drop it. The
+    // round's verdict must never change.
+    ++stats_.duplicate_responses;
+    if (obs_duplicates_ != nullptr) obs_duplicates_->inc();
+    observe_net("net.duplicate", "suppressed", wire_bytes);
+    return;
+  }
+  if (hit.match == net::Retransmitter::Match::kUnknown) {
+    ++stats_.responses_invalid;
+    observe_round("unmatched", -1.0, 0.0, wire_bytes);
+    return;
+  }
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(), [&](const Pending& p) {
+        return p.request.freshness == response.freshness;
+      });
+  if (it == pending_.end()) {
+    ++stats_.responses_invalid;
+    observe_round("unmatched", -1.0, 0.0, wire_bytes);
+    return;
+  }
+  // Copy before any erase: closing the round drops the round's pending
+  // entries (including this one).
+  const attest::AttestRequest request = it->request;
+  const double sent_ms = it->sent_ms;
+  const std::uint64_t round = it->round;
+  const double verifier_ms = obs_.enabled() ? verifier_check_ms() : 0.0;
+  const double round_trip_ms = queue_->now_ms() - sent_ms;
+  if (verifier_->check_response(request, response)) {
+    ++stats_.responses_valid;
+    if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
+    observe_round("valid", round_trip_ms, verifier_ms, wire_bytes);
+    rtx_->close_valid(round);
+  } else {
+    // Bad MAC on an open round (e.g. corrupted in flight): discard this
+    // attempt but keep the round open — a pending retry can still
+    // recover it.
+    ++stats_.responses_invalid;
+    if (obs_rounds_invalid_ != nullptr) obs_rounds_invalid_->inc();
+    observe_round("invalid", round_trip_ms, verifier_ms, wire_bytes);
+    pending_.erase(it);
+    if (obs_pending_ != nullptr) {
+      obs_pending_->set(static_cast<double>(pending_.size()));
+    }
+  }
+}
+
 std::size_t AttestationSession::check_timeouts(double timeout_ms) {
+  if (rtx_ != nullptr) return 0;  // rounds own their timers
   const double now = queue_->now_ms();
   std::size_t expired = 0;
   for (auto it = pending_.begin(); it != pending_.end();) {

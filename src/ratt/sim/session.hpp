@@ -10,8 +10,11 @@
 
 #include <cstdint>
 
+#include <memory>
+
 #include "ratt/attest/prover.hpp"
 #include "ratt/attest/verifier.hpp"
+#include "ratt/net/retransmitter.hpp"
 #include "ratt/obs/observer.hpp"
 #include "ratt/sim/channel.hpp"
 #include "ratt/sim/event.hpp"
@@ -38,6 +41,15 @@ class AttestationSession {
     /// Device time the prover spent on this session's deliveries (ms) —
     /// with the horizon, the duty-cycle fraction lost to attestation.
     double prover_attest_ms = 0.0;
+    /// Frames that failed to parse (bit corruption on the wire).
+    std::uint64_t requests_malformed = 0;
+    std::uint64_t responses_malformed = 0;
+    // Reliable-exchange accounting (all zero unless enable_reliable()).
+    std::uint64_t rounds_started = 0;
+    std::uint64_t retransmits = 0;          // attempts beyond a round's first
+    std::uint64_t timeouts = 0;             // attempt timers that expired
+    std::uint64_t duplicate_responses = 0;  // late copies after round close
+    std::uint64_t rounds_unreachable = 0;   // retry budget exhausted
 
     friend bool operator==(const Stats&, const Stats&) = default;
   };
@@ -59,12 +71,27 @@ class AttestationSession {
   /// until `horizon_ms`.
   void schedule_rounds(double period_ms, double horizon_ms);
 
-  /// Send one request now.
+  /// Send one request now. In reliable mode this opens a retransmitting
+  /// round instead of a fire-and-forget send.
   void send_request();
+
+  /// Reliable exchange over a lossy link (net::Retransmitter): every
+  /// send_request() becomes a round with per-attempt timeouts, bounded
+  /// retries (each retry re-MACs a FRESH request — a legitimate replay
+  /// the prover must accept exactly once), duplicate-response
+  /// suppression, and a terminal unreachable outcome. A policy with
+  /// base_timeout_ms <= 0 gets one derived from the prover's timing
+  /// model and the channel latency (net::derive_timeout_ms). Requires a
+  /// freshness scheme with distinct per-request elements to attribute
+  /// responses (nonce/counter/timestamp; kNone matches newest-first).
+  void enable_reliable(const net::RetryPolicy& policy,
+                       crypto::ByteView jitter_seed);
+  bool reliable() const { return rtx_ != nullptr; }
 
   /// Expire pending requests older than `timeout_ms` (counted in
   /// responses_missing); lets an operator alarm on silent provers or
-  /// adversarial drops. Returns how many expired in this call.
+  /// adversarial drops. Returns how many expired in this call. In
+  /// reliable mode rounds own their timers — this is then a no-op.
   std::size_t check_timeouts(double timeout_ms);
 
   const Stats& stats() const { return stats_; }
@@ -72,9 +99,18 @@ class AttestationSession {
  private:
   void on_prover_receives(const crypto::Bytes& wire);
   void on_verifier_receives(const crypto::Bytes& wire);
+  void on_reliable_response(const attest::AttestResponse& response,
+                            std::size_t wire_bytes);
+  std::uint64_t send_attempt(std::uint64_t round, std::uint32_t attempt);
+  void on_round_closed(std::uint64_t round, net::RoundOutcome outcome,
+                       std::uint32_t attempts);
   void sync_prover_time();
   void observe_round(const char* outcome, double round_trip_ms,
                      double verifier_ms, std::size_t wire_bytes);
+  void observe_net(const char* kind, const char* outcome,
+                   std::size_t wire_bytes);
+  void cache_net_instruments();
+  double verifier_check_ms() const;
 
   EventQueue* queue_;
   Channel* channel_;
@@ -82,12 +118,15 @@ class AttestationSession {
   attest::Verifier* verifier_;
   Stats stats_;
   double prover_time_ms_ = 0.0;  // device time already accounted
-  // Requests awaiting a response, with their send time.
+  // Requests awaiting a response, with their send time (and, in reliable
+  // mode, the round the attempt belongs to).
   struct Pending {
     attest::AttestRequest request;
     double sent_ms;
+    std::uint64_t round = 0;
   };
   std::vector<Pending> pending_;
+  std::unique_ptr<net::Retransmitter> rtx_;
 
   obs::Observer obs_{};
   obs::Histogram* obs_round_trip_ = nullptr;
@@ -95,6 +134,10 @@ class AttestationSession {
   obs::Counter* obs_rounds_valid_ = nullptr;
   obs::Counter* obs_rounds_invalid_ = nullptr;
   obs::Counter* obs_rounds_missing_ = nullptr;
+  obs::Counter* obs_retransmits_ = nullptr;
+  obs::Counter* obs_timeouts_ = nullptr;
+  obs::Counter* obs_duplicates_ = nullptr;
+  obs::Counter* obs_unreachable_ = nullptr;
 };
 
 }  // namespace ratt::sim

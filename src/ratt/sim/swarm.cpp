@@ -1,6 +1,7 @@
 #include "ratt/sim/swarm.hpp"
 
 #include <atomic>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -47,6 +48,17 @@ Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
   // so keys are independent of the shard plan (and identical to the
   // legacy single-queue layout).
   crypto::HmacDrbg fleet_drbg(fleet_seed);
+  // ratt::net seeds come from a SEPARATE stream: enabling transport
+  // faults or reliable rounds must not shift the key/app/verifier draws
+  // above, or every clean-run golden would silently change.
+  const bool net_mode = config.reliable || config.link_for != nullptr ||
+                        !config.link.is_clean();
+  std::optional<crypto::HmacDrbg> net_drbg;
+  if (net_mode) {
+    crypto::Bytes net_seed(fleet_seed.begin(), fleet_seed.end());
+    crypto::append(net_seed, crypto::from_string("ratt::net"));
+    net_drbg.emplace(net_seed);
+  }
   std::size_t shard_idx = 0;
   for (std::size_t i = 0; i < n; ++i) {
     while (i >= shards_[shard_idx]->end) ++shard_idx;
@@ -74,6 +86,20 @@ Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
         std::make_unique<Channel>(shard_queue, config.channel_latency_ms);
     device->session = std::make_unique<AttestationSession>(
         shard_queue, *device->channel, *device->prover, *device->verifier);
+    if (net_drbg.has_value()) {
+      // Both seeds are drawn for every device in global device order, so
+      // the fault schedule of device i never depends on the profiles —
+      // or reliable flag — chosen for the devices before it.
+      const crypto::Bytes link_seed = net_drbg->generate(16);
+      const crypto::Bytes jitter_seed = net_drbg->generate(16);
+      const net::LinkProfile profile =
+          config.link_for ? config.link_for(i) : config.link;
+      device->link = std::make_unique<net::FaultyLink>(profile, link_seed);
+      device->channel->set_tap(device->link.get());
+      if (config.reliable) {
+        device->session->enable_reliable(config.retry, jitter_seed);
+      }
+    }
     devices_.push_back(std::move(device));
   }
 }

@@ -20,9 +20,11 @@
 // readouts are order-independent and therefore deterministic too.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "ratt/net/link.hpp"
 #include "ratt/sim/session.hpp"
 
 namespace ratt::sim {
@@ -43,6 +45,19 @@ struct SwarmConfig {
   /// are identical at any shard count; merged traces additionally match
   /// across shard counts as long as no trace ring overflowed.
   std::size_t shard_count = 1;
+  /// Transport faults: every device's channel gets a net::FaultyLink
+  /// with this profile (clean = no tap at all unless `reliable`).
+  /// `link_for` — when set — overrides the profile per device index, so
+  /// a fleet can mix healthy and hostile links. Fault/jitter seeds are
+  /// drawn from a DRBG stream separate from key derivation, so enabling
+  /// ratt::net never changes the fleet's keys or clean-run goldens.
+  net::LinkProfile link;
+  std::function<net::LinkProfile(std::size_t)> link_for;
+  /// Reliable rounds (net::Retransmitter) on every session. A `retry`
+  /// with base_timeout_ms <= 0 gets one derived from the prover's timing
+  /// model and the channel latency (see net::derive_timeout_ms).
+  bool reliable = false;
+  net::RetryPolicy retry;
 };
 
 struct SwarmDeviceReport {
@@ -94,6 +109,11 @@ class Swarm {
   }
   const crypto::Bytes& device_key(std::size_t i) const {
     return devices_[i]->key;
+  }
+  /// Device i's fault tap — nullptr when the swarm runs without
+  /// ratt::net (clean link, no link_for, not reliable).
+  net::FaultyLink* faulty_link(std::size_t i) {
+    return devices_[i]->link.get();
   }
 
   /// Attach one registry/sink pair to the whole fleet: every prover,
@@ -148,6 +168,7 @@ class Swarm {
     std::unique_ptr<attest::ProverDevice> prover;
     std::unique_ptr<attest::Verifier> verifier;
     std::unique_ptr<Channel> channel;
+    std::unique_ptr<net::FaultyLink> link;
     std::unique_ptr<AttestationSession> session;
   };
   struct Shard {

@@ -8,6 +8,7 @@
 #include "ratt/attest/message.hpp"
 #include "ratt/attest/services.hpp"
 #include "ratt/crypto/drbg.hpp"
+#include "ratt/net/link.hpp"
 
 namespace ratt::attest {
 namespace {
@@ -94,6 +95,55 @@ TEST_P(WireFuzz, EraseRequestBitFlips) {
     mutated[i] ^= 0xff;
     if (const auto parsed = EraseRequest::from_bytes(mutated)) {
       EXPECT_EQ(parsed->to_bytes(), mutated);
+    }
+  }
+}
+
+TEST_P(WireFuzz, FaultyLinkCorruptionMangledFramesRejectOrRoundTrip) {
+  // Realistic radio damage, not synthetic mutation: frames mangled by
+  // net::corrupt_bytes — the exact transform FaultyLink applies on the
+  // wire — must be rejected or re-serialize faithfully.
+  AttestRequest req;
+  req.scheme = FreshnessScheme::kNonce;
+  req.freshness = drbg_.uniform(~std::uint64_t{0});
+  req.challenge = drbg_.uniform(~std::uint64_t{0});
+  req.mac = drbg_.generate(20);
+  const Bytes req_wire = req.to_bytes();
+
+  AttestResponse resp;
+  resp.freshness = req.freshness;
+  resp.measurement = drbg_.generate(20);
+  const Bytes resp_wire = resp.to_bytes();
+
+  for (int i = 0; i < 200; ++i) {
+    const auto max_bits = static_cast<std::uint32_t>(1 + drbg_.uniform(16));
+    const Bytes mangled_req = net::corrupt_bytes(drbg_, req_wire, max_bits);
+    if (const auto parsed = AttestRequest::from_bytes(mangled_req)) {
+      EXPECT_EQ(parsed->to_bytes(), mangled_req);
+    }
+    const Bytes mangled_resp =
+        net::corrupt_bytes(drbg_, resp_wire, max_bits);
+    if (const auto parsed = AttestResponse::from_bytes(mangled_resp)) {
+      EXPECT_EQ(parsed->to_bytes(), mangled_resp);
+    }
+  }
+}
+
+TEST_P(WireFuzz, FaultyLinkCorruptedRequestNeverChangesAcceptedSemantics) {
+  // A mangled frame that still parses must differ from the original in
+  // payload only ways the MAC check will catch: it can never silently
+  // equal the original request (corrupt_bytes always flips >= 1 bit).
+  AttestRequest req;
+  req.scheme = FreshnessScheme::kCounter;
+  req.freshness = 42;
+  req.challenge = 77;
+  req.mac = drbg_.generate(20);
+  const Bytes wire = req.to_bytes();
+  for (int i = 0; i < 100; ++i) {
+    const Bytes mangled = net::corrupt_bytes(drbg_, wire, 8);
+    ASSERT_NE(mangled, wire);
+    if (const auto parsed = AttestRequest::from_bytes(mangled)) {
+      EXPECT_NE(*parsed, req);
     }
   }
 }

@@ -1,0 +1,218 @@
+// Interleaving regressions: adversarially-ordered wire schedules that
+// historically break request/response engines — late duplicates after
+// accept, responses crossing retransmissions, and retry storms while the
+// prover is deep in a long measurement pass. Every scenario is checked
+// against the prover's hash-chained audit log: the no-double-accept
+// guarantee must hold under ANY delivery order.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ratt/attest/audit_log.hpp"
+#include "ratt/sim/session.hpp"
+
+namespace ratt::sim {
+namespace {
+
+using attest::FreshnessScheme;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+
+crypto::Bytes key() {
+  return crypto::from_hex("a0a1a2a3a4a5a6a7a8a9aaabacadaeaf");
+}
+
+class InterleavingFixture : public ::testing::Test {
+ protected:
+  InterleavingFixture() {
+    ProverConfig config;
+    config.scheme = FreshnessScheme::kCounter;
+    config.measured_bytes = 1024;
+    config.enable_audit_log = true;
+    config.audit_capacity = 64;
+    prover_ = std::make_unique<ProverDevice>(
+        config, key(), crypto::from_string("interleave-app"));
+
+    Verifier::Config vc;
+    vc.scheme = FreshnessScheme::kCounter;
+    verifier_ = std::make_unique<Verifier>(
+        key(), vc, crypto::from_string("interleave-v"));
+    verifier_->set_reference_memory(prover_->reference_memory());
+
+    channel_ = std::make_unique<Channel>(queue_, /*latency_ms=*/2.0);
+    session_ = std::make_unique<AttestationSession>(queue_, *channel_,
+                                                    *prover_, *verifier_);
+  }
+
+  void enable_reliable(double base_timeout_ms, std::uint32_t max_attempts) {
+    net::RetryPolicy policy;
+    policy.base_timeout_ms = base_timeout_ms;
+    policy.max_attempts = max_attempts;
+    policy.jitter_ms = 0.0;  // exact, hand-computed timelines
+    session_->enable_reliable(policy, crypto::from_string("interleave-j"));
+  }
+
+  std::size_t audit_double_accepts() {
+    const auto records = prover_->audit_log()->records();
+    EXPECT_TRUE(records.has_value());
+    if (!records.has_value()) return 0;
+    return attest::duplicate_accepted_freshness(*records).size();
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<ProverDevice> prover_;
+  std::unique_ptr<Verifier> verifier_;
+  std::unique_ptr<Channel> channel_;
+  std::unique_ptr<AttestationSession> session_;
+};
+
+TEST_F(InterleavingFixture, LateDuplicateAfterAcceptIsCountedAndIgnored) {
+  enable_reliable(/*base_timeout_ms=*/100.0, /*max_attempts=*/4);
+  RecordingTap tap;
+  channel_->set_tap(&tap);
+
+  session_->send_request();
+  queue_.run_all();
+  ASSERT_EQ(session_->stats().responses_valid, 1u);
+  ASSERT_EQ(tap.recorded_to_verifier().size(), 1u);
+
+  // The network re-delivers the already-accepted response long after the
+  // round settled: it must be recognized, counted, and change nothing.
+  channel_->inject_to_verifier(tap.recorded_to_verifier()[0].payload, 10.0);
+  channel_->inject_to_verifier(tap.recorded_to_verifier()[0].payload, 20.0);
+  queue_.run_all();
+
+  const auto& stats = session_->stats();
+  EXPECT_EQ(stats.duplicate_responses, 2u);
+  EXPECT_EQ(stats.responses_valid, 1u);       // verdict unchanged
+  EXPECT_EQ(stats.responses_received, 3u);
+  EXPECT_EQ(stats.rounds_unreachable, 0u);
+  EXPECT_EQ(prover_->anchor().attestations_performed(), 1u);
+  EXPECT_EQ(audit_double_accepts(), 0u);
+}
+
+TEST_F(InterleavingFixture, ResponseCrossesRetransmittedRequest) {
+  enable_reliable(/*base_timeout_ms=*/50.0, /*max_attempts=*/4);
+  // Delay only the FIRST response so it lands after the retransmission
+  // went out (t=50) but before the retransmission's own response returns
+  // (t=54): the original response and the retried request cross on the
+  // wire.
+  RecordingTap tap;
+  int responses_seen = 0;
+  tap.set_to_verifier_script([&responses_seen](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    if (responses_seen++ == 0) d.extra_delay_ms = 49.0;  // arrives t=53
+    return d;
+  });
+  channel_->set_tap(&tap);
+
+  session_->send_request();
+  queue_.run_all();
+
+  const auto& stats = session_->stats();
+  EXPECT_EQ(stats.rounds_started, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);          // attempt 1's timer expired
+  EXPECT_EQ(stats.retransmits, 1u);       // one fresh re-MACed request
+  EXPECT_EQ(stats.responses_valid, 1u);   // the crossed original closed it
+  EXPECT_EQ(stats.duplicate_responses, 1u);  // retry's answer came late
+  EXPECT_EQ(stats.rounds_unreachable, 0u);
+  // Both requests were distinct and legitimate: the prover accepted (and
+  // paid the memory MAC for) each exactly once.
+  EXPECT_EQ(prover_->anchor().attestations_performed(), 2u);
+  EXPECT_EQ(audit_double_accepts(), 0u);
+}
+
+TEST_F(InterleavingFixture, RetryStormDuringLongMeasurementPass) {
+  enable_reliable(/*base_timeout_ms=*/50.0, /*max_attempts=*/4);
+  // The prover is mid-pass over a large measured region (modeled as
+  // +200 ms response latency — far beyond several backoff steps), so the
+  // verifier's timers fire in a storm: 50 ms, then 150 ms. Every attempt
+  // is a fresh request the prover accepts and answers; the first answer
+  // to return closes the round and the stragglers must all be flagged as
+  // duplicates without a single double-accept.
+  RecordingTap tap;
+  tap.set_to_verifier_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.extra_delay_ms = 200.0;
+    return d;
+  });
+  channel_->set_tap(&tap);
+
+  session_->send_request();
+  queue_.run_all();
+
+  const auto& stats = session_->stats();
+  EXPECT_EQ(stats.rounds_started, 1u);
+  // Attempt-1 (t=50) and attempt-2 (t=150) timers fired before the first
+  // response landed (t=204); attempt-3's timer (t=350) found the round
+  // closed — a stale timer, not a timeout.
+  EXPECT_EQ(stats.timeouts, 2u);
+  EXPECT_EQ(stats.retransmits, 2u);
+  EXPECT_EQ(stats.requests_sent, 3u);
+  EXPECT_EQ(stats.responses_valid, 1u);
+  EXPECT_EQ(stats.duplicate_responses, 2u);
+  EXPECT_EQ(stats.rounds_unreachable, 0u);
+  // The storm's cost asymmetry, which bench_dos_impact --link reports:
+  // three full memory MACs bought exactly one completed round.
+  EXPECT_EQ(prover_->anchor().attestations_performed(), 3u);
+  EXPECT_EQ(audit_double_accepts(), 0u);
+  const auto count = prover_->audit_log()->count();
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 3u);
+}
+
+TEST_F(InterleavingFixture, ExhaustedRoundReportsUnreachable) {
+  enable_reliable(/*base_timeout_ms=*/40.0, /*max_attempts=*/3);
+  RecordingTap tap;
+  tap.set_to_prover_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.deliver = false;  // total blackout toward the prover
+    return d;
+  });
+  channel_->set_tap(&tap);
+
+  session_->send_request();
+  queue_.run_all();
+
+  const auto& stats = session_->stats();
+  EXPECT_EQ(stats.rounds_started, 1u);
+  EXPECT_EQ(stats.requests_sent, 3u);
+  EXPECT_EQ(stats.timeouts, 3u);
+  EXPECT_EQ(stats.rounds_unreachable, 1u);
+  EXPECT_EQ(stats.responses_valid, 0u);
+  // check_timeouts is the legacy path; reliable rounds own their timers.
+  EXPECT_EQ(session_->check_timeouts(1.0), 0u);
+  EXPECT_EQ(prover_->anchor().attestations_performed(), 0u);
+}
+
+TEST_F(InterleavingFixture, CorruptedResponseRecoversViaRetry) {
+  enable_reliable(/*base_timeout_ms=*/50.0, /*max_attempts=*/4);
+  // Flip one bit of the first response: the verifier must reject the MAC
+  // but keep the round open so the retry can still complete it.
+  RecordingTap tap;
+  int responses_seen = 0;
+  tap.set_to_verifier_script([&responses_seen](const TappedMessage& msg) {
+    ChannelTap::Disposition d;
+    if (responses_seen++ == 0) {
+      crypto::Bytes mangled = msg.payload;
+      mangled.back() ^= 0x01;
+      d.mutated = std::move(mangled);
+    }
+    return d;
+  });
+  channel_->set_tap(&tap);
+
+  session_->send_request();
+  queue_.run_all();
+
+  const auto& stats = session_->stats();
+  EXPECT_EQ(stats.responses_invalid, 1u);  // the mangled one
+  EXPECT_EQ(stats.responses_valid, 1u);    // the retry's answer
+  EXPECT_EQ(stats.retransmits, 1u);
+  EXPECT_EQ(stats.rounds_unreachable, 0u);
+  EXPECT_EQ(audit_double_accepts(), 0u);
+}
+
+}  // namespace
+}  // namespace ratt::sim

@@ -1,0 +1,237 @@
+// FaultyLink unit tests: profile algebra, per-direction fault injection,
+// and the determinism contract the seed-sweep suite builds on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ratt/net/link.hpp"
+#include "ratt/sim/event.hpp"
+
+namespace ratt::net {
+namespace {
+
+crypto::Bytes seed() { return crypto::from_string("link-test-seed"); }
+
+sim::TappedMessage msg(std::uint64_t id, double t_ms = 0.0,
+                       std::size_t size = 24) {
+  sim::TappedMessage m;
+  m.payload = crypto::Bytes(size, static_cast<std::uint8_t>(id));
+  m.sent_ms = t_ms;
+  m.id = id;
+  return m;
+}
+
+TEST(LinkProfileTest, DefaultIsClean) {
+  LinkProfile p;
+  EXPECT_TRUE(p.is_clean());
+  EXPECT_TRUE(clean_link().is_clean());
+  EXPECT_FALSE(lossy10_link().is_clean());
+  EXPECT_FALSE(bursty_link().is_clean());
+  EXPECT_FALSE(hostile_link().is_clean());
+}
+
+TEST(LinkProfileTest, LookupByName) {
+  for (const LinkProfile& p : all_link_profiles()) {
+    const auto found = link_profile_by_name(p.name);
+    ASSERT_TRUE(found.has_value()) << p.name;
+    EXPECT_EQ(*found, p);
+  }
+  EXPECT_FALSE(link_profile_by_name("no-such-profile").has_value());
+  EXPECT_EQ(all_link_profiles().size(), 4u);
+}
+
+TEST(FaultyLinkTest, CleanProfilePassesEverythingUnchanged) {
+  FaultyLink link(clean_link(), seed());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto d = link.on_to_prover(msg(i, static_cast<double>(i)));
+    EXPECT_TRUE(d.deliver);
+    EXPECT_EQ(d.extra_delay_ms, 0.0);
+    EXPECT_FALSE(d.mutated.has_value());
+    EXPECT_TRUE(d.duplicate_delays_ms.empty());
+  }
+  EXPECT_EQ(link.stats().to_prover.seen, 100u);
+  EXPECT_EQ(link.stats().to_prover.delivered, 100u);
+  EXPECT_EQ(link.stats().to_prover.dropped, 0u);
+  EXPECT_EQ(link.stats().outages, 0u);
+}
+
+TEST(FaultyLinkTest, LossRateIsRoughlyTheConfiguredProbability) {
+  FaultyLink link(lossy10_link(), seed());
+  const std::uint64_t n = 5000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    (void)link.on_to_prover(msg(i, static_cast<double>(i)));
+  }
+  const double loss =
+      static_cast<double>(link.stats().to_prover.dropped) /
+      static_cast<double>(n);
+  EXPECT_GT(loss, 0.07);  // 10% ± generous sampling slack
+  EXPECT_LT(loss, 0.13);
+}
+
+TEST(FaultyLinkTest, DirectionsHaveIndependentKnobs) {
+  LinkProfile p;
+  p.name = "one-way";
+  p.loss_to_prover = 1.0;  // every request dies
+  FaultyLink link(p, seed());
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_FALSE(link.on_to_prover(msg(i)).deliver);
+    EXPECT_TRUE(link.on_to_verifier(msg(i)).deliver);
+  }
+  EXPECT_EQ(link.stats().to_prover.dropped, 20u);
+  EXPECT_EQ(link.stats().to_verifier.dropped, 0u);
+}
+
+TEST(FaultyLinkTest, JitterStaysWithinBound) {
+  LinkProfile p;
+  p.name = "jittery";
+  p.jitter_ms = 25.0;
+  FaultyLink link(p, seed());
+  bool nonzero = false;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto d = link.on_to_prover(msg(i, static_cast<double>(i)));
+    ASSERT_TRUE(d.deliver);
+    EXPECT_GE(d.extra_delay_ms, 0.0);
+    EXPECT_LT(d.extra_delay_ms, 25.0);
+    nonzero = nonzero || d.extra_delay_ms > 0.0;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(FaultyLinkTest, DuplicationSchedulesExtraCopies) {
+  LinkProfile p;
+  p.name = "dupey";
+  p.dup_probability = 1.0;
+  p.dup_delay_ms = 8.0;
+  FaultyLink link(p, seed());
+  const auto d = link.on_to_prover(msg(0));
+  ASSERT_TRUE(d.deliver);
+  ASSERT_EQ(d.duplicate_delays_ms.size(), 1u);
+  EXPECT_GE(d.duplicate_delays_ms[0], 0.0);
+  EXPECT_LT(d.duplicate_delays_ms[0], 8.0);
+  EXPECT_EQ(link.stats().to_prover.duplicates, 1u);
+  EXPECT_EQ(link.stats().to_prover.delivered, 2u);  // copy counts too
+}
+
+TEST(FaultyLinkTest, CorruptionMutatesDeliveredBytes) {
+  LinkProfile p;
+  p.name = "corrupt";
+  p.corrupt_probability = 1.0;
+  p.corrupt_max_bits = 4;
+  FaultyLink link(p, seed());
+  const auto m = msg(0);
+  const auto d = link.on_to_prover(m);
+  ASSERT_TRUE(d.deliver);
+  ASSERT_TRUE(d.mutated.has_value());
+  EXPECT_NE(*d.mutated, m.payload);
+  EXPECT_EQ(d.mutated->size(), m.payload.size());
+  EXPECT_EQ(link.stats().to_prover.corrupted, 1u);
+}
+
+TEST(FaultyLinkTest, CorruptBytesFlipsBoundedBitCount) {
+  crypto::HmacDrbg drbg(seed());
+  const crypto::Bytes frame(32, 0x00);
+  for (int round = 0; round < 50; ++round) {
+    const crypto::Bytes mangled = corrupt_bytes(drbg, frame, 4);
+    int flipped = 0;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      std::uint8_t diff = frame[i] ^ mangled[i];
+      while (diff != 0) {
+        flipped += diff & 1;
+        diff >>= 1;
+      }
+    }
+    EXPECT_GE(flipped, 1);
+    EXPECT_LE(flipped, 4);
+  }
+  // Empty frames are a no-op, not a crash.
+  EXPECT_TRUE(corrupt_bytes(drbg, crypto::Bytes{}, 4).empty());
+}
+
+TEST(FaultyLinkTest, BurstOutageDropsTheWindow) {
+  LinkProfile p;
+  p.name = "outage";
+  p.burst_probability = 1.0;  // first observed message opens an outage
+  p.burst_ms = 100.0;
+  FaultyLink link(p, seed());
+  // The trigger message itself is dropped, and so is everything sent
+  // before the window ends.
+  EXPECT_FALSE(link.on_to_prover(msg(0, 0.0)).deliver);
+  EXPECT_GE(link.stats().outages, 1u);
+  EXPECT_FALSE(link.on_to_prover(msg(1, 50.0)).deliver);
+  EXPECT_EQ(link.stats().to_prover.outage_drops, 2u);
+}
+
+TEST(FaultyLinkTest, SameSeedSameSchedule) {
+  FaultyLink a(hostile_link(), seed());
+  FaultyLink b(hostile_link(), seed());
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const auto m = msg(i, static_cast<double>(i) * 3.0);
+    const auto da = a.on_to_prover(m);
+    const auto db = b.on_to_prover(m);
+    EXPECT_EQ(da.deliver, db.deliver);
+    EXPECT_EQ(da.extra_delay_ms, db.extra_delay_ms);
+    EXPECT_EQ(da.mutated, db.mutated);
+    EXPECT_EQ(da.duplicate_delays_ms, db.duplicate_delays_ms);
+  }
+  EXPECT_EQ(a.stats(), b.stats());
+  EXPECT_EQ(to_log(a.events()), to_log(b.events()));
+}
+
+TEST(FaultyLinkTest, DifferentSeedsDiverge) {
+  FaultyLink a(hostile_link(), crypto::from_string("seed-a"));
+  FaultyLink b(hostile_link(), crypto::from_string("seed-b"));
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto m = msg(i, static_cast<double>(i) * 3.0);
+    (void)a.on_to_prover(m);
+    (void)b.on_to_prover(m);
+  }
+  EXPECT_NE(to_log(a.events()), to_log(b.events()));
+}
+
+TEST(FaultyLinkTest, EventTraceIsBoundedAndCountsOverflow) {
+  FaultyLink link(lossy10_link(), seed(), /*event_capacity=*/8);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    (void)link.on_to_prover(msg(i, static_cast<double>(i)));
+  }
+  EXPECT_EQ(link.events().size(), 8u);
+  EXPECT_EQ(link.events_dropped(), 42u);
+}
+
+TEST(FaultyLinkTest, InnerTapComposesBeforeFaults) {
+  sim::RecordingTap recorder;
+  FaultyLink link(clean_link(), seed());
+  link.set_inner(&recorder);
+  (void)link.on_to_prover(msg(0));
+  (void)link.on_to_verifier(msg(1));
+  EXPECT_EQ(recorder.recorded_to_prover().size(), 1u);
+  EXPECT_EQ(recorder.recorded_to_verifier().size(), 1u);
+  // An inner drop verdict survives a clean link.
+  recorder.set_to_prover_script([](const sim::TappedMessage&) {
+    sim::ChannelTap::Disposition d;
+    d.deliver = false;
+    return d;
+  });
+  EXPECT_FALSE(link.on_to_prover(msg(2)).deliver);
+}
+
+TEST(FaultyLinkTest, LogLineFormatIsStable) {
+  LinkEvent event;
+  event.sim_time_ms = 12.5;
+  event.msg_id = 7;
+  event.direction = 'V';
+  event.action = "deliver";
+  event.copies = 2;
+  event.corrupted = true;
+  event.extra_delay_ms = 3.25;
+  const std::string line = to_log_line(event);
+  EXPECT_NE(line.find("12.5"), std::string::npos);
+  EXPECT_NE(line.find('V'), std::string::npos);
+  EXPECT_NE(line.find("deliver"), std::string::npos);
+  // Two events render as two lines.
+  const LinkEvent events[] = {event, event};
+  const std::string log = to_log(events);
+  EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace ratt::net

@@ -134,8 +134,11 @@ TEST(Channel, TapCanDropMessages) {
   EventQueue q;
   Channel ch(q, 1.0);
   RecordingTap tap;
-  tap.set_to_prover_script(
-      [](const TappedMessage&) { return ChannelTap::Disposition{false, 0}; });
+  tap.set_to_prover_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.deliver = false;
+    return d;
+  });
   ch.set_tap(&tap);
   int delivered = 0;
   ch.set_prover_sink([&](const Bytes&) { ++delivered; });
@@ -150,7 +153,9 @@ TEST(Channel, TapCanDelayMessages) {
   Channel ch(q, 1.0);
   RecordingTap tap;
   tap.set_to_prover_script([](const TappedMessage&) {
-    return ChannelTap::Disposition{true, 10.0};
+    ChannelTap::Disposition d;
+    d.extra_delay_ms = 10.0;
+    return d;
   });
   ch.set_tap(&tap);
   double delivered_at = -1.0;
@@ -202,6 +207,101 @@ TEST(Channel, ProverToVerifierDirection) {
   q.run_all();
   EXPECT_EQ(got, 1);
   EXPECT_EQ(tap.recorded_to_verifier().size(), 1u);
+}
+
+TEST(Channel, InFlightDeliveryKeepsItsSinkAcrossReset) {
+  // Regression: deliver() used to capture the sink member by reference,
+  // so resetting the sink (or destroying the channel) between send and
+  // delivery made the queued event call through a dangling/empty
+  // std::function. The event must own a copy of the sink as it was at
+  // send time.
+  EventQueue q;
+  Channel ch(q, 1.0);
+  int old_sink_hits = 0;
+  ch.set_prover_sink([&](const Bytes&) { ++old_sink_hits; });
+  ch.verifier_send(Bytes{0x01});
+  int new_sink_hits = 0;
+  ch.set_prover_sink([&](const Bytes&) { ++new_sink_hits; });
+  q.run_all();
+  EXPECT_EQ(old_sink_hits, 1);  // the in-flight message uses the old sink
+  EXPECT_EQ(new_sink_hits, 0);
+}
+
+TEST(Channel, InFlightDeliverySurvivesChannelDestruction) {
+  // Same dangling-capture regression, harder variant: the channel object
+  // dies while its delivery event is still queued. The event's owned
+  // sink copy must keep the delivery safe.
+  EventQueue q;
+  int delivered = 0;
+  {
+    Channel ch(q, 1.0);
+    ch.set_prover_sink([&](const Bytes&) { ++delivered; });
+    ch.verifier_send(Bytes{0x2a});
+  }
+  q.run_all();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Channel, NegativeTapDelayIsClampedNotThrown) {
+  // Regression: a tap returning extra_delay_ms < -latency used to make
+  // the channel schedule into the past, which the queue rejects with
+  // std::invalid_argument. Negative total delays now clamp to "now".
+  EventQueue q;
+  q.schedule_at(50.0, [] {});
+  q.run_all();  // advance the clock so the past exists
+  Channel ch(q, 1.0);
+  RecordingTap tap;
+  tap.set_to_prover_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.extra_delay_ms = -100.0;
+    return d;
+  });
+  ch.set_tap(&tap);
+  double delivered_at = -1.0;
+  ch.set_prover_sink([&](const Bytes&) { delivered_at = q.now_ms(); });
+  ch.verifier_send(Bytes{0x01});
+  q.run_all();
+  EXPECT_DOUBLE_EQ(delivered_at, 50.0);  // clamped to send time
+}
+
+TEST(Channel, DuplicateCopiesEachCountAsDeliveries) {
+  // messages_to_* counts deliveries scheduled, not sends: a duplicated
+  // message contributes one per copy, each at its own arrival time.
+  EventQueue q;
+  Channel ch(q, 1.0);
+  RecordingTap tap;
+  tap.set_to_prover_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.duplicate_delays_ms = {5.0, 9.0};
+    return d;
+  });
+  ch.set_tap(&tap);
+  std::vector<double> arrivals;
+  ch.set_prover_sink([&](const Bytes&) { arrivals.push_back(q.now_ms()); });
+  ch.verifier_send(Bytes{0x07});
+  q.run_all();
+  EXPECT_EQ(arrivals, (std::vector<double>{1.0, 6.0, 10.0}));
+  EXPECT_EQ(ch.messages_to_prover(), 3u);
+}
+
+TEST(Channel, MutatedPayloadReplacesEveryCopy) {
+  EventQueue q;
+  Channel ch(q, 1.0);
+  RecordingTap tap;
+  tap.set_to_prover_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.mutated = Bytes{0xee};
+    d.duplicate_delays_ms = {3.0};
+    return d;
+  });
+  ch.set_tap(&tap);
+  std::vector<Bytes> got;
+  ch.set_prover_sink([&](const Bytes& b) { got.push_back(b); });
+  ch.verifier_send(Bytes{0x01, 0x02});
+  q.run_all();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], Bytes{0xee});  // corruption applies to the original...
+  EXPECT_EQ(got[1], Bytes{0xee});  // ...and to the duplicate copy
 }
 
 }  // namespace

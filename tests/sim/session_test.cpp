@@ -71,7 +71,9 @@ TEST_F(SessionFixture, AdversaryDropsRequests) {
   tap.set_to_prover_script([&seen](const TappedMessage&) {
     // Drop every other request (ids are shared across directions, so
     // count to-prover messages explicitly).
-    return ChannelTap::Disposition{(seen++ % 2) == 0, 0.0};
+    ChannelTap::Disposition d;
+    d.deliver = (seen++ % 2) == 0;
+    return d;
   });
   channel_->set_tap(&tap);
   session_->schedule_rounds(100.0, 1000.0);
@@ -109,7 +111,9 @@ TEST_F(SessionFixture, AdversaryInjectsGarbage) {
 TEST_F(SessionFixture, DelayedResponseStillValidates) {
   RecordingTap tap;
   tap.set_to_verifier_script([](const TappedMessage&) {
-    return ChannelTap::Disposition{true, 500.0};  // slow the response
+    ChannelTap::Disposition d;
+    d.extra_delay_ms = 500.0;  // slow the response
+    return d;
   });
   channel_->set_tap(&tap);
   session_->send_request();
@@ -119,8 +123,11 @@ TEST_F(SessionFixture, DelayedResponseStillValidates) {
 
 TEST_F(SessionFixture, TimeoutsDetectDroppedRequests) {
   RecordingTap tap;
-  tap.set_to_prover_script(
-      [](const TappedMessage&) { return ChannelTap::Disposition{false, 0}; });
+  tap.set_to_prover_script([](const TappedMessage&) {
+    ChannelTap::Disposition d;
+    d.deliver = false;
+    return d;
+  });
   channel_->set_tap(&tap);
   session_->send_request();
   session_->send_request();
