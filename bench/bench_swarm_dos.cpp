@@ -160,6 +160,8 @@ struct FleetScaleOptions {
   std::size_t shards = 0;  // 0 = min(devices, 16)
   std::string trace_path;
   std::string link;  // faulty-link profile; enables reliable rounds
+  std::string json_path;  // machine-readable summary (incl. wall-clock)
+  bool slow_bus = false;  // per-byte reference bus path (CI byte-compare)
 };
 
 int run_fleet_scale(const FleetScaleOptions& opt) {
@@ -169,6 +171,7 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
   config.prover.authenticate_requests = true;
   config.prover.measured_bytes = 16 * 1024;
   config.attest_period_ms = 250.0;
+  config.prover.bulk_bus = !opt.slow_bus;
   config.stagger_ms = 0.5;  // keep every device active inside the horizon
   config.shard_count =
       opt.shards != 0 ? opt.shards : std::min<std::size_t>(opt.devices, 16);
@@ -292,6 +295,43 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
   std::printf("trace jsonl fnv:  %016llx\n",
               static_cast<unsigned long long>(fnv1a(jsonl_text)));
   std::fprintf(stderr, "threads=%zu wall_ms=%.1f\n", opt.threads, wall_ms);
+
+  if (!opt.json_path.empty()) {
+    // Machine-readable summary. Wall-clock and thread count live here
+    // (and on stderr) only — stdout stays byte-identical across runs.
+    std::ofstream json(opt.json_path, std::ios::binary);
+    if (!json) {
+      std::fprintf(stderr, "cannot open json file: %s\n",
+                   opt.json_path.c_str());
+      return 2;
+    }
+    char fnv_hex[17];
+    std::snprintf(fnv_hex, sizeof fnv_hex, "%016llx",
+                  static_cast<unsigned long long>(fnv1a(jsonl_text)));
+    json << "{\n"
+         << "  \"bench\": \"bench_swarm_dos\",\n"
+         << "  \"devices\": " << opt.devices << ",\n"
+         << "  \"shards\": " << swarm.shard_count() << ",\n"
+         << "  \"threads\": " << opt.threads << ",\n"
+         << "  \"bulk_bus\": " << (opt.slow_bus ? "false" : "true") << ",\n"
+         << "  \"genuine_valid\": " << report.total_valid() << ",\n"
+         << "  \"genuine_sent\": " << report.total_sent() << ",\n"
+         << "  \"replays_rejected\": "
+         << static_cast<std::uint64_t>(
+                counter_value(registry, "prover.outcome.not-fresh") +
+                counter_value(registry, "prover.outcome.bad-request-mac"))
+         << ",\n"
+         << "  \"trace_records\": " << merged.size() << ",\n"
+         << "  \"trace_jsonl_fnv\": \"" << fnv_hex << "\",\n"
+         << "  \"requests_per_sec\": "
+         << (wall_ms > 0.0 ? 1000.0 *
+                                 static_cast<double>(report.total_sent()) /
+                                 wall_ms
+                           : 0.0)
+         << ",\n"
+         << "  \"wall_ms\": " << wall_ms << "\n"
+         << "}\n";
+  }
   return 0;
 }
 
@@ -317,6 +357,14 @@ int main(int argc, char** argv) {
       opt.trace_path = arg + 8;
       continue;
     }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json_path = arg + 7;
+      continue;
+    }
+    if (std::strcmp(arg, "--slow-bus") == 0) {
+      opt.slow_bus = true;
+      continue;
+    }
     if (std::strncmp(arg, "--link=", 7) == 0) {
       opt.link = arg + 7;
       continue;
@@ -327,7 +375,8 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: %s [--devices=N] [--threads=N] [--shards=N] "
-                 "[--trace=path] [--link=clean|lossy10|bursty|hostile]\n",
+                 "[--trace=path] [--json=path] [--slow-bus] "
+                 "[--link=clean|lossy10|bursty|hostile]\n",
                  argv[0]);
     return 2;
   }

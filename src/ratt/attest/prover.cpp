@@ -64,6 +64,7 @@ ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
   // untrusted code runs and there is nothing to reprogram or lock.
   layout.map_mpu_port = config.mpu_flavor != MpuFlavor::kSmart;
   mcu_ = std::make_unique<hw::Mcu>(layout);
+  mcu_->bus().set_bulk_enabled(config_.bulk_bus);
 
   // --- Manufacture: provision K_Attest (ROM, or the RAM variant whose
   //     write-protection must come from an EA-MAC rule — Sec. 6.2). ---
@@ -339,6 +340,7 @@ void ProverDevice::set_observer(const obs::Observer& observer) {
     obs_requests_ = nullptr;
     obs_busy_ms_ = nullptr;
     obs_energy_mj_ = nullptr;
+    obs_faults_dropped_ = nullptr;
     obs_handle_ms_ = nullptr;
     obs_outcome_.fill(nullptr);
     return;
@@ -347,6 +349,8 @@ void ProverDevice::set_observer(const obs::Observer& observer) {
   obs_requests_ = &reg.counter("prover.requests");
   obs_busy_ms_ = &reg.counter("prover.busy_ms");
   obs_energy_mj_ = &reg.counter("prover.energy_mj");
+  obs_faults_dropped_ = &reg.counter("prover.bus.faults_dropped");
+  seen_faults_dropped_ = mcu_->bus().faults_dropped();
   obs_handle_ms_ = &reg.histogram("prover.handle_ms");
   for (std::size_t s = 0; s < kAttestStatusCount; ++s) {
     obs_outcome_[s] = &reg.counter(
@@ -363,6 +367,14 @@ void ProverDevice::observe_request(const AttestRequest& request,
     obs_energy_mj_->inc(energy_mj);
     obs_handle_ms_->observe(outcome.device_ms);
     obs_outcome_[static_cast<std::size_t>(outcome.status)]->inc();
+    // Fault-ring overflow is reported as a delta so the counter tracks
+    // the bus's cumulative tally no matter when the observer attached.
+    const std::uint64_t dropped = mcu_->bus().faults_dropped();
+    if (dropped != seen_faults_dropped_) {
+      obs_faults_dropped_->inc(
+          static_cast<double>(dropped - seen_faults_dropped_));
+      seen_faults_dropped_ = dropped;
+    }
   }
   if (obs_.sink != nullptr) {
     obs::TraceRecord rec;

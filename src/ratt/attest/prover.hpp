@@ -91,6 +91,11 @@ struct ProverConfig {
   bool enable_audit_log = false;
   std::size_t audit_capacity = 32;
 
+  /// Window-coalesced bulk bus transfers (docs/PERFORMANCE.md). false
+  /// selects the per-byte reference path — semantically identical, kept
+  /// for differential testing and the CI byte-compare.
+  bool bulk_bus = true;
+
   double clock_hz = timing::Table1::kRefHz;
 };
 
@@ -201,6 +206,8 @@ class ProverDevice {
   obs::Counter* obs_requests_ = nullptr;
   obs::Counter* obs_busy_ms_ = nullptr;
   obs::Counter* obs_energy_mj_ = nullptr;
+  obs::Counter* obs_faults_dropped_ = nullptr;
+  std::uint64_t seen_faults_dropped_ = 0;
   obs::Histogram* obs_handle_ms_ = nullptr;
   std::array<obs::Counter*, kAttestStatusCount> obs_outcome_{};
 };

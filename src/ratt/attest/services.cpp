@@ -1,7 +1,11 @@
 #include "ratt/attest/services.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "ratt/crypto/aes128.hpp"
 #include "ratt/crypto/block_modes.hpp"
+#include "ratt/crypto/ct.hpp"
 #include "ratt/crypto/hkdf.hpp"
 #include "ratt/crypto/hmac.hpp"
 #include "ratt/crypto/sha256.hpp"
@@ -139,18 +143,28 @@ Bytes DeviceServices::region_proof(std::uint64_t challenge,
                                    std::uint64_t counter,
                                    const hw::AddrRange& region,
                                    bool& fault) {
-  Bytes contents(region.size());
-  if (component_->read_block(region.begin, contents) != hw::BusStatus::kOk) {
-    fault = true;
-    return {};
+  // Streamed like the trust anchor's measurement: the proof MAC absorbs
+  // the region in chunks read over the bus, so proving a large update
+  // or erase never materializes a region-sized copy.
+  mac_->init(16 + region.size());
+  std::uint8_t head[16];
+  crypto::store_le64(head, challenge);
+  crypto::store_le64(head + 8, counter);
+  mac_->update(ByteView(head, 16));
+  Bytes chunk(kProofChunkBytes);
+  for (std::size_t off = 0; off < region.size();) {
+    const std::size_t n = std::min(kProofChunkBytes, region.size() - off);
+    if (component_->read_block(region.begin + static_cast<hw::Addr>(off),
+                               std::span<std::uint8_t>(chunk.data(), n)) !=
+        hw::BusStatus::kOk) {
+      fault = true;
+      return {};
+    }
+    mac_->update(ByteView(chunk.data(), n));
+    off += n;
   }
-  Bytes message;
-  message.reserve(16 + contents.size());
-  append_u64(message, challenge);
-  append_u64(message, counter);
-  crypto::append(message, contents);
   fault = false;
-  return mac_->compute(message);
+  return mac_->finish();
 }
 
 ServiceOutcome DeviceServices::handle_update(const UpdateRequest& request) {
@@ -158,9 +172,9 @@ ServiceOutcome DeviceServices::handle_update(const UpdateRequest& request) {
   // Request authentication: the MAC covers the payload, so the prover
   // pays per payload byte even to reject — still far cheaper than an
   // unauthenticated flash write + re-measure.
-  out.device_ms += timing_->mac_ms(config_.mac_alg,
-                                   request.header_bytes().size());
-  if (!mac_->verify(request.header_bytes(), request.mac)) {
+  const Bytes header = request.header_bytes();
+  out.device_ms += timing_->mac_ms(config_.mac_alg, header.size());
+  if (!mac_->verify(header, request.mac)) {
     out.status = ServiceStatus::kBadMac;
     return out;
   }
@@ -251,9 +265,9 @@ ServiceOutcome DeviceServices::handle_update(const UpdateRequest& request) {
 
 ServiceOutcome DeviceServices::handle_erase(const EraseRequest& request) {
   ServiceOutcome out;
-  out.device_ms += timing_->mac_ms(config_.mac_alg,
-                                   request.header_bytes().size());
-  if (!mac_->verify(request.header_bytes(), request.mac)) {
+  const Bytes header = request.header_bytes();
+  out.device_ms += timing_->mac_ms(config_.mac_alg, header.size());
+  if (!mac_->verify(header, request.mac)) {
     out.status = ServiceStatus::kBadMac;
     return out;
   }
@@ -279,11 +293,20 @@ ServiceOutcome DeviceServices::handle_erase(const EraseRequest& request) {
     out.status = ServiceStatus::kStorageFault;
     return out;
   }
-  const Bytes zeros(request.region.size(), 0);
-  if (component_->write_block(request.region.begin, zeros) !=
-      hw::BusStatus::kOk) {
-    out.status = ServiceStatus::kWriteFault;
-    return out;
+  // Wipe through the bulk write path in fixed chunks — the fault
+  // behavior (earlier bytes stay zeroed, first failing byte logged) is
+  // identical to one region-sized write, without the allocation.
+  const Bytes zeros(std::min(kProofChunkBytes, request.region.size()), 0);
+  for (std::size_t off = 0; off < request.region.size();) {
+    const std::size_t n =
+        std::min(kProofChunkBytes, request.region.size() - off);
+    if (component_->write_block(
+            request.region.begin + static_cast<hw::Addr>(off),
+            ByteView(zeros.data(), n)) != hw::BusStatus::kOk) {
+      out.status = ServiceStatus::kWriteFault;
+      return out;
+    }
+    off += n;
   }
 
   bool fault = false;
@@ -357,29 +380,34 @@ EraseRequest ServiceMaster::make_erase(const hw::AddrRange& region,
 bool ServiceMaster::check_update_proof(const UpdateRequest& request,
                                        ByteView expected_region,
                                        ByteView proof) const {
-  Bytes message;
-  message.reserve(16 + expected_region.size());
-  std::uint8_t word[8];
-  crypto::store_le64(word, request.challenge);
-  crypto::append(message, ByteView(word, 8));
-  crypto::store_le64(word, request.version);
-  crypto::append(message, ByteView(word, 8));
-  crypto::append(message, expected_region);
-  return mac_->verify(message, proof);
+  mac_->init(16 + expected_region.size());
+  std::uint8_t head[16];
+  crypto::store_le64(head, request.challenge);
+  crypto::store_le64(head + 8, request.version);
+  mac_->update(ByteView(head, 16));
+  mac_->update(expected_region);
+  return crypto::ct_equal(mac_->finish(), proof);
 }
 
 bool ServiceMaster::check_erase_proof(const EraseRequest& request,
                                       ByteView proof) const {
-  const Bytes zeros(request.region.size(), 0);
-  Bytes message;
-  message.reserve(16 + zeros.size());
-  std::uint8_t word[8];
-  crypto::store_le64(word, request.challenge);
-  crypto::append(message, ByteView(word, 8));
-  crypto::store_le64(word, request.sequence);
-  crypto::append(message, ByteView(word, 8));
-  crypto::append(message, zeros);
-  return mac_->verify(message, proof);
+  mac_->init(16 + request.region.size());
+  std::uint8_t head[16];
+  crypto::store_le64(head, request.challenge);
+  crypto::store_le64(head + 8, request.sequence);
+  mac_->update(ByteView(head, 16));
+  // The expected post-erase image is all zeros: absorb a fixed zero
+  // chunk repeatedly instead of materializing a region-sized buffer.
+  const Bytes zeros(std::min(DeviceServices::kProofChunkBytes,
+                             request.region.size()),
+                    0);
+  for (std::size_t off = 0; off < request.region.size();) {
+    const std::size_t n = std::min(DeviceServices::kProofChunkBytes,
+                                   request.region.size() - off);
+    mac_->update(ByteView(zeros.data(), n));
+    off += n;
+  }
+  return crypto::ct_equal(mac_->finish(), proof);
 }
 
 }  // namespace ratt::attest

@@ -101,6 +101,9 @@ class DeviceServices {
 
   std::optional<std::uint64_t> installed_version();
 
+  /// Chunk size for streamed proofs and the chunked secure-erase wipe.
+  static constexpr std::size_t kProofChunkBytes = 4096;
+
  private:
   Bytes region_proof(std::uint64_t challenge, std::uint64_t counter,
                      const hw::AddrRange& region, bool& fault);

@@ -87,13 +87,27 @@ class CodeAttest : public hw::SoftwareComponent {
   std::uint64_t requests_rejected() const { return rejected_; }
   std::uint64_t requests_rate_limited() const { return rate_limited_; }
 
+  /// Chunk size of the streaming memory measurement: the measured range
+  /// is MAC'd through a reusable scratch buffer this large, so a 512 KB
+  /// measurement allocates nothing per request.
+  static constexpr std::size_t kMeasureChunkBytes = 4096;
+
  private:
   /// Read K_Attest through the bus (EA-MPU applies). nullopt on fault.
   std::optional<Bytes> read_key() const;
 
+  /// The MAC keyed with `key`, rebuilt (key schedule + HMAC midstates)
+  /// only when the key bytes read from the bus changed — so an Adv_roam
+  /// key overwrite takes effect on the very next request, while the
+  /// steady state pays the schedule once.
+  crypto::Mac& mac_for_key(const Bytes& key);
+
   Config config_;
   FreshnessPolicy* policy_;
   const timing::DeviceTimingModel* timing_;
+  std::unique_ptr<crypto::Mac> cached_mac_;
+  Bytes cached_key_;
+  Bytes scratch_;  // measurement chunk buffer, lazily sized
   double total_device_ms_ = 0.0;
   std::uint64_t performed_ = 0;
   std::uint64_t rejected_ = 0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ratt/crypto/ct.hpp"
+
 namespace ratt::attest {
 
 Verifier::Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed)
@@ -63,16 +65,15 @@ bool Verifier::check_response(const AttestRequest& request,
     return ok;
   };
   if (response.freshness != request.freshness) return tally(false);
-  // Recompute the expected measurement over the reference memory.
-  Bytes message;
-  message.reserve(16 + reference_memory_.size());
-  std::uint8_t word[8];
-  crypto::store_le64(word, request.challenge);
-  crypto::append(message, ByteView(word, 8));
-  crypto::store_le64(word, request.freshness);
-  crypto::append(message, ByteView(word, 8));
-  crypto::append(message, reference_memory_);
-  return tally(mac_->verify(message, response.measurement));
+  // Recompute the expected measurement over the reference memory,
+  // streamed — no challenge||freshness||memory copy per check.
+  mac_->init(16 + reference_memory_.size());
+  std::uint8_t head[16];
+  crypto::store_le64(head, request.challenge);
+  crypto::store_le64(head + 8, request.freshness);
+  mac_->update(ByteView(head, 16));
+  mac_->update(reference_memory_);
+  return tally(crypto::ct_equal(mac_->finish(), response.measurement));
 }
 
 }  // namespace ratt::attest

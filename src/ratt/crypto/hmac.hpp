@@ -22,6 +22,11 @@ concept IncrementalHash = requires(H h, ByteView data) {
 };
 
 /// Incremental HMAC keyed at construction. Reusable via reset().
+///
+/// The key-derived ipad/opad blocks are absorbed once at construction
+/// into cached *midstates*; reset() and finish() restore them by copy,
+/// so repeated MACs under one key skip both key-padding compressions —
+/// the per-key amortization the attestation hot loop relies on.
 template <IncrementalHash Hash>
 class Hmac {
  public:
@@ -38,24 +43,25 @@ class Hmac {
     } else {
       std::copy(key.begin(), key.end(), block_key.begin());
     }
+    std::array<std::uint8_t, Hash::kBlockSize> pad{};
     for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
-      ipad_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
-      opad_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+      pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
     }
+    inner_mid_.update(ByteView(pad.data(), pad.size()));
+    for (std::size_t i = 0; i < Hash::kBlockSize; ++i) {
+      pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+    }
+    outer_mid_.update(ByteView(pad.data(), pad.size()));
     reset();
   }
 
-  void reset() {
-    inner_.reset();
-    inner_.update(ByteView(ipad_.data(), ipad_.size()));
-  }
+  void reset() { inner_ = inner_mid_; }
 
   void update(ByteView data) { inner_.update(data); }
 
   Digest finish() {
     const auto inner_digest = inner_.finish();
-    Hash outer;
-    outer.update(ByteView(opad_.data(), opad_.size()));
+    Hash outer = outer_mid_;
     outer.update(ByteView(inner_digest.data(), inner_digest.size()));
     return outer.finish();
   }
@@ -69,8 +75,8 @@ class Hmac {
 
  private:
   Hash inner_;
-  std::array<std::uint8_t, Hash::kBlockSize> ipad_{};
-  std::array<std::uint8_t, Hash::kBlockSize> opad_{};
+  Hash inner_mid_;  // state after absorbing the ipad block
+  Hash outer_mid_;  // state after absorbing the opad block
 };
 
 }  // namespace ratt::crypto

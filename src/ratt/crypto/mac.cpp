@@ -1,5 +1,6 @@
 #include "ratt/crypto/mac.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "ratt/crypto/block_modes.hpp"
@@ -26,7 +27,47 @@ std::string to_string(MacAlgorithm alg) {
   return "unknown";
 }
 
-bool Mac::verify(ByteView message, ByteView tag) const {
+void Mac::init(std::uint64_t total_bytes) {
+  declared_bytes_ = total_bytes;
+  streamed_bytes_ = 0;
+  streaming_ = true;
+  do_init(total_bytes);
+}
+
+void Mac::update(ByteView chunk) {
+  if (!streaming_) {
+    throw std::logic_error("Mac::update: no init() pending");
+  }
+  if (chunk.size() > declared_bytes_ - streamed_bytes_) {
+    throw std::logic_error("Mac::update: streaming past the declared " +
+                           std::to_string(declared_bytes_) + " bytes");
+  }
+  streamed_bytes_ += chunk.size();
+  do_update(chunk);
+}
+
+Bytes Mac::finish() {
+  if (!streaming_) {
+    throw std::logic_error("Mac::finish: no init() pending");
+  }
+  // Either way the computation ends here; a mismatch abandons it.
+  streaming_ = false;
+  if (streamed_bytes_ != declared_bytes_) {
+    throw std::logic_error("Mac::finish: streamed " +
+                           std::to_string(streamed_bytes_) +
+                           " bytes, declared " +
+                           std::to_string(declared_bytes_));
+  }
+  return do_finish();
+}
+
+Bytes Mac::compute(ByteView message) {
+  init(message.size());
+  update(message);
+  return finish();
+}
+
+bool Mac::verify(ByteView message, ByteView tag) {
   const Bytes expected = compute(message);
   return ct_equal(expected, tag);
 }
@@ -35,20 +76,27 @@ namespace {
 
 class HmacSha1Mac final : public Mac {
  public:
-  explicit HmacSha1Mac(ByteView key) : key_(key.begin(), key.end()) {}
+  explicit HmacSha1Mac(ByteView key) : hmac_(key) {}
 
   MacAlgorithm algorithm() const override { return MacAlgorithm::kHmacSha1; }
   std::size_t tag_size() const override { return Sha1::kDigestSize; }
 
-  Bytes compute(ByteView message) const override {
-    const auto digest = Hmac<Sha1>::mac(key_, message);
+ protected:
+  void do_init(std::uint64_t /*total_bytes*/) override { hmac_.reset(); }
+  void do_update(ByteView chunk) override { hmac_.update(chunk); }
+  Bytes do_finish() override {
+    const auto digest = hmac_.finish();
     return Bytes(digest.begin(), digest.end());
   }
 
  private:
-  Bytes key_;
+  Hmac<Sha1> hmac_;
 };
 
+/// Streaming length-prepended CBC-MAC with zero IV, identical to the
+/// one-shot cbc_mac(): block 0 encodes the declared length (which is why
+/// init() needs it), full blocks chain as they arrive, the tail block is
+/// zero-padded at finish.
 template <BlockCipher Cipher>
 class CbcMac final : public Mac {
  public:
@@ -57,32 +105,115 @@ class CbcMac final : public Mac {
   MacAlgorithm algorithm() const override { return alg_; }
   std::size_t tag_size() const override { return Cipher::kBlockSize; }
 
-  Bytes compute(ByteView message) const override {
-    const auto tag = cbc_mac(cipher_, message);
-    return Bytes(tag.begin(), tag.end());
+ protected:
+  void do_init(std::uint64_t total_bytes) override {
+    typename Cipher::Block len_block{};
+    for (std::size_t i = 0; i < sizeof(total_bytes) && i < Cipher::kBlockSize;
+         ++i) {
+      len_block[i] = static_cast<std::uint8_t>(total_bytes >> (8 * i));
+    }
+    chain_ = cipher_.encrypt_block(len_block);
+    buffered_ = 0;
+  }
+
+  void do_update(ByteView chunk) override {
+    std::size_t off = 0;
+    while (off < chunk.size()) {
+      const std::size_t take = std::min(Cipher::kBlockSize - buffered_,
+                                        chunk.size() - off);
+      for (std::size_t i = 0; i < take; ++i) {
+        chain_[buffered_ + i] = static_cast<std::uint8_t>(
+            chain_[buffered_ + i] ^ chunk[off + i]);
+      }
+      buffered_ += take;
+      off += take;
+      if (buffered_ == Cipher::kBlockSize) {
+        chain_ = cipher_.encrypt_block(chain_);
+        buffered_ = 0;
+      }
+    }
+  }
+
+  Bytes do_finish() override {
+    // A partial tail is zero-padded: the padding bytes leave the chain
+    // untouched, exactly as in the one-shot version.
+    if (buffered_ > 0) {
+      chain_ = cipher_.encrypt_block(chain_);
+      buffered_ = 0;
+    }
+    return Bytes(chain_.begin(), chain_.end());
   }
 
  private:
   MacAlgorithm alg_;
   Cipher cipher_;
+  typename Cipher::Block chain_{};
+  std::size_t buffered_ = 0;
 };
 
+/// Streaming CMAC, identical to the one-shot cmac(): the final block gets
+/// the K1/K2 subkey treatment, so one block is held back until finish()
+/// decides whether it is complete (K1) or needs 10..0 padding (K2).
 template <BlockCipher Cipher>
 class CmacMac final : public Mac {
  public:
-  CmacMac(MacAlgorithm alg, ByteView key) : alg_(alg), cipher_(key) {}
+  CmacMac(MacAlgorithm alg, ByteView key)
+      : alg_(alg), cipher_(key), subkeys_(cmac_subkeys(cipher_)) {}
 
   MacAlgorithm algorithm() const override { return alg_; }
   std::size_t tag_size() const override { return Cipher::kBlockSize; }
 
-  Bytes compute(ByteView message) const override {
-    const auto tag = cmac(cipher_, message);
+ protected:
+  void do_init(std::uint64_t /*total_bytes*/) override {
+    chain_ = typename Cipher::Block{};
+    buffered_ = 0;
+  }
+
+  void do_update(ByteView chunk) override {
+    std::size_t off = 0;
+    while (off < chunk.size()) {
+      // Only flush a full buffered block when more data follows — the
+      // last block of the message must stay buffered for finish().
+      if (buffered_ == Cipher::kBlockSize) {
+        for (std::size_t i = 0; i < Cipher::kBlockSize; ++i) {
+          chain_[i] = static_cast<std::uint8_t>(chain_[i] ^ buffer_[i]);
+        }
+        chain_ = cipher_.encrypt_block(chain_);
+        buffered_ = 0;
+      }
+      const std::size_t take = std::min(Cipher::kBlockSize - buffered_,
+                                        chunk.size() - off);
+      std::copy(chunk.begin() + off, chunk.begin() + off + take,
+                buffer_.begin() + buffered_);
+      buffered_ += take;
+      off += take;
+    }
+  }
+
+  Bytes do_finish() override {
+    typename Cipher::Block last{};
+    const bool complete = buffered_ == Cipher::kBlockSize;
+    std::copy(buffer_.begin(), buffer_.begin() + buffered_, last.begin());
+    if (!complete) {
+      last[buffered_] = 0x80;
+    }
+    const auto& subkey = complete ? subkeys_.k1 : subkeys_.k2;
+    for (std::size_t i = 0; i < Cipher::kBlockSize; ++i) {
+      chain_[i] =
+          static_cast<std::uint8_t>(chain_[i] ^ last[i] ^ subkey[i]);
+    }
+    const auto tag = cipher_.encrypt_block(chain_);
+    buffered_ = 0;
     return Bytes(tag.begin(), tag.end());
   }
 
  private:
   MacAlgorithm alg_;
   Cipher cipher_;
+  CmacSubkeys<Cipher> subkeys_;
+  typename Cipher::Block chain_{};
+  typename Cipher::Block buffer_{};
+  std::size_t buffered_ = 0;
 };
 
 }  // namespace

@@ -4,8 +4,15 @@
 // authentication and memory measurement, so every primitive the paper
 // evaluates (HMAC-SHA1, AES-128 CBC-MAC, Speck 64/128 CBC-MAC) can be
 // swapped in and priced (Table 1 / Sec. 4.1).
+//
+// All implementations are *streaming*: init()/update()/finish() absorb
+// the message in chunks, so a 512 KB memory measurement never has to be
+// materialized as one contiguous buffer. Key schedules (and, for HMAC,
+// the ipad/opad midstates) are computed once at construction and reused
+// across invocations.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -27,7 +34,8 @@ enum class MacAlgorithm : std::uint8_t {
 /// Human-readable algorithm name ("HMAC-SHA1", ...).
 std::string to_string(MacAlgorithm alg);
 
-/// A keyed MAC. Implementations hold the (expanded) key.
+/// A keyed MAC. Implementations hold the (expanded) key; one object can
+/// compute any number of tags, one at a time.
 class Mac {
  public:
   virtual ~Mac() = default;
@@ -37,11 +45,38 @@ class Mac {
   /// Tag length in bytes.
   virtual std::size_t tag_size() const = 0;
 
-  /// Compute the tag over `message`.
-  virtual Bytes compute(ByteView message) const = 0;
+  /// Begin a streaming computation over a message of exactly
+  /// `total_bytes`. The length must be declared up front because the
+  /// length-prepended CBC-MAC folds it into its first cipher block;
+  /// HMAC and CMAC ignore the value but finish() still checks it
+  /// against the bytes actually streamed (a mismatch is a caller bug).
+  /// Calling init() abandons any computation in flight.
+  void init(std::uint64_t total_bytes);
+
+  /// Absorb the next `chunk` of the message. Throws std::logic_error if
+  /// it would push the stream past the declared total.
+  void update(ByteView chunk);
+
+  /// Finalize and return the tag. Throws std::logic_error if the bytes
+  /// streamed since init() differ from the declared total, or if no
+  /// init() is pending.
+  Bytes finish();
+
+  /// One-shot convenience: init(size) + update + finish.
+  Bytes compute(ByteView message);
 
   /// Constant-time tag verification.
-  bool verify(ByteView message, ByteView tag) const;
+  bool verify(ByteView message, ByteView tag);
+
+ protected:
+  virtual void do_init(std::uint64_t total_bytes) = 0;
+  virtual void do_update(ByteView chunk) = 0;
+  virtual Bytes do_finish() = 0;
+
+ private:
+  std::uint64_t declared_bytes_ = 0;
+  std::uint64_t streamed_bytes_ = 0;
+  bool streaming_ = false;
 };
 
 /// HMAC-SHA1 (RFC 2104); 20-byte tags.

@@ -1,6 +1,7 @@
 #include "ratt/hw/bus.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace ratt::hw {
@@ -97,6 +98,48 @@ std::vector<MemoryBus::RegionInfo> MemoryBus::regions() const {
   return out;
 }
 
+void MemoryBus::set_fault_capacity(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("MemoryBus: fault capacity must be >= 1");
+  }
+  fault_capacity_ = capacity;
+  clear_faults();
+}
+
+std::vector<BusFault> MemoryBus::faults() const {
+  std::vector<BusFault> out;
+  out.reserve(fault_ring_.size());
+  if (fault_ring_.size() < fault_capacity_) {
+    out = fault_ring_;
+  } else {
+    // Full ring: fault_next_ points at the oldest entry.
+    out.insert(out.end(), fault_ring_.begin() + fault_next_,
+               fault_ring_.end());
+    out.insert(out.end(), fault_ring_.begin(),
+               fault_ring_.begin() + fault_next_);
+  }
+  return out;
+}
+
+void MemoryBus::clear_faults() {
+  fault_ring_.clear();
+  fault_next_ = 0;
+  faults_total_ = 0;
+  faults_dropped_ = 0;
+}
+
+void MemoryBus::record_fault(const AccessContext& ctx, Addr addr,
+                             AccessType type, BusStatus status) {
+  ++faults_total_;
+  if (fault_ring_.size() < fault_capacity_) {
+    fault_ring_.push_back(BusFault{ctx.pc, addr, type, status});
+    return;
+  }
+  fault_ring_[fault_next_] = BusFault{ctx.pc, addr, type, status};
+  fault_next_ = (fault_next_ + 1) % fault_capacity_;
+  ++faults_dropped_;
+}
+
 BusStatus MemoryBus::access8(const AccessContext& ctx, AccessType type,
                              Addr addr, std::uint8_t* read_out,
                              std::uint8_t write_value) {
@@ -134,7 +177,7 @@ BusStatus MemoryBus::access8(const AccessContext& ctx, AccessType type,
   }
 
   if (status != BusStatus::kOk) {
-    faults_.push_back(BusFault{ctx.pc, addr, type, status});
+    record_fault(ctx, addr, type, status);
   }
   return status;
 }
@@ -193,8 +236,8 @@ BusStatus MemoryBus::write64(const AccessContext& ctx, Addr addr,
   return BusStatus::kOk;
 }
 
-BusStatus MemoryBus::read_block(const AccessContext& ctx, Addr addr,
-                                std::span<std::uint8_t> out) {
+BusStatus MemoryBus::read_block_bytewise(const AccessContext& ctx, Addr addr,
+                                         std::span<std::uint8_t> out) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     const BusStatus s = read8(ctx, addr + static_cast<Addr>(i), out[i]);
     if (s != BusStatus::kOk) return s;
@@ -202,11 +245,117 @@ BusStatus MemoryBus::read_block(const AccessContext& ctx, Addr addr,
   return BusStatus::kOk;
 }
 
-BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
-                                 ByteView data) {
+BusStatus MemoryBus::write_block_bytewise(const AccessContext& ctx,
+                                          Addr addr, ByteView data) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     const BusStatus s = write8(ctx, addr + static_cast<Addr>(i), data[i]);
     if (s != BusStatus::kOk) return s;
+  }
+  return BusStatus::kOk;
+}
+
+Addr MemoryBus::admitted_window_end(const AccessContext& ctx,
+                                    AccessType type, Addr addr,
+                                    Addr limit) const {
+  if (controller_ == nullptr || ctx.pc == kHardwarePc) return limit;
+  const AccessWindow w = controller_->allows_window(ctx, type, addr, limit);
+  return w.allowed ? w.end : 0;
+}
+
+// The bulk fast path walks the request as a sequence of maximal windows:
+// each window lies in one region and carries one access-control verdict,
+// so the per-byte region find + EA-MPU rule scan collapses to one lookup
+// per window and storage bytes move by memcpy. Semantics are identical
+// to the per-byte reference path: the transfer stops at the first
+// failing byte, exactly one fault is logged for it (with its address),
+// and earlier bytes stay transferred.
+BusStatus MemoryBus::read_block(const AccessContext& ctx, Addr addr,
+                                std::span<std::uint8_t> out) {
+  if (!bulk_enabled_) return read_block_bytewise(ctx, addr, out);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Addr a = addr + static_cast<Addr>(done);
+    Region* region = find(a);
+    if (region == nullptr) {
+      record_fault(ctx, a, AccessType::kRead, BusStatus::kUnmapped);
+      return BusStatus::kUnmapped;
+    }
+    // 64-bit arithmetic: a + remaining may pass the top of the address
+    // space; the region end (<= 2^32 - 1) clamps it back into range.
+    const Addr span_limit = static_cast<Addr>(std::min<std::uint64_t>(
+        region->info.range.end,
+        static_cast<std::uint64_t>(a) + (out.size() - done)));
+    const Addr span_end =
+        admitted_window_end(ctx, AccessType::kRead, a, span_limit);
+    if (span_end == 0) {
+      record_fault(ctx, a, AccessType::kRead, BusStatus::kDenied);
+      return BusStatus::kDenied;
+    }
+    const std::size_t n = span_end - a;
+    const Addr offset = a - region->info.range.begin;
+    if (region->device != nullptr) {
+      // MMIO reads stay per byte — device registers may be stateful.
+      for (std::size_t i = 0; i < n; ++i) {
+        out[done + i] = region->device->read(offset + static_cast<Addr>(i));
+      }
+    } else {
+      std::memcpy(out.data() + done, region->storage.data() + offset, n);
+    }
+    done += n;
+  }
+  return BusStatus::kOk;
+}
+
+BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
+                                 ByteView data) {
+  if (!bulk_enabled_) return write_block_bytewise(ctx, addr, data);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const Addr a = addr + static_cast<Addr>(done);
+    Region* region = find(a);
+    if (region == nullptr) {
+      record_fault(ctx, a, AccessType::kWrite, BusStatus::kUnmapped);
+      return BusStatus::kUnmapped;
+    }
+    // ROM rejects before the access controller is consulted, exactly as
+    // in access8.
+    if (region->info.kind == MemoryKind::kRom) {
+      record_fault(ctx, a, AccessType::kWrite, BusStatus::kReadOnly);
+      return BusStatus::kReadOnly;
+    }
+    const Addr span_limit = static_cast<Addr>(std::min<std::uint64_t>(
+        region->info.range.end,
+        static_cast<std::uint64_t>(a) + (data.size() - done)));
+    const Addr span_end =
+        admitted_window_end(ctx, AccessType::kWrite, a, span_limit);
+    if (span_end == 0) {
+      record_fault(ctx, a, AccessType::kWrite, BusStatus::kDenied);
+      return BusStatus::kDenied;
+    }
+    const std::size_t n = span_end - a;
+    const Addr offset = a - region->info.range.begin;
+    if (region->device != nullptr) {
+      // MMIO writes stay per byte: a read-only register faults at its
+      // own address, with the earlier bytes already delivered.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!region->device->write(offset + static_cast<Addr>(i),
+                                   data[done + i])) {
+          record_fault(ctx, a + static_cast<Addr>(i), AccessType::kWrite,
+                       BusStatus::kReadOnly);
+          return BusStatus::kReadOnly;
+        }
+      }
+    } else if (region->info.kind == MemoryKind::kFlash) {
+      // NOR program semantics per byte (clear bits only), without the
+      // per-byte region/rule lookups.
+      std::uint8_t* dst = region->storage.data() + offset;
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<std::uint8_t>(dst[i] & data[done + i]);
+      }
+    } else {
+      std::memcpy(region->storage.data() + offset, data.data() + done, n);
+    }
+    done += n;
   }
   return BusStatus::kOk;
 }
@@ -230,21 +379,34 @@ BusStatus MemoryBus::erase_flash_block(const AccessContext& ctx,
     block_end = std::min(block_begin + kFlashBlockSize,
                          region->info.range.end);
     if (controller_ != nullptr && ctx.pc != kHardwarePc) {
-      for (Addr a = block_begin; a < block_end; ++a) {
-        if (!controller_->allows(ctx, AccessType::kWrite, a)) {
-          status = BusStatus::kDenied;
-          break;
+      if (bulk_enabled_) {
+        // Access control per verdict window: any denied byte lies at the
+        // start of some denied window, so walking window ends finds it.
+        for (Addr a = block_begin; a < block_end;) {
+          const AccessWindow w = controller_->allows_window(
+              ctx, AccessType::kWrite, a, block_end);
+          if (!w.allowed) {
+            status = BusStatus::kDenied;
+            break;
+          }
+          a = w.end;
+        }
+      } else {
+        for (Addr a = block_begin; a < block_end; ++a) {
+          if (!controller_->allows(ctx, AccessType::kWrite, a)) {
+            status = BusStatus::kDenied;
+            break;
+          }
         }
       }
     }
   }
   if (status != BusStatus::kOk) {
-    faults_.push_back(BusFault{ctx.pc, addr, AccessType::kWrite, status});
+    record_fault(ctx, addr, AccessType::kWrite, status);
     return status;
   }
-  for (Addr a = block_begin; a < block_end; ++a) {
-    region->storage[a - region->info.range.begin] = 0xff;
-  }
+  std::memset(region->storage.data() + (block_begin - region->info.range.begin),
+              0xff, block_end - block_begin);
   return BusStatus::kOk;
 }
 

@@ -69,6 +69,14 @@ class MmioDevice {
   virtual bool write(Addr offset, std::uint8_t value) = 0;
 };
 
+/// Verdict for a contiguous window of addresses: `allowed` holds for
+/// every address in [addr, end). Lets the bus resolve access control
+/// once per window instead of once per byte on bulk transfers.
+struct AccessWindow {
+  bool allowed = false;
+  Addr end = 0;  // exclusive; > the queried addr, <= the queried limit
+};
+
 /// PC-aware access policy; implemented by the EA-MPU.
 class AccessController {
  public:
@@ -77,6 +85,17 @@ class AccessController {
   /// Whether `ctx.pc` may perform `type` at `addr`.
   virtual bool allows(const AccessContext& ctx, AccessType type,
                       Addr addr) const = 0;
+
+  /// The verdict at `addr` plus the largest `end <= limit` such that the
+  /// verdict is constant over [addr, end). The conservative default
+  /// answers one byte at a time; the EA-MPU overrides it with a
+  /// rule-boundary scan. Requires addr < limit.
+  virtual AccessWindow allows_window(const AccessContext& ctx,
+                                     AccessType type, Addr addr,
+                                     Addr limit) const {
+    (void)limit;
+    return AccessWindow{allows(ctx, type, addr), addr + 1};
+  }
 };
 
 /// One entry in the bus fault log.
@@ -100,6 +119,15 @@ class MemoryBus {
   void set_access_controller(const AccessController* controller) {
     controller_ = controller;
   }
+
+  /// Bulk transfers normally run the window-coalesced fast path: the
+  /// (region, EA-MPU verdict) pair is resolved once per maximal window
+  /// and storage-backed bytes move by memcpy. `false` selects the
+  /// per-byte reference path — same statuses, same storage mutations,
+  /// same fault log, byte for byte — kept for differential testing and
+  /// the CI perf-smoke trace comparison.
+  void set_bulk_enabled(bool enabled) { bulk_enabled_ = enabled; }
+  bool bulk_enabled() const { return bulk_enabled_; }
 
   // -- Byte and word accessors. Word accessors are little-endian and fail
   //    atomically: on any non-Ok status no bytes are transferred.
@@ -141,8 +169,23 @@ class MemoryBus {
   const RegionInfo* region_at(Addr addr) const;
   std::vector<RegionInfo> regions() const;
 
-  const std::vector<BusFault>& faults() const { return faults_; }
-  void clear_faults() { faults_.clear(); }
+  /// The fault log is a bounded ring of the most recent faults: a
+  /// sustained adversary flood overwrites the oldest entries instead of
+  /// growing the log without limit. Dropped (overwritten) entries are
+  /// counted so observability can surface the flood's true size.
+  static constexpr std::size_t kDefaultFaultCapacity = 256;
+
+  /// Resize the ring (>= 1); existing entries and counters are cleared.
+  void set_fault_capacity(std::size_t capacity);
+  std::size_t fault_capacity() const { return fault_capacity_; }
+
+  /// The retained faults, oldest first (at most fault_capacity()).
+  std::vector<BusFault> faults() const;
+  /// Faults ever logged, including overwritten ones.
+  std::uint64_t faults_total() const { return faults_total_; }
+  /// Faults lost to ring overwrite since the last clear_faults().
+  std::uint64_t faults_dropped() const { return faults_dropped_; }
+  void clear_faults();
 
  private:
   struct Region {
@@ -156,10 +199,26 @@ class MemoryBus {
   void check_overlap(const AddrRange& range, const std::string& name) const;
   BusStatus access8(const AccessContext& ctx, AccessType type, Addr addr,
                     std::uint8_t* read_out, std::uint8_t write_value);
+  void record_fault(const AccessContext& ctx, Addr addr, AccessType type,
+                    BusStatus status);
+  BusStatus read_block_bytewise(const AccessContext& ctx, Addr addr,
+                                std::span<std::uint8_t> out);
+  BusStatus write_block_bytewise(const AccessContext& ctx, Addr addr,
+                                 ByteView data);
+  /// Resolves access control for [addr, limit): either the full span is
+  /// admitted (hardware PC / no controller), or the controller's window
+  /// verdict applies. Returns the allowed window end, or 0 on denial.
+  Addr admitted_window_end(const AccessContext& ctx, AccessType type,
+                           Addr addr, Addr limit) const;
 
   std::vector<std::unique_ptr<Region>> regions_;
   const AccessController* controller_ = nullptr;
-  std::vector<BusFault> faults_;
+  bool bulk_enabled_ = true;
+  std::vector<BusFault> fault_ring_;
+  std::size_t fault_capacity_ = kDefaultFaultCapacity;
+  std::size_t fault_next_ = 0;  // ring write position once full
+  std::uint64_t faults_total_ = 0;
+  std::uint64_t faults_dropped_ = 0;
 };
 
 }  // namespace ratt::hw

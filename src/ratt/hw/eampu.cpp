@@ -44,6 +44,29 @@ bool EaMpu::allows(const AccessContext& ctx, AccessType type,
   return !any_rule_covers;
 }
 
+AccessWindow EaMpu::allows_window(const AccessContext& ctx, AccessType type,
+                                  Addr addr, Addr limit) const {
+  // One pass: compute the verdict at `addr` and, simultaneously, the
+  // nearest rule boundary strictly above it. Within (addr, boundary) the
+  // covering-rule set — and therefore the verdict — cannot change.
+  bool any_rule_covers = false;
+  bool granted = false;
+  Addr end = limit;
+  for (const auto& r : rules_) {
+    if (!r.active || r.data.empty()) continue;
+    if (r.data.begin > addr && r.data.begin < end) end = r.data.begin;
+    if (r.data.end > addr && r.data.end < end) end = r.data.end;
+    if (!r.data.contains(addr)) continue;
+    any_rule_covers = true;
+    if (!r.code.contains(ctx.pc)) continue;
+    if ((type == AccessType::kRead && r.allow_read) ||
+        (type == AccessType::kWrite && r.allow_write)) {
+      granted = true;
+    }
+  }
+  return AccessWindow{granted || !any_rule_covers, end};
+}
+
 EaMpuConfigPort::EaMpuConfigPort(EaMpu& mpu)
     : mpu_(mpu),
       shadow_(kRulesOffset + kRuleStride * mpu.capacity(), 0) {}

@@ -64,6 +64,15 @@ class EaMpu final : public AccessController {
   bool allows(const AccessContext& ctx, AccessType type,
               Addr addr) const override;
 
+  /// Window form of the decision: the verdict can only change where the
+  /// set of covering rules changes, i.e. at a rule's data.begin or
+  /// data.end — so the verdict at `addr` extends to the nearest active
+  /// rule boundary above it (clamped to `limit`). One O(#rules) scan per
+  /// window instead of per byte; this is what makes bulk bus transfers
+  /// O(regions + rules) instead of O(bytes x rules).
+  AccessWindow allows_window(const AccessContext& ctx, AccessType type,
+                             Addr addr, Addr limit) const override;
+
   /// Whether any rule covers `addr` (i.e. the address is protected).
   bool covered(Addr addr) const;
 

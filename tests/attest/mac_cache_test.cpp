@@ -1,0 +1,109 @@
+// The trust anchor caches the MAC object (key schedule + HMAC
+// midstates) across requests, keyed on the key bytes it re-reads over
+// the bus every request. These tests pin the cache-invalidation
+// contract: an Adv_roam key overwrite must take effect on the very next
+// request — a stale cached schedule would keep answering under the old
+// key, masking the compromise.
+#include <gtest/gtest.h>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+#include "ratt/crypto/mac.hpp"
+
+namespace ratt::attest {
+namespace {
+
+using crypto::Bytes;
+
+ProverConfig writable_key_config() {
+  ProverConfig config;
+  config.scheme = FreshnessScheme::kCounter;
+  config.authenticate_requests = false;  // isolate the measurement MAC
+  config.protect_key = false;            // RAM key, no EA-MPU rule:
+  config.key_in_rom = false;             // overwritable by malware
+  config.measured_bytes = 1024;
+  return config;
+}
+
+// Expected measurement for `request` under `key`, over the verifier's
+// reference image.
+Bytes measurement_under(const Bytes& key, const AttestRequest& request,
+                        const Bytes& reference) {
+  const auto mac = crypto::make_mac(crypto::MacAlgorithm::kHmacSha1, key);
+  mac->init(16 + reference.size());
+  std::uint8_t head[16];
+  crypto::store_le64(head, request.challenge);
+  crypto::store_le64(head + 8, request.freshness);
+  mac->update(crypto::ByteView(head, 16));
+  mac->update(reference);
+  return mac->finish();
+}
+
+TEST(MacCacheTest, SteadyStateReusesCacheCorrectly) {
+  const Bytes key = crypto::from_string("k-attest-16bytes");
+  ProverDevice prover(writable_key_config(), key,
+                      crypto::from_string("app-seed"));
+  ASSERT_EQ(prover.boot_status(), hw::BootStatus::kOk);
+
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  vc.authenticate_requests = false;
+  Verifier verifier(key, vc, crypto::from_string("drbg-seed"));
+  verifier.set_reference_memory(prover.reference_memory());
+
+  // Many requests against the same key: every response must check out
+  // (the cached schedule is reused, never corrupted by finish()).
+  for (int i = 0; i < 5; ++i) {
+    const AttestRequest request = verifier.make_request();
+    const AttestOutcome outcome = prover.handle(request);
+    ASSERT_EQ(outcome.status, AttestStatus::kOk);
+    EXPECT_TRUE(verifier.check_response(request, outcome.response));
+  }
+}
+
+TEST(MacCacheTest, KeyOverwriteInvalidatesCachedMacImmediately) {
+  const Bytes key = crypto::from_string("k-attest-16bytes");
+  const Bytes evil_key = crypto::from_string("evil-key-16byte!");
+  ProverDevice prover(writable_key_config(), key,
+                      crypto::from_string("app-seed"));
+  ASSERT_EQ(prover.boot_status(), hw::BootStatus::kOk);
+
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  vc.authenticate_requests = false;
+  Verifier verifier(key, vc, crypto::from_string("drbg-seed"));
+  verifier.set_reference_memory(prover.reference_memory());
+  const Bytes reference = prover.reference_memory();
+
+  // Warm the cache under the provisioned key.
+  const AttestRequest warm = verifier.make_request();
+  const AttestOutcome warm_out = prover.handle(warm);
+  ASSERT_EQ(warm_out.status, AttestStatus::kOk);
+  ASSERT_TRUE(verifier.check_response(warm, warm_out.response));
+
+  // Phase II malware overwrites K_Attest in RAM (unprotected config).
+  hw::SoftwareComponent malware(prover.mcu(), "malware",
+                                prover.surface().malware_region);
+  ASSERT_EQ(malware.write_block(prover.surface().key_addr, evil_key),
+            hw::BusStatus::kOk);
+
+  // The very next response must MAC under the NEW key: the old-key
+  // verifier rejects it, and it matches the evil-key computation.
+  const AttestRequest request = verifier.make_request();
+  const AttestOutcome outcome = prover.handle(request);
+  ASSERT_EQ(outcome.status, AttestStatus::kOk);
+  EXPECT_FALSE(verifier.check_response(request, outcome.response));
+  EXPECT_EQ(outcome.response.measurement,
+            measurement_under(evil_key, request, reference));
+
+  // Restoring the key re-keys again on the next request.
+  ASSERT_EQ(malware.write_block(prover.surface().key_addr, key),
+            hw::BusStatus::kOk);
+  const AttestRequest after = verifier.make_request();
+  const AttestOutcome after_out = prover.handle(after);
+  ASSERT_EQ(after_out.status, AttestStatus::kOk);
+  EXPECT_TRUE(verifier.check_response(after, after_out.response));
+}
+
+}  // namespace
+}  // namespace ratt::attest

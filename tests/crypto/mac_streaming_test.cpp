@@ -1,0 +1,130 @@
+// Streaming (init/update/finish) MAC interface: every algorithm must
+// produce the same tag as the one-shot compute() regardless of how the
+// message is sliced into chunks, and the declared-length contract must
+// be enforced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ratt/crypto/drbg.hpp"
+#include "ratt/crypto/mac.hpp"
+
+namespace ratt::crypto {
+namespace {
+
+constexpr MacAlgorithm kAllAlgorithms[] = {
+    MacAlgorithm::kHmacSha1,   MacAlgorithm::kAesCbcMac,
+    MacAlgorithm::kSpeckCbcMac, MacAlgorithm::kAesCmac,
+    MacAlgorithm::kSpeckCmac,
+};
+
+Bytes test_key() { return from_hex("000102030405060708090a0b0c0d0e0f"); }
+
+Bytes test_message(std::size_t size) {
+  HmacDrbg drbg(from_string("mac-streaming-test"));
+  return drbg.generate(size);
+}
+
+class MacStreamingTest : public ::testing::TestWithParam<MacAlgorithm> {};
+
+TEST_P(MacStreamingTest, ChunkedEqualsOneShot) {
+  const auto mac = make_mac(GetParam(), test_key());
+  // Message sizes straddling block boundaries for both 8- and 16-byte
+  // block ciphers and SHA-1's 64-byte blocks.
+  for (const std::size_t size : {0u, 1u, 7u, 8u, 15u, 16u, 17u, 63u, 64u,
+                                 65u, 100u, 256u, 1000u}) {
+    const Bytes message = test_message(size);
+    const Bytes expected = mac->compute(message);
+    // Chunk sizes including 1, sub-block, exactly-block, and block+1.
+    for (const std::size_t chunk : {1u, 3u, 8u, 9u, 16u, 17u, 64u, 65u,
+                                    128u}) {
+      mac->init(size);
+      for (std::size_t off = 0; off < size;) {
+        const std::size_t n = std::min(chunk, size - off);
+        mac->update(ByteView(message.data() + off, n));
+        off += n;
+      }
+      EXPECT_EQ(mac->finish(), expected)
+          << to_string(GetParam()) << " size=" << size
+          << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST_P(MacStreamingTest, EmptyMessage) {
+  const auto mac = make_mac(GetParam(), test_key());
+  const Bytes expected = mac->compute({});
+  mac->init(0);
+  EXPECT_EQ(mac->finish(), expected);
+  // update() with an empty chunk is a no-op.
+  mac->init(0);
+  mac->update({});
+  EXPECT_EQ(mac->finish(), expected);
+}
+
+TEST_P(MacStreamingTest, ObjectIsReusableAfterFinish) {
+  const auto mac = make_mac(GetParam(), test_key());
+  const Bytes m1 = test_message(100);
+  const Bytes m2 = test_message(37);
+  const Bytes t1 = mac->compute(m1);
+  const Bytes t2 = mac->compute(m2);
+  // Interleaved one-shot and streaming computations on the same object.
+  EXPECT_EQ(mac->compute(m1), t1);
+  mac->init(m2.size());
+  mac->update(m2);
+  EXPECT_EQ(mac->finish(), t2);
+  EXPECT_EQ(mac->compute(m1), t1);
+}
+
+TEST_P(MacStreamingTest, InitAbandonsInFlightComputation) {
+  const auto mac = make_mac(GetParam(), test_key());
+  const Bytes message = test_message(64);
+  const Bytes expected = mac->compute(message);
+  mac->init(1000);
+  mac->update(test_message(500));
+  // Starting over mid-stream must not contaminate the next tag.
+  mac->init(message.size());
+  mac->update(message);
+  EXPECT_EQ(mac->finish(), expected);
+}
+
+TEST_P(MacStreamingTest, LengthMismatchThrows) {
+  const auto mac = make_mac(GetParam(), test_key());
+  const Bytes message = test_message(32);
+  // Streamed fewer bytes than declared.
+  mac->init(33);
+  mac->update(message);
+  EXPECT_THROW(mac->finish(), std::logic_error);
+  // Streamed more bytes than declared: update() itself refuses.
+  mac->init(31);
+  EXPECT_THROW(mac->update(message), std::logic_error);
+  // The refused stream still mismatches at finish()...
+  EXPECT_THROW(mac->finish(), std::logic_error);
+  // ...which abandons it, so a second finish() has no init() pending.
+  EXPECT_THROW(mac->finish(), std::logic_error);
+  // The object recovers fully.
+  EXPECT_EQ(mac->compute(message), mac->compute(message));
+}
+
+TEST_P(MacStreamingTest, VerifyMatchesCompute) {
+  const auto mac = make_mac(GetParam(), test_key());
+  const Bytes message = test_message(77);
+  Bytes tag = mac->compute(message);
+  EXPECT_TRUE(mac->verify(message, tag));
+  tag[0] ^= 0x01;
+  EXPECT_FALSE(mac->verify(message, tag));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MacStreamingTest,
+                         ::testing::ValuesIn(kAllAlgorithms),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-' || c == '/' || c == ' ') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ratt::crypto
