@@ -15,6 +15,7 @@
 #include "ratt/attest/verifier.hpp"
 #include "ratt/cost/cost.hpp"
 #include "ratt/obs/observer.hpp"
+#include "ratt/obs/prof/profile.hpp"
 
 namespace {
 
@@ -22,17 +23,24 @@ bool near(double a, double b, double tol) { return std::fabs(a - b) < tol; }
 
 struct ObsOverhead {
   double bare_ms = 0.0;
-  double observed_ms = 0.0;
-  double pct() const {
+  double observed_ms = 0.0;  // registry + trace ring
+  double profiled_ms = 0.0;  // registry + trace ring + phase profiler
+  double observed_pct() const {
     return bare_ms <= 0.0 ? 0.0
                           : 100.0 * (observed_ms - bare_ms) / bare_ms;
+  }
+  double profiled_pct() const {
+    return bare_ms <= 0.0 ? 0.0
+                          : 100.0 * (profiled_ms - bare_ms) / bare_ms;
   }
 };
 
 // Wall-clock cost of serving genuine requests with vs. without the
-// ratt::obs hooks. One bare and one observed prover run identical crypto
+// ratt::obs hooks: one bare prover, one with metrics + tracing, and one
+// additionally feeding the prof phase profiler (the full causal-tracing
+// configuration, round context included). All three run identical crypto
 // work in alternating small batches, so slow drift on a shared host
-// (frequency scaling, noisy neighbors) hits both sides equally.
+// (frequency scaling, noisy neighbors) hits every side equally.
 ObsOverhead instrumentation_overhead() {
   using namespace ratt;  // NOLINT
   using clock = std::chrono::steady_clock;
@@ -49,22 +57,39 @@ ObsOverhead instrumentation_overhead() {
   attest::ProverDevice watched(config, key,
                                crypto::from_string("overhead-app"));
   attest::Verifier watched_vrf(key, vc, crypto::from_string("overhead-vrf"));
+  attest::ProverDevice profiled(config, key,
+                                crypto::from_string("overhead-app"));
+  attest::Verifier profiled_vrf(key, vc,
+                                crypto::from_string("overhead-vrf"));
   obs::Registry registry;
   obs::RingRecorder ring(256);
   obs::Observer o;
   o.registry = &registry;
   o.sink = &ring;
   watched.set_observer(o);
+  obs::Registry prof_registry;
+  obs::RingRecorder prof_ring(256);
+  obs::prof::ShardProfile profile;
+  obs::Observer po;
+  po.registry = &prof_registry;
+  po.sink = &prof_ring;
+  po.profile = &profile;
+  profiled.set_observer(po);
 
   constexpr std::size_t kBatches = 40;
   constexpr std::size_t kBatchRequests = 50;
-  // Warm both paths once before timing.
+  // Warm all paths once before timing.
   for (std::size_t i = 0; i < kBatchRequests; ++i) {
     (void)bare.handle(bare_vrf.make_request());
     (void)watched.handle(watched_vrf.make_request());
+    (void)profiled.handle(profiled_vrf.make_request(),
+                          obs::RoundContext{obs::prof::make_round_id(0, i),
+                                            1});
   }
   std::vector<double> bare_ms(kBatches);
   std::vector<double> observed_ms(kBatches);
+  std::vector<double> profiled_ms(kBatches);
+  std::uint64_t seq = kBatchRequests;
   for (std::size_t b = 0; b < kBatches; ++b) {
     auto t0 = clock::now();
     for (std::size_t i = 0; i < kBatchRequests; ++i) {
@@ -75,21 +100,33 @@ ObsOverhead instrumentation_overhead() {
       (void)watched.handle(watched_vrf.make_request());
     }
     auto t2 = clock::now();
+    for (std::size_t i = 0; i < kBatchRequests; ++i) {
+      (void)profiled.handle(
+          profiled_vrf.make_request(),
+          obs::RoundContext{obs::prof::make_round_id(0, seq++), 1});
+    }
+    auto t3 = clock::now();
     bare_ms[b] = std::chrono::duration<double, std::milli>(t1 - t0).count();
     observed_ms[b] =
         std::chrono::duration<double, std::milli>(t2 - t1).count();
+    profiled_ms[b] =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
   }
-  // Each batch pair ran back to back, so taking the median of per-pair
+  // Each batch triple ran back to back, so taking the median of per-batch
   // ratios cancels host drift and resists stolen scheduler slices.
-  std::vector<double> ratio(kBatches);
+  std::vector<double> obs_ratio(kBatches);
+  std::vector<double> prof_ratio(kBatches);
   for (std::size_t b = 0; b < kBatches; ++b) {
-    ratio[b] = bare_ms[b] <= 0.0 ? 1.0 : observed_ms[b] / bare_ms[b];
+    obs_ratio[b] = bare_ms[b] <= 0.0 ? 1.0 : observed_ms[b] / bare_ms[b];
+    prof_ratio[b] = bare_ms[b] <= 0.0 ? 1.0 : profiled_ms[b] / bare_ms[b];
   }
-  std::sort(ratio.begin(), ratio.end());
+  std::sort(obs_ratio.begin(), obs_ratio.end());
+  std::sort(prof_ratio.begin(), prof_ratio.end());
   std::sort(bare_ms.begin(), bare_ms.end());
   ObsOverhead result;
   result.bare_ms = bare_ms[kBatches / 2] * static_cast<double>(kBatches);
-  result.observed_ms = result.bare_ms * ratio[kBatches / 2];
+  result.observed_ms = result.bare_ms * obs_ratio[kBatches / 2];
+  result.profiled_ms = result.bare_ms * prof_ratio[kBatches / 2];
   return result;
 }
 
@@ -166,9 +203,18 @@ int main() {
   const ObsOverhead obs = instrumentation_overhead();
   std::printf(
       "\n=== ratt::obs instrumentation overhead (host wall clock) ===\n\n"
-      "  bare prover: %.2f ms, observed prover: %.2f ms for 2000 genuine "
-      "requests\n  overhead: %+.2f%% %s\n",
-      obs.bare_ms, obs.observed_ms, obs.pct(),
-      obs.pct() < 5.0 ? "(< 5% budget)" : "(OVER 5% BUDGET)");
-  return all_match ? 0 : 1;
+      "  bare prover: %.2f ms for 2000 genuine requests\n"
+      "  %-28s %10s %10s\n", obs.bare_ms, "configuration", "ms",
+      "overhead");
+  std::printf("  %-28s %10.2f %+9.2f%% %s\n", "metrics + tracing",
+              obs.observed_ms, obs.observed_pct(),
+              obs.observed_pct() < 5.0 ? "(< 5% budget)"
+                                       : "(OVER 5% BUDGET)");
+  std::printf("  %-28s %10.2f %+9.2f%% %s\n",
+              "metrics + tracing + profiler", obs.profiled_ms,
+              obs.profiled_pct(),
+              obs.profiled_pct() < 5.0 ? "(< 5% budget)"
+                                       : "(OVER 5% BUDGET)");
+  const bool obs_ok = obs.observed_pct() < 5.0 && obs.profiled_pct() < 5.0;
+  return all_match && obs_ok ? 0 : 1;
 }

@@ -147,7 +147,12 @@ class ProverDevice {
 
   /// Process one request; simulated device time advances by the prover
   /// time the request consumed (so the clock moves with the workload).
-  AttestOutcome handle(const AttestRequest& request);
+  /// `round` is the causal context of the wire request (round id +
+  /// attempt) — it only feeds telemetry (trace round ids, per-phase
+  /// samples) and never changes device behavior; the default means "not
+  /// part of any tracked round" (floods, bare benches).
+  AttestOutcome handle(const AttestRequest& request,
+                       const obs::RoundContext& round = {});
 
   /// Let simulated wall-clock time pass (the device idles / does its
   /// primary task); clocks advance.
@@ -178,7 +183,10 @@ class ProverDevice {
  private:
   bool configure_protection(hw::Mcu& mcu);
   void observe_request(const AttestRequest& request,
-                       const AttestOutcome& outcome);
+                       const AttestOutcome& outcome,
+                       const obs::RoundContext& round);
+  void profile_request(const AttestOutcome& outcome,
+                       const obs::RoundContext& round);
 
   ProverConfig config_;
   timing::DeviceTimingModel timing_;

@@ -42,6 +42,17 @@ std::string to_string(AttestStatus status);
 inline constexpr std::size_t kAttestStatusCount =
     static_cast<std::size_t>(AttestStatus::kRateLimited) + 1;
 
+/// Per-phase decomposition of one invocation's device_ms. The fields sum
+/// to device_ms exactly (the profiler's partition invariant): phases are
+/// carved out of the same timing-model charges that build device_ms, not
+/// measured separately.
+struct PhaseMs {
+  double req_auth = 0.0;   // request-MAC verification (Sec. 4.1)
+  double freshness = 0.0;  // freshness policy (Sec. 4.2; free in Table 1)
+  double mem_mac = 0.0;    // MAC body over the measured memory bytes
+  double resp_mac = 0.0;   // MAC setup + header absorb + finalization
+};
+
 struct AttestOutcome {
   AttestStatus status = AttestStatus::kOk;
   FreshnessVerdict freshness = FreshnessVerdict::kAccept;
@@ -49,6 +60,8 @@ struct AttestOutcome {
   /// Prover time consumed by this invocation (device ms), incl. rejected
   /// requests' authentication cost.
   double device_ms = 0.0;
+  /// Where device_ms went (sums to device_ms).
+  PhaseMs phases;
 };
 
 class CodeAttest : public hw::SoftwareComponent {

@@ -12,6 +12,20 @@
 
 namespace ratt::obs {
 
+namespace prof {
+class ShardProfile;
+}  // namespace prof
+
+/// Causal context of the wire request being served: which logical round
+/// it belongs to (prof::make_round_id) and which attempt within that
+/// round. Flows verifier → session → prover so every TraceRecord and
+/// PhaseSample of one round carries the same id. Default = "no round"
+/// (injected floods, bare-prover benches).
+struct RoundContext {
+  std::uint64_t round_id = 0;
+  std::uint32_t attempt = 0;
+};
+
 /// Converts prover-side time into energy (the DoS currency's second
 /// axis). Defaults approximate a low-end MCU: ~0.3 mW/MHz active at
 /// 24 MHz, 3 uW sleep — the same reference point as timing::EnergyModel.
@@ -28,8 +42,12 @@ struct Observer {
   TraceSink* sink = nullptr;
   std::uint64_t device_id = 0;
   PowerModel power{};
+  /// Per-phase cost accumulator (shard-local, like the trace ring).
+  prof::ShardProfile* profile = nullptr;
 
-  bool enabled() const { return registry != nullptr || sink != nullptr; }
+  bool enabled() const {
+    return registry != nullptr || sink != nullptr || profile != nullptr;
+  }
 };
 
 }  // namespace ratt::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <map>
 #include <vector>
 
 namespace ratt::obs {
@@ -22,6 +23,7 @@ void append_u64(std::string& out, std::uint64_t v) {
 }
 
 void append_json_string(std::string& out, const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   out += '"';
   for (const char c : s) {
     switch (c) {
@@ -34,8 +36,26 @@ void append_json_string(std::string& out, const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -73,6 +93,16 @@ void append_metadata(std::string& out, std::uint64_t pid, int tid,
   out += "\"}}";
 }
 
+// 64-bit ids would lose precision as JS numbers past 2^53, so flow ids
+// and round args are emitted as hex strings.
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  buf[0] = '0';
+  buf[1] = 'x';
+  const auto res = std::to_chars(buf + 2, buf + sizeof(buf), v, 16);
+  out.append(buf, res.ptr);
+}
+
 void append_span(std::string& out, const TraceRecord& rec) {
   const double dur_ms = std::max(0.0, duration_ms(rec));
   const double start_ms = std::max(0.0, rec.sim_time_ms - dur_ms);
@@ -96,7 +126,35 @@ void append_span(std::string& out, const TraceRecord& rec) {
   append_double(out, rec.verifier_ms);
   out += ",\"energy_mj\":";
   append_double(out, rec.energy_mj);
+  if (rec.round_id != 0) {
+    out += ",\"round_id\":\"";
+    append_hex_u64(out, rec.round_id);
+    out += "\",\"attempt\":";
+    append_u64(out, rec.attempt);
+  }
   out += "}}";
+}
+
+// Flow event binding one span of a round to the next: ph "s" on the
+// round's first span, "t" on intermediate ones, "f" (bp "e": bind to the
+// enclosing slice) on the last. The viewer draws them as one connected
+// chain — a retransmit storm reads as a single causal thread.
+void append_flow(std::string& out, const TraceRecord& rec, char phase) {
+  const double dur_ms = std::max(0.0, duration_ms(rec));
+  const double start_ms = std::max(0.0, rec.sim_time_ms - dur_ms);
+  out += "{\"name\":\"round\",\"cat\":\"round\",\"ph\":\"";
+  out += phase;
+  out += "\",\"id\":\"";
+  append_hex_u64(out, rec.round_id);
+  out += '"';
+  if (phase == 'f') out += ",\"bp\":\"e\"";
+  out += ",\"ts\":";
+  append_double(out, start_ms * 1000.0);
+  out += ",\"pid\":";
+  append_u64(out, rec.device_id);
+  out += ",\"tid\":";
+  append_u64(out, static_cast<std::uint64_t>(tid_for(rec)));
+  out += "}";
 }
 
 void append_alert(std::string& out, const ts::AlertEvent& event) {
@@ -157,9 +215,26 @@ void write(std::ostream& out, std::span<const TraceRecord> records,
       emit(buf);
     }
   }
+  // Two passes over the records: count each round's spans first, so the
+  // emitter knows which span starts ("s"), continues ("t") and ends ("f")
+  // its round's flow chain. Rounds with a single span get no flow events
+  // (nothing to connect).
+  std::map<std::uint64_t, std::uint64_t> round_spans;
+  for (const auto& rec : records) {
+    if (rec.round_id != 0) ++round_spans[rec.round_id];
+  }
+  std::map<std::uint64_t, std::uint64_t> round_seen;
   for (const auto& rec : records) {
     buf.clear();
     append_span(buf, rec);
+    emit(buf);
+    if (rec.round_id == 0) continue;
+    const std::uint64_t total = round_spans[rec.round_id];
+    if (total < 2) continue;
+    const std::uint64_t seen = ++round_seen[rec.round_id];
+    const char phase = seen == 1 ? 's' : (seen == total ? 'f' : 't');
+    buf.clear();
+    append_flow(buf, rec, phase);
     emit(buf);
   }
   for (const auto& event : alerts) {

@@ -10,7 +10,14 @@
 //          4 alert markers
 //   ts   = span start in µs (sim_time_ms is the span *end*, so the start
 //          is end − duration); dur = prover/verifier time in µs
-//   args = outcome, bytes, prover_ms, verifier_ms, energy_mj
+//   args = outcome, bytes, prover_ms, verifier_ms, energy_mj, plus
+//          round_id (hex string — 64-bit ids overflow JS numbers) and
+//          attempt when the span belongs to a round
+//
+// Spans sharing a nonzero round_id are additionally linked by flow
+// events ("ph":"s"/"t"/"f", cat "round", hex-string id), so one logical
+// round — verifier send, every retry, the prover's handling, the close —
+// renders as a connected chain in the viewer.
 #pragma once
 
 #include <ostream>

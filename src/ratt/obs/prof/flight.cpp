@@ -1,0 +1,103 @@
+#include "ratt/obs/prof/flight.hpp"
+
+#include <algorithm>
+
+namespace ratt::obs::prof {
+
+FlightRecorder::FlightRecorder(FlightConfig config) : config_(config) {
+  ring_.resize(config_.pre == 0 ? 1 : config_.pre);
+}
+
+void FlightRecorder::record(const TraceRecord& rec) {
+  // Feed still-open post-windows first: the record arriving after the
+  // alert belongs to the post-window, not the (already frozen) pre-ring.
+  if (!open_.empty()) {
+    for (std::size_t i = 0; i < open_.size();) {
+      FlightDump& dump = dumps_[open_[i]];
+      dump.records.push_back(rec);
+      const std::size_t post = dump.records.size() - dump.pre_count;
+      if (post >= config_.post) {
+        open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  ring_[head_] = rec;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+void FlightRecorder::on_alert(const ts::AlertEvent& event) {
+  if (dumps_.size() >= config_.max_dumps) {
+    ++dumps_dropped_;
+    return;
+  }
+  FlightDump dump;
+  dump.alert = event;
+  dump.ring_evicted = total_ - size_;
+  dump.upstream_dropped =
+      upstream_ == nullptr ? 0 : upstream_->dropped_total();
+  dump.records.reserve(size_ + config_.post);
+  const std::size_t start = (size_ == ring_.size()) ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    dump.records.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  dump.pre_count = dump.records.size();
+  dumps_.push_back(std::move(dump));
+  if (config_.post > 0) {
+    open_.push_back(dumps_.size() - 1);
+  }
+}
+
+void FlightRecorder::finish() {
+  for (const std::size_t i : open_) {
+    dumps_[i].post_truncated = true;
+  }
+  open_.clear();
+}
+
+std::vector<FlightDump> merge_dumps(
+    std::vector<std::vector<FlightDump>> shards) {
+  std::vector<FlightDump> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  out.reserve(total);
+  for (auto& shard : shards) {
+    for (auto& dump : shard) out.push_back(std::move(dump));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightDump& a, const FlightDump& b) {
+                     if (a.alert.sim_time_ms != b.alert.sim_time_ms) {
+                       return a.alert.sim_time_ms < b.alert.sim_time_ms;
+                     }
+                     if (a.alert.device_id != b.alert.device_id) {
+                       return a.alert.device_id < b.alert.device_id;
+                     }
+                     if (a.alert.rule != b.alert.rule) {
+                       return a.alert.rule < b.alert.rule;
+                     }
+                     return a.alert.window_index < b.alert.window_index;
+                   });
+  return out;
+}
+
+void write_dump(std::ostream& out, const FlightDump& dump) {
+  out << "=== flight dump: " << ts::to_log_line(dump.alert) << '\n';
+  out << "window: pre=" << dump.pre_count << " post="
+      << (dump.records.size() - dump.pre_count)
+      << (dump.post_truncated ? " (post truncated)" : "")
+      << " upstream_dropped=" << dump.upstream_dropped
+      << (dump.complete() ? " [complete]" : " [INCOMPLETE]") << '\n';
+  for (std::size_t i = 0; i < dump.records.size(); ++i) {
+    out << (i < dump.pre_count ? "pre  " : "post ")
+        << to_jsonl(dump.records[i]) << '\n';
+  }
+}
+
+void write_dumps(std::ostream& out, std::span<const FlightDump> dumps) {
+  for (const auto& dump : dumps) write_dump(out, dump);
+}
+
+}  // namespace ratt::obs::prof

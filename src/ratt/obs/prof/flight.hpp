@@ -1,0 +1,101 @@
+// ratt::obs::prof — flight recorder: the DoS post-mortem the scoreboard
+// cannot produce. A bounded ring keeps the last `pre` TraceRecords; when
+// an obs::ts AlertEngine rule fires (wire its alert hook to on_alert),
+// the recorder freezes that pre-window and keeps capturing until `post`
+// more records arrived — one deterministic forensic dump per alert, with
+// drop accounting so the dump can state whether its window is complete.
+//
+// Deployment mirrors the per-shard trace rings: one FlightRecorder per
+// shard, placed UPSTREAM of the alert engine in the sink chain
+// (TeeSink(flight, engine)), so the record that closes the alerting
+// window is already in the ring when the hook fires. merge_dumps()
+// produces the canonical cross-shard order — same seed => byte-identical
+// dump file at any thread/shard count.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "ratt/obs/trace.hpp"
+#include "ratt/obs/ts/alert.hpp"
+
+namespace ratt::obs::prof {
+
+struct FlightConfig {
+  std::size_t pre = 64;        // records kept before the alert
+  std::size_t post = 64;       // records captured after the alert
+  std::size_t max_dumps = 16;  // overflow is counted, not stored
+};
+
+struct FlightDump {
+  ts::AlertEvent alert;
+  /// Pre-window (oldest first) followed by post-window, stream order.
+  std::vector<TraceRecord> records;
+  /// How many of `records` precede the alert (<= config.pre).
+  std::size_t pre_count = 0;
+  /// Records evicted from the flight ring before the freeze — nonzero
+  /// simply means the stream outgrew the pre-window (expected).
+  std::uint64_t ring_evicted = 0;
+  /// dropped_total() of the upstream sink chain at freeze time (see
+  /// set_upstream): nonzero means records never reached this recorder
+  /// and the window may have gaps.
+  std::uint64_t upstream_dropped = 0;
+  /// Post-window still filling when the run ended?
+  bool post_truncated = false;
+
+  /// The dump's window is complete: nothing was dropped on the way here
+  /// and the post-window filled up.
+  bool complete() const { return upstream_dropped == 0 && !post_truncated; }
+
+  friend bool operator==(const FlightDump&, const FlightDump&) = default;
+};
+
+class FlightRecorder : public TraceSink {
+ public:
+  explicit FlightRecorder(FlightConfig config = FlightConfig{});
+
+  void record(const TraceRecord& rec) override;
+
+  /// Freeze the pre-window for this alert and arm the post-window. Wire
+  /// as AlertEngine::set_alert_hook — fires for every rule evaluation
+  /// that crossed a threshold, even ones the engine's own bounded log
+  /// dropped.
+  void on_alert(const ts::AlertEvent& event);
+
+  /// A sink whose dropped_total() is consulted at freeze time (e.g. the
+  /// shard's RingRecorder when the flight recorder tees off it).
+  void set_upstream(const TraceSink* upstream) { upstream_ = upstream; }
+
+  /// Close still-filling post-windows (end of run); marks them truncated.
+  void finish();
+
+  const FlightConfig& config() const { return config_; }
+  std::span<const FlightDump> dumps() const { return dumps_; }
+  std::uint64_t dumps_dropped() const { return dumps_dropped_; }
+
+ private:
+  FlightConfig config_;
+  const TraceSink* upstream_ = nullptr;
+  std::vector<TraceRecord> ring_;  // last `pre` records
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<FlightDump> dumps_;
+  std::vector<std::size_t> open_;  // indices into dumps_ still filling
+  std::uint64_t dumps_dropped_ = 0;
+};
+
+/// Canonical cross-shard merge: dumps ordered by (alert time, device,
+/// rule, window) — deterministic at any shard plan, because each device's
+/// alerts all come from one shard.
+std::vector<FlightDump> merge_dumps(std::vector<std::vector<FlightDump>> shards);
+
+/// Deterministic text rendering: the alert log line, the window
+/// completeness verdict, then one trace JSONL line per record with a
+/// pre/post marker. Golden-file format (tests pin it).
+void write_dump(std::ostream& out, const FlightDump& dump);
+void write_dumps(std::ostream& out, std::span<const FlightDump> dumps);
+
+}  // namespace ratt::obs::prof

@@ -1,0 +1,164 @@
+#include "ratt/obs/prof/profile.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace ratt::obs::prof {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kReqAuth:
+      return "req_auth";
+    case Phase::kFreshness:
+      return "freshness";
+    case Phase::kMemMac:
+      return "mem_mac";
+    case Phase::kRespMac:
+      return "resp_mac";
+    case Phase::kNetWait:
+      return "net_wait";
+    case Phase::kRetryOverhead:
+      return "retry_overhead";
+    case Phase::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+Phase phase_from_string(std::string_view name) {
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    if (to_string(static_cast<Phase>(p)) == name) {
+      return static_cast<Phase>(p);
+    }
+  }
+  return static_cast<Phase>(kPhaseCount);
+}
+
+void ShardProfile::record(const PhaseSample& sample) {
+  if (last_slot_ == nullptr || last_device_ != sample.device_id) {
+    last_device_ = sample.device_id;
+    last_slot_ = &devices_[sample.device_id];
+  }
+  PhaseCost& cell = (*last_slot_)[static_cast<std::size_t>(sample.phase)];
+  cell.cycles += sample.cycles;
+  cell.energy_mj += sample.energy_mj;
+  cell.bus_bytes += sample.bus_bytes;
+  cell.mac_bytes += sample.mac_bytes;
+  ++cell.count;
+  ++samples_;
+}
+
+ProfileTable ProfileTable::merge(
+    std::span<const ShardProfile* const> shards) {
+  ProfileTable table;
+  for (const ShardProfile* shard : shards) {
+    if (shard == nullptr) continue;
+    for (const auto& [device, phases] : shard->devices()) {
+      DevicePhases& dst = table.devices_[device];
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        dst[p].add(phases[p]);
+      }
+    }
+  }
+  return table;
+}
+
+PhaseCost ProfileTable::total(Phase phase) const {
+  PhaseCost total;
+  for (const auto& [device, phases] : devices_) {
+    total.add(phases[static_cast<std::size_t>(phase)]);
+  }
+  return total;
+}
+
+std::uint64_t ProfileTable::total_cycles() const {
+  std::uint64_t cycles = 0;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    cycles += total(static_cast<Phase>(p)).cycles;
+  }
+  return cycles;
+}
+
+void ProfileTable::write_jsonl(std::ostream& out) const {
+  std::string line;
+  for (const auto& [device, phases] : devices_) {
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      const PhaseCost& cell = phases[p];
+      if (cell.count == 0) continue;
+      line.clear();
+      line += "{\"device_id\":";
+      append_u64(line, device);
+      line += ",\"phase\":\"";
+      line += to_string(static_cast<Phase>(p));
+      line += "\",\"count\":";
+      append_u64(line, cell.count);
+      line += ",\"cycles\":";
+      append_u64(line, cell.cycles);
+      line += ",\"energy_mj\":";
+      append_double(line, cell.energy_mj);
+      line += ",\"bus_bytes\":";
+      append_u64(line, cell.bus_bytes);
+      line += ",\"mac_bytes\":";
+      append_u64(line, cell.mac_bytes);
+      line += '}';
+      out << line << '\n';
+    }
+  }
+}
+
+void ProfileTable::write_report(std::ostream& out, double clock_hz) const {
+  const std::uint64_t all_cycles = total_cycles();
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  %-15s %10s %14s %12s %12s %12s %12s %7s\n",
+                "phase", "count", "cycles", "ms", "energy_mj", "bus_bytes",
+                "mac_bytes", "share");
+  out << buf;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const PhaseCost cell = total(static_cast<Phase>(p));
+    const double ms =
+        clock_hz > 0.0 ? 1000.0 * static_cast<double>(cell.cycles) / clock_hz
+                       : 0.0;
+    const double share =
+        all_cycles == 0 ? 0.0
+                        : 100.0 * static_cast<double>(cell.cycles) /
+                              static_cast<double>(all_cycles);
+    std::snprintf(buf, sizeof buf,
+                  "  %-15s %10llu %14llu %12.3f %12.4f %12llu %12llu %6.2f%%\n",
+                  std::string(to_string(static_cast<Phase>(p))).c_str(),
+                  static_cast<unsigned long long>(cell.count),
+                  static_cast<unsigned long long>(cell.cycles), ms,
+                  cell.energy_mj,
+                  static_cast<unsigned long long>(cell.bus_bytes),
+                  static_cast<unsigned long long>(cell.mac_bytes), share);
+    out << buf;
+  }
+  const PhaseCost other = total(Phase::kOther);
+  const double other_share =
+      all_cycles == 0 ? 0.0
+                      : 100.0 * static_cast<double>(other.cycles) /
+                            static_cast<double>(all_cycles);
+  std::snprintf(buf, sizeof buf,
+                "  coverage: %.2f%% of %llu total cycles attributed to named "
+                "phases (other %.2f%%)\n",
+                100.0 - other_share,
+                static_cast<unsigned long long>(all_cycles), other_share);
+  out << buf;
+}
+
+}  // namespace ratt::obs::prof

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "ratt/obs/metrics.hpp"
+
 namespace ratt::obs {
 
 namespace {
@@ -20,8 +22,10 @@ void append_u64(std::string& out, std::uint64_t v) {
 }
 
 // Labels are controlled vocabulary, but escape anyway so arbitrary
-// outcomes can't break the framing.
+// outcomes can't break the framing. Full RFC-8259 coverage: every control
+// character (< 0x20) must be escaped, not just newline.
 void append_json_string(std::string& out, const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   out += '"';
   for (const char c : s) {
     switch (c) {
@@ -34,9 +38,45 @@ void append_json_string(std::string& out, const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
+  }
+  out += '"';
+}
+
+// RFC-4180: quote a field whenever it holds a comma, a quote or a line
+// break; embedded quotes double. Plain labels pass through unquoted, so
+// existing goldens keep their byte-exact shape.
+void append_csv_field(std::string& out, const std::string& s) {
+  const bool needs_quoting =
+      s.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) {
+    out += s;
+    return;
+  }
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
   }
   out += '"';
 }
@@ -47,6 +87,9 @@ RingRecorder::RingRecorder(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity) {}
 
 void RingRecorder::record(const TraceRecord& rec) {
+  if (size_ == ring_.size() && dropped_counter_ != nullptr) {
+    dropped_counter_->inc();
+  }
   ring_[head_] = rec;
   head_ = (head_ + 1) % ring_.size();
   if (size_ < ring_.size()) ++size_;
@@ -107,6 +150,10 @@ std::string to_jsonl(const TraceRecord& rec) {
   append_u64(out, rec.bytes);
   out += ",\"energy_mj\":";
   append_double(out, rec.energy_mj);
+  out += ",\"round_id\":";
+  append_u64(out, rec.round_id);
+  out += ",\"attempt\":";
+  append_u64(out, rec.attempt);
   out += '}';
   return out;
 }
@@ -119,7 +166,7 @@ void write_jsonl(std::ostream& out, std::span<const TraceRecord> records) {
 
 void write_csv(std::ostream& out, std::span<const TraceRecord> records) {
   out << "sim_time_ms,device_id,kind,outcome,prover_ms,verifier_ms,bytes,"
-         "energy_mj\n";
+         "energy_mj,round_id,attempt\n";
   std::string line;
   for (const auto& rec : records) {
     line.clear();
@@ -127,9 +174,9 @@ void write_csv(std::ostream& out, std::span<const TraceRecord> records) {
     line += ',';
     append_u64(line, rec.device_id);
     line += ',';
-    line += rec.kind;
+    append_csv_field(line, rec.kind);
     line += ',';
-    line += rec.outcome;
+    append_csv_field(line, rec.outcome);
     line += ',';
     append_double(line, rec.prover_ms);
     line += ',';
@@ -138,6 +185,10 @@ void write_csv(std::ostream& out, std::span<const TraceRecord> records) {
     append_u64(line, rec.bytes);
     line += ',';
     append_double(line, rec.energy_mj);
+    line += ',';
+    append_u64(line, rec.round_id);
+    line += ',';
+    append_u64(line, rec.attempt);
     out << line << '\n';
   }
 }

@@ -14,6 +14,8 @@
 
 namespace ratt::obs {
 
+class Counter;
+
 /// One span/event. String fields are short labels (SSO-sized in practice);
 /// see docs/OBSERVABILITY.md for the kind/outcome vocabulary.
 struct TraceRecord {
@@ -25,6 +27,10 @@ struct TraceRecord {
   double verifier_ms = 0.0;     // modeled verifier-side time
   std::uint64_t bytes = 0;      // wire bytes that triggered the work
   double energy_mj = 0.0;       // prover energy, from the power model
+  std::uint64_t round_id = 0;   // causal round id (prof::make_round_id);
+                                // 0 = not part of any round
+  std::uint32_t attempt = 0;    // wire attempt within the round (1-based);
+                                // 0 = not attempt-scoped
 
   friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
 };
@@ -33,6 +39,11 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void record(const TraceRecord& rec) = 0;
+
+  /// Records this sink (or its downstream chain) has irrecoverably lost —
+  /// ring evictions, mostly. Flight-recorder dumps consult this to state
+  /// whether their window is complete.
+  virtual std::uint64_t dropped_total() const { return 0; }
 };
 
 /// Fixed-capacity ring recorder: the last `capacity` records survive;
@@ -46,6 +57,11 @@ class RingRecorder : public TraceSink {
   std::size_t capacity() const { return ring_.size(); }
   std::uint64_t total_recorded() const { return total_; }
   std::uint64_t dropped() const;
+  std::uint64_t dropped_total() const override { return dropped(); }
+
+  /// Optional metrics hook: inc()'d once per evicted record (the
+  /// "obs.trace.dropped" counter by convention).
+  void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
 
   /// Surviving records, oldest first.
   std::vector<TraceRecord> snapshot() const;
@@ -55,6 +71,7 @@ class RingRecorder : public TraceSink {
   std::size_t head_ = 0;     // next write slot
   std::size_t size_ = 0;     // live records
   std::uint64_t total_ = 0;  // ever recorded
+  Counter* dropped_counter_ = nullptr;
 };
 
 /// A sink that forwards to two others (e.g. a ring for post-processing
@@ -65,6 +82,11 @@ class TeeSink : public TraceSink {
   void record(const TraceRecord& rec) override {
     a_->record(rec);
     b_->record(rec);
+  }
+  /// Sum of both branches' losses: an upper bound on records a reader of
+  /// either branch may be missing.
+  std::uint64_t dropped_total() const override {
+    return a_->dropped_total() + b_->dropped_total();
   }
 
  private:

@@ -209,10 +209,6 @@ void AlertEngine::fire(std::uint64_t device_id, DeviceState& dev,
                        const WindowStats& window, const char* rule,
                        double observed, double threshold) {
   ++dev.alert_count;
-  if (alerts_.size() >= config_.max_alerts) {
-    ++dropped_;
-    return;
-  }
   AlertEvent event;
   event.sim_time_ms = window.start_ms + config_.window_ms;
   event.device_id = device_id;
@@ -220,6 +216,13 @@ void AlertEngine::fire(std::uint64_t device_id, DeviceState& dev,
   event.rule = rule;
   event.observed = observed;
   event.threshold = threshold;
+  // The hook sees every fired alert, even ones the bounded log below has
+  // no room for — flight recorders must not go blind when the log fills.
+  if (hook_) hook_(event);
+  if (alerts_.size() >= config_.max_alerts) {
+    ++dropped_;
+    return;
+  }
   alerts_.push_back(std::move(event));
 }
 

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -110,6 +111,13 @@ class AlertEngine : public TraceSink {
   std::span<const AlertEvent> alerts() const { return alerts_; }
   std::uint64_t alerts_dropped() const { return dropped_; }
 
+  /// Called synchronously for EVERY fired alert — including ones the
+  /// bounded alert log dropped — before fire() returns. Wire a
+  /// prof::FlightRecorder's on_alert here to freeze forensic windows.
+  void set_alert_hook(std::function<void(const AlertEvent&)> hook) {
+    hook_ = std::move(hook);
+  }
+
   /// First fired alert overall / for one device (nullptr if none) — the
   /// time-to-detect probe the DoS benches report.
   const AlertEvent* first_alert() const;
@@ -153,6 +161,7 @@ class AlertEngine : public TraceSink {
   std::vector<DeviceState> devices_;
   std::vector<AlertEvent> alerts_;
   std::uint64_t dropped_ = 0;
+  std::function<void(const AlertEvent&)> hook_;
 };
 
 }  // namespace ratt::obs::ts

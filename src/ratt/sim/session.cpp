@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ratt/obs/prof/profile.hpp"
+
 namespace ratt::sim {
 
 AttestationSession::AttestationSession(EventQueue& queue, Channel& channel,
@@ -54,7 +56,9 @@ void AttestationSession::cache_net_instruments() {
 void AttestationSession::observe_round(const char* outcome,
                                        double round_trip_ms,
                                        double verifier_ms,
-                                       std::size_t wire_bytes) {
+                                       std::size_t wire_bytes,
+                                       std::uint64_t round_id,
+                                       std::uint32_t attempt) {
   if (obs_.sink != nullptr) {
     obs::TraceRecord rec;
     rec.sim_time_ms = queue_->now_ms();
@@ -63,6 +67,8 @@ void AttestationSession::observe_round(const char* outcome,
     rec.outcome = outcome;
     rec.verifier_ms = verifier_ms;
     rec.bytes = wire_bytes;
+    rec.round_id = round_id;
+    rec.attempt = attempt;
     obs_.sink->record(rec);
   }
   if (obs_round_trip_ != nullptr && round_trip_ms >= 0.0) {
@@ -71,7 +77,9 @@ void AttestationSession::observe_round(const char* outcome,
 }
 
 void AttestationSession::observe_net(const char* kind, const char* outcome,
-                                     std::size_t wire_bytes) {
+                                     std::size_t wire_bytes,
+                                     std::uint64_t round_id,
+                                     std::uint32_t attempt) {
   if (obs_.sink == nullptr) return;
   obs::TraceRecord rec;
   rec.sim_time_ms = queue_->now_ms();
@@ -79,7 +87,33 @@ void AttestationSession::observe_net(const char* kind, const char* outcome,
   rec.kind = kind;
   rec.outcome = outcome;
   rec.bytes = wire_bytes;
+  rec.round_id = round_id;
+  rec.attempt = attempt;
   obs_.sink->record(rec);
+}
+
+std::uint64_t AttestationSession::reliable_round_id(
+    std::uint64_t rtx_round) const {
+  return obs::prof::make_round_id(obs_.device_id, rtx_round);
+}
+
+void AttestationSession::profile_net_wait(double round_trip_ms,
+                                          std::uint64_t round_id) {
+  if (obs_.profile == nullptr || round_trip_ms < 0.0) return;
+  // The whole round trip is wire + queueing time: prover compute never
+  // advances the simulation clock (it accrues on the device's own
+  // prover_time_ms_ ledger), so sim-time latency is what the verifier
+  // waited on the network. The device idles through it — energy accrues
+  // at sleep power.
+  const timing::DeviceTimingModel& tm = prover_->timing_model();
+  const double wait_ms = std::max(0.0, round_trip_ms);
+  obs::prof::PhaseSample sample;
+  sample.phase = obs::prof::Phase::kNetWait;
+  sample.device_id = obs_.device_id;
+  sample.round_id = round_id;
+  sample.cycles = tm.cycles(wait_ms);
+  sample.energy_mj = obs_.power.sleep_mj(wait_ms);
+  obs_.profile->record(sample);
 }
 
 double AttestationSession::verifier_check_ms() const {
@@ -126,10 +160,11 @@ void AttestationSession::enable_reliable(const net::RetryPolicy& policy,
              std::uint32_t attempts) {
         on_round_closed(round, outcome, attempts);
       },
-      [this](std::uint64_t /*round*/, std::uint32_t /*attempt*/) {
+      [this](std::uint64_t round, std::uint32_t attempt) {
         ++stats_.timeouts;
         if (obs_timeouts_ != nullptr) obs_timeouts_->inc();
-        observe_net("net.timeout", "expired", 0);
+        observe_net("net.timeout", "expired", 0, reliable_round_id(round),
+                    attempt);
       });
   cache_net_instruments();
 }
@@ -141,12 +176,14 @@ std::uint64_t AttestationSession::send_attempt(std::uint64_t round,
   // so the prover's freshness policy sees a legitimate new element
   // instead of a replayed one.
   const attest::AttestRequest request = verifier_->make_request();
-  pending_.push_back(Pending{request, queue_->now_ms(), round});
+  const std::uint64_t round_id = reliable_round_id(round);
+  pending_.push_back(
+      Pending{request, queue_->now_ms(), round, round_id, attempt});
   ++stats_.requests_sent;
   if (attempt > 1) {
     ++stats_.retransmits;
     if (obs_retransmits_ != nullptr) obs_retransmits_->inc();
-    observe_net("net.retry", "sent", request.wire_size());
+    observe_net("net.retry", "sent", request.wire_size(), round_id, attempt);
   }
   if (obs_pending_ != nullptr) {
     obs_pending_->set(static_cast<double>(pending_.size()));
@@ -157,7 +194,7 @@ std::uint64_t AttestationSession::send_attempt(std::uint64_t round,
 
 void AttestationSession::on_round_closed(std::uint64_t round,
                                          net::RoundOutcome outcome,
-                                         std::uint32_t /*attempts*/) {
+                                         std::uint32_t attempts) {
   // Superseded attempts of this round no longer await a response.
   const auto removed = std::erase_if(
       pending_, [&](const Pending& p) { return p.round == round; });
@@ -168,7 +205,8 @@ void AttestationSession::on_round_closed(std::uint64_t round,
     ++stats_.rounds_unreachable;
     if (obs_unreachable_ != nullptr) obs_unreachable_->inc();
     if (obs_rounds_missing_ != nullptr) obs_rounds_missing_->inc();
-    observe_round("unreachable", -1.0, 0.0, 0);
+    observe_round("unreachable", -1.0, 0.0, 0, reliable_round_id(round),
+                  attempts);
   }
 }
 
@@ -180,7 +218,9 @@ void AttestationSession::send_request() {
   }
   sync_prover_time();
   const attest::AttestRequest request = verifier_->make_request();
-  pending_.push_back(Pending{request, queue_->now_ms()});
+  Pending p{request, queue_->now_ms()};
+  p.round_id = obs::prof::make_round_id(obs_.device_id, round_seq_++);
+  pending_.push_back(std::move(p));
   ++stats_.requests_sent;
   if (obs_pending_ != nullptr) {
     obs_pending_->set(static_cast<double>(pending_.size()));
@@ -196,7 +236,21 @@ void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
     return;
   }
   ++stats_.requests_delivered;
-  const attest::AttestOutcome outcome = prover_->handle(*request);
+  // Recover the causal round of this delivery: the request we sent (and
+  // its round id / attempt) is still pending. A request the session never
+  // sent — injected flood traffic, corrupted frames that happen to parse
+  // — matches nothing and gets the "no round" context.
+  obs::RoundContext round;
+  if (obs_.enabled()) {
+    const auto pit = std::find_if(
+        pending_.begin(), pending_.end(),
+        [&](const Pending& p) { return p.request == *request; });
+    if (pit != pending_.end()) {
+      round.round_id = pit->round_id;
+      round.attempt = pit->attempt;
+    }
+  }
+  const attest::AttestOutcome outcome = prover_->handle(*request, round);
   prover_time_ms_ += outcome.device_ms;  // handle() advanced device time
   stats_.prover_attest_ms += outcome.device_ms;
   if (outcome.status != attest::AttestStatus::kOk) {
@@ -245,11 +299,14 @@ void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
   if (verifier_->check_response(it->request, *response)) {
     ++stats_.responses_valid;
     if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
-    observe_round("valid", round_trip_ms, verifier_ms, wire.size());
+    observe_round("valid", round_trip_ms, verifier_ms, wire.size(),
+                  it->round_id, it->attempt);
+    profile_net_wait(round_trip_ms, it->round_id);
   } else {
     ++stats_.responses_invalid;
     if (obs_rounds_invalid_ != nullptr) obs_rounds_invalid_->inc();
-    observe_round("invalid", round_trip_ms, verifier_ms, wire.size());
+    observe_round("invalid", round_trip_ms, verifier_ms, wire.size(),
+                  it->round_id, it->attempt);
   }
   pending_.erase(it);
   if (obs_pending_ != nullptr) {
@@ -265,7 +322,8 @@ void AttestationSession::on_reliable_response(
     // round's verdict must never change.
     ++stats_.duplicate_responses;
     if (obs_duplicates_ != nullptr) obs_duplicates_->inc();
-    observe_net("net.duplicate", "suppressed", wire_bytes);
+    observe_net("net.duplicate", "suppressed", wire_bytes,
+                reliable_round_id(hit.round));
     return;
   }
   if (hit.match == net::Retransmitter::Match::kUnknown) {
@@ -287,12 +345,16 @@ void AttestationSession::on_reliable_response(
   const attest::AttestRequest request = it->request;
   const double sent_ms = it->sent_ms;
   const std::uint64_t round = it->round;
+  const std::uint64_t round_id = it->round_id;
+  const std::uint32_t attempt = it->attempt;
   const double verifier_ms = obs_.enabled() ? verifier_check_ms() : 0.0;
   const double round_trip_ms = queue_->now_ms() - sent_ms;
   if (verifier_->check_response(request, response)) {
     ++stats_.responses_valid;
     if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
-    observe_round("valid", round_trip_ms, verifier_ms, wire_bytes);
+    observe_round("valid", round_trip_ms, verifier_ms, wire_bytes, round_id,
+                  attempt);
+    profile_net_wait(round_trip_ms, round_id);
     rtx_->close_valid(round);
   } else {
     // Bad MAC on an open round (e.g. corrupted in flight): discard this
@@ -300,7 +362,8 @@ void AttestationSession::on_reliable_response(
     // recover it.
     ++stats_.responses_invalid;
     if (obs_rounds_invalid_ != nullptr) obs_rounds_invalid_->inc();
-    observe_round("invalid", round_trip_ms, verifier_ms, wire_bytes);
+    observe_round("invalid", round_trip_ms, verifier_ms, wire_bytes,
+                  round_id, attempt);
     pending_.erase(it);
     if (obs_pending_ != nullptr) {
       obs_pending_->set(static_cast<double>(pending_.size()));
@@ -317,7 +380,7 @@ std::size_t AttestationSession::check_timeouts(double timeout_ms) {
       ++stats_.responses_missing;
       ++expired;
       if (obs_rounds_missing_ != nullptr) obs_rounds_missing_->inc();
-      observe_round("missing", -1.0, 0.0, 0);
+      observe_round("missing", -1.0, 0.0, 0, it->round_id, it->attempt);
       it = pending_.erase(it);
     } else {
       ++it;

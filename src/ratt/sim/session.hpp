@@ -106,11 +106,17 @@ class AttestationSession {
                        std::uint32_t attempts);
   void sync_prover_time();
   void observe_round(const char* outcome, double round_trip_ms,
-                     double verifier_ms, std::size_t wire_bytes);
+                     double verifier_ms, std::size_t wire_bytes,
+                     std::uint64_t round_id = 0, std::uint32_t attempt = 0);
   void observe_net(const char* kind, const char* outcome,
-                   std::size_t wire_bytes);
+                   std::size_t wire_bytes, std::uint64_t round_id = 0,
+                   std::uint32_t attempt = 0);
+  void profile_net_wait(double round_trip_ms, std::uint64_t round_id);
   void cache_net_instruments();
   double verifier_check_ms() const;
+  /// Causal id of a reliable-mode round: the Retransmitter's monotonic
+  /// per-session round number is the session_seq.
+  std::uint64_t reliable_round_id(std::uint64_t rtx_round) const;
 
   EventQueue* queue_;
   Channel* channel_;
@@ -123,10 +129,17 @@ class AttestationSession {
   struct Pending {
     attest::AttestRequest request;
     double sent_ms;
-    std::uint64_t round = 0;
+    std::uint64_t round = 0;     // Retransmitter round (reliable mode)
+    std::uint64_t round_id = 0;  // causal id (prof::make_round_id)
+    std::uint32_t attempt = 1;   // wire attempt within the round
   };
   std::vector<Pending> pending_;
   std::unique_ptr<net::Retransmitter> rtx_;
+  /// Plain-mode logical-round counter: the session_seq feeding
+  /// prof::make_round_id. Reliable mode uses the Retransmitter's round
+  /// number instead — both are per-session monotonic values, never a
+  /// global atomic, so sharded runs stay byte-identical.
+  std::uint64_t round_seq_ = 0;
 
   obs::Observer obs_{};
   obs::Histogram* obs_round_trip_ = nullptr;

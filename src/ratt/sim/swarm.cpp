@@ -114,7 +114,8 @@ EventQueue& Swarm::queue() {
 }
 
 void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
-                            obs::PowerModel power) {
+                            obs::PowerModel power,
+                            obs::prof::ShardProfile* profile) {
   for (auto& shard : shards_) shard->queue.set_observer(registry);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     obs::Observer o;
@@ -122,6 +123,7 @@ void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
     o.sink = sink;
     o.device_id = i;
     o.power = power;
+    o.profile = profile;
     devices_[i]->prover->set_observer(o);
     devices_[i]->verifier->set_observer(o);
     devices_[i]->session->set_observer(o);
@@ -133,6 +135,12 @@ void Swarm::attach_sharded_observer(obs::Registry* registry,
                                     obs::PowerModel power) {
   for (auto& shard : shards_) {
     shard->ring = std::make_unique<obs::RingRecorder>(ring_capacity);
+    if (registry != nullptr) {
+      // One shared eviction counter: Counter::inc is thread-safe, and the
+      // tally lets exports state whether the merged trace is complete.
+      shard->ring->set_dropped_counter(&registry->counter("obs.trace.dropped"));
+    }
+    shard->profile = std::make_unique<obs::prof::ShardProfile>();
     shard->queue.set_observer(registry);
   }
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -141,6 +149,7 @@ void Swarm::attach_sharded_observer(obs::Registry* registry,
     o.sink = shards_[devices_[i]->shard]->ring.get();
     o.device_id = i;
     o.power = power;
+    o.profile = shards_[devices_[i]->shard]->profile.get();
     devices_[i]->prover->set_observer(o);
     devices_[i]->verifier->set_observer(o);
     devices_[i]->session->set_observer(o);
@@ -154,6 +163,15 @@ std::vector<obs::TraceRecord> Swarm::merged_trace() const {
     if (shard->ring != nullptr) per_shard.push_back(shard->ring->snapshot());
   }
   return obs::merge_traces(std::move(per_shard));
+}
+
+obs::prof::ProfileTable Swarm::merged_profile() const {
+  std::vector<const obs::prof::ShardProfile*> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (shard->profile != nullptr) per_shard.push_back(shard->profile.get());
+  }
+  return obs::prof::ProfileTable::merge(per_shard);
 }
 
 void Swarm::schedule(double horizon_ms) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ratt/net/link.hpp"
+#include "ratt/obs/prof/profile.hpp"
 #include "ratt/sim/session.hpp"
 
 namespace ratt::sim {
@@ -121,15 +122,20 @@ class Swarm {
   /// every shard queue publishes its backlog gauges. Metrics aggregate
   /// fleet-wide; traces stay per-device via device_id. The single shared
   /// sink is NOT synchronized — use attach_sharded_observer() before
-  /// run_parallel() with more than one thread.
+  /// run_parallel() with more than one thread. `profile` — when set —
+  /// receives every device's per-phase samples (single-threaded runs
+  /// only; it is not synchronized either).
   void attach_observer(obs::Registry* registry, obs::TraceSink* sink,
-                       obs::PowerModel power = obs::PowerModel{});
+                       obs::PowerModel power = obs::PowerModel{},
+                       obs::prof::ShardProfile* profile = nullptr);
 
-  /// Sharded tracing for parallel runs: every shard records into its own
-  /// private RingRecorder (`ring_capacity` records each), so worker
-  /// threads never share a sink; the shared registry only needs its
-  /// thread-safe instruments. After a run, merged_trace() returns the
-  /// deterministic (sim_time, device_id)-ordered merge of all shards.
+  /// Sharded tracing + profiling for parallel runs: every shard records
+  /// into its own private RingRecorder (`ring_capacity` records each) and
+  /// its own prof::ShardProfile, so worker threads never share a sink or
+  /// accumulator; the shared registry only needs its thread-safe
+  /// instruments. Ring evictions feed the "obs.trace.dropped" counter.
+  /// After a run, merged_trace() / merged_profile() return deterministic
+  /// canonical merges of all shards.
   void attach_sharded_observer(obs::Registry* registry,
                                std::size_t ring_capacity = 1 << 16,
                                obs::PowerModel power = obs::PowerModel{});
@@ -137,6 +143,17 @@ class Swarm {
   /// Deterministic merge of the per-shard trace rings (empty when
   /// attach_sharded_observer was not used).
   std::vector<obs::TraceRecord> merged_trace() const;
+
+  /// Canonical merge of the per-shard phase profiles (empty table when
+  /// attach_sharded_observer was not used). Byte-identical JSONL for the
+  /// same seed at any thread/shard count.
+  obs::prof::ProfileTable merged_profile() const;
+
+  /// Shard s's trace ring (nullptr unless attach_sharded_observer) — for
+  /// flight-recorder style taps that need per-shard drop accounting.
+  const obs::RingRecorder* shard_ring(std::size_t s) const {
+    return shards_[s]->ring.get();
+  }
 
   /// Schedule periodic attestation for every device and drain every
   /// shard on the calling thread.
@@ -176,6 +193,7 @@ class Swarm {
     std::size_t begin = 0;  // device index range [begin, end)
     std::size_t end = 0;
     std::unique_ptr<obs::RingRecorder> ring;  // sharded-tracing mode
+    std::unique_ptr<obs::prof::ShardProfile> profile;  // sharded profiling
   };
 
   /// Drain every shard queue on up to `threads` workers; returns the

@@ -1,0 +1,235 @@
+// FlightRecorder: pre/post window capture around AlertEngine alerts,
+// eviction/drop accounting, bounded dump storage, the canonical
+// cross-shard merge order, and the golden dump text format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ratt/obs/prof/flight.hpp"
+#include "ratt/obs/trace.hpp"
+#include "ratt/obs/ts/alert.hpp"
+
+namespace ratt::obs::prof {
+namespace {
+
+TraceRecord rec(double t, std::uint64_t dev = 0, const char* kind = "e") {
+  TraceRecord r;
+  r.sim_time_ms = t;
+  r.device_id = dev;
+  r.kind = kind;
+  r.outcome = "ok";
+  return r;
+}
+
+ts::AlertEvent alert(double t, std::uint64_t dev = 0,
+                     const char* rule = "dos.rate_spike",
+                     std::uint64_t window = 0) {
+  ts::AlertEvent e;
+  e.sim_time_ms = t;
+  e.device_id = dev;
+  e.rule = rule;
+  e.window_index = window;
+  e.observed = 10.0;
+  e.threshold = 8.0;
+  return e;
+}
+
+TEST(FlightRecorder, FreezesPreWindowOldestFirst) {
+  FlightRecorder flight({/*pre=*/4, /*post=*/0, /*max_dumps=*/4});
+  for (int i = 0; i < 3; ++i) flight.record(rec(i));
+  flight.on_alert(alert(3.0));
+  ASSERT_EQ(flight.dumps().size(), 1u);
+  const FlightDump& dump = flight.dumps()[0];
+  ASSERT_EQ(dump.records.size(), 3u);
+  EXPECT_EQ(dump.pre_count, 3u);
+  EXPECT_DOUBLE_EQ(dump.records[0].sim_time_ms, 0.0);
+  EXPECT_DOUBLE_EQ(dump.records[2].sim_time_ms, 2.0);
+  EXPECT_EQ(dump.ring_evicted, 0u);
+  EXPECT_TRUE(dump.complete());
+}
+
+TEST(FlightRecorder, CountsRingEvictionWhenStreamOutgrowsPre) {
+  FlightRecorder flight({/*pre=*/2, /*post=*/0, /*max_dumps=*/4});
+  for (int i = 0; i < 7; ++i) flight.record(rec(i));
+  flight.on_alert(alert(7.0));
+  const FlightDump& dump = flight.dumps()[0];
+  ASSERT_EQ(dump.records.size(), 2u);
+  // Last two survive; the five before them were evicted (expected —
+  // eviction does not make the window incomplete).
+  EXPECT_DOUBLE_EQ(dump.records[0].sim_time_ms, 5.0);
+  EXPECT_DOUBLE_EQ(dump.records[1].sim_time_ms, 6.0);
+  EXPECT_EQ(dump.ring_evicted, 5u);
+  EXPECT_TRUE(dump.complete());
+}
+
+TEST(FlightRecorder, PostWindowCapturesUntilFull) {
+  FlightRecorder flight({/*pre=*/2, /*post=*/2, /*max_dumps=*/4});
+  flight.record(rec(0.0));
+  flight.on_alert(alert(1.0));
+  flight.record(rec(2.0));
+  flight.record(rec(3.0));
+  flight.record(rec(4.0));  // beyond the post-window — not captured
+  flight.finish();
+  const FlightDump& dump = flight.dumps()[0];
+  ASSERT_EQ(dump.records.size(), 3u);
+  EXPECT_EQ(dump.pre_count, 1u);
+  EXPECT_DOUBLE_EQ(dump.records[1].sim_time_ms, 2.0);
+  EXPECT_DOUBLE_EQ(dump.records[2].sim_time_ms, 3.0);
+  EXPECT_FALSE(dump.post_truncated);
+  EXPECT_TRUE(dump.complete());
+}
+
+TEST(FlightRecorder, FinishTruncatesFillingPostWindows) {
+  FlightRecorder flight({/*pre=*/2, /*post=*/8, /*max_dumps=*/4});
+  flight.record(rec(0.0));
+  flight.on_alert(alert(1.0));
+  flight.record(rec(2.0));
+  flight.finish();
+  const FlightDump& dump = flight.dumps()[0];
+  EXPECT_EQ(dump.records.size(), 2u);
+  EXPECT_TRUE(dump.post_truncated);
+  EXPECT_FALSE(dump.complete());
+}
+
+TEST(FlightRecorder, OverlappingAlertsEachGetAWindow) {
+  FlightRecorder flight({/*pre=*/2, /*post=*/3, /*max_dumps=*/4});
+  flight.record(rec(0.0));
+  flight.on_alert(alert(1.0));
+  flight.record(rec(2.0));
+  flight.on_alert(alert(3.0));  // fires while the first post-window fills
+  flight.record(rec(4.0));
+  flight.record(rec(5.0));
+  flight.record(rec(6.0));
+  flight.finish();
+  ASSERT_EQ(flight.dumps().size(), 2u);
+  // First dump: pre {0}, post {2, 4, 5} — full.
+  EXPECT_EQ(flight.dumps()[0].pre_count, 1u);
+  EXPECT_EQ(flight.dumps()[0].records.size(), 4u);
+  EXPECT_FALSE(flight.dumps()[0].post_truncated);
+  // Second dump: pre {0, 2}, post {4, 5, 6} — also full.
+  EXPECT_EQ(flight.dumps()[1].pre_count, 2u);
+  EXPECT_EQ(flight.dumps()[1].records.size(), 5u);
+  EXPECT_FALSE(flight.dumps()[1].post_truncated);
+}
+
+TEST(FlightRecorder, BoundsDumpStorage) {
+  FlightRecorder flight({/*pre=*/2, /*post=*/0, /*max_dumps=*/2});
+  for (int i = 0; i < 5; ++i) flight.on_alert(alert(i));
+  EXPECT_EQ(flight.dumps().size(), 2u);
+  EXPECT_EQ(flight.dumps_dropped(), 3u);
+}
+
+TEST(FlightRecorder, ReportsUpstreamDropsAtFreezeTime) {
+  RingRecorder upstream(2);
+  FlightRecorder flight({/*pre=*/8, /*post=*/0, /*max_dumps=*/4});
+  flight.set_upstream(&upstream);
+  // The upstream ring overflows by 3 before the alert.
+  for (int i = 0; i < 5; ++i) {
+    upstream.record(rec(i));
+    flight.record(rec(i));
+  }
+  flight.on_alert(alert(5.0));
+  const FlightDump& dump = flight.dumps()[0];
+  EXPECT_EQ(dump.upstream_dropped, 3u);
+  EXPECT_FALSE(dump.complete());
+}
+
+TEST(MergeDumps, CanonicalCrossShardOrder) {
+  auto dump_at = [](double t, std::uint64_t dev) {
+    FlightDump d;
+    d.alert = alert(t, dev);
+    return d;
+  };
+  // Shard 0 holds devices {0, 3}; shard 1 holds device 1 — alert times
+  // interleave across shards.
+  std::vector<std::vector<FlightDump>> shards(2);
+  shards[0].push_back(dump_at(500.0, 3));
+  shards[0].push_back(dump_at(1500.0, 0));
+  shards[1].push_back(dump_at(500.0, 1));
+  shards[1].push_back(dump_at(250.0, 1));
+  const auto merged = merge_dumps(std::move(shards));
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_DOUBLE_EQ(merged[0].alert.sim_time_ms, 250.0);
+  EXPECT_DOUBLE_EQ(merged[1].alert.sim_time_ms, 500.0);
+  EXPECT_EQ(merged[1].alert.device_id, 1u);  // ties break by device
+  EXPECT_EQ(merged[2].alert.device_id, 3u);
+  EXPECT_DOUBLE_EQ(merged[3].alert.sim_time_ms, 1500.0);
+}
+
+TEST(WriteDump, GoldenFormat) {
+  FlightRecorder flight({/*pre=*/2, /*post=*/1, /*max_dumps=*/4});
+  flight.record(rec(1.0, 3, "prover.handle"));
+  flight.on_alert(alert(1500.0, 3, "dos.rate_spike", 2));
+  flight.record(rec(2.0, 3, "prover.handle"));
+  flight.finish();
+  std::ostringstream out;
+  write_dumps(out, flight.dumps());
+  EXPECT_EQ(out.str(),
+            "=== flight dump: [t=1500ms] device 3 dos.rate_spike "
+            "observed=10 threshold=8 window=2\n"
+            "window: pre=1 post=1 upstream_dropped=0 [complete]\n"
+            "pre  {\"sim_time_ms\":1,\"device_id\":3,"
+            "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
+            "\"prover_ms\":0,\"verifier_ms\":0,\"bytes\":0,"
+            "\"energy_mj\":0,\"round_id\":0,\"attempt\":0}\n"
+            "post {\"sim_time_ms\":2,\"device_id\":3,"
+            "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
+            "\"prover_ms\":0,\"verifier_ms\":0,\"bytes\":0,"
+            "\"energy_mj\":0,\"round_id\":0,\"attempt\":0}\n");
+}
+
+// --- AlertEngine integration: the deployment shape the docs describe —
+// TeeSink(flight, engine) with the engine's hook wired to on_alert. ---
+
+TraceRecord reject(double t) {
+  TraceRecord r = rec(t, 0, "prover.handle");
+  r.outcome = "not-fresh";
+  r.prover_ms = 0.43;
+  r.energy_mj = 0.003;
+  return r;
+}
+
+TEST(FlightRecorder, CapturesWindowsAroundEngineAlerts) {
+  ts::AlertConfig config;
+  config.window_ms = 1000.0;
+  ts::AlertEngine engine(config);
+  FlightRecorder flight({/*pre=*/4, /*post=*/2, /*max_dumps=*/8});
+  engine.set_alert_hook(
+      [&flight](const ts::AlertEvent& e) { flight.on_alert(e); });
+  TeeSink tee(flight, engine);
+  // A reject storm: dos.reject_ratio fires when the first window closes.
+  for (int i = 0; i < 12; ++i) tee.record(reject(200.0 * i));
+  engine.finish(3000.0);
+  flight.finish();
+  ASSERT_GT(engine.alerts().size(), 0u);
+  ASSERT_GT(flight.dumps().size(), 0u);
+  const FlightDump& dump = flight.dumps()[0];
+  EXPECT_EQ(dump.alert, engine.alerts()[0]);
+  // The record whose arrival closed the window is already in the
+  // pre-ring (flight tees BEFORE the engine).
+  ASSERT_GT(dump.pre_count, 0u);
+  EXPECT_DOUBLE_EQ(dump.records[dump.pre_count - 1].sim_time_ms,
+                   engine.alerts()[0].sim_time_ms);
+}
+
+TEST(FlightRecorder, HookFiresEvenWhenAlertLogIsFull) {
+  ts::AlertConfig config;
+  config.window_ms = 1000.0;
+  config.max_alerts = 1;
+  ts::AlertEngine engine(config);
+  FlightRecorder flight({/*pre=*/2, /*post=*/0, /*max_dumps=*/64});
+  engine.set_alert_hook(
+      [&flight](const ts::AlertEvent& e) { flight.on_alert(e); });
+  TeeSink tee(flight, engine);
+  for (int i = 0; i < 40; ++i) tee.record(reject(100.0 * i));
+  engine.finish(10000.0);
+  flight.finish();
+  EXPECT_EQ(engine.alerts().size(), 1u);
+  EXPECT_GT(engine.alerts_dropped(), 0u);
+  // Every fired alert froze a window, log capacity notwithstanding.
+  EXPECT_EQ(flight.dumps().size(),
+            engine.alerts().size() + engine.alerts_dropped());
+}
+
+}  // namespace
+}  // namespace ratt::obs::prof

@@ -64,11 +64,14 @@ TEST(JsonlExport, GoldenRecord) {
   r.verifier_ms = 0.0;
   r.bytes = 38;
   r.energy_mj = 0.68112;
+  r.round_id = 0xdeadbeef;
+  r.attempt = 2;
   EXPECT_EQ(to_jsonl(r),
             "{\"sim_time_ms\":12.5,\"device_id\":3,"
             "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
             "\"prover_ms\":94.6,\"verifier_ms\":0,\"bytes\":38,"
-            "\"energy_mj\":0.68112}");
+            "\"energy_mj\":0.68112,\"round_id\":3735928559,"
+            "\"attempt\":2}");
 }
 
 TEST(JsonlExport, EscapesStrings) {
@@ -97,8 +100,111 @@ TEST(CsvExport, HeaderPlusRows) {
   write_csv(out, records);
   EXPECT_EQ(out.str(),
             "sim_time_ms,device_id,kind,outcome,prover_ms,verifier_ms,"
-            "bytes,energy_mj\n"
-            "1.5,2,k,ok,0,0,0,0\n");
+            "bytes,energy_mj,round_id,attempt\n"
+            "1.5,2,k,ok,0,0,0,0,0,0\n");
+}
+
+// --- Hostile-label escaping (exporter audit): commas, quotes,
+// backslashes, newlines and raw control bytes must never break the JSON
+// or CSV framing. ---
+
+TEST(JsonlExport, EscapesControlCharacters) {
+  TraceRecord r;
+  r.kind = "a\nb\rc\td";
+  // Built char-by-char: in a literal, "\x01f" would swallow the 'f' as a
+  // third hex digit.
+  r.outcome = std::string("e") + '\x01' + "f" + '\x1f' + "\b\f";
+  const std::string line = to_jsonl(r);
+  EXPECT_NE(line.find("\"a\\nb\\rc\\td\""), std::string::npos);
+  EXPECT_NE(line.find("\"e\\u0001f\\u001f\\b\\f\""), std::string::npos);
+  // No raw control byte survives into the line.
+  for (const char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(CsvExport, QuotesHostileLabels) {
+  std::ostringstream out;
+  std::vector<TraceRecord> records = {rec(1.0, 0, "k,ind", "out\"come")};
+  records.push_back(rec(2.0, 1, "multi\nline", "plain"));
+  write_csv(out, records);
+  const std::string text = out.str();
+  // RFC 4180: comma-bearing field quoted; embedded quote doubled;
+  // newline-bearing field quoted (the record then spans two text lines).
+  EXPECT_NE(text.find("\"k,ind\""), std::string::npos);
+  EXPECT_NE(text.find("\"out\"\"come\""), std::string::npos);
+  EXPECT_NE(text.find("\"multi\nline\""), std::string::npos);
+  // The hostile row still has exactly 9 unquoted commas (10 columns).
+  const std::string row = text.substr(text.find('\n') + 1);
+  const std::string first_row = row.substr(0, row.find('\n'));
+  int commas = 0;
+  bool quoted = false;
+  for (const char c : first_row) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++commas;
+  }
+  EXPECT_EQ(commas, 9);
+  EXPECT_NE(text.find("plain"), std::string::npos);
+}
+
+// Round-trip: parse the CSV back (RFC-4180 rules) and recover the exact
+// hostile labels.
+TEST(CsvExport, HostileLabelRoundTrip) {
+  std::ostringstream out;
+  const char* kind = "k,\"i\nnd\\";
+  const char* outcome = "o\rut,\"come";
+  write_csv(out, std::vector<TraceRecord>{rec(1.0, 7, kind, outcome)});
+  const std::string text = out.str();
+  const std::string body = text.substr(text.find('\n') + 1);
+  // Minimal RFC-4180 field scanner.
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < body.size() && body[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      break;
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  ASSERT_EQ(fields.size(), 10u);
+  EXPECT_EQ(fields[2], kind);
+  EXPECT_EQ(fields[3], outcome);
+}
+
+TEST(RingRecorder, ReportsDropsThroughSinkInterface) {
+  RingRecorder ring(2);
+  const TraceSink& sink = ring;
+  for (int i = 0; i < 5; ++i) ring.record(rec(i, 0, "e", "ok"));
+  EXPECT_EQ(sink.dropped_total(), 3u);
+}
+
+TEST(TeeSink, SumsBranchDrops) {
+  RingRecorder a(2);
+  RingRecorder b(8);
+  TeeSink tee(a, b);
+  for (int i = 0; i < 5; ++i) tee.record(rec(i, 0, "e", "ok"));
+  EXPECT_EQ(a.dropped_total(), 3u);
+  EXPECT_EQ(b.dropped_total(), 0u);
+  EXPECT_EQ(tee.dropped_total(), 3u);
 }
 
 }  // namespace
