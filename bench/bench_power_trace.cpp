@@ -1,0 +1,438 @@
+// Power-trace telemetry gates: envelope detection of MAC-passing tampers
+// and checkpointable battery depletion (DESIGN.md section 4g).
+//
+// Section 1 — witness gate. A clean sharded fleet runs with power
+// tracing attached; the witness learns each device's first two rounds,
+// freezes, and grades the rest. Gates: zero false positives on clean
+// rounds, >= 95% detection when every graded round is rewritten by the
+// two MAC-passing tampers (the Adv_roam restore exit and the skipped
+// measurement), and the AlertEngine raises power.envelope_violation on
+// the tampered verdict stream while staying silent on the clean one.
+//
+// Section 2 — depletion gate, once per freshness scheme. The fleet's
+// merged trace replays through a PowerMeter sized so the cells visibly
+// deplete; a checkpointed --segments=N replay (seams on report
+// boundaries) must reproduce the straight run's report stream byte for
+// byte, and the battery gauge stream must trip power.battery_depletion.
+//
+//   (no args)       run both sections; exit 1 if any gate fails.
+//   --threads=N     drain the sharded fleet on N workers.
+//   --horizon=MS    fleet horizon in sim ms (default 2000).
+//   --segments=N    checkpoint segments for the replay gate (default 4).
+//   --json=PATH     write the machine-readable BENCH_power.json.
+//   --report        print the counter-scheme battery report JSONL.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ratt/adv/adv_power.hpp"
+#include "ratt/obs/metrics.hpp"
+#include "ratt/obs/power/battery.hpp"
+#include "ratt/obs/power/witness.hpp"
+#include "ratt/obs/trace.hpp"
+#include "ratt/obs/ts/alert.hpp"
+#include "ratt/sim/swarm.hpp"
+#include "ratt/timing/timing.hpp"
+
+namespace {
+
+using namespace ratt;  // NOLINT
+namespace ts = ratt::obs::ts;
+
+constexpr std::size_t kDevices = 16;
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kMeasuredBytes = 16 * 1024;
+constexpr std::size_t kLearnRounds = 2;   // per device, then freeze
+constexpr double kDetectionGate = 95.0;   // % of tampered rounds flagged
+
+struct Options {
+  std::size_t threads = 1;
+  std::size_t segments = 4;
+  double horizon_ms = 2000.0;
+  std::string json_path;
+  bool report = false;
+};
+
+sim::SwarmConfig fleet_config(attest::FreshnessScheme scheme) {
+  sim::SwarmConfig config;
+  config.device_count = kDevices;
+  config.shard_count = kShards;
+  config.prover.scheme = scheme;
+  if (scheme == attest::FreshnessScheme::kTimestamp) {
+    config.prover.clock = attest::ClockDesign::kSwClock;
+    config.prover.timestamp_window_ticks = 24'000'000;  // 1 s at 24 MHz
+    config.prover.timestamp_skew_ticks = 70'000;
+  }
+  config.prover.authenticate_requests = true;
+  config.prover.measured_bytes = kMeasuredBytes;
+  config.attest_period_ms = 250.0;
+  config.stagger_ms = 7.0;
+  return config;
+}
+
+struct WitnessResult {
+  std::uint64_t rounds_graded = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t tampered_rounds = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t violation_alerts = 0;
+  std::uint64_t clean_alerts = 0;
+  double detection_pct() const {
+    return tampered_rounds == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(detections) /
+                     static_cast<double>(tampered_rounds);
+  }
+};
+
+/// Section 1: learn a clean envelope, then grade the clean rounds (FP
+/// count) and their tampered rewrites (detection count), and replay both
+/// verdict streams through the AlertEngine.
+WitnessResult run_witness(const Options& opt) {
+  sim::Swarm swarm(fleet_config(attest::FreshnessScheme::kCounter),
+                   crypto::from_string("bench-power-witness-seed"));
+  obs::Registry registry;
+  swarm.attach_sharded_observer(&registry);
+  swarm.attach_power();
+  (void)swarm.run_parallel(opt.horizon_ms, opt.threads);
+
+  obs::power::PowerWitness witness;
+  std::map<std::uint64_t, std::size_t> learned;
+  std::vector<obs::power::RoundTrace> graded;
+  for (const obs::power::RoundTrace& trace : swarm.merged_power_traces()) {
+    if (learned[trace.device_id] < kLearnRounds) {
+      witness.learn(trace);
+      ++learned[trace.device_id];
+    } else {
+      graded.push_back(trace);
+    }
+  }
+  witness.freeze();
+
+  WitnessResult result;
+  const timing::DeviceTimingModel timing;
+  obs::RingRecorder clean_verdicts(4096);
+  obs::RingRecorder tampered_verdicts(4096);
+  for (const obs::power::RoundTrace& trace : graded) {
+    if (!witness.grade_to(trace, clean_verdicts).empty()) {
+      ++result.false_positives;
+    }
+    ++result.rounds_graded;
+    for (const adv::PowerTamper tamper :
+         {adv::PowerTamper::kRoamRestore, adv::PowerTamper::kSkipMemMac}) {
+      const obs::power::RoundTrace tampered = adv::apply_power_tamper(
+          trace, tamper, timing, obs::PowerModel{}, kMeasuredBytes);
+      ++result.tampered_rounds;
+      if (!witness.grade_to(tampered, tampered_verdicts).empty()) {
+        ++result.detections;
+      }
+    }
+  }
+
+  ts::AlertConfig alert_config;
+  alert_config.window_ms = 500.0;
+  alert_config.device_count = kDevices;
+  ts::AlertEngine tampered_engine(alert_config);
+  tampered_engine.replay(tampered_verdicts.snapshot(),
+                         opt.horizon_ms + 1000.0);
+  for (const auto& alert : tampered_engine.alerts()) {
+    if (alert.rule == "power.envelope_violation") ++result.violation_alerts;
+  }
+  ts::AlertEngine clean_engine(alert_config);
+  clean_engine.replay(clean_verdicts.snapshot(), opt.horizon_ms + 1000.0);
+  result.clean_alerts = clean_engine.alerts().size();
+  return result;
+}
+
+struct DepletionResult {
+  double capacity_mj = 0.0;
+  double min_soc = 0.0;
+  std::uint64_t valid = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t depleted = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t depletion_alerts = 0;
+  bool checkpoint_match = false;
+};
+
+std::string reports_jsonl(const obs::RingRecorder& ring) {
+  std::ostringstream out;
+  obs::write_jsonl(out, ring.snapshot());
+  return out.str();
+}
+
+/// Section 2: replay one scheme's merged trace through a PowerMeter
+/// sized so the fleet visibly depletes, straight and in checkpointed
+/// segments with seams on report boundaries, and byte-compare.
+DepletionResult run_depletion(const Options& opt,
+                              attest::FreshnessScheme scheme,
+                              bool print_reports) {
+  sim::Swarm swarm(fleet_config(scheme),
+                   crypto::from_string("bench-power-battery-" +
+                                       attest::to_string(scheme)));
+  obs::Registry registry;
+  swarm.attach_sharded_observer(&registry);
+  const sim::SwarmReport report =
+      swarm.run_parallel(opt.horizon_ms, opt.threads);
+  const std::vector<obs::TraceRecord> merged = swarm.merged_trace();
+
+  // Size the cell at 80% of the mean per-device active energy, so most
+  // devices run their battery flat inside the horizon — deterministic
+  // for a fixed seed/horizon, and identical for both replays below.
+  double active_mj = 0.0;
+  for (const auto& rec : merged) {
+    if (rec.kind == "prover.handle") active_mj += rec.energy_mj;
+  }
+  obs::power::BatteryConfig battery;
+  battery.capacity_mj = 0.8 * active_mj / kDevices;
+  battery.report_period_ms = 250.0;
+  battery.burn_window_ms = 250.0;
+
+  // One report per device per period plus the finish() boundary; an
+  // undersized ring would evict the straight run's early reports while
+  // each segment's fresh ring keeps its own, faking a replay mismatch.
+  const std::size_t ring_capacity =
+      kDevices *
+      (static_cast<std::size_t>(opt.horizon_ms / battery.report_period_ms) +
+       2);
+
+  obs::power::PowerMeter straight(battery);
+  obs::RingRecorder straight_ring(ring_capacity);
+  straight.set_sink(&straight_ring);
+  for (const auto& rec : merged) straight.record(rec);
+  straight.finish(opt.horizon_ms);
+
+  // Segmented replay: seams snapped to report boundaries, state carried
+  // across segments as checkpoint text.
+  std::string segmented;
+  std::stringstream carry;
+  double prev_seam = 0.0;
+  bool restore_ok = true;
+  for (std::size_t s = 0; s < opt.segments; ++s) {
+    double seam = opt.horizon_ms * static_cast<double>(s + 1) /
+                  static_cast<double>(opt.segments);
+    if (s + 1 < opt.segments) {
+      seam = static_cast<double>(
+                 static_cast<std::uint64_t>(seam / battery.report_period_ms)) *
+             battery.report_period_ms;
+    } else {
+      seam = opt.horizon_ms;
+    }
+    obs::power::PowerMeter meter(battery);
+    if (s > 0 && !meter.restore(carry)) restore_ok = false;
+    obs::RingRecorder ring(ring_capacity);
+    meter.set_sink(&ring);
+    for (const auto& rec : merged) {
+      if (rec.sim_time_ms > prev_seam && rec.sim_time_ms <= seam) {
+        meter.record(rec);
+      }
+    }
+    meter.finish(seam);
+    carry.str(std::string());
+    carry.clear();
+    meter.checkpoint(carry);
+    segmented += reports_jsonl(ring);
+    prev_seam = seam;
+  }
+
+  DepletionResult result;
+  result.capacity_mj = battery.capacity_mj;
+  result.valid = report.total_valid();
+  result.sent = report.total_sent();
+  result.min_soc = straight.min_soc();
+  result.depleted = straight.depleted_count();
+  result.reports = straight.reports_emitted();
+  result.checkpoint_match =
+      restore_ok && segmented == reports_jsonl(straight_ring);
+
+  ts::AlertConfig alert_config;
+  alert_config.window_ms = 500.0;
+  alert_config.device_count = kDevices;
+  ts::AlertEngine engine(alert_config);
+  engine.replay(straight_ring.snapshot(), opt.horizon_ms + 1000.0);
+  for (const auto& alert : engine.alerts()) {
+    if (alert.rule == "power.battery_depletion") ++result.depletion_alerts;
+  }
+
+  if (print_reports) {
+    std::fputs(reports_jsonl(straight_ring).c_str(), stdout);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opt.threads =
+          static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
+      continue;
+    }
+    if (std::strncmp(arg, "--horizon=", 10) == 0) {
+      opt.horizon_ms = std::strtod(arg + 10, nullptr);
+      continue;
+    }
+    if (std::strncmp(arg, "--segments=", 11) == 0) {
+      opt.segments =
+          static_cast<std::size_t>(std::strtoull(arg + 11, nullptr, 10));
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json_path = arg + 7;
+      continue;
+    }
+    if (std::strcmp(arg, "--report") == 0) {
+      opt.report = true;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--threads=N] [--horizon=MS] [--segments=N] "
+                 "[--json=BENCH_power.json] [--report]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (opt.threads == 0 || opt.segments == 0 || opt.horizon_ms <= 0.0) {
+    std::fprintf(stderr,
+                 "--threads/--segments must be nonzero, --horizon > 0\n");
+    return 2;
+  }
+
+  int rc = 0;
+  std::printf(
+      "=== power witness gate: %zu devices, %zu shards, %.0f ms ===\n\n",
+      kDevices, kShards, opt.horizon_ms);
+  const WitnessResult witness = run_witness(opt);
+  std::printf("  clean rounds graded:   %llu (false positives: %llu)\n",
+              static_cast<unsigned long long>(witness.rounds_graded),
+              static_cast<unsigned long long>(witness.false_positives));
+  std::printf("  tampered rounds:       %llu (detected: %llu = %.2f%%)\n",
+              static_cast<unsigned long long>(witness.tampered_rounds),
+              static_cast<unsigned long long>(witness.detections),
+              witness.detection_pct());
+  std::printf("  envelope alerts:       %llu tampered, %llu clean\n",
+              static_cast<unsigned long long>(witness.violation_alerts),
+              static_cast<unsigned long long>(witness.clean_alerts));
+  if (witness.rounds_graded == 0) {
+    std::fprintf(stderr, "GATE: the fleet graded no rounds\n");
+    rc = 1;
+  }
+  if (witness.false_positives != 0) {
+    std::fprintf(stderr, "GATE: %llu clean rounds flagged (want 0)\n",
+                 static_cast<unsigned long long>(witness.false_positives));
+    rc = 1;
+  }
+  if (witness.detection_pct() < kDetectionGate) {
+    std::fprintf(stderr, "GATE: detection %.2f%% < %.0f%%\n",
+                 witness.detection_pct(), kDetectionGate);
+    rc = 1;
+  }
+  if (witness.violation_alerts == 0 || witness.clean_alerts != 0) {
+    std::fprintf(stderr,
+                 "GATE: alert replay (tampered %llu, want >0; clean %llu, "
+                 "want 0)\n",
+                 static_cast<unsigned long long>(witness.violation_alerts),
+                 static_cast<unsigned long long>(witness.clean_alerts));
+    rc = 1;
+  }
+
+  std::printf("\n=== battery depletion gate: %zu-segment checkpointed "
+              "replay ===\n\n", opt.segments);
+  std::printf("  %-10s %12s %11s %8s %9s %8s %7s %6s\n", "scheme",
+              "capacity mJ", "valid/sent", "min SoC", "depleted", "reports",
+              "alerts", "match");
+  std::map<std::string, DepletionResult> depletion;
+  for (const attest::FreshnessScheme scheme :
+       {attest::FreshnessScheme::kNonce, attest::FreshnessScheme::kCounter,
+        attest::FreshnessScheme::kTimestamp}) {
+    const std::string name = attest::to_string(scheme);
+    const DepletionResult result = run_depletion(
+        opt, scheme,
+        opt.report && scheme == attest::FreshnessScheme::kCounter);
+    depletion[name] = result;
+    std::printf("  %-10s %12.4f %5llu/%-5llu %8.4f %9llu %8llu %7llu %6s\n",
+                name.c_str(), result.capacity_mj,
+                static_cast<unsigned long long>(result.valid),
+                static_cast<unsigned long long>(result.sent),
+                result.min_soc,
+                static_cast<unsigned long long>(result.depleted),
+                static_cast<unsigned long long>(result.reports),
+                static_cast<unsigned long long>(result.depletion_alerts),
+                result.checkpoint_match ? "ok" : "FAIL");
+    if (!result.checkpoint_match) {
+      std::fprintf(stderr,
+                   "GATE: %s segmented replay diverged from the straight "
+                   "run\n", name.c_str());
+      rc = 1;
+    }
+    if (result.depletion_alerts == 0) {
+      std::fprintf(stderr, "GATE: %s raised no power.battery_depletion\n",
+                   name.c_str());
+      rc = 1;
+    }
+    if (result.valid == 0 || result.valid * 2 < result.sent) {
+      std::fprintf(stderr,
+                   "GATE: %s fleet mostly rejecting (%llu/%llu valid) — "
+                   "the depletion numbers would be meaningless\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(result.valid),
+                   static_cast<unsigned long long>(result.sent));
+      rc = 1;
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path, std::ios::binary);
+    if (!json) {
+      std::fprintf(stderr, "cannot open json file: %s\n",
+                   opt.json_path.c_str());
+      return 2;
+    }
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"bench_power_trace\",\n";
+    out << "  \"devices\": " << kDevices << ",\n";
+    out << "  \"shards\": " << kShards << ",\n";
+    out << "  \"horizon_ms\": " << opt.horizon_ms << ",\n";
+    out << "  \"segments\": " << opt.segments << ",\n";
+    out << "  \"witness\": {\n";
+    out << "    \"rounds_graded\": " << witness.rounds_graded << ",\n";
+    out << "    \"false_positives\": " << witness.false_positives << ",\n";
+    out << "    \"tampered_rounds\": " << witness.tampered_rounds << ",\n";
+    out << "    \"detections\": " << witness.detections << ",\n";
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.2f", witness.detection_pct());
+    out << "    \"detection_pct\": " << pct << ",\n";
+    out << "    \"violation_alerts\": " << witness.violation_alerts << "\n";
+    out << "  },\n  \"battery\": {\n";
+    std::size_t i = 0;
+    for (const auto& [name, result] : depletion) {
+      char capacity[32];
+      char min_soc[32];
+      std::snprintf(capacity, sizeof(capacity), "%.6f", result.capacity_mj);
+      std::snprintf(min_soc, sizeof(min_soc), "%.6f", result.min_soc);
+      out << "    \"" << name << "\": {\"capacity_mj\": " << capacity
+          << ", \"min_soc\": " << min_soc
+          << ", \"valid\": " << result.valid
+          << ", \"sent\": " << result.sent
+          << ", \"depleted\": " << result.depleted
+          << ", \"reports\": " << result.reports
+          << ", \"depletion_alerts\": " << result.depletion_alerts
+          << ", \"checkpoint_match\": "
+          << (result.checkpoint_match ? "true" : "false") << "}"
+          << (++i < depletion.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    json << out.str();
+  }
+
+  std::printf("\n  %s\n", rc == 0 ? "all power gates passed" :
+                                    "POWER GATE FAILURE");
+  return rc;
+}

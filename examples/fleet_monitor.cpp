@@ -3,9 +3,12 @@
 // upgraded into a live terminal dashboard on the ratt::obs::ts analytics
 // plane: the swarm runs in 500 ms slices and every frame prints rolling
 // request rates (windowed + EWMA), streaming p50/p95/p99 of prover time
-// and energy, and the DoS alerts that fired — then the final health table
-// folds those alerts into the per-device verdicts, so the replay-flooded
-// device is flagged by its own metrics, not just by session statistics.
+// and energy, the fleet's battery state (min SoC + peak burn off a
+// ratt::obs::power::PowerMeter in the same tee chain), and the alerts
+// that fired — then the final health table folds those alerts into the
+// per-device verdicts, so the replay-flooded device is flagged by its
+// own metrics (including the battery it burned), not just by session
+// statistics.
 //
 //   build/examples/fleet_monitor                      live 8-device demo
 //   build/examples/fleet_monitor --devices=256 --threads=8
@@ -16,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "ratt/obs/power/battery.hpp"
 #include "ratt/obs/scoreboard.hpp"
 #include "ratt/obs/trace.hpp"
 #include "ratt/obs/ts/alert.hpp"
@@ -29,6 +33,16 @@ using namespace ratt;  // NOLINT
 
 constexpr double kHorizonMs = 3000.0;
 constexpr double kFrameMs = 500.0;
+
+// A deliberately tiny demo cell — a few attestation rounds of budget —
+// so the SoC gauge visibly drains inside the 3 s horizon.
+obs::power::BatteryConfig demo_battery() {
+  obs::power::BatteryConfig battery;
+  battery.capacity_mj = 1.2;
+  battery.report_period_ms = kFrameMs;
+  battery.burn_window_ms = kFrameMs;
+  return battery;
+}
 
 // Fleet-wide rolling statistics fed straight off the trace stream.
 struct DashboardSink : obs::TraceSink {
@@ -85,6 +99,19 @@ int run_fleet_scale(std::size_t devices, std::size_t threads) {
   const auto verdicts =
       sim::assess_fleet(report, merged, alert_config);
 
+  // Battery replay: the same merged trace drains per-device demo cells,
+  // and the gauge stream feeds a second alert pass for depletion.
+  obs::power::PowerMeter battery(demo_battery());
+  obs::ts::AlertEngine battery_alerts(alert_config);
+  battery.set_sink(&battery_alerts);
+  for (const auto& rec : merged) battery.record(rec);
+  battery.finish(kHorizonMs);
+  battery_alerts.finish(kHorizonMs + kFrameMs);
+  std::size_t depletion_alerts = 0;
+  for (const auto& alert : battery_alerts.alerts()) {
+    if (alert.rule == "power.battery_depletion") ++depletion_alerts;
+  }
+
   std::printf("=== fleet-scale monitor: %zu devices, %zu shards ===\n\n",
               devices, swarm.shard_count());
   std::printf("  horizon:          %.0f ms\n", kHorizonMs);
@@ -93,6 +120,11 @@ int run_fleet_scale(std::size_t devices, std::size_t threads) {
               static_cast<unsigned long long>(report.total_sent()));
   std::printf("  trace records:    %zu (merged across shards)\n",
               merged.size());
+  std::printf("  battery (%.1f mJ): min SoC %.2f, depleted %zu/%zu, "
+              "%llu depletion alerts\n",
+              battery.config().capacity_mj, battery.min_soc(),
+              battery.depleted_count(), battery.devices(),
+              static_cast<unsigned long long>(depletion_alerts));
 
   std::size_t healthy = 0;
   for (const auto& v : verdicts) {
@@ -151,10 +183,15 @@ int main(int argc, char** argv) {
   alert_config.device_count = config.device_count;
   obs::ts::AlertEngine alerts(alert_config);
   DashboardSink dash;
-  // One trace stream, three consumers: ring (post-mortem), alert engine
-  // (online detection), dashboard rollups (the live view).
+  // One trace stream, four consumers: ring (post-mortem), alert engine
+  // (online detection), dashboard rollups (the live view), and the
+  // battery meter — whose SoC gauges feed back into the alert engine so
+  // depletion shows up in the same live alert column.
+  obs::power::PowerMeter battery(demo_battery());
+  battery.set_sink(&alerts);
   obs::TeeSink analytics(alerts, dash);
-  obs::TeeSink sink(ring, analytics);
+  obs::TeeSink power_chain(analytics, battery);
+  obs::TeeSink sink(ring, power_chain);
   swarm.attach_observer(&registry, &sink);
 
   // An adversary taps device 3's link (drops half its requests) and
@@ -189,13 +226,18 @@ int main(int argc, char** argv) {
   // --- Live dashboard: run the fleet one frame at a time. -------------
   std::printf(
       "=== live fleet dashboard (%.0f ms frames, %.0f ms horizon) ===\n\n"
-      "  %-9s %-6s %-10s %-9s %-22s %-20s %s\n", kFrameMs, kHorizonMs,
+      "  %-9s %-6s %-10s %-9s %-22s %-20s %-15s %s\n", kFrameMs, kHorizonMs,
       "frame", "reqs", "rate(/s)", "ewma(/s)", "prover p50/p95/p99 ms",
-      "energy p95/p99 mJ", "alerts");
+      "energy p95/p99 mJ", "SoC min/burn mW", "alerts");
   swarm.schedule(kHorizonMs);
   std::size_t alerts_printed = 0;
   for (double now = kFrameMs; now <= kHorizonMs; now += kFrameMs) {
     swarm.run_until(now);
+    battery.finish(now);  // close the frame's gauge boundary
+    double peak_burn = 0.0;
+    for (std::size_t d = 0; d < config.device_count; ++d) {
+      peak_burn = std::max(peak_burn, battery.burn_mw(d));
+    }
     dash.requests.advance_to(now);
     // The frame that just closed is the window ending at `now`.
     const auto target =
@@ -206,19 +248,21 @@ int main(int argc, char** argv) {
     }
     const auto fired = alerts.alerts();
     std::printf("  %5.0f ms  %-6llu %-10.1f %-9.1f %5.1f/%5.1f/%5.1f"
-                "           %.3f/%.3f          %llu\n",
+                "           %.3f/%.3f          %4.2f/%-7.2f     %llu\n",
                 now, static_cast<unsigned long long>(frame.count),
                 frame.rate_per_s(kFrameMs), dash.rate.rate_per_s(now),
                 dash.prover_ms.p50(), dash.prover_ms.p95(),
                 dash.prover_ms.p99(), dash.energy_mj.p95(),
-                dash.energy_mj.p99(),
+                dash.energy_mj.p99(), battery.min_soc(), peak_burn,
                 static_cast<unsigned long long>(fired.size()));
     for (; alerts_printed < fired.size(); ++alerts_printed) {
       std::printf("           ! %s\n",
                   obs::ts::to_log_line(fired[alerts_printed]).c_str());
     }
   }
-  alerts.finish(kHorizonMs);
+  // One frame past the horizon so the final battery gauges' window
+  // closes and a depleted cell can still raise its alert.
+  alerts.finish(kHorizonMs + kFrameMs);
   for (const auto fired = alerts.alerts(); alerts_printed < fired.size();
        ++alerts_printed) {
     std::printf("           ! %s\n",
@@ -229,9 +273,10 @@ int main(int argc, char** argv) {
   const auto verdicts = sim::assess_fleet(report, alerts.alerts());
 
   std::printf("\n=== fleet attestation report (3 s horizon) ===\n\n");
-  std::printf("  %-8s %-8s %-8s %-9s %-14s %-11s %-7s %-7s %-12s\n",
+  std::printf("  %-8s %-8s %-8s %-9s %-14s %-11s %-7s %-5s %-8s %-7s "
+              "%-12s\n",
               "device", "sent", "valid", "invalid", "rej(nf/mac/rl)",
-              "attest-ms", "duty%", "alerts", "health");
+              "attest-ms", "duty%", "SoC", "burn-mW", "alerts", "health");
   for (const auto& d : report.devices) {
     char rejects[32];
     std::snprintf(rejects, sizeof(rejects), "%llu/%llu/%llu",
@@ -240,12 +285,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       d.stats.rejects_rate_limited));
     std::printf(
-        "  %-8zu %-8llu %-8llu %-9llu %-14s %-11.1f %-7.2f %-7llu %-12s "
-        "%s\n",
+        "  %-8zu %-8llu %-8llu %-9llu %-14s %-11.1f %-7.2f %-5.2f %-8.2f "
+        "%-7llu %-12s %s\n",
         d.device, static_cast<unsigned long long>(d.stats.requests_sent),
         static_cast<unsigned long long>(d.stats.responses_valid),
         static_cast<unsigned long long>(d.stats.responses_invalid), rejects,
-        d.attest_device_ms, 100.0 * d.duty_fraction,
+        d.attest_device_ms, 100.0 * d.duty_fraction, battery.soc(d.device),
+        battery.burn_mw(d.device),
         static_cast<unsigned long long>(verdicts[d.device].alerts),
         sim::to_string(verdicts[d.device].health).c_str(),
         d.device == 3   ? "<- lossy link (adversary drops)"
@@ -288,6 +334,8 @@ int main(int argc, char** argv) {
       "metrics. Device 3's missing responses surface as sent > valid;\n"
       "device 6 fails MAC validation on every response. The scoreboard "
       "shows what the\nreplay flood actually extracted: one request-auth "
-      "check per replay.\n");
+      "check per replay — and the\nbattery column shows where it lands: "
+      "device 5's cell drains fastest and trips\npower.battery_depletion, "
+      "the prover's-perspective cost of absorbing the flood.\n");
   return 0;
 }

@@ -1,0 +1,73 @@
+#include "ratt/adv/adv_power.hpp"
+
+namespace ratt::adv {
+
+namespace power = ratt::obs::power;
+namespace prof = ratt::obs::prof;
+
+std::string to_string(PowerTamper tamper) {
+  switch (tamper) {
+    case PowerTamper::kRoamRestore:
+      return "roam-restore";
+    case PowerTamper::kSkipMemMac:
+      return "skip-mem-mac";
+  }
+  return "unknown";
+}
+
+double restore_ms(const timing::DeviceTimingModel& timing,
+                  std::size_t measured_bytes) {
+  const double cycles = 2.0 * static_cast<double>(measured_bytes);
+  return cycles / timing.clock_hz() * 1000.0;
+}
+
+power::RoundTrace apply_power_tamper(const power::RoundTrace& clean,
+                                     PowerTamper tamper,
+                                     const timing::DeviceTimingModel& timing,
+                                     const ratt::obs::PowerModel& power_model,
+                                     std::size_t measured_bytes) {
+  power::RoundTrace out = clean;
+  // Find the measurement segment — the phase both tampers pivot on.
+  std::size_t mem_index = out.segments.size();
+  for (std::size_t i = 0; i < out.segments.size(); ++i) {
+    if (out.segments[i].phase == prof::Phase::kMemMac) {
+      mem_index = i;
+      break;
+    }
+  }
+  if (mem_index == out.segments.size()) return out;  // no measurement phase
+
+  if (tamper == PowerTamper::kRoamRestore) {
+    // Phase-II exit: a bulk restore write runs at active power right
+    // before the measurement. Everything from mem_mac on slides later.
+    const double extra_ms = restore_ms(timing, measured_bytes);
+    power::PhaseSegment restore;
+    restore.phase = prof::Phase::kOther;
+    restore.start_ms = out.segments[mem_index].start_ms;
+    restore.duration_ms = extra_ms;
+    restore.power_mw = power_model.active_mw;
+    restore.energy_mj = power_model.active_mj(extra_ms);
+    for (std::size_t i = mem_index; i < out.segments.size(); ++i) {
+      out.segments[i].start_ms += extra_ms;
+    }
+    out.segments.insert(
+        out.segments.begin() + static_cast<std::ptrdiff_t>(mem_index),
+        restore);
+    out.end_ms += extra_ms;
+    return out;
+  }
+
+  // kSkipMemMac: the measurement never runs — its segment vanishes and
+  // everything after it pulls earlier.
+  const double gone_ms = out.segments[mem_index].duration_ms;
+  out.segments.erase(out.segments.begin() +
+                     static_cast<std::ptrdiff_t>(mem_index));
+  for (std::size_t i = mem_index; i < out.segments.size(); ++i) {
+    out.segments[i].start_ms -= gone_ms;
+  }
+  out.end_ms -= gone_ms;
+  if (out.end_ms < out.start_ms) out.end_ms = out.start_ms;
+  return out;
+}
+
+}  // namespace ratt::adv

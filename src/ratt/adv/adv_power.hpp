@@ -1,0 +1,54 @@
+// Power-trace tampers: what the MAC-passing adversaries do to the
+// prover's power waveform.
+//
+// The attestation protocol grades bytes on the wire; these two attacks
+// keep every byte valid and are therefore invisible to it:
+//
+//   kRoamRestore  — Adv_roam's phase-II exit: the malware restores the
+//                   pristine memory image right before the measurement
+//                   runs, so mem_mac passes. The restore is a bulk
+//                   memory write the clean round never does — extra
+//                   active-power time in front of the measurement.
+//   kSkipMemMac   — a shortcut prover that skips the measurement loop
+//                   and answers from a cached MAC (valid while the
+//                   memory and freshness element still match). The
+//                   mem_mac phase — the round's dominant energy cost —
+//                   vanishes from the waveform.
+//
+// apply_power_tamper() rewrites a CLEAN synthesized RoundTrace into the
+// waveform such a tampered prover would exhibit, keeping the wire
+// response untouched — the fixture the witness tests and
+// bench_power_trace grade detection against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ratt/obs/observer.hpp"
+#include "ratt/obs/power/trace.hpp"
+#include "ratt/timing/timing.hpp"
+
+namespace ratt::adv {
+
+enum class PowerTamper : std::uint8_t {
+  kRoamRestore,  // bulk restore write before mem_mac (extra energy)
+  kSkipMemMac,   // measurement skipped (missing energy)
+};
+
+std::string to_string(PowerTamper tamper);
+
+/// Time Adv_roam's restore write takes: a bulk store of the measured
+/// image, modeled at 2 cycles/byte on the prover's clock.
+double restore_ms(const timing::DeviceTimingModel& timing,
+                  std::size_t measured_bytes);
+
+/// Rewrite `clean` into the tampered round's waveform. The returned
+/// trace keeps the clean round's identity and outcome (the wire response
+/// still validates — that is the point); only the segment list and the
+/// span end move.
+ratt::obs::power::RoundTrace apply_power_tamper(
+    const ratt::obs::power::RoundTrace& clean, PowerTamper tamper,
+    const timing::DeviceTimingModel& timing,
+    const ratt::obs::PowerModel& power, std::size_t measured_bytes);
+
+}  // namespace ratt::adv

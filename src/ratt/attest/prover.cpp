@@ -387,6 +387,7 @@ void ProverDevice::observe_request(const AttestRequest& request,
     rec.prover_ms = outcome.device_ms;
     rec.bytes = request.wire_size();
     rec.energy_mj = energy_mj;
+    rec.power_mw = outcome.device_ms > 0.0 ? obs_.power.active_mw : 0.0;
     rec.round_id = round.round_id;
     rec.attempt = round.attempt;
     obs_.sink->record(rec);
@@ -397,9 +398,14 @@ void ProverDevice::observe_request(const AttestRequest& request,
 void ProverDevice::profile_request(const AttestOutcome& outcome,
                                    const obs::RoundContext& round) {
   namespace prof = obs::prof;
+  // handle() advanced the clock past the work before observing, so "now"
+  // is where this request's whole phase batch ends — the anchor the
+  // power layer lays the segments back from.
+  const double end_ms = mcu_->now_ms();
   prof::PhaseSample sample;
   sample.device_id = obs_.device_id;
   sample.round_id = round.round_id;
+  sample.sim_time_ms = end_ms;
   const std::uint64_t total_cycles = timing_.cycles(outcome.device_ms);
 
   // Wire attempts beyond a round's first extract the prover's whole
@@ -409,6 +415,7 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
   if (round.attempt > 1) {
     sample.phase = prof::Phase::kRetryOverhead;
     sample.cycles = total_cycles;
+    sample.duration_ms = outcome.device_ms;
     sample.energy_mj = obs_.power.active_mj(outcome.device_ms);
     sample.bus_bytes = config_.measured_bytes + surface_.key_size;
     sample.mac_bytes =
@@ -424,6 +431,7 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
   const std::uint64_t req_cycles = timing_.cycles(outcome.phases.req_auth);
   sample.phase = prof::Phase::kReqAuth;
   sample.cycles = req_cycles;
+  sample.duration_ms = outcome.phases.req_auth;
   sample.energy_mj = obs_.power.active_mj(outcome.phases.req_auth);
   sample.bus_bytes = surface_.key_size;
   sample.mac_bytes = 19;  // the authenticated request header
@@ -436,8 +444,10 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
       sample = {};
       sample.device_id = obs_.device_id;
       sample.round_id = round.round_id;
+      sample.sim_time_ms = end_ms;
       sample.phase = prof::Phase::kOther;
       sample.cycles = total_cycles - req_cycles;
+      sample.duration_ms = outcome.device_ms - outcome.phases.req_auth;
       sample.energy_mj =
           obs_.power.active_mj(outcome.device_ms - outcome.phases.req_auth);
       obs_.profile->record(sample);
@@ -448,14 +458,17 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
   sample = {};
   sample.device_id = obs_.device_id;
   sample.round_id = round.round_id;
+  sample.sim_time_ms = end_ms;
   sample.phase = prof::Phase::kFreshness;
   sample.cycles = timing_.cycles(outcome.phases.freshness);
+  sample.duration_ms = outcome.phases.freshness;
   sample.energy_mj = obs_.power.active_mj(outcome.phases.freshness);
   obs_.profile->record(sample);
 
   const std::uint64_t mem_cycles = timing_.cycles(outcome.phases.mem_mac);
   sample.phase = prof::Phase::kMemMac;
   sample.cycles = mem_cycles;
+  sample.duration_ms = outcome.phases.mem_mac;
   sample.energy_mj = obs_.power.active_mj(outcome.phases.mem_mac);
   sample.bus_bytes = config_.measured_bytes;
   sample.mac_bytes = config_.measured_bytes;
@@ -466,8 +479,10 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
   sample = {};
   sample.device_id = obs_.device_id;
   sample.round_id = round.round_id;
+  sample.sim_time_ms = end_ms;
   sample.phase = prof::Phase::kRespMac;
   sample.cycles = total_cycles > attributed ? total_cycles - attributed : 0;
+  sample.duration_ms = outcome.phases.resp_mac;
   sample.energy_mj = obs_.power.active_mj(outcome.phases.resp_mac);
   sample.mac_bytes = 16;  // challenge || freshness header absorbed
   obs_.profile->record(sample);

@@ -18,15 +18,42 @@ Verifier::Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed)
 }
 
 void Verifier::set_observer(const obs::Observer& observer) {
+  obs_registry_ = observer.registry;
+  obs_sink_ = observer.sink;
   if (observer.registry == nullptr) {
     obs_requests_ = nullptr;
     obs_valid_ = nullptr;
     obs_invalid_ = nullptr;
+    obs_power_rounds_ = nullptr;
+    obs_power_violations_ = nullptr;
     return;
   }
   obs_requests_ = &observer.registry->counter("verifier.requests");
   obs_valid_ = &observer.registry->counter("verifier.checks.valid");
   obs_invalid_ = &observer.registry->counter("verifier.checks.invalid");
+}
+
+std::vector<std::string> Verifier::grade_power_trace(
+    const obs::power::RoundTrace& trace, const std::string& class_key) {
+  if (power_witness_ == nullptr) return {};
+  std::vector<std::string> violated;
+  if (obs_sink_ != nullptr) {
+    violated = power_witness_->grade_to(trace, *obs_sink_, class_key);
+  } else {
+    violated = power_witness_->grade(trace, class_key);
+  }
+  if (obs_registry_ != nullptr) {
+    // Lazy registration: verifier.power.* appears only once a trace is
+    // actually graded, keeping witness-free registry exports unchanged.
+    if (obs_power_rounds_ == nullptr) {
+      obs_power_rounds_ = &obs_registry_->counter("verifier.power.rounds");
+      obs_power_violations_ =
+          &obs_registry_->counter("verifier.power.violations");
+    }
+    obs_power_rounds_->inc();
+    if (!violated.empty()) obs_power_violations_->inc();
+  }
+  return violated;
 }
 
 AttestRequest Verifier::make_request() {

@@ -10,6 +10,7 @@
 #include "ratt/attest/message.hpp"
 #include "ratt/crypto/drbg.hpp"
 #include "ratt/obs/observer.hpp"
+#include "ratt/obs/power/witness.hpp"
 
 namespace ratt::attest {
 
@@ -44,6 +45,23 @@ class Verifier {
   bool check_response(const AttestRequest& request,
                       const AttestResponse& response) const;
 
+  /// Arm the power-trace side channel: once a PowerWitness is attached,
+  /// grade_power_trace() runs each round's synthesized waveform against
+  /// the witness's clean envelope — the check that catches MAC-passing
+  /// tampers (Adv_roam restore, skipped measurement). The witness is
+  /// NOT owned; pass nullptr to detach.
+  void set_power_witness(obs::power::PowerWitness* witness) {
+    power_witness_ = witness;
+  }
+
+  /// Grade one completed round's power trace (no-op empty verdict when
+  /// no witness is attached). When a trace sink was attached via
+  /// set_observer, the verdict is also emitted as a "power.witness"
+  /// record for the alert engine. Returns the violated dimensions.
+  std::vector<std::string> grade_power_trace(
+      const obs::power::RoundTrace& trace,
+      const std::string& class_key = "fleet");
+
   std::uint64_t counter() const { return counter_; }
 
  private:
@@ -58,6 +76,15 @@ class Verifier {
   obs::Counter* obs_requests_ = nullptr;
   obs::Counter* obs_valid_ = nullptr;
   obs::Counter* obs_invalid_ = nullptr;
+  // Power-witness plumbing: the registry/sink are remembered so the
+  // verifier.power.* counters register lazily, on the first graded trace
+  // — fleets that never arm the witness keep their registry export
+  // byte-identical to before.
+  obs::Registry* obs_registry_ = nullptr;
+  obs::TraceSink* obs_sink_ = nullptr;
+  obs::power::PowerWitness* power_witness_ = nullptr;
+  obs::Counter* obs_power_rounds_ = nullptr;
+  obs::Counter* obs_power_violations_ = nullptr;
 };
 
 }  // namespace ratt::attest

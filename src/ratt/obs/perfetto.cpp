@@ -126,6 +126,8 @@ void append_span(std::string& out, const TraceRecord& rec) {
   append_double(out, rec.verifier_ms);
   out += ",\"energy_mj\":";
   append_double(out, rec.energy_mj);
+  out += ",\"power_mw\":";
+  append_double(out, rec.power_mw);
   if (rec.round_id != 0) {
     out += ",\"round_id\":\"";
     append_hex_u64(out, rec.round_id);
@@ -176,13 +178,30 @@ void append_alert(std::string& out, const ts::AlertEvent& event) {
   out += "}}";
 }
 
+// One counter sample: Perfetto draws "ph":"C" series as stepped plots,
+// so emitting each waveform sample at its midpoint time reproduces the
+// piecewise-constant power shape.
+void append_counter(std::string& out, std::uint64_t pid, double t_ms,
+                    double mw) {
+  out += "{\"name\":\"power_mw\",\"cat\":\"power\",\"ph\":\"C\",\"ts\":";
+  append_double(out, t_ms * 1000.0);
+  out += ",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"args\":{\"mW\":";
+  append_double(out, mw);
+  out += "}}";
+}
+
 void write(std::ostream& out, std::span<const TraceRecord> records,
-           std::span<const ts::AlertEvent> alerts) {
+           std::span<const ts::AlertEvent> alerts,
+           std::span<const power::RoundTrace> power_traces,
+           const power::PowerTraceConfig& power_config) {
   // Name every device "process" and its role tracks up front, in device
   // order, so the file layout is stable regardless of record order.
   std::vector<std::uint64_t> devices;
   for (const auto& rec : records) devices.push_back(rec.device_id);
   for (const auto& event : alerts) devices.push_back(event.device_id);
+  for (const auto& trace : power_traces) devices.push_back(trace.device_id);
   std::sort(devices.begin(), devices.end());
   devices.erase(std::unique(devices.begin(), devices.end()), devices.end());
 
@@ -242,6 +261,27 @@ void write(std::ostream& out, std::span<const TraceRecord> records,
     append_alert(buf, event);
     emit(buf);
   }
+  // Power counter tracks: each round's sampled waveform, closed with a
+  // drop back to the sleep floor at the round's end so idle gaps between
+  // rounds read as sleep, not as the last phase's level held forever.
+  for (const auto& trace : power_traces) {
+    const std::vector<double> samples =
+        power::sample_waveform(trace, power_config);
+    const double period = power::effective_period_ms(trace, power_config);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const double t =
+          trace.start_ms + (static_cast<double>(i) + 0.5) * period;
+      buf.clear();
+      append_counter(buf, trace.device_id, t, samples[i]);
+      emit(buf);
+    }
+    if (!samples.empty()) {
+      buf.clear();
+      append_counter(buf, trace.device_id, trace.end_ms,
+                     power_config.model.sleep_mw);
+      emit(buf);
+    }
+  }
   out << "\n]}\n";
 }
 
@@ -249,12 +289,19 @@ void write(std::ostream& out, std::span<const TraceRecord> records,
 
 void write_perfetto(std::ostream& out,
                     std::span<const TraceRecord> records) {
-  write(out, records, {});
+  write(out, records, {}, {}, power::PowerTraceConfig{});
 }
 
 void write_perfetto(std::ostream& out, std::span<const TraceRecord> records,
                     std::span<const ts::AlertEvent> alerts) {
-  write(out, records, alerts);
+  write(out, records, alerts, {}, power::PowerTraceConfig{});
+}
+
+void write_perfetto(std::ostream& out, std::span<const TraceRecord> records,
+                    std::span<const ts::AlertEvent> alerts,
+                    std::span<const power::RoundTrace> power_traces,
+                    const power::PowerTraceConfig& power_config) {
+  write(out, records, alerts, power_traces, power_config);
 }
 
 }  // namespace ratt::obs

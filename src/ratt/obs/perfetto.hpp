@@ -10,19 +10,25 @@
 //          4 alert markers
 //   ts   = span start in µs (sim_time_ms is the span *end*, so the start
 //          is end − duration); dur = prover/verifier time in µs
-//   args = outcome, bytes, prover_ms, verifier_ms, energy_mj, plus
-//          round_id (hex string — 64-bit ids overflow JS numbers) and
-//          attempt when the span belongs to a round
+//   args = outcome, bytes, prover_ms, verifier_ms, energy_mj, power_mw,
+//          plus round_id (hex string — 64-bit ids overflow JS numbers)
+//          and attempt when the span belongs to a round
 //
 // Spans sharing a nonzero round_id are additionally linked by flow
 // events ("ph":"s"/"t"/"f", cat "round", hex-string id), so one logical
 // round — verifier send, every retry, the prover's handling, the close —
 // renders as a connected chain in the viewer.
+//
+// Power traces (ratt::obs::power::RoundTrace) add one counter track per
+// device ("ph":"C", name "power_mw"): the sampled waveform renders as a
+// stepped power plot under the device's span tracks, the visual analog
+// of an oscilloscope capture.
 #pragma once
 
 #include <ostream>
 #include <span>
 
+#include "ratt/obs/power/trace.hpp"
 #include "ratt/obs/trace.hpp"
 #include "ratt/obs/ts/alert.hpp"
 
@@ -34,5 +40,12 @@ void write_perfetto(std::ostream& out, std::span<const TraceRecord> records);
 /// Spans plus alert instant markers on each device's alert track.
 void write_perfetto(std::ostream& out, std::span<const TraceRecord> records,
                     std::span<const ts::AlertEvent> alerts);
+
+/// Spans, alert markers and per-device power counter tracks sampled from
+/// the round power traces.
+void write_perfetto(std::ostream& out, std::span<const TraceRecord> records,
+                    std::span<const ts::AlertEvent> alerts,
+                    std::span<const power::RoundTrace> power_traces,
+                    const power::PowerTraceConfig& power_config);
 
 }  // namespace ratt::obs

@@ -1,0 +1,308 @@
+#include "ratt/obs/power/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace ratt::obs::power {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+double RoundTrace::energy_mj() const {
+  double mj = 0.0;
+  for (const auto& seg : segments) mj += seg.energy_mj;
+  return mj;
+}
+
+double RoundTrace::duration_ms() const {
+  double ms = 0.0;
+  for (const auto& seg : segments) ms += seg.duration_ms;
+  return ms;
+}
+
+double RoundTrace::mean_power_mw() const {
+  const double ms = duration_ms();
+  return ms > 0.0 ? energy_mj() / ms * 1000.0 : 0.0;
+}
+
+double effective_period_ms(const RoundTrace& trace,
+                           const PowerTraceConfig& config) {
+  double period = config.sample_period_ms > 0.0 ? config.sample_period_ms : 1.0;
+  const double span = trace.end_ms - trace.start_ms;
+  if (span <= 0.0) return period;
+  const std::size_t cap = config.max_samples == 0 ? 1 : config.max_samples;
+  while (span / period > static_cast<double>(cap)) period *= 2.0;
+  return period;
+}
+
+std::vector<double> sample_waveform(const RoundTrace& trace,
+                                    const PowerTraceConfig& config) {
+  std::vector<double> out;
+  const double span = trace.end_ms - trace.start_ms;
+  if (span <= 0.0) return out;
+  const double period = effective_period_ms(trace, config);
+  const auto n = static_cast<std::size_t>(span / period) +
+                 (span / period > static_cast<double>(
+                                      static_cast<std::size_t>(span / period))
+                      ? 1
+                      : 0);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = trace.start_ms + (static_cast<double>(i) + 0.5) * period;
+    if (t >= trace.end_ms) break;
+    double mw = config.model.sleep_mw;
+    // Last covering segment wins: overlapping layouts resolve to the most
+    // recently recorded phase, deterministically.
+    for (const auto& seg : trace.segments) {
+      if (t >= seg.start_ms && t < seg.start_ms + seg.duration_ms) {
+        mw = seg.power_mw;
+      }
+    }
+    out.push_back(mw);
+  }
+  return out;
+}
+
+std::string to_jsonl(const RoundTrace& trace,
+                     const PowerTraceConfig& config) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"device_id\":";
+  append_u64(out, trace.device_id);
+  out += ",\"round_id\":";
+  append_u64(out, trace.round_id);
+  out += ",\"outcome\":";
+  append_json_string(out, trace.outcome);
+  out += ",\"attempts\":";
+  append_u64(out, trace.attempts);
+  out += ",\"start_ms\":";
+  append_double(out, trace.start_ms);
+  out += ",\"end_ms\":";
+  append_double(out, trace.end_ms);
+  out += ",\"duration_ms\":";
+  append_double(out, trace.duration_ms());
+  out += ",\"energy_mj\":";
+  append_double(out, trace.energy_mj());
+  out += ",\"mean_power_mw\":";
+  append_double(out, trace.mean_power_mw());
+  out += ",\"segments\":[";
+  for (std::size_t i = 0; i < trace.segments.size(); ++i) {
+    const PhaseSegment& seg = trace.segments[i];
+    if (i != 0) out += ',';
+    out += "{\"phase\":\"";
+    out += prof::to_string(seg.phase);
+    out += "\",\"start_ms\":";
+    append_double(out, seg.start_ms);
+    out += ",\"duration_ms\":";
+    append_double(out, seg.duration_ms);
+    out += ",\"power_mw\":";
+    append_double(out, seg.power_mw);
+    out += ",\"energy_mj\":";
+    append_double(out, seg.energy_mj);
+    out += '}';
+  }
+  out += "],\"sample_period_ms\":";
+  append_double(out, effective_period_ms(trace, config));
+  out += ",\"samples_mw\":[";
+  const std::vector<double> samples = sample_waveform(trace, config);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i != 0) out += ',';
+    append_double(out, samples[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+void write_jsonl(std::ostream& out, std::span<const RoundTrace> traces,
+                 const PowerTraceConfig& config) {
+  for (const auto& trace : traces) {
+    out << to_jsonl(trace, config) << '\n';
+  }
+}
+
+std::vector<RoundTrace> merge_round_traces(
+    std::vector<std::vector<RoundTrace>> shards) {
+  std::vector<RoundTrace> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  out.reserve(total);
+  for (auto& shard : shards) {
+    for (auto& trace : shard) out.push_back(std::move(trace));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RoundTrace& a, const RoundTrace& b) {
+                     if (a.end_ms != b.end_ms) return a.end_ms < b.end_ms;
+                     if (a.device_id != b.device_id) {
+                       return a.device_id < b.device_id;
+                     }
+                     return a.round_id < b.round_id;
+                   });
+  return out;
+}
+
+ShardPowerRecorder::ShardPowerRecorder(PowerTraceConfig config)
+    : config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  if (config_.max_open_rounds == 0) config_.max_open_rounds = 1;
+  if (config_.sample_period_ms <= 0.0) config_.sample_period_ms = 1.0;
+  if (config_.max_samples == 0) config_.max_samples = 1;
+}
+
+void ShardPowerRecorder::on_phase(const prof::PhaseSample& sample) {
+  if (sample.round_id == 0) {
+    ++samples_orphaned_;
+    return;
+  }
+  DeviceState& dev = devices_[sample.device_id];
+  OpenRound* open = nullptr;
+  for (auto& candidate : dev.open) {
+    if (candidate.trace.round_id == sample.round_id) {
+      open = &candidate;
+      break;
+    }
+  }
+  if (open == nullptr) {
+    if (dev.open.size() >= config_.max_open_rounds) {
+      // Oldest in-flight round never saw its close — honest drop.
+      dev.open.erase(dev.open.begin());
+      ++rounds_abandoned_;
+    }
+    dev.open.emplace_back();
+    open = &dev.open.back();
+    open->trace.device_id = sample.device_id;
+    open->trace.round_id = sample.round_id;
+  }
+  PhaseSegment seg;
+  seg.phase = sample.phase;
+  seg.duration_ms = sample.duration_ms;
+  seg.energy_mj = sample.energy_mj;
+  seg.power_mw = sample.duration_ms > 0.0
+                     ? sample.energy_mj / sample.duration_ms * 1000.0
+                     : 0.0;
+  open->trace.segments.push_back(seg);
+  open->anchors.push_back(sample.sim_time_ms);
+}
+
+void ShardPowerRecorder::record(const TraceRecord& rec) {
+  if (rec.round_id == 0 || rec.kind != "verifier.round") return;
+  const auto it = devices_.find(rec.device_id);
+  if (it == devices_.end()) return;
+  DeviceState& dev = it->second;
+  for (std::size_t i = 0; i < dev.open.size(); ++i) {
+    if (dev.open[i].trace.round_id == rec.round_id) {
+      finalize(dev, i, rec);
+      return;
+    }
+  }
+}
+
+void ShardPowerRecorder::finalize(DeviceState& dev, std::size_t open_index,
+                                  const TraceRecord& close) {
+  OpenRound open = std::move(dev.open[open_index]);
+  dev.open.erase(dev.open.begin() + static_cast<std::ptrdiff_t>(open_index));
+  RoundTrace& trace = open.trace;
+  trace.outcome = close.outcome;
+  trace.end_ms = close.sim_time_ms;
+  trace.attempts = close.attempt;
+
+  // Lay the segments out: consecutive segments sharing one anchor form a
+  // batch that ends AT the anchor — start times follow by subtraction, so
+  // the layout is exact and independent of when the batch was recorded.
+  std::size_t i = 0;
+  while (i < trace.segments.size()) {
+    std::size_t j = i;
+    double batch_ms = 0.0;
+    while (j < trace.segments.size() && open.anchors[j] == open.anchors[i]) {
+      batch_ms += trace.segments[j].duration_ms;
+      ++j;
+    }
+    double t = open.anchors[i] - batch_ms;
+    for (std::size_t k = i; k < j; ++k) {
+      trace.segments[k].start_ms = t;
+      t += trace.segments[k].duration_ms;
+    }
+    i = j;
+  }
+  trace.start_ms = trace.end_ms;
+  for (const auto& seg : trace.segments) {
+    if (seg.start_ms < trace.start_ms) trace.start_ms = seg.start_ms;
+  }
+
+  // Completed ring: overwrite the oldest once full, with honest counting.
+  if (dev.ring.size() < config_.ring_capacity) {
+    dev.ring.push_back(std::move(trace));
+  } else {
+    dev.ring[dev.head] = std::move(trace);
+    dev.head = (dev.head + 1) % dev.ring.size();
+    ++rounds_dropped_;
+  }
+  ++dev.total;
+  ++rounds_completed_;
+}
+
+std::vector<RoundTrace> ShardPowerRecorder::completed() const {
+  std::vector<RoundTrace> out;
+  for (const auto& [device, dev] : devices_) {
+    const bool wrapped = dev.ring.size() == config_.ring_capacity &&
+                         dev.total > dev.ring.size();
+    const std::size_t start = wrapped ? dev.head : 0;
+    for (std::size_t i = 0; i < dev.ring.size(); ++i) {
+      out.push_back(dev.ring[(start + i) % dev.ring.size()]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ratt::obs::power

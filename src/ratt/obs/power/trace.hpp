@@ -1,0 +1,169 @@
+// ratt::obs::power — deterministic per-round power-trace synthesis.
+//
+// "Attestation Waves: Platform Trust via Remote Power Analysis"
+// (PAPERS.md) shows a prover's power waveform is itself an attestation
+// signal: the measurement routine has a characteristic power shape, and a
+// tampered prover whose memory MACs still pass can be exposed by the
+// waveform alone. This layer reconstructs that waveform from what the
+// simulation already knows exactly — the profiler's per-phase partition
+// of every round (req_auth/freshness/mem_mac/resp_mac/net_wait/
+// retry_overhead) and the PowerModel's state currents — instead of
+// sampling an oscilloscope.
+//
+// Model: a round's trace is the sequence of its phase segments, each a
+// constant-power interval (active power for device phases, sleep power
+// for net_wait), laid out back to back so each batch of samples ends at
+// its anchor time (the PhaseSample's sim_time_ms). The waveform is the
+// piecewise-constant power over that span, with the sleep floor filling
+// gaps. It is a canonical rearrangement of the round's energy — segment
+// energies are the profiler's exact per-phase energies — not a wall-clock
+// oscilloscope capture.
+//
+// Determinism contract (same as traces/profiles): one ShardPowerRecorder
+// per shard, never shared across worker threads; each device lives in
+// exactly one shard; merge_round_traces is pure collation ordered by
+// (end_ms, device_id, round_id) — same seed => byte-identical power
+// JSONL at any thread/shard count. Bounded everywhere, with honest drop
+// accounting: completed-round rings evict (rounds_dropped), in-flight
+// builders are capped (rounds_abandoned), and phase samples that belong
+// to no round are counted (samples_orphaned), never silently lost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ratt/obs/observer.hpp"
+#include "ratt/obs/prof/profile.hpp"
+#include "ratt/obs/trace.hpp"
+
+namespace ratt::obs::power {
+
+struct PowerTraceConfig {
+  /// State currents the waveform is synthesized from.
+  PowerModel model{};
+  /// Waveform sampling grid. Doubled (coarsened) until a round fits in
+  /// max_samples — long net waits must not explode the export.
+  double sample_period_ms = 25.0;
+  std::size_t max_samples = 64;
+  /// Completed rounds retained per device (ring; evictions counted).
+  std::size_t ring_capacity = 256;
+  /// In-flight round builders per device. Rounds that never see their
+  /// closing "verifier.round" span (rejects without timeout grading,
+  /// lost responses on plain sessions) are evicted oldest-first once a
+  /// device exceeds this, and counted in rounds_abandoned().
+  std::size_t max_open_rounds = 8;
+};
+
+/// One constant-power interval of a round's waveform.
+struct PhaseSegment {
+  prof::Phase phase = prof::Phase::kOther;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  double power_mw = 0.0;
+  double energy_mj = 0.0;
+
+  friend bool operator==(const PhaseSegment&, const PhaseSegment&) = default;
+};
+
+/// The power trace of one attestation round, finalized when the round's
+/// closing "verifier.round" span arrives.
+struct RoundTrace {
+  std::uint64_t device_id = 0;
+  std::uint64_t round_id = 0;
+  std::uint32_t attempts = 0;   // wire attempts the round took (0 = unknown)
+  std::string outcome;          // closing span's outcome ("valid", ...)
+  double start_ms = 0.0;        // earliest segment start
+  double end_ms = 0.0;          // close time (the finalizing span's time)
+  std::vector<PhaseSegment> segments;  // execution order
+
+  double energy_mj() const;
+  /// Sum of segment durations (busy + modeled wait), not end - start.
+  double duration_ms() const;
+  double mean_power_mw() const;
+
+  friend bool operator==(const RoundTrace&, const RoundTrace&) = default;
+};
+
+/// Sample the piecewise-constant waveform over [start_ms, end_ms] on the
+/// config grid (midpoint sampling; sleep floor where no segment covers
+/// the instant; the LAST covering segment wins where segments overlap).
+/// The period doubles until the round fits in max_samples.
+std::vector<double> sample_waveform(const RoundTrace& trace,
+                                    const PowerTraceConfig& config);
+/// The (possibly coarsened) period sample_waveform used for this trace.
+double effective_period_ms(const RoundTrace& trace,
+                           const PowerTraceConfig& config);
+
+/// One JSON object per round: identity, totals, the segment list and the
+/// bounded sampled waveform. Deterministic shortest round-trip doubles —
+/// the golden-file format tests/power/power_trace_test.cpp pins.
+std::string to_jsonl(const RoundTrace& trace, const PowerTraceConfig& config);
+void write_jsonl(std::ostream& out, std::span<const RoundTrace> traces,
+                 const PowerTraceConfig& config);
+
+/// Canonical merge of per-shard completed-round streams, ordered by
+/// (end_ms, device_id, round_id) with ties keeping stream order. Each
+/// device lives in exactly one shard, so this is pure collation.
+std::vector<RoundTrace> merge_round_traces(
+    std::vector<std::vector<RoundTrace>> shards);
+
+/// Shard-local power recorder: consumes the profiler's PhaseSample
+/// stream (as its PhaseHook) to build per-round segment lists, and the
+/// trace stream (as a TraceSink, tee'd off the shard ring) to learn when
+/// a round closed. One per shard, like the ring and the profile.
+class ShardPowerRecorder : public TraceSink, public prof::PhaseHook {
+ public:
+  explicit ShardPowerRecorder(PowerTraceConfig config = PowerTraceConfig{});
+
+  /// Phase stream: accumulate the sample into its round's builder.
+  void on_phase(const prof::PhaseSample& sample) override;
+  /// Trace stream: a "verifier.round" span with a round id finalizes
+  /// that round's builder. Other spans are ignored.
+  void record(const TraceRecord& rec) override;
+  /// This recorder is a derived view tee'd off the shard ring, not a
+  /// lossy branch of the trace stream itself — its own bounded-state
+  /// drops are reported via rounds_dropped()/rounds_abandoned().
+  std::uint64_t dropped_total() const override { return 0; }
+
+  /// Completed rounds, devices ascending, each device oldest-first (the
+  /// canonical per-shard order merge_round_traces collates).
+  std::vector<RoundTrace> completed() const;
+
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  /// Completed rounds evicted from a full device ring.
+  std::uint64_t rounds_dropped() const { return rounds_dropped_; }
+  /// In-flight builders evicted before their round closed.
+  std::uint64_t rounds_abandoned() const { return rounds_abandoned_; }
+  /// Phase samples carrying no round id (injected floods, bare benches).
+  std::uint64_t samples_orphaned() const { return samples_orphaned_; }
+
+  const PowerTraceConfig& config() const { return config_; }
+
+ private:
+  struct OpenRound {
+    RoundTrace trace;
+    std::vector<double> anchors;  // per-segment batch anchor (sim_time_ms)
+  };
+  struct DeviceState {
+    std::vector<OpenRound> open;    // in-flight, oldest first
+    std::vector<RoundTrace> ring;   // completed ring
+    std::size_t head = 0;           // next write slot once full
+    std::uint64_t total = 0;        // ever completed
+  };
+
+  void finalize(DeviceState& dev, std::size_t open_index,
+                const TraceRecord& close);
+
+  PowerTraceConfig config_;
+  std::map<std::uint64_t, DeviceState> devices_;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t rounds_dropped_ = 0;
+  std::uint64_t rounds_abandoned_ = 0;
+  std::uint64_t samples_orphaned_ = 0;
+};
+
+}  // namespace ratt::obs::power

@@ -1,0 +1,112 @@
+#include "ratt/obs/power/witness.hpp"
+
+namespace ratt::obs::power {
+
+RoundFeatures featurize(const RoundTrace& trace) {
+  RoundFeatures f;
+  std::size_t nibble = 0;
+  for (const auto& seg : trace.segments) {
+    const auto p = static_cast<std::size_t>(seg.phase);
+    f.phase_energy_mj[p] += seg.energy_mj;
+    f.phase_duration_ms[p] += seg.duration_ms;
+    f.total_energy_mj += seg.energy_mj;
+    f.total_duration_ms += seg.duration_ms;
+    if (nibble < 16) {
+      f.transition_signature |=
+          static_cast<std::uint64_t>(p + 1) << (4 * nibble);
+      ++nibble;
+    }
+  }
+  return f;
+}
+
+void Envelope::learn(const RoundFeatures& f) {
+  if (frozen_) return;
+  for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+    energy_[p].fold(f.phase_energy_mj[p]);
+    duration_[p].fold(f.phase_duration_ms[p]);
+  }
+  total_energy_.fold(f.total_energy_mj);
+  total_duration_.fold(f.total_duration_ms);
+  signatures_.insert(f.transition_signature);
+  ++learned_;
+}
+
+std::vector<std::string> Envelope::grade(const RoundFeatures& f) const {
+  std::vector<std::string> violated;
+  if (learned_ == 0) {
+    violated.emplace_back("untrained");
+    return violated;
+  }
+  if (!signatures_.contains(f.transition_signature)) {
+    violated.emplace_back("signature");
+  }
+  const double rel = config_.rel_tolerance;
+  for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+    if (!energy_[p].holds(f.phase_energy_mj[p], rel, config_.abs_energy_mj)) {
+      violated.push_back(
+          "energy:" + std::string(to_string(static_cast<prof::Phase>(p))));
+    }
+  }
+  for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+    if (!duration_[p].holds(f.phase_duration_ms[p], rel,
+                            config_.abs_duration_ms)) {
+      violated.push_back(
+          "duration:" + std::string(to_string(static_cast<prof::Phase>(p))));
+    }
+  }
+  if (!total_energy_.holds(f.total_energy_mj, rel, config_.abs_energy_mj)) {
+    violated.emplace_back("energy:total");
+  }
+  if (!total_duration_.holds(f.total_duration_ms, rel,
+                             config_.abs_duration_ms)) {
+    violated.emplace_back("duration:total");
+  }
+  return violated;
+}
+
+void PowerWitness::learn(const RoundTrace& trace,
+                         const std::string& class_key) {
+  auto [it, inserted] = envelopes_.try_emplace(class_key, config_);
+  it->second.learn(featurize(trace));
+  ++rounds_learned_;
+}
+
+void PowerWitness::freeze() {
+  for (auto& [key, envelope] : envelopes_) envelope.freeze();
+}
+
+std::vector<std::string> PowerWitness::grade(
+    const RoundTrace& trace, const std::string& class_key) const {
+  const auto it = envelopes_.find(class_key);
+  if (it == envelopes_.end()) return {"untrained"};
+  return it->second.grade(featurize(trace));
+}
+
+std::vector<std::string> PowerWitness::grade_to(const RoundTrace& trace,
+                                                TraceSink& sink,
+                                                const std::string& class_key) {
+  std::vector<std::string> violated = grade(trace, class_key);
+  ++rounds_graded_;
+  if (!violated.empty()) ++violations_;
+
+  TraceRecord rec;
+  rec.sim_time_ms = trace.end_ms;
+  rec.device_id = trace.device_id;
+  rec.kind = "power.witness";
+  rec.outcome = violated.empty() ? "ok" : "violation:" + violated.front();
+  rec.prover_ms = trace.duration_ms();
+  rec.energy_mj = trace.energy_mj();
+  rec.power_mw = trace.mean_power_mw();
+  rec.round_id = trace.round_id;
+  rec.attempt = trace.attempts;
+  sink.record(rec);
+  return violated;
+}
+
+const Envelope* PowerWitness::envelope(const std::string& class_key) const {
+  const auto it = envelopes_.find(class_key);
+  return it == envelopes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ratt::obs::power

@@ -1,0 +1,158 @@
+// ratt::obs::power — verifier-side power-witness grading.
+//
+// The insight from power-analysis attestation (PAPERS.md, "Attestation
+// Waves"): a tampered prover can keep its memory MACs valid — Adv_roam
+// restores the pristine image before measurement; a shortcut prover skips
+// the measurement loop and replays a cached MAC — but it cannot keep its
+// POWER SHAPE valid. The restore burns extra energy before mem_mac; the
+// shortcut removes mem_mac's energy entirely. A verifier that learned
+// what a clean round's per-phase energy partition looks like catches
+// both, even though every byte on the wire checks out.
+//
+// Pipeline: featurize(RoundTrace) -> RoundFeatures (per-phase energy and
+// duration, plus the phase-transition signature); an Envelope learns
+// [min, max] bands per feature from clean warm-up rounds, then freeze()s;
+// grade() reports every dimension outside its (tolerance-widened) band.
+// PowerWitness keys envelopes by device class so heterogeneous fleets
+// don't smear each other's bands, and grade_to() emits "power.witness"
+// trace records the AlertEngine turns into power.envelope_violation
+// alerts.
+//
+// Determinism: learning and grading are pure folds over trace features —
+// no clocks, no randomness — so the same rounds in the same order give
+// identical envelopes and verdicts on every run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ratt/obs/power/trace.hpp"
+#include "ratt/obs/prof/profile.hpp"
+#include "ratt/obs/trace.hpp"
+
+namespace ratt::obs::power {
+
+/// The feature vector one round grades on.
+struct RoundFeatures {
+  std::array<double, prof::kPhaseCount> phase_energy_mj{};
+  std::array<double, prof::kPhaseCount> phase_duration_ms{};
+  /// Packed phase-transition signature: each segment's phase id in 4 bits,
+  /// execution order, first segment in the low nibble. Rounds with more
+  /// than 16 segments keep the first 16 — enough to distinguish every
+  /// protocol shape the simulator produces.
+  std::uint64_t transition_signature = 0;
+  double total_energy_mj = 0.0;
+  double total_duration_ms = 0.0;
+
+  friend bool operator==(const RoundFeatures&, const RoundFeatures&) = default;
+};
+
+RoundFeatures featurize(const RoundTrace& trace);
+
+struct EnvelopeConfig {
+  /// Bands widen by rel_tolerance * max(|lo|, |hi|) on each side.
+  double rel_tolerance = 0.15;
+  /// Absolute floors so near-zero bands don't degenerate to a point.
+  double abs_energy_mj = 0.01;
+  double abs_duration_ms = 1.0;
+};
+
+/// Min/max band per feature dimension plus the set of transition
+/// signatures seen clean. learn() folds warm-up rounds in; freeze() stops
+/// learning; grade() lists violated dimensions ("signature",
+/// "energy:mem_mac", "duration:total", ...) — empty means in-envelope.
+class Envelope {
+ public:
+  explicit Envelope(EnvelopeConfig config = EnvelopeConfig{})
+      : config_(config) {}
+
+  void learn(const RoundFeatures& f);
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+  std::uint64_t learned() const { return learned_; }
+
+  /// Violated dimension names, deterministic order (signature first, then
+  /// energy by phase, duration by phase, totals). Empty => in-envelope.
+  /// An envelope that never learned flags "untrained".
+  std::vector<std::string> grade(const RoundFeatures& f) const;
+
+  const EnvelopeConfig& config() const { return config_; }
+
+ private:
+  struct Band {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool seen = false;
+    void fold(double v) {
+      if (!seen) {
+        lo = hi = v;
+        seen = true;
+        return;
+      }
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    bool holds(double v, double rel, double abs_floor) const {
+      if (!seen) return false;
+      const double mag = hi > -lo ? hi : -lo;
+      double pad = rel * (mag > 0.0 ? mag : -mag);
+      if (pad < abs_floor) pad = abs_floor;
+      return v >= lo - pad && v <= hi + pad;
+    }
+  };
+
+  EnvelopeConfig config_;
+  std::array<Band, prof::kPhaseCount> energy_{};
+  std::array<Band, prof::kPhaseCount> duration_{};
+  Band total_energy_{};
+  Band total_duration_{};
+  std::set<std::uint64_t> signatures_;
+  std::uint64_t learned_ = 0;
+  bool frozen_ = false;
+};
+
+/// Per-device-class envelope registry the verifier grades through.
+/// class_key defaults to "fleet" (one homogeneous class); heterogeneous
+/// fleets key by hardware class so each learns its own bands.
+class PowerWitness {
+ public:
+  explicit PowerWitness(EnvelopeConfig config = EnvelopeConfig{})
+      : config_(config) {}
+
+  /// Fold a clean warm-up round into its class envelope (no-op once that
+  /// envelope froze).
+  void learn(const RoundTrace& trace, const std::string& class_key = "fleet");
+  /// Freeze every envelope (end of warm-up).
+  void freeze();
+
+  /// Grade one round against its class envelope; returns the violated
+  /// dimensions (empty = in-envelope; "untrained" if no envelope learned).
+  std::vector<std::string> grade(const RoundTrace& trace,
+                                 const std::string& class_key = "fleet") const;
+
+  /// Grade and emit a "power.witness" TraceRecord to `sink`: outcome "ok"
+  /// or "violation:<first-dim>", energy/power/duration from the trace,
+  /// the round's id and attempts, timed at the round's end. Returns the
+  /// violated dimensions.
+  std::vector<std::string> grade_to(const RoundTrace& trace, TraceSink& sink,
+                                    const std::string& class_key = "fleet");
+
+  std::uint64_t rounds_learned() const { return rounds_learned_; }
+  std::uint64_t rounds_graded() const { return rounds_graded_; }
+  std::uint64_t violations() const { return violations_; }
+
+  const Envelope* envelope(const std::string& class_key = "fleet") const;
+
+ private:
+  EnvelopeConfig config_;
+  std::map<std::string, Envelope> envelopes_;
+  std::uint64_t rounds_learned_ = 0;
+  std::uint64_t rounds_graded_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace ratt::obs::power

@@ -62,6 +62,7 @@ void ShardProfile::record(const PhaseSample& sample) {
   cell.mac_bytes += sample.mac_bytes;
   ++cell.count;
   ++samples_;
+  if (hook_ != nullptr) hook_->on_phase(sample);
 }
 
 ProfileTable ProfileTable::merge(

@@ -102,9 +102,27 @@ struct PhaseSample {
   double energy_mj = 0.0;
   std::uint64_t bus_bytes = 0;
   std::uint64_t mac_bytes = 0;
+  /// When the work containing this phase ended (device clock for prover
+  /// phases, queue clock for net_wait). Samples of one batch share the
+  /// anchor; downstream waveform builders lay them out back to back
+  /// ending there. 0 when the emitting site predates the power layer.
+  double sim_time_ms = 0.0;
+  /// The phase's own duration in ms (cycles / clock for device phases,
+  /// the wire round trip for net_wait).
+  double duration_ms = 0.0;
 };
 
 using DevicePhases = std::array<PhaseCost, kPhaseCount>;
+
+/// Tap on the sample stream of one ShardProfile — the hook the power
+/// layer (obs::power::ShardPowerRecorder) uses to turn the exact phase
+/// partition into per-round power waveforms. Shard-local like the
+/// profile itself: never shared across worker threads.
+class PhaseHook {
+ public:
+  virtual ~PhaseHook() = default;
+  virtual void on_phase(const PhaseSample& sample) = 0;
+};
 
 /// Shard-local accumulator: one per shard (like the per-shard trace
 /// rings), so worker threads never share one. record() is the only hot
@@ -118,11 +136,18 @@ class ShardProfile {
   }
   std::uint64_t samples_total() const { return samples_; }
 
+  /// Forward every recorded sample (after accumulation) to `hook`.
+  /// nullptr detaches. The hook must live in the same shard as this
+  /// profile — it runs on the shard's worker thread.
+  void set_hook(PhaseHook* hook) { hook_ = hook; }
+  PhaseHook* hook() const { return hook_; }
+
  private:
   std::map<std::uint64_t, DevicePhases> devices_;
   std::uint64_t last_device_ = 0;
   DevicePhases* last_slot_ = nullptr;
   std::uint64_t samples_ = 0;
+  PhaseHook* hook_ = nullptr;
 };
 
 /// Canonical merged profile: per-device rows in device order, plus fleet

@@ -150,6 +150,8 @@ std::string to_jsonl(const TraceRecord& rec) {
   append_u64(out, rec.bytes);
   out += ",\"energy_mj\":";
   append_double(out, rec.energy_mj);
+  out += ",\"power_mw\":";
+  append_double(out, rec.power_mw);
   out += ",\"round_id\":";
   append_u64(out, rec.round_id);
   out += ",\"attempt\":";
@@ -166,7 +168,7 @@ void write_jsonl(std::ostream& out, std::span<const TraceRecord> records) {
 
 void write_csv(std::ostream& out, std::span<const TraceRecord> records) {
   out << "sim_time_ms,device_id,kind,outcome,prover_ms,verifier_ms,bytes,"
-         "energy_mj,round_id,attempt\n";
+         "energy_mj,power_mw,round_id,attempt\n";
   std::string line;
   for (const auto& rec : records) {
     line.clear();
@@ -185,6 +187,8 @@ void write_csv(std::ostream& out, std::span<const TraceRecord> records) {
     append_u64(line, rec.bytes);
     line += ',';
     append_double(line, rec.energy_mj);
+    line += ',';
+    append_double(line, rec.power_mw);
     line += ',';
     append_u64(line, rec.round_id);
     line += ',';

@@ -27,6 +27,9 @@ struct TraceRecord {
   double verifier_ms = 0.0;     // modeled verifier-side time
   std::uint64_t bytes = 0;      // wire bytes that triggered the work
   double energy_mj = 0.0;       // prover energy, from the power model
+  double power_mw = 0.0;        // mean power over the span (0 = not
+                                // power-scoped); "power.battery" records
+                                // carry the burn estimate here instead
   std::uint64_t round_id = 0;   // causal round id (prof::make_round_id);
                                 // 0 = not part of any round
   std::uint32_t attempt = 0;    // wire attempt within the round (1-based);

@@ -31,6 +31,12 @@ bool is_rejected(const TraceRecord& rec) {
   return !(out.size() >= 3 && out.substr(out.size() - 3) == ":ok");
 }
 
+bool is_witness_violation(const TraceRecord& rec) {
+  // "power.witness" outcomes: "ok" or "violation:<dimension>".
+  const std::string_view out = rec.outcome;
+  return out.size() >= 9 && out.substr(0, 9) == "violation";
+}
+
 }  // namespace
 
 std::string to_log_line(const AlertEvent& event) {
@@ -66,6 +72,8 @@ AlertEngine::DeviceState::DeviceState(const AlertConfig& config)
       prover_ms(config.window_ms, config.history),
       energy_mj(config.window_ms, config.history),
       timeouts(config.window_ms, config.history),
+      witness(config.window_ms, config.history),
+      battery(config.window_ms, config.history),
       rate_baseline(config.baseline_alpha) {}
 
 AlertEngine::AlertEngine(AlertConfig config) : config_(std::move(config)) {
@@ -98,6 +106,26 @@ void AlertEngine::record(const TraceRecord& rec) {
   if (dev.timeouts.current() != nullptr) {
     evaluate_timeouts(rec.device_id, dev, dev.timeouts.current()->index);
   }
+  // Power streams follow the same wake-on-first pattern: traces without
+  // power records never touch these rings, so legacy logs are unchanged.
+  if (rec.kind == "power.witness") {
+    dev.witness.observe(rec.sim_time_ms,
+                        is_witness_violation(rec) ? 1.0 : 0.0);
+  } else if (dev.witness.current() != nullptr) {
+    dev.witness.advance_to(rec.sim_time_ms);
+  }
+  if (dev.witness.current() != nullptr) {
+    evaluate_witness(rec.device_id, dev, dev.witness.current()->index);
+  }
+  if (rec.kind == "power.battery") {
+    // Gauge records carry state of charge in energy_mj (a fraction).
+    dev.battery.observe(rec.sim_time_ms, rec.energy_mj);
+  } else if (dev.battery.current() != nullptr) {
+    dev.battery.advance_to(rec.sim_time_ms);
+  }
+  if (dev.battery.current() != nullptr) {
+    evaluate_battery(rec.device_id, dev, dev.battery.current()->index);
+  }
   if (is_request_span(rec)) {
     const double rejected = is_rejected(rec) ? 1.0 : 0.0;
     dev.requests.observe(rec.sim_time_ms, 1.0);
@@ -125,6 +153,14 @@ void AlertEngine::finish(double now_ms) {
     if (dev.timeouts.current() != nullptr) {
       dev.timeouts.advance_to(now_ms);
       evaluate_timeouts(d, dev, closed);
+    }
+    if (dev.witness.current() != nullptr) {
+      dev.witness.advance_to(now_ms);
+      evaluate_witness(d, dev, closed);
+    }
+    if (dev.battery.current() != nullptr) {
+      dev.battery.advance_to(now_ms);
+      evaluate_battery(d, dev, closed);
     }
     if (dev.requests.current() == nullptr) continue;
     dev.requests.advance_to(now_ms);
@@ -202,6 +238,50 @@ void AlertEngine::evaluate_timeouts(std::uint64_t device_id,
   }
   if (window_index > dev.next_timeout_grade) {
     dev.next_timeout_grade = window_index;
+  }
+}
+
+void AlertEngine::evaluate_witness(std::uint64_t device_id,
+                                   DeviceState& dev,
+                                   std::uint64_t window_index) {
+  if (config_.power_violation_min == 0) return;  // rule disabled
+  for (std::size_t i = 0; i < dev.witness.size(); ++i) {
+    const WindowStats& w = dev.witness.at(i);
+    if (w.index < dev.next_witness_grade) continue;
+    if (w.index >= window_index) break;
+    // sum counts the window's violation verdicts (ok verdicts add 0).
+    if (w.count > 0 &&
+        w.sum >= static_cast<double>(config_.power_violation_min)) {
+      fire(device_id, dev, w, "power.envelope_violation", w.sum,
+           static_cast<double>(config_.power_violation_min));
+    }
+  }
+  if (window_index > dev.next_witness_grade) {
+    dev.next_witness_grade = window_index;
+  }
+}
+
+void AlertEngine::evaluate_battery(std::uint64_t device_id,
+                                   DeviceState& dev,
+                                   std::uint64_t window_index) {
+  if (config_.battery_alert_soc <= 0.0) return;  // rule disabled
+  for (std::size_t i = 0; i < dev.battery.size(); ++i) {
+    const WindowStats& w = dev.battery.at(i);
+    if (w.index < dev.next_battery_grade) continue;
+    if (w.index >= window_index) break;
+    if (w.count == 0) continue;  // no gauge reports: latch state unknown
+    if (w.min() <= config_.battery_alert_soc) {
+      if (!dev.battery_low) {
+        dev.battery_low = true;
+        fire(device_id, dev, w, "power.battery_depletion", w.min(),
+             config_.battery_alert_soc);
+      }
+    } else {
+      dev.battery_low = false;  // SoC recovered: re-arm the latch
+    }
+  }
+  if (window_index > dev.next_battery_grade) {
+    dev.next_battery_grade = window_index;
   }
 }
 

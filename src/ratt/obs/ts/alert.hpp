@@ -19,7 +19,16 @@
 //   net.loss_burst    "net.timeout" spans (reliable-exchange attempt
 //                     timers expiring, see ratt::net) clustering inside
 //                     one window — a burst outage / jamming signature
-//                     distinct from a request flood.
+//                     distinct from a request flood,
+//   power.envelope_violation
+//                     "power.witness" verdicts (the power-trace grader,
+//                     see ratt::obs::power) flagging rounds whose power
+//                     shape left the clean envelope — the MAC-passing
+//                     tamper signature,
+//   power.battery_depletion
+//                     "power.battery" gauge reports showing state of
+//                     charge at/below the floor — fires once per
+//                     excursion (latched until SoC recovers).
 //
 // Determinism contract: alerts depend only on the record stream, so a
 // same-seed run produces a byte-identical alert log (see to_log_line and
@@ -67,6 +76,15 @@ struct AlertConfig {
   // net.loss_burst: timeouts in one window at or above this fire (0
   // disables the rule).
   std::uint64_t loss_burst_min_timeouts = 3;
+
+  // power.envelope_violation: "power.witness" violation verdicts in one
+  // window at or above this fire (0 disables the rule).
+  std::uint64_t power_violation_min = 1;
+
+  // power.battery_depletion: fires when a closed window's minimum
+  // reported state of charge is at/below this fraction (0 disables);
+  // latched until a closed window's minimum recovers above it.
+  double battery_alert_soc = 0.2;
 };
 
 struct AlertEvent {
@@ -93,8 +111,10 @@ class AlertEngine : public TraceSink {
   explicit AlertEngine(AlertConfig config = AlertConfig{});
 
   /// Feed one span. Request-shaped records ("prover.handle" and
-  /// "dos.request") drive the dos.* rules and "net.timeout" spans drive
-  /// net.loss_burst; other kinds only advance time.
+  /// "dos.request") drive the dos.* rules, "net.timeout" spans drive
+  /// net.loss_burst, "power.witness" verdicts drive
+  /// power.envelope_violation and "power.battery" gauges drive
+  /// power.battery_depletion; other kinds only advance time.
   void record(const TraceRecord& rec) override;
 
   /// Close windows up to `now_ms` on every device and evaluate them —
@@ -140,9 +160,17 @@ class AlertEngine : public TraceSink {
     /// dos.rate_spike, and their windows need not line up with request
     /// windows anyway.
     WindowedRollup timeouts;
+    /// "power.witness" verdicts (1 per violation, 0 per ok) and
+    /// "power.battery" SoC gauges — wake-on-first rings like `timeouts`,
+    /// so streams without power records leave alert logs unchanged.
+    WindowedRollup witness;
+    WindowedRollup battery;
     Ewma rate_baseline;        // EWMA of closed-window request rates
     std::uint64_t next_grade_index = 0;  // windows below this are graded
     std::uint64_t next_timeout_grade = 0;
+    std::uint64_t next_witness_grade = 0;
+    std::uint64_t next_battery_grade = 0;
+    bool battery_low = false;  // depletion latch (one alert per excursion)
     std::uint64_t alert_count = 0;
   };
 
@@ -153,6 +181,12 @@ class AlertEngine : public TraceSink {
   /// Grade closed timeout windows (net.loss_burst).
   void evaluate_timeouts(std::uint64_t device_id, DeviceState& dev,
                          std::uint64_t window_index);
+  /// Grade closed witness windows (power.envelope_violation).
+  void evaluate_witness(std::uint64_t device_id, DeviceState& dev,
+                        std::uint64_t window_index);
+  /// Grade closed battery windows (power.battery_depletion).
+  void evaluate_battery(std::uint64_t device_id, DeviceState& dev,
+                        std::uint64_t window_index);
   void fire(std::uint64_t device_id, DeviceState& dev,
             const WindowStats& window, const char* rule, double observed,
             double threshold);

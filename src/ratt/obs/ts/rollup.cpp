@@ -74,6 +74,34 @@ void WindowedRollup::observe(double t_ms, double v) {
   total_sum_ += v;
 }
 
+RollupState WindowedRollup::state() const {
+  RollupState st;
+  st.window_ms = window_ms_;
+  st.capacity = ring_.size();
+  st.windows = snapshot();
+  st.evicted = evicted_;
+  st.late = late_;
+  st.total_count = total_count_;
+  st.total_sum = total_sum_;
+  st.started = started_;
+  return st;
+}
+
+void WindowedRollup::restore(const RollupState& st) {
+  window_ms_ = st.window_ms <= 0.0 ? 1.0 : st.window_ms;
+  ring_.assign(st.capacity == 0 ? 1 : st.capacity, WindowStats{});
+  head_ = 0;
+  size_ = st.windows.size() < ring_.size() ? st.windows.size() : ring_.size();
+  // Keep the newest windows if the state somehow exceeds capacity.
+  const std::size_t skip = st.windows.size() - size_;
+  for (std::size_t i = 0; i < size_; ++i) ring_[i] = st.windows[skip + i];
+  evicted_ = st.evicted;
+  late_ = st.late;
+  total_count_ = st.total_count;
+  total_sum_ = st.total_sum;
+  started_ = st.started;
+}
+
 std::vector<WindowStats> WindowedRollup::snapshot() const {
   std::vector<WindowStats> out;
   out.reserve(size_);

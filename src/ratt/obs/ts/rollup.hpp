@@ -42,6 +42,21 @@ struct WindowStats {
   }
 };
 
+/// Complete serializable state of a WindowedRollup — everything needed
+/// to resume the rollup mid-stream as if it had never stopped. Windows
+/// are oldest first (the snapshot() order); restore() rebuilds the ring
+/// from them. Used by the power layer's battery checkpoints.
+struct RollupState {
+  double window_ms = 0.0;
+  std::size_t capacity = 0;
+  std::vector<WindowStats> windows;  // live windows, oldest first
+  std::uint64_t evicted = 0;
+  std::uint64_t late = 0;
+  std::uint64_t total_count = 0;
+  double total_sum = 0.0;
+  bool started = false;
+};
+
 /// Fixed-capacity ring of per-window sum/count/min/max aggregates.
 /// observe(t, v) files v under window floor(t / window_ms); moving into a
 /// later window closes the current one (empty gap windows are material —
@@ -74,6 +89,12 @@ class WindowedRollup {
 
   /// Copy of the live windows, oldest first (report path; allocates).
   std::vector<WindowStats> snapshot() const;
+
+  /// Full state for checkpointing; restore() resumes exactly there —
+  /// a restored rollup's subsequent observations match a never-stopped
+  /// one byte for byte. restore() re-sizes to the state's capacity.
+  RollupState state() const;
+  void restore(const RollupState& st);
 
  private:
   WindowStats& slot(std::size_t i);  // i = logical index, 0 = oldest

@@ -25,6 +25,7 @@ void DosSimulator::observe_request(double now_ms,
     rec.outcome = klass;
     rec.prover_ms = outcome.device_ms;
     rec.energy_mj = obs_.power.active_mj(outcome.device_ms);
+    rec.power_mw = outcome.device_ms > 0.0 ? obs_.power.active_mw : 0.0;
     obs_.sink->record(rec);
   }
 }

@@ -111,7 +111,9 @@ void AttestationSession::profile_net_wait(double round_trip_ms,
   sample.phase = obs::prof::Phase::kNetWait;
   sample.device_id = obs_.device_id;
   sample.round_id = round_id;
+  sample.sim_time_ms = queue_->now_ms();  // the wait ends right now
   sample.cycles = tm.cycles(wait_ms);
+  sample.duration_ms = wait_ms;
   sample.energy_mj = obs_.power.sleep_mj(wait_ms);
   obs_.profile->record(sample);
 }
@@ -299,9 +301,12 @@ void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
   if (verifier_->check_response(it->request, *response)) {
     ++stats_.responses_valid;
     if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
+    // Profile before the trace record: the closing "verifier.round" span
+    // finalizes the round's power trace, so its net_wait phase must land
+    // first. The profile hook is not a trace sink — log bytes unchanged.
+    profile_net_wait(round_trip_ms, it->round_id);
     observe_round("valid", round_trip_ms, verifier_ms, wire.size(),
                   it->round_id, it->attempt);
-    profile_net_wait(round_trip_ms, it->round_id);
   } else {
     ++stats_.responses_invalid;
     if (obs_rounds_invalid_ != nullptr) obs_rounds_invalid_->inc();
@@ -352,9 +357,11 @@ void AttestationSession::on_reliable_response(
   if (verifier_->check_response(request, response)) {
     ++stats_.responses_valid;
     if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
+    // Same ordering as the plain path: the closing span finalizes the
+    // round's power trace, so the net_wait phase must precede it.
+    profile_net_wait(round_trip_ms, round_id);
     observe_round("valid", round_trip_ms, verifier_ms, wire_bytes, round_id,
                   attempt);
-    profile_net_wait(round_trip_ms, round_id);
     rtx_->close_valid(round);
   } else {
     // Bad MAC on an open round (e.g. corrupted in flight): discard this

@@ -133,6 +133,8 @@ void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
 void Swarm::attach_sharded_observer(obs::Registry* registry,
                                     std::size_t ring_capacity,
                                     obs::PowerModel power) {
+  attached_registry_ = registry;
+  attached_power_ = power;
   for (auto& shard : shards_) {
     shard->ring = std::make_unique<obs::RingRecorder>(ring_capacity);
     if (registry != nullptr) {
@@ -172,6 +174,43 @@ obs::prof::ProfileTable Swarm::merged_profile() const {
     if (shard->profile != nullptr) per_shard.push_back(shard->profile.get());
   }
   return obs::prof::ProfileTable::merge(per_shard);
+}
+
+void Swarm::attach_power(const obs::power::PowerTraceConfig& config) {
+  if (shards_.empty() || shards_[0]->ring == nullptr) {
+    // Power synthesis needs the shard rings and profiles in place.
+    attach_sharded_observer(attached_registry_);
+  }
+  for (auto& shard : shards_) {
+    shard->power = std::make_unique<obs::power::ShardPowerRecorder>(config);
+    // Ring first so the ring's view of the stream is untouched; the
+    // recorder only reads round-close spans off the same stream.
+    shard->power_tee =
+        std::make_unique<obs::TeeSink>(*shard->ring, *shard->power);
+    shard->profile->set_hook(shard->power.get());
+  }
+  // Re-point every device observer at its shard's tee; everything else
+  // (registry, power model, profile) is exactly what was attached.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    obs::Observer o;
+    o.registry = attached_registry_;
+    o.sink = shards_[devices_[i]->shard]->power_tee.get();
+    o.device_id = i;
+    o.power = attached_power_;
+    o.profile = shards_[devices_[i]->shard]->profile.get();
+    devices_[i]->prover->set_observer(o);
+    devices_[i]->verifier->set_observer(o);
+    devices_[i]->session->set_observer(o);
+  }
+}
+
+std::vector<obs::power::RoundTrace> Swarm::merged_power_traces() const {
+  std::vector<std::vector<obs::power::RoundTrace>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (shard->power != nullptr) per_shard.push_back(shard->power->completed());
+  }
+  return obs::power::merge_round_traces(std::move(per_shard));
 }
 
 void Swarm::schedule(double horizon_ms) {

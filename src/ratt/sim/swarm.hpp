@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ratt/net/link.hpp"
+#include "ratt/obs/power/trace.hpp"
 #include "ratt/obs/prof/profile.hpp"
 #include "ratt/sim/session.hpp"
 
@@ -149,6 +150,26 @@ class Swarm {
   /// same seed at any thread/shard count.
   obs::prof::ProfileTable merged_profile() const;
 
+  /// Power-trace synthesis on top of sharded observability: every shard
+  /// gets its own obs::power::ShardPowerRecorder hooked to the shard's
+  /// profile (phase stream) and tee'd off the shard's ring (round-close
+  /// stream). Calls attach_sharded_observer() itself if the swarm has no
+  /// shard rings yet (with its defaults); call it first to customize
+  /// registry/capacity/power-model. One recorder per shard — the same
+  /// no-shared-sinks contract as the rings, so run_parallel() stays
+  /// deterministic at any thread count.
+  void attach_power(const obs::power::PowerTraceConfig& config =
+                        obs::power::PowerTraceConfig{});
+
+  /// Canonical merge of the per-shard completed power traces, ordered by
+  /// (end_ms, device_id, round_id) — empty unless attach_power() ran.
+  std::vector<obs::power::RoundTrace> merged_power_traces() const;
+
+  /// Shard s's power recorder (nullptr unless attach_power).
+  const obs::power::ShardPowerRecorder* shard_power(std::size_t s) const {
+    return shards_[s]->power.get();
+  }
+
   /// Shard s's trace ring (nullptr unless attach_sharded_observer) — for
   /// flight-recorder style taps that need per-shard drop accounting.
   const obs::RingRecorder* shard_ring(std::size_t s) const {
@@ -194,6 +215,8 @@ class Swarm {
     std::size_t end = 0;
     std::unique_ptr<obs::RingRecorder> ring;  // sharded-tracing mode
     std::unique_ptr<obs::prof::ShardProfile> profile;  // sharded profiling
+    std::unique_ptr<obs::power::ShardPowerRecorder> power;  // attach_power
+    std::unique_ptr<obs::TeeSink> power_tee;  // ring + power recorder
   };
 
   /// Drain every shard queue on up to `threads` workers; returns the
@@ -203,6 +226,10 @@ class Swarm {
   SwarmConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Device>> devices_;
+  // What attach_sharded_observer attached — attach_power re-attaches the
+  // device observers with the tee'd sink and must preserve these.
+  obs::Registry* attached_registry_ = nullptr;
+  obs::PowerModel attached_power_{};
 };
 
 }  // namespace ratt::sim

@@ -51,7 +51,7 @@ TEST(Perfetto, GoldenSingleSpan) {
             "{\"name\":\"prover.handle\",\"cat\":\"ratt\",\"ph\":\"X\","
             "\"ts\":75000,\"dur\":25000,\"pid\":7,\"tid\":1,"
             "\"args\":{\"outcome\":\"ok\",\"bytes\":48,\"prover_ms\":25,"
-            "\"verifier_ms\":0,\"energy_mj\":0.25}}\n"
+            "\"verifier_ms\":0,\"energy_mj\":0.25,\"power_mw\":0}}\n"
             "]}\n");
 }
 

@@ -171,11 +171,11 @@ TEST(WriteDump, GoldenFormat) {
             "pre  {\"sim_time_ms\":1,\"device_id\":3,"
             "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
             "\"prover_ms\":0,\"verifier_ms\":0,\"bytes\":0,"
-            "\"energy_mj\":0,\"round_id\":0,\"attempt\":0}\n"
+            "\"energy_mj\":0,\"power_mw\":0,\"round_id\":0,\"attempt\":0}\n"
             "post {\"sim_time_ms\":2,\"device_id\":3,"
             "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
             "\"prover_ms\":0,\"verifier_ms\":0,\"bytes\":0,"
-            "\"energy_mj\":0,\"round_id\":0,\"attempt\":0}\n");
+            "\"energy_mj\":0,\"power_mw\":0,\"round_id\":0,\"attempt\":0}\n");
 }
 
 // --- AlertEngine integration: the deployment shape the docs describe —

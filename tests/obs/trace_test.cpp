@@ -64,14 +64,15 @@ TEST(JsonlExport, GoldenRecord) {
   r.verifier_ms = 0.0;
   r.bytes = 38;
   r.energy_mj = 0.68112;
+  r.power_mw = 7.2;
   r.round_id = 0xdeadbeef;
   r.attempt = 2;
   EXPECT_EQ(to_jsonl(r),
             "{\"sim_time_ms\":12.5,\"device_id\":3,"
             "\"kind\":\"prover.handle\",\"outcome\":\"ok\","
             "\"prover_ms\":94.6,\"verifier_ms\":0,\"bytes\":38,"
-            "\"energy_mj\":0.68112,\"round_id\":3735928559,"
-            "\"attempt\":2}");
+            "\"energy_mj\":0.68112,\"power_mw\":7.2,"
+            "\"round_id\":3735928559,\"attempt\":2}");
 }
 
 TEST(JsonlExport, EscapesStrings) {
@@ -100,8 +101,8 @@ TEST(CsvExport, HeaderPlusRows) {
   write_csv(out, records);
   EXPECT_EQ(out.str(),
             "sim_time_ms,device_id,kind,outcome,prover_ms,verifier_ms,"
-            "bytes,energy_mj,round_id,attempt\n"
-            "1.5,2,k,ok,0,0,0,0,0,0\n");
+            "bytes,energy_mj,power_mw,round_id,attempt\n"
+            "1.5,2,k,ok,0,0,0,0,0,0,0\n");
 }
 
 // --- Hostile-label escaping (exporter audit): commas, quotes,
@@ -134,7 +135,7 @@ TEST(CsvExport, QuotesHostileLabels) {
   EXPECT_NE(text.find("\"k,ind\""), std::string::npos);
   EXPECT_NE(text.find("\"out\"\"come\""), std::string::npos);
   EXPECT_NE(text.find("\"multi\nline\""), std::string::npos);
-  // The hostile row still has exactly 9 unquoted commas (10 columns).
+  // The hostile row still has exactly 10 unquoted commas (11 columns).
   const std::string row = text.substr(text.find('\n') + 1);
   const std::string first_row = row.substr(0, row.find('\n'));
   int commas = 0;
@@ -143,7 +144,7 @@ TEST(CsvExport, QuotesHostileLabels) {
     if (c == '"') quoted = !quoted;
     if (c == ',' && !quoted) ++commas;
   }
-  EXPECT_EQ(commas, 9);
+  EXPECT_EQ(commas, 10);
   EXPECT_NE(text.find("plain"), std::string::npos);
 }
 
@@ -185,7 +186,7 @@ TEST(CsvExport, HostileLabelRoundTrip) {
     }
   }
   fields.push_back(std::move(field));
-  ASSERT_EQ(fields.size(), 10u);
+  ASSERT_EQ(fields.size(), 11u);
   EXPECT_EQ(fields[2], kind);
   EXPECT_EQ(fields[3], outcome);
 }

@@ -118,6 +118,70 @@ TEST(WindowedRollup, SnapshotMatchesAtAccessor) {
   }
 }
 
+// Regression: a zero (or negative) window must never divide-by-zero
+// anywhere — the ctor clamps to 1 ms and the rate helpers return 0.
+TEST(WindowedRollup, ZeroWindowIsClampedAndRateHelpersGuard) {
+  WindowedRollup r(0.0, 4);
+  EXPECT_DOUBLE_EQ(r.window_ms(), 1.0);
+  r.observe(0.5, 2.0);
+  ASSERT_NE(r.current(), nullptr);
+  EXPECT_DOUBLE_EQ(r.current()->rate_per_s(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.current()->sum_per_s(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.current()->sum_per_s(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.current()->rate_per_s(r.window_ms()), 1000.0);
+
+  WindowedRollup negative(-3.0, 0);
+  EXPECT_DOUBLE_EQ(negative.window_ms(), 1.0);
+  EXPECT_EQ(negative.capacity(), 1u);
+  negative.observe(0.0, 1.0);  // must not crash on the clamped ring
+  EXPECT_EQ(negative.size(), 1u);
+}
+
+// Checkpoint contract: a restored rollup continues exactly where the
+// original stopped — same windows, same counters, same future behavior.
+TEST(WindowedRollup, StateRoundTripResumesExactly) {
+  WindowedRollup a(100.0, 4);
+  for (int w = 0; w < 6; ++w) a.observe(100.0 * w + 1.0, w + 0.5);
+  a.observe(10.0, 1.0);  // a late sample, so late() is nonzero
+
+  WindowedRollup b(1.0, 1);  // deliberately different shape
+  b.restore(a.state());
+  EXPECT_DOUBLE_EQ(b.window_ms(), a.window_ms());
+  EXPECT_EQ(b.capacity(), a.capacity());
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b.at(i).index, a.at(i).index);
+    EXPECT_EQ(b.at(i).count, a.at(i).count);
+    EXPECT_DOUBLE_EQ(b.at(i).sum, a.at(i).sum);
+    EXPECT_DOUBLE_EQ(b.at(i).min_raw, a.at(i).min_raw);
+    EXPECT_DOUBLE_EQ(b.at(i).max_raw, a.at(i).max_raw);
+  }
+  EXPECT_EQ(b.evicted(), a.evicted());
+  EXPECT_EQ(b.late(), a.late());
+  EXPECT_EQ(b.total_count(), a.total_count());
+  EXPECT_DOUBLE_EQ(b.total_sum(), a.total_sum());
+
+  // Future observations evolve identically.
+  a.observe(640.0, 9.0);
+  b.observe(640.0, 9.0);
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.current()->index, a.current()->index);
+  EXPECT_DOUBLE_EQ(b.current()->sum, a.current()->sum);
+  EXPECT_EQ(b.evicted(), a.evicted());
+}
+
+// An empty (never-observed) rollup round-trips too.
+TEST(WindowedRollup, EmptyStateRoundTrip) {
+  WindowedRollup a(250.0, 8);
+  WindowedRollup b(1.0, 1);
+  b.restore(a.state());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.current(), nullptr);
+  b.observe(10.0, 1.0);
+  EXPECT_EQ(b.current()->index, 0u);
+  EXPECT_DOUBLE_EQ(b.window_ms(), 250.0);
+}
+
 TEST(Ewma, FirstSampleInitializesThenBlends) {
   Ewma e(0.5);
   EXPECT_FALSE(e.initialized());
