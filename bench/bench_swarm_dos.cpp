@@ -24,6 +24,15 @@
 //                   amplification the lossy wire extracts via verifier
 //                   retransmissions (each retry is a fresh request the
 //                   prover fully serves).
+//   --fleet         periodic-attestation throughput bench on the timing
+//                   wheel + lazy-materialization stack (no adversary):
+//                   every device attests every --period=MS over
+//                   --horizon=MS. --heap swaps in the reference binary
+//                   heap and --eager the legacy up-front schedule, so CI
+//                   can byte-compare the stdout/trace of both stacks.
+//                   --check-against=BENCH_fleet.json re-runs the pinned
+//                   configuration and fails on any deterministic-field
+//                   mismatch or a >60% requests/s regression.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -162,6 +171,16 @@ struct FleetScaleOptions {
   std::string link;  // faulty-link profile; enables reliable rounds
   std::string json_path;  // machine-readable summary (incl. wall-clock)
   bool slow_bus = false;  // per-byte reference bus path (CI byte-compare)
+  // --fleet mode (periodic attestation, no adversary):
+  bool fleet = false;
+  std::size_t measured = 64;   // bytes measured per round
+  double period_ms = 125.0;    // attestation period
+  double horizon_ms = 1000.0;  // simulated horizon
+  bool heap = false;           // reference binary heap instead of the wheel
+  bool eager = false;          // legacy eager schedule instead of lazy
+  bool no_share = false;       // per-device boot images (no template)
+  bool no_trace = false;       // registry-only observability (1M smoke)
+  std::string check_path;      // --check-against=BENCH_fleet.json
 };
 
 int run_fleet_scale(const FleetScaleOptions& opt) {
@@ -335,10 +354,255 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
   return 0;
 }
 
+/// "key": value lookup in a flat JSON object (the string-search idiom
+/// bench_profile uses for its baseline — no JSON library in the image).
+bool find_json_number(const std::string& text, const char* key,
+                      double* out) {
+  const std::size_t at = text.find("\"" + std::string(key) + "\":");
+  if (at == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + at + std::strlen(key) + 3, nullptr);
+  return true;
+}
+
+bool find_json_string(const std::string& text, const char* key,
+                      std::string* out) {
+  const std::size_t at = text.find("\"" + std::string(key) + "\": \"");
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + std::strlen(key) + 5;
+  const std::size_t end = text.find('"', begin);
+  if (end == std::string::npos) return false;
+  *out = text.substr(begin, end - begin);
+  return true;
+}
+
+struct FleetResult {
+  std::uint64_t rounds_valid = 0;
+  std::uint64_t rounds_sent = 0;
+  std::uint64_t events_run = 0;
+  std::size_t materialized = 0;
+  std::size_t trace_records = 0;
+  std::string trace_fnv;
+  double requests_per_sec = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// Gate a --fleet run against a pinned BENCH_fleet.json: deterministic
+/// fields must match exactly; requests/s may not fall below 40% of the
+/// recorded machine's rate (generous, so a loaded CI runner does not
+/// flake, while a real scheduler regression — the wheel degrading to
+/// heap-like behavior is several x — still trips it).
+int check_fleet_against(const FleetScaleOptions& opt,
+                        const FleetResult& result) {
+  std::ifstream in(opt.check_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline: %s\n",
+                 opt.check_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  int failures = 0;
+  const auto expect_u64 = [&](const char* key, std::uint64_t now) {
+    double base = 0.0;
+    if (!find_json_number(text, key, &base)) {
+      std::fprintf(stderr, "baseline is missing \"%s\"\n", key);
+      ++failures;
+      return;
+    }
+    if (static_cast<std::uint64_t>(base) != now) {
+      std::fprintf(stderr,
+                   "FLEET MISMATCH: %s baseline %llu vs now %llu\n", key,
+                   static_cast<unsigned long long>(base),
+                   static_cast<unsigned long long>(now));
+      ++failures;
+    }
+  };
+  expect_u64("devices", opt.devices);
+  expect_u64("measured_bytes", opt.measured);
+  expect_u64("rounds_sent", result.rounds_sent);
+  expect_u64("rounds_valid", result.rounds_valid);
+  expect_u64("events_run", result.events_run);
+  expect_u64("materialized", result.materialized);
+  if (!opt.no_trace) {
+    expect_u64("trace_records", result.trace_records);
+    std::string base_fnv;
+    if (!find_json_string(text, "trace_jsonl_fnv", &base_fnv)) {
+      std::fprintf(stderr, "baseline is missing \"trace_jsonl_fnv\"\n");
+      ++failures;
+    } else if (base_fnv != result.trace_fnv) {
+      std::fprintf(stderr, "FLEET MISMATCH: trace_jsonl_fnv %s vs %s\n",
+                   base_fnv.c_str(), result.trace_fnv.c_str());
+      ++failures;
+    }
+  }
+  double base_rps = 0.0;
+  if (!find_json_number(text, "requests_per_sec", &base_rps)) {
+    std::fprintf(stderr, "baseline is missing \"requests_per_sec\"\n");
+    ++failures;
+  } else if (result.requests_per_sec < 0.4 * base_rps) {
+    std::fprintf(stderr,
+                 "FLEET PERF REGRESSION: %.0f requests/s vs baseline "
+                 "%.0f (floor 40%%)\n",
+                 result.requests_per_sec, base_rps);
+    ++failures;
+  } else {
+    std::fprintf(stderr, "perf gate ok: %.0f requests/s vs baseline %.0f\n",
+                 result.requests_per_sec, base_rps);
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "fleet gate ok (vs %s)\n", opt.check_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_fleet_periodic(const FleetScaleOptions& opt) {
+  sim::SwarmConfig config;
+  config.device_count = opt.devices;
+  config.prover.scheme = attest::FreshnessScheme::kCounter;
+  config.prover.authenticate_requests = true;
+  config.prover.measured_bytes = opt.measured;
+  config.attest_period_ms = opt.period_ms;
+  config.shard_count =
+      opt.shards != 0 ? opt.shards : std::min<std::size_t>(opt.devices, 16);
+  config.use_wheel = !opt.heap;
+  config.eager_schedule = opt.eager;
+  config.share_app_image = !opt.no_share;
+
+  sim::Swarm swarm(config, crypto::from_string("fleet-bench-seed"));
+  obs::Registry registry;
+  if (opt.no_trace) {
+    swarm.attach_observer(&registry, nullptr);
+  } else {
+    swarm.attach_sharded_observer(&registry);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const sim::SwarmReport report =
+      swarm.run_parallel(opt.horizon_ms, opt.threads);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  FleetResult result;
+  result.rounds_valid = report.total_valid();
+  result.rounds_sent = report.total_sent();
+  const obs::Counter* events_run = registry.find_counter("queue.events_run");
+  result.events_run = events_run == nullptr ? 0 : events_run->count();
+  result.materialized = swarm.materialized_count();
+  result.wall_ms = wall_ms;
+  result.requests_per_sec =
+      wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(result.rounds_sent) / wall_ms
+          : 0.0;
+
+  std::string jsonl_text;
+  if (!opt.no_trace) {
+    std::ostringstream jsonl;
+    obs::write_jsonl(jsonl, swarm.merged_trace());
+    jsonl_text = jsonl.str();
+    result.trace_records = swarm.merged_trace().size();
+    char fnv_hex[17];
+    std::snprintf(fnv_hex, sizeof fnv_hex, "%016llx",
+                  static_cast<unsigned long long>(fnv1a(jsonl_text)));
+    result.trace_fnv = fnv_hex;
+    if (!opt.trace_path.empty()) {
+      std::ofstream out(opt.trace_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open trace file: %s\n",
+                     opt.trace_path.c_str());
+        return 2;
+      }
+      out << jsonl_text;
+    }
+  }
+
+  // Deterministic surface (byte-identical for the same seed at any
+  // --threads, and across --heap/--eager): wall clock goes to stderr.
+  std::printf("=== fleet periodic attestation ===\n");
+  std::printf("devices:          %zu\n", opt.devices);
+  std::printf("shards:           %zu\n", swarm.shard_count());
+  std::printf("scheduler:        %s%s\n", opt.heap ? "heap" : "wheel",
+              opt.eager ? " (eager)" : " (lazy)");
+  std::printf("shared image:     %s\n", opt.no_share ? "no" : "yes");
+  std::printf("measured bytes:   %zu\n", opt.measured);
+  std::printf("period_ms:        %g\n", opt.period_ms);
+  std::printf("horizon_ms:       %g\n", opt.horizon_ms);
+  std::printf("rounds sent:      %llu\n",
+              static_cast<unsigned long long>(result.rounds_sent));
+  std::printf("rounds valid:     %llu\n",
+              static_cast<unsigned long long>(result.rounds_valid));
+  std::printf("events run:       %llu\n",
+              static_cast<unsigned long long>(result.events_run));
+  std::printf("materialized:     %zu\n", result.materialized);
+  std::printf("events leftover:  %zu\n", report.events_leftover);
+  if (!opt.no_trace) {
+    std::printf("trace records:    %zu\n", result.trace_records);
+    std::printf("trace jsonl fnv:  %s\n", result.trace_fnv.c_str());
+  }
+  std::fprintf(stderr, "threads=%zu wall_ms=%.1f requests_per_sec=%.0f\n",
+               opt.threads, wall_ms, result.requests_per_sec);
+  if (report.events_leftover != 0) {
+    std::fprintf(stderr, "FLEET ERROR: %zu events stranded\n",
+                 report.events_leftover);
+    return 1;
+  }
+  if (result.rounds_valid != result.rounds_sent) {
+    std::fprintf(stderr, "FLEET ERROR: %llu of %llu rounds invalid\n",
+                 static_cast<unsigned long long>(result.rounds_sent -
+                                                 result.rounds_valid),
+                 static_cast<unsigned long long>(result.rounds_sent));
+    return 1;
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path, std::ios::binary);
+    if (!json) {
+      std::fprintf(stderr, "cannot open json file: %s\n",
+                   opt.json_path.c_str());
+      return 2;
+    }
+    json << "{\n"
+         << "  \"bench\": \"bench_swarm_dos --fleet\",\n"
+         << "  \"devices\": " << opt.devices << ",\n"
+         << "  \"shards\": " << swarm.shard_count() << ",\n"
+         << "  \"threads\": " << opt.threads << ",\n"
+         << "  \"scheduler\": \"" << (opt.heap ? "heap" : "wheel") << "\",\n"
+         << "  \"eager\": " << (opt.eager ? "true" : "false") << ",\n"
+         << "  \"share_image\": " << (opt.no_share ? "false" : "true")
+         << ",\n"
+         << "  \"measured_bytes\": " << opt.measured << ",\n"
+         << "  \"period_ms\": " << opt.period_ms << ",\n"
+         << "  \"horizon_ms\": " << opt.horizon_ms << ",\n"
+         << "  \"rounds_sent\": " << result.rounds_sent << ",\n"
+         << "  \"rounds_valid\": " << result.rounds_valid << ",\n"
+         << "  \"events_run\": " << result.events_run << ",\n"
+         << "  \"materialized\": " << result.materialized << ",\n"
+         << "  \"trace_records\": " << result.trace_records << ",\n"
+         << "  \"trace_jsonl_fnv\": \"" << result.trace_fnv << "\",\n"
+         << "  \"requests_per_sec\": " << result.requests_per_sec << ",\n"
+         << "  \"wall_ms\": " << wall_ms << "\n"
+         << "}\n";
+  }
+  if (!opt.check_path.empty()) {
+    return check_fleet_against(opt, result);
+  }
+  return 0;
+}
+
 bool parse_size(const char* arg, const char* prefix, std::size_t* out) {
   const std::size_t len = std::strlen(prefix);
   if (std::strncmp(arg, prefix, len) != 0) return false;
   *out = static_cast<std::size_t>(std::strtoull(arg + len, nullptr, 10));
+  return true;
+}
+
+bool parse_double(const char* arg, const char* prefix, double* out) {
+  const std::size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  *out = std::strtod(arg + len, nullptr);
   return true;
 }
 
@@ -353,6 +617,33 @@ int main(int argc, char** argv) {
     if (parse_size(arg, "--devices=", &opt.devices)) continue;
     if (parse_size(arg, "--threads=", &opt.threads)) continue;
     if (parse_size(arg, "--shards=", &opt.shards)) continue;
+    if (parse_size(arg, "--measured=", &opt.measured)) continue;
+    if (parse_double(arg, "--period=", &opt.period_ms)) continue;
+    if (parse_double(arg, "--horizon=", &opt.horizon_ms)) continue;
+    if (std::strcmp(arg, "--fleet") == 0) {
+      opt.fleet = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--heap") == 0) {
+      opt.heap = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--eager") == 0) {
+      opt.eager = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-share-image") == 0) {
+      opt.no_share = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-trace") == 0) {
+      opt.no_trace = true;
+      continue;
+    }
+    if (std::strncmp(arg, "--check-against=", 16) == 0) {
+      opt.check_path = arg + 16;
+      continue;
+    }
     if (std::strncmp(arg, "--trace=", 8) == 0) {
       opt.trace_path = arg + 8;
       continue;
@@ -376,7 +667,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--devices=N] [--threads=N] [--shards=N] "
                  "[--trace=path] [--json=path] [--slow-bus] "
-                 "[--link=clean|lossy10|bursty|hostile]\n",
+                 "[--link=clean|lossy10|bursty|hostile] | "
+                 "--fleet [--measured=N] [--period=MS] [--horizon=MS] "
+                 "[--heap] [--eager] [--no-share-image] [--no-trace] "
+                 "[--check-against=BENCH_fleet.json]\n",
                  argv[0]);
     return 2;
   }
@@ -384,5 +678,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--devices and --threads must be nonzero\n");
     return 2;
   }
+  if (opt.fleet) return run_fleet_periodic(opt);
   return run_fleet_scale(opt);
 }

@@ -27,6 +27,31 @@ constexpr hw::Addr kClockPortAddr = 0x00210000;   // MMIO
 constexpr std::size_t kWrapIrqVector = 0;
 constexpr unsigned kSwClockLsbBits = 16;
 
+// One process-wide vendor keypair: the derivation seed is a constant, so
+// every device always got the exact same keypair — generating it once
+// (thread-safe magic static) removes an EC scalar multiplication from
+// every device construction, which matters when a fleet materializes
+// devices by the hundred thousand.
+const crypto::EcdsaKeyPair& vendor_keypair() {
+  static const crypto::EcdsaKeyPair kVendor =
+      crypto::ecdsa_generate_key(crypto::from_string("prover-vendor-key"));
+  return kVendor;
+}
+
+// The application image the secure boot loads: a small code stub plus the
+// measured range, both derived from the app seed (one DRBG, draw order
+// fixed — this is the byte stream every existing golden depends on).
+hw::BootImage make_boot_image(ByteView app_seed, std::size_t measured_bytes) {
+  crypto::HmacDrbg app_drbg(app_seed);
+  hw::BootImage image;
+  image.name = "prover-firmware";
+  image.segments.push_back(
+      hw::BootSegment{kAppCodeRegion.begin, app_drbg.generate(256)});
+  image.segments.push_back(
+      hw::BootSegment{kMeasuredBase, app_drbg.generate(measured_bytes)});
+  return image;
+}
+
 }  // namespace
 
 std::string to_string(ClockDesign design) {
@@ -57,6 +82,27 @@ std::string to_string(MpuFlavor flavor) {
 
 ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
                            ByteView app_seed)
+    : ProverDevice(config, std::move(k_attest), app_seed, nullptr) {}
+
+ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
+                           const ProverTemplate& tmpl)
+    : ProverDevice(config, std::move(k_attest), ByteView{}, &tmpl) {}
+
+ProverTemplate ProverDevice::make_template(const ProverConfig& config,
+                                           ByteView app_seed) {
+  ProverTemplate tmpl;
+  tmpl.image = make_boot_image(app_seed, config.measured_bytes);
+  // make_rom_reference signs boot_image_digest(image) with the vendor
+  // key right here, which is what justifies signature_preverified in the
+  // per-device boot; expected_hash doubles as the memoized digest.
+  tmpl.reference = hw::make_rom_reference(tmpl.image, vendor_keypair());
+  tmpl.digest = tmpl.reference.expected_hash;
+  tmpl.reference_memory = tmpl.image.segments[1].data;
+  return tmpl;
+}
+
+ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
+                           ByteView app_seed, const ProverTemplate* tmpl)
     : config_(config), timing_(config.clock_hz) {
   hw::Mcu::Layout layout;
   layout.clock_hz = static_cast<std::uint64_t>(config.clock_hz);
@@ -211,19 +257,21 @@ ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
   surface_.audit_log_addr = config_.enable_audit_log ? kAuditLogAddr : 0;
 
   // --- Secure boot: application image + IDT + protection rules. ---
-  crypto::HmacDrbg app_drbg(app_seed);
-  hw::BootImage image;
-  image.name = "prover-firmware";
-  image.segments.push_back(
-      hw::BootSegment{kAppCodeRegion.begin, app_drbg.generate(256)});
-  image.segments.push_back(
-      hw::BootSegment{kMeasuredBase, app_drbg.generate(config_.measured_bytes)});
-  const auto vendor =
-      crypto::ecdsa_generate_key(crypto::from_string("prover-vendor-key"));
-  const auto reference = hw::make_rom_reference(image, vendor);
-  boot_status_ = hw::secure_boot(
-      *mcu_, image, reference,
-      [this](hw::Mcu& mcu) { return configure_protection(mcu); });
+  if (tmpl != nullptr) {
+    // Fleet-templated boot: the shared image with the signature check
+    // and digest memoized at template build (hw::BootFastPath).
+    boot_status_ = hw::secure_boot(
+        *mcu_, tmpl->image, tmpl->reference,
+        [this](hw::Mcu& mcu) { return configure_protection(mcu); },
+        hw::BootFastPath{/*signature_preverified=*/true, &tmpl->digest});
+  } else {
+    const hw::BootImage image =
+        make_boot_image(app_seed, config_.measured_bytes);
+    const auto reference = hw::make_rom_reference(image, vendor_keypair());
+    boot_status_ = hw::secure_boot(
+        *mcu_, image, reference,
+        [this](hw::Mcu& mcu) { return configure_protection(mcu); });
+  }
 }
 
 bool ProverDevice::configure_protection(hw::Mcu& mcu) {

@@ -99,6 +99,22 @@ struct ProverConfig {
   double clock_hz = timing::Table1::kRefHz;
 };
 
+/// Fleet template (Swarm share_app_image): one vendor-signed application
+/// image shared by every device in a fleet. Built once with
+/// ProverDevice::make_template(); each materialized device then boots the
+/// shared image through the secure-boot fast path (vendor signature
+/// verified once, image digest precomputed), while K_Attest, freshness
+/// state and every RAM/flash mutation stay fully per-device.
+struct ProverTemplate {
+  hw::BootImage image;
+  hw::RomReference reference;
+  crypto::Sha256::Digest digest{};
+  /// The measured-range bytes the verifier expects — what secure boot
+  /// loads at the measured base (share via Verifier's shared_ptr
+  /// set_reference_memory overload).
+  Bytes reference_memory;
+};
+
 /// Addresses an in-device adversary (Adv_roam phase II) can aim at.
 struct AttackSurface {
   hw::Addr key_addr = 0;
@@ -126,6 +142,18 @@ class ProverDevice {
   /// image filling the measured memory.
   ProverDevice(const ProverConfig& config, Bytes k_attest,
                ByteView app_seed);
+
+  /// Fleet-template variant: boots `tmpl`'s shared image instead of
+  /// deriving a per-device one from an app seed. The template must
+  /// outlive the device (the Swarm holds it for the fleet's lifetime).
+  ProverDevice(const ProverConfig& config, Bytes k_attest,
+               const ProverTemplate& tmpl);
+
+  /// Build the shared image + signed reference a fleet's devices boot
+  /// from. `app_seed` determinizes the image exactly the way the
+  /// per-device constructor would (same DRBG, same segment layout).
+  static ProverTemplate make_template(const ProverConfig& config,
+                                      ByteView app_seed);
 
   ProverDevice(const ProverDevice&) = delete;
   ProverDevice& operator=(const ProverDevice&) = delete;
@@ -181,6 +209,9 @@ class ProverDevice {
   AuditLog* audit_log() { return audit_log_.get(); }
 
  private:
+  ProverDevice(const ProverConfig& config, Bytes k_attest, ByteView app_seed,
+               const ProverTemplate* tmpl);
+
   bool configure_protection(hw::Mcu& mcu);
   void observe_request(const AttestRequest& request,
                        const AttestOutcome& outcome,

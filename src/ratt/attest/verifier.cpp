@@ -1,5 +1,6 @@
 #include "ratt/attest/verifier.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "ratt/crypto/ct.hpp"
@@ -56,6 +57,17 @@ std::vector<std::string> Verifier::grade_power_trace(
   return violated;
 }
 
+std::uint64_t Verifier::next_word() {
+  if (rand_pos_ + 8 > rand_buf_.size()) {
+    const Bytes block = drbg_.generate(rand_buf_.size());
+    std::copy(block.begin(), block.end(), rand_buf_.begin());
+    rand_pos_ = 0;
+  }
+  const std::uint64_t word = crypto::load_le64(rand_buf_.data() + rand_pos_);
+  rand_pos_ += 8;
+  return word;
+}
+
 AttestRequest Verifier::make_request() {
   if (obs_requests_ != nullptr) obs_requests_->inc();
   AttestRequest req;
@@ -65,11 +77,9 @@ AttestRequest Verifier::make_request() {
     case FreshnessScheme::kNone:
       req.freshness = 0;
       break;
-    case FreshnessScheme::kNonce: {
-      const Bytes raw = drbg_.generate(8);
-      req.freshness = crypto::load_le64(raw.data());
+    case FreshnessScheme::kNonce:
+      req.freshness = next_word();
       break;
-    }
     case FreshnessScheme::kCounter:
       req.freshness = ++counter_;
       break;
@@ -77,8 +87,7 @@ AttestRequest Verifier::make_request() {
       req.freshness = config_.clock();
       break;
   }
-  const Bytes challenge_raw = drbg_.generate(8);
-  req.challenge = crypto::load_le64(challenge_raw.data());
+  req.challenge = next_word();
   if (config_.authenticate_requests) {
     req.mac = mac_->compute(req.header_bytes());
   }
@@ -94,12 +103,12 @@ bool Verifier::check_response(const AttestRequest& request,
   if (response.freshness != request.freshness) return tally(false);
   // Recompute the expected measurement over the reference memory,
   // streamed — no challenge||freshness||memory copy per check.
-  mac_->init(16 + reference_memory_.size());
+  mac_->init(16 + reference_memory_->size());
   std::uint8_t head[16];
   crypto::store_le64(head, request.challenge);
   crypto::store_le64(head + 8, request.freshness);
   mac_->update(ByteView(head, 16));
-  mac_->update(reference_memory_);
+  mac_->update(*reference_memory_);
   return tally(crypto::ct_equal(mac_->finish(), response.measurement));
 }
 

@@ -3,6 +3,7 @@
 // reference copy of the device memory.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,6 +38,13 @@ class Verifier {
 
   /// What the verifier expects the prover's memory to contain.
   void set_reference_memory(Bytes memory) {
+    reference_memory_ = std::make_shared<const Bytes>(std::move(memory));
+  }
+
+  /// Fleet path: thousands of verifiers checking the same application
+  /// image (Swarm share_app_image) share one reference copy instead of
+  /// holding measured_bytes each.
+  void set_reference_memory(std::shared_ptr<const Bytes> memory) {
     reference_memory_ = std::move(memory);
   }
 
@@ -65,12 +73,21 @@ class Verifier {
   std::uint64_t counter() const { return counter_; }
 
  private:
+  /// Next 64-bit word from the buffered DRBG stream (nonces and
+  /// challenges). Drawing a 256-byte block per DRBG call instead of 8
+  /// bytes per round amortizes HMAC-DRBG's per-call state update — the
+  /// dominant crypto cost of a fleet round after the MACs themselves.
+  std::uint64_t next_word();
+
   Bytes key_;
   Config config_;
   crypto::HmacDrbg drbg_;
+  std::array<std::uint8_t, 256> rand_buf_{};
+  std::size_t rand_pos_ = rand_buf_.size();  // empty until first draw
   std::unique_ptr<crypto::Mac> mac_;
   std::uint64_t counter_ = 0;
-  Bytes reference_memory_;
+  std::shared_ptr<const Bytes> reference_memory_ =
+      std::make_shared<const Bytes>();
   // Cached instruments (nullable); pointees are mutated from the const
   // check path, which is fine — they live in the injected registry.
   obs::Counter* obs_requests_ = nullptr;

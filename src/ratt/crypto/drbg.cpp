@@ -3,45 +3,50 @@
 #include <bit>
 #include <stdexcept>
 
-#include "ratt/crypto/hmac.hpp"
-
 namespace ratt::crypto {
 
-HmacDrbg::HmacDrbg(ByteView seed) {
+HmacDrbg::HmacDrbg(ByteView seed)
+    : mac_(ByteView(key_.data(), key_.size())) {
   key_.fill(0x00);
   value_.fill(0x01);
   update(seed);
 }
 
+void HmacDrbg::rekey() { mac_ = Hmac<Sha256>(ByteView(key_.data(), key_.size())); }
+
 void HmacDrbg::update(ByteView provided) {
   // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
-  {
-    Hmac<Sha256> h(key_);
-    h.update(value_);
-    const std::uint8_t zero = 0x00;
-    h.update(ByteView(&zero, 1));
-    h.update(provided);
-    key_ = h.finish();
-  }
-  value_ = Hmac<Sha256>::mac(key_, value_);
+  const std::uint8_t zero = 0x00;
+  mac_.reset();
+  mac_.update(value_);
+  mac_.update(ByteView(&zero, 1));
+  mac_.update(provided);
+  key_ = mac_.finish();
+  rekey();
+  mac_.reset();
+  mac_.update(value_);
+  value_ = mac_.finish();
   if (provided.empty()) return;
   // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
-  {
-    Hmac<Sha256> h(key_);
-    h.update(value_);
-    const std::uint8_t one = 0x01;
-    h.update(ByteView(&one, 1));
-    h.update(provided);
-    key_ = h.finish();
-  }
-  value_ = Hmac<Sha256>::mac(key_, value_);
+  const std::uint8_t one = 0x01;
+  mac_.reset();
+  mac_.update(value_);
+  mac_.update(ByteView(&one, 1));
+  mac_.update(provided);
+  key_ = mac_.finish();
+  rekey();
+  mac_.reset();
+  mac_.update(value_);
+  value_ = mac_.finish();
 }
 
 Bytes HmacDrbg::generate(std::size_t n) {
   Bytes out;
   out.reserve(n);
   while (out.size() < n) {
-    value_ = Hmac<Sha256>::mac(key_, value_);
+    mac_.reset();
+    mac_.update(value_);
+    value_ = mac_.finish();
     const std::size_t take = std::min(value_.size(), n - out.size());
     out.insert(out.end(), value_.begin(), value_.begin() + take);
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/hmac.hpp"
 #include "ratt/crypto/sha256.hpp"
 
 namespace ratt::crypto {
@@ -30,9 +31,14 @@ class HmacDrbg {
 
  private:
   void update(ByteView provided);
+  void rekey();
 
   std::array<std::uint8_t, Sha256::kDigestSize> key_{};
   std::array<std::uint8_t, Sha256::kDigestSize> value_{};
+  // HMAC keyed on key_, rebuilt only when the key changes: every
+  // HMAC(K, ...) inside generate()/update() then skips the two
+  // key-padding compressions. Output bytes are unchanged.
+  Hmac<Sha256> mac_;
 };
 
 }  // namespace ratt::crypto

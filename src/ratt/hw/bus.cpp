@@ -55,9 +55,10 @@ void MemoryBus::map_storage(std::string name, MemoryKind kind,
   check_overlap(range, name);
   auto region = std::make_unique<Region>();
   region->info = RegionInfo{std::move(name), kind, range};
-  // Flash powers up erased (0xff); RAM and ROM are zeroed.
-  region->storage.assign(range.size(),
-                         kind == MemoryKind::kFlash ? 0xff : 0x00);
+  // Flash powers up erased (0xff); RAM and ROM are zeroed. No page is
+  // allocated yet — untouched pages read as the fill byte directly.
+  region->fill = kind == MemoryKind::kFlash ? 0xff : 0x00;
+  region->pages.resize((range.size() + kPageSize - 1) / kPageSize);
   regions_.push_back(std::move(region));
 }
 
@@ -165,13 +166,13 @@ BusStatus MemoryBus::access8(const AccessContext& ctx, AccessType type,
       }
     } else {
       if (type == AccessType::kRead) {
-        *read_out = region->storage[offset];
+        *read_out = region->read_byte(offset);
       } else if (region->info.kind == MemoryKind::kFlash) {
         // NOR program: can only clear bits; setting bits needs an erase.
-        region->storage[offset] =
-            static_cast<std::uint8_t>(region->storage[offset] & write_value);
+        std::uint8_t& b = region->byte_for_write(offset);
+        b = static_cast<std::uint8_t>(b & write_value);
       } else {
-        region->storage[offset] = write_value;
+        region->byte_for_write(offset) = write_value;
       }
     }
   }
@@ -299,7 +300,22 @@ BusStatus MemoryBus::read_block(const AccessContext& ctx, Addr addr,
         out[done + i] = region->device->read(offset + static_cast<Addr>(i));
       }
     } else {
-      std::memcpy(out.data() + done, region->storage.data() + offset, n);
+      // Copy page by page; absent pages deliver the fill byte without
+      // being materialized (reads never allocate).
+      std::size_t i = 0;
+      while (i < n) {
+        const std::size_t off = static_cast<std::size_t>(offset) + i;
+        const std::size_t in_page = off % kPageSize;
+        const std::size_t chunk =
+            std::min<std::size_t>(n - i, kPageSize - in_page);
+        const Bytes& page = region->pages[off / kPageSize];
+        if (page.empty()) {
+          std::memset(out.data() + done + i, region->fill, chunk);
+        } else {
+          std::memcpy(out.data() + done + i, page.data() + in_page, chunk);
+        }
+        i += chunk;
+      }
     }
     done += n;
   }
@@ -348,12 +364,30 @@ BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
     } else if (region->info.kind == MemoryKind::kFlash) {
       // NOR program semantics per byte (clear bits only), without the
       // per-byte region/rule lookups.
-      std::uint8_t* dst = region->storage.data() + offset;
-      for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = static_cast<std::uint8_t>(dst[i] & data[done + i]);
+      std::size_t i = 0;
+      while (i < n) {
+        const std::size_t off = static_cast<std::size_t>(offset) + i;
+        const std::size_t in_page = off % kPageSize;
+        const std::size_t chunk =
+            std::min<std::size_t>(n - i, kPageSize - in_page);
+        std::uint8_t* dst =
+            region->touch_page(off / kPageSize).data() + in_page;
+        for (std::size_t j = 0; j < chunk; ++j) {
+          dst[j] = static_cast<std::uint8_t>(dst[j] & data[done + i + j]);
+        }
+        i += chunk;
       }
     } else {
-      std::memcpy(region->storage.data() + offset, data.data() + done, n);
+      std::size_t i = 0;
+      while (i < n) {
+        const std::size_t off = static_cast<std::size_t>(offset) + i;
+        const std::size_t in_page = off % kPageSize;
+        const std::size_t chunk =
+            std::min<std::size_t>(n - i, kPageSize - in_page);
+        std::memcpy(region->touch_page(off / kPageSize).data() + in_page,
+                    data.data() + done + i, chunk);
+        i += chunk;
+      }
     }
     done += n;
   }
@@ -405,8 +439,11 @@ BusStatus MemoryBus::erase_flash_block(const AccessContext& ctx,
     record_fault(ctx, addr, AccessType::kWrite, status);
     return status;
   }
-  std::memset(region->storage.data() + (block_begin - region->info.range.begin),
-              0xff, block_end - block_begin);
+  // kPageSize == kFlashBlockSize and both are relative to the region
+  // base, so the erased block is exactly one page: drop the page and let
+  // the fill byte (0xff) stand in for the erased contents.
+  Bytes().swap(
+      region->pages[(block_begin - region->info.range.begin) / kPageSize]);
   return BusStatus::kOk;
 }
 
@@ -417,8 +454,17 @@ void MemoryBus::load_initial(Addr addr, ByteView data) {
       throw std::invalid_argument(
           "MemoryBus::load_initial: target not storage-backed");
     }
-    region->storage[addr + i - region->info.range.begin] = data[i];
+    region->byte_for_write(addr + static_cast<Addr>(i) -
+                           region->info.range.begin) = data[i];
   }
+}
+
+std::size_t MemoryBus::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) {
+    for (const auto& page : r->pages) total += page.size();
+  }
+  return total;
 }
 
 }  // namespace ratt::hw

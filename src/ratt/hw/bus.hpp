@@ -9,6 +9,7 @@
 // the clock are enforced (Sec. 6.1-6.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -187,11 +188,46 @@ class MemoryBus {
   std::uint64_t faults_dropped() const { return faults_dropped_; }
   void clear_faults();
 
+  /// Bytes of backing store actually allocated: materialized pages summed
+  /// over all storage regions. Mapped-but-untouched address space costs
+  /// only its page table, which is what lets a mostly-idle million-device
+  /// fleet map a megabyte of flash per device without buying the RAM.
+  std::size_t resident_bytes() const;
+
  private:
+  /// Page granularity of the lazily-allocated backing store. Equal to the
+  /// flash erase block, so an erase drops exactly one page.
+  static constexpr std::size_t kPageSize = 4096;
+  static_assert(kPageSize == static_cast<std::size_t>(kFlashBlockSize));
+
   struct Region {
     RegionInfo info;
-    Bytes storage;          // storage-backed regions
+    // Storage-backed regions are paged: a page materializes on first
+    // write, and absent pages read as `fill` (0xff for erased flash,
+    // 0x00 for ROM/RAM — exactly the power-up contents). An empty Bytes
+    // marks an absent page; the last page is clamped to the region size.
+    std::vector<Bytes> pages;      // storage-backed regions
+    std::uint8_t fill = 0x00;
     MmioDevice* device = nullptr;  // device-backed regions
+
+    std::size_t page_len(std::size_t p) const {
+      return std::min<std::size_t>(kPageSize,
+                                   info.range.size() - p * kPageSize);
+    }
+    std::uint8_t read_byte(Addr offset) const {
+      const Bytes& page = pages[offset / kPageSize];
+      return page.empty() ? fill : page[offset % kPageSize];
+    }
+    /// The page holding region offset p * kPageSize, materialized (and
+    /// filled with `fill`) if absent.
+    Bytes& touch_page(std::size_t p) {
+      Bytes& page = pages[p];
+      if (page.empty()) page.assign(page_len(p), fill);
+      return page;
+    }
+    std::uint8_t& byte_for_write(Addr offset) {
+      return touch_page(offset / kPageSize)[offset % kPageSize];
+    }
   };
 
   Region* find(Addr addr);

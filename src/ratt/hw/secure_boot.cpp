@@ -44,9 +44,19 @@ std::string to_string(BootStatus status) {
 BootStatus secure_boot(
     Mcu& mcu, const BootImage& image, const RomReference& reference,
     const std::function<bool(Mcu&)>& configure_protection) {
+  return secure_boot(mcu, image, reference, configure_protection,
+                     BootFastPath{});
+}
+
+BootStatus secure_boot(
+    Mcu& mcu, const BootImage& image, const RomReference& reference,
+    const std::function<bool(Mcu&)>& configure_protection,
+    const BootFastPath& fast) {
   // 1. Authenticate the reference hash (it sits in ROM, but verifying the
-  //    vendor signature also covers provisioning errors).
-  if (!crypto::ecdsa_verify(
+  //    vendor signature also covers provisioning errors). Skipped when a
+  //    template build already verified this exact reference.
+  if (!fast.signature_preverified &&
+      !crypto::ecdsa_verify(
           reference.vendor_key,
           ByteView(reference.expected_hash.data(),
                    reference.expected_hash.size()),
@@ -54,8 +64,12 @@ BootStatus secure_boot(
     return BootStatus::kBadSignature;
   }
 
-  // 2. Measure the image and compare against the signed reference.
-  if (boot_image_digest(image) != reference.expected_hash) {
+  // 2. Measure the image and compare against the signed reference (the
+  //    measurement may be memoized from the template build).
+  const crypto::Sha256::Digest digest = fast.image_digest != nullptr
+                                            ? *fast.image_digest
+                                            : boot_image_digest(image);
+  if (digest != reference.expected_hash) {
     return BootStatus::kHashMismatch;
   }
 

@@ -51,6 +51,20 @@ enum class BootStatus : std::uint8_t {
 
 std::string to_string(BootStatus status);
 
+/// Fast path for fleet-templated boots: when thousands of identical
+/// devices boot the very same vendor image (attest::ProverTemplate), the
+/// signature verification and the image hash can be computed once at
+/// template build and reused per device. Behaviorally identical — the
+/// shortcuts only apply to the exact objects they were computed from.
+struct BootFastPath {
+  /// The reference signature was already verified (or produced) against
+  /// reference.vendor_key for this exact RomReference; skips step 1.
+  bool signature_preverified = false;
+  /// Precomputed boot_image_digest(image) for this exact image; skips
+  /// the per-boot rehash (the compare against expected_hash remains).
+  const crypto::Sha256::Digest* image_digest = nullptr;
+};
+
 /// Runs the boot sequence on `mcu`. `configure_protection` is the trusted
 /// first-stage code that programs EA-MPU rules; it runs pre-lockdown and
 /// must return true on success. The EA-MPU is locked before this function
@@ -58,5 +72,11 @@ std::string to_string(BootStatus status);
 BootStatus secure_boot(Mcu& mcu, const BootImage& image,
                        const RomReference& reference,
                        const std::function<bool(Mcu&)>& configure_protection);
+
+/// As above, with the fleet-template fast path.
+BootStatus secure_boot(Mcu& mcu, const BootImage& image,
+                       const RomReference& reference,
+                       const std::function<bool(Mcu&)>& configure_protection,
+                       const BootFastPath& fast);
 
 }  // namespace ratt::hw

@@ -20,16 +20,19 @@ std::vector<double> default_latency_bounds_ms() {
 }
 
 const Counter* Registry::find_counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* Registry::find_gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }

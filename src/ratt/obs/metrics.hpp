@@ -11,10 +11,13 @@
 //   * header-mostly — only the export/snapshot helpers live in a .cpp.
 //
 // Concurrency contract (the sharded Swarm relies on this): registration
-// (Registry::counter/gauge/histogram) is NOT thread-safe and must finish
-// before worker threads start — attach observers first, run shards after.
-// The instruments themselves ARE thread-safe: inc()/set()/observe() use
-// relaxed atomics, so shards sharing one Registry never race. All
+// (Registry::counter/gauge/histogram, get-or-create) is serialized by a
+// mutex, so shard workers may register lazily — the lazily-materialized
+// fleet attaches a device's instruments on whichever worker thread first
+// touches the device. It stays a cold path: callers cache the returned
+// reference and never take the lock again. The instruments themselves
+// ARE thread-safe: inc()/set()/observe() use relaxed atomics, so shards
+// sharing one Registry never race. All
 // aggregate readouts (counter sums, gauge high-water marks, histogram
 // bucket counts) are order-independent, so they are deterministic for a
 // given workload at any thread count; only the last-write value() of a
@@ -30,6 +33,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -191,9 +195,11 @@ std::vector<double> default_latency_bounds_ms();
 
 /// Instrument registry. Instruments live as long as the registry; the
 /// node-based containers guarantee stable addresses, so cached references
-/// survive later registrations. Registration itself is single-threaded
-/// (do it before spawning shard workers); the returned instruments are
-/// safe to update from any thread.
+/// survive later registrations. Registration and name lookup are
+/// mutex-serialized (lazy fleet materialization registers from shard
+/// worker threads); the returned instruments are safe to update from any
+/// thread without the lock. The whole-map accessors and to_text() are
+/// for post-join export — do not call them while workers may register.
 class Registry {
  public:
   Registry() = default;
@@ -202,17 +208,25 @@ class Registry {
 
   /// Get-or-create. Registration is the only allocating step.
   Counter& counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return counters_[std::string(name)];
   }
-  Gauge& gauge(std::string_view name) { return gauges_[std::string(name)]; }
+  Gauge& gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[std::string(name)];
+  }
   Histogram& histogram(std::string_view name) {
     // Build the default bounds vector only on the miss path — the common
     // repeated lookup must not allocate.
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second;
-    return histogram(name, default_latency_bounds_ms());
+    return histograms_.emplace(std::string(name),
+                               Histogram(default_latency_bounds_ms()))
+        .first->second;
   }
   Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second;
     return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
@@ -239,6 +253,10 @@ class Registry {
   std::string to_text() const;
 
  private:
+  // Guards the maps' structure only; the instruments inside stay
+  // lock-free. mutable so the const find_* lookups can serialize against
+  // concurrent registration.
+  mutable std::mutex mutex_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

@@ -137,7 +137,13 @@ void AttestationSession::sync_prover_time() {
 
 void AttestationSession::schedule_rounds(double period_ms,
                                          double horizon_ms) {
-  for (double t = period_ms; t <= horizon_ms; t += period_ms) {
+  if (period_ms <= 0.0) return;
+  // Multiplicative round times: `t += period` accumulates floating-point
+  // drift (after ~10^6 rounds the boundary alignment obs::power replay
+  // depends on is gone); k * period reproduces every round time exactly.
+  for (std::uint64_t k = 1;; ++k) {
+    const double t = static_cast<double>(k) * period_ms;
+    if (t > horizon_ms) break;
     queue_->schedule_at(t, [this] { send_request(); });
   }
 }

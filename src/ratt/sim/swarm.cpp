@@ -1,6 +1,9 @@
 #include "ratt/sim/swarm.hpp"
 
 #include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -41,67 +44,129 @@ Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
     shard->begin = next_device;
     next_device += base + (s < rem ? 1 : 0);
     shard->end = next_device;
+    shard->queue.set_wheel_enabled(config.use_wheel);
     shards_.push_back(std::move(shard));
   }
 
-  // Device construction draws from the fleet DRBG in global device order,
-  // so keys are independent of the shard plan (and identical to the
-  // legacy single-queue layout).
+  // Seed pre-draw: every per-device draw the eager constructor made
+  // happens here, in global device order, into one packed blob — so keys
+  // are independent of the shard plan AND of which devices ever
+  // materialize (and identical to the legacy eager layout).
   crypto::HmacDrbg fleet_drbg(fleet_seed);
   // ratt::net seeds come from a SEPARATE stream: enabling transport
   // faults or reliable rounds must not shift the key/app/verifier draws
   // above, or every clean-run golden would silently change.
-  const bool net_mode = config.reliable || config.link_for != nullptr ||
-                        !config.link.is_clean();
+  net_mode_ = config.reliable || config.link_for != nullptr ||
+              !config.link.is_clean();
   std::optional<crypto::HmacDrbg> net_drbg;
-  if (net_mode) {
+  if (net_mode_) {
     crypto::Bytes net_seed(fleet_seed.begin(), fleet_seed.end());
     crypto::append(net_seed, crypto::from_string("ratt::net"));
     net_drbg.emplace(net_seed);
   }
-  std::size_t shard_idx = 0;
+  const std::size_t stride = seed_stride();
+  seeds_.resize(n * stride);
   for (std::size_t i = 0; i < n; ++i) {
-    while (i >= shards_[shard_idx]->end) ++shard_idx;
-    auto device = std::make_unique<Device>();
-    device->shard = shard_idx;
-    device->key = fleet_drbg.generate(16);
-    const crypto::Bytes app_seed = fleet_drbg.generate(16);
-
-    device->prover = std::make_unique<attest::ProverDevice>(
-        config.prover, device->key, app_seed);
-
-    attest::Verifier::Config vc;
-    vc.scheme = config.prover.scheme;
-    vc.mac_alg = config.prover.mac_alg;
-    vc.authenticate_requests = config.prover.authenticate_requests;
-    attest::ProverDevice* prover_ptr = device->prover.get();
-    vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
-    device->verifier = std::make_unique<attest::Verifier>(
-        device->key, vc, fleet_drbg.generate(16));
-    device->verifier->set_reference_memory(
-        device->prover->reference_memory());
-
-    EventQueue& shard_queue = shards_[shard_idx]->queue;
-    device->channel =
-        std::make_unique<Channel>(shard_queue, config.channel_latency_ms);
-    device->session = std::make_unique<AttestationSession>(
-        shard_queue, *device->channel, *device->prover, *device->verifier);
+    std::uint8_t* out = seeds_.data() + i * stride;
+    for (int draw = 0; draw < 3; ++draw) {
+      const crypto::Bytes b = fleet_drbg.generate(16);
+      std::memcpy(out + draw * 16, b.data(), 16);
+    }
     if (net_drbg.has_value()) {
       // Both seeds are drawn for every device in global device order, so
       // the fault schedule of device i never depends on the profiles —
       // or reliable flag — chosen for the devices before it.
-      const crypto::Bytes link_seed = net_drbg->generate(16);
-      const crypto::Bytes jitter_seed = net_drbg->generate(16);
-      const net::LinkProfile profile =
-          config.link_for ? config.link_for(i) : config.link;
-      device->link = std::make_unique<net::FaultyLink>(profile, link_seed);
-      device->channel->set_tap(device->link.get());
-      if (config.reliable) {
-        device->session->enable_reliable(config.retry, jitter_seed);
+      for (int draw = 0; draw < 2; ++draw) {
+        const crypto::Bytes b = net_drbg->generate(16);
+        std::memcpy(out + 48 + draw * 16, b.data(), 16);
       }
     }
-    devices_.push_back(std::move(device));
   }
+  devices_.assign(n, nullptr);
+
+  if (config.share_app_image) {
+    // One image for the whole fleet, derived from a dedicated stream so
+    // it neither consumes per-device draws nor depends on device count.
+    crypto::Bytes image_seed(fleet_seed.begin(), fleet_seed.end());
+    crypto::append(image_seed, crypto::from_string("ratt::app-image"));
+    crypto::HmacDrbg image_drbg(image_seed);
+    auto tmpl = std::make_shared<attest::ProverTemplate>(
+        attest::ProverDevice::make_template(config.prover,
+                                            image_drbg.generate(16)));
+    shared_reference_ =
+        std::make_shared<const crypto::Bytes>(tmpl->reference_memory);
+    template_ = std::move(tmpl);
+  }
+}
+
+std::size_t Swarm::shard_of(std::size_t i) const {
+  // Inverts the constructor's contiguous plan: the first `rem` shards
+  // hold base+1 devices, the rest hold base.
+  const std::size_t n = devices_.size();
+  const std::size_t shard_count = shards_.size();
+  const std::size_t base = n / shard_count;
+  const std::size_t rem = n % shard_count;
+  const std::size_t big = rem * (base + 1);
+  if (i < big) return i / (base + 1);
+  return rem + (i - big) / base;
+}
+
+Swarm::Device& Swarm::materialize(std::size_t i) {
+  if (devices_[i] != nullptr) return *devices_[i];
+  const std::size_t shard_idx = shard_of(i);
+  Shard& shard = *shards_[shard_idx];
+  Device& d = shard.arena.emplace_back();
+  d.index = i;
+  d.shard = shard_idx;
+  const std::uint8_t* seeds = seeds_.data() + i * seed_stride();
+  d.key.assign(seeds, seeds + 16);
+  const crypto::ByteView app_seed(seeds + 16, 16);
+  const crypto::ByteView verifier_seed(seeds + 32, 16);
+
+  if (template_ != nullptr) {
+    d.prover = std::make_unique<attest::ProverDevice>(config_.prover, d.key,
+                                                      *template_);
+  } else {
+    d.prover = std::make_unique<attest::ProverDevice>(config_.prover, d.key,
+                                                      app_seed);
+  }
+
+  attest::Verifier::Config vc;
+  vc.scheme = config_.prover.scheme;
+  vc.mac_alg = config_.prover.mac_alg;
+  vc.authenticate_requests = config_.prover.authenticate_requests;
+  attest::ProverDevice* prover_ptr = d.prover.get();
+  vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
+  d.verifier =
+      std::make_unique<attest::Verifier>(d.key, vc, verifier_seed);
+  if (shared_reference_ != nullptr) {
+    d.verifier->set_reference_memory(shared_reference_);
+  } else {
+    d.verifier->set_reference_memory(d.prover->reference_memory());
+  }
+
+  d.channel.emplace(shard.queue, config_.channel_latency_ms);
+  d.session.emplace(shard.queue, *d.channel, *d.prover, *d.verifier);
+  if (net_mode_) {
+    const crypto::Bytes link_seed(seeds + 48, seeds + 64);
+    const crypto::ByteView jitter_seed(seeds + 64, 16);
+    const net::LinkProfile profile =
+        config_.link_for ? config_.link_for(i) : config_.link;
+    d.link = std::make_unique<net::FaultyLink>(profile, link_seed);
+    d.channel->set_tap(d.link.get());
+    if (config_.reliable) {
+      d.session->enable_reliable(config_.retry, jitter_seed);
+    }
+  }
+  apply_observer(d);
+  devices_[i] = &d;
+  return d;
+}
+
+std::size_t Swarm::materialized_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->arena.size();
+  return n;
 }
 
 EventQueue& Swarm::queue() {
@@ -113,21 +178,50 @@ EventQueue& Swarm::queue() {
   return shards_[0]->queue;
 }
 
+void Swarm::apply_observer(Device& device) {
+  if (obs_mode_ == ObsMode::kNone) return;
+  obs::Observer o;
+  o.registry = attached_registry_;
+  o.device_id = device.index;
+  o.power = attached_power_;
+  Shard& shard = *shards_[device.shard];
+  switch (obs_mode_) {
+    case ObsMode::kPlain:
+      o.sink = attached_sink_;
+      o.profile = attached_profile_;
+      break;
+    case ObsMode::kSharded:
+      o.sink = shard.ring.get();
+      o.profile = shard.profile.get();
+      break;
+    case ObsMode::kPower:
+      o.sink = shard.power_tee.get();
+      o.profile = shard.profile.get();
+      break;
+    case ObsMode::kNone:
+      break;
+  }
+  device.prover->set_observer(o);
+  device.verifier->set_observer(o);
+  device.session->set_observer(o);
+}
+
+void Swarm::apply_observer_to_materialized() {
+  for (Device* device : devices_) {
+    if (device != nullptr) apply_observer(*device);
+  }
+}
+
 void Swarm::attach_observer(obs::Registry* registry, obs::TraceSink* sink,
                             obs::PowerModel power,
                             obs::prof::ShardProfile* profile) {
   for (auto& shard : shards_) shard->queue.set_observer(registry);
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    obs::Observer o;
-    o.registry = registry;
-    o.sink = sink;
-    o.device_id = i;
-    o.power = power;
-    o.profile = profile;
-    devices_[i]->prover->set_observer(o);
-    devices_[i]->verifier->set_observer(o);
-    devices_[i]->session->set_observer(o);
-  }
+  obs_mode_ = ObsMode::kPlain;
+  attached_registry_ = registry;
+  attached_sink_ = sink;
+  attached_profile_ = profile;
+  attached_power_ = power;
+  apply_observer_to_materialized();
 }
 
 void Swarm::attach_sharded_observer(obs::Registry* registry,
@@ -145,17 +239,8 @@ void Swarm::attach_sharded_observer(obs::Registry* registry,
     shard->profile = std::make_unique<obs::prof::ShardProfile>();
     shard->queue.set_observer(registry);
   }
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    obs::Observer o;
-    o.registry = registry;
-    o.sink = shards_[devices_[i]->shard]->ring.get();
-    o.device_id = i;
-    o.power = power;
-    o.profile = shards_[devices_[i]->shard]->profile.get();
-    devices_[i]->prover->set_observer(o);
-    devices_[i]->verifier->set_observer(o);
-    devices_[i]->session->set_observer(o);
-  }
+  obs_mode_ = ObsMode::kSharded;
+  apply_observer_to_materialized();
 }
 
 std::vector<obs::TraceRecord> Swarm::merged_trace() const {
@@ -191,17 +276,8 @@ void Swarm::attach_power(const obs::power::PowerTraceConfig& config) {
   }
   // Re-point every device observer at its shard's tee; everything else
   // (registry, power model, profile) is exactly what was attached.
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    obs::Observer o;
-    o.registry = attached_registry_;
-    o.sink = shards_[devices_[i]->shard]->power_tee.get();
-    o.device_id = i;
-    o.power = attached_power_;
-    o.profile = shards_[devices_[i]->shard]->profile.get();
-    devices_[i]->prover->set_observer(o);
-    devices_[i]->verifier->set_observer(o);
-    devices_[i]->session->set_observer(o);
-  }
+  obs_mode_ = ObsMode::kPower;
+  apply_observer_to_materialized();
 }
 
 std::vector<obs::power::RoundTrace> Swarm::merged_power_traces() const {
@@ -213,14 +289,52 @@ std::vector<obs::power::RoundTrace> Swarm::merged_power_traces() const {
   return obs::power::merge_round_traces(std::move(per_shard));
 }
 
+double Swarm::stagger_offset(std::size_t i) const {
+  const double raw = config_.stagger_ms * static_cast<double>(i);
+  if (config_.attest_period_ms <= 0.0) return raw;
+  // Wrap the offset into one period: device i's first round must land
+  // inside (0, 2 * period] at ANY fleet size. raw >= 0, so fmod >= 0.
+  return std::fmod(raw, config_.attest_period_ms);
+}
+
+void Swarm::arm_round(std::size_t i, std::uint64_t k) {
+  // Round k's time is computed multiplicatively every firing — never
+  // accumulated — so round 10^6 lands exactly on offset + 1e6 * period.
+  const double t = stagger_offset(i) +
+                   static_cast<double>(k) * config_.attest_period_ms;
+  if (t > scheduled_horizon_ms_) return;
+  // One 8-byte capture: (device << 32 | round) keeps the closure inside
+  // std::function's small-buffer optimization — no per-event allocation.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(i) << 32) | (k & 0xffffffffull);
+  shards_[shard_of(i)]->queue.schedule_at(t, [this, packed] {
+    const std::size_t device = static_cast<std::size_t>(packed >> 32);
+    const std::uint64_t round = packed & 0xffffffffull;
+    // Re-arm before the send so the next round's event takes the seq
+    // slot right at its own firing — and a throwing send does not kill
+    // the device's chain.
+    arm_round(device, round + 1);
+    materialize(device).session->send_request();
+  });
+}
+
 void Swarm::schedule(double horizon_ms) {
+  scheduled_horizon_ms_ = std::max(scheduled_horizon_ms_, horizon_ms);
+  if (config_.attest_period_ms <= 0.0) return;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    const double offset = config_.stagger_ms * static_cast<double>(i);
-    EventQueue& shard_queue = shards_[devices_[i]->shard]->queue;
-    for (double t = offset + config_.attest_period_ms; t <= horizon_ms;
-         t += config_.attest_period_ms) {
-      auto* session = devices_[i]->session.get();
-      shard_queue.schedule_at(t, [session] { session->send_request(); });
+    if (config_.eager_schedule) {
+      // Legacy reference path: every round of every device up front.
+      AttestationSession* session = materialize(i).session.operator->();
+      EventQueue& shard_queue = shards_[shard_of(i)]->queue;
+      const double offset = stagger_offset(i);
+      for (std::uint64_t k = 1;; ++k) {
+        const double t =
+            offset + static_cast<double>(k) * config_.attest_period_ms;
+        if (t > horizon_ms) break;
+        shard_queue.schedule_at(t, [session] { session->send_request(); });
+      }
+    } else {
+      arm_round(i, 1);
     }
   }
 }
@@ -231,6 +345,31 @@ void Swarm::run_until(double until_ms) {
 
 std::size_t Swarm::run_all() { return drain(1); }
 
+std::size_t Swarm::shard_budget(const Shard& shard) const {
+  const std::size_t devices = shard.end - shard.begin;
+  double rounds = 0.0;
+  if (config_.attest_period_ms > 0.0 && scheduled_horizon_ms_ > 0.0) {
+    rounds = std::ceil(scheduled_horizon_ms_ / config_.attest_period_ms);
+  }
+  const double attempts =
+      config_.reliable
+          ? static_cast<double>(std::max<std::uint32_t>(
+                1, config_.retry.max_attempts))
+          : 1.0;
+  // ~3 events per clean round (send + two channel deliveries); 8 x
+  // attempts leaves headroom for retries, timeouts and taps. Whatever is
+  // already pending (primed injections, dashboard slices) gets its own
+  // allowance, and the legacy 1M floor keeps injection-heavy setups that
+  // never call schedule() at their old budget.
+  const double derived = 1024.0 +
+                         static_cast<double>(devices) * rounds * 8.0 *
+                             attempts +
+                         static_cast<double>(shard.queue.pending()) * 4.0;
+  const double budget = std::max(1.0e6, derived);
+  if (budget >= 9.0e15) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(budget);
+}
+
 std::size_t Swarm::drain(std::size_t threads) {
   const std::size_t workers = std::max<std::size_t>(
       1, std::min(threads, shards_.size()));
@@ -238,19 +377,22 @@ std::size_t Swarm::drain(std::size_t threads) {
     // run_all's bounded drain leaves any stranded backlog pending, which
     // report() picks up as events_leftover.
     std::size_t leftover = 0;
-    for (auto& shard : shards_) leftover += shard->queue.run_all();
+    for (auto& shard : shards_) {
+      leftover += shard->queue.run_all(shard_budget(*shard));
+    }
     return leftover;
   }
   // Shards are fully independent event streams; hand them out to the
   // workers by atomic ticket. All cross-thread state is the ticket, the
-  // leftover tally and the registry's atomic instruments.
+  // leftover tally and the registry's thread-safe instruments (lazy
+  // materialization only ever happens on a device's owning shard worker).
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> leftover{0};
   const auto worker = [this, &next, &leftover] {
     for (std::size_t s;
          (s = next.fetch_add(1, std::memory_order_relaxed)) <
          shards_.size();) {
-      leftover.fetch_add(shards_[s]->queue.run_all(),
+      leftover.fetch_add(shards_[s]->queue.run_all(shard_budget(*shards_[s])),
                          std::memory_order_relaxed);
     }
   };
@@ -271,10 +413,15 @@ SwarmReport Swarm::report(double horizon_ms) const {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     SwarmDeviceReport dr;
     dr.device = i;
-    dr.stats = devices_[i]->session->stats();
-    dr.attest_device_ms = devices_[i]->prover->anchor().total_device_ms();
-    dr.duty_fraction =
-        horizon_ms > 0.0 ? dr.attest_device_ms / horizon_ms : 0.0;
+    if (devices_[i] != nullptr) {
+      dr.stats = devices_[i]->session->stats();
+      dr.attest_device_ms = devices_[i]->prover->anchor().total_device_ms();
+      dr.duty_fraction =
+          horizon_ms > 0.0 ? dr.attest_device_ms / horizon_ms : 0.0;
+    }
+    // Unmaterialized devices report default stats — identical to a
+    // materialized device that never saw an event, so laziness never
+    // shows up in a report.
     report.devices.push_back(dr);
   }
   return report;

@@ -16,12 +16,34 @@
 // seed at ANY thread count, because per-shard behavior never depends on
 // scheduling and the merge orders records by (sim_time, device_id)
 // canonically. Metrics aggregate into one shared Registry whose
-// instruments are thread-safe (obs/metrics.hpp); all its aggregate
-// readouts are order-independent and therefore deterministic too.
+// instruments are thread-safe (obs/metrics.hpp).
+//
+// Million-device scale rests on three mechanisms:
+//   * Lazy periodic scheduling (default): schedule() arms ONE
+//     self-rescheduling event per device; each firing computes its round
+//     time multiplicatively as offset + k * period (drift-free) and
+//     re-arms round k+1 — pending events stay O(devices), not
+//     O(devices x horizon/period). The eager legacy path is retained
+//     behind SwarmConfig::eager_schedule for differential testing.
+//   * Lazy device materialization: construction pre-draws every
+//     per-device seed from the fleet DRBG in global device order (so
+//     keys are bit-identical to the eager layout and independent of
+//     which devices ever wake), but the ProverDevice/Verifier/Channel/
+//     Session quad is built only when a device is first touched — in a
+//     per-shard std::deque arena, so hot session state sits in
+//     shard-local blocks and a mostly-idle fleet pays ~80 B/device.
+//   * Shared templates (SwarmConfig::share_app_image): one vendor-signed
+//     boot image + one verifier reference copy for the whole fleet, with
+//     secure boot's signature check and image digest memoized
+//     (attest::ProverTemplate) — per-device state that actually differs
+//     (K_Attest, freshness words, RAM) stays per-device.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "ratt/net/link.hpp"
@@ -36,8 +58,11 @@ struct SwarmConfig {
   /// Template for every device (per-device key/app are derived).
   attest::ProverConfig prover;
   double attest_period_ms = 500.0;
-  /// Device i's schedule is offset by i * stagger_ms (avoids thundering
-  /// herd on the operator).
+  /// Device i's schedule is offset by (i * stagger_ms) mod
+  /// attest_period_ms (avoids thundering herd on the operator). The
+  /// modulo keeps every device's first round inside one period at any
+  /// fleet size — without it, device offsets past the horizon silently
+  /// starved high-index devices of attestation.
   double stagger_ms = 37.0;
   double channel_latency_ms = 2.0;
   /// Shards the fleet is partitioned into (contiguous device blocks,
@@ -60,6 +85,21 @@ struct SwarmConfig {
   /// model and the channel latency (see net::derive_timeout_ms).
   bool reliable = false;
   net::RetryPolicy retry;
+  /// Timing wheel (default) vs the reference binary heap in every shard
+  /// queue — the scheduler differential-testing knob; same seed gives
+  /// byte-identical reports/traces on both.
+  bool use_wheel = true;
+  /// Legacy eager scheduling: plant every round of every device up front
+  /// (O(devices x rounds) pending events, materializes the whole fleet).
+  /// Retained as the reference path for differential tests.
+  bool eager_schedule = false;
+  /// Share one application image (and one verifier reference copy)
+  /// across the fleet instead of deriving a per-device image from the
+  /// app seed. Keys and freshness state stay per-device; the per-device
+  /// seed draws still happen, so enabling this never changes the fleet's
+  /// keys. Off by default — per-device images are the paper's model;
+  /// fleet-scale benches turn it on.
+  bool share_app_image = false;
 };
 
 struct SwarmDeviceReport {
@@ -101,22 +141,30 @@ class Swarm {
   EventQueue& queue();
   /// The event queue owning device i's channel and session.
   EventQueue& queue_of(std::size_t device) {
-    return shards_[devices_[device]->shard]->queue;
+    return shards_[shard_of(device)]->queue;
   }
 
-  attest::ProverDevice& prover(std::size_t i) { return *devices_[i]->prover; }
-  Channel& channel(std::size_t i) { return *devices_[i]->channel; }
+  // Device accessors materialize the device on first touch (see the lazy
+  // materialization notes above) — cheap no-ops once it exists.
+  attest::ProverDevice& prover(std::size_t i) {
+    return *materialize(i).prover;
+  }
+  Channel& channel(std::size_t i) { return *materialize(i).channel; }
   AttestationSession& session(std::size_t i) {
-    return *devices_[i]->session;
+    return *materialize(i).session;
   }
-  const crypto::Bytes& device_key(std::size_t i) const {
-    return devices_[i]->key;
-  }
+  const crypto::Bytes& device_key(std::size_t i) { return materialize(i).key; }
   /// Device i's fault tap — nullptr when the swarm runs without
   /// ratt::net (clean link, no link_for, not reliable).
   net::FaultyLink* faulty_link(std::size_t i) {
-    return devices_[i]->link.get();
+    return materialize(i).link.get();
   }
+
+  /// Has device i been materialized yet? (Pure query — never triggers
+  /// materialization; unmaterialized devices report default stats,
+  /// identical to a materialized device that never saw an event.)
+  bool is_materialized(std::size_t i) const { return devices_[i] != nullptr; }
+  std::size_t materialized_count() const;
 
   /// Attach one registry/sink pair to the whole fleet: every prover,
   /// verifier and session gets an Observer carrying its device index, and
@@ -125,7 +173,8 @@ class Swarm {
   /// sink is NOT synchronized — use attach_sharded_observer() before
   /// run_parallel() with more than one thread. `profile` — when set —
   /// receives every device's per-phase samples (single-threaded runs
-  /// only; it is not synchronized either).
+  /// only; it is not synchronized either). The attachment is a plan:
+  /// devices materialized later get the same observer on creation.
   void attach_observer(obs::Registry* registry, obs::TraceSink* sink,
                        obs::PowerModel power = obs::PowerModel{},
                        obs::prof::ShardProfile* profile = nullptr);
@@ -186,9 +235,13 @@ class Swarm {
   SwarmReport run_parallel(double horizon_ms, std::size_t threads);
 
   // Stepped execution — the dashboard/analytics path. schedule() plants
-  // the same periodic rounds run() would, run_until() advances every
-  // shard one slice at a time (so a caller can read rollups, quantiles
-  // and alerts between slices), and report() snapshots current state.
+  // the same periodic rounds run() would (lazily by default — one
+  // self-rescheduling chain per device, capped at the horizon; calling
+  // schedule() again with a larger horizon extends the cap and plants a
+  // second chain, like the eager path planted a second full set),
+  // run_until() advances every shard one slice at a time (so a caller
+  // can read rollups, quantiles and alerts between slices), and report()
+  // snapshots current state.
   void schedule(double horizon_ms);
   void run_until(double until_ms);
   /// Drain every shard on the calling thread without scheduling anything
@@ -201,34 +254,81 @@ class Swarm {
 
  private:
   struct Device {
-    crypto::Bytes key;
+    std::size_t index = 0;
     std::size_t shard = 0;
+    crypto::Bytes key;
     std::unique_ptr<attest::ProverDevice> prover;
     std::unique_ptr<attest::Verifier> verifier;
-    std::unique_ptr<Channel> channel;
+    // Channel + session live by value inside the shard arena block (hot
+    // per-round state stays shard-local); optional<> only defers
+    // construction until prover/verifier exist.
+    std::optional<Channel> channel;
     std::unique_ptr<net::FaultyLink> link;
-    std::unique_ptr<AttestationSession> session;
+    std::optional<AttestationSession> session;
   };
   struct Shard {
     EventQueue queue;
     std::size_t begin = 0;  // device index range [begin, end)
     std::size_t end = 0;
+    // Materialized devices, in first-touch order. A deque allocates in
+    // chunked blocks and never moves elements, so Device addresses stay
+    // stable while the arena grows mid-drain.
+    std::deque<Device> arena;
     std::unique_ptr<obs::RingRecorder> ring;  // sharded-tracing mode
     std::unique_ptr<obs::prof::ShardProfile> profile;  // sharded profiling
     std::unique_ptr<obs::power::ShardPowerRecorder> power;  // attach_power
     std::unique_ptr<obs::TeeSink> power_tee;  // ring + power recorder
   };
 
+  // Which observer layout attach_* selected — replayed onto every device
+  // materialized afterwards.
+  enum class ObsMode : std::uint8_t { kNone, kPlain, kSharded, kPower };
+
+  /// Shard owning device i (O(1) from the contiguous block plan).
+  std::size_t shard_of(std::size_t i) const;
+  /// Build device i (prover, verifier, channel, session, link) in its
+  /// shard's arena, or return it if it already exists. During a parallel
+  /// drain this is only ever called from the owning shard's worker.
+  Device& materialize(std::size_t i);
+  void apply_observer(Device& device);
+  void apply_observer_to_materialized();
+  double stagger_offset(std::size_t i) const;
+  /// Arm round k (1-based) of device i's lazy chain; no-op beyond the
+  /// scheduled horizon.
+  void arm_round(std::size_t i, std::uint64_t k);
+  std::size_t seed_stride() const { return net_mode_ ? 80 : 48; }
+  /// Per-shard run_all budget derived from the scheduled work (devices x
+  /// expected rounds x safety factor) — a flat constant strands healthy
+  /// tails at fleet scale; runaway chains still exceed any finite value.
+  std::size_t shard_budget(const Shard& shard) const;
+
   /// Drain every shard queue on up to `threads` workers; returns the
   /// total stranded backlog.
   std::size_t drain(std::size_t threads);
 
   SwarmConfig config_;
+  bool net_mode_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<Device>> devices_;
-  // What attach_sharded_observer attached — attach_power re-attaches the
-  // device observers with the tee'd sink and must preserve these.
+  /// Materialized devices by index (nullptr = still cold). Raw pointers
+  /// into the owning shard's arena. Distinct elements are written by
+  /// distinct shard workers — never the same element from two threads.
+  std::vector<Device*> devices_;
+  /// Every per-device DRBG draw, made eagerly at construction in global
+  /// device order (key, app seed, verifier seed[, link seed, jitter
+  /// seed] — seed_stride() bytes per device): materialization order can
+  /// never change the fleet's keys.
+  std::vector<std::uint8_t> seeds_;
+  /// Shared boot image + verifier reference (share_app_image mode).
+  std::shared_ptr<const attest::ProverTemplate> template_;
+  std::shared_ptr<const crypto::Bytes> shared_reference_;
+  /// Largest horizon schedule() has seen — caps the lazy chains and
+  /// sizes the drain budget.
+  double scheduled_horizon_ms_ = 0.0;
+  // The observer plan (attach_* records it; materialize replays it).
+  ObsMode obs_mode_ = ObsMode::kNone;
   obs::Registry* attached_registry_ = nullptr;
+  obs::TraceSink* attached_sink_ = nullptr;  // kPlain
+  obs::prof::ShardProfile* attached_profile_ = nullptr;  // kPlain
   obs::PowerModel attached_power_{};
 };
 

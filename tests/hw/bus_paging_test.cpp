@@ -1,0 +1,134 @@
+// Lazily-paged bus backing: mapped-but-untouched storage costs nothing,
+// pages materialize on first write (filled with the region's power-up
+// byte), flash erase drops its page, and the paged fast path stays
+// byte-identical to the per-byte reference path across page boundaries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ratt/hw/bus.hpp"
+
+namespace ratt::hw {
+namespace {
+
+constexpr AccessContext kHw{};  // hardware PC — always admitted
+
+MemoryBus make_bus() {
+  MemoryBus bus;
+  bus.map_storage("rom", MemoryKind::kRom, {0x0000'0000, 0x0000'4000});
+  bus.map_storage("ram", MemoryKind::kRam, {0x2000'0000, 0x2000'4000});
+  bus.map_storage("flash", MemoryKind::kFlash, {0x0800'0000, 0x0810'0000});
+  return bus;
+}
+
+TEST(BusPaging, UntouchedRegionsReadFillWithoutAllocating) {
+  MemoryBus bus = make_bus();
+  EXPECT_EQ(bus.resident_bytes(), 0u);
+  std::uint8_t b = 0x55;
+  ASSERT_EQ(bus.read8(kHw, 0x2000'0123, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0x00);
+  ASSERT_EQ(bus.read8(kHw, 0x0800'1234, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0xff);  // flash powers up erased
+  std::vector<std::uint8_t> block(10'000);
+  ASSERT_EQ(bus.read_block(kHw, 0x0800'0000, block), BusStatus::kOk);
+  for (const std::uint8_t v : block) ASSERT_EQ(v, 0xff);
+  // A megabyte of mapped flash read end to end — still zero resident.
+  EXPECT_EQ(bus.resident_bytes(), 0u);
+}
+
+TEST(BusPaging, WritesMaterializeOnePageAtATime) {
+  MemoryBus bus = make_bus();
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0000, 0xab), BusStatus::kOk);
+  EXPECT_EQ(bus.resident_bytes(), 4096u);
+  // Same page: no new allocation.
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0fff, 0xcd), BusStatus::kOk);
+  EXPECT_EQ(bus.resident_bytes(), 4096u);
+  // Next page.
+  ASSERT_EQ(bus.write8(kHw, 0x2000'1000, 0xef), BusStatus::kOk);
+  EXPECT_EQ(bus.resident_bytes(), 8192u);
+  // The fill shows through around the written bytes.
+  std::uint8_t b = 0;
+  ASSERT_EQ(bus.read8(kHw, 0x2000'0001, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0x00);
+  ASSERT_EQ(bus.read8(kHw, 0x2000'0fff, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0xcd);
+}
+
+TEST(BusPaging, FlashEraseDropsThePage) {
+  MemoryBus bus = make_bus();
+  const Addr base = 0x0800'2000;  // second flash block
+  ASSERT_EQ(bus.write8(kHw, base + 7, 0x12), BusStatus::kOk);
+  EXPECT_EQ(bus.resident_bytes(), 4096u);
+  ASSERT_EQ(bus.erase_flash_block(kHw, base + 100), BusStatus::kOk);
+  EXPECT_EQ(bus.resident_bytes(), 0u);
+  std::uint8_t b = 0;
+  ASSERT_EQ(bus.read8(kHw, base + 7, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0xff);
+  // NOR program into the recycled block works again.
+  ASSERT_EQ(bus.write8(kHw, base + 7, 0x34), BusStatus::kOk);
+  ASSERT_EQ(bus.read8(kHw, base + 7, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0x34);
+}
+
+TEST(BusPaging, PartialLastPageClampsToRegionSize) {
+  MemoryBus bus;
+  bus.map_storage("tail", MemoryKind::kRam, {0x1000, 0x1000 + 4096 + 100});
+  ASSERT_EQ(bus.write8(kHw, 0x1000 + 4096 + 50, 0x77), BusStatus::kOk);
+  EXPECT_EQ(bus.resident_bytes(), 100u);
+  std::uint8_t b = 0;
+  ASSERT_EQ(bus.read8(kHw, 0x1000 + 4096 + 50, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0x77);
+}
+
+TEST(BusPaging, BulkPathMatchesBytewiseAcrossPageBoundaries) {
+  // A flash program spanning three pages, half of them pre-programmed:
+  // bulk fast path and per-byte reference path must produce identical
+  // bytes (NOR AND semantics included) and identical resident pages.
+  std::vector<std::uint8_t> pattern(3 * 4096 + 123);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::uint8_t>((i * 31) ^ (i >> 7));
+  }
+  const Addr start = 0x0800'0ffa;  // straddles the first page boundary
+
+  std::vector<std::uint8_t> out[2];
+  std::size_t resident[2] = {0, 0};
+  int which = 0;
+  for (const bool bulk : {true, false}) {
+    MemoryBus bus = make_bus();
+    bus.set_bulk_enabled(bulk);
+    // Pre-program part of the middle page so the AND has set bits to
+    // clear.
+    ASSERT_EQ(bus.write8(kHw, 0x0800'2000, 0x0f), BusStatus::kOk);
+    ASSERT_EQ(bus.write_block(kHw, start, pattern), BusStatus::kOk);
+    out[which].resize(pattern.size() + 64);
+    ASSERT_EQ(bus.read_block(kHw, start - 32, out[which]), BusStatus::kOk);
+    resident[which] = bus.resident_bytes();
+    ++which;
+  }
+  EXPECT_EQ(out[0], out[1]);
+  EXPECT_EQ(resident[0], resident[1]);
+  // The AND happened: the pre-programmed byte keeps only shared bits.
+  MemoryBus check = make_bus();
+  ASSERT_EQ(check.write8(kHw, 0x0800'2000, 0x0f), BusStatus::kOk);
+  ASSERT_EQ(check.write_block(kHw, start, pattern), BusStatus::kOk);
+  std::uint8_t b = 0;
+  ASSERT_EQ(check.read8(kHw, 0x0800'2000, b), BusStatus::kOk);
+  EXPECT_EQ(b, 0x0f & pattern[0x0800'2000 - start]);
+}
+
+TEST(BusPaging, LoadInitialMaterializesRomPages) {
+  MemoryBus bus = make_bus();
+  const std::vector<std::uint8_t> image(5000, 0x5a);
+  bus.load_initial(0x0000'0100, image);
+  EXPECT_EQ(bus.resident_bytes(), 8192u);  // two ROM pages touched
+  std::vector<std::uint8_t> back(5000);
+  ASSERT_EQ(bus.read_block(kHw, 0x0000'0100, back), BusStatus::kOk);
+  EXPECT_EQ(back, image);
+  // ROM stays write-protected on the paged path.
+  EXPECT_EQ(bus.write8(AccessContext{0x0800'0000}, 0x0000'0100, 0x00),
+            BusStatus::kReadOnly);
+}
+
+}  // namespace
+}  // namespace ratt::hw

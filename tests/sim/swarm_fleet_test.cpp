@@ -1,0 +1,228 @@
+// Fleet-scale Swarm semantics: stagger wrap (no starved devices at any
+// fleet size), lazy self-rescheduling vs the eager reference schedule,
+// wheel vs heap at the swarm level, lazy device materialization, shared
+// app images, derived drain budgets, and drift-free long-horizon
+// segmented replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "ratt/obs/power/trace.hpp"
+#include "ratt/obs/trace.hpp"
+#include "ratt/sim/swarm.hpp"
+
+namespace ratt::sim {
+namespace {
+
+using attest::FreshnessScheme;
+
+SwarmConfig fleet_config(std::size_t devices) {
+  SwarmConfig config;
+  config.device_count = devices;
+  config.prover.scheme = FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 512;
+  config.attest_period_ms = 100.0;
+  return config;
+}
+
+std::string trace_jsonl(const Swarm& swarm) {
+  std::ostringstream out;
+  obs::write_jsonl(out, swarm.merged_trace());
+  return out.str();
+}
+
+std::string power_jsonl(const Swarm& swarm) {
+  std::ostringstream out;
+  obs::power::write_jsonl(out, swarm.merged_power_traces(),
+                          obs::power::PowerTraceConfig{});
+  return out.str();
+}
+
+TEST(SwarmFleet, StaggerWrapKeepsEveryDeviceOnSchedule) {
+  // 40 devices x 37 ms stagger = raw offsets up to 1443 ms — far past a
+  // 500 ms horizon. Without the fmod wrap, every device from index 13 up
+  // never attested at all; with it, every device's first round lands
+  // inside the first two periods.
+  SwarmConfig config = fleet_config(40);
+  Swarm swarm(config, crypto::from_string("fleet-seed"));
+  const SwarmReport report = swarm.run(500.0);
+  ASSERT_EQ(report.devices.size(), 40u);
+  for (const auto& d : report.devices) {
+    EXPECT_GE(d.stats.requests_sent, 3u) << "device " << d.device;
+    EXPECT_EQ(d.stats.responses_valid, d.stats.requests_sent)
+        << "device " << d.device;
+  }
+}
+
+TEST(SwarmFleet, LazyScheduleMatchesEagerReference) {
+  // The lazy one-event-per-device chain and the legacy eager plant must
+  // produce the same fleet behavior: identical reports and identical
+  // merged traces (the re-arm event IS the send event, so even event
+  // counts per round agree).
+  SwarmConfig config = fleet_config(8);
+  config.shard_count = 2;
+  SwarmConfig eager = config;
+  eager.eager_schedule = true;
+
+  Swarm lazy_swarm(config, crypto::from_string("fleet-seed"));
+  obs::Registry lazy_reg;
+  lazy_swarm.attach_sharded_observer(&lazy_reg);
+  const SwarmReport lazy_report = lazy_swarm.run(1000.0);
+
+  Swarm eager_swarm(eager, crypto::from_string("fleet-seed"));
+  obs::Registry eager_reg;
+  eager_swarm.attach_sharded_observer(&eager_reg);
+  const SwarmReport eager_report = eager_swarm.run(1000.0);
+
+  EXPECT_EQ(lazy_report, eager_report);
+  EXPECT_EQ(trace_jsonl(lazy_swarm), trace_jsonl(eager_swarm));
+  // Eager materializes everything up front; lazy only what the horizon
+  // touched (here: everything, since every device attests).
+  EXPECT_EQ(lazy_swarm.materialized_count(), 8u);
+}
+
+TEST(SwarmFleet, WheelMatchesHeapAtSwarmLevel) {
+  // Same seed, wheel vs reference heap, with a lossy link and reliable
+  // rounds so retry timers and duplicate deliveries stress the
+  // scheduling structures: reports and merged traces must be
+  // byte-identical.
+  SwarmConfig config = fleet_config(16);
+  config.shard_count = 4;
+  config.reliable = true;
+  config.link.name = "lossy";
+  config.link.loss_to_prover = 0.1;
+  config.link.loss_to_verifier = 0.05;
+  config.link.jitter_ms = 3.0;
+  config.link.dup_probability = 0.05;
+  SwarmConfig heap_config = config;
+  heap_config.use_wheel = false;
+
+  Swarm wheel_swarm(config, crypto::from_string("fleet-seed"));
+  obs::Registry wheel_reg;
+  wheel_swarm.attach_sharded_observer(&wheel_reg);
+  const SwarmReport wheel_report = wheel_swarm.run_parallel(1500.0, 4);
+
+  Swarm heap_swarm(heap_config, crypto::from_string("fleet-seed"));
+  obs::Registry heap_reg;
+  heap_swarm.attach_sharded_observer(&heap_reg);
+  const SwarmReport heap_report = heap_swarm.run(1500.0);
+
+  EXPECT_EQ(wheel_report, heap_report);
+  EXPECT_EQ(trace_jsonl(wheel_swarm), trace_jsonl(heap_swarm));
+  EXPECT_GT(wheel_report.total_sent(), 0u);
+}
+
+TEST(SwarmFleet, LazyMaterializationOnlyBuildsScheduledDevices) {
+  // Offsets are fmod(37 i, 100); round 1 fires at offset + 100. With a
+  // 150 ms horizon only the devices whose offset <= 50 ever wake — the
+  // rest must stay cold yet still appear in the report as idle rows.
+  SwarmConfig config = fleet_config(16);
+  Swarm swarm(config, crypto::from_string("fleet-seed"));
+  EXPECT_EQ(swarm.materialized_count(), 0u);
+  const SwarmReport report = swarm.run(150.0);
+
+  std::size_t expected_awake = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const double offset = std::fmod(37.0 * static_cast<double>(i), 100.0);
+    const bool awake = offset + 100.0 <= 150.0;
+    expected_awake += awake ? 1 : 0;
+    EXPECT_EQ(swarm.is_materialized(i), awake) << "device " << i;
+    EXPECT_EQ(report.devices[i].stats.requests_sent, awake ? 1u : 0u)
+        << "device " << i;
+  }
+  EXPECT_EQ(swarm.materialized_count(), expected_awake);
+  ASSERT_EQ(report.devices.size(), 16u);
+  // An unmaterialized row is exactly a default report row.
+  SwarmDeviceReport idle;
+  idle.device = 2;
+  EXPECT_EQ(report.devices[2], idle);
+  // Touching a cold device through an accessor materializes it.
+  EXPECT_FALSE(swarm.is_materialized(8));
+  (void)swarm.device_key(8);
+  EXPECT_TRUE(swarm.is_materialized(8));
+}
+
+TEST(SwarmFleet, SharedAppImageKeepsKeysAndReports) {
+  // share_app_image swaps per-device boot images for one fleet-wide
+  // template; keys, statuses and timing must not change.
+  SwarmConfig config = fleet_config(6);
+  config.prover.measured_bytes = 2048;
+  SwarmConfig shared = config;
+  shared.share_app_image = true;
+
+  Swarm plain(config, crypto::from_string("fleet-seed"));
+  Swarm templated(shared, crypto::from_string("fleet-seed"));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(plain.device_key(i), templated.device_key(i)) << "device " << i;
+  }
+  const SwarmReport plain_report = plain.run(600.0);
+  const SwarmReport shared_report = templated.run(600.0);
+  EXPECT_EQ(plain_report, shared_report);
+  EXPECT_GT(shared_report.total_valid(), 0u);
+}
+
+TEST(SwarmFleet, DrainBudgetCoversLargeCleanFleet) {
+  // A clean fleet whose scheduled work exceeds the legacy fixed 1M-event
+  // budget: the derived per-shard budget must drain it completely
+  // (events_leftover == 0) instead of stranding the horizon tail.
+  SwarmConfig config;
+  config.device_count = 20'000;
+  config.prover.scheme = FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 64;
+  config.attest_period_ms = 10.0;
+  config.share_app_image = true;  // one signature check for the fleet
+  Swarm swarm(config, crypto::from_string("fleet-seed"));
+  obs::Registry registry;
+  swarm.attach_observer(&registry, nullptr);
+  const SwarmReport report = swarm.run(250.0);
+  EXPECT_EQ(report.events_leftover, 0u);
+  EXPECT_EQ(report.total_valid(), report.total_sent());
+  EXPECT_GE(report.total_sent(), 20'000u * 24u);
+  // The point of the derived budget: this healthy run really does run
+  // more than the old 1'000'000-event flat allowance.
+  const obs::Counter* events_run = registry.find_counter("queue.events_run");
+  ASSERT_NE(events_run, nullptr);
+  EXPECT_GT(events_run->count(), 1'000'000u);
+}
+
+TEST(SwarmFleet, LongHorizonSegmentedReplayMatchesStraightRun) {
+  // A 10^6 ms horizon with an inexact period (333.3 has no finite binary
+  // representation): round times are computed multiplicatively, so a
+  // dashboard-style run_until replay in awkward slices lands every round
+  // on the same bit-exact times as the straight run — reports, traces
+  // and synthesized power waveforms all byte-identical.
+  SwarmConfig config;
+  config.device_count = 4;
+  config.prover.scheme = FreshnessScheme::kCounter;
+  config.prover.measured_bytes = 512;
+  config.attest_period_ms = 333.3;
+  const double horizon_ms = 1.0e6;
+
+  Swarm straight(config, crypto::from_string("fleet-seed"));
+  obs::Registry straight_reg;
+  straight.attach_sharded_observer(&straight_reg, 1 << 18);
+  straight.attach_power();
+  const SwarmReport straight_report = straight.run(horizon_ms);
+
+  Swarm sliced(config, crypto::from_string("fleet-seed"));
+  obs::Registry sliced_reg;
+  sliced.attach_sharded_observer(&sliced_reg, 1 << 18);
+  sliced.attach_power();
+  sliced.schedule(horizon_ms);
+  for (double t = 77'777.7; t < horizon_ms; t += 77'777.7) {
+    sliced.run_until(t);
+  }
+  sliced.run_until(horizon_ms);
+  const SwarmReport sliced_report = sliced.report(horizon_ms);
+
+  EXPECT_EQ(sliced_report, straight_report);
+  EXPECT_EQ(sliced_report.events_leftover, 0u);
+  EXPECT_GT(straight_report.total_sent(), 4u * 2990u);
+  EXPECT_EQ(trace_jsonl(sliced), trace_jsonl(straight));
+  EXPECT_EQ(power_jsonl(sliced), power_jsonl(straight));
+}
+
+}  // namespace
+}  // namespace ratt::sim
