@@ -180,6 +180,7 @@ struct FleetScaleOptions {
   bool eager = false;          // legacy eager schedule instead of lazy
   bool no_share = false;       // per-device boot images (no template)
   bool no_trace = false;       // registry-only observability (1M smoke)
+  bool incremental = false;    // incremental paged attestation rounds
   std::string check_path;      // --check-against=BENCH_fleet.json
 };
 
@@ -191,6 +192,7 @@ int run_fleet_scale(const FleetScaleOptions& opt) {
   config.prover.measured_bytes = 16 * 1024;
   config.attest_period_ms = 250.0;
   config.prover.bulk_bus = !opt.slow_bus;
+  config.prover.enable_incremental = opt.incremental;
   config.stagger_ms = 0.5;  // keep every device active inside the horizon
   config.shard_count =
       opt.shards != 0 ? opt.shards : std::min<std::size_t>(opt.devices, 16);
@@ -464,6 +466,7 @@ int run_fleet_periodic(const FleetScaleOptions& opt) {
   config.prover.authenticate_requests = true;
   config.prover.measured_bytes = opt.measured;
   config.attest_period_ms = opt.period_ms;
+  config.prover.enable_incremental = opt.incremental;
   config.shard_count =
       opt.shards != 0 ? opt.shards : std::min<std::size_t>(opt.devices, 16);
   config.use_wheel = !opt.heap;
@@ -527,6 +530,7 @@ int run_fleet_periodic(const FleetScaleOptions& opt) {
   std::printf("scheduler:        %s%s\n", opt.heap ? "heap" : "wheel",
               opt.eager ? " (eager)" : " (lazy)");
   std::printf("shared image:     %s\n", opt.no_share ? "no" : "yes");
+  std::printf("incremental:      %s\n", opt.incremental ? "yes" : "no");
   std::printf("measured bytes:   %zu\n", opt.measured);
   std::printf("period_ms:        %g\n", opt.period_ms);
   std::printf("horizon_ms:       %g\n", opt.horizon_ms);
@@ -624,6 +628,10 @@ int main(int argc, char** argv) {
       opt.fleet = true;
       continue;
     }
+    if (std::strcmp(arg, "--incremental") == 0) {
+      opt.incremental = true;
+      continue;
+    }
     if (std::strcmp(arg, "--heap") == 0) {
       opt.heap = true;
       continue;
@@ -666,7 +674,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: %s [--devices=N] [--threads=N] [--shards=N] "
-                 "[--trace=path] [--json=path] [--slow-bus] "
+                 "[--trace=path] [--json=path] [--slow-bus] [--incremental] "
                  "[--link=clean|lossy10|bursty|hostile] | "
                  "--fleet [--measured=N] [--period=MS] [--horizon=MS] "
                  "[--heap] [--eager] [--no-share-image] [--no-trace] "
@@ -676,6 +684,12 @@ int main(int argc, char** argv) {
   }
   if (opt.devices == 0 || opt.threads == 0) {
     std::fprintf(stderr, "--devices and --threads must be nonzero\n");
+    return 2;
+  }
+  if (opt.incremental && !opt.link.empty()) {
+    // Incremental sessions and the reliable retransmitter are mutually
+    // exclusive (session.cpp enforces it); fail before the Swarm throws.
+    std::fprintf(stderr, "--incremental cannot combine with --link\n");
     return 2;
   }
   if (opt.fleet) return run_fleet_periodic(opt);

@@ -1,0 +1,235 @@
+#include "ratt/adv/adv_rollback.hpp"
+
+namespace ratt::adv {
+
+namespace {
+
+using attest::AttestOutcome;
+using attest::AttestStatus;
+using attest::IncAttestRequest;
+using attest::ProverConfig;
+using attest::ProverDevice;
+using attest::Verifier;
+using crypto::Bytes;
+
+Bytes shared_key() {
+  return crypto::from_hex("b0b1b2b3b4b5b6b7b8b9babbbcbdbebf");
+}
+
+struct Scenario {
+  std::unique_ptr<ProverDevice> prover;
+  std::unique_ptr<Verifier> verifier;
+  hw::SoftwareComponent malware;  // transient-compromise vantage point
+
+  explicit Scenario(std::unique_ptr<ProverDevice> p)
+      : prover(std::move(p)),
+        malware(prover->mcu(), "malware", prover->surface().malware_region) {}
+};
+
+Scenario build(const RollbackScenarioConfig& config) {
+  ProverConfig pc;
+  pc.mac_alg = config.mac_alg;
+  pc.scheme = config.scheme;
+  pc.measured_bytes = config.measured_bytes;
+  pc.enable_incremental = true;
+  pc.protect_cache = config.protect_cache;
+  pc.bind_generation = config.bind_generation;
+  Scenario s(std::make_unique<ProverDevice>(
+      pc, shared_key(), crypto::from_string("rollback-scenario-app")));
+
+  Verifier::Config vc;
+  vc.mac_alg = config.mac_alg;
+  vc.scheme = config.scheme;
+  vc.bind_generation = config.bind_generation;
+  s.verifier = std::make_unique<Verifier>(
+      shared_key(), vc, crypto::from_string("rollback-scenario-vrf"));
+  s.verifier->set_reference_memory(s.prover->reference_memory());
+  return s;
+}
+
+struct RoundResult {
+  AttestStatus status = AttestStatus::kOk;
+  bool valid = false;
+  bool fallback = false;
+};
+
+/// One verifier-initiated incremental round, end to end.
+RoundResult incremental_round(Scenario& s) {
+  s.prover->idle_ms(1.0);
+  const IncAttestRequest req = s.verifier->make_incremental_request();
+  const AttestOutcome out = s.prover->handle_incremental(req);
+  RoundResult r;
+  r.status = out.status;
+  if (out.status != AttestStatus::kOk) return r;
+  r.fallback = out.inc_response.full_fallback();
+  r.valid = s.verifier->check_incremental(req, out.inc_response);
+  return r;
+}
+
+/// Snapshot / restore the whole cache window (generation + tag table)
+/// from the malware's PC. Both fail against the EA-MPU cache rule.
+bool snapshot_cache(Scenario& s, Bytes& out) {
+  out.assign(s.prover->surface().cache_size, 0);
+  return s.malware.read_block(s.prover->surface().cache_addr, out) ==
+         hw::BusStatus::kOk;
+}
+
+bool restore_cache(Scenario& s, const Bytes& snapshot) {
+  return s.malware.write_block(s.prover->surface().cache_addr, snapshot) ==
+         hw::BusStatus::kOk;
+}
+
+/// Flip one word inside a measured page (the infection the cache is
+/// supposed to force back into evidence).
+bool tamper_page(Scenario& s, hw::Addr target) {
+  std::uint32_t original = 0;
+  if (s.malware.read32(target, original) != hw::BusStatus::kOk) return false;
+  return s.malware.write32(target, original ^ 0xdeadbeef) ==
+         hw::BusStatus::kOk;
+}
+
+RollbackAttackResult cache_restore(const RollbackScenarioConfig& config) {
+  Scenario s = build(config);
+  RollbackAttackResult result;
+  result.attack = RollbackAttack::kCacheRestore;
+
+  // Seed round: first contact forces a full fallback that fills the
+  // cache with clean per-page tags.
+  if (!incremental_round(s).valid) return result;
+
+  // Phase II: snapshot the clean cache, then infect a measured page.
+  Bytes snapshot;
+  const bool snap_ok = snapshot_cache(s, snapshot);
+  const hw::Addr target = s.prover->surface().measured_memory.begin + 64;
+  if (!tamper_page(s, target)) return result;
+
+  // One round runs while infected: the dirty page is re-MACed, the tag
+  // betrays the tamper, the verifier flags it (and, when generation-
+  // bound, drops its retained state).
+  (void)incremental_round(s);
+
+  // The rollback: put the pre-tamper evidence back. The dirty bit was
+  // cleared by the anchor's own re-MAC, so the restored cache claims a
+  // clean device while the infection is still resident.
+  result.manipulation_succeeded = snap_ok && restore_cache(s, snapshot);
+
+  const RoundResult r = incremental_round(s);
+  result.attack_round_valid = r.valid;
+  result.forced_full_fallback = r.fallback;
+  result.rollback_accepted =
+      result.manipulation_succeeded && r.valid && !r.fallback;
+  result.final_retained_gen = s.verifier->retained_generation();
+  return result;
+}
+
+RollbackAttackResult bitmap_clear(const RollbackScenarioConfig& config) {
+  Scenario s = build(config);
+  RollbackAttackResult result;
+  result.attack = RollbackAttack::kBitmapClear;
+
+  if (!incremental_round(s).valid) return result;
+
+  // Phase II: infect a measured page, then scrub the write's only trace
+  // — the dirty bit — without involving the trust anchor. The cache
+  // itself is never touched; its stale clean tag does the lying.
+  const hw::Addr target = s.prover->surface().measured_memory.begin + 64;
+  if (!tamper_page(s, target)) return result;
+  result.manipulation_succeeded =
+      s.prover->mcu().bus().clear_dirty_page(s.malware.ctx(), target) ==
+      hw::BusStatus::kOk;
+
+  const RoundResult r = incremental_round(s);
+  result.attack_round_valid = r.valid;
+  result.forced_full_fallback = r.fallback;
+  result.rollback_accepted =
+      result.manipulation_succeeded && r.valid && !r.fallback;
+  result.final_retained_gen = s.verifier->retained_generation();
+  return result;
+}
+
+RollbackAttackResult generation_replay(const RollbackScenarioConfig& config) {
+  Scenario s = build(config);
+  RollbackAttackResult result;
+  result.attack = RollbackAttack::kGenerationReplay;
+
+  if (!incremental_round(s).valid) return result;
+
+  // Phase II part 1: record the cache at generation g1.
+  Bytes snapshot;
+  const bool snap_ok = snapshot_cache(s, snapshot);
+
+  // Advance the evidence generation without changing content: a
+  // write-then-revert marks the page dirty (write-event semantics), the
+  // next round re-MACs it to the same tag and bumps the generation.
+  const hw::Addr target = s.prover->surface().measured_memory.begin + 64;
+  std::uint32_t original = 0;
+  if (s.malware.read32(target, original) != hw::BusStatus::kOk) return result;
+  if (s.malware.write32(target, original ^ 1) != hw::BusStatus::kOk) {
+    return result;
+  }
+  if (s.malware.write32(target, original) != hw::BusStatus::kOk) {
+    return result;
+  }
+  if (!incremental_round(s).valid) return result;
+
+  // Phase II part 2: roll the generation back to the recorded g1.
+  result.manipulation_succeeded = snap_ok && restore_cache(s, snapshot);
+
+  // The replayed generation must not validate as a delta: the bound
+  // configuration forces a full fallback (since_gen != cache gen); the
+  // naive one accepts the rolled-back state as current.
+  const RoundResult r = incremental_round(s);
+  result.attack_round_valid = r.valid;
+  result.forced_full_fallback = r.fallback;
+  result.rollback_accepted =
+      result.manipulation_succeeded && r.valid && !r.fallback;
+  result.final_retained_gen = s.verifier->retained_generation();
+  return result;
+}
+
+}  // namespace
+
+std::string to_string(RollbackAttack attack) {
+  switch (attack) {
+    case RollbackAttack::kCacheRestore:
+      return "cache-restore";
+    case RollbackAttack::kBitmapClear:
+      return "bitmap-clear";
+    case RollbackAttack::kGenerationReplay:
+      return "generation-replay";
+  }
+  return "unknown";
+}
+
+RollbackAttackResult run_rollback_attack(
+    RollbackAttack attack, const RollbackScenarioConfig& config) {
+  RollbackAttackResult result;
+  switch (attack) {
+    case RollbackAttack::kCacheRestore:
+      result = cache_restore(config);
+      break;
+    case RollbackAttack::kBitmapClear:
+      result = bitmap_clear(config);
+      break;
+    case RollbackAttack::kGenerationReplay:
+      result = generation_replay(config);
+      break;
+  }
+  result.protections_enabled =
+      config.protect_cache && config.bind_generation;
+  return result;
+}
+
+RollbackComparison compare_rollback_attack(RollbackAttack attack,
+                                           RollbackScenarioConfig config) {
+  RollbackComparison cmp;
+  config.protect_cache = false;
+  config.bind_generation = false;
+  cmp.unprotected = run_rollback_attack(attack, config);
+  config.protect_cache = true;
+  config.bind_generation = true;
+  cmp.protected_ = run_rollback_attack(attack, config);
+  return cmp;
+}
+
+}  // namespace ratt::adv

@@ -1,0 +1,79 @@
+// The rollback adversary Adv_rollback (DESIGN.md §4i): a roaming-style
+// transient compromise aimed at the incremental attestation state
+// instead of the freshness state. The per-page MAC cache, the dirty
+// bitmap and the evidence generation are exactly the kind of "dynamic
+// data on Prv" Sec. 3.2 warns about — if any of them can be rolled back
+// to a pre-tamper snapshot, the prover serves stale evidence and a
+// tampered page attests clean without ever being re-MACed.
+//
+// Three attacks, each against the three-knob protection matrix
+// (protect_cache = EA-MPU cache rule + bus dirty authority,
+// bind_generation = generation-bound folds + verifier reset-on-invalid):
+//   kCacheRestore     — snapshot the cache, tamper, let one round detect
+//                       it, restore the snapshot: the next round claims
+//                       the pre-tamper evidence.
+//   kBitmapClear      — tamper a page, then clear its dirty bit from the
+//                       malware's PC: the anchor never re-MACs it.
+//   kGenerationReplay — roll the cache generation back to a recorded
+//                       value: stale "changed-since" state replays.
+// Every manipulation goes through the simulated bus with the malware's
+// program counter, so the EA-MPU rule and the dirty authority block
+// exactly the writes the protected configuration says they block.
+#pragma once
+
+#include <string>
+
+#include "ratt/attest/prover.hpp"
+#include "ratt/attest/verifier.hpp"
+
+namespace ratt::adv {
+
+enum class RollbackAttack : std::uint8_t {
+  kCacheRestore,
+  kBitmapClear,
+  kGenerationReplay,
+};
+
+std::string to_string(RollbackAttack attack);
+
+struct RollbackScenarioConfig {
+  crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  attest::FreshnessScheme scheme = attest::FreshnessScheme::kCounter;
+  /// Protection toggles: the experiment's independent variables.
+  bool protect_cache = true;
+  bool bind_generation = true;
+  std::size_t measured_bytes = 4 * 4096;
+};
+
+struct RollbackAttackResult {
+  RollbackAttack attack{};
+  bool protections_enabled = false;
+  /// Did the rollback manipulation itself go through (cache writable /
+  /// dirty bit clearable from the malware's PC)?
+  bool manipulation_succeeded = false;
+  /// Verdict of the post-rollback incremental round at the verifier.
+  bool attack_round_valid = false;
+  /// Did that round force a full re-attestation (fallback flag)?
+  bool forced_full_fallback = false;
+  /// The attack's actual win condition: stale evidence accepted — a
+  /// tampered page attested clean (kCacheRestore / kBitmapClear), or a
+  /// rolled-back generation validated without a forced full re-MAC
+  /// (kGenerationReplay).
+  bool rollback_accepted = false;
+  std::uint64_t final_retained_gen = 0;
+};
+
+/// Run one rollback attack from scratch.
+RollbackAttackResult run_rollback_attack(RollbackAttack attack,
+                                         const RollbackScenarioConfig& config);
+
+/// Run the attack with both protections off (the naive cache) and both
+/// on; the claim is rollback_accepted flips from true to false.
+struct RollbackComparison {
+  RollbackAttackResult unprotected;
+  RollbackAttackResult protected_;
+};
+RollbackComparison compare_rollback_attack(RollbackAttack attack,
+                                           RollbackScenarioConfig config);
+
+}  // namespace ratt::adv

@@ -6,6 +6,8 @@ namespace {
 
 constexpr std::uint8_t kRequestMagic = 0xA1;
 constexpr std::uint8_t kResponseMagic = 0xA2;
+constexpr std::uint8_t kIncRequestMagic = 0xA3;
+constexpr std::uint8_t kIncResponseMagic = 0xA4;
 
 }  // namespace
 
@@ -83,6 +85,120 @@ std::optional<AttestResponse> AttestResponse::from_bytes(ByteView wire) {
   if (wire.size() != 10 + len) return std::nullopt;
   resp.measurement.assign(wire.begin() + 10, wire.end());
   return resp;
+}
+
+Bytes IncAttestRequest::header_bytes() const {
+  Bytes out;
+  out.reserve(28);
+  out.push_back(kIncRequestMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(scheme));
+  out.push_back(static_cast<std::uint8_t>(mac_alg));
+  std::uint8_t word[8];
+  crypto::store_le64(word, freshness);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, challenge);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, since_gen);
+  crypto::append(out, ByteView(word, 8));
+  return out;
+}
+
+Bytes IncAttestRequest::to_bytes() const {
+  Bytes out = header_bytes();
+  out.push_back(static_cast<std::uint8_t>(mac.size()));
+  crypto::append(out, mac);
+  return out;
+}
+
+std::optional<IncAttestRequest> IncAttestRequest::from_bytes(ByteView wire) {
+  if (wire.size() < 29 || wire[0] != kIncRequestMagic) return std::nullopt;
+  if (wire[1] != kVersion) return std::nullopt;
+  IncAttestRequest req;
+  if (wire[2] > static_cast<std::uint8_t>(FreshnessScheme::kTimestamp)) {
+    return std::nullopt;
+  }
+  req.scheme = static_cast<FreshnessScheme>(wire[2]);
+  if (wire[3] > static_cast<std::uint8_t>(crypto::MacAlgorithm::kSpeckCmac)) {
+    return std::nullopt;
+  }
+  req.mac_alg = static_cast<crypto::MacAlgorithm>(wire[3]);
+  req.freshness = crypto::load_le64(wire.data() + 4);
+  req.challenge = crypto::load_le64(wire.data() + 12);
+  req.since_gen = crypto::load_le64(wire.data() + 20);
+  const std::size_t mac_len = wire[28];
+  if (wire.size() != 29 + mac_len) return std::nullopt;
+  req.mac.assign(wire.begin() + 29, wire.end());
+  return req;
+}
+
+Bytes IncAttestResponse::to_bytes() const {
+  Bytes out;
+  out.reserve(wire_size());
+  out.push_back(kIncResponseMagic);
+  out.push_back(kVersion);
+  out.push_back(flags);
+  std::uint8_t word[8];
+  crypto::store_le64(word, freshness);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, base_gen);
+  crypto::append(out, ByteView(word, 8));
+  crypto::store_le64(word, new_gen);
+  crypto::append(out, ByteView(word, 8));
+  std::uint8_t count[4];
+  crypto::store_le32(count,
+                     static_cast<std::uint32_t>(changed_pages.size()));
+  crypto::append(out, ByteView(count, 4));
+  for (const std::uint32_t page : changed_pages) {
+    std::uint8_t idx[4];
+    crypto::store_le32(idx, page);
+    crypto::append(out, ByteView(idx, 4));
+  }
+  out.push_back(static_cast<std::uint8_t>(measurement.size()));
+  crypto::append(out, measurement);
+  return out;
+}
+
+std::optional<IncAttestResponse> IncAttestResponse::from_bytes(
+    ByteView wire) {
+  // Fixed head (31 B) + at least the MAC length byte: anything shorter
+  // cannot carry even a zero-page, zero-MAC frame.
+  if (wire.size() < 32 || wire[0] != kIncResponseMagic) return std::nullopt;
+  if (wire[1] != kVersion) return std::nullopt;
+  IncAttestResponse resp;
+  resp.flags = wire[2];
+  if ((resp.flags &
+       static_cast<std::uint8_t>(~(kFlagFullFallback |
+                                   kFlagGenerationBound))) != 0) {
+    return std::nullopt;
+  }
+  resp.freshness = crypto::load_le64(wire.data() + 3);
+  resp.base_gen = crypto::load_le64(wire.data() + 11);
+  resp.new_gen = crypto::load_le64(wire.data() + 19);
+  const std::uint32_t count = crypto::load_le32(wire.data() + 27);
+  if (count > kMaxChangedPages) return std::nullopt;
+  // 64-bit arithmetic: a hostile count must not wrap the expected size.
+  const std::uint64_t indices_end =
+      31 + 4 * static_cast<std::uint64_t>(count);
+  if (wire.size() < indices_end + 1) return std::nullopt;
+  const std::size_t mac_len = wire[static_cast<std::size_t>(indices_end)];
+  if (wire.size() != indices_end + 1 + mac_len) return std::nullopt;
+  resp.changed_pages.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    resp.changed_pages[i] = crypto::load_le32(wire.data() + 31 + 4 * i);
+  }
+  resp.measurement.assign(wire.begin() + static_cast<std::ptrdiff_t>(
+                                             indices_end + 1),
+                          wire.end());
+  return resp;
+}
+
+bool is_inc_request_frame(ByteView wire) {
+  return !wire.empty() && wire[0] == kIncRequestMagic;
+}
+
+bool is_inc_response_frame(ByteView wire) {
+  return !wire.empty() && wire[0] == kIncResponseMagic;
 }
 
 }  // namespace ratt::attest

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ratt/crypto/mac.hpp"
 
@@ -65,5 +66,82 @@ struct AttestResponse {
   friend bool operator==(const AttestResponse&, const AttestResponse&) =
       default;
 };
+
+/// Versioned incremental-attestation request (DESIGN.md §4i): the
+/// verifier asks for "changed since generation `since_gen`" evidence.
+/// since_gen == 0 means first contact / no retained state — the prover
+/// must answer with a full fallback.
+struct IncAttestRequest {
+  /// Wire version this implementation speaks; parsers reject others.
+  static constexpr std::uint8_t kVersion = 1;
+
+  FreshnessScheme scheme = FreshnessScheme::kNone;
+  crypto::MacAlgorithm mac_alg = crypto::MacAlgorithm::kHmacSha1;
+  std::uint64_t freshness = 0;
+  std::uint64_t challenge = 0;
+  /// The evidence generation the verifier retains page digests for.
+  std::uint64_t since_gen = 0;
+  /// MAC over header_bytes() under K_Attest (empty when the deployment
+  /// does not authenticate requests).
+  Bytes mac;
+
+  /// The authenticated portion: magic, version, scheme, mac_alg,
+  /// freshness, challenge, since_gen — 28 bytes.
+  Bytes header_bytes() const;
+
+  Bytes to_bytes() const;
+  std::size_t wire_size() const { return 28 + 1 + mac.size(); }
+  static std::optional<IncAttestRequest> from_bytes(ByteView wire);
+
+  friend bool operator==(const IncAttestRequest&, const IncAttestRequest&) =
+      default;
+};
+
+/// Incremental evidence: which pages were re-MACed, under which cache
+/// generations, plus the fold MAC over the whole per-page tag table.
+struct IncAttestResponse {
+  static constexpr std::uint8_t kVersion = 1;
+  /// The prover could not serve the delta and re-MACed everything
+  /// (first contact, unseeded cache, or generation mismatch).
+  static constexpr std::uint8_t kFlagFullFallback = 0x01;
+  /// The fold MAC absorbs base_gen/new_gen (generation-bound cache).
+  static constexpr std::uint8_t kFlagGenerationBound = 0x02;
+  /// Parser cap on changed_pages: bounds the allocation a hostile frame
+  /// can demand (2^16 pages = 256 MB of 4 KB pages, far past any device).
+  static constexpr std::uint32_t kMaxChangedPages = 65536;
+
+  std::uint8_t flags = 0;
+  std::uint64_t freshness = 0;
+  /// Cache generation the delta starts from (== request.since_gen on a
+  /// non-fallback response).
+  std::uint64_t base_gen = 0;
+  /// Cache generation after this evidence refresh.
+  std::uint64_t new_gen = 0;
+  /// Indices (within the measured range) of the pages re-MACed for this
+  /// response, strictly increasing.
+  std::vector<std::uint32_t> changed_pages;
+  /// Fold MAC under K_Attest over the response header fields and the
+  /// complete per-page tag table (trust_anchor.hpp documents the exact
+  /// absorb order).
+  Bytes measurement;
+
+  bool full_fallback() const { return (flags & kFlagFullFallback) != 0; }
+  bool generation_bound() const {
+    return (flags & kFlagGenerationBound) != 0;
+  }
+
+  Bytes to_bytes() const;
+  std::size_t wire_size() const {
+    return 31 + 4 * changed_pages.size() + 1 + measurement.size();
+  }
+  static std::optional<IncAttestResponse> from_bytes(ByteView wire);
+
+  friend bool operator==(const IncAttestResponse&,
+                         const IncAttestResponse&) = default;
+};
+
+/// Wire-dispatch helpers: the first byte of every frame is its magic.
+bool is_inc_request_frame(ByteView wire);
+bool is_inc_response_frame(ByteView wire);
 
 }  // namespace ratt::attest

@@ -22,6 +22,7 @@ constexpr hw::Addr kSyncStateAddr = 0x00100140;       // RAM (2 x u64)
 constexpr hw::AddrRange kErasableRegion{0x00150000, 0x00160000};  // RAM
 constexpr hw::Addr kNonceStoreAddr = 0x00100200;  // RAM
 constexpr hw::Addr kAuditLogAddr = 0x00102000;    // RAM (after nonce ring)
+constexpr hw::Addr kPageMacCacheAddr = 0x00104000;  // RAM (after audit log)
 constexpr hw::Addr kMeasuredBase = 0x00110000;    // RAM
 constexpr hw::Addr kClockPortAddr = 0x00210000;   // MMIO
 constexpr std::size_t kWrapIrqVector = 0;
@@ -198,6 +199,10 @@ ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
   anchor_config.authenticate_requests = config_.authenticate_requests;
   anchor_config.rate_limit_max = config_.rate_limit_max;
   anchor_config.rate_limit_window_ms = config_.rate_limit_window_ms;
+  anchor_config.enable_incremental = config_.enable_incremental;
+  anchor_config.cache_addr =
+      config_.enable_incremental ? kPageMacCacheAddr : 0;
+  anchor_config.bind_generation = config_.bind_generation;
   anchor_ = std::make_unique<CodeAttest>(*mcu_, anchor_config, *policy_,
                                          timing_);
 
@@ -255,6 +260,12 @@ ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
   surface_.erasable = config_.enable_services ? kErasableRegion
                                               : hw::AddrRange{};
   surface_.audit_log_addr = config_.enable_audit_log ? kAuditLogAddr : 0;
+  if (config_.enable_incremental) {
+    surface_.cache_addr = kPageMacCacheAddr;
+    surface_.cache_size = CodeAttest::cache_window_size(
+        CodeAttest::page_count(config_.measured_bytes),
+        crypto::tag_size(config_.mac_alg));
+  }
 
   // --- Secure boot: application image + IDT + protection rules. ---
   if (tmpl != nullptr) {
@@ -355,6 +366,19 @@ bool ProverDevice::configure_protection(hw::Mcu& mcu) {
                         hw::AddrRange{kSyncStateAddr, kSyncStateAddr + 16},
                         /*r=*/true, /*w=*/true, "sync-state");
   }
+  if (config_.enable_incremental && config_.protect_cache) {
+    // The per-page MAC cache is evidence, like the audit log: R/W by
+    // Code_Attest only. The paired dirty authority makes the bus's
+    // dirty bitmap clearable only from the anchor's code region — the
+    // two halves of the cache protection model (DESIGN.md §4i).
+    ok = ok && add_rule(kCodeAttestRegion,
+                        hw::AddrRange{kPageMacCacheAddr,
+                                      kPageMacCacheAddr +
+                                          static_cast<hw::Addr>(
+                                              surface_.cache_size)},
+                        /*r=*/true, /*w=*/true, "page-mac-cache");
+    mcu.bus().set_dirty_authority(kCodeAttestRegion);
+  }
   if (config_.protect_clock && config_.clock == ClockDesign::kWritable) {
     // A software-settable clock register can itself be EA-MPU-protected:
     // everyone may read it, nobody may write it (Sec. 6.2: "the clock
@@ -392,8 +416,14 @@ void ProverDevice::set_observer(const obs::Observer& observer) {
     obs_faults_dropped_ = nullptr;
     obs_handle_ms_ = nullptr;
     obs_outcome_.fill(nullptr);
+    obs_inc_requests_ = nullptr;
+    obs_inc_pages_ = nullptr;
+    obs_inc_fallbacks_ = nullptr;
     return;
   }
+  obs_inc_requests_ = nullptr;
+  obs_inc_pages_ = nullptr;
+  obs_inc_fallbacks_ = nullptr;
   obs::Registry& reg = *obs_.registry;
   obs_requests_ = &reg.counter("prover.requests");
   obs_busy_ms_ = &reg.counter("prover.busy_ms");
@@ -407,7 +437,7 @@ void ProverDevice::set_observer(const obs::Observer& observer) {
   }
 }
 
-void ProverDevice::observe_request(const AttestRequest& request,
+void ProverDevice::observe_request(std::size_t wire_bytes,
                                    const AttestOutcome& outcome,
                                    const obs::RoundContext& round) {
   const double energy_mj = obs_.power.active_mj(outcome.device_ms);
@@ -433,7 +463,7 @@ void ProverDevice::observe_request(const AttestRequest& request,
     rec.kind = "prover.handle";
     rec.outcome = to_string(outcome.status);
     rec.prover_ms = outcome.device_ms;
-    rec.bytes = request.wire_size();
+    rec.bytes = wire_bytes;
     rec.energy_mj = energy_mj;
     rec.power_mw = outcome.device_ms > 0.0 ? obs_.power.active_mw : 0.0;
     rec.round_id = round.round_id;
@@ -455,6 +485,12 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
   sample.round_id = round.round_id;
   sample.sim_time_ms = end_ms;
   const std::uint64_t total_cycles = timing_.cycles(outcome.device_ms);
+  // Incremental rounds only stream the refreshed pages through the MAC;
+  // the byte columns must reflect that or the Table-3 diff overstates
+  // the bus/MAC traffic by the full measured range.
+  const std::size_t measured_bytes =
+      outcome.incremental ? outcome.inc_pages_refreshed * CodeAttest::kPageBytes
+                          : config_.measured_bytes;
 
   // Wire attempts beyond a round's first extract the prover's whole
   // handling cost gratuitously — that is the PR-4 retry amplification,
@@ -465,9 +501,9 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
     sample.cycles = total_cycles;
     sample.duration_ms = outcome.device_ms;
     sample.energy_mj = obs_.power.active_mj(outcome.device_ms);
-    sample.bus_bytes = config_.measured_bytes + surface_.key_size;
+    sample.bus_bytes = measured_bytes + surface_.key_size;
     sample.mac_bytes =
-        outcome.status == AttestStatus::kOk ? 16 + config_.measured_bytes : 19;
+        outcome.status == AttestStatus::kOk ? 16 + measured_bytes : 19;
     obs_.profile->record(sample);
     return;
   }
@@ -518,8 +554,8 @@ void ProverDevice::profile_request(const AttestOutcome& outcome,
   sample.cycles = mem_cycles;
   sample.duration_ms = outcome.phases.mem_mac;
   sample.energy_mj = obs_.power.active_mj(outcome.phases.mem_mac);
-  sample.bus_bytes = config_.measured_bytes;
-  sample.mac_bytes = config_.measured_bytes;
+  sample.bus_bytes = measured_bytes;
+  sample.mac_bytes = measured_bytes;
   obs_.profile->record(sample);
 
   const std::uint64_t fresh_cycles = timing_.cycles(outcome.phases.freshness);
@@ -544,7 +580,31 @@ AttestOutcome ProverDevice::handle(const AttestRequest& request,
   }
   // The prover is busy for the duration; simulated time moves on.
   mcu_->advance_ms(out.device_ms);
-  if (obs_.enabled()) observe_request(request, out, round);
+  if (obs_.enabled()) observe_request(request.wire_size(), out, round);
+  return out;
+}
+
+AttestOutcome ProverDevice::handle_incremental(
+    const IncAttestRequest& request, const obs::RoundContext& round) {
+  const AttestOutcome out = anchor_->handle_incremental(request);
+  if (audit_log_ != nullptr) {
+    (void)audit_log_->append(out, request.freshness);
+  }
+  mcu_->advance_ms(out.device_ms);
+  if (obs_.enabled()) observe_request(request.wire_size(), out, round);
+  if (obs_.registry != nullptr) {
+    if (obs_inc_requests_ == nullptr) {
+      obs::Registry& reg = *obs_.registry;
+      obs_inc_requests_ = &reg.counter("prover.inc.requests");
+      obs_inc_pages_ = &reg.counter("prover.inc.pages_refreshed");
+      obs_inc_fallbacks_ = &reg.counter("prover.inc.full_fallbacks");
+    }
+    obs_inc_requests_->inc();
+    obs_inc_pages_->inc(static_cast<double>(out.inc_pages_refreshed));
+    if (out.status == AttestStatus::kOk && out.inc_response.full_fallback()) {
+      obs_inc_fallbacks_->inc();
+    }
+  }
   return out;
 }
 

@@ -96,6 +96,18 @@ struct ProverConfig {
   /// for differential testing and the CI byte-compare.
   bool bulk_bus = true;
 
+  /// Incremental paged attestation (DESIGN.md §4i): maintain a per-page
+  /// MAC cache and serve "changed-since generation" requests by
+  /// re-MACing only dirty pages.
+  bool enable_incremental = false;
+  /// Protect the cache with an EA-MPU rule and restrict dirty-bitmap
+  /// clearing to Code_Attest. false = the naive cache the rollback
+  /// regression suite defeats (anyone can restore tags / clear bits).
+  bool protect_cache = true;
+  /// Bind responses to the evidence generation (full fallback on
+  /// mismatch). false = the replayable naive variant.
+  bool bind_generation = true;
+
   double clock_hz = timing::Table1::kRefHz;
 };
 
@@ -133,6 +145,8 @@ struct AttackSurface {
   hw::Addr sync_state_addr = 0;       // sync sequence + clock offset
   hw::AddrRange erasable;             // secure-erase service window
   hw::Addr audit_log_addr = 0;        // hash-chained decision log
+  hw::Addr cache_addr = 0;            // per-page MAC cache (generation +
+  std::size_t cache_size = 0;         // tag table; 0/0 if not incremental)
 };
 
 class ProverDevice {
@@ -182,6 +196,13 @@ class ProverDevice {
   AttestOutcome handle(const AttestRequest& request,
                        const obs::RoundContext& round = {});
 
+  /// Process one incremental request (enable_incremental; DESIGN.md §4i).
+  /// Same time-advance and telemetry contract as handle(); additionally
+  /// tallies the lazily registered prover.inc.* counters, so fleets that
+  /// never go incremental keep their registry export unchanged.
+  AttestOutcome handle_incremental(const IncAttestRequest& request,
+                                   const obs::RoundContext& round = {});
+
   /// Let simulated wall-clock time pass (the device idles / does its
   /// primary task); clocks advance.
   void idle_ms(double ms) { mcu_->advance_ms(ms); }
@@ -213,8 +234,7 @@ class ProverDevice {
                const ProverTemplate* tmpl);
 
   bool configure_protection(hw::Mcu& mcu);
-  void observe_request(const AttestRequest& request,
-                       const AttestOutcome& outcome,
+  void observe_request(std::size_t wire_bytes, const AttestOutcome& outcome,
                        const obs::RoundContext& round);
   void profile_request(const AttestOutcome& outcome,
                        const obs::RoundContext& round);
@@ -249,6 +269,12 @@ class ProverDevice {
   std::uint64_t seen_faults_dropped_ = 0;
   obs::Histogram* obs_handle_ms_ = nullptr;
   std::array<obs::Counter*, kAttestStatusCount> obs_outcome_{};
+  // Lazily registered on the first incremental request (like the
+  // verifier's power counters): full-only fleets keep their registry
+  // export byte-identical to before the extension existed.
+  obs::Counter* obs_inc_requests_ = nullptr;
+  obs::Counter* obs_inc_pages_ = nullptr;
+  obs::Counter* obs_inc_fallbacks_ = nullptr;
 };
 
 }  // namespace ratt::attest

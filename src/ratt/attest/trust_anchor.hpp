@@ -33,6 +33,8 @@ enum class AttestStatus : std::uint8_t {
   kKeyUnreadable,    // K_Attest not accessible (mis-configured EA-MPU)
   kMeasurementFault, // measured memory not fully readable
   kRateLimited,      // attestation budget exhausted (extension)
+  kUnsupported,      // incremental request to a prover without the
+                     // extension enabled (DESIGN.md §4i)
 };
 
 std::string to_string(AttestStatus status);
@@ -40,7 +42,7 @@ std::string to_string(AttestStatus status);
 /// Number of AttestStatus values (sized for per-outcome instrument
 /// arrays; keep in sync with the enum).
 inline constexpr std::size_t kAttestStatusCount =
-    static_cast<std::size_t>(AttestStatus::kRateLimited) + 1;
+    static_cast<std::size_t>(AttestStatus::kUnsupported) + 1;
 
 /// Per-phase decomposition of one invocation's device_ms. The fields sum
 /// to device_ms exactly (the profiler's partition invariant): phases are
@@ -56,12 +58,18 @@ struct PhaseMs {
 struct AttestOutcome {
   AttestStatus status = AttestStatus::kOk;
   FreshnessVerdict freshness = FreshnessVerdict::kAccept;
-  AttestResponse response;  // valid when status == kOk
+  AttestResponse response;  // valid when status == kOk (full path)
   /// Prover time consumed by this invocation (device ms), incl. rejected
   /// requests' authentication cost.
   double device_ms = 0.0;
   /// Where device_ms went (sums to device_ms).
   PhaseMs phases;
+  // -- Incremental path (handle_incremental; DESIGN.md §4i). --
+  bool incremental = false;
+  IncAttestResponse inc_response;  // valid when incremental && kOk
+  /// Pages in the measured range / pages actually re-MACed this request.
+  std::size_t inc_pages_total = 0;
+  std::size_t inc_pages_refreshed = 0;
 };
 
 class CodeAttest : public hw::SoftwareComponent {
@@ -81,6 +89,19 @@ class CodeAttest : public hw::SoftwareComponent {
     /// 0 disables the limiter.
     std::uint32_t rate_limit_max = 0;
     double rate_limit_window_ms = 1000.0;
+    /// Incremental paged attestation (DESIGN.md §4i): keep a per-page
+    /// MAC cache at `cache_addr` and serve "changed-since generation"
+    /// requests by re-MACing only dirty pages. Off = incremental
+    /// requests are rejected with kUnsupported.
+    bool enable_incremental = false;
+    /// Cache layout: u64 evidence generation, then one tag per measured
+    /// page. Lives in RAM; the prover's EA-MPU rule (protect_cache) is
+    /// what makes it trustworthy.
+    hw::Addr cache_addr = 0;
+    /// Absorb base/new generation into the fold MAC and force a full
+    /// fallback on a since_gen mismatch. Off = the naive cache the
+    /// rollback regression suite defeats.
+    bool bind_generation = true;
   };
 
   CodeAttest(hw::Mcu& mcu, const Config& config, FreshnessPolicy& policy,
@@ -91,6 +112,18 @@ class CodeAttest : public hw::SoftwareComponent {
   /// Process one attestation request end to end.
   AttestOutcome handle_request(const AttestRequest& request);
 
+  /// Process one incremental ("changed-since generation") request:
+  /// admit it exactly like a full request, re-MAC only the dirty pages
+  /// of the measured range (all pages on a generation mismatch / first
+  /// contact / unseeded cache — the full fallback), refresh the
+  /// protected per-page MAC cache, and fold the complete tag table into
+  /// the response MAC:
+  ///   page tag p = MAC(K, 'P' || u32 p || u32 page_len || page bytes)
+  ///   fold       = MAC(K, 'I' || flags || challenge || freshness ||
+  ///                    [base_gen || new_gen when generation-bound] ||
+  ///                    u32 count || indices || tag_0 .. tag_{N-1})
+  AttestOutcome handle_incremental(const IncAttestRequest& request);
+
   /// Cumulative prover time spent in handle_request (device ms).
   double total_device_ms() const { return total_device_ms_; }
 
@@ -99,13 +132,41 @@ class CodeAttest : public hw::SoftwareComponent {
   std::uint64_t attestations_performed() const { return performed_; }
   std::uint64_t requests_rejected() const { return rejected_; }
   std::uint64_t requests_rate_limited() const { return rate_limited_; }
+  /// Incremental requests served / those that fell back to a full
+  /// re-MAC (first contact, unseeded or generation-mismatched cache).
+  std::uint64_t incremental_performed() const { return inc_performed_; }
+  std::uint64_t full_fallbacks() const { return full_fallbacks_; }
 
   /// Chunk size of the streaming memory measurement: the measured range
   /// is MAC'd through a reusable scratch buffer this large, so a 512 KB
   /// measurement allocates nothing per request.
   static constexpr std::size_t kMeasureChunkBytes = 4096;
 
+  /// Attestation page granularity — equal to the bus backing page and
+  /// the flash erase block, so one dirty bit covers exactly one tag.
+  static constexpr std::size_t kPageBytes = 4096;
+
+  /// Pages covering `measured_bytes`.
+  static constexpr std::size_t page_count(std::size_t measured_bytes) {
+    return (measured_bytes + kPageBytes - 1) / kPageBytes;
+  }
+
+  /// Bytes of protected RAM the cache occupies: the u64 generation plus
+  /// one `tag_size` tag per page.
+  static constexpr std::size_t cache_window_size(std::size_t pages,
+                                                 std::size_t tag_size) {
+    return 8 + pages * tag_size;
+  }
+
  private:
+  /// Shared admission prefix of both request paths: algorithm check, key
+  /// read, request authentication (charged), freshness, rate limit.
+  /// Returns the keyed MAC on admission, nullptr with `out.status` set
+  /// on rejection.
+  crypto::Mac* admit(crypto::MacAlgorithm alg, const Bytes& header,
+                     const Bytes& request_mac, std::uint64_t freshness,
+                     AttestOutcome& out);
+
   /// Read K_Attest through the bus (EA-MPU applies). nullopt on fault.
   std::optional<Bytes> read_key() const;
 
@@ -125,6 +186,8 @@ class CodeAttest : public hw::SoftwareComponent {
   std::uint64_t performed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t rate_limited_ = 0;
+  std::uint64_t inc_performed_ = 0;
+  std::uint64_t full_fallbacks_ = 0;
   double window_start_ms_ = 0.0;
   std::uint32_t window_count_ = 0;
 };

@@ -68,26 +68,44 @@ std::uint64_t Verifier::next_word() {
   return word;
 }
 
+void Verifier::fill_freshness(std::uint64_t& freshness,
+                              std::uint64_t& challenge) {
+  switch (config_.scheme) {
+    case FreshnessScheme::kNone:
+      freshness = 0;
+      break;
+    case FreshnessScheme::kNonce:
+      freshness = next_word();
+      break;
+    case FreshnessScheme::kCounter:
+      freshness = ++counter_;
+      break;
+    case FreshnessScheme::kTimestamp:
+      freshness = config_.clock();
+      break;
+  }
+  challenge = next_word();
+}
+
 AttestRequest Verifier::make_request() {
   if (obs_requests_ != nullptr) obs_requests_->inc();
   AttestRequest req;
   req.scheme = config_.scheme;
   req.mac_alg = config_.mac_alg;
-  switch (config_.scheme) {
-    case FreshnessScheme::kNone:
-      req.freshness = 0;
-      break;
-    case FreshnessScheme::kNonce:
-      req.freshness = next_word();
-      break;
-    case FreshnessScheme::kCounter:
-      req.freshness = ++counter_;
-      break;
-    case FreshnessScheme::kTimestamp:
-      req.freshness = config_.clock();
-      break;
+  fill_freshness(req.freshness, req.challenge);
+  if (config_.authenticate_requests) {
+    req.mac = mac_->compute(req.header_bytes());
   }
-  req.challenge = next_word();
+  return req;
+}
+
+IncAttestRequest Verifier::make_incremental_request() {
+  if (obs_requests_ != nullptr) obs_requests_->inc();
+  IncAttestRequest req;
+  req.scheme = config_.scheme;
+  req.mac_alg = config_.mac_alg;
+  req.since_gen = retained_gen_;
+  fill_freshness(req.freshness, req.challenge);
   if (config_.authenticate_requests) {
     req.mac = mac_->compute(req.header_bytes());
   }
@@ -110,6 +128,120 @@ bool Verifier::check_response(const AttestRequest& request,
   mac_->update(ByteView(head, 16));
   mac_->update(*reference_memory_);
   return tally(crypto::ct_equal(mac_->finish(), response.measurement));
+}
+
+void Verifier::ensure_page_macs() {
+  if (page_macs_src_ == reference_memory_.get()) return;
+  const Bytes& ref = *reference_memory_;
+  constexpr std::size_t kPage = 4096;
+  const std::size_t pages = (ref.size() + kPage - 1) / kPage;
+  const std::size_t tag_size = mac_->tag_size();
+  page_macs_.assign(pages * tag_size, 0);
+  for (std::size_t p = 0; p < pages; ++p) {
+    const std::size_t off = p * kPage;
+    const std::size_t len = std::min(kPage, ref.size() - off);
+    std::uint8_t head[9];
+    head[0] = 'P';
+    crypto::store_le32(head + 1, static_cast<std::uint32_t>(p));
+    crypto::store_le32(head + 5, static_cast<std::uint32_t>(len));
+    mac_->init(9 + len);
+    mac_->update(ByteView(head, 9));
+    mac_->update(ByteView(ref.data() + off, len));
+    const Bytes tag = mac_->finish();
+    std::copy(tag.begin(), tag.end(), page_macs_.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              p * tag_size));
+  }
+  page_macs_src_ = reference_memory_.get();
+}
+
+bool Verifier::check_incremental(const IncAttestRequest& request,
+                                 const IncAttestResponse& response) {
+  const auto tally = [this](bool ok) {
+    if (obs_valid_ != nullptr) (ok ? obs_valid_ : obs_invalid_)->inc();
+    return ok;
+  };
+  // Any invalid incremental response destroys trust in the retained
+  // state: reset it so the next request demands a full fallback. The
+  // naive (unbound) verifier keeps trusting — that is exactly the gap
+  // the rollback regression suite demonstrates.
+  const auto fail = [&] {
+    if (config_.bind_generation) retained_gen_ = 0;
+    return tally(false);
+  };
+
+  if (response.freshness != request.freshness) return fail();
+  if (response.generation_bound() != config_.bind_generation) return fail();
+  if (response.new_gen == 0) return fail();
+
+  constexpr std::size_t kPage = 4096;
+  const std::size_t pages_total =
+      (reference_memory_->size() + kPage - 1) / kPage;
+  // Changed-page list sanity: bounded, in range, strictly increasing —
+  // the absorb below assumes a canonical list, and a hostile frame must
+  // not smuggle duplicates or out-of-range indices past it.
+  if (response.changed_pages.size() > pages_total) return fail();
+  for (std::size_t i = 0; i < response.changed_pages.size(); ++i) {
+    if (response.changed_pages[i] >= pages_total) return fail();
+    if (i > 0 &&
+        response.changed_pages[i] <= response.changed_pages[i - 1]) {
+      return fail();
+    }
+  }
+
+  if (response.full_fallback()) {
+    // A fallback re-MACs everything: its page list must say so.
+    if (response.changed_pages.size() != pages_total) return fail();
+  } else {
+    // A delta is only acceptable against state we actually retain.
+    if (request.since_gen == 0) return fail();
+    if (config_.bind_generation) {
+      if (response.base_gen != request.since_gen) return fail();
+      if (response.new_gen < response.base_gen) return fail();
+      // The generation advances iff evidence was refreshed.
+      if ((response.new_gen == response.base_gen) !=
+          response.changed_pages.empty()) {
+        return fail();
+      }
+    }
+  }
+
+  // Recompute the fold MAC over the verifier's own expected tag table
+  // (built from the reference memory): the prover's pages must MAC to
+  // exactly what an untampered image would, whether cached or refreshed.
+  ensure_page_macs();
+  const bool bound = config_.bind_generation;
+  const std::size_t fold_len = 22 + (bound ? 16 : 0) +
+                               4 * response.changed_pages.size() +
+                               page_macs_.size();
+  mac_->init(fold_len);
+  std::uint8_t fold_head[38];
+  fold_head[0] = 'I';
+  fold_head[1] = response.flags;
+  crypto::store_le64(fold_head + 2, request.challenge);
+  crypto::store_le64(fold_head + 10, request.freshness);
+  std::size_t head_len = 18;
+  if (bound) {
+    crypto::store_le64(fold_head + 18, response.base_gen);
+    crypto::store_le64(fold_head + 26, response.new_gen);
+    head_len = 34;
+  }
+  crypto::store_le32(fold_head + head_len,
+                     static_cast<std::uint32_t>(
+                         response.changed_pages.size()));
+  head_len += 4;
+  mac_->update(ByteView(fold_head, head_len));
+  for (const std::uint32_t p : response.changed_pages) {
+    std::uint8_t idx[4];
+    crypto::store_le32(idx, p);
+    mac_->update(ByteView(idx, 4));
+  }
+  mac_->update(page_macs_);
+  if (!crypto::ct_equal(mac_->finish(), response.measurement)) {
+    return fail();
+  }
+  retained_gen_ = response.new_gen;
+  return tally(true);
 }
 
 }  // namespace ratt::attest

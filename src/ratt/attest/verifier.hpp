@@ -25,6 +25,12 @@ class Verifier {
     /// Verifier-side clock (ticks) for timestamp requests; must be
     /// (nominally) synchronized with the prover's clock.
     std::function<std::uint64_t()> clock;
+    /// Incremental attestation (DESIGN.md §4i): require generation-bound
+    /// responses, track the prover's evidence generation, and reset the
+    /// retained state (forcing a full fallback) after any invalid
+    /// incremental response. false = the naive verifier of the rollback
+    /// regression suite.
+    bool bind_generation = true;
   };
 
   Verifier(Bytes k_attest, const Config& config, ByteView drbg_seed);
@@ -53,6 +59,25 @@ class Verifier {
   bool check_response(const AttestRequest& request,
                       const AttestResponse& response) const;
 
+  /// Build the next incremental request: same freshness/challenge flow
+  /// as make_request(), plus the retained evidence generation (0 on
+  /// first contact or after an invalid response — both force the prover
+  /// into a full fallback).
+  IncAttestRequest make_incremental_request();
+
+  /// Validate an incremental response: sanity-check the changed-page
+  /// list, enforce the generation discipline (when bind_generation), and
+  /// recompute the fold MAC over the verifier's own expected per-page
+  /// tag table — the prover's claimed page list is absorbed, never
+  /// trusted. On success the retained generation resyncs to new_gen; on
+  /// failure (bind_generation) it resets to 0, forcing a full fallback.
+  bool check_incremental(const IncAttestRequest& request,
+                         const IncAttestResponse& response);
+
+  /// The evidence generation retained from the last valid incremental
+  /// response (0 = none; the next request demands a full fallback).
+  std::uint64_t retained_generation() const { return retained_gen_; }
+
   /// Arm the power-trace side channel: once a PowerWitness is attached,
   /// grade_power_trace() runs each round's synthesized waveform against
   /// the witness's clean envelope — the check that catches MAC-passing
@@ -79,6 +104,12 @@ class Verifier {
   /// dominant crypto cost of a fleet round after the MACs themselves.
   std::uint64_t next_word();
 
+  /// Freshness/challenge prefix shared by both request builders.
+  void fill_freshness(std::uint64_t& freshness, std::uint64_t& challenge);
+
+  /// (Re)build page_macs_ over the current reference memory.
+  void ensure_page_macs();
+
   Bytes key_;
   Config config_;
   crypto::HmacDrbg drbg_;
@@ -88,6 +119,12 @@ class Verifier {
   std::uint64_t counter_ = 0;
   std::shared_ptr<const Bytes> reference_memory_ =
       std::make_shared<const Bytes>();
+  // Incremental state: the retained evidence generation and the lazily
+  // built per-page tag table over the reference memory (invalidated when
+  // the reference pointer changes).
+  std::uint64_t retained_gen_ = 0;
+  Bytes page_macs_;
+  const Bytes* page_macs_src_ = nullptr;
   // Cached instruments (nullable); pointees are mutated from the const
   // check path, which is fine — they live in the injected registry.
   obs::Counter* obs_requests_ = nullptr;

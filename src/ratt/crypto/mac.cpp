@@ -27,6 +27,20 @@ std::string to_string(MacAlgorithm alg) {
   return "unknown";
 }
 
+std::size_t tag_size(MacAlgorithm alg) {
+  switch (alg) {
+    case MacAlgorithm::kHmacSha1:
+      return 20;
+    case MacAlgorithm::kAesCbcMac:
+    case MacAlgorithm::kAesCmac:
+      return 16;
+    case MacAlgorithm::kSpeckCbcMac:
+    case MacAlgorithm::kSpeckCmac:
+      return 8;
+  }
+  return 0;
+}
+
 void Mac::init(std::uint64_t total_bytes) {
   declared_bytes_ = total_bytes;
   streamed_bytes_ = 0;

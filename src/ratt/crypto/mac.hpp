@@ -34,6 +34,10 @@ enum class MacAlgorithm : std::uint8_t {
 /// Human-readable algorithm name ("HMAC-SHA1", ...).
 std::string to_string(MacAlgorithm alg);
 
+/// Tag length in bytes, without constructing a Mac (layout planning:
+/// e.g. sizing the incremental page-MAC cache before the key is read).
+std::size_t tag_size(MacAlgorithm alg);
+
 /// A keyed MAC. Implementations hold the (expanded) key; one object can
 /// compute any number of tags, one at a time.
 class Mac {

@@ -1,6 +1,7 @@
 #include "ratt/hw/bus.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -58,7 +59,9 @@ void MemoryBus::map_storage(std::string name, MemoryKind kind,
   // Flash powers up erased (0xff); RAM and ROM are zeroed. No page is
   // allocated yet — untouched pages read as the fill byte directly.
   region->fill = kind == MemoryKind::kFlash ? 0xff : 0x00;
-  region->pages.resize((range.size() + kPageSize - 1) / kPageSize);
+  const std::size_t pages = (range.size() + kPageSize - 1) / kPageSize;
+  region->pages.resize(pages);
+  region->dirty.assign((pages + 63) / 64, 0);
   regions_.push_back(std::move(region));
 }
 
@@ -167,12 +170,28 @@ BusStatus MemoryBus::access8(const AccessContext& ctx, AccessType type,
     } else {
       if (type == AccessType::kRead) {
         *read_out = region->read_byte(offset);
-      } else if (region->info.kind == MemoryKind::kFlash) {
-        // NOR program: can only clear bits; setting bits needs an erase.
-        std::uint8_t& b = region->byte_for_write(offset);
-        b = static_cast<std::uint8_t>(b & write_value);
       } else {
-        region->byte_for_write(offset) = write_value;
+        const std::size_t p = offset / kPageSize;
+        // Fill-value writes to an absent page leave it unmaterialized —
+        // the stored bytes would not change — but the page still dirties:
+        // attestation tracks write events, not content diffs.
+        const bool keeps_fill =
+            region->pages[p].empty() &&
+            (region->info.kind == MemoryKind::kFlash
+                 ? static_cast<std::uint8_t>(region->fill & write_value) ==
+                       region->fill
+                 : write_value == region->fill);
+        if (!keeps_fill) {
+          if (region->info.kind == MemoryKind::kFlash) {
+            // NOR program: can only clear bits; setting bits needs an
+            // erase.
+            std::uint8_t& b = region->byte_for_write(offset);
+            b = static_cast<std::uint8_t>(b & write_value);
+          } else {
+            region->byte_for_write(offset) = write_value;
+          }
+        }
+        mark_page_dirty(*region, p);
       }
     }
   }
@@ -370,11 +389,23 @@ BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
         const std::size_t in_page = off % kPageSize;
         const std::size_t chunk =
             std::min<std::size_t>(n - i, kPageSize - in_page);
-        std::uint8_t* dst =
-            region->touch_page(off / kPageSize).data() + in_page;
-        for (std::size_t j = 0; j < chunk; ++j) {
-          dst[j] = static_cast<std::uint8_t>(dst[j] & data[done + i + j]);
+        const std::size_t p = off / kPageSize;
+        const std::uint8_t* src = data.data() + done + i;
+        // Same fill-skip as access8: programming bytes that keep the
+        // erased pattern leaves the page absent but still dirties it.
+        const bool keeps_fill =
+            region->pages[p].empty() &&
+            std::all_of(src, src + chunk, [&](std::uint8_t v) {
+              return static_cast<std::uint8_t>(region->fill & v) ==
+                     region->fill;
+            });
+        if (!keeps_fill) {
+          std::uint8_t* dst = region->touch_page(p).data() + in_page;
+          for (std::size_t j = 0; j < chunk; ++j) {
+            dst[j] = static_cast<std::uint8_t>(dst[j] & src[j]);
+          }
         }
+        mark_page_dirty(*region, p);
         i += chunk;
       }
     } else {
@@ -384,8 +415,16 @@ BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
         const std::size_t in_page = off % kPageSize;
         const std::size_t chunk =
             std::min<std::size_t>(n - i, kPageSize - in_page);
-        std::memcpy(region->touch_page(off / kPageSize).data() + in_page,
-                    data.data() + done + i, chunk);
+        const std::size_t p = off / kPageSize;
+        const std::uint8_t* src = data.data() + done + i;
+        const bool keeps_fill =
+            region->pages[p].empty() &&
+            std::all_of(src, src + chunk,
+                        [&](std::uint8_t v) { return v == region->fill; });
+        if (!keeps_fill) {
+          std::memcpy(region->touch_page(p).data() + in_page, src, chunk);
+        }
+        mark_page_dirty(*region, p);
         i += chunk;
       }
     }
@@ -442,8 +481,54 @@ BusStatus MemoryBus::erase_flash_block(const AccessContext& ctx,
   // kPageSize == kFlashBlockSize and both are relative to the region
   // base, so the erased block is exactly one page: drop the page and let
   // the fill byte (0xff) stand in for the erased contents.
-  Bytes().swap(
-      region->pages[(block_begin - region->info.range.begin) / kPageSize]);
+  const std::size_t p =
+      (block_begin - region->info.range.begin) / kPageSize;
+  Bytes().swap(region->pages[p]);
+  // An erase mutates storage like any write: the page dirties even when
+  // it was already erased (absent).
+  mark_page_dirty(*region, p);
+  return BusStatus::kOk;
+}
+
+void MemoryBus::mark_page_dirty(Region& region, std::size_t p) {
+  std::uint64_t& word = region.dirty[p >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++dirty_generation_;
+  }
+}
+
+bool MemoryBus::page_dirty(Addr addr) const {
+  const Region* region = find(addr);
+  if (region == nullptr || region->device != nullptr) return false;
+  return region->page_is_dirty((addr - region->info.range.begin) /
+                               kPageSize);
+}
+
+std::size_t MemoryBus::dirty_page_count() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) {
+    for (const std::uint64_t word : r->dirty) {
+      total += static_cast<std::size_t>(std::popcount(word));
+    }
+  }
+  return total;
+}
+
+BusStatus MemoryBus::clear_dirty_page(const AccessContext& ctx, Addr addr) {
+  Region* region = find(addr);
+  if (region == nullptr || region->device != nullptr) {
+    record_fault(ctx, addr, AccessType::kWrite, BusStatus::kUnmapped);
+    return BusStatus::kUnmapped;
+  }
+  if (ctx.pc != kHardwarePc && !dirty_authority_.empty() &&
+      !dirty_authority_.contains(ctx.pc)) {
+    record_fault(ctx, addr, AccessType::kWrite, BusStatus::kDenied);
+    return BusStatus::kDenied;
+  }
+  const std::size_t p = (addr - region->info.range.begin) / kPageSize;
+  region->dirty[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
   return BusStatus::kOk;
 }
 

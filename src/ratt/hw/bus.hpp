@@ -194,6 +194,39 @@ class MemoryBus {
   /// fleet map a megabyte of flash per device without buying the RAM.
   std::size_t resident_bytes() const;
 
+  // -- Dirty-page tracking (incremental attestation, DESIGN.md §4i).
+  //    Every successful storage mutation — byte write, bulk write, flash
+  //    program or erase — marks its page dirty, including writes of the
+  //    fill value to a not-yet-materialized page (the write *event* is
+  //    what attestation cares about, not whether the stored bytes
+  //    changed). load_initial() is manufacture/boot provisioning and does
+  //    not mark. Dirty bits are cleared only through clear_dirty_page(),
+  //    which the dirty authority restricts to the trust anchor's PC.
+
+  /// Whether the page containing `addr` is dirty. False for unmapped or
+  /// device-backed addresses (MMIO has no storage to track).
+  bool page_dirty(Addr addr) const;
+
+  /// Total dirty pages across all storage regions.
+  std::size_t dirty_page_count() const;
+
+  /// Monotone counter bumped on every clean->dirty page transition. A
+  /// snapshot of it tells an observer whether *any* page dirtied since,
+  /// without walking the bitmaps.
+  std::uint64_t dirty_generation() const { return dirty_generation_; }
+
+  /// Restrict clear_dirty_page() to initiators whose PC lies in `code`
+  /// (the trust anchor's code region). kHardwarePc is always admitted.
+  /// An empty range (the default) leaves clearing open to everyone —
+  /// the naive configuration the rollback regression suite attacks.
+  void set_dirty_authority(AddrRange code) { dirty_authority_ = code; }
+  AddrRange dirty_authority() const { return dirty_authority_; }
+
+  /// Clear the dirty bit of the page containing `addr`. kUnmapped for
+  /// unmapped or MMIO addresses, kDenied when a non-empty authority does
+  /// not cover `ctx.pc`; both are logged as write faults at `addr`.
+  BusStatus clear_dirty_page(const AccessContext& ctx, Addr addr);
+
  private:
   /// Page granularity of the lazily-allocated backing store. Equal to the
   /// flash erase block, so an erase drops exactly one page.
@@ -209,6 +242,13 @@ class MemoryBus {
     std::vector<Bytes> pages;      // storage-backed regions
     std::uint8_t fill = 0x00;
     MmioDevice* device = nullptr;  // device-backed regions
+    // One bit per page, set on every successful write to the page and
+    // cleared only via MemoryBus::clear_dirty_page.
+    std::vector<std::uint64_t> dirty;
+
+    bool page_is_dirty(std::size_t p) const {
+      return ((dirty[p >> 6] >> (p & 63)) & 1) != 0;
+    }
 
     std::size_t page_len(std::size_t p) const {
       return std::min<std::size_t>(kPageSize,
@@ -246,6 +286,9 @@ class MemoryBus {
   /// verdict applies. Returns the allowed window end, or 0 on denial.
   Addr admitted_window_end(const AccessContext& ctx, AccessType type,
                            Addr addr, Addr limit) const;
+  /// Set page `p`'s dirty bit; bumps dirty_generation_ on a clean->dirty
+  /// transition.
+  void mark_page_dirty(Region& region, std::size_t p);
 
   std::vector<std::unique_ptr<Region>> regions_;
   const AccessController* controller_ = nullptr;
@@ -255,6 +298,8 @@ class MemoryBus {
   std::size_t fault_next_ = 0;  // ring write position once full
   std::uint64_t faults_total_ = 0;
   std::uint64_t faults_dropped_ = 0;
+  std::uint64_t dirty_generation_ = 0;
+  AddrRange dirty_authority_{};  // empty = clearing open to everyone
 };
 
 }  // namespace ratt::hw

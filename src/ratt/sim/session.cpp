@@ -1,6 +1,7 @@
 #include "ratt/sim/session.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "ratt/obs/prof/profile.hpp"
 
@@ -148,8 +149,20 @@ void AttestationSession::schedule_rounds(double period_ms,
   }
 }
 
+void AttestationSession::set_incremental(bool on) {
+  if (on && rtx_ != nullptr) {
+    throw std::logic_error(
+        "AttestationSession: incremental mode conflicts with reliable mode");
+  }
+  incremental_ = on;
+}
+
 void AttestationSession::enable_reliable(const net::RetryPolicy& policy,
                                          crypto::ByteView jitter_seed) {
+  if (incremental_) {
+    throw std::logic_error(
+        "AttestationSession: reliable mode conflicts with incremental mode");
+  }
   net::RetryPolicy effective = policy;
   if (effective.base_timeout_ms <= 0.0) {
     effective.base_timeout_ms = net::derive_timeout_ms(
@@ -225,6 +238,21 @@ void AttestationSession::send_request() {
     return;
   }
   sync_prover_time();
+  if (incremental_) {
+    const attest::IncAttestRequest request =
+        verifier_->make_incremental_request();
+    Pending p{attest::AttestRequest{}, queue_->now_ms()};
+    p.round_id = obs::prof::make_round_id(obs_.device_id, round_seq_++);
+    p.inc = true;
+    p.inc_request = request;
+    pending_.push_back(std::move(p));
+    ++stats_.requests_sent;
+    if (obs_pending_ != nullptr) {
+      obs_pending_->set(static_cast<double>(pending_.size()));
+    }
+    channel_->verifier_send(request.to_bytes());
+    return;
+  }
   const attest::AttestRequest request = verifier_->make_request();
   Pending p{request, queue_->now_ms()};
   p.round_id = obs::prof::make_round_id(obs_.device_id, round_seq_++);
@@ -238,6 +266,48 @@ void AttestationSession::send_request() {
 
 void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
   sync_prover_time();
+  if (attest::is_inc_request_frame(wire)) {
+    const auto request = attest::IncAttestRequest::from_bytes(wire);
+    if (!request.has_value()) {
+      ++stats_.requests_malformed;
+      return;
+    }
+    ++stats_.requests_delivered;
+    obs::RoundContext round;
+    if (obs_.enabled()) {
+      const auto pit = std::find_if(
+          pending_.begin(), pending_.end(),
+          [&](const Pending& p) { return p.inc && p.inc_request == *request; });
+      if (pit != pending_.end()) {
+        round.round_id = pit->round_id;
+        round.attempt = pit->attempt;
+      }
+    }
+    const attest::AttestOutcome outcome =
+        prover_->handle_incremental(*request, round);
+    prover_time_ms_ += outcome.device_ms;
+    stats_.prover_attest_ms += outcome.device_ms;
+    if (outcome.status != attest::AttestStatus::kOk) {
+      ++stats_.prover_rejects;
+      switch (outcome.status) {
+        case attest::AttestStatus::kBadRequestMac:
+          ++stats_.rejects_bad_mac;
+          break;
+        case attest::AttestStatus::kNotFresh:
+          ++stats_.rejects_not_fresh;
+          break;
+        case attest::AttestStatus::kRateLimited:
+          ++stats_.rejects_rate_limited;
+          break;
+        default:
+          ++stats_.rejects_other;
+          break;
+      }
+      return;
+    }
+    channel_->prover_send(outcome.inc_response.to_bytes());
+    return;
+  }
   const auto request = attest::AttestRequest::from_bytes(wire);
   if (!request.has_value()) {
     ++stats_.requests_malformed;  // bit corruption on the wire
@@ -283,6 +353,45 @@ void AttestationSession::on_prover_receives(const crypto::Bytes& wire) {
 }
 
 void AttestationSession::on_verifier_receives(const crypto::Bytes& wire) {
+  if (attest::is_inc_response_frame(wire)) {
+    const auto response = attest::IncAttestResponse::from_bytes(wire);
+    if (!response.has_value()) {
+      ++stats_.responses_malformed;
+      return;
+    }
+    ++stats_.responses_received;
+    const auto it = std::find_if(
+        pending_.begin(), pending_.end(), [&](const Pending& p) {
+          return p.inc && p.inc_request.freshness == response->freshness;
+        });
+    if (it == pending_.end()) {
+      ++stats_.responses_invalid;
+      observe_round("unmatched", -1.0, 0.0, wire.size());
+      return;
+    }
+    ++stats_.inc_rounds;
+    const double verifier_ms = obs_.enabled() ? verifier_check_ms() : 0.0;
+    const double round_trip_ms = queue_->now_ms() - it->sent_ms;
+    if (verifier_->check_incremental(it->inc_request, *response)) {
+      ++stats_.responses_valid;
+      if (response->full_fallback()) ++stats_.inc_full_fallbacks;
+      stats_.inc_pages_refreshed += response->changed_pages.size();
+      if (obs_rounds_valid_ != nullptr) obs_rounds_valid_->inc();
+      profile_net_wait(round_trip_ms, it->round_id);
+      observe_round("valid", round_trip_ms, verifier_ms, wire.size(),
+                    it->round_id, it->attempt);
+    } else {
+      ++stats_.responses_invalid;
+      if (obs_rounds_invalid_ != nullptr) obs_rounds_invalid_->inc();
+      observe_round("invalid", round_trip_ms, verifier_ms, wire.size(),
+                    it->round_id, it->attempt);
+    }
+    pending_.erase(it);
+    if (obs_pending_ != nullptr) {
+      obs_pending_->set(static_cast<double>(pending_.size()));
+    }
+    return;
+  }
   const auto response = attest::AttestResponse::from_bytes(wire);
   if (!response.has_value()) {
     ++stats_.responses_malformed;  // bit corruption on the wire

@@ -50,6 +50,10 @@ class AttestationSession {
     std::uint64_t timeouts = 0;             // attempt timers that expired
     std::uint64_t duplicate_responses = 0;  // late copies after round close
     std::uint64_t rounds_unreachable = 0;   // retry budget exhausted
+    // Incremental accounting (all zero unless set_incremental(true)).
+    std::uint64_t inc_rounds = 0;           // incremental responses checked
+    std::uint64_t inc_full_fallbacks = 0;   // valid rounds that re-MACed all
+    std::uint64_t inc_pages_refreshed = 0;  // pages re-MACed in valid rounds
 
     friend bool operator==(const Stats&, const Stats&) = default;
   };
@@ -87,6 +91,14 @@ class AttestationSession {
   void enable_reliable(const net::RetryPolicy& policy,
                        crypto::ByteView jitter_seed);
   bool reliable() const { return rtx_ != nullptr; }
+
+  /// Incremental rounds (DESIGN.md §4i): send_request() issues
+  /// "changed-since generation" requests and validates the folded
+  /// per-page evidence instead of the full-measurement MAC. Mutually
+  /// exclusive with reliable mode (the retransmitter's rounds only know
+  /// the full message pair).
+  void set_incremental(bool on);
+  bool incremental() const { return incremental_; }
 
   /// Expire pending requests older than `timeout_ms` (counted in
   /// responses_missing); lets an operator alarm on silent provers or
@@ -132,9 +144,13 @@ class AttestationSession {
     std::uint64_t round = 0;     // Retransmitter round (reliable mode)
     std::uint64_t round_id = 0;  // causal id (prof::make_round_id)
     std::uint32_t attempt = 1;   // wire attempt within the round
+    // Incremental mode: the request lives here instead (inc == true).
+    bool inc = false;
+    attest::IncAttestRequest inc_request;
   };
   std::vector<Pending> pending_;
   std::unique_ptr<net::Retransmitter> rtx_;
+  bool incremental_ = false;
   /// Plain-mode logical-round counter: the session_seq feeding
   /// prof::make_round_id. Reliable mode uses the Retransmitter's round
   /// number instead — both are per-session monotonic values, never a

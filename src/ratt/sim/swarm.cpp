@@ -135,6 +135,7 @@ Swarm::Device& Swarm::materialize(std::size_t i) {
   vc.scheme = config_.prover.scheme;
   vc.mac_alg = config_.prover.mac_alg;
   vc.authenticate_requests = config_.prover.authenticate_requests;
+  vc.bind_generation = config_.prover.bind_generation;
   attest::ProverDevice* prover_ptr = d.prover.get();
   vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
   d.verifier =
@@ -157,6 +158,9 @@ Swarm::Device& Swarm::materialize(std::size_t i) {
     if (config_.reliable) {
       d.session->enable_reliable(config_.retry, jitter_seed);
     }
+  }
+  if (config_.prover.enable_incremental) {
+    d.session->set_incremental(true);
   }
   apply_observer(d);
   devices_[i] = &d;

@@ -1,0 +1,128 @@
+// Adv_rollback regression suite (DESIGN.md §4i): every attack on the
+// incremental evidence state must be rejected (or forced into a full
+// re-attestation) by the protected configuration — AND must succeed
+// against the naive unprotected cache, proving the test actually bites.
+#include <gtest/gtest.h>
+
+#include "ratt/adv/adv_rollback.hpp"
+
+namespace ratt::adv {
+namespace {
+
+TEST(AdvRollback, CacheRestoreHidesTamperOnlyWithoutProtection) {
+  const RollbackComparison cmp =
+      compare_rollback_attack(RollbackAttack::kCacheRestore, {});
+
+  // Naive cache: the restored snapshot attests the infected device
+  // clean — the attack works, so a defense that fails would be caught.
+  EXPECT_TRUE(cmp.unprotected.manipulation_succeeded);
+  EXPECT_TRUE(cmp.unprotected.attack_round_valid);
+  EXPECT_TRUE(cmp.unprotected.rollback_accepted);
+
+  // Protected: the EA-MPU cache rule blocks the snapshot/restore, and
+  // the post-detection round (forced full by the verifier's dropped
+  // state) re-MACs the infected page — the tamper stays visible.
+  EXPECT_FALSE(cmp.protected_.manipulation_succeeded);
+  EXPECT_FALSE(cmp.protected_.attack_round_valid);
+  EXPECT_FALSE(cmp.protected_.rollback_accepted);
+}
+
+TEST(AdvRollback, BitmapClearHidesTamperOnlyWithoutProtection) {
+  const RollbackComparison cmp =
+      compare_rollback_attack(RollbackAttack::kBitmapClear, {});
+
+  // Naive: anyone may clear a dirty bit, so the tampered page is never
+  // re-MACed and the stale clean tag carries the round.
+  EXPECT_TRUE(cmp.unprotected.manipulation_succeeded);
+  EXPECT_TRUE(cmp.unprotected.rollback_accepted);
+
+  // Protected: the bus dirty authority denies the malware's clear; the
+  // next round re-MACs the page and the verifier flags it.
+  EXPECT_FALSE(cmp.protected_.manipulation_succeeded);
+  EXPECT_FALSE(cmp.protected_.attack_round_valid);
+  EXPECT_FALSE(cmp.protected_.rollback_accepted);
+}
+
+TEST(AdvRollback, GenerationReplayForcedToFullFallbackWhenBound) {
+  const RollbackComparison cmp =
+      compare_rollback_attack(RollbackAttack::kGenerationReplay, {});
+
+  // Naive: the rolled-back generation validates as current state — the
+  // delta protocol happily serves evidence older than what the verifier
+  // already saw.
+  EXPECT_TRUE(cmp.unprotected.manipulation_succeeded);
+  EXPECT_TRUE(cmp.unprotected.attack_round_valid);
+  EXPECT_FALSE(cmp.unprotected.forced_full_fallback);
+  EXPECT_TRUE(cmp.unprotected.rollback_accepted);
+
+  // Protected: the cache rule already blocks the restore; nothing is
+  // rolled back, so no stale acceptance either.
+  EXPECT_FALSE(cmp.protected_.manipulation_succeeded);
+  EXPECT_FALSE(cmp.protected_.rollback_accepted);
+}
+
+TEST(AdvRollback, GenerationBindingAloneForcesFullFallbackOnReplay) {
+  // The mixed configuration isolates the generation-binding defense:
+  // cache writable (restore succeeds), but the since_gen mismatch forces
+  // a full re-MAC — stale evidence is never accepted as a delta.
+  RollbackScenarioConfig config;
+  config.protect_cache = false;
+  config.bind_generation = true;
+  const RollbackAttackResult r =
+      run_rollback_attack(RollbackAttack::kGenerationReplay, config);
+  EXPECT_TRUE(r.manipulation_succeeded);
+  EXPECT_TRUE(r.forced_full_fallback);
+  EXPECT_FALSE(r.rollback_accepted);
+  // The forced fallback round itself validates (the device is clean) and
+  // resyncs the verifier to the post-fallback generation.
+  EXPECT_TRUE(r.attack_round_valid);
+  EXPECT_GT(r.final_retained_gen, 0u);
+}
+
+TEST(AdvRollback, GenerationBindingAloneCannotStopBitmapClear) {
+  // Negative control for the defense matrix: binding the generation does
+  // nothing against a cleared dirty bit (the generation never advanced),
+  // so protect_cache's dirty authority is load-bearing, not redundant.
+  RollbackScenarioConfig config;
+  config.protect_cache = false;
+  config.bind_generation = true;
+  const RollbackAttackResult r =
+      run_rollback_attack(RollbackAttack::kBitmapClear, config);
+  EXPECT_TRUE(r.manipulation_succeeded);
+  EXPECT_TRUE(r.rollback_accepted);
+}
+
+TEST(AdvRollback, CacheRestoreDefeatedByBindingAfterDetection) {
+  // Mixed configuration, the subtler half of the model: the cache is
+  // writable, but the verifier's reset-on-invalid (a bind_generation
+  // behavior) turns the post-restore round into a full fallback that
+  // re-MACs the still-infected page.
+  RollbackScenarioConfig config;
+  config.protect_cache = false;
+  config.bind_generation = true;
+  const RollbackAttackResult r =
+      run_rollback_attack(RollbackAttack::kCacheRestore, config);
+  EXPECT_TRUE(r.manipulation_succeeded);
+  EXPECT_FALSE(r.attack_round_valid);
+  EXPECT_FALSE(r.rollback_accepted);
+}
+
+TEST(AdvRollback, AttackNamesAreStable) {
+  EXPECT_EQ(to_string(RollbackAttack::kCacheRestore), "cache-restore");
+  EXPECT_EQ(to_string(RollbackAttack::kBitmapClear), "bitmap-clear");
+  EXPECT_EQ(to_string(RollbackAttack::kGenerationReplay),
+            "generation-replay");
+}
+
+TEST(AdvRollback, ProtectedRunsReportProtectionFlag) {
+  for (const auto attack :
+       {RollbackAttack::kCacheRestore, RollbackAttack::kBitmapClear,
+        RollbackAttack::kGenerationReplay}) {
+    const RollbackComparison cmp = compare_rollback_attack(attack, {});
+    EXPECT_FALSE(cmp.unprotected.protections_enabled) << to_string(attack);
+    EXPECT_TRUE(cmp.protected_.protections_enabled) << to_string(attack);
+  }
+}
+
+}  // namespace
+}  // namespace ratt::adv

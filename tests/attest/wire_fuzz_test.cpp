@@ -7,6 +7,7 @@
 #include "ratt/attest/clock_sync.hpp"
 #include "ratt/attest/message.hpp"
 #include "ratt/attest/services.hpp"
+#include "ratt/attest/verifier.hpp"
 #include "ratt/crypto/drbg.hpp"
 #include "ratt/net/link.hpp"
 
@@ -42,6 +43,12 @@ TEST_P(WireFuzz, RandomBytesNeverCrashParsers) {
     }
     if (const auto erase = EraseRequest::from_bytes(junk)) {
       EXPECT_EQ(erase->to_bytes(), junk);
+    }
+    if (const auto inc_req = IncAttestRequest::from_bytes(junk)) {
+      EXPECT_EQ(inc_req->to_bytes(), junk);
+    }
+    if (const auto inc_resp = IncAttestResponse::from_bytes(junk)) {
+      EXPECT_EQ(inc_resp->to_bytes(), junk);
     }
   }
 }
@@ -146,6 +153,153 @@ TEST_P(WireFuzz, FaultyLinkCorruptedRequestNeverChangesAcceptedSemantics) {
       EXPECT_NE(*parsed, req);
     }
   }
+}
+
+TEST_P(WireFuzz, IncRequestTruncationsRejectOrRoundTrip) {
+  // Every prefix of a valid incremental request — including the ones
+  // that cut into the 8-byte since_gen field (lengths 20..27) — must be
+  // rejected or re-serialize to exactly that prefix.
+  IncAttestRequest req;
+  req.scheme = FreshnessScheme::kCounter;
+  req.freshness = drbg_.uniform(~std::uint64_t{0});
+  req.challenge = drbg_.uniform(~std::uint64_t{0});
+  req.since_gen = drbg_.uniform(~std::uint64_t{0});
+  req.mac = drbg_.generate(20);
+  const Bytes wire = req.to_bytes();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto parsed =
+        IncAttestRequest::from_bytes(crypto::ByteView(wire).subspan(0, len));
+    if (parsed.has_value()) {
+      EXPECT_EQ(parsed->to_bytes().size(), len);
+    }
+  }
+  const auto full = IncAttestRequest::from_bytes(wire);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, req);
+}
+
+TEST_P(WireFuzz, IncResponseTruncationsRejectOrRoundTrip) {
+  // Truncations that land inside the changed-page index array or the
+  // count field must never over-read (ASan guards the allocation).
+  IncAttestResponse resp;
+  resp.flags = IncAttestResponse::kFlagGenerationBound;
+  resp.freshness = drbg_.uniform(~std::uint64_t{0});
+  resp.base_gen = 3;
+  resp.new_gen = 4;
+  resp.changed_pages = {0, 2, 5, 63};
+  resp.measurement = drbg_.generate(20);
+  const Bytes wire = resp.to_bytes();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto parsed =
+        IncAttestResponse::from_bytes(crypto::ByteView(wire).subspan(0, len));
+    if (parsed.has_value()) {
+      EXPECT_EQ(parsed->to_bytes().size(), len);
+    }
+  }
+  const auto full = IncAttestResponse::from_bytes(wire);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, resp);
+}
+
+TEST_P(WireFuzz, IncResponseAbsurdPageCountsRejected) {
+  // A hostile frame can claim any 32-bit page count; the parser must
+  // bound the allocation it implies (kMaxChangedPages) and must never
+  // read past the frame when the claimed count exceeds the bytes
+  // actually present.
+  IncAttestResponse resp;
+  resp.flags = IncAttestResponse::kFlagFullFallback;
+  resp.freshness = 7;
+  resp.new_gen = 1;
+  resp.changed_pages = {0, 1};
+  resp.measurement = drbg_.generate(20);
+  Bytes wire = resp.to_bytes();
+  // The count field lives at bytes 27..30 of the fixed head.
+  const std::size_t count_off = 27;
+  for (const std::uint32_t absurd :
+       {IncAttestResponse::kMaxChangedPages + 1, std::uint32_t{0x00ffffff},
+        std::uint32_t{0xffffffff}}) {
+    Bytes mutated = wire;
+    mutated[count_off + 0] = static_cast<std::uint8_t>(absurd);
+    mutated[count_off + 1] = static_cast<std::uint8_t>(absurd >> 8);
+    mutated[count_off + 2] = static_cast<std::uint8_t>(absurd >> 16);
+    mutated[count_off + 3] = static_cast<std::uint8_t>(absurd >> 24);
+    EXPECT_FALSE(IncAttestResponse::from_bytes(mutated).has_value())
+        << "count " << absurd;
+  }
+  // Counts within the cap but beyond the frame's actual bytes are a
+  // length mismatch, not an over-read.
+  for (int i = 0; i < 50; ++i) {
+    const auto claimed = static_cast<std::uint32_t>(
+        3 + drbg_.uniform(IncAttestResponse::kMaxChangedPages - 3));
+    Bytes mutated = wire;
+    mutated[count_off + 0] = static_cast<std::uint8_t>(claimed);
+    mutated[count_off + 1] = static_cast<std::uint8_t>(claimed >> 8);
+    mutated[count_off + 2] = static_cast<std::uint8_t>(claimed >> 16);
+    mutated[count_off + 3] = static_cast<std::uint8_t>(claimed >> 24);
+    EXPECT_FALSE(IncAttestResponse::from_bytes(mutated).has_value());
+  }
+}
+
+TEST_P(WireFuzz, IncResponseBitFlips) {
+  IncAttestResponse resp;
+  resp.flags = IncAttestResponse::kFlagGenerationBound;
+  resp.freshness = drbg_.uniform(~std::uint64_t{0});
+  resp.base_gen = 1;
+  resp.new_gen = 2;
+  resp.changed_pages = {1, 4};
+  resp.measurement = drbg_.generate(20);
+  const Bytes wire = resp.to_bytes();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes mutated = wire;
+    mutated[i] ^= static_cast<std::uint8_t>(1 + drbg_.uniform(255));
+    if (const auto parsed = IncAttestResponse::from_bytes(mutated)) {
+      EXPECT_EQ(parsed->to_bytes(), mutated) << "flip at byte " << i;
+    }
+  }
+}
+
+TEST_P(WireFuzz, VerifierRejectsHostileIncrementalResponses) {
+  // Frames that parse cleanly but violate the incremental evidence
+  // discipline — duplicate / descending / out-of-range page indices,
+  // partial fallbacks, page lists longer than the measured range — must
+  // be rejected by check_incremental without reading past the
+  // verifier's own page-tag table.
+  Verifier::Config vc;
+  vc.scheme = FreshnessScheme::kCounter;
+  vc.authenticate_requests = false;
+  vc.bind_generation = true;
+  Verifier verifier(drbg_.generate(20), vc,
+                    crypto::from_string("inc-fuzz-vrf-" +
+                                        std::to_string(GetParam())));
+  verifier.set_reference_memory(Bytes(4 * 4096, 0xab));  // 4 pages
+
+  const auto hostile = [&](std::uint8_t flags,
+                           std::vector<std::uint32_t> pages) {
+    const IncAttestRequest request = verifier.make_incremental_request();
+    IncAttestResponse resp;
+    resp.flags = flags;
+    resp.freshness = request.freshness;
+    resp.base_gen = request.since_gen;
+    resp.new_gen = request.since_gen + 1;
+    resp.changed_pages = std::move(pages);
+    resp.measurement = drbg_.generate(20);
+    // Round-trip through the wire so only parser-accepted frames reach
+    // the check, exactly as in the session path.
+    const auto parsed = IncAttestResponse::from_bytes(resp.to_bytes());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(verifier.check_incremental(request, *parsed));
+  };
+
+  constexpr std::uint8_t kFull = IncAttestResponse::kFlagFullFallback |
+                                 IncAttestResponse::kFlagGenerationBound;
+  hostile(kFull, {0, 0, 1, 2});         // duplicate index
+  hostile(kFull, {0, 2, 1, 3});         // not strictly increasing
+  hostile(kFull, {0, 1, 2, 7});         // index past the measured range
+  hostile(kFull, {0, 1});               // fallback must cover every page
+  hostile(kFull, {0, 1, 2, 3, 4, 5});   // more pages than the range has
+  hostile(IncAttestResponse::kFlagFullFallback,
+          {0, 1, 2, 3});                // generation-bound flag missing
+  EXPECT_EQ(verifier.retained_generation(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range(0, 8));

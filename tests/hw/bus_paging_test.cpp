@@ -117,11 +117,105 @@ TEST(BusPaging, BulkPathMatchesBytewiseAcrossPageBoundaries) {
   EXPECT_EQ(b, 0x0f & pattern[0x0800'2000 - start]);
 }
 
+TEST(BusPaging, DirtyBitsTrackWriteEventsPerPage) {
+  MemoryBus bus = make_bus();
+  EXPECT_EQ(bus.dirty_page_count(), 0u);
+  EXPECT_EQ(bus.dirty_generation(), 0u);
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0010, 0xab), BusStatus::kOk);
+  EXPECT_TRUE(bus.page_dirty(0x2000'0010));
+  EXPECT_FALSE(bus.page_dirty(0x2000'1000));
+  EXPECT_EQ(bus.dirty_page_count(), 1u);
+  EXPECT_EQ(bus.dirty_generation(), 1u);
+  // Re-dirtying an already-dirty page is not a new transition.
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0020, 0xcd), BusStatus::kOk);
+  EXPECT_EQ(bus.dirty_generation(), 1u);
+  // Clearing re-arms the transition.
+  ASSERT_EQ(bus.clear_dirty_page(kHw, 0x2000'0010), BusStatus::kOk);
+  EXPECT_FALSE(bus.page_dirty(0x2000'0010));
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0030, 0xef), BusStatus::kOk);
+  EXPECT_EQ(bus.dirty_generation(), 2u);
+}
+
+TEST(BusPaging, FillValueWriteToAbsentPageStillMarksDirty) {
+  // The fill-skip optimization must never skip the dirty mark: writing
+  // the power-up byte to an untouched page is a write EVENT even though
+  // the content is unchanged — an attestation layer that trusts the
+  // bitmap would otherwise never re-examine the page.
+  MemoryBus bus = make_bus();
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0040, 0x00), BusStatus::kOk);  // RAM fill
+  EXPECT_EQ(bus.resident_bytes(), 0u);  // no materialization...
+  EXPECT_TRUE(bus.page_dirty(0x2000'0040));  // ...but the event is recorded
+  ASSERT_EQ(bus.write8(kHw, 0x0800'0040, 0xff), BusStatus::kOk);  // NOR no-op
+  EXPECT_EQ(bus.resident_bytes(), 0u);
+  EXPECT_TRUE(bus.page_dirty(0x0800'0040));
+}
+
+TEST(BusPaging, BulkFillWriteSpanningAbsentPagesStillMarksDirty) {
+  // Regression: a bulk write_block of all-fill bytes spanning unallocated
+  // pages used to be a candidate for a silent "wrote the fill value"
+  // skip. It must mark every spanned page dirty, on both bus paths.
+  const std::vector<std::uint8_t> zeros(4096 + 512, 0x00);
+  for (const bool bulk : {true, false}) {
+    MemoryBus bus = make_bus();
+    bus.set_bulk_enabled(bulk);
+    ASSERT_EQ(bus.write_block(kHw, 0x2000'0e00, zeros), BusStatus::kOk);
+    EXPECT_EQ(bus.resident_bytes(), 0u) << "bulk=" << bulk;
+    EXPECT_TRUE(bus.page_dirty(0x2000'0e00)) << "bulk=" << bulk;
+    EXPECT_TRUE(bus.page_dirty(0x2000'1000)) << "bulk=" << bulk;
+    EXPECT_EQ(bus.dirty_page_count(), 2u) << "bulk=" << bulk;
+  }
+}
+
+TEST(BusPaging, WriteStraddlingPageBoundaryDirtiesBothPages) {
+  const std::vector<std::uint8_t> data{0x11, 0x22, 0x33, 0x44};
+  for (const bool bulk : {true, false}) {
+    MemoryBus bus = make_bus();
+    bus.set_bulk_enabled(bulk);
+    ASSERT_EQ(bus.write_block(kHw, 0x2000'0ffe, data), BusStatus::kOk);
+    EXPECT_TRUE(bus.page_dirty(0x2000'0ffe)) << "bulk=" << bulk;
+    EXPECT_TRUE(bus.page_dirty(0x2000'1000)) << "bulk=" << bulk;
+    EXPECT_EQ(bus.dirty_page_count(), 2u) << "bulk=" << bulk;
+  }
+}
+
+TEST(BusPaging, FlashEraseMarksThePageDirty) {
+  MemoryBus bus = make_bus();
+  ASSERT_EQ(bus.write8(kHw, 0x0800'2000, 0x12), BusStatus::kOk);
+  ASSERT_EQ(bus.clear_dirty_page(kHw, 0x0800'2000), BusStatus::kOk);
+  ASSERT_EQ(bus.erase_flash_block(kHw, 0x0800'2000), BusStatus::kOk);
+  EXPECT_TRUE(bus.page_dirty(0x0800'2000));
+}
+
+TEST(BusPaging, DirtyAuthorityRestrictsClearing) {
+  MemoryBus bus = make_bus();
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0000, 0xab), BusStatus::kOk);
+  // Open mode: anyone may clear.
+  ASSERT_EQ(bus.clear_dirty_page(AccessContext{0x0800'0000}, 0x2000'0000),
+            BusStatus::kOk);
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0000, 0xcd), BusStatus::kOk);
+  // Authority installed: only code running from the anchor region (or
+  // hardware) may clear; everyone else is denied and the bit survives.
+  bus.set_dirty_authority({0x0000'0000, 0x0000'1000});
+  EXPECT_EQ(bus.clear_dirty_page(AccessContext{0x0800'0000}, 0x2000'0000),
+            BusStatus::kDenied);
+  EXPECT_TRUE(bus.page_dirty(0x2000'0000));
+  ASSERT_EQ(bus.clear_dirty_page(AccessContext{0x0000'0100}, 0x2000'0000),
+            BusStatus::kOk);
+  EXPECT_FALSE(bus.page_dirty(0x2000'0000));
+  // Hardware is always admitted.
+  ASSERT_EQ(bus.write8(kHw, 0x2000'0000, 0xef), BusStatus::kOk);
+  EXPECT_EQ(bus.clear_dirty_page(kHw, 0x2000'0000), BusStatus::kOk);
+  // Unmapped / MMIO targets fault.
+  EXPECT_EQ(bus.clear_dirty_page(kHw, 0xdead'0000), BusStatus::kUnmapped);
+}
+
 TEST(BusPaging, LoadInitialMaterializesRomPages) {
   MemoryBus bus = make_bus();
   const std::vector<std::uint8_t> image(5000, 0x5a);
   bus.load_initial(0x0000'0100, image);
   EXPECT_EQ(bus.resident_bytes(), 8192u);  // two ROM pages touched
+  // Manufacture-time provisioning is not a runtime write event.
+  EXPECT_EQ(bus.dirty_page_count(), 0u);
   std::vector<std::uint8_t> back(5000);
   ASSERT_EQ(bus.read_block(kHw, 0x0000'0100, back), BusStatus::kOk);
   EXPECT_EQ(back, image);
