@@ -25,17 +25,17 @@ std::string to_string(FreshnessScheme scheme) {
   return "unknown";
 }
 
+void AttestRequest::header_into(std::uint8_t* out) const {
+  out[0] = kRequestMagic;
+  out[1] = static_cast<std::uint8_t>(scheme);
+  out[2] = static_cast<std::uint8_t>(mac_alg);
+  crypto::store_le64(out + 3, freshness);
+  crypto::store_le64(out + 11, challenge);
+}
+
 Bytes AttestRequest::header_bytes() const {
-  Bytes out;
-  out.reserve(19);
-  out.push_back(kRequestMagic);
-  out.push_back(static_cast<std::uint8_t>(scheme));
-  out.push_back(static_cast<std::uint8_t>(mac_alg));
-  std::uint8_t word[8];
-  crypto::store_le64(word, freshness);
-  crypto::append(out, ByteView(word, 8));
-  crypto::store_le64(word, challenge);
-  crypto::append(out, ByteView(word, 8));
+  Bytes out(kHeaderSize);
+  header_into(out.data());
   return out;
 }
 
@@ -87,20 +87,19 @@ std::optional<AttestResponse> AttestResponse::from_bytes(ByteView wire) {
   return resp;
 }
 
+void IncAttestRequest::header_into(std::uint8_t* out) const {
+  out[0] = kIncRequestMagic;
+  out[1] = kVersion;
+  out[2] = static_cast<std::uint8_t>(scheme);
+  out[3] = static_cast<std::uint8_t>(mac_alg);
+  crypto::store_le64(out + 4, freshness);
+  crypto::store_le64(out + 12, challenge);
+  crypto::store_le64(out + 20, since_gen);
+}
+
 Bytes IncAttestRequest::header_bytes() const {
-  Bytes out;
-  out.reserve(28);
-  out.push_back(kIncRequestMagic);
-  out.push_back(kVersion);
-  out.push_back(static_cast<std::uint8_t>(scheme));
-  out.push_back(static_cast<std::uint8_t>(mac_alg));
-  std::uint8_t word[8];
-  crypto::store_le64(word, freshness);
-  crypto::append(out, ByteView(word, 8));
-  crypto::store_le64(word, challenge);
-  crypto::append(out, ByteView(word, 8));
-  crypto::store_le64(word, since_gen);
-  crypto::append(out, ByteView(word, 8));
+  Bytes out(kHeaderSize);
+  header_into(out.data());
   return out;
 }
 

@@ -40,13 +40,20 @@ struct AttestRequest {
   /// does not authenticate requests (the Sec. 3.1 baseline).
   Bytes mac;
 
+  /// Serialized header length.
+  static constexpr std::size_t kHeaderSize = 19;
+
   /// The authenticated portion: everything except the MAC itself.
   Bytes header_bytes() const;
+
+  /// Alloc-free form: serialize the header into `out[kHeaderSize]`.
+  /// The hot paths (request pipelining, per-round MACs) use this.
+  void header_into(std::uint8_t* out) const;
 
   Bytes to_bytes() const;
   /// to_bytes().size() without serializing: 19-byte header, MAC length
   /// byte, MAC.
-  std::size_t wire_size() const { return 19 + 1 + mac.size(); }
+  std::size_t wire_size() const { return kHeaderSize + 1 + mac.size(); }
   static std::optional<AttestRequest> from_bytes(ByteView wire);
 
   friend bool operator==(const AttestRequest&, const AttestRequest&) =
@@ -85,12 +92,18 @@ struct IncAttestRequest {
   /// does not authenticate requests).
   Bytes mac;
 
+  /// Serialized header length.
+  static constexpr std::size_t kHeaderSize = 28;
+
   /// The authenticated portion: magic, version, scheme, mac_alg,
   /// freshness, challenge, since_gen — 28 bytes.
   Bytes header_bytes() const;
 
+  /// Alloc-free form: serialize the header into `out[kHeaderSize]`.
+  void header_into(std::uint8_t* out) const;
+
   Bytes to_bytes() const;
-  std::size_t wire_size() const { return 28 + 1 + mac.size(); }
+  std::size_t wire_size() const { return kHeaderSize + 1 + mac.size(); }
   static std::optional<IncAttestRequest> from_bytes(ByteView wire);
 
   friend bool operator==(const IncAttestRequest&, const IncAttestRequest&) =

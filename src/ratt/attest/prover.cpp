@@ -99,6 +99,11 @@ ProverTemplate ProverDevice::make_template(const ProverConfig& config,
   tmpl.reference = hw::make_rom_reference(tmpl.image, vendor_keypair());
   tmpl.digest = tmpl.reference.expected_hash;
   tmpl.reference_memory = tmpl.image.segments[1].data;
+  // Segment pages for the copy-on-write boot alias. The prover always
+  // uses the default memory map (only clock_hz varies per config), so
+  // the default layout is the right page geometry for every device.
+  tmpl.shared_pages =
+      hw::make_shared_segment_pages(hw::Mcu::Layout{}, tmpl.image);
   return tmpl;
 }
 
@@ -274,7 +279,8 @@ ProverDevice::ProverDevice(const ProverConfig& config, Bytes k_attest,
     boot_status_ = hw::secure_boot(
         *mcu_, tmpl->image, tmpl->reference,
         [this](hw::Mcu& mcu) { return configure_protection(mcu); },
-        hw::BootFastPath{/*signature_preverified=*/true, &tmpl->digest});
+        hw::BootFastPath{/*signature_preverified=*/true, &tmpl->digest,
+                         &tmpl->shared_pages});
   } else {
     const hw::BootImage image =
         make_boot_image(app_seed, config_.measured_bytes);
@@ -431,9 +437,18 @@ void ProverDevice::set_observer(const obs::Observer& observer) {
   obs_faults_dropped_ = &reg.counter("prover.bus.faults_dropped");
   seen_faults_dropped_ = mcu_->bus().faults_dropped();
   obs_handle_ms_ = &reg.histogram("prover.handle_ms");
+  // The outcome-counter names are identical for every device; build them
+  // once per process instead of concatenating per materialization (a
+  // fleet calls set_observer a hundred thousand times).
+  static const auto kOutcomeNames = [] {
+    std::array<std::string, kAttestStatusCount> names;
+    for (std::size_t s = 0; s < kAttestStatusCount; ++s) {
+      names[s] = "prover.outcome." + to_string(static_cast<AttestStatus>(s));
+    }
+    return names;
+  }();
   for (std::size_t s = 0; s < kAttestStatusCount; ++s) {
-    obs_outcome_[s] = &reg.counter(
-        "prover.outcome." + to_string(static_cast<AttestStatus>(s)));
+    obs_outcome_[s] = &reg.counter(kOutcomeNames[s]);
   }
 }
 
@@ -461,7 +476,14 @@ void ProverDevice::observe_request(std::size_t wire_bytes,
     rec.sim_time_ms = mcu_->now_ms();
     rec.device_id = obs_.device_id;
     rec.kind = "prover.handle";
-    rec.outcome = to_string(outcome.status);
+    static const auto kStatusStrings = [] {
+      std::array<std::string, kAttestStatusCount> names;
+      for (std::size_t s = 0; s < kAttestStatusCount; ++s) {
+        names[s] = to_string(static_cast<AttestStatus>(s));
+      }
+      return names;
+    }();
+    rec.outcome = kStatusStrings[static_cast<std::size_t>(outcome.status)];
     rec.prover_ms = outcome.device_ms;
     rec.bytes = wire_bytes;
     rec.energy_mj = energy_mj;

@@ -125,6 +125,11 @@ struct ProverTemplate {
   /// loads at the measured base (share via Verifier's shared_ptr
   /// set_reference_memory overload).
   Bytes reference_memory;
+  /// Page-aligned images of the boot segments, built once here and
+  /// aliased copy-on-write into every device booting this template
+  /// (hw::BootFastPath::shared_pages): a fleet stores the application
+  /// image once, not once per device.
+  std::vector<hw::SharedSegmentPage> shared_pages;
 };
 
 /// Addresses an in-device adversary (Adv_roam phase II) can aim at.

@@ -1,8 +1,10 @@
 #include "ratt/attest/verifier.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "ratt/attest/verifier_batch.hpp"
 #include "ratt/crypto/ct.hpp"
 
 namespace ratt::attest {
@@ -87,11 +89,111 @@ void Verifier::fill_freshness(std::uint64_t& freshness,
   challenge = next_word();
 }
 
+bool Verifier::batchable() const {
+  // Timestamp freshness reads a live clock at make_request time, so a
+  // precomputed round would freeze it — observable. Everything else
+  // (none/nonce/counter) draws values the scalar path would produce in
+  // the same order.
+  return batch_ != nullptr && crypto::MacBatch::supports(config_.mac_alg) &&
+         config_.scheme != FreshnessScheme::kTimestamp;
+}
+
+void Verifier::fill_pipeline() {
+  const std::size_t lanes =
+      static_cast<std::size_t>(VerifierBatch::kLanes) - issued_count_;
+  if (lanes == 0) return;
+  // Draw each future round's freshness/challenge exactly as the scalar
+  // fill_freshness would, in order; counter_ itself advances only when
+  // an entry is actually popped, so counter() never runs ahead.
+  PipeEntry* fresh[VerifierBatch::kLanes];
+  std::uint64_t ctr = counter_;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    PipeEntry& e = pend_[(pend_head_ + pend_count_) & 7];
+    switch (config_.scheme) {
+      case FreshnessScheme::kNone:
+        e.freshness = 0;
+        break;
+      case FreshnessScheme::kNonce:
+        e.freshness = next_word();
+        break;
+      case FreshnessScheme::kCounter:
+        e.freshness = ++ctr;
+        break;
+      case FreshnessScheme::kTimestamp:
+        e.freshness = 0;  // unreachable: batchable() excludes timestamps
+        break;
+    }
+    e.challenge = next_word();
+    e.ref_src = nullptr;
+    fresh[k] = &e;
+    ++pend_count_;
+  }
+
+  crypto::MacBatch& mb = batch_->engine();
+  mb.set_key_all(key_);
+
+  // Wave 1: request-authentication MACs over the 19-byte headers.
+  if (config_.authenticate_requests) {
+    std::uint8_t headers[VerifierBatch::kLanes][AttestRequest::kHeaderSize];
+    crypto::MacBatch::LaneMsg msgs[VerifierBatch::kLanes];
+    std::uint8_t tags[VerifierBatch::kLanes][crypto::MacBatch::kTagSize];
+    AttestRequest proto;
+    proto.scheme = config_.scheme;
+    proto.mac_alg = config_.mac_alg;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      proto.freshness = fresh[k]->freshness;
+      proto.challenge = fresh[k]->challenge;
+      proto.header_into(headers[k]);
+      msgs[k] = {ByteView(headers[k], AttestRequest::kHeaderSize),
+                 ByteView()};
+    }
+    mb.compute_many(msgs, lanes, tags);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      std::memcpy(fresh[k]->req_mac, tags[k], crypto::MacBatch::kTagSize);
+    }
+  }
+
+  // Wave 2: expected response measurements over challenge || freshness
+  // || reference memory. Every lane streams the shared reference as its
+  // tail — no concatenated copies.
+  const Bytes* ref = reference_memory_.get();
+  std::uint8_t heads[VerifierBatch::kLanes][16];
+  crypto::MacBatch::LaneMsg msgs[VerifierBatch::kLanes];
+  std::uint8_t tags[VerifierBatch::kLanes][crypto::MacBatch::kTagSize];
+  for (std::size_t k = 0; k < lanes; ++k) {
+    crypto::store_le64(heads[k], fresh[k]->challenge);
+    crypto::store_le64(heads[k] + 8, fresh[k]->freshness);
+    msgs[k] = {ByteView(heads[k], 16), ByteView(*ref)};
+  }
+  mb.compute_many(msgs, lanes, tags);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    std::memcpy(fresh[k]->expected, tags[k], crypto::MacBatch::kTagSize);
+    fresh[k]->ref_src = ref;
+  }
+  batch_->note_fill(lanes);
+}
+
 AttestRequest Verifier::make_request() {
   if (obs_requests_ != nullptr) obs_requests_->inc();
   AttestRequest req;
   req.scheme = config_.scheme;
   req.mac_alg = config_.mac_alg;
+  if (batchable()) {
+    if (pend_count_ == 0) fill_pipeline();
+    if (pend_count_ > 0) {
+      const PipeEntry& e = pend_[pend_head_];
+      pend_head_ = (pend_head_ + 1) & 7;
+      --pend_count_;
+      if (config_.scheme == FreshnessScheme::kCounter) ++counter_;
+      req.freshness = e.freshness;
+      req.challenge = e.challenge;
+      if (config_.authenticate_requests) {
+        req.mac.assign(e.req_mac, e.req_mac + crypto::MacBatch::kTagSize);
+      }
+      issued_[issued_count_++] = e;
+      return req;
+    }
+  }
   fill_freshness(req.freshness, req.challenge);
   if (config_.authenticate_requests) {
     req.mac = mac_->compute(req.header_bytes());
@@ -105,7 +207,19 @@ IncAttestRequest Verifier::make_incremental_request() {
   req.scheme = config_.scheme;
   req.mac_alg = config_.mac_alg;
   req.since_gen = retained_gen_;
-  fill_freshness(req.freshness, req.challenge);
+  if (batchable() && pend_count_ > 0) {
+    // Consume the oldest precomputed draw so the freshness/challenge
+    // stream stays in scalar order; the 28-byte incremental header MACs
+    // scalar (its since_gen is not known at fill time).
+    const PipeEntry& e = pend_[pend_head_];
+    pend_head_ = (pend_head_ + 1) & 7;
+    --pend_count_;
+    if (config_.scheme == FreshnessScheme::kCounter) ++counter_;
+    req.freshness = e.freshness;
+    req.challenge = e.challenge;
+  } else {
+    fill_freshness(req.freshness, req.challenge);
+  }
   if (config_.authenticate_requests) {
     req.mac = mac_->compute(req.header_bytes());
   }
@@ -119,6 +233,28 @@ bool Verifier::check_response(const AttestRequest& request,
     return ok;
   };
   if (response.freshness != request.freshness) return tally(false);
+  if (batch_ != nullptr) {
+    for (std::uint8_t i = 0; i < issued_count_; ++i) {
+      const PipeEntry& e = issued_[i];
+      if (e.freshness != request.freshness ||
+          e.challenge != request.challenge) {
+        continue;
+      }
+      std::uint8_t expected[crypto::MacBatch::kTagSize];
+      std::memcpy(expected, e.expected, sizeof(expected));
+      const bool fresh_ref = e.ref_src == reference_memory_.get();
+      issued_[i] = issued_[--issued_count_];
+      if (fresh_ref) {
+        batch_->note_hit();
+        return tally(crypto::ct_equal(ByteView(expected, sizeof(expected)),
+                                      response.measurement));
+      }
+      // The reference changed after this round was precomputed; its
+      // expected tag is stale — recompute scalar below.
+      batch_->note_miss();
+      break;
+    }
+  }
   // Recompute the expected measurement over the reference memory,
   // streamed — no challenge||freshness||memory copy per check.
   mac_->init(16 + reference_memory_->size());

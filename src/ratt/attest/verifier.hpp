@@ -15,6 +15,8 @@
 
 namespace ratt::attest {
 
+class VerifierBatch;
+
 class Verifier {
  public:
   struct Config {
@@ -97,6 +99,17 @@ class Verifier {
 
   std::uint64_t counter() const { return counter_; }
 
+  /// Attach (or detach, with nullptr) a shared multi-buffer MAC engine.
+  /// When attached — and the configuration is batchable (HMAC-SHA1,
+  /// freshness that does not read a live clock) — make_request() and
+  /// check_response() are served from a precomputed lookahead pipeline
+  /// of up to VerifierBatch::kLanes future rounds whose request and
+  /// expected-response MACs were computed in one multi-buffer wave.
+  /// Every observable output (wire bytes, counter(), DRBG draw order,
+  /// telemetry) is byte-identical to the scalar path; non-batchable
+  /// calls fall back to it transparently.
+  void set_batch_engine(VerifierBatch* batch) { batch_ = batch; }
+
  private:
   /// Next 64-bit word from the buffered DRBG stream (nonces and
   /// challenges). Drawing a 256-byte block per DRBG call instead of 8
@@ -109,6 +122,26 @@ class Verifier {
 
   /// (Re)build page_macs_ over the current reference memory.
   void ensure_page_macs();
+
+  /// One precomputed future round. Lives in pend_ (drawn but not yet
+  /// issued; FIFO — the entries ARE the next draws of the freshness /
+  /// challenge stream, in order) and then in issued_ (awaiting its
+  /// response; matched by freshness+challenge). `ref_src` records which
+  /// reference memory the expected tag was computed over — a stale
+  /// pointer downgrades that check to the scalar path.
+  struct PipeEntry {
+    std::uint64_t freshness;
+    std::uint64_t challenge;
+    std::uint8_t req_mac[20];
+    std::uint8_t expected[20];
+    const Bytes* ref_src;
+  };
+
+  /// True when the attached engine can serve this configuration.
+  bool batchable() const;
+
+  /// Precompute up to kLanes future rounds in one multi-buffer wave.
+  void fill_pipeline();
 
   Bytes key_;
   Config config_;
@@ -139,6 +172,16 @@ class Verifier {
   obs::power::PowerWitness* power_witness_ = nullptr;
   obs::Counter* obs_power_rounds_ = nullptr;
   obs::Counter* obs_power_violations_ = nullptr;
+  // Lookahead pipeline (see set_batch_engine). pend_ is a FIFO ring;
+  // issued_ is a small unordered set (erase-swap) because responses can
+  // complete out of order under loss/retransmission. Mutable: the
+  // const check_response() consumes matched entries.
+  VerifierBatch* batch_ = nullptr;
+  mutable std::array<PipeEntry, 8> pend_{};
+  mutable std::uint8_t pend_head_ = 0;
+  mutable std::uint8_t pend_count_ = 0;
+  mutable std::array<PipeEntry, 8> issued_{};
+  mutable std::uint8_t issued_count_ = 0;
 };
 
 }  // namespace ratt::attest

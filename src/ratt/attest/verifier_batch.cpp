@@ -1,0 +1,31 @@
+#include "ratt/attest/verifier_batch.hpp"
+
+namespace ratt::attest {
+
+void VerifierBatch::ensure_counters() {
+  if (registry_ == nullptr || fills_ != nullptr) return;
+  fills_ = &registry_->counter("verifier.batch.fills");
+  lanes_ = &registry_->counter("verifier.batch.lanes");
+  hits_ = &registry_->counter("verifier.batch.hits");
+  misses_ = &registry_->counter("verifier.batch.misses");
+}
+
+void VerifierBatch::note_fill(std::size_t lanes) {
+  ensure_counters();
+  if (fills_ == nullptr) return;
+  fills_->inc();
+  lanes_->inc(static_cast<double>(lanes));
+}
+
+void VerifierBatch::note_hit() {
+  if (hits_ != nullptr) hits_->inc();
+}
+
+void VerifierBatch::note_miss() {
+  // Misses can precede the first fill (e.g. a response arriving for a
+  // request issued before the engine was attached); they only count
+  // once the batch counters exist, keeping never-batched runs clean.
+  if (misses_ != nullptr) misses_->inc();
+}
+
+}  // namespace ratt::attest

@@ -1,0 +1,67 @@
+#include "ratt/crypto/mac_batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ratt::crypto {
+
+void MacBatch::key_midstates(ByteView key, Sha1::Midstate* inner,
+                             Sha1::Midstate* outer) {
+  // Mirrors Hmac<Sha1> keying bit-for-bit: over-long keys are hashed,
+  // the block key is zero-padded, ipad/opad blocks absorbed once.
+  std::array<std::uint8_t, Sha1::kBlockSize> block_key{};
+  if (key.size() > Sha1::kBlockSize) {
+    const auto d = Sha1::hash(key);
+    std::copy(d.begin(), d.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+  std::array<std::uint8_t, Sha1::kBlockSize> pad{};
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+  }
+  Sha1 hi;
+  hi.update(ByteView(pad.data(), pad.size()));
+  *inner = hi.midstate();
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  Sha1 ho;
+  ho.update(ByteView(pad.data(), pad.size()));
+  *outer = ho.midstate();
+}
+
+void MacBatch::set_key(std::size_t lane, ByteView key) {
+  if (lane >= kMaxLanes) {
+    throw std::invalid_argument("MacBatch::set_key: lane out of range");
+  }
+  key_midstates(key, &inner_mid_[lane], &outer_mid_[lane]);
+}
+
+void MacBatch::set_key_all(ByteView key) {
+  key_midstates(key, &inner_mid_[0], &outer_mid_[0]);
+  for (std::size_t lane = 1; lane < kMaxLanes; ++lane) {
+    inner_mid_[lane] = inner_mid_[0];
+    outer_mid_[lane] = outer_mid_[0];
+  }
+}
+
+void MacBatch::compute_many(const LaneMsg* msgs, std::size_t n,
+                            std::uint8_t (*tags)[kTagSize]) {
+  if (n == 0) {
+    return;
+  }
+  if (n > kMaxLanes) {
+    throw std::invalid_argument("MacBatch::compute_many: too many lanes");
+  }
+  std::uint8_t inner_digests[kMaxLanes][Sha1::kDigestSize];
+  Sha1xN::hash_many(inner_mid_.data(), msgs, n, inner_digests);
+  LaneMsg outer[kMaxLanes];
+  for (std::size_t j = 0; j < n; ++j) {
+    outer[j] = LaneMsg{ByteView(inner_digests[j], Sha1::kDigestSize),
+                       ByteView()};
+  }
+  Sha1xN::hash_many(outer_mid_.data(), outer, n, tags);
+}
+
+}  // namespace ratt::crypto

@@ -1,0 +1,59 @@
+// HMAC batch API over the multi-buffer SHA-1 engine.
+//
+// Computes up to Sha1xN::kMaxLanes independent HMAC-SHA1 tags in
+// lockstep: the per-lane ipad/opad midstates are cached at key-set time
+// (the same amortization Hmac<Sha1> does scalar-side), the inner hashes
+// run as one multi-buffer wave, and the fixed-size outer hashes as a
+// second. Only HMAC-SHA1 batches — the paper's other MACs (CBC-MAC,
+// CMAC) chain block-to-block within one message and gain nothing from
+// lane transposition; callers gate on supports() and keep the scalar
+// Mac path for everything else.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "ratt/crypto/bytes.hpp"
+#include "ratt/crypto/mac.hpp"
+#include "ratt/crypto/sha1xn.hpp"
+
+namespace ratt::crypto {
+
+class MacBatch {
+ public:
+  static constexpr std::size_t kMaxLanes = Sha1xN::kMaxLanes;
+  static constexpr std::size_t kTagSize = Sha1::kDigestSize;
+  using LaneMsg = Sha1xN::LaneMsg;
+
+  /// True iff `alg` can be batched by this engine.
+  static bool supports(MacAlgorithm alg) {
+    return alg == MacAlgorithm::kHmacSha1;
+  }
+
+  MacBatch() = default;
+
+  /// All lanes share one key (the verifier batches rounds of one
+  /// device, so this is the hot constructor).
+  explicit MacBatch(ByteView key) { set_key_all(key); }
+
+  /// Key one lane (distinct-key batches, e.g. cross-device gathers).
+  void set_key(std::size_t lane, ByteView key);
+
+  /// Key every lane identically; one keying computation, copied out.
+  void set_key_all(ByteView key);
+
+  /// Compute n (1..kMaxLanes) HMAC-SHA1 tags in lockstep; `tags[i]`
+  /// receives lane i's 20-byte tag.
+  void compute_many(const LaneMsg* msgs, std::size_t n,
+                    std::uint8_t (*tags)[kTagSize]);
+
+ private:
+  static void key_midstates(ByteView key, Sha1::Midstate* inner,
+                            Sha1::Midstate* outer);
+
+  std::array<Sha1::Midstate, kMaxLanes> inner_mid_{};
+  std::array<Sha1::Midstate, kMaxLanes> outer_mid_{};
+};
+
+}  // namespace ratt::crypto

@@ -36,6 +36,20 @@ class Sha1 {
   /// One-shot convenience.
   static Digest hash(ByteView data);
 
+  /// Block-aligned compression state: the five chaining words plus the
+  /// byte count absorbed so far. Exportable only when no partial block
+  /// is buffered (absorbed length a multiple of kBlockSize) — exactly
+  /// the shape of HMAC ipad/opad midstates. Seeds the multi-buffer
+  /// engine's lanes (Sha1xN / MacBatch).
+  struct Midstate {
+    std::array<std::uint32_t, 5> h;
+    std::uint64_t total_len;
+  };
+
+  /// Export the current block-aligned state. Throws std::logic_error if
+  /// a partial block is buffered.
+  Midstate midstate() const;
+
  private:
   void process_block(const std::uint8_t* block);
 

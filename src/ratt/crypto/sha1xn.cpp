@@ -1,0 +1,61 @@
+#include "ratt/crypto/sha1xn.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "ratt/crypto/sha1xn_detail.hpp"
+#include "ratt/crypto/sha_shani.hpp"
+
+namespace ratt::crypto {
+
+#define RATT_SHA1XN_NS sha1xn_base
+#include "ratt/crypto/sha1xn_kernel.inc"
+#undef RATT_SHA1XN_NS
+
+void Sha1xN::hash_many(const Sha1::Midstate* mids, const LaneMsg* msgs,
+                       std::size_t n,
+                       std::uint8_t (*digests)[Sha1::kDigestSize]) {
+  if (n == 0) {
+    return;
+  }
+  if (n > kMaxLanes) {
+    throw std::invalid_argument("Sha1xN::hash_many: too many lanes");
+  }
+  // Hardware SHA beats the 4/8-wide software lanes: one sha1rnds4-based
+  // compression per lane is still ~3x faster than an AVX2 lane slot.
+  static const bool use_ni = detail::sha_ni_supported();
+  if (use_ni) {
+    detail::hash_lanes_ni(mids, msgs, n, digests);
+    return;
+  }
+  static const bool use_avx2 = detail::sha1xn_avx2_supported();
+  if (n <= 4) {
+    if (use_avx2) {
+      detail::hash_lanes4_avx2(mids, msgs, n, digests);
+    } else {
+      sha1xn_base::hash_lanes<4>(mids, msgs, n, digests);
+    }
+  } else {
+    if (use_avx2) {
+      detail::hash_lanes8_avx2(mids, msgs, n, digests);
+    } else {
+      sha1xn_base::hash_lanes<8>(mids, msgs, n, digests);
+    }
+  }
+}
+
+void Sha1xN::hash_many(const ByteView* msgs, std::size_t n,
+                       std::uint8_t (*digests)[Sha1::kDigestSize]) {
+  LaneMsg lm[kMaxLanes];
+  if (n > kMaxLanes) {
+    throw std::invalid_argument("Sha1xN::hash_many: too many lanes");
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    lm[j] = LaneMsg{msgs[j], ByteView()};
+  }
+  hash_many(nullptr, lm, n, digests);
+}
+
+}  // namespace ratt::crypto

@@ -1,0 +1,42 @@
+// AVX2 build of the multi-buffer SHA-1 kernel. This translation unit
+// is compiled with -mavx2 when the compiler accepts it (see
+// crypto/CMakeLists.txt); every entry point is guarded by a runtime
+// __builtin_cpu_supports("avx2") check in the dispatcher, so the
+// binary stays safe on SSE2-only machines. With AVX2 the W=8 lane
+// vectors become single 256-bit ops instead of split 128-bit pairs.
+#include "ratt/crypto/sha1xn_detail.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace ratt::crypto {
+
+#define RATT_SHA1XN_NS sha1xn_avx2
+#include "ratt/crypto/sha1xn_kernel.inc"
+#undef RATT_SHA1XN_NS
+
+namespace detail {
+
+bool sha1xn_avx2_supported() {
+#if defined(__AVX2__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+void hash_lanes4_avx2(const Sha1::Midstate* mids, const Sha1xN::LaneMsg* msgs,
+                      std::size_t n,
+                      std::uint8_t (*digests)[Sha1::kDigestSize]) {
+  sha1xn_avx2::hash_lanes<4>(mids, msgs, n, digests);
+}
+
+void hash_lanes8_avx2(const Sha1::Midstate* mids, const Sha1xN::LaneMsg* msgs,
+                      std::size_t n,
+                      std::uint8_t (*digests)[Sha1::kDigestSize]) {
+  sha1xn_avx2::hash_lanes<8>(mids, msgs, n, digests);
+}
+
+}  // namespace detail
+}  // namespace ratt::crypto

@@ -1,0 +1,23 @@
+// Internal dispatch seam between the baseline and AVX2 builds of the
+// multi-buffer SHA-1 kernel. Not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ratt/crypto/sha1.hpp"
+#include "ratt/crypto/sha1xn.hpp"
+
+namespace ratt::crypto::detail {
+
+/// True iff the AVX2 kernel was compiled in AND the CPU supports it.
+bool sha1xn_avx2_supported();
+
+void hash_lanes4_avx2(const Sha1::Midstate* mids, const Sha1xN::LaneMsg* msgs,
+                      std::size_t n,
+                      std::uint8_t (*digests)[Sha1::kDigestSize]);
+void hash_lanes8_avx2(const Sha1::Midstate* mids, const Sha1xN::LaneMsg* msgs,
+                      std::size_t n,
+                      std::uint8_t (*digests)[Sha1::kDigestSize]);
+
+}  // namespace ratt::crypto::detail

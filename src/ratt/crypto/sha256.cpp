@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "ratt/crypto/sha_shani.hpp"
+
 namespace ratt::crypto {
 
 namespace {
@@ -81,6 +83,11 @@ Sha256::Digest Sha256::hash(ByteView data) {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
+  static const bool kUseNi = detail::sha_ni_supported();
+  if (kUseNi) {
+    detail::sha256_compress_ni(state_.data(), block);
+    return;
+  }
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = load_be32(block + 4 * i);

@@ -1,0 +1,34 @@
+// Internal dispatch seam for the x86 SHA extension (SHA-NI) kernels.
+// Not part of the public API: Sha1/Sha256 route their compression
+// function here when the CPU has the instructions, and Sha1xN prefers
+// the per-lane NI path over the multi-buffer AVX2 kernel (one hardware
+// compression per lane beats eight software lanes in parallel). All
+// paths are bit-identical to the portable implementations — the CAVP
+// known-answer suite and the lockstep fuzz pin that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ratt/crypto/sha1.hpp"
+#include "ratt/crypto/sha1xn.hpp"
+
+namespace ratt::crypto::detail {
+
+/// True iff the SHA-NI kernels were compiled in AND the CPU has them.
+bool sha_ni_supported();
+
+/// One SHA-256 compression: state is the eight chaining words (host
+/// order), block is 64 message bytes. Call only when sha_ni_supported().
+void sha256_compress_ni(std::uint32_t* state, const std::uint8_t* block);
+
+/// One SHA-1 compression: state is the five chaining words.
+void sha1_compress_ni(std::uint32_t* state, const std::uint8_t* block);
+
+/// Per-lane SHA-1 over (midstate, head || tail) with NI compressions —
+/// the hardware-backed implementation of Sha1xN::hash_many.
+void hash_lanes_ni(const Sha1::Midstate* mids, const Sha1xN::LaneMsg* msgs,
+                   std::size_t n,
+                   std::uint8_t (*digests)[Sha1::kDigestSize]);
+
+}  // namespace ratt::crypto::detail

@@ -60,7 +60,7 @@ void MemoryBus::map_storage(std::string name, MemoryKind kind,
   // allocated yet — untouched pages read as the fill byte directly.
   region->fill = kind == MemoryKind::kFlash ? 0xff : 0x00;
   const std::size_t pages = (range.size() + kPageSize - 1) / kPageSize;
-  region->pages.resize(pages);
+  region->page_index.assign(pages, Region::kNoPage);
   region->dirty.assign((pages + 63) / 64, 0);
   regions_.push_back(std::move(region));
 }
@@ -176,7 +176,7 @@ BusStatus MemoryBus::access8(const AccessContext& ctx, AccessType type,
         // the stored bytes would not change — but the page still dirties:
         // attestation tracks write events, not content diffs.
         const bool keeps_fill =
-            region->pages[p].empty() &&
+            region->page_absent(p) &&
             (region->info.kind == MemoryKind::kFlash
                  ? static_cast<std::uint8_t>(region->fill & write_value) ==
                        region->fill
@@ -212,48 +212,40 @@ BusStatus MemoryBus::write8(const AccessContext& ctx, Addr addr,
   return access8(ctx, AccessType::kWrite, addr, nullptr, value);
 }
 
+// Word accessors ride the block paths: one region lookup and one
+// access-control window resolution per word instead of one of each per
+// byte. Failure semantics are unchanged — the transfer stops at the
+// first failing byte (reads deliver nothing, earlier written bytes stay
+// written) and exactly one fault is logged at its address, which is
+// precisely what the old per-byte loops produced.
 BusStatus MemoryBus::read32(const AccessContext& ctx, Addr addr,
                             std::uint32_t& out) {
   std::uint8_t bytes[4];
-  for (Addr i = 0; i < 4; ++i) {
-    const BusStatus s = read8(ctx, addr + i, bytes[i]);
-    if (s != BusStatus::kOk) return s;
-  }
-  out = crypto::load_le32(bytes);
-  return BusStatus::kOk;
+  const BusStatus s = read_block(ctx, addr, bytes);
+  if (s == BusStatus::kOk) out = crypto::load_le32(bytes);
+  return s;
 }
 
 BusStatus MemoryBus::write32(const AccessContext& ctx, Addr addr,
                              std::uint32_t value) {
   std::uint8_t bytes[4];
   crypto::store_le32(bytes, value);
-  for (Addr i = 0; i < 4; ++i) {
-    const BusStatus s = write8(ctx, addr + i, bytes[i]);
-    if (s != BusStatus::kOk) return s;
-  }
-  return BusStatus::kOk;
+  return write_block(ctx, addr, bytes);
 }
 
 BusStatus MemoryBus::read64(const AccessContext& ctx, Addr addr,
                             std::uint64_t& out) {
   std::uint8_t bytes[8];
-  for (Addr i = 0; i < 8; ++i) {
-    const BusStatus s = read8(ctx, addr + i, bytes[i]);
-    if (s != BusStatus::kOk) return s;
-  }
-  out = crypto::load_le64(bytes);
-  return BusStatus::kOk;
+  const BusStatus s = read_block(ctx, addr, bytes);
+  if (s == BusStatus::kOk) out = crypto::load_le64(bytes);
+  return s;
 }
 
 BusStatus MemoryBus::write64(const AccessContext& ctx, Addr addr,
                              std::uint64_t value) {
   std::uint8_t bytes[8];
   crypto::store_le64(bytes, value);
-  for (Addr i = 0; i < 8; ++i) {
-    const BusStatus s = write8(ctx, addr + i, bytes[i]);
-    if (s != BusStatus::kOk) return s;
-  }
-  return BusStatus::kOk;
+  return write_block(ctx, addr, bytes);
 }
 
 BusStatus MemoryBus::read_block_bytewise(const AccessContext& ctx, Addr addr,
@@ -327,11 +319,11 @@ BusStatus MemoryBus::read_block(const AccessContext& ctx, Addr addr,
         const std::size_t in_page = off % kPageSize;
         const std::size_t chunk =
             std::min<std::size_t>(n - i, kPageSize - in_page);
-        const Bytes& page = region->pages[off / kPageSize];
-        if (page.empty()) {
+        const Bytes* page = region->page_at(off / kPageSize);
+        if (page == nullptr) {
           std::memset(out.data() + done + i, region->fill, chunk);
         } else {
-          std::memcpy(out.data() + done + i, page.data() + in_page, chunk);
+          std::memcpy(out.data() + done + i, page->data() + in_page, chunk);
         }
         i += chunk;
       }
@@ -394,7 +386,7 @@ BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
         // Same fill-skip as access8: programming bytes that keep the
         // erased pattern leaves the page absent but still dirties it.
         const bool keeps_fill =
-            region->pages[p].empty() &&
+            region->page_absent(p) &&
             std::all_of(src, src + chunk, [&](std::uint8_t v) {
               return static_cast<std::uint8_t>(region->fill & v) ==
                      region->fill;
@@ -418,7 +410,7 @@ BusStatus MemoryBus::write_block(const AccessContext& ctx, Addr addr,
         const std::size_t p = off / kPageSize;
         const std::uint8_t* src = data.data() + done + i;
         const bool keeps_fill =
-            region->pages[p].empty() &&
+            region->page_absent(p) &&
             std::all_of(src, src + chunk,
                         [&](std::uint8_t v) { return v == region->fill; });
         if (!keeps_fill) {
@@ -483,7 +475,7 @@ BusStatus MemoryBus::erase_flash_block(const AccessContext& ctx,
   // the fill byte (0xff) stand in for the erased contents.
   const std::size_t p =
       (block_begin - region->info.range.begin) / kPageSize;
-  Bytes().swap(region->pages[p]);
+  region->drop_page(p);
   // An erase mutates storage like any write: the page dirties even when
   // it was already erased (absent).
   mark_page_dirty(*region, p);
@@ -533,21 +525,71 @@ BusStatus MemoryBus::clear_dirty_page(const AccessContext& ctx, Addr addr) {
 }
 
 void MemoryBus::load_initial(Addr addr, ByteView data) {
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    Region* region = find(addr + static_cast<Addr>(i));
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const Addr a = addr + static_cast<Addr>(done);
+    Region* region = find(a);
     if (region == nullptr || region->device != nullptr) {
       throw std::invalid_argument(
           "MemoryBus::load_initial: target not storage-backed");
     }
-    region->byte_for_write(addr + static_cast<Addr>(i) -
-                           region->info.range.begin) = data[i];
+    const Addr offset = a - region->info.range.begin;
+    const std::size_t n = std::min<std::size_t>(
+        data.size() - done, region->info.range.size() - offset);
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t off = static_cast<std::size_t>(offset) + i;
+      const std::size_t in_page = off % kPageSize;
+      const std::size_t chunk =
+          std::min<std::size_t>(n - i, kPageSize - in_page);
+      std::memcpy(region->touch_page(off / kPageSize).data() + in_page,
+                  data.data() + done + i, chunk);
+      i += chunk;
+    }
+    done += n;
   }
+}
+
+bool MemoryBus::load_initial_shared(Addr page_base,
+                                    const std::shared_ptr<Bytes>& page) {
+  Region* region = find(page_base);
+  if (region == nullptr || region->device != nullptr) return false;
+  const Addr offset = page_base - region->info.range.begin;
+  if (offset % kPageSize != 0) return false;
+  const std::size_t p = offset / kPageSize;
+  if (!region->page_absent(p)) return false;
+  if (page == nullptr || page->size() != region->page_len(p)) return false;
+  region->page_index[p] = static_cast<std::uint32_t>(region->store.size());
+  region->store.push_back(page);
+  region->store_page.push_back(static_cast<std::uint32_t>(p));
+  return true;
 }
 
 std::size_t MemoryBus::resident_bytes() const {
   std::size_t total = 0;
   for (const auto& r : regions_) {
-    for (const auto& page : r->pages) total += page.size();
+    for (const auto& page : r->store) total += page->size();
+  }
+  return total;
+}
+
+std::size_t MemoryBus::shared_resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) {
+    for (const auto& page : r->store) {
+      if (page.use_count() > 1) total += page->size();
+    }
+  }
+  return total;
+}
+
+std::size_t MemoryBus::page_table_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : regions_) {
+    total += r->page_index.capacity() * sizeof(std::uint32_t) +
+             r->store.capacity() * sizeof(std::shared_ptr<Bytes>) +
+             r->store_page.capacity() * sizeof(std::uint32_t) +
+             r->dirty.capacity() * sizeof(std::uint64_t);
   }
   return total;
 }

@@ -161,6 +161,18 @@ class MemoryBus {
   /// boot only — never reachable from simulated software.
   void load_initial(Addr addr, ByteView data);
 
+  /// Install a prepared full page by shared reference instead of
+  /// copying: the fleet's secure-boot fast path builds each segment page
+  /// once per template and every identically-mapped device aliases it,
+  /// so a thousand devices booting the same image share one physical
+  /// copy until somebody writes it (copy-on-write — the first mutating
+  /// access clones a private page). Returns false and installs nothing
+  /// unless `page_base` starts a page of a storage region, that page is
+  /// still absent, and `page->size()` equals the page's length; the
+  /// caller falls back to load_initial.
+  bool load_initial_shared(Addr page_base,
+                           const std::shared_ptr<Bytes>& page);
+
   /// Region lookup for introspection; nullptr if unmapped.
   struct RegionInfo {
     std::string name;
@@ -192,7 +204,21 @@ class MemoryBus {
   /// over all storage regions. Mapped-but-untouched address space costs
   /// only its page table, which is what lets a mostly-idle million-device
   /// fleet map a megabyte of flash per device without buying the RAM.
+  /// Pages aliased from a shared template count at full size here; see
+  /// shared_resident_bytes() for the portion a fleet report should
+  /// amortize across the devices referencing the same physical copy.
   std::size_t resident_bytes() const;
+
+  /// The subset of resident_bytes() living in pages this bus shares with
+  /// other owners (the fleet template and sibling devices). Zero once
+  /// every shared page has been copy-on-write cloned.
+  std::size_t shared_resident_bytes() const;
+
+  /// Heap bytes of the paging metadata itself: page-index slots, dense
+  /// store bookkeeping and dirty bitmaps. The honest remainder of a
+  /// per-device footprint report — this is what a mapped-but-untouched
+  /// region actually costs.
+  std::size_t page_table_bytes() const;
 
   // -- Dirty-page tracking (incremental attestation, DESIGN.md §4i).
   //    Every successful storage mutation — byte write, bulk write, flash
@@ -235,11 +261,24 @@ class MemoryBus {
 
   struct Region {
     RegionInfo info;
-    // Storage-backed regions are paged: a page materializes on first
-    // write, and absent pages read as `fill` (0xff for erased flash,
-    // 0x00 for ROM/RAM — exactly the power-up contents). An empty Bytes
-    // marks an absent page; the last page is clamped to the region size.
-    std::vector<Bytes> pages;      // storage-backed regions
+    // Storage-backed regions are paged sparsely: `page_index` holds one
+    // 32-bit slot per page of address space (kNoPage = absent) pointing
+    // into the dense `store` of materialized pages, and `store_page`
+    // maps each store entry back to its page number so an erase can
+    // drop a page by swapping with the last entry. Absent pages read as
+    // `fill` (0xff for erased flash, 0x00 for ROM/RAM — exactly the
+    // power-up contents) and materialize on first non-fill write; the
+    // last page is clamped to the region size. A mapped-but-untouched
+    // 512 KB region therefore costs 4 bytes per page instead of a
+    // vector header — the difference between ~19 KB and ~14 KB of
+    // resident footprint per fleet device.
+    static constexpr std::uint32_t kNoPage = 0xffffffffu;
+    std::vector<std::uint32_t> page_index;  // one slot per page of space
+    // Materialized pages, dense. shared_ptr so a fleet template can
+    // alias one physical page into thousands of buses; use_count > 1
+    // means somebody else also holds it and a write must clone first.
+    std::vector<std::shared_ptr<Bytes>> store;
+    std::vector<std::uint32_t> store_page;  // page number per store entry
     std::uint8_t fill = 0x00;
     MmioDevice* device = nullptr;  // device-backed regions
     // One bit per page, set on every successful write to the page and
@@ -254,19 +293,51 @@ class MemoryBus {
       return std::min<std::size_t>(kPageSize,
                                    info.range.size() - p * kPageSize);
     }
+    bool page_absent(std::size_t p) const {
+      return page_index[p] == kNoPage;
+    }
+    /// The materialized page holding slot `p`, or nullptr if absent.
+    const Bytes* page_at(std::size_t p) const {
+      const std::uint32_t idx = page_index[p];
+      return idx == kNoPage ? nullptr : store[idx].get();
+    }
     std::uint8_t read_byte(Addr offset) const {
-      const Bytes& page = pages[offset / kPageSize];
-      return page.empty() ? fill : page[offset % kPageSize];
+      const Bytes* page = page_at(offset / kPageSize);
+      return page == nullptr ? fill : (*page)[offset % kPageSize];
     }
     /// The page holding region offset p * kPageSize, materialized (and
-    /// filled with `fill`) if absent.
+    /// filled with `fill`) if absent, for WRITING: a page aliased from
+    /// the fleet template is copy-on-write cloned here, so the caller
+    /// always gets a privately-owned page it may mutate.
     Bytes& touch_page(std::size_t p) {
-      Bytes& page = pages[p];
-      if (page.empty()) page.assign(page_len(p), fill);
-      return page;
+      std::uint32_t idx = page_index[p];
+      if (idx == kNoPage) {
+        idx = static_cast<std::uint32_t>(store.size());
+        store.push_back(std::make_shared<Bytes>(page_len(p), fill));
+        store_page.push_back(static_cast<std::uint32_t>(p));
+        page_index[p] = idx;
+      } else if (store[idx].use_count() > 1) {
+        store[idx] = std::make_shared<Bytes>(*store[idx]);
+      }
+      return *store[idx];
     }
     std::uint8_t& byte_for_write(Addr offset) {
       return touch_page(offset / kPageSize)[offset % kPageSize];
+    }
+    /// Release page `p`'s backing store (flash erase): the last store
+    /// entry swaps into the vacated slot so the store stays dense.
+    void drop_page(std::size_t p) {
+      const std::uint32_t idx = page_index[p];
+      if (idx == kNoPage) return;
+      const auto last = static_cast<std::uint32_t>(store.size() - 1);
+      if (idx != last) {
+        store[idx] = std::move(store[last]);
+        store_page[idx] = store_page[last];
+        page_index[store_page[idx]] = idx;
+      }
+      store.pop_back();
+      store_page.pop_back();
+      page_index[p] = kNoPage;
     }
   };
 

@@ -1,6 +1,64 @@
 #include "ratt/hw/secure_boot.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace ratt::hw {
+
+std::vector<SharedSegmentPage> make_shared_segment_pages(
+    const Mcu::Layout& layout, const BootImage& image) {
+  struct RegionDesc {
+    AddrRange range;
+    std::uint8_t fill;
+  };
+  // The same map Mcu's constructor hands to the bus: flash powers up
+  // erased (0xff), ROM and RAM zeroed.
+  const RegionDesc regions[3] = {
+      {layout.rom, 0x00}, {layout.flash, 0xff}, {layout.ram, 0x00}};
+  constexpr auto kPage =
+      static_cast<std::size_t>(MemoryBus::kFlashBlockSize);
+  std::vector<SharedSegmentPage> out;
+  for (const auto& seg : image.segments) {
+    std::size_t done = 0;
+    while (done < seg.data.size()) {
+      const Addr a = seg.base + static_cast<Addr>(done);
+      const RegionDesc* rd = nullptr;
+      for (const auto& r : regions) {
+        if (r.range.contains(a)) {
+          rd = &r;
+          break;
+        }
+      }
+      // A segment byte outside rom/flash/ram is not page-shareable;
+      // give up on sharing entirely and let the plain load_initial path
+      // deal with it (it faults exactly as it always did).
+      if (rd == nullptr) return {};
+      const std::size_t offset = a - rd->range.begin;
+      const std::size_t p = offset / kPage;
+      const Addr page_base = rd->range.begin + static_cast<Addr>(p * kPage);
+      const std::size_t page_len =
+          std::min(kPage, rd->range.size() - p * kPage);
+      SharedSegmentPage* sp = nullptr;
+      for (auto& existing : out) {
+        if (existing.page_base == page_base) {
+          sp = &existing;
+          break;
+        }
+      }
+      if (sp == nullptr) {
+        out.push_back(SharedSegmentPage{
+            page_base, std::make_shared<Bytes>(page_len, rd->fill)});
+        sp = &out.back();
+      }
+      const std::size_t in_page = offset % kPage;
+      const std::size_t chunk =
+          std::min(seg.data.size() - done, page_len - in_page);
+      std::memcpy(sp->page->data() + in_page, seg.data.data() + done, chunk);
+      done += chunk;
+    }
+  }
+  return out;
+}
 
 crypto::Sha256::Digest boot_image_digest(const BootImage& image) {
   crypto::Sha256 h;
@@ -73,12 +131,29 @@ BootStatus secure_boot(
     return BootStatus::kHashMismatch;
   }
 
-  // 3. Load segments. load_initial models the boot ROM's privileged copy.
-  for (const auto& seg : image.segments) {
-    try {
-      mcu.bus().load_initial(seg.base, seg.data);
-    } catch (const std::invalid_argument&) {
-      return BootStatus::kLoadFault;
+  // 3. Load segments. load_initial models the boot ROM's privileged
+  //    copy. The fleet fast path aliases the template's prepared pages
+  //    into this bus instead of copying; if any target page already
+  //    exists the whole image falls back to the copy loop, which
+  //    produces identical final contents (pages installed before the
+  //    refusal are simply rewritten with the same bytes, copy-on-write).
+  bool aliased = false;
+  if (fast.shared_pages != nullptr && !fast.shared_pages->empty()) {
+    aliased = true;
+    for (const auto& sp : *fast.shared_pages) {
+      if (!mcu.bus().load_initial_shared(sp.page_base, sp.page)) {
+        aliased = false;
+        break;
+      }
+    }
+  }
+  if (!aliased) {
+    for (const auto& seg : image.segments) {
+      try {
+        mcu.bus().load_initial(seg.base, seg.data);
+      } catch (const std::invalid_argument&) {
+        return BootStatus::kLoadFault;
+      }
     }
   }
 

@@ -51,6 +51,24 @@ enum class BootStatus : std::uint8_t {
 
 std::string to_string(BootStatus status);
 
+/// One page-aligned image of (part of) a boot segment, padded to the
+/// page's power-up fill: the unit the fleet fast path installs into a
+/// device bus by shared reference instead of copying.
+struct SharedSegmentPage {
+  Addr page_base = 0;
+  std::shared_ptr<Bytes> page;
+};
+
+/// Build the page-aligned shared images of `image`'s segments for a
+/// device with memory map `layout`: every byte of every segment lands in
+/// exactly one page, bytes of a page no segment covers hold the owning
+/// region's power-up fill (0xff for flash, 0x00 for ROM/RAM) — i.e. the
+/// exact contents load_initial would leave in a freshly-mapped bus.
+/// Segments targeting unmapped or device-backed memory are skipped (the
+/// boot's own load_initial surfaces those as kLoadFault).
+std::vector<SharedSegmentPage> make_shared_segment_pages(
+    const Mcu::Layout& layout, const BootImage& image);
+
 /// Fast path for fleet-templated boots: when thousands of identical
 /// devices boot the very same vendor image (attest::ProverTemplate), the
 /// signature verification and the image hash can be computed once at
@@ -63,6 +81,14 @@ struct BootFastPath {
   /// Precomputed boot_image_digest(image) for this exact image; skips
   /// the per-boot rehash (the compare against expected_hash remains).
   const crypto::Sha256::Digest* image_digest = nullptr;
+  /// Precomputed make_shared_segment_pages(...) for this exact image and
+  /// this device's layout. When every page installs (fresh bus, all
+  /// target pages absent), the segment copy loop is skipped entirely and
+  /// the device aliases the template's pages copy-on-write; if any page
+  /// refuses (already-materialized target), the boot falls back to the
+  /// plain load_initial path for all segments, which produces identical
+  /// final contents either way.
+  const std::vector<SharedSegmentPage>* shared_pages = nullptr;
 };
 
 /// Runs the boot sequence on `mcu`. `configure_protection` is the trusted

@@ -1,0 +1,189 @@
+// Structure-of-arrays shard blocks: per-shard component slabs for the
+// materialized fleet.
+//
+// The legacy layout gave every device its own heap objects — one malloc
+// per prover, per verifier, and an arena Device struct fat enough to
+// hold the channel/session inline. At fleet scale that is one allocator
+// round-trip per component per device, and the components of one device
+// land wherever the allocator happens to put them. The SoA layout
+// instead gives each shard one ShardBlock arena with a slab per
+// component *type*: all of a shard's provers sit contiguously in
+// chunked blocks, all its verifiers in another, and so on — the
+// structure-of-arrays transposition of the old array-of-structures
+// arena. Slabs grow in fixed chunks and never move a constructed
+// element, so component addresses stay stable while the shard
+// materializes devices mid-drain (the same stability contract the old
+// std::deque arena gave).
+//
+// Construction order (prover, verifier, channel, session — per device)
+// and destruction order (sessions, channels, verifiers, provers — slab
+// by slab, each in reverse construction order) bracket the reference
+// lifetimes: a session only ever outlives none of the components it
+// references. DeviceArena wraps a ShardBlock next to the legacy
+// one-heap-object-per-component layout behind one interface, so
+// SwarmConfig::soa_blocks toggles purely the storage plan — behavior,
+// reports and traces are byte-identical either way (the SoA-vs-heap
+// differential suite pins this).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "ratt/sim/session.hpp"
+
+namespace ratt::sim {
+
+/// One component slab: chunked uninitialized storage for T with
+/// placement construction. Chunks never move, so a returned pointer is
+/// stable for the slab's lifetime. Elements are destroyed in reverse
+/// construction order when the slab dies.
+template <class T>
+class ComponentSlab {
+ public:
+  /// Devices per chunk. 64 keeps a chunk of the fattest component
+  /// (AttestationSession, ~384 B) inside a handful of pages while
+  /// amortizing the chunk allocation across a whole block of devices.
+  static constexpr std::size_t kChunk = 64;
+
+  ComponentSlab() = default;
+  ComponentSlab(const ComponentSlab&) = delete;
+  ComponentSlab& operator=(const ComponentSlab&) = delete;
+
+  ~ComponentSlab() {
+    for (std::size_t i = count_; i > 0; --i) ptr(i - 1)->~T();
+  }
+
+  template <class... Args>
+  T* emplace(Args&&... args) {
+    if (count_ == chunks_.size() * kChunk) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T* slot = ptr(count_);
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++count_;
+    return slot;
+  }
+
+  std::size_t size() const { return count_; }
+
+  /// Heap bytes the slab's chunks occupy (the SoA side of the
+  /// resident-bytes report).
+  std::size_t slab_bytes() const { return chunks_.size() * sizeof(Chunk); }
+
+ private:
+  struct Chunk {
+    alignas(T) unsigned char bytes[sizeof(T) * kChunk];
+  };
+
+  T* ptr(std::size_t i) {
+    return std::launder(reinterpret_cast<T*>(
+               chunks_[i / kChunk]->bytes) + i % kChunk);
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t count_ = 0;
+};
+
+/// The SoA arena proper: one slab per component type. Slab declaration
+/// order is the reference order — sessions_ is declared last so it is
+/// destroyed first, before the channels/verifiers/provers it points at.
+class ShardBlock {
+ public:
+  template <class... Args>
+  attest::ProverDevice* make_prover(Args&&... args) {
+    return provers_.emplace(std::forward<Args>(args)...);
+  }
+  template <class... Args>
+  attest::Verifier* make_verifier(Args&&... args) {
+    return verifiers_.emplace(std::forward<Args>(args)...);
+  }
+  template <class... Args>
+  Channel* make_channel(Args&&... args) {
+    return channels_.emplace(std::forward<Args>(args)...);
+  }
+  template <class... Args>
+  AttestationSession* make_session(Args&&... args) {
+    return sessions_.emplace(std::forward<Args>(args)...);
+  }
+
+  std::size_t devices() const { return sessions_.size(); }
+
+  /// Chunk bytes across all four slabs.
+  std::size_t slab_bytes() const {
+    return provers_.slab_bytes() + verifiers_.slab_bytes() +
+           channels_.slab_bytes() + sessions_.slab_bytes();
+  }
+
+ private:
+  ComponentSlab<attest::ProverDevice> provers_;
+  ComponentSlab<attest::Verifier> verifiers_;
+  ComponentSlab<Channel> channels_;
+  ComponentSlab<AttestationSession> sessions_;
+};
+
+/// Storage-plan switch: the SoA ShardBlock or the legacy one heap
+/// object per component, behind one make_* interface. Heap mode keeps
+/// the per-component unique_ptr lists in the same declaration order as
+/// the slabs, so destruction order is identical across the toggle.
+class DeviceArena {
+ public:
+  explicit DeviceArena(bool soa) : soa_(soa) {}
+
+  template <class... Args>
+  attest::ProverDevice* make_prover(Args&&... args) {
+    if (soa_) return block_.make_prover(std::forward<Args>(args)...);
+    heap_provers_.push_back(std::make_unique<attest::ProverDevice>(
+        std::forward<Args>(args)...));
+    return heap_provers_.back().get();
+  }
+  template <class... Args>
+  attest::Verifier* make_verifier(Args&&... args) {
+    if (soa_) return block_.make_verifier(std::forward<Args>(args)...);
+    heap_verifiers_.push_back(std::make_unique<attest::Verifier>(
+        std::forward<Args>(args)...));
+    return heap_verifiers_.back().get();
+  }
+  template <class... Args>
+  Channel* make_channel(Args&&... args) {
+    if (soa_) return block_.make_channel(std::forward<Args>(args)...);
+    heap_channels_.push_back(
+        std::make_unique<Channel>(std::forward<Args>(args)...));
+    return heap_channels_.back().get();
+  }
+  template <class... Args>
+  AttestationSession* make_session(Args&&... args) {
+    if (soa_) return block_.make_session(std::forward<Args>(args)...);
+    heap_sessions_.push_back(std::make_unique<AttestationSession>(
+        std::forward<Args>(args)...));
+    return heap_sessions_.back().get();
+  }
+
+  bool soa() const { return soa_; }
+  std::size_t devices() const {
+    return soa_ ? block_.devices() : heap_sessions_.size();
+  }
+
+  /// Arena heap bytes: slab chunks in SoA mode, per-object allocations
+  /// (by sizeof) in heap mode. Component-internal heap (bus pages, MAC
+  /// state) is counted by the components themselves, not here.
+  std::size_t arena_bytes() const {
+    if (soa_) return block_.slab_bytes();
+    return heap_provers_.size() * sizeof(attest::ProverDevice) +
+           heap_verifiers_.size() * sizeof(attest::Verifier) +
+           heap_channels_.size() * sizeof(Channel) +
+           heap_sessions_.size() * sizeof(AttestationSession);
+  }
+
+ private:
+  bool soa_;
+  ShardBlock block_;
+  std::vector<std::unique_ptr<attest::ProverDevice>> heap_provers_;
+  std::vector<std::unique_ptr<attest::Verifier>> heap_verifiers_;
+  std::vector<std::unique_ptr<Channel>> heap_channels_;
+  std::vector<std::unique_ptr<AttestationSession>> heap_sessions_;
+};
+
+}  // namespace ratt::sim

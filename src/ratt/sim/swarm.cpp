@@ -32,6 +32,16 @@ double SwarmReport::total_attest_ms() const {
 
 Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
     : config_(config) {
+  if (config.reliable && config.prover.enable_incremental) {
+    // Fail at construction, not on the first materialization mid-drain:
+    // the retransmitter owns reliable round state and the incremental
+    // exchange cannot ride it (session.cpp rejects the combination), so
+    // a fleet configured with both is a configuration error.
+    throw std::invalid_argument(
+        "SwarmConfig: `reliable` and prover.enable_incremental are "
+        "mutually exclusive — incremental rounds cannot run over the "
+        "retransmitter");
+  }
   // Shard plan: contiguous blocks, sized as evenly as possible.
   const std::size_t n = config.device_count;
   std::size_t shard_count = config.shard_count == 0 ? 1 : config.shard_count;
@@ -40,7 +50,7 @@ Swarm::Swarm(const SwarmConfig& config, crypto::ByteView fleet_seed)
   const std::size_t rem = n == 0 ? 0 : n % shard_count;
   std::size_t next_device = 0;
   for (std::size_t s = 0; s < shard_count; ++s) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_unique<Shard>(config.soa_blocks);
     shard->begin = next_device;
     next_device += base + (s < rem ? 1 : 0);
     shard->end = next_device;
@@ -124,11 +134,11 @@ Swarm::Device& Swarm::materialize(std::size_t i) {
   const crypto::ByteView verifier_seed(seeds + 32, 16);
 
   if (template_ != nullptr) {
-    d.prover = std::make_unique<attest::ProverDevice>(config_.prover, d.key,
-                                                      *template_);
+    d.prover = shard.components.make_prover(config_.prover, d.key,
+                                            *template_);
   } else {
-    d.prover = std::make_unique<attest::ProverDevice>(config_.prover, d.key,
-                                                      app_seed);
+    d.prover = shard.components.make_prover(config_.prover, d.key,
+                                            app_seed);
   }
 
   attest::Verifier::Config vc;
@@ -136,18 +146,22 @@ Swarm::Device& Swarm::materialize(std::size_t i) {
   vc.mac_alg = config_.prover.mac_alg;
   vc.authenticate_requests = config_.prover.authenticate_requests;
   vc.bind_generation = config_.prover.bind_generation;
-  attest::ProverDevice* prover_ptr = d.prover.get();
+  attest::ProverDevice* prover_ptr = d.prover;
   vc.clock = [prover_ptr] { return prover_ptr->ground_truth_ticks(); };
-  d.verifier =
-      std::make_unique<attest::Verifier>(d.key, vc, verifier_seed);
+  d.verifier = shard.components.make_verifier(d.key, vc, verifier_seed);
   if (shared_reference_ != nullptr) {
     d.verifier->set_reference_memory(shared_reference_);
   } else {
     d.verifier->set_reference_memory(d.prover->reference_memory());
   }
+  if (config_.mac_batch) {
+    d.verifier->set_batch_engine(&shard.batch);
+  }
 
-  d.channel.emplace(shard.queue, config_.channel_latency_ms);
-  d.session.emplace(shard.queue, *d.channel, *d.prover, *d.verifier);
+  d.channel = shard.components.make_channel(shard.queue,
+                                            config_.channel_latency_ms);
+  d.session = shard.components.make_session(shard.queue, *d.channel,
+                                            *d.prover, *d.verifier);
   if (net_mode_) {
     const crypto::Bytes link_seed(seeds + 48, seeds + 64);
     const crypto::ByteView jitter_seed(seeds + 64, 16);
@@ -208,6 +222,10 @@ void Swarm::apply_observer(Device& device) {
   device.prover->set_observer(o);
   device.verifier->set_observer(o);
   device.session->set_observer(o);
+  // The shard's batch engine shares the fleet registry; its counters
+  // register lazily on the first batched wave, so scalar runs keep the
+  // registry export byte-identical.
+  if (config_.mac_batch) shard.batch.set_observer(o);
 }
 
 void Swarm::apply_observer_to_materialized() {
@@ -328,7 +346,7 @@ void Swarm::schedule(double horizon_ms) {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (config_.eager_schedule) {
       // Legacy reference path: every round of every device up front.
-      AttestationSession* session = materialize(i).session.operator->();
+      AttestationSession* session = materialize(i).session;
       EventQueue& shard_queue = shards_[shard_of(i)]->queue;
       const double offset = stagger_offset(i);
       for (std::uint64_t k = 1;; ++k) {
@@ -429,6 +447,27 @@ SwarmReport Swarm::report(double horizon_ms) const {
     report.devices.push_back(dr);
   }
   return report;
+}
+
+Swarm::ResidentReport Swarm::resident() const {
+  ResidentReport r;
+  for (const auto& shard : shards_) {
+    r.devices += shard->arena.size();
+    r.arena_bytes += shard->components.arena_bytes();
+    for (const Device& d : shard->arena) {
+      const hw::MemoryBus& bus = d.prover->mcu().bus();
+      // Pages aliased from the fleet template are physically one copy;
+      // count them once below instead of once per device.
+      r.bus_bytes += bus.resident_bytes() - bus.shared_resident_bytes();
+      r.table_bytes += bus.page_table_bytes();
+    }
+  }
+  if (template_ != nullptr) {
+    for (const auto& sp : template_->shared_pages) {
+      r.shared_bytes += sp.page->size();
+    }
+  }
+  return r;
 }
 
 SwarmReport Swarm::run(double horizon_ms) {

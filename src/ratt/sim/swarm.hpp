@@ -46,10 +46,12 @@
 #include <optional>
 #include <vector>
 
+#include "ratt/attest/verifier_batch.hpp"
 #include "ratt/net/link.hpp"
 #include "ratt/obs/power/trace.hpp"
 #include "ratt/obs/prof/profile.hpp"
 #include "ratt/sim/session.hpp"
+#include "ratt/sim/shard_block.hpp"
 
 namespace ratt::sim {
 
@@ -100,6 +102,18 @@ struct SwarmConfig {
   /// keys. Off by default — per-device images are the paper's model;
   /// fleet-scale benches turn it on.
   bool share_app_image = false;
+  /// Multi-buffer MAC batching: every shard owns one attest::VerifierBatch
+  /// and device verifiers precompute lookahead rounds through it in
+  /// SHA-1xN waves (verifier.hpp set_batch_engine). Wire bytes, reports
+  /// and traces are byte-identical with the toggle off — it is the
+  /// batched-vs-scalar differential-testing knob (bench --no-batch).
+  bool mac_batch = true;
+  /// Structure-of-arrays shard blocks: materialize devices into per-shard
+  /// component slabs (sim::ShardBlock) instead of one heap object per
+  /// prover/verifier. Behavior and reports are identical with the toggle
+  /// off — it is the SoA-vs-heap differential-testing knob (bench
+  /// --no-soa).
+  bool soa_blocks = true;
 };
 
 struct SwarmDeviceReport {
@@ -252,28 +266,64 @@ class Swarm {
   /// the still-pending backlog across shards (0 after a drained run).
   SwarmReport report(double horizon_ms) const;
 
+  /// Footprint accounting for the materialized fleet: component-arena
+  /// bytes (ShardBlock slabs in SoA mode, per-object heap otherwise),
+  /// every materialized prover's exclusively-owned backing-store pages
+  /// plus paging metadata, and — once, not once per device — the boot
+  /// image pages the fleet aliases copy-on-write from the template.
+  /// Unmaterialized devices cost nothing here — exactly the laziness
+  /// the report is meant to audit.
+  struct ResidentReport {
+    std::size_t devices = 0;       // materialized device count
+    std::size_t arena_bytes = 0;   // component storage
+    std::size_t bus_bytes = 0;     // exclusively-owned MCU pages
+    std::size_t table_bytes = 0;   // bus paging metadata
+    std::size_t shared_bytes = 0;  // template pages, counted once
+    std::size_t total_bytes() const {
+      return arena_bytes + bus_bytes + table_bytes + shared_bytes;
+    }
+    double per_device_bytes() const {
+      return devices == 0
+                 ? 0.0
+                 : static_cast<double>(total_bytes()) /
+                       static_cast<double>(devices);
+    }
+  };
+  ResidentReport resident() const;
+
  private:
   struct Device {
     std::size_t index = 0;
     std::size_t shard = 0;
     crypto::Bytes key;
-    std::unique_ptr<attest::ProverDevice> prover;
-    std::unique_ptr<attest::Verifier> verifier;
-    // Channel + session live by value inside the shard arena block (hot
-    // per-round state stays shard-local); optional<> only defers
-    // construction until prover/verifier exist.
-    std::optional<Channel> channel;
+    // Raw pointers into the owning shard's DeviceArena (ShardBlock
+    // component slabs in SoA mode, one heap object each otherwise —
+    // SwarmConfig::soa_blocks). The arena owns the components and
+    // outlives every Device record; addresses are stable either way.
+    attest::ProverDevice* prover = nullptr;
+    attest::Verifier* verifier = nullptr;
+    Channel* channel = nullptr;
+    AttestationSession* session = nullptr;
     std::unique_ptr<net::FaultyLink> link;
-    std::optional<AttestationSession> session;
   };
   struct Shard {
+    explicit Shard(bool soa) : components(soa) {}
     EventQueue queue;
     std::size_t begin = 0;  // device index range [begin, end)
     std::size_t end = 0;
-    // Materialized devices, in first-touch order. A deque allocates in
-    // chunked blocks and never moves elements, so Device addresses stay
-    // stable while the arena grows mid-drain.
+    // Device records (index, key, component pointers), in first-touch
+    // order. A deque allocates in chunked blocks and never moves
+    // elements, so Device addresses stay stable while the shard grows
+    // mid-drain. The components themselves live in `components`.
     std::deque<Device> arena;
+    // Per-device component storage — declared before any per-shard sinks
+    // so sessions are destroyed (slab by slab, reverse construction
+    // order) while the queue they reference is still alive.
+    DeviceArena components;
+    // One multi-buffer MAC engine per shard (SwarmConfig::mac_batch):
+    // every verifier in the shard pipelines its lookahead waves through
+    // it. Shards never share one — drains are per-shard threads.
+    attest::VerifierBatch batch;
     std::unique_ptr<obs::RingRecorder> ring;  // sharded-tracing mode
     std::unique_ptr<obs::prof::ShardProfile> profile;  // sharded profiling
     std::unique_ptr<obs::power::ShardPowerRecorder> power;  // attach_power
